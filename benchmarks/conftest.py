@@ -1,0 +1,60 @@
+"""Shared fixtures and result recording for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/tables (see
+DESIGN.md's per-experiment index), asserts its shape claims, records the
+artifact under ``benchmarks/results/``, and times the load-bearing
+operation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import Workspace
+from repro.datasets import inbox, recipes
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write an experiment artifact to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def full_recipe_corpus():
+    """The paper-scale corpus: 6,444 recipes, 244 ingredients."""
+    return recipes.build_corpus(n_recipes=6444, seed=7)
+
+
+@pytest.fixture(scope="session")
+def full_recipe_workspace(full_recipe_corpus):
+    workspace = Workspace(
+        full_recipe_corpus.graph,
+        schema=full_recipe_corpus.schema,
+        items=full_recipe_corpus.items,
+    )
+    workspace.vector_store.refresh()
+    return workspace
+
+
+@pytest.fixture(scope="session")
+def inbox_corpus_full():
+    return inbox.build_corpus(n_messages=80, n_news=40, seed=11)
+
+
+@pytest.fixture(scope="session")
+def inbox_workspace_full(inbox_corpus_full):
+    return Workspace(
+        inbox_corpus_full.graph,
+        schema=inbox_corpus_full.schema,
+        items=inbox_corpus_full.items,
+    )

@@ -1,0 +1,68 @@
+"""Ablation — fuzzy fallback on empty result sets (§6.3.1 future work).
+
+Replays the study's signature capture error (constrain on walnut, then
+exclude nuts → empty set) with and without the fuzzy fallback the paper
+proposes, measuring how often a stuck user gets *something* to work
+with.
+"""
+
+from repro.browser import Session
+from repro.query import And, HasValue, TypeIs
+
+
+def capture_error_query(corpus, ingredient_name):
+    props = corpus.extras["properties"]
+    ingredient = corpus.extras["ingredients"][ingredient_name]
+    positive = HasValue(props["ingredient"], ingredient)
+    return And(
+        [TypeIs(corpus.extras["types"]["Recipe"]), positive, positive.negated()]
+    )
+
+
+def test_ablation_fuzzy_empty(
+    benchmark, record, full_recipe_corpus, full_recipe_workspace
+):
+    corpus = full_recipe_corpus
+    probes = ["walnut", "almond", "feta", "corn", "saffron", "basil"]
+
+    fuzzy_session = Session(full_recipe_workspace, fuzzy_on_empty=True)
+    strict_session = Session(full_recipe_workspace, fuzzy_on_empty=False)
+
+    def run_fuzzy():
+        recovered = 0
+        for name in probes:
+            fuzzy_session.run_query(capture_error_query(corpus, name))
+            if fuzzy_session.current.items:
+                recovered += 1
+        return recovered
+
+    recovered = benchmark(run_fuzzy)
+
+    stuck = 0
+    for name in probes:
+        strict_session.run_query(capture_error_query(corpus, name))
+        if not strict_session.current.items:
+            stuck += 1
+
+    assert recovered == len(probes), "fuzzy mode must always offer results"
+    assert stuck == len(probes), "strict mode always yields zero results"
+
+    # Fuzzy results stay on-topic: the probe ingredient's recipes rank in.
+    props = corpus.extras["properties"]
+    fuzzy_session.run_query(capture_error_query(corpus, "walnut"))
+    walnut = corpus.extras["ingredients"]["walnut"]
+    on_topic = [
+        item
+        for item in fuzzy_session.current.items
+        if (item, props["ingredient"], walnut) in corpus.graph
+    ]
+    assert on_topic
+
+    record(
+        "ablation_fuzzy_empty",
+        f"capture-error queries probed: {len(probes)}\n"
+        f"strict mode zero-result events: {stuck}\n"
+        f"fuzzy mode recoveries: {recovered}\n"
+        f"on-topic share of walnut fallback: "
+        f"{len(on_topic)}/{len(fuzzy_session.current.items)}\n",
+    )

@@ -1,0 +1,60 @@
+"""Ablation — per-attribute tf normalization (§5.2).
+
+"This approach gives equal importance to different attributes in a
+document, i.e. for an email, the importance of the subject is the same
+as the importance of the body."  Without the per-attribute division, a
+long body swamps the subject: two e-mails that agree on the subject but
+differ in body length look less alike than two that merely share body
+filler.
+"""
+
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.vsm import VectorSpaceModel
+
+EX = Namespace("http://abl-norm.example/")
+
+
+def build_graph():
+    g = Graph()
+    filler = " ".join(f"filler{i}" for i in range(40))
+
+    def mail(name, subject, body):
+        item = EX[name]
+        g.add(item, RDF.type, EX.Mail)
+        g.add(item, EX.subject, Literal(subject))
+        g.add(item, EX.body, Literal(body))
+        return item
+
+    a = mail("a", "budget meeting tomorrow", f"short note {filler}")
+    b = mail("b", "budget meeting tomorrow", "completely different content here")
+    c = mail("c", "holiday plans", f"unrelated note {filler}")
+    return g, a, b, c
+
+
+def scores(normalized: bool):
+    g, a, b, c = build_graph()
+    model = VectorSpaceModel(g, per_attribute_normalization=normalized)
+    model.index_items([a, b, c])
+    return model.similarity(a, b), model.similarity(a, c)
+
+
+def test_ablation_attribute_normalization(benchmark, record):
+    same_subject, same_filler = benchmark(scores, True)
+    raw_subject, raw_filler = scores(False)
+
+    # With normalization the shared subject dominates shared filler.
+    assert same_subject > same_filler
+    # The normalized model gives the subject relatively more pull than
+    # the raw model does (subject margin shrinks when tf is raw).
+    normalized_margin = same_subject - same_filler
+    raw_margin = raw_subject - raw_filler
+    assert normalized_margin > raw_margin
+
+    record(
+        "ablation_normalization",
+        "similarity(same subject) vs similarity(same body filler):\n"
+        f"  normalized: {same_subject:.4f} vs {same_filler:.4f} "
+        f"(margin {normalized_margin:+.4f})\n"
+        f"  raw tf:     {raw_subject:.4f} vs {raw_filler:.4f} "
+        f"(margin {raw_margin:+.4f})\n",
+    )

@@ -1,0 +1,52 @@
+"""Extension — Rocchio relevance feedback on the recipe corpus (§5.3).
+
+The user study's task 1 ("related recipes ... without nuts") is a
+textbook relevance-feedback problem: mark the walnut recipe relevant,
+mark a couple of nut desserts non-relevant, and let the moving query
+surface nut-free relatives.  This bench measures how feedback shifts
+the nut-free share of the top results.
+"""
+
+from repro.browser import Session
+from repro.study import RecipeJudge
+
+
+def test_ext_feedback_nut_free_drift(
+    benchmark, record, full_recipe_corpus, full_recipe_workspace
+):
+    corpus = full_recipe_corpus
+    judge = RecipeJudge(corpus)
+    target = corpus.extras["walnut_recipe"]
+
+    def nut_free_share(items):
+        if not items:
+            return 0.0
+        return sum(1 for item in items if not judge.has_nuts(item)) / len(items)
+
+    # Baseline: plain similar-to-item retrieval.
+    plain_hits = full_recipe_workspace.vector_store.similar_to_item(target, 10)
+    plain_share = nut_free_share([hit.item for hit in plain_hits])
+
+    def feedback_round():
+        session = Session(full_recipe_workspace)
+        session.go_item(target)
+        session.mark_relevant(target)
+        # The user rejects the first two nutty neighbours they see.
+        rejected = 0
+        for hit in plain_hits:
+            if judge.has_nuts(hit.item) and rejected < 2:
+                session.mark_non_relevant(hit.item)
+                rejected += 1
+        return session.more_like_marked(k=10)
+
+    view = benchmark(feedback_round)
+    feedback_share = nut_free_share(view.items)
+
+    # Negative feedback must not hurt, and typically helps.
+    assert feedback_share >= plain_share
+    record(
+        "ext_feedback",
+        f"nut-free share of top-10 neighbours of the walnut recipe:\n"
+        f"  plain similarity:   {plain_share:.2f}\n"
+        f"  after 'not nuts' feedback: {feedback_share:.2f}\n",
+    )

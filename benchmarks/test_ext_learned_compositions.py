@@ -1,0 +1,84 @@
+"""Extension — learning composition annotations automatically (§5.1, §7).
+
+The paper expects systems to "learn to automatically detect and
+incorporate important compositional relations".  This bench removes the
+inbox's hand-written ``body`` annotation, runs the detector, and checks
+that it recovers the Figure 6 compositions on its own.
+"""
+
+from repro.core import View, Workspace
+from repro.core.engine import NavigationEngine
+from repro.datasets import inbox
+from repro.rdf import Graph, Schema, apply_learned, learn_compositions
+from repro.rdf.vocab import MAGNET
+
+
+def strip_annotations(corpus) -> Graph:
+    """A copy of the inbox graph with the important-property hint removed."""
+    graph = corpus.graph.copy()
+    graph.remove_matching(None, MAGNET.importantProperty, None)
+    graph.remove_matching(None, MAGNET.compose, None)
+    return graph
+
+
+def test_ext_learned_compositions(benchmark, record):
+    corpus = inbox.build_corpus()
+    bare = strip_annotations(corpus)
+    assert not Schema(bare).effective_compositions()
+
+    candidates = benchmark(
+        learn_compositions, bare, list(corpus.items), 0.3, 0.5
+    )
+
+    chains = {
+        tuple(p.local_name for p in candidate.chain)
+        for candidate in candidates
+    }
+    # The detector recovers the annotated behaviour from data alone.
+    assert ("body", "creator") in chains
+    assert ("body", "bodyType") in chains
+    assert ("body", "content") in chains
+
+    apply_learned(bare, candidates)
+    workspace = Workspace(bare, items=corpus.items)
+    engine = NavigationEngine()
+    result = engine.suggest(View.of_collection(workspace, workspace.items))
+    composed_groups = {
+        s.group for s in result.blackboard.entries if s.group and "→" in s.group
+    }
+    assert composed_groups, "learned chains must reach the interface"
+
+    lines = ["learned composition candidates (support, distinct, entropy):"]
+    for candidate in candidates:
+        chain = " → ".join(p.local_name for p in candidate.chain)
+        lines.append(
+            f"  {chain:<28} n={candidate.support:<4} "
+            f"v={candidate.distinct_values:<4} H={candidate.entropy:.2f} "
+            f"score={candidate.score:.3f}"
+        )
+    lines.append(f"interface groups: {sorted(composed_groups)}")
+    record("ext_learned_compositions", "\n".join(lines) + "\n")
+
+
+def test_ext_learned_matches_annotated(benchmark, record):
+    """Learned chains ≈ the chains the hand annotation produces."""
+    corpus = inbox.build_corpus()
+    annotated = {
+        tuple(p.local_name for p in chain)
+        for chain in corpus.schema.effective_compositions()
+    }
+    bare = strip_annotations(corpus)
+    candidates = benchmark(learn_compositions, bare, list(corpus.items))
+    learned = {
+        tuple(p.local_name for p in candidate.chain)
+        for candidate in candidates
+    }
+    overlap = annotated & learned
+    recall = len(overlap) / len(annotated)
+    assert recall >= 0.75, (annotated, learned)
+    record(
+        "ext_learned_vs_annotated",
+        f"annotated chains: {sorted(annotated)}\n"
+        f"learned chains:   {sorted(learned)}\n"
+        f"recall of annotation: {recall:.2f}\n",
+    )

@@ -1,0 +1,76 @@
+"""Extension — Scatter/Gather clustering inside Magnet (§2).
+
+"Scatter/Gather demonstrate[s] the synergies that can be achieved by
+supporting navigation and querying together, and Magnet tries to
+achieve similar synergies in structured models."  The bench clusters a
+mixed recipe collection and measures whether the topical groups align
+with the (hidden-to-the-algorithm) facet structure: cluster purity
+against the majority cuisine/course.
+"""
+
+from collections import Counter
+
+from repro.vsm import cluster_collection
+
+
+def _majority_share(corpus, workspace, items, prop):
+    counts = Counter()
+    for item in items:
+        value = corpus.graph.value(item, prop)
+        if value is not None:
+            counts[value] += 1
+    if not counts:
+        return 0.0
+    return counts.most_common(1)[0][1] / len(items)
+
+
+def test_ext_scatter_gather_purity(
+    benchmark, record, full_recipe_corpus, full_recipe_workspace
+):
+    corpus = full_recipe_corpus
+    pool = corpus.items[:600]
+
+    clusters = benchmark(
+        cluster_collection, full_recipe_workspace.model, pool, 6
+    )
+    assert len(clusters) >= 3
+    assert sum(len(c) for c in clusters) == len(set(pool))
+
+    cuisine = corpus.extras["properties"]["cuisine"]
+    course = corpus.extras["properties"]["course"]
+    baseline_cuisine = _majority_share(
+        corpus, full_recipe_workspace, pool, cuisine
+    )
+    lines = ["cluster purity vs whole-collection majority share:"]
+    lines.append(
+        f"  collection majority cuisine share: {baseline_cuisine:.2f}"
+    )
+    improvements = 0
+    for cluster in clusters:
+        cuisine_purity = _majority_share(
+            corpus, full_recipe_workspace, cluster.items, cuisine
+        )
+        course_purity = _majority_share(
+            corpus, full_recipe_workspace, cluster.items, course
+        )
+        best = max(cuisine_purity, course_purity)
+        if best > baseline_cuisine:
+            improvements += 1
+        lines.append(
+            f"  {cluster.label():<36} n={len(cluster):<4} "
+            f"cuisine={cuisine_purity:.2f} course={course_purity:.2f}"
+        )
+    # Clusters are topically purer than the undivided collection.
+    assert improvements >= len(clusters) // 2, "\n".join(lines)
+    record("ext_scatter_gather", "\n".join(lines) + "\n")
+
+
+def test_ext_scatter_gather_deterministic(
+    benchmark, full_recipe_corpus, full_recipe_workspace
+):
+    pool = full_recipe_corpus.items[:200]
+    first = cluster_collection(full_recipe_workspace.model, pool, k=4)
+    second = benchmark(
+        cluster_collection, full_recipe_workspace.model, pool, 4
+    )
+    assert [c.items for c in first] == [c.items for c in second]

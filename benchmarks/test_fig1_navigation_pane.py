@@ -1,0 +1,89 @@
+"""fig1 — Figure 1: the navigation pane on a refined recipe collection.
+
+Regenerates the paper's screenshot state: type=Recipe ∧ cuisine=Greek ∧
+ingredient=parsley on the 6,444-recipe corpus, with the full advisor
+stack.  Asserts the figure's visible claims and times one suggestion
+cycle.
+"""
+
+from repro.browser import Session, render_navigation_pane
+from repro.core.advisors import (
+    HISTORY,
+    MODIFY,
+    REFINE_COLLECTION,
+    RELATED_ITEMS,
+)
+from repro.query import And, HasValue, TypeIs
+
+
+def figure1_query(corpus):
+    props = corpus.extras["properties"]
+    return And(
+        [
+            TypeIs(corpus.extras["types"]["Recipe"]),
+            HasValue(props["cuisine"], corpus.extras["cuisines"]["Greek"]),
+            HasValue(
+                props["ingredient"], corpus.extras["ingredients"]["parsley"]
+            ),
+        ]
+    )
+
+
+def test_fig1_navigation_pane(
+    benchmark, record, full_recipe_corpus, full_recipe_workspace
+):
+    session = Session(full_recipe_workspace)
+    query = figure1_query(full_recipe_corpus)
+
+    def run_cycle():
+        session.run_query(query)
+        return session.suggestions()
+
+    result = benchmark(run_cycle)
+
+    # --- the figure's claims -------------------------------------------
+    assert session.current.items, "Greek+parsley recipes must exist"
+    assert len(session.describe_constraints()) == 3
+    for advisor in (RELATED_ITEMS, REFINE_COLLECTION, MODIFY, HISTORY):
+        assert result.suggestions(advisor), advisor
+    # grouped refinements along the figure's facet axes
+    groups = set(result.groups(REFINE_COLLECTION))
+    assert "ingredient" in groups
+    assert "cooking method" in groups or "course" in groups
+    # one contrary suggestion per constraint chip
+    contrary = [s for s in result.suggestions(MODIFY) if "NOT" in s.title]
+    assert len(contrary) == 3
+
+    pane = render_navigation_pane(session)
+    record(
+        "fig1_navigation_pane",
+        f"{len(session.current.items)} recipes in the collection\n\n{pane}\n",
+    )
+
+
+def test_fig1_popular_ingredients_observation(
+    benchmark, record, full_recipe_corpus, full_recipe_workspace
+):
+    """'a large number of the recipes have cloves, garlic, olives and
+    oil as ingredients' — measured on the full collection."""
+    from repro.browser import FacetSummary
+
+    corpus = full_recipe_corpus
+    summary = benchmark(
+        FacetSummary.of_collection,
+        full_recipe_workspace,
+        corpus.items,
+        max_values=12,
+    )
+    facet = summary.facet_for(corpus.extras["properties"]["ingredient"])
+    top = {
+        full_recipe_workspace.label(value) for value, _n in facet.values
+    }
+    pinned = {"garlic", "olive oil", "cloves", "olives"}
+    assert pinned <= top, f"top-12 facet values were {top}"
+    lines = ["top ingredient facet values (count over 6,444 recipes):"]
+    lines += [
+        f"  {full_recipe_workspace.label(v):<16} {n:5d}"
+        for v, n in facet.values
+    ]
+    record("fig1_popular_ingredients", "\n".join(lines) + "\n")

@@ -1,0 +1,54 @@
+"""fig2 — Figure 2: the large-collection metadata overview.
+
+For the full 6,444-recipe collection the navigation pane is inadequate,
+so Magnet shows "a broad overview of the occurrence of metadata in the
+collection".  Regenerates that overview and times its computation.
+"""
+
+from repro.browser import FacetSummary, render_overview
+
+
+def test_fig2_overview(benchmark, record, full_recipe_corpus, full_recipe_workspace):
+    corpus = full_recipe_corpus
+
+    summary = benchmark(
+        FacetSummary.of_collection, full_recipe_workspace, corpus.items
+    )
+
+    # Every facet axis the figure shows is present with full coverage.
+    props = corpus.extras["properties"]
+    for key in ("cuisine", "course", "method", "ingredient"):
+        facet = summary.facet_for(props[key] if key != "method" else props["method"])
+        assert facet is not None, key
+        assert facet.coverage == len(corpus.items)
+    # Continuous attributes appear as ranges, not value lists.
+    serves = summary.facet_for(props["serves"])
+    assert serves is not None and serves.range_preview is not None
+    # The organized, sorted display: counts descend within each facet.
+    for facet in summary:
+        counts = [n for _v, n in facet.values]
+        assert counts == sorted(counts, reverse=True)
+
+    record("fig2_overview", render_overview(summary))
+
+
+def test_fig2_overview_scales_with_collection(
+    benchmark, record, full_recipe_corpus, full_recipe_workspace
+):
+    """Overview cost grows roughly linearly in collection size."""
+    import time
+
+    corpus = full_recipe_corpus
+    benchmark(
+        FacetSummary.of_collection, full_recipe_workspace, corpus.items[:500]
+    )
+    timings = []
+    for size in (500, 2000, 6444):
+        start = time.perf_counter()
+        FacetSummary.of_collection(full_recipe_workspace, corpus.items[:size])
+        timings.append((size, time.perf_counter() - start))
+    # 13x the items should cost well under 100x the time.
+    assert timings[-1][1] < timings[0][1] * 100
+    lines = ["overview build time by collection size:"]
+    lines += [f"  {size:>6} items: {secs * 1000:8.1f} ms" for size, secs in timings]
+    record("fig2_overview_scaling", "\n".join(lines) + "\n")

@@ -1,0 +1,59 @@
+"""fig6 — Figure 6: the navigation system on the user's Inbox.
+
+§6.1's observations, all regenerated here:
+
+* "Magnet suggested refining by the document type since the inbox
+  contains messages as well as news items";
+* "the annotation that body is an important property" yields
+  "refining by the type, content, creator and date on the body";
+* "a range control to refine by the sent dates";
+* "the option of querying within the collection".
+"""
+
+from repro.browser import Session, render_navigation_pane
+
+
+def test_fig6_inbox_advisors(benchmark, record, inbox_corpus_full, inbox_workspace_full):
+    corpus = inbox_corpus_full
+    session = Session(inbox_workspace_full)
+
+    result = benchmark(lambda: session.engine.suggest(session.current))
+
+    posted = result.blackboard.entries
+    titles = [s.title for s in posted]
+    groups = {s.group for s in posted if s.group}
+
+    # document-type refinement
+    assert any("Message" in t for t in titles)
+    assert any("News Item" in t for t in titles)
+    # body composition facets
+    for composed in ("body → type", "body → creator", "body → content"):
+        assert composed in groups, groups
+    # date on the body + sent-date range controls
+    assert any("sent date range" in t for t in titles)
+    assert any("body → date range" in t for t in titles)
+    # query-within entry
+    assert any("Query within" in t for t in titles)
+
+    record("fig6_inbox", render_navigation_pane(session) + "\n")
+
+
+def test_fig6_day_apart_similarity(benchmark, record, inbox_corpus_full, inbox_workspace_full):
+    """§5.4's motivating pair: Thu July 31 vs Fri August 1, 2003."""
+    first, second = inbox_corpus_full.extras["paper_dates"]
+    model = inbox_workspace_full.model
+    near = benchmark(model.similarity, first, second)
+    # Compare against the most distant-date e-mail.
+    sent = inbox_corpus_full.extras["properties"]["sentDate"]
+    g = inbox_corpus_full.graph
+    by_date = sorted(
+        inbox_corpus_full.items,
+        key=lambda item: g.value(item, sent).as_number(),
+    )
+    far = model.similarity(first, by_date[0])
+    assert near > 0.3
+    record(
+        "fig6_date_similarity",
+        f"similarity(Jul 31, Aug 1)  = {near:.4f}\n"
+        f"similarity(Jul 31, {g.value(by_date[0], sent).lexical[:10]}) = {far:.4f}\n",
+    )

@@ -1,0 +1,86 @@
+"""perf — supporting timings for the heavy code paths.
+
+Not a paper table; establishes that the substrate scales to the paper's
+corpus (§5.2's motivation for pre-indexing into the vector store).
+"""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.datasets import recipes
+from repro.query import And, HasValue, TypeIs
+from repro.vsm import VectorSpaceModel
+
+
+def test_perf_triple_pattern_lookup(benchmark, full_recipe_corpus):
+    corpus = full_recipe_corpus
+    props = corpus.extras["properties"]
+    garlic = corpus.extras["ingredients"]["garlic"]
+
+    def lookup():
+        return sum(1 for _ in corpus.graph.subjects(props["ingredient"], garlic))
+
+    count = benchmark(lookup)
+    assert count > 100
+
+
+def test_perf_boolean_query(benchmark, full_recipe_corpus, full_recipe_workspace):
+    corpus = full_recipe_corpus
+    props = corpus.extras["properties"]
+    query = And(
+        [
+            TypeIs(corpus.extras["types"]["Recipe"]),
+            HasValue(props["cuisine"], corpus.extras["cuisines"]["Italian"]),
+            HasValue(props["ingredient"], corpus.extras["ingredients"]["garlic"]),
+        ]
+    )
+    result = benchmark(full_recipe_workspace.query_engine.evaluate, query)
+    assert result
+
+
+def test_perf_similarity_search(benchmark, full_recipe_corpus, full_recipe_workspace):
+    target = full_recipe_corpus.extras["walnut_recipe"]
+    store = full_recipe_workspace.vector_store
+    store.refresh()
+    hits = benchmark(store.similar_to_item, target, 10)
+    assert len(hits) == 10
+
+
+def test_perf_text_search(benchmark, full_recipe_workspace):
+    hits = benchmark(full_recipe_workspace.text_index.search, "garlic lemon")
+    assert hits
+
+
+def test_perf_suggestion_cycle_small_collection(
+    benchmark, full_recipe_corpus, full_recipe_workspace
+):
+    session = Session(full_recipe_workspace)
+    props = full_recipe_corpus.extras["properties"]
+    session.run_query(
+        And(
+            [
+                TypeIs(full_recipe_corpus.extras["types"]["Recipe"]),
+                HasValue(
+                    props["cuisine"],
+                    full_recipe_corpus.extras["cuisines"]["Greek"],
+                ),
+            ]
+        )
+    )
+    view = session.current
+    result = benchmark(session.engine.suggest, view)
+    assert result.all_suggestions()
+
+
+@pytest.mark.parametrize("n_items", [250, 1000, 4000])
+def test_perf_indexing_scales(benchmark, full_recipe_corpus, n_items):
+    corpus = full_recipe_corpus
+
+    def index_slice():
+        model = VectorSpaceModel(corpus.graph, schema=corpus.schema)
+        model.index_items(corpus.items[:n_items])
+        return model
+
+    model = benchmark.pedantic(index_slice, rounds=2, iterations=1)
+    assert len(model) == n_items

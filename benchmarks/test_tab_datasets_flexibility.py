@@ -1,0 +1,100 @@
+"""tab_datasets — §6.1: flexibility across external data sources.
+
+One row per dataset, checking the paper's per-source observation:
+
+* factbook — "recommended navigating to countries that have the same
+  independence day or currencies"; annotations improve labels;
+* OCW / ArtSTOR — readable suggestions thanks to label+type
+  annotations, but also "options that were not human-readable", which
+  the hidden-property annotation removes.
+"""
+
+from repro.core import View, Workspace
+from repro.core.engine import NavigationEngine
+from repro.datasets import artstor, factbook, ocw
+
+
+def suggest(corpus):
+    workspace = Workspace(
+        corpus.graph, schema=corpus.schema, items=corpus.items
+    )
+    engine = NavigationEngine()
+    return (
+        workspace,
+        engine.suggest(View.of_collection(workspace, workspace.items)),
+    )
+
+
+def test_tab_factbook_shared_attributes(benchmark, record):
+    corpus = factbook.build_corpus()
+    workspace = Workspace(
+        corpus.graph, schema=corpus.schema, items=corpus.items
+    )
+    engine = NavigationEngine()
+    france = corpus.ns["country/france"]
+
+    result = benchmark(lambda: engine.suggest(View.of_item(workspace, france)))
+
+    titles = [s.title for s in result.blackboard.entries]
+    euro_hop = [t for t in titles if "euro" in t]
+    assert euro_hop, "same-currency navigation must be suggested"
+    guatemala = corpus.ns["country/guatemala"]
+    result2 = engine.suggest(View.of_item(workspace, guatemala))
+    day_hop = [
+        s.title
+        for s in result2.blackboard.entries
+        if "September 15" in s.title
+    ]
+    assert day_hop, "same-independence-day navigation must be suggested"
+    record(
+        "tab_factbook",
+        "from France: " + "; ".join(euro_hop[:3]) + "\n"
+        "from Guatemala: " + "; ".join(day_hop[:3]) + "\n",
+    )
+
+
+def test_tab_ocw_annotations(benchmark, record):
+    shown_corpus = ocw.build_corpus(hide_internal=False)
+
+    def cycle():
+        _w, result = suggest(shown_corpus)
+        return result
+
+    result = benchmark(cycle)
+    groups = {s.group for s in result.blackboard.entries if s.group}
+    assert "department" in groups and "level" in groups
+    # the unreadable attribute surfaces until hidden (§6.1's finding)
+    assert "exportChecksum" in groups
+    _w, hidden_result = suggest(ocw.build_corpus(hide_internal=True))
+    hidden_groups = {
+        s.group for s in hidden_result.blackboard.entries if s.group
+    }
+    assert "exportChecksum" not in hidden_groups
+    record(
+        "tab_ocw",
+        f"visible groups: {sorted(groups)}\n"
+        f"after hiding annotation: {sorted(hidden_groups)}\n",
+    )
+
+
+def test_tab_artstor_annotations(benchmark, record):
+    corpus = artstor.build_corpus()
+
+    def cycle():
+        _w, result = suggest(corpus)
+        return result
+
+    result = benchmark(cycle)
+    groups = {s.group for s in result.blackboard.entries if s.group}
+    assert {"artist", "medium", "period"} <= groups
+    assert "imageId" in groups
+    _w, hidden_result = suggest(artstor.build_corpus(hide_internal=True))
+    hidden_groups = {
+        s.group for s in hidden_result.blackboard.entries if s.group
+    }
+    assert "imageId" not in hidden_groups
+    record(
+        "tab_artstor",
+        f"visible groups: {sorted(groups)}\n"
+        f"after hiding annotation: {sorted(hidden_groups)}\n",
+    )

@@ -1,0 +1,76 @@
+"""tab_study (undirected) — §6.3's first and last tasks.
+
+"The study included two undirected tasks ... users had minimal
+constraints, and were asked to simply 'search recipes of interest'."
+The qualitative finding: "Users seemed to not have problems using the
+extra features (over the baseline systems) either when they were doing
+an undirected part of the task, or after they used it once or twice."
+
+The bench wanders 18 simulated users through both systems and records
+which analyst features they exercised.
+"""
+
+import random
+from collections import Counter
+
+from repro.study import (
+    SYSTEM_BASELINE,
+    SYSTEM_COMPLETE,
+    StudyRunner,
+    sample_users,
+)
+
+_EXTRA_FEATURES = {
+    "similar-by-content-item",
+    "similar-by-content-collection",
+    "sharing-a-property",
+    "contrary-constraints",
+    "related-collections",
+    "similar-by-visit",
+}
+
+
+def test_tab_undirected_feature_usage(
+    benchmark, record, full_recipe_corpus, full_recipe_workspace
+):
+    runner = StudyRunner(full_recipe_corpus, workspace=full_recipe_workspace)
+    users = sample_users(18, seed=41)
+
+    def run_one():
+        user = users[0]
+        user.rng = random.Random(41)
+        return runner.run_undirected(user, SYSTEM_COMPLETE)
+
+    benchmark(run_one)
+
+    usage = {SYSTEM_COMPLETE: Counter(), SYSTEM_BASELINE: Counter()}
+    bookmarks = {SYSTEM_COMPLETE: 0, SYSTEM_BASELINE: 0}
+    for system in (SYSTEM_COMPLETE, SYSTEM_BASELINE):
+        for user in users:
+            user.rng = random.Random(user.user_id * 13 + 1)
+            outcome = runner.run_undirected(user, system)
+            usage[system].update(outcome.features_used)
+            bookmarks[system] += outcome.n_found
+
+    complete_extras = {
+        f for f in usage[SYSTEM_COMPLETE] if f in _EXTRA_FEATURES
+    }
+    baseline_extras = {
+        f for f in usage[SYSTEM_BASELINE] if f in _EXTRA_FEATURES
+    }
+    # The paper's claim: the extras get used in undirected browsing...
+    assert complete_extras, usage[SYSTEM_COMPLETE]
+    # ...and by construction the baseline cannot offer them.
+    assert not baseline_extras
+
+    lines = ["feature usage across 18 undirected sessions:"]
+    for system in (SYSTEM_COMPLETE, SYSTEM_BASELINE):
+        lines.append(f"  {system}:")
+        for feature, count in usage[system].most_common():
+            marker = " *" if feature in _EXTRA_FEATURES else ""
+            lines.append(f"    {feature:<32} {count:3d}{marker}")
+        lines.append(
+            f"    recipes of interest bookmarked: {bookmarks[system]}"
+        )
+    lines.append("  (* = feature beyond the Flamenco-style baseline)")
+    record("tab_undirected", "\n".join(lines) + "\n")

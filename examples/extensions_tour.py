@@ -1,0 +1,76 @@
+"""Tour of the paper-named extensions on the recipe corpus.
+
+1. Ranked search and in-place reordering (§6.2's document reordering).
+2. Rocchio relevance feedback (§5.3's text-IR lineage) replaying the
+   user study's "related recipes without nuts" need.
+3. Automatic composition learning (§5.1/§7) on the inbox.
+4. The Dataguides-style structural summary (§2).
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro import Session, Workspace
+from repro.datasets import inbox, recipes
+from repro.rdf import StructuralSummary, apply_learned, learn_compositions
+from repro.rdf.vocab import MAGNET
+from repro.study import RecipeJudge
+
+
+def main() -> None:
+    corpus = recipes.build_corpus(n_recipes=800, seed=7)
+    workspace = Workspace(corpus.graph, schema=corpus.schema, items=corpus.items)
+    session = Session(workspace)
+    judge = RecipeJudge(corpus)
+
+    # --- 1. ranked search --------------------------------------------------
+    view = session.search_ranked("garlic lemon", k=5)
+    print("ranked search 'garlic lemon' (best first):")
+    for item in view.items:
+        print(f"  - {workspace.label(item)}")
+
+    # --- 2. relevance feedback ----------------------------------------------
+    target = corpus.extras["walnut_recipe"]
+    session.go_item(target)
+    session.mark_relevant(target)
+    plain = workspace.vector_store.similar_to_item(target, 8)
+    for hit in plain:
+        if judge.has_nuts(hit.item):
+            session.mark_non_relevant(hit.item)
+    view = session.more_like_marked(k=8)
+    nut_free = sum(1 for item in view.items if not judge.has_nuts(item))
+    print(
+        f"\nfeedback: marked nutty neighbours non-relevant → "
+        f"{nut_free}/{len(view.items)} of the new suggestions are nut-free"
+    )
+
+    # --- 3. learned compositions --------------------------------------------
+    mail = inbox.build_corpus()
+    bare = mail.graph.copy()
+    bare.remove_matching(None, MAGNET.importantProperty, None)
+    candidates = learn_compositions(bare, list(mail.items))
+    print("\nlearned compositions on the un-annotated inbox:")
+    for candidate in candidates[:4]:
+        chain = " → ".join(p.local_name for p in candidate.chain)
+        print(f"  {chain}  (score {candidate.score:.3f})")
+    apply_learned(bare, candidates)
+
+    # --- 4. Scatter/Gather clustering (§2's related-work synergy) -----------
+    from repro.vsm import cluster_collection
+
+    mexican = [
+        item
+        for item in corpus.items
+        if corpus.graph.value(item, corpus.extras["properties"]["cuisine"])
+        == corpus.extras["cuisines"]["Mexican"]
+    ]
+    print("\nscatter/gather over the Mexican recipes:")
+    for cluster in cluster_collection(workspace.model, mexican, k=3):
+        print(f"  {cluster.label()}  ({len(cluster)} recipes)")
+
+    # --- 5. structural summary ------------------------------------------------
+    print()
+    print(StructuralSummary(mail.graph).render())
+
+
+if __name__ == "__main__":
+    main()

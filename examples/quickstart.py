@@ -1,0 +1,47 @@
+"""Quickstart: build a corpus, search, and follow navigation suggestions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Session, Workspace
+from repro.browser import render_navigation_pane
+from repro.core.suggestions import Refine
+from repro.datasets import recipes
+
+
+def main() -> None:
+    # A small slice of the Epicurious-style corpus (full size is 6,444).
+    corpus = recipes.build_corpus(n_recipes=400, seed=7)
+    workspace = Workspace(corpus.graph, schema=corpus.schema, items=corpus.items)
+    session = Session(workspace)
+
+    # §3.1: searches start with keywords in the toolbar.
+    session.search("parsley")
+    print(f"keyword search 'parsley' → {len(session.current.items)} items\n")
+
+    # The navigation pane shows constraint chips + advisor suggestions.
+    print(render_navigation_pane(session))
+
+    # Click the best facet refinement the Refine Collection advisor offers.
+    refinements = [
+        s
+        for s in session.suggestions().suggestions("refine-collection")
+        if isinstance(s.action, Refine)
+    ]
+    if refinements:
+        choice = max(refinements, key=lambda s: s.weight)
+        print(f"\nselecting refinement: {choice.title} (group {choice.group})")
+        session.select(choice)
+        print(f"→ {len(session.current.items)} items")
+        print("constraints:", session.describe_constraints())
+
+    # Negate a constraint via the chip context menu (§3.2), then undo.
+    if session.constraints():
+        session.negate_constraint(len(session.constraints()) - 1)
+        print(f"after negation → {len(session.current.items)} items")
+        session.undo_refinement()
+        print(f"after undo → {len(session.current.items)} items")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""The §3.3 power-user walkthrough on the recipe corpus.
+
+Reproduces the paper's two compound examples:
+
+1. keep only recipes that have "either a dairy product or a vegetable"
+   (an OR compound built by dragging suggestions);
+2. browse to the collection of ingredients, refine it to those found
+   only in North America, and apply it back with any/all quantifiers.
+
+Run:  python examples/recipes_party_menu.py
+"""
+
+from repro import Session, Workspace
+from repro.datasets import recipes
+from repro.query import HasValue, TypeIs, And
+
+
+def main() -> None:
+    corpus = recipes.build_corpus(n_recipes=600, seed=7)
+    workspace = Workspace(corpus.graph, schema=corpus.schema, items=corpus.items)
+    session = Session(workspace)
+    props = corpus.extras["properties"]
+    p_ingredient = props["ingredient"]
+
+    # Start from the Mexican recipes (the party theme).
+    session.run_query(
+        And(
+            [
+                TypeIs(corpus.extras["types"]["Recipe"]),
+                HasValue(props["cuisine"], corpus.extras["cuisines"]["Mexican"]),
+            ]
+        )
+    )
+    print(f"Mexican recipes: {len(session.current.items)}")
+
+    # --- compound OR: dairy or vegetables --------------------------------
+    dairy = corpus.extras["ingredient_groups"]["dairy"]
+    vegetables = corpus.extras["ingredient_groups"]["vegetables"]
+    compound = session.start_compound("or")
+    for ingredient in dairy + vegetables:
+        compound.drag(HasValue(p_ingredient, ingredient))
+    session.apply_compound(compound)
+    print(
+        f"with a dairy product or a vegetable: {len(session.current.items)}"
+    )
+
+    # --- browse-and-apply a sub-collection (§3.3) -------------------------
+    # "navigate to the collection of ingredients, refine the given
+    # collection to get those ingredients found only in North America,
+    # and then apply the query"
+    graph = corpus.graph
+    north_american = [
+        ingredient
+        for ingredient in corpus.extras["ingredients"].values()
+        if any(
+            getattr(v, "lexical", None) == "North America"
+            for v in graph.objects(ingredient, props["origin"])
+        )
+    ]
+    print(f"ingredients found in North America: {len(north_american)}")
+
+    any_view = session.apply_subcollection(
+        p_ingredient, north_american, quantifier="any"
+    )
+    print(f"recipes having AN ingredient from the set (or): {len(any_view.items)}")
+
+    session.undo_refinement()
+    all_view = session.apply_subcollection(
+        p_ingredient, north_american, quantifier="all"
+    )
+    print(
+        f"recipes having ALL their ingredients in the set (and): "
+        f"{len(all_view.items)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments whose setuptools lacks a vendored ``bdist_wheel`` (the
+legacy ``setup.py develop`` path needs no wheel package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Reproduction of *Magnet: Supporting Navigation in Semistructured Data
+Environments* (Sinha & Karger, SIGMOD 2005).
+
+Top-level convenience re-exports cover the typical workflow::
+
+    from repro import Workspace, Session
+    from repro.datasets import recipes
+
+    corpus = recipes.build_corpus(seed=7)
+    workspace = Workspace(corpus.graph, schema=corpus.schema)
+    session = Session(workspace)
+    session.search("parsley")
+    print(session.suggestions())
+
+Subpackages
+-----------
+``repro.rdf``       — triple store, N-Triples IO, CSV/XML import, schema hints
+``repro.vsm``       — the semistructured vector space model (§5)
+``repro.index``     — inverted index / vector store / full-text index
+``repro.query``     — predicate AST, evaluation, previews, parsing (§4.2)
+``repro.core``      — blackboard, analysts, advisors (§4)
+``repro.browser``   — session, facets, text renderers (§3)
+``repro.datasets``  — synthetic stand-ins for every corpus of §6
+``repro.study``     — the simulated user study (§6.3)
+"""
+
+from .browser.session import Session
+from .core.engine import NavigationEngine
+from .core.workspace import Workspace
+
+__version__ = "1.0.0"
+
+__all__ = ["Session", "NavigationEngine", "Workspace", "__version__"]

@@ -1,0 +1,22 @@
+"""Browser layer: session state, faceted overview, renderers (§3)."""
+
+from .compound import CompoundBuilder
+from .facets import FacetSummary, PropertyFacet
+from .render import (
+    render_item,
+    render_navigation_pane,
+    render_overview,
+    render_range_widget,
+)
+from .session import Session
+
+__all__ = [
+    "CompoundBuilder",
+    "FacetSummary",
+    "PropertyFacet",
+    "render_item",
+    "render_navigation_pane",
+    "render_overview",
+    "render_range_widget",
+    "Session",
+]

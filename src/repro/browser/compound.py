@@ -1,0 +1,62 @@
+"""Compound refinements for power users (§3.3).
+
+"The context menu on the query allows users to select a compound
+navigation option like conjunction or disjunction to be applied as a
+refinement to the current collection.  Users can drag suggestions into
+this compound refinement option, and use them to build a complex query."
+The builder below models that drag-and-apply interaction: constraints
+are accumulated, then combined with ``and``/``or`` and applied.
+"""
+
+from __future__ import annotations
+
+from ..core.suggestions import Refine, Suggestion
+from ..query.ast import And, Or, Predicate
+
+__all__ = ["CompoundBuilder"]
+
+
+class CompoundBuilder:
+    """Accumulates dragged constraints into one compound predicate."""
+
+    MODES = ("and", "or")
+
+    def __init__(self, mode: str):
+        if mode not in self.MODES:
+            raise ValueError(f"compound mode must be one of {self.MODES}")
+        self.mode = mode
+        self._parts: list[Predicate] = []
+
+    def drag(self, source: Suggestion | Predicate) -> "CompoundBuilder":
+        """Drop a suggestion (or bare predicate) into the compound.
+
+        Only refinement suggestions carry predicates; dragging anything
+        else is a user error the interface rejects.
+        """
+        if isinstance(source, Predicate):
+            self._parts.append(source)
+            return self
+        if isinstance(source.action, Refine):
+            self._parts.append(source.action.predicate)
+            return self
+        raise TypeError(
+            f"cannot drag a non-refinement suggestion: {source.title!r}"
+        )
+
+    @property
+    def parts(self) -> list[Predicate]:
+        return list(self._parts)
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def build(self) -> Predicate:
+        """The combined predicate (clicking 'apply')."""
+        if not self._parts:
+            raise ValueError("nothing was dragged into the compound")
+        if len(self._parts) == 1:
+            return self._parts[0]
+        return And(self._parts) if self.mode == "and" else Or(self._parts)
+
+    def __repr__(self) -> str:
+        return f"<CompoundBuilder {self.mode} with {len(self._parts)} parts>"

@@ -1,0 +1,171 @@
+"""Deterministic text renderers for every pane the paper's figures show.
+
+These renderers are the headless stand-in for Haystack's SWT interface:
+each produces a plain-text layout carrying the same information as the
+corresponding screenshot (Figures 1, 2, 5, 6, 7, 8), so benchmarks can
+regenerate the figures and tests can assert on their content.
+"""
+
+from __future__ import annotations
+
+from ..core.advisors import HISTORY, MODIFY, REFINE_COLLECTION, RELATED_ITEMS
+from ..core.workspace import Workspace
+from ..query.preview import RangePreview
+from ..rdf.terms import Node
+from .facets import FacetSummary
+from .session import Session
+
+__all__ = [
+    "render_navigation_pane",
+    "render_overview",
+    "render_item",
+    "render_range_widget",
+]
+
+_ADVISOR_ORDER = [RELATED_ITEMS, REFINE_COLLECTION, MODIFY, HISTORY]
+_ADVISOR_TITLES = {
+    RELATED_ITEMS: "Similar Items",
+    REFINE_COLLECTION: "Refine Collection",
+    MODIFY: "Modify",
+    HISTORY: "Refinement History",
+}
+
+
+def render_navigation_pane(session: Session, width: int = 72) -> str:
+    """The left pane of Figure 1: query chips plus advisor suggestions."""
+    lines: list[str] = []
+    rule = "=" * width
+    lines.append(rule)
+    lines.append("NAVIGATION")
+    lines.append(rule)
+    chips = session.describe_constraints()
+    if chips:
+        lines.append("Query:")
+        for chip in chips:
+            lines.append(f"  [x] {chip}")
+    else:
+        view = session.current
+        if view.is_item:
+            lines.append(f"Viewing item: {session.workspace.label(view.item)}")
+        else:
+            lines.append(f"Viewing: {view.description or 'collection'}")
+    if session.current.is_collection:
+        lines.append(f"({len(session.current.items)} items)")
+        if session.last_was_fuzzy:
+            lines.append("(no exact matches — showing fuzzy results)")
+    result = session.suggestions()
+    for advisor_id in _ADVISOR_ORDER:
+        batch = result.suggestions(advisor_id)
+        if not batch:
+            continue
+        lines.append("-" * width)
+        lines.append(_ADVISOR_TITLES[advisor_id])
+        current_group: str | None = object()  # sentinel: prints first header
+        overflow = set(result.overflow.get(advisor_id, ()))
+        for suggestion in batch:
+            if suggestion.group != current_group:
+                current_group = suggestion.group
+                if current_group:
+                    lines.append(f"  {current_group}:")
+            indent = "    " if suggestion.group else "  "
+            lines.append(f"{indent}{suggestion.title}")
+        for group in sorted(overflow):
+            lines.append(f"  {group}: ...")
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def render_overview(summary: FacetSummary, width: int = 72) -> str:
+    """The large-collection metadata overview of Figure 2."""
+    lines: list[str] = []
+    rule = "=" * width
+    lines.append(rule)
+    lines.append(f"COLLECTION OVERVIEW — {summary.collection_size} items")
+    lines.append(rule)
+    for facet in summary.facets:
+        header = (
+            f"{facet.label}  "
+            f"[{facet.coverage}/{summary.collection_size} items, "
+            f"{facet.total_values} values]"
+        )
+        lines.append(header)
+        if facet.range_preview is not None:
+            preview = facet.range_preview
+            lines.append(
+                f"  range {preview.low:g} .. {preview.high:g}  "
+                f"|{preview.hatch_marks(32)}|"
+            )
+        else:
+            for value, count in facet.values:
+                lines.append(f"  {count:6d}  {_value_label(facet, value)}")
+            if facet.truncated:
+                lines.append("     ...  (more values)")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _value_label(facet, value) -> str:
+    from ..rdf.terms import Literal, Resource
+
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, Resource):
+        return value.local_name
+    return value.n3()
+
+
+def render_item(workspace: Workspace, item: Node, width: int = 72) -> str:
+    """A single item's property sheet (the main pane for item views)."""
+    lines: list[str] = []
+    rule = "=" * width
+    lines.append(rule)
+    lines.append(workspace.label(item))
+    lines.append(rule)
+    for prop, values in sorted(
+        workspace.graph.properties_of(item).items(), key=lambda kv: kv[0].uri
+    ):
+        label = workspace.label(prop)
+        rendered = sorted(workspace.label(v) for v in values)
+        if len(rendered) == 1:
+            lines.append(f"{label}: {rendered[0]}")
+        else:
+            lines.append(f"{label}:")
+            for value in rendered:
+                lines.append(f"  - {value}")
+    return "\n".join(lines)
+
+
+def render_range_widget(
+    preview: RangePreview,
+    label: str,
+    low: float | None = None,
+    high: float | None = None,
+    width: int = 40,
+) -> str:
+    """The two-slider date/number control of Figure 5, as text.
+
+    Hatch marks show the document distribution; '<' and '>' mark the
+    current slider positions; the footer previews the surviving count.
+    """
+    lines = [f"{label}  ({len(preview.values)} readings)"]
+    marks = preview.hatch_marks(width)
+    lines.append(f"|{marks}|")
+    slider = [" "] * width
+    span = preview.high - preview.low
+    lo = low if low is not None else preview.low
+    hi = high if high is not None else preview.high
+    if span > 0:
+        lo_pos = int((min(max(lo, preview.low), preview.high) - preview.low)
+                     / span * (width - 1))
+        hi_pos = int((min(max(hi, preview.low), preview.high) - preview.low)
+                     / span * (width - 1))
+    else:
+        lo_pos, hi_pos = 0, width - 1
+    slider[lo_pos] = "<"
+    slider[hi_pos] = ">" if hi_pos != lo_pos else "X"
+    lines.append(f"|{''.join(slider)}|")
+    kept = preview.count_between(low, high)
+    lines.append(
+        f"selected [{lo:g} .. {hi:g}] keeps {kept}/{len(preview.values)}"
+    )
+    return "\n".join(lines)

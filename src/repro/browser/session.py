@@ -1,0 +1,581 @@
+"""A headless browsing session: the single-window interface of §3.
+
+:class:`Session` is the stand-in for Haystack's browser window.  It
+holds the current view, executes navigation suggestions, manages the
+constraint chips (remove via 'X', negate via context menu), keeps the
+visit log and refinement trail, and exposes the power-user operations of
+§3.3 (compound refinements, sub-collection browse-and-apply).
+
+It also implements the §6.3.1 future-work behaviour behind a flag:
+"since users find it difficult to work with zero results, it may be
+worth modifying the queries to perform more fuzzily in the case when
+zero results would have been returned otherwise" —
+``fuzzy_on_empty=True`` replaces an empty boolean result with the
+top-ranked fuzzy matches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.engine import NavigationEngine, NavigationResult
+from ..core.history import NavigationHistory
+from ..core.suggestions import (
+    GoToCollection,
+    GoToItem,
+    Invoke,
+    NewQuery,
+    OpenRangeWidget,
+    Refine,
+    RefineMode,
+    Suggestion,
+)
+from ..core.view import View
+from ..core.workspace import Workspace
+from ..query.ast import And, Not, Or, Predicate, Range, TextMatch
+from ..rdf.terms import Node, Resource
+from ..vsm.vector import SparseVector
+from .compound import CompoundBuilder
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One user's browsing state over a workspace."""
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        engine: NavigationEngine | None = None,
+        fuzzy_on_empty: bool = False,
+        fuzzy_k: int = 10,
+    ):
+        self.workspace = workspace
+        self.engine = engine if engine is not None else NavigationEngine()
+        self.history = NavigationHistory()
+        self.fuzzy_on_empty = fuzzy_on_empty
+        self.fuzzy_k = fuzzy_k
+        #: True when the current collection came from the fuzzy fallback.
+        self.last_was_fuzzy = False
+        self.current: View = View.of_collection(
+            workspace,
+            list(workspace.items),
+            query=None,
+            history=self.history,
+            description="everything",
+        )
+        self._suggestion_cache: tuple[View, NavigationResult] | None = None
+        self._feedback_session = None
+        self._bookmarks: list[Node] = []
+        self._back_stack: list[View] = []
+
+    # ------------------------------------------------------------------
+    # Starting searches (§3.1)
+    # ------------------------------------------------------------------
+
+    def search(self, text: str) -> View:
+        """Toolbar keyword search: a brand-new query."""
+        return self.run_query(TextMatch(text), description=f"search {text!r}")
+
+    def search_within(self, text: str) -> View:
+        """Keyword search restricted to the current collection (§4.3)."""
+        predicate = TextMatch(text)
+        return self._refine_with(predicate, RefineMode.FILTER)
+
+    def run_query(self, predicate: Predicate, description: str | None = None) -> View:
+        """Execute a query against the whole universe."""
+        items = self.workspace.query_engine.evaluate(predicate)
+        return self._arrive_collection(predicate, items, description)
+
+    def refine(self, predicate: Predicate, mode: str = RefineMode.FILTER) -> View:
+        """Apply a predicate to the current collection directly.
+
+        This is the programmatic form of clicking a refinement
+        suggestion; ``mode`` selects filter/exclude/expand (§4.1).
+        """
+        return self._refine_with(predicate, mode)
+
+    def search_ranked(self, text: str, k: int = 20) -> View:
+        """Ranked keyword search — the §6.2 document-reordering extension.
+
+        Unlike :meth:`search` (boolean, unordered), results are ordered
+        by vector-space similarity, and ``k`` bounds the view.
+        """
+        hits = self.workspace.vector_store.search_text(text, k)
+        items = [hit.item for hit in hits if hit.score > 0.0]
+        view = View.of_collection(
+            self.workspace,
+            items,
+            query=TextMatch(text),
+            history=self.history,
+            description=f"ranked search {text!r}",
+        )
+        self._push_back()
+        self.current = view
+        self.history.refinement_trail.push(view.query, view.description)
+        self._suggestion_cache = None
+        self.last_was_fuzzy = False
+        return view
+
+    def rank_current(self, text: str | None = None) -> View:
+        """Reorder the current collection by similarity.
+
+        With ``text`` the ordering is against that keyword query;
+        without, against the collection's own centroid (most typical
+        first).  The query and constraint chips are preserved.
+        """
+        from ..index.ranking import Ranker
+
+        ranker = Ranker(self.workspace.model)
+        if text is not None:
+            hits = ranker.rank_for_text(self.current.items, text)
+        else:
+            centroid = self.workspace.model.centroid(self.current.items)
+            hits = ranker.rank(self.current.items, centroid)
+        view = View.of_collection(
+            self.workspace,
+            [hit.item for hit in hits],
+            query=self.current.query,
+            history=self.history,
+            description=self.current.description,
+        )
+        self._push_back()
+        self.current = view
+        self._suggestion_cache = None
+        return view
+
+    # ------------------------------------------------------------------
+    # Bookmarks and starting points (§3's Haystack side panes)
+    # ------------------------------------------------------------------
+
+    def bookmark(self, item: Node | None = None) -> None:
+        """Add an item (default: the currently viewed one) to bookmarks."""
+        if item is None:
+            if not self.current.is_item:
+                raise RuntimeError("no item in view to bookmark")
+            item = self.current.item
+        if item not in self._bookmarks:
+            self._bookmarks.append(item)
+
+    def unbookmark(self, item: Node) -> bool:
+        """Drop a bookmark; returns whether it was present."""
+        try:
+            self._bookmarks.remove(item)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def bookmarks(self) -> list[Node]:
+        """The bookmark pane's contents (copied, in marking order)."""
+        return list(self._bookmarks)
+
+    def go_bookmarks(self) -> View:
+        """Open the bookmarks as a browsable collection."""
+        return self.go_collection(list(self._bookmarks), "bookmarks")
+
+    def starting_points(self) -> list[tuple[Node, int]]:
+        """Type-based entry points: (rdf:type, instance count), largest first.
+
+        The Haystack window offers "starting points" for a fresh
+        session; with no domain knowledge the natural ones are the
+        repository's types.
+        """
+        from ..rdf.vocab import RDF
+
+        counts: dict[Node, int] = {}
+        universe = self.workspace.query_context.universe
+        for subject, _p, rdf_type in self.workspace.graph.triples(
+            None, RDF.type, None
+        ):
+            if subject in universe:
+                counts[rdf_type] = counts.get(rdf_type, 0) + 1
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0].n3()))
+
+    def go_starting_point(self, rdf_type: Node) -> View:
+        """Open every instance of a type as the working collection."""
+        from ..query.ast import TypeIs
+
+        return self.run_query(TypeIs(rdf_type))
+
+    # ------------------------------------------------------------------
+    # Relevance feedback (§5.3's text-IR lineage, via Rocchio)
+    # ------------------------------------------------------------------
+
+    def mark_relevant(self, item: Node) -> None:
+        """'More like this' — add positive relevance feedback."""
+        self._feedback().mark_relevant(item)
+
+    def mark_non_relevant(self, item: Node) -> None:
+        """'Less like this' — add negative relevance feedback."""
+        self._feedback().mark_non_relevant(item)
+
+    def more_like_marked(self, k: int = 10) -> View:
+        """Navigate to items matching the accumulated judgments.
+
+        Runs the Rocchio-updated query against the vector store,
+        excluding already-judged items.
+        """
+        feedback = self._feedback()
+        if not feedback.relevant and not feedback.non_relevant:
+            raise RuntimeError("no relevance judgments yet")
+        judged = feedback.judged()
+        hits = self.workspace.vector_store.search(
+            feedback.query_vector(), k, exclude=lambda item: item in judged
+        )
+        return self.go_collection(
+            [hit.item for hit in hits if hit.score > 0.0],
+            "more like the marked items",
+        )
+
+    def clear_feedback(self) -> None:
+        """Forget all relevance judgments."""
+        self._feedback_session = None
+
+    def _feedback(self):
+        from ..vsm.feedback import FeedbackSession
+
+        session = self._feedback_session
+        if session is None:
+            initial = (
+                self._predicate_vector(self.current.query)
+                if self.current.query is not None
+                else None
+            )
+            session = FeedbackSession(self.workspace.model, initial)
+            self._feedback_session = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Direct navigation
+    # ------------------------------------------------------------------
+
+    def go_item(self, item: Node) -> View:
+        """View a single item."""
+        self.history.visit_log.visit(item)
+        self._push_back()
+        self.current = View.of_item(self.workspace, item, history=self.history)
+        self._suggestion_cache = None
+        self.last_was_fuzzy = False
+        return self.current
+
+    def go_collection(
+        self, items: Sequence[Node], description: str | None = None
+    ) -> View:
+        """View a fixed collection (no backing query)."""
+        self._push_back()
+        self.current = View.of_collection(
+            self.workspace,
+            list(items),
+            query=None,
+            history=self.history,
+            description=description,
+        )
+        self.history.refinement_trail.push(None, description or "collection")
+        self._suggestion_cache = None
+        self.last_was_fuzzy = False
+        return self.current
+
+    # ------------------------------------------------------------------
+    # Suggestions
+    # ------------------------------------------------------------------
+
+    def suggestions(self) -> NavigationResult:
+        """Run (or reuse) the suggestion cycle for the current view."""
+        cached = self._suggestion_cache
+        if cached is not None and cached[0] is self.current:
+            return cached[1]
+        result = self.engine.suggest(self.current)
+        self._suggestion_cache = (self.current, result)
+        return result
+
+    def expand_group(self, advisor_id: str, group: str) -> list[Suggestion]:
+        """Click a group's '...' marker: every option, weight-ordered.
+
+        §3.2: users "wanting more choices for a given refinement can ask
+        the user interface to present them with more options (by
+        clicking on the '...')".
+        """
+        advisor = self.engine.advisors.get(advisor_id)
+        if advisor is None:
+            raise KeyError(f"unknown advisor {advisor_id!r}")
+        return advisor.all_in_group(self.suggestions().blackboard, group)
+
+    def select(
+        self, suggestion: Suggestion, mode: str | None = None
+    ) -> View | OpenRangeWidget | object:
+        """Execute a suggestion's action.
+
+        For refinements, ``mode`` overrides the suggestion's default
+        (the context-menu filter/exclude/expand choice of §4.1).  Range
+        widgets are returned to the caller, who inspects the preview and
+        calls :meth:`apply_range`.  ``Invoke`` actions run their callback
+        and return its result.
+        """
+        action = suggestion.action
+        if isinstance(action, Refine):
+            return self._refine_with(action.predicate, mode or action.mode)
+        if isinstance(action, GoToItem):
+            return self.go_item(action.item)
+        if isinstance(action, GoToCollection):
+            return self.go_collection(action.items, action.description)
+        if isinstance(action, NewQuery):
+            return self.run_query(action.predicate)
+        if isinstance(action, OpenRangeWidget):
+            return action
+        if isinstance(action, Invoke):
+            return action.callback()
+        raise TypeError(f"unknown action {action!r}")
+
+    def apply_range(
+        self, prop: Resource, low: float | None, high: float | None
+    ) -> View:
+        """Commit a range-widget selection as a filter refinement."""
+        return self._refine_with(Range(prop, low=low, high=high), RefineMode.FILTER)
+
+    # ------------------------------------------------------------------
+    # Constraint chips (§3.2)
+    # ------------------------------------------------------------------
+
+    def constraints(self) -> list[Predicate]:
+        """The current query's top-level conjuncts."""
+        return self.current.constraints()
+
+    def describe_constraints(self) -> list[str]:
+        """Display strings for the chips."""
+        context = self.workspace.query_context
+        return [c.describe(context) for c in self.constraints()]
+
+    def remove_constraint(self, index: int) -> View:
+        """Click the 'X' by a constraint: drop it and re-run."""
+        parts = self.constraints()
+        if not (0 <= index < len(parts)):
+            raise IndexError(f"no constraint at {index}")
+        remaining = [c for i, c in enumerate(parts) if i != index]
+        if not remaining:
+            return self.go_collection(
+                list(self.workspace.items), "everything"
+            )
+        query = remaining[0] if len(remaining) == 1 else And(remaining)
+        return self.run_query(query)
+
+    def negate_constraint(self, index: int) -> View:
+        """Context-menu negation of one constraint."""
+        parts = self.constraints()
+        if not (0 <= index < len(parts)):
+            raise IndexError(f"no constraint at {index}")
+        parts[index] = parts[index].negated()
+        query = parts[0] if len(parts) == 1 else And(parts)
+        return self.run_query(query)
+
+    # ------------------------------------------------------------------
+    # Power-user features (§3.3)
+    # ------------------------------------------------------------------
+
+    def start_compound(self, mode: str) -> CompoundBuilder:
+        """Begin a compound ('and'/'or') refinement via the context menu."""
+        return CompoundBuilder(mode)
+
+    def apply_compound(self, builder: CompoundBuilder) -> View:
+        """Apply a compound refinement to the current collection."""
+        return self._refine_with(builder.build(), RefineMode.FILTER)
+
+    def apply_subcollection(
+        self,
+        prop: Resource,
+        values: Sequence[Node],
+        quantifier: str = "any",
+    ) -> View:
+        """Apply a browsed sub-collection back to the current items.
+
+        §3.3's example: refine the collection of ingredients down to
+        those found in North America, then keep recipes having *an*
+        ingredient in the set (``any``/or) or having *all* their
+        ingredients in the set (``all``/and).
+        """
+        from ..query.ast import ValueIn
+
+        predicate = ValueIn(prop, values, quantifier=quantifier)
+        return self._refine_with(predicate, RefineMode.FILTER)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def export_collection(self, path, format: str = "nt") -> int:
+        """Write the current collection's induced subgraph to a file.
+
+        The subgraph holds every triple whose subject is in the
+        collection, plus ``rdfs:label`` annotations of referenced values
+        so the export stays readable elsewhere.  ``format`` is ``nt``
+        (N-Triples) or ``ttl`` (Turtle).  Returns the triple count.
+        """
+        from ..rdf.graph import Graph
+        from ..rdf.terms import Literal as _Literal
+        from ..rdf.vocab import RDFS
+
+        if not self.current.is_collection:
+            raise RuntimeError("not viewing a collection")
+        subgraph = Graph()
+        referenced: set[Node] = set()
+        for item in self.current.items:
+            for s, p, o in self.workspace.graph.triples(item, None, None):
+                subgraph.add(s, p, o)
+                if not isinstance(o, _Literal):
+                    referenced.add(o)
+        for node in referenced:
+            label = self.workspace.graph.value(node, RDFS.label)
+            if label is not None:
+                subgraph.add(node, RDFS.label, label)
+        if format == "nt":
+            from ..rdf.ntriples import serialize_ntriples
+
+            text = serialize_ntriples(subgraph.triples())
+        elif format == "ttl":
+            from ..rdf.turtle import serialize_turtle
+
+            text = serialize_turtle(subgraph)
+        else:
+            raise ValueError(f"unknown export format {format!r}")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return len(subgraph)
+
+    # ------------------------------------------------------------------
+    # History
+    # ------------------------------------------------------------------
+
+    def back(self) -> View:
+        """The browser-style back button: return to the previous view.
+
+        Unlike :meth:`undo_refinement` (which pops the *query* trail),
+        ``back`` restores the exact previous view — item or collection —
+        as a single-window browser would.
+        """
+        if not self._back_stack:
+            raise RuntimeError("no earlier view to go back to")
+        view = self._back_stack.pop()
+        self.current = view
+        self._suggestion_cache = None
+        self.last_was_fuzzy = False
+        return view
+
+    def _push_back(self, limit: int = 100) -> None:
+        self._back_stack.append(self.current)
+        if len(self._back_stack) > limit:
+            self._back_stack.pop(0)
+
+    def undo_refinement(self) -> View:
+        """Step back along the refinement trail."""
+        trail = self.history.refinement_trail
+        trail.pop()  # discard the step that produced the current view
+        previous = trail.pop()
+        if previous is None:
+            return self.go_collection(list(self.workspace.items), "everything")
+        query, description = previous
+        if query is None:
+            return self.go_collection(list(self.workspace.items), description)
+        return self.run_query(query, description)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _refine_with(self, predicate: Predicate, mode: str) -> View:
+        current_query = self.current.query
+        if mode == RefineMode.FILTER:
+            query = self._conjoin(current_query, predicate)
+            items = self.workspace.query_engine.evaluate(
+                predicate, within=self.current.items
+            )
+        elif mode == RefineMode.EXCLUDE:
+            negated = predicate.negated()
+            query = self._conjoin(current_query, negated)
+            items = self.workspace.query_engine.evaluate(
+                negated, within=self.current.items
+            )
+        elif mode == RefineMode.EXPAND:
+            query = (
+                predicate
+                if current_query is None
+                else Or([current_query, predicate])
+            )
+            items = self.workspace.query_engine.evaluate(query)
+        else:
+            raise ValueError(f"unknown refine mode {mode!r}")
+        return self._arrive_collection(query, items)
+
+    @staticmethod
+    def _conjoin(query: Predicate | None, predicate: Predicate) -> Predicate:
+        from ..query.simplify import simplify
+
+        if query is None:
+            return predicate
+        if isinstance(query, And):
+            combined = And(list(query.parts) + [predicate])
+        else:
+            combined = And([query, predicate])
+        # Keep the chips tidy: clicking the same facet twice must not
+        # grow the conjunction, and ¬¬p collapses.
+        return simplify(combined)
+
+    def _arrive_collection(
+        self,
+        query: Predicate | None,
+        items,
+        description: str | None = None,
+    ) -> View:
+        item_list = sorted(items, key=lambda n: n.n3())
+        self.last_was_fuzzy = False
+        if not item_list and self.fuzzy_on_empty and query is not None:
+            fuzzy = self._fuzzy_results(query)
+            if fuzzy:
+                item_list = fuzzy
+                self.last_was_fuzzy = True
+        context = self.workspace.query_context
+        description = description or (
+            query.describe(context) if query is not None else "collection"
+        )
+        self._push_back()
+        self.current = View.of_collection(
+            self.workspace,
+            item_list,
+            query=query,
+            history=self.history,
+            description=description,
+        )
+        self.history.refinement_trail.push(query, description)
+        self._suggestion_cache = None
+        return self.current
+
+    def _fuzzy_results(self, query: Predicate) -> list[Node]:
+        vector = self._predicate_vector(query)
+        if len(vector) == 0:
+            return []
+        hits = self.workspace.vector_store.search(vector, self.fuzzy_k)
+        return [hit.item for hit in hits if hit.score > 0.0]
+
+    def _predicate_vector(self, predicate: Predicate) -> SparseVector:
+        """A best-effort fuzzy rendering of a boolean query (§6.3.1).
+
+        Positive constraints contribute their vectors; negations are
+        ignored (a fuzzy 'not' would need relevance feedback).
+        """
+        model = self.workspace.model
+        from ..query.ast import HasValue
+
+        if isinstance(predicate, HasValue):
+            return model.pair_vector([(predicate.prop, predicate.value)])
+        if isinstance(predicate, TextMatch):
+            return model.text_vector(predicate.text)
+        if isinstance(predicate, (And, Or)):
+            total = SparseVector()
+            for part in predicate.parts:
+                total = total + self._predicate_vector(part)
+            return total.normalized()
+        if isinstance(predicate, Not):
+            return SparseVector()
+        return SparseVector()
+
+    def __repr__(self) -> str:
+        return f"<Session at {self.current!r}>"

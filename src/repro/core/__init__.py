@@ -1,0 +1,60 @@
+"""Magnet's navigation engine: blackboard, analysts, advisors (§4)."""
+
+from .advisors import (
+    HISTORY,
+    MODIFY,
+    REFINE_COLLECTION,
+    RELATED_ITEMS,
+    Advisor,
+    standard_advisors,
+)
+from .analysts import (
+    Analyst,
+    baseline_analysts,
+    standard_analysts,
+)
+from .blackboard import Blackboard
+from .engine import NavigationEngine, NavigationResult
+from .history import NavigationHistory, RefinementTrail, VisitLog
+from .suggestions import (
+    Action,
+    GoToCollection,
+    GoToItem,
+    Invoke,
+    NewQuery,
+    OpenRangeWidget,
+    Refine,
+    RefineMode,
+    Suggestion,
+)
+from .view import View
+from .workspace import Workspace
+
+__all__ = [
+    "HISTORY",
+    "MODIFY",
+    "REFINE_COLLECTION",
+    "RELATED_ITEMS",
+    "Advisor",
+    "standard_advisors",
+    "Analyst",
+    "baseline_analysts",
+    "standard_analysts",
+    "Blackboard",
+    "NavigationEngine",
+    "NavigationResult",
+    "NavigationHistory",
+    "RefinementTrail",
+    "VisitLog",
+    "Action",
+    "GoToCollection",
+    "GoToItem",
+    "Invoke",
+    "NewQuery",
+    "OpenRangeWidget",
+    "Refine",
+    "RefineMode",
+    "Suggestion",
+    "View",
+    "Workspace",
+]

@@ -1,0 +1,118 @@
+"""Navigation advisors: the user-facing groupings of suggestions (§4.1).
+
+Each advisor "presents a particular type of navigation step".  The four
+the paper implements (applying Bates' single-step refinement tactics):
+
+* **Related Items** — sharing a property, similar by content, similar by
+  visit, contrary constraints;
+* **Refine Collection** — facet values, words in the body/title, range
+  widgets, keyword search within the collection;
+* **Modify** — related collections and constraint negation;
+* **History** — previously seen items and the refinement trail.
+
+"Since there are many possible navigation suggestions ... the navigation
+advisors are responsible for selecting the most relevant ones": an
+advisor keeps the top-weighted suggestions (respecting per-group caps so
+one property cannot monopolize the pane, with '...' overflow markers)
+and then presents them "sorted in an alphabetical order to enable users
+to search for a particular suggestion".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .blackboard import Blackboard
+from .suggestions import Suggestion
+
+__all__ = [
+    "RELATED_ITEMS",
+    "REFINE_COLLECTION",
+    "MODIFY",
+    "HISTORY",
+    "Advisor",
+    "standard_advisors",
+]
+
+RELATED_ITEMS = "related-items"
+REFINE_COLLECTION = "refine-collection"
+MODIFY = "modify"
+HISTORY = "history"
+
+
+class Advisor:
+    """Selects and orders one advisor's suggestions from the blackboard."""
+
+    def __init__(
+        self,
+        advisor_id: str,
+        title: str,
+        max_suggestions: int = 12,
+        max_per_group: int = 4,
+        alphabetical: bool = True,
+    ):
+        self.advisor_id = advisor_id
+        self.title = title
+        self.max_suggestions = max_suggestions
+        self.max_per_group = max_per_group
+        self.alphabetical = alphabetical
+
+    def select(self, blackboard: Blackboard) -> list[Suggestion]:
+        """The advisor's presented suggestions.
+
+        Selection is by descending weight with a per-group cap; the
+        survivors are re-sorted alphabetically (group first, then title)
+        for presentation, as §4.1 describes.
+        """
+        posted = blackboard.for_advisor(self.advisor_id)
+        ranked = sorted(posted, key=lambda s: (-s.weight, s.title))
+        chosen: list[Suggestion] = []
+        per_group: dict[str | None, int] = defaultdict(int)
+        for suggestion in ranked:
+            if len(chosen) >= self.max_suggestions:
+                break
+            group = suggestion.group
+            if group is not None and per_group[group] >= self.max_per_group:
+                continue
+            per_group[group] += 1
+            chosen.append(suggestion)
+        if self.alphabetical:
+            chosen.sort(key=lambda s: (s.group or "", s.title.lower()))
+        return chosen
+
+    def overflow_groups(self, blackboard: Blackboard) -> list[str]:
+        """Groups that had more suggestions than the per-group cap.
+
+        The interface shows '...' for these so users "wanting more
+        choices for a given refinement can ask ... for more options".
+        """
+        counts: dict[str, int] = defaultdict(int)
+        for suggestion in blackboard.for_advisor(self.advisor_id):
+            if suggestion.group is not None:
+                counts[suggestion.group] += 1
+        return sorted(g for g, n in counts.items() if n > self.max_per_group)
+
+    def all_in_group(self, blackboard: Blackboard, group: str) -> list[Suggestion]:
+        """Every suggestion of one group (the expanded '...' view)."""
+        matches = [
+            s
+            for s in blackboard.for_advisor(self.advisor_id)
+            if s.group == group
+        ]
+        matches.sort(key=lambda s: (-s.weight, s.title))
+        return matches
+
+    def __repr__(self) -> str:
+        return f"<Advisor {self.advisor_id!r} ({self.title!r})>"
+
+
+def standard_advisors() -> dict[str, Advisor]:
+    """The paper's four advisors with sensible presentation limits."""
+    return {
+        RELATED_ITEMS: Advisor(RELATED_ITEMS, "Related Items"),
+        REFINE_COLLECTION: Advisor(
+            REFINE_COLLECTION, "Refine Collection", max_suggestions=20
+        ),
+        MODIFY: Advisor(MODIFY, "Modify"),
+        HISTORY: Advisor(HISTORY, "History", alphabetical=False),
+    }

@@ -1,0 +1,74 @@
+"""Magnet's analysts: the algorithmic units feeding the blackboard."""
+
+from .base import Analyst
+from .collection_nav import RelatedCollectionsAnalyst
+from .contrary import ContraryAnalyst
+from .history import (
+    PreviousItemsAnalyst,
+    RefinementTrailAnalyst,
+    SimilarByVisitAnalyst,
+)
+from .keyword import KeywordSearchAnalyst, TextRefinementAnalyst
+from .property_share import SharingPropertyAnalyst
+from .range_ import RangeAnalyst
+from .refinement import RefinementAnalyst
+from .scatter import ScatterGatherAnalyst
+from .scoped import TypeScopedAnalyst
+from .similarity import SimilarToCollectionAnalyst, SimilarToItemAnalyst
+
+__all__ = [
+    "Analyst",
+    "RelatedCollectionsAnalyst",
+    "ContraryAnalyst",
+    "PreviousItemsAnalyst",
+    "RefinementTrailAnalyst",
+    "SimilarByVisitAnalyst",
+    "KeywordSearchAnalyst",
+    "TextRefinementAnalyst",
+    "SharingPropertyAnalyst",
+    "RangeAnalyst",
+    "RefinementAnalyst",
+    "ScatterGatherAnalyst",
+    "TypeScopedAnalyst",
+    "SimilarToCollectionAnalyst",
+    "SimilarToItemAnalyst",
+    "standard_analysts",
+    "baseline_analysts",
+]
+
+
+def standard_analysts() -> list[Analyst]:
+    """The complete system's analyst roster (§6.3's "complete system")."""
+    return [
+        RefinementAnalyst(),
+        TextRefinementAnalyst(),
+        KeywordSearchAnalyst(),
+        RangeAnalyst(),
+        SimilarToItemAnalyst(),
+        SimilarToCollectionAnalyst(),
+        SharingPropertyAnalyst(),
+        ContraryAnalyst(),
+        RelatedCollectionsAnalyst(),
+        PreviousItemsAnalyst(),
+        RefinementTrailAnalyst(),
+        SimilarByVisitAnalyst(),
+    ]
+
+
+def baseline_analysts() -> list[Analyst]:
+    """The user study's baseline: Flamenco-style refinements only (§6.3).
+
+    "We ... built a baseline system consisting of navigation advisors
+    suggesting refinements roughly the same as those in the Flamenco
+    system.  The baseline system also included terms from the text of
+    the documents and allowed users to negate the terms" — but no
+    similarity, no contrary advisor, no intelligent history.
+    """
+    return [
+        RefinementAnalyst(),
+        TextRefinementAnalyst(),
+        KeywordSearchAnalyst(),
+        RangeAnalyst(),
+        PreviousItemsAnalyst(),
+        RefinementTrailAnalyst(),
+    ]

@@ -1,0 +1,59 @@
+"""Related-collections analyst: navigate to the facet values themselves.
+
+§3.3: "since the navigation suggestions are created by the user
+interface inside one or more collections, users can navigate to these
+collections of suggestions ... and browse them to find refinements
+useful for the original query" — e.g. from a collection of recipes to
+the collection of their ingredients, refine *that*, and apply the result
+back with an any/all quantifier.
+"""
+
+from __future__ import annotations
+
+from ...rdf.terms import Literal, Resource
+from ..advisors import MODIFY
+from ..blackboard import Blackboard
+from ..suggestions import GoToCollection
+from ..view import View
+from .base import Analyst
+from .common import ANNOTATION_PROPERTIES
+
+__all__ = ["RelatedCollectionsAnalyst"]
+
+
+class RelatedCollectionsAnalyst(Analyst):
+    """Posts "browse the <property> values" hops for collection views."""
+
+    name = "related-collections"
+
+    def __init__(self, min_values: int = 2, max_values: int = 500):
+        self.min_values = min_values
+        self.max_values = max_values
+
+    def triggers_on(self, view: View) -> bool:
+        return view.is_collection and len(view.items) > 1
+
+    def analyze(self, view: View, blackboard: Blackboard) -> None:
+        workspace = view.workspace
+        by_property: dict[Resource, set] = {}
+        for item in view.items:
+            for prop, values in workspace.graph.properties_of(item).items():
+                if prop in ANNOTATION_PROPERTIES or workspace.schema.is_hidden(prop):
+                    continue
+                targets = by_property.setdefault(prop, set())
+                for value in values:
+                    if not isinstance(value, Literal):
+                        targets.add(value)
+        for prop, targets in sorted(by_property.items(), key=lambda kv: kv[0].uri):
+            if not (self.min_values <= len(targets) <= self.max_values):
+                continue
+            label = workspace.schema.label(prop)
+            members = sorted(targets, key=lambda n: n.n3())
+            self.post(
+                blackboard,
+                MODIFY,
+                f"Browse the {label} values ({len(members)})",
+                GoToCollection(members, f"values of {label}"),
+                weight=min(1.0, len(members) / len(view.items)),
+                group="Related Collections",
+            )

@@ -1,0 +1,124 @@
+"""Shared helpers for analysts: facet extraction and display names."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+from ...rdf.graph import Graph
+from ...rdf.schema import Schema, ValueType
+from ...rdf.terms import Literal, Node, Resource
+from ...rdf.vocab import MAGNET, RDFS
+from ...vsm.composition import compose_values
+
+__all__ = [
+    "ANNOTATION_PROPERTIES",
+    "facet_counts",
+    "composed_facet_counts",
+    "value_idf",
+    "is_facetable_value",
+    "path_label",
+]
+
+#: Properties that are schema plumbing, never navigation facets.
+ANNOTATION_PROPERTIES = frozenset(
+    {
+        MAGNET.valueType,
+        MAGNET.compose,
+        MAGNET.hidden,
+        MAGNET.importantProperty,
+        RDFS.label,
+    }
+)
+
+#: Literal values longer than this are "body text", not facet values.
+_MAX_FACET_LITERAL_TOKENS = 6
+_MAX_FACET_LITERAL_CHARS = 48
+
+
+def is_facetable_value(value: Node, declared_type: str | None) -> bool:
+    """True when a value can serve as an exact-match facet entry.
+
+    Resources always can.  Literals obey the declared value type first:
+    continuous types go to range widgets, ``text`` means prose (words-in
+    refinements cover it, not exact values), ``object`` forces
+    facetability.  Undeclared literals are sniffed: numeric/temporal are
+    excluded, and only short strings qualify.
+    """
+    if not isinstance(value, Literal):
+        return True
+    if declared_type in ValueType.CONTINUOUS or declared_type == ValueType.TEXT:
+        return False
+    if declared_type == ValueType.OBJECT:
+        return True
+    if value.is_numeric or value.is_temporal:
+        return False
+    if len(value.lexical) > _MAX_FACET_LITERAL_CHARS:
+        return False
+    return len(value.lexical.split()) <= _MAX_FACET_LITERAL_TOKENS
+
+
+def facet_counts(
+    graph: Graph, schema: Schema, items: Sequence[Node]
+) -> dict[Resource, Counter]:
+    """Per-property value counts over a collection.
+
+    Returns {property: Counter({value: item count})} for every facetable
+    (property, value) pair, skipping hidden and annotation properties.
+    Counts are item counts: a multi-valued item contributes once per
+    distinct value.
+    """
+    counts: dict[Resource, Counter] = {}
+    declared_cache: dict[Resource, str | None] = {}
+    hidden_cache: dict[Resource, bool] = {}
+    for item in items:
+        for prop, values in graph.properties_of(item).items():
+            if prop in ANNOTATION_PROPERTIES:
+                continue
+            hidden = hidden_cache.get(prop)
+            if hidden is None:
+                hidden = schema.is_hidden(prop)
+                hidden_cache[prop] = hidden
+            if hidden:
+                continue
+            declared = declared_cache.get(prop, "?")
+            if declared == "?":
+                declared = schema.value_type(prop)
+                declared_cache[prop] = declared
+            bucket = counts.setdefault(prop, Counter())
+            for value in values:
+                if is_facetable_value(value, declared):
+                    bucket[value] += 1
+    return {p: c for p, c in counts.items() if c}
+
+
+def composed_facet_counts(
+    graph: Graph, schema: Schema, items: Sequence[Node]
+) -> dict[tuple[Resource, ...], Counter]:
+    """Facet counts along each annotated attribute composition."""
+    counts: dict[tuple[Resource, ...], Counter] = {}
+    chains = schema.effective_compositions()
+    for chain in chains:
+        if any(schema.is_hidden(p) for p in chain):
+            continue
+        declared = schema.value_type(chain[-1])
+        bucket = counts.setdefault(chain, Counter())
+        for item in items:
+            for value in set(compose_values(graph, item, chain)):
+                if is_facetable_value(value, declared):
+                    bucket[value] += 1
+    return {c: b for c, b in counts.items() if b}
+
+
+def value_idf(graph: Graph, universe_size: int, prop: Resource, value: Node) -> float:
+    """Corpus idf of an exact (property, value) pair."""
+    df = sum(1 for _ in graph.subjects(prop, value))
+    if df <= 0 or universe_size <= 0 or df >= universe_size:
+        return 0.0
+    return math.log(universe_size / df)
+
+
+def path_label(schema: Schema, path: Iterable[Resource]) -> str:
+    """Display name of a property chain: "body → creator" style."""
+    return " → ".join(schema.label(p) for p in path)

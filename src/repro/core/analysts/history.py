@@ -1,0 +1,117 @@
+"""History analysts: Previous, Refinement trail, and Similar by Visit.
+
+§4.1's History advisor suggests "navigation to previously seen items":
+**Previous** (most recently seen) and **Refinement** (the refinement
+trail, supporting undo).  **Similar by Visit** — "an intelligent history
+that presents those suggestions that the user has followed often in the
+past from the current document" — feeds the Related Items advisor.
+"""
+
+from __future__ import annotations
+
+from ..advisors import HISTORY, RELATED_ITEMS
+from ..blackboard import Blackboard
+from ..history import NavigationHistory
+from ..suggestions import GoToItem, NewQuery
+from ..view import View
+from ..weights import follow_weight, recency_weight
+from .base import Analyst
+
+__all__ = ["PreviousItemsAnalyst", "RefinementTrailAnalyst", "SimilarByVisitAnalyst"]
+
+
+def _history(view: View) -> NavigationHistory | None:
+    history = view.history
+    return history if isinstance(history, NavigationHistory) else None
+
+
+class PreviousItemsAnalyst(Analyst):
+    """Suggests the most recently seen items."""
+
+    name = "history-previous"
+
+    def __init__(self, n: int = 5):
+        self.n = n
+
+    def triggers_on(self, view: View) -> bool:
+        history = _history(view)
+        return history is not None and len(history.visit_log) > 0
+
+    def analyze(self, view: View, blackboard: Blackboard) -> None:
+        history = _history(view)
+        assert history is not None
+        excluding = view.item if view.is_item else None
+        for position, item in enumerate(
+            history.visit_log.recent(self.n, excluding=excluding)
+        ):
+            self.post(
+                blackboard,
+                HISTORY,
+                f"Previous: {view.workspace.label(item)}",
+                GoToItem(item),
+                weight=recency_weight(position),
+                group="Previous",
+            )
+
+
+class RefinementTrailAnalyst(Analyst):
+    """Suggests undoing back to earlier queries in the refinement trail."""
+
+    name = "history-refinement"
+
+    def __init__(self, n: int = 5):
+        self.n = n
+
+    def triggers_on(self, view: View) -> bool:
+        history = _history(view)
+        return history is not None and len(history.refinement_trail) > 0
+
+    def analyze(self, view: View, blackboard: Blackboard) -> None:
+        history = _history(view)
+        assert history is not None
+        context = view.workspace.query_context
+        for position, (query, description) in enumerate(
+            history.refinement_trail.recent(self.n)
+        ):
+            if query is None:
+                continue
+            title = description or query.describe(context)
+            self.post(
+                blackboard,
+                HISTORY,
+                f"Back to: {title}",
+                NewQuery(query),
+                weight=recency_weight(position),
+                group="Refinement",
+            )
+
+
+class SimilarByVisitAnalyst(Analyst):
+    """Suggests items the user previously moved to from this item."""
+
+    name = "similar-by-visit"
+
+    def __init__(self, n: int = 5):
+        self.n = n
+
+    def triggers_on(self, view: View) -> bool:
+        if not view.is_item:
+            return False
+        history = _history(view)
+        return history is not None and bool(
+            history.visit_log.followed_from(view.item)
+        )
+
+    def analyze(self, view: View, blackboard: Blackboard) -> None:
+        history = _history(view)
+        assert history is not None
+        assert view.item is not None
+        for item, times in history.visit_log.followed_from(view.item)[: self.n]:
+            self.post(
+                blackboard,
+                RELATED_ITEMS,
+                f"Often visited next: {view.workspace.label(item)}",
+                GoToItem(item),
+                weight=follow_weight(times),
+                group="Similar by Visit",
+            )

@@ -1,0 +1,133 @@
+"""Text-refinement analysts: words in the body/title, and query-within.
+
+§3.2: the Refine Collections advisor "suggests refining the search by
+one of the metadata attribute axes, as well as by words in the body or
+in the title of the document"; §4.3: other analysts "provide support for
+keyword search within the collection (as shown under 'Query')".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ...query.ast import TextMatch
+from ...rdf.terms import Literal
+from ...vsm.tokenizer import tokenize
+from ..advisors import REFINE_COLLECTION
+from ..blackboard import Blackboard
+from ..suggestions import Invoke, Refine
+from ..view import View
+from ..weights import refinement_weight
+from .base import Analyst
+from .common import ANNOTATION_PROPERTIES
+
+__all__ = ["TextRefinementAnalyst", "KeywordSearchAnalyst"]
+
+
+class TextRefinementAnalyst(Analyst):
+    """Suggests discriminating words from the collection's text values.
+
+    This is §5.3's query-refinement technique applied per text property:
+    "picking terms in the average document having the largest normalized
+    term weights" — i.e. words common (but not too common) in the result
+    set, with corpus idf folded in.
+    """
+
+    name = "refine-by-text"
+
+    def __init__(self, max_words_per_property: int = 10, min_items: int = 2):
+        self.max_words_per_property = max_words_per_property
+        self.min_items = min_items
+
+    def triggers_on(self, view: View) -> bool:
+        return view.is_collection and len(view.items) >= self.min_items
+
+    def analyze(self, view: View, blackboard: Blackboard) -> None:
+        workspace = view.workspace
+        analyzer = workspace.text_index.analyzer
+        size = len(view.items)
+        # token document-frequency within the collection, per property;
+        # surface forms are remembered so the pane shows "parsley", not
+        # the stem "parslei" (TextMatch re-analyzes, so either works).
+        per_property: dict = {}
+        surfaces: dict = {}
+        for item in view.items:
+            for prop, values in workspace.graph.properties_of(item).items():
+                if prop in ANNOTATION_PROPERTIES or workspace.schema.is_hidden(prop):
+                    continue
+                tokens: set[str] = set()
+                for value in values:
+                    if not isinstance(value, Literal):
+                        continue
+                    if value.is_numeric or value.is_temporal:
+                        continue
+                    for raw in tokenize(value.lexical):
+                        if analyzer.stop_words and raw in analyzer.stop_words:
+                            continue
+                        stem = analyzer.stem_token(raw)
+                        tokens.add(stem)
+                        surfaces.setdefault((prop, stem), Counter())[raw] += 1
+                if tokens:
+                    bucket = per_property.setdefault(prop, Counter())
+                    for token in tokens:
+                        bucket[token] += 1
+        for prop, counts in sorted(per_property.items(), key=lambda kv: kv[0].uri):
+            corpus_df = workspace.text_index.token_frequencies(within=prop)
+            universe = len(workspace.text_index.indexed_items) or 1
+            group = f"words in {workspace.schema.label(prop)}"
+            scored = []
+            for token, count in counts.items():
+                if count >= size:
+                    continue  # in every item: not a refinement
+                df = corpus_df.get(token, count)
+                idf = _safe_idf(universe, df)
+                weight = refinement_weight(count, size, idf)
+                if weight > 0.0:
+                    scored.append((weight, token, count))
+            scored.sort(key=lambda entry: (-entry[0], entry[1]))
+            for weight, token, count in scored[: self.max_words_per_property]:
+                forms = surfaces.get((prop, token))
+                display = forms.most_common(1)[0][0] if forms else token
+                self.post(
+                    blackboard,
+                    REFINE_COLLECTION,
+                    f"“{display}” ({count})",
+                    Refine(TextMatch(display, within=prop)),
+                    weight=weight,
+                    group=group,
+                )
+
+
+def _safe_idf(universe: int, df: int) -> float:
+    import math
+
+    if df <= 0 or df >= universe:
+        return 0.0
+    return math.log(universe / df)
+
+
+class KeywordSearchAnalyst(Analyst):
+    """Posts the always-available "Query within this collection" entry.
+
+    Selecting it requires user input, so the action is the most general
+    kind §4.3 allows: an :class:`Invoke` whose callback the session wires
+    to its ``search_within`` operation.
+    """
+
+    name = "keyword-search-within"
+
+    def __init__(self, weight: float = 0.25):
+        self.weight = weight
+
+    def triggers_on(self, view: View) -> bool:
+        return view.is_collection and bool(view.items)
+
+    def analyze(self, view: View, blackboard: Blackboard) -> None:
+        self.post(
+            blackboard,
+            REFINE_COLLECTION,
+            "Query within this collection…",
+            Invoke(lambda: None, "prompt for keywords, then refine"),
+            weight=self.weight,
+            group=None,
+        )

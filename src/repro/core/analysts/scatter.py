@@ -1,0 +1,57 @@
+"""The Scatter/Gather analyst: topical sub-collections on demand (§2).
+
+For medium-to-large collection views, posts one "gather" suggestion per
+topical cluster found by spherical k-means over the item vectors —
+Scatter/Gather's pick-a-cluster-to-shrink loop, inside Magnet's advisor
+framework.
+"""
+
+from __future__ import annotations
+
+from ...vsm.cluster import cluster_collection
+from ..advisors import RELATED_ITEMS
+from ..blackboard import Blackboard
+from ..suggestions import GoToCollection
+from ..view import View
+from .base import Analyst
+
+__all__ = ["ScatterGatherAnalyst"]
+
+
+class ScatterGatherAnalyst(Analyst):
+    """Posts cluster sub-collections for sizeable collection views."""
+
+    name = "scatter-gather"
+
+    def __init__(self, k: int = 4, min_items: int = 8, max_items: int = 2000):
+        self.k = k
+        self.min_items = min_items
+        self.max_items = max_items
+
+    def triggers_on(self, view: View) -> bool:
+        return (
+            view.is_collection
+            and self.min_items <= len(view.items) <= self.max_items
+        )
+
+    def analyze(self, view: View, blackboard: Blackboard) -> None:
+        clusters = cluster_collection(
+            view.workspace.model, view.items, k=self.k
+        )
+        if len(clusters) < 2:
+            return  # no topical structure worth showing
+        for cluster in clusters:
+            share = len(cluster.items) / len(view.items)
+            self.post(
+                blackboard,
+                RELATED_ITEMS,
+                f"Cluster: {cluster.label()} ({len(cluster.items)})",
+                GoToCollection(
+                    cluster.items,
+                    f"cluster around {cluster.label()}",
+                ),
+                # mid-sized clusters are the interesting ones, like facet
+                # values that are common but not too common
+                weight=0.6 * share * (1.0 - share) * 4.0,
+                group="Clusters",
+            )

@@ -1,0 +1,75 @@
+"""Type-scoped analyst triggering (§4.3's extensibility mechanism).
+
+"Analysts are triggered by one of many mechanisms.  They can be
+triggered when a user navigates to items of a given type (for example
+collections or e-mails)" — and the advisor framework is "integrated in
+an easily extensible manner to allow schema experts to support new
+search activities".
+
+:class:`TypeScopedAnalyst` wraps any analyst so it only fires when the
+view concerns a given ``rdf:type``: an item view of that type, or a
+collection where at least ``min_fraction`` of the items carry it.  This
+is how a schema expert ships, say, an e-mail-specific analyst without
+touching the engine.
+"""
+
+from __future__ import annotations
+
+from ...rdf.terms import Resource
+from ...rdf.vocab import RDF
+from ..blackboard import Blackboard
+from ..view import View
+from .base import Analyst
+
+__all__ = ["TypeScopedAnalyst"]
+
+
+class TypeScopedAnalyst(Analyst):
+    """Runs an inner analyst only for views of one rdf:type."""
+
+    def __init__(
+        self,
+        rdf_type: Resource,
+        inner: Analyst,
+        min_fraction: float = 0.5,
+    ):
+        if not 0.0 < min_fraction <= 1.0:
+            raise ValueError("min_fraction must be in (0, 1]")
+        self.rdf_type = rdf_type
+        self.inner = inner
+        self.min_fraction = min_fraction
+        self.name = f"{inner.name}@{rdf_type.local_name}"
+
+    def triggers_on(self, view: View) -> bool:
+        if not self._view_in_scope(view):
+            return False
+        return self.inner.triggers_on(view)
+
+    def analyze(self, view: View, blackboard: Blackboard) -> None:
+        self.inner.analyze(view, blackboard)
+
+    def is_reactive(self) -> bool:
+        return self.inner.is_reactive()
+
+    def on_posted(self, view, blackboard, suggestion) -> None:
+        if self._view_in_scope(view):
+            self.inner.on_posted(view, blackboard, suggestion)
+
+    def _view_in_scope(self, view: View) -> bool:
+        graph = view.workspace.graph
+        if view.is_item:
+            return (view.item, RDF.type, self.rdf_type) in graph
+        if not view.items:
+            return False
+        matching = sum(
+            1
+            for item in view.items
+            if (item, RDF.type, self.rdf_type) in graph
+        )
+        return matching / len(view.items) >= self.min_fraction
+
+    def __repr__(self) -> str:
+        return (
+            f"<TypeScopedAnalyst {self.rdf_type.local_name!r} "
+            f"wrapping {self.inner!r}>"
+        )

@@ -1,0 +1,86 @@
+"""The blackboard: shared workspace between analysts and advisors (§4.3).
+
+"Navigation recommendations are posted by analysts on a shared
+blackboard that is published on the interface by navigation Advisors."
+Analysts write; advisors read.  Analysts "can be triggered by results
+from other analysts", so the blackboard also dispatches post events to
+registered listeners (each posted suggestion is delivered to listeners
+exactly once, including suggestions a listener itself posts — guarded
+against runaway recursion by a dispatch budget).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .suggestions import Suggestion
+
+__all__ = ["Blackboard"]
+
+#: A listener receives a freshly posted suggestion and may post more.
+PostListener = Callable[["Blackboard", Suggestion], None]
+
+_MAX_DISPATCHES = 10_000
+
+
+class Blackboard:
+    """Collects suggestions for one navigation step."""
+
+    def __init__(self):
+        self._entries: list[Suggestion] = []
+        self._listeners: list[PostListener] = []
+        self._pending: list[Suggestion] = []
+        self._dispatching = False
+        self._dispatch_count = 0
+
+    def add_listener(self, listener: PostListener) -> None:
+        """Register a callback fired for each posted suggestion."""
+        self._listeners.append(listener)
+
+    def post(self, suggestion: Suggestion) -> None:
+        """Post one suggestion and notify listeners."""
+        self._entries.append(suggestion)
+        self._pending.append(suggestion)
+        self._drain()
+
+    def post_all(self, suggestions: Iterable[Suggestion]) -> None:
+        """Post several suggestions."""
+        for suggestion in suggestions:
+            self.post(suggestion)
+
+    def _drain(self) -> None:
+        if self._dispatching:
+            return
+        self._dispatching = True
+        try:
+            while self._pending:
+                suggestion = self._pending.pop(0)
+                for listener in self._listeners:
+                    self._dispatch_count += 1
+                    if self._dispatch_count > _MAX_DISPATCHES:
+                        raise RuntimeError(
+                            "blackboard dispatch budget exceeded; "
+                            "an analyst is likely posting in a loop"
+                        )
+                    listener(self, suggestion)
+        finally:
+            self._dispatching = False
+
+    @property
+    def entries(self) -> list[Suggestion]:
+        """All posted suggestions, in posting order (copied)."""
+        return list(self._entries)
+
+    def for_advisor(self, advisor: str) -> list[Suggestion]:
+        """Suggestions addressed to one advisor."""
+        return [s for s in self._entries if s.advisor == advisor]
+
+    def advisors(self) -> list[str]:
+        """Advisor ids that received at least one suggestion (sorted)."""
+        return sorted({s.advisor for s in self._entries})
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<Blackboard entries={len(self._entries)}>"

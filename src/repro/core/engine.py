@@ -1,0 +1,116 @@
+"""The navigation engine: triggering analysts, presenting advisors (§4).
+
+``NavigationEngine.suggest`` runs one blackboard cycle for a view:
+
+1. a fresh :class:`Blackboard` is created;
+2. reactive analysts register as post listeners (the "triggered by
+   results from other analysts" mechanism);
+3. every analyst whose :meth:`triggers_on` accepts the view runs;
+4. each advisor selects and orders its suggestions.
+
+The result — advisor id → presented suggestions — is what the
+navigation pane renders.
+"""
+
+from __future__ import annotations
+
+from .advisors import Advisor, standard_advisors
+from .analysts import Analyst, standard_analysts
+from .blackboard import Blackboard
+from .suggestions import Suggestion
+from .view import View
+
+__all__ = ["NavigationEngine", "NavigationResult"]
+
+
+class NavigationResult:
+    """The outcome of one suggestion cycle."""
+
+    def __init__(
+        self,
+        view: View,
+        blackboard: Blackboard,
+        presented: dict[str, list[Suggestion]],
+        overflow: dict[str, list[str]],
+    ):
+        self.view = view
+        self.blackboard = blackboard
+        #: advisor id → ordered suggestions to display
+        self.presented = presented
+        #: advisor id → groups truncated by the per-group cap ('...')
+        self.overflow = overflow
+
+    def suggestions(self, advisor_id: str) -> list[Suggestion]:
+        """The presented suggestions of one advisor ([] when silent)."""
+        return self.presented.get(advisor_id, [])
+
+    def all_suggestions(self) -> list[Suggestion]:
+        """Every presented suggestion across advisors."""
+        return [s for batch in self.presented.values() for s in batch]
+
+    def find(self, fragment: str) -> list[Suggestion]:
+        """Presented suggestions whose title contains a fragment."""
+        needle = fragment.lower()
+        return [s for s in self.all_suggestions() if needle in s.title.lower()]
+
+    def groups(self, advisor_id: str) -> list[str]:
+        """Distinct display groups of one advisor, in presented order."""
+        seen: list[str] = []
+        for suggestion in self.suggestions(advisor_id):
+            if suggestion.group and suggestion.group not in seen:
+                seen.append(suggestion.group)
+        return seen
+
+    def __repr__(self) -> str:
+        total = sum(len(v) for v in self.presented.values())
+        return f"<NavigationResult {total} suggestions over {len(self.presented)} advisors>"
+
+
+class NavigationEngine:
+    """Coordinates analysts and advisors for suggestion cycles."""
+
+    def __init__(
+        self,
+        analysts: list[Analyst] | None = None,
+        advisors: dict[str, Advisor] | None = None,
+    ):
+        self.analysts = analysts if analysts is not None else standard_analysts()
+        self.advisors = advisors if advisors is not None else standard_advisors()
+
+    def add_analyst(self, analyst: Analyst) -> None:
+        """Register an additional analyst — the §4.1 extension hook."""
+        self.analysts.append(analyst)
+
+    def add_advisor(self, advisor: Advisor) -> None:
+        """Register an additional advisor."""
+        self.advisors[advisor.advisor_id] = advisor
+
+    def suggest(self, view: View) -> NavigationResult:
+        """Run one full blackboard cycle for a view."""
+        blackboard = Blackboard()
+        for analyst in self.analysts:
+            if analyst.is_reactive():
+                blackboard.add_listener(
+                    lambda board, suggestion, analyst=analyst: analyst.on_posted(
+                        view, board, suggestion
+                    )
+                )
+        for analyst in self.analysts:
+            if not analyst.is_reactive() and analyst.triggers_on(view):
+                analyst.analyze(view, blackboard)
+        presented: dict[str, list[Suggestion]] = {}
+        overflow: dict[str, list[str]] = {}
+        for advisor_id, advisor in self.advisors.items():
+            chosen = advisor.select(blackboard)
+            if chosen:
+                presented[advisor_id] = chosen
+            truncated = advisor.overflow_groups(blackboard)
+            if truncated:
+                overflow[advisor_id] = truncated
+        return NavigationResult(view, blackboard, presented, overflow)
+
+    def __repr__(self) -> str:
+        return (
+            f"<NavigationEngine analysts={len(self.analysts)} "
+            f"advisors={len(self.advisors)}>"
+        )

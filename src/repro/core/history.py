@@ -1,0 +1,110 @@
+"""Navigation history: visit log and refinement trail (§4.1's History).
+
+Two distinct memories back the History advisor:
+
+* the **visit log** records every navigation step; "Previous" suggests
+  the most recently seen items, and "Similar by Visit" is the
+  "intelligent history" — items "visited the last time the user left the
+  currently viewed item", weighted by how often the user followed that
+  hop in the past;
+* the **refinement trail** records the query at each collection view so
+  the Refinement History advisor "allows the user to undo previous
+  refinements".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..query.ast import Predicate
+from ..rdf.terms import Node
+
+__all__ = ["VisitLog", "RefinementTrail", "NavigationHistory"]
+
+
+class VisitLog:
+    """Ordered log of visited items with transition statistics."""
+
+    def __init__(self):
+        self._visits: list[Node] = []
+        self._transitions: dict[Node, Counter] = {}
+
+    def visit(self, item: Node) -> None:
+        """Record arriving at an item."""
+        if self._visits:
+            previous = self._visits[-1]
+            if previous != item:
+                self._transitions.setdefault(previous, Counter())[item] += 1
+        self._visits.append(item)
+
+    @property
+    def visits(self) -> list[Node]:
+        """Full visit sequence (copied)."""
+        return list(self._visits)
+
+    def recent(self, n: int = 5, excluding: Node | None = None) -> list[Node]:
+        """The last ``n`` distinct items, most recent first."""
+        seen: list[Node] = []
+        for item in reversed(self._visits):
+            if item == excluding or item in seen:
+                continue
+            seen.append(item)
+            if len(seen) >= n:
+                break
+        return seen
+
+    def followed_from(self, item: Node) -> list[tuple[Node, int]]:
+        """Items the user moved to after ``item``, most-followed first.
+
+        Backs the "Similar by Visit" analyst: suggestions "that the user
+        has followed often in the past from the current document".
+        """
+        transitions = self._transitions.get(item)
+        if not transitions:
+            return []
+        return sorted(transitions.items(), key=lambda kv: (-kv[1], kv[0].n3()))
+
+    def __len__(self) -> int:
+        return len(self._visits)
+
+
+class RefinementTrail:
+    """The stack of queries behind the current collection."""
+
+    def __init__(self):
+        self._steps: list[tuple[Predicate | None, str]] = []
+
+    def push(self, query: Predicate | None, description: str) -> None:
+        """Record a refinement step."""
+        self._steps.append((query, description))
+
+    def pop(self) -> tuple[Predicate | None, str] | None:
+        """Undo the most recent step; None when empty."""
+        if not self._steps:
+            return None
+        return self._steps.pop()
+
+    @property
+    def steps(self) -> list[tuple[Predicate | None, str]]:
+        return list(self._steps)
+
+    def recent(self, n: int = 5) -> list[tuple[Predicate | None, str]]:
+        """The last ``n`` steps, most recent first."""
+        return list(reversed(self._steps[-n:]))
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+
+class NavigationHistory:
+    """The visit log and refinement trail bundled for a session."""
+
+    def __init__(self):
+        self.visit_log = VisitLog()
+        self.refinement_trail = RefinementTrail()
+
+    def __repr__(self) -> str:
+        return (
+            f"<NavigationHistory visits={len(self.visit_log)} "
+            f"refinements={len(self.refinement_trail)}>"
+        )

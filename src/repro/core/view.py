@@ -1,0 +1,99 @@
+"""The currently viewed thing: an item or a collection with its query.
+
+Analysts "are triggered by the framework based on the currently viewed
+(document, collection of documents / result set, query, etc.)" (§4.3).
+A :class:`View` captures that state plus handles to the workspace and
+the navigation history, so analysts have one uniform argument.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..query.ast import And, Predicate
+from ..rdf.terms import Node
+from .workspace import Workspace
+
+__all__ = ["View"]
+
+
+class View:
+    """An immutable snapshot of what the user is looking at."""
+
+    KIND_ITEM = "item"
+    KIND_COLLECTION = "collection"
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        kind: str,
+        item: Node | None = None,
+        items: Sequence[Node] | None = None,
+        query: Predicate | None = None,
+        history: "object | None" = None,
+        description: str | None = None,
+    ):
+        if kind not in (self.KIND_ITEM, self.KIND_COLLECTION):
+            raise ValueError(f"unknown view kind {kind!r}")
+        if kind == self.KIND_ITEM and item is None:
+            raise ValueError("an item view needs an item")
+        if kind == self.KIND_COLLECTION and items is None:
+            raise ValueError("a collection view needs items")
+        self.workspace = workspace
+        self.kind = kind
+        self.item = item
+        self.items: list[Node] = list(items) if items is not None else []
+        self.query = query
+        self.history = history
+        self.description = description
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def of_item(
+        cls, workspace: Workspace, item: Node, history=None
+    ) -> "View":
+        """A view focused on a single item."""
+        return cls(workspace, cls.KIND_ITEM, item=item, history=history)
+
+    @classmethod
+    def of_collection(
+        cls,
+        workspace: Workspace,
+        items: Sequence[Node],
+        query: Predicate | None = None,
+        history=None,
+        description: str | None = None,
+    ) -> "View":
+        """A view of a result set, optionally with the query behind it."""
+        return cls(
+            workspace,
+            cls.KIND_COLLECTION,
+            items=items,
+            query=query,
+            history=history,
+            description=description,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def is_item(self) -> bool:
+        return self.kind == self.KIND_ITEM
+
+    @property
+    def is_collection(self) -> bool:
+        return self.kind == self.KIND_COLLECTION
+
+    def constraints(self) -> list[Predicate]:
+        """The query's top-level conjuncts (the constraint chips, §3.2)."""
+        if self.query is None:
+            return []
+        if isinstance(self.query, And):
+            return list(self.query.parts)
+        return [self.query]
+
+    def __repr__(self) -> str:
+        if self.is_item:
+            return f"<View item {self.item!r}>"
+        return f"<View collection of {len(self.items)} (query={self.query!r})>"

@@ -1,0 +1,77 @@
+"""Shared weighting conventions for analysts (§4.1).
+
+"Analysts providing suggestions to a shared advisor therefore need to
+have a common approach to giving weights to suggestions."  The helpers
+here implement that convention:
+
+* refinement suggestions use the **query-refinement weight** of §5.3 —
+  the value's normalized term weight in the collection's average
+  document, which by construction favors values "common (but not too
+  common) in the current result set";
+* similarity suggestions use the retrieval **dot-product score**;
+* history suggestions use recency / follow-count transforms that map
+  into the same [0, 1]-ish scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "refinement_weight",
+    "similarity_weight",
+    "recency_weight",
+    "follow_weight",
+    "share_weight",
+]
+
+
+def refinement_weight(
+    count_in_collection: int, collection_size: int, idf: float
+) -> float:
+    """Weight for a facet-value refinement.
+
+    Combines within-collection support (log-damped coverage) with the
+    corpus idf, matching the "common but not too common" heuristic of
+    Vélez et al. that §5.3 adapts.  Zero when the value covers nothing
+    or everything (a value in every item cannot refine).
+    """
+    if collection_size <= 0:
+        return 0.0
+    if count_in_collection <= 0 or count_in_collection >= collection_size:
+        return 0.0
+    coverage = count_in_collection / collection_size
+    return math.log(1.0 + count_in_collection) * coverage * (1.0 - coverage) * (
+        1.0 + idf
+    )
+
+
+def similarity_weight(score: float) -> float:
+    """Weight for a similar-item suggestion: the retrieval score itself."""
+    return max(0.0, score)
+
+
+def recency_weight(position: int) -> float:
+    """Weight for the i-th most recent history entry (0 = newest)."""
+    if position < 0:
+        return 0.0
+    return 1.0 / (1.0 + position)
+
+
+def follow_weight(times_followed: int) -> float:
+    """Weight for a Similar-by-Visit hop followed ``n`` times before."""
+    if times_followed <= 0:
+        return 0.0
+    return 1.0 - 1.0 / (1.0 + math.log(1.0 + times_followed))
+
+
+def share_weight(n_sharing: int, idf: float) -> float:
+    """Weight for a "sharing a property" hop from an item.
+
+    A shared value is interesting when it is corpus-rare (high idf) and
+    the set of fellow items is small enough to browse; the log damping
+    keeps huge shared sets from vanishing entirely.
+    """
+    if n_sharing <= 0:
+        return 0.0
+    return (1.0 + idf) / (1.0 + math.log(1.0 + n_sharing))

@@ -1,0 +1,104 @@
+"""Workspace: one repository wired to every Magnet substrate.
+
+A :class:`Workspace` bundles the graph with its schema view, the
+semistructured vector space model, the vector store, the full-text
+index, and the query engine — everything analysts consult.  It is the
+integration point the Haystack environment provided in the original
+system.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..index.store import VectorStore
+from ..index.textindex import TextIndex
+from ..query.ast import QueryContext
+from ..query.engine import QueryEngine
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rdf.terms import Node
+from ..rdf.vocab import RDF
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A graph plus the derived indexes Magnet navigates with."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        schema: Schema | None = None,
+        items: Iterable[Node] | None = None,
+        use_compositions: bool = True,
+    ):
+        from ..vsm.model import VectorSpaceModel
+
+        self.graph = graph
+        self.schema = schema if schema is not None else Schema(graph)
+        if items is None:
+            item_list = sorted(
+                {s for s, _p, _o in graph.triples(None, RDF.type, None)},
+                key=lambda n: n.n3(),
+            )
+        else:
+            item_list = list(items)
+        self.items: list[Node] = item_list
+        self.model = VectorSpaceModel(
+            graph, schema=self.schema, use_compositions=use_compositions
+        )
+        self.model.index_items(self.items)
+        self.vector_store = VectorStore(self.model)
+        self.text_index = TextIndex(graph)
+        self.text_index.index_items(self.items)
+        self.query_context = QueryContext(
+            graph,
+            schema=self.schema,
+            text_index=self.text_index,
+            universe=set(self.items),
+        )
+        self.query_engine = QueryEngine(self.query_context)
+
+    def add_item(self, item: Node) -> None:
+        """Index a newly arrived item across every substrate (§5.2)."""
+        if item not in self.model:
+            self.items.append(item)
+        self.model.add_item(item)
+        self.text_index.index_item(item)
+        self.query_context.universe.add(item)
+
+    def label(self, node: Node) -> str:
+        """Display name via schema annotations."""
+        return self.schema.label(node)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the repository to ``path`` as N-Triples.
+
+        Schema annotations are ordinary triples, so labels, value types,
+        compositions, and hidden-property marks all travel with the
+        data; the derived indexes are rebuilt on load.
+        """
+        from ..rdf.ntriples import serialize_ntriples
+
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(serialize_ntriples(self.graph.triples()))
+
+    @classmethod
+    def load(cls, path, items: Iterable[Node] | None = None) -> "Workspace":
+        """Rebuild a workspace from a saved N-Triples file."""
+        from ..rdf.ntriples import parse_ntriples
+
+        with open(path, encoding="utf-8") as handle:
+            graph = parse_ntriples(handle.read())
+        return cls(graph, items=items)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Workspace items={len(self.items)} "
+            f"triples={len(self.graph)}>"
+        )

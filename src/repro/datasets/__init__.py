@@ -1,0 +1,26 @@
+"""Synthetic stand-ins for every corpus the paper evaluates on (§6).
+
+| module     | paper corpus                               |
+|------------|--------------------------------------------|
+| `recipes`  | Epicurious.com (6,444 recipes, 244 ingredients) |
+| `states`   | 50states.com CSV                           |
+| `factbook` | CIA World Factbook RDF                     |
+| `inbox`    | the system's own Inbox (e-mails + news)    |
+| `ocw`      | MIT OpenCourseWare RDF conversion          |
+| `artstor`  | ArtSTOR RDF conversion                     |
+| `inex`     | INEX XML topics (CO + CAS)                 |
+"""
+
+from . import artstor, factbook, inbox, inex, ocw, recipes, states
+from .base import Corpus
+
+__all__ = [
+    "Corpus",
+    "artstor",
+    "factbook",
+    "inbox",
+    "inex",
+    "ocw",
+    "recipes",
+    "states",
+]

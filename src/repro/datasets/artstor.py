@@ -1,0 +1,115 @@
+"""An ArtSTOR-style image-metadata dataset (§6.1).
+
+ArtSTOR distributes electronic digital images with curated metadata; the
+paper's RDF conversion carried labels and value types, so Magnet could
+"present easy to understand navigation suggestions" — with the same
+caveat as OCW about algorithmically significant but unreadable
+attributes (here an opaque ``imageId``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.schema import Schema, ValueType
+from ..rdf.terms import Literal, Resource
+from ..rdf.vocab import RDF
+from .base import Corpus
+
+__all__ = ["build_corpus", "ARTISTS", "MEDIA", "PERIODS"]
+
+NS = Namespace("http://repro.example/artstor/")
+
+ARTISTS = [
+    "Mary Cassatt", "Katsushika Hokusai", "Diego Rivera",
+    "Artemisia Gentileschi", "Albrecht Durer", "Sofonisba Anguissola",
+    "Utagawa Hiroshige", "Jacob Lawrence", "Berthe Morisot",
+    "El Greco",
+]
+
+MEDIA = [
+    "oil on canvas", "woodblock print", "fresco", "tempera on panel",
+    "engraving", "watercolor", "bronze", "marble",
+]
+
+PERIODS = [
+    "Renaissance", "Baroque", "Edo", "Impressionism", "Modern",
+    "Ukiyo-e", "Harlem Renaissance",
+]
+
+_COLLECTIONS = [
+    "University Slide Library", "Museum Purchase", "Carnegie Survey",
+    "Mellon Bequest",
+]
+
+_SUBJECTS = [
+    "portrait", "landscape", "still life", "mythology", "city view",
+    "interior", "garden", "harbor", "market", "bridge",
+]
+
+
+def build_corpus(
+    n_works: int = 150, seed: int = 17, hide_internal: bool = False
+) -> Corpus:
+    """Generate the artwork graph (annotated like the paper's source)."""
+    rng = random.Random(seed)
+    graph = Graph()
+    schema = Schema(graph)
+
+    work_type = NS["type/Artwork"]
+    p_artist = NS["property/artist"]
+    p_medium = NS["property/medium"]
+    p_period = NS["property/period"]
+    p_collection = NS["property/collection"]
+    p_year = NS["property/yearCreated"]
+    p_title = NS["property/title"]
+    p_subject = NS["property/subject"]
+    p_image = NS["property/imageId"]
+
+    schema.set_label(work_type, "Artwork")
+    for prop, label in [
+        (p_artist, "artist"), (p_medium, "medium"), (p_period, "period"),
+        (p_collection, "collection"), (p_year, "year created"),
+        (p_title, "title"), (p_subject, "subject"),
+    ]:
+        schema.set_label(prop, label)
+    schema.set_value_type(p_title, ValueType.TEXT)
+    schema.set_value_type(p_year, ValueType.INTEGER)
+    if hide_internal:
+        schema.hide_property(p_image)
+
+    items: list[Resource] = []
+    for index in range(1, n_works + 1):
+        work = NS[f"work/w{index:04d}"]
+        graph.add(work, RDF.type, work_type)
+        artist = rng.choice(ARTISTS)
+        subject = rng.choice(_SUBJECTS)
+        title = f"{subject.title()} No. {index}"
+        graph.add(work, p_artist, Literal(artist))
+        graph.add(work, p_medium, Literal(rng.choice(MEDIA)))
+        graph.add(work, p_period, Literal(rng.choice(PERIODS)))
+        graph.add(work, p_collection, Literal(rng.choice(_COLLECTIONS)))
+        graph.add(work, p_year, Literal(rng.randint(1500, 1950)))
+        graph.add(work, p_title, Literal(title))
+        graph.add(work, p_subject, Literal(subject))
+        graph.add(work, p_image, Literal(f"ARTSTOR_103_{rng.randrange(10**8):08d}"))
+        schema.set_label(work, title)
+        items.append(work)
+
+    extras = {
+        "properties": {
+            "artist": p_artist,
+            "medium": p_medium,
+            "period": p_period,
+            "collection": p_collection,
+            "yearCreated": p_year,
+            "title": p_title,
+            "subject": p_subject,
+            "imageId": p_image,
+        },
+        "work_type": work_type,
+        "hide_internal": hide_internal,
+    }
+    return Corpus("artstor", graph, NS, items, extras)

@@ -1,0 +1,44 @@
+"""Shared dataset plumbing: the Corpus container and helpers."""
+
+from __future__ import annotations
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.schema import Schema
+from ..rdf.terms import Node, Resource
+
+__all__ = ["Corpus"]
+
+
+class Corpus:
+    """A generated dataset: graph, schema view, namespace, and items.
+
+    ``extras`` carries dataset-specific handles (facet-value resources,
+    ground-truth relevance for INEX topics, the walnut recipe of the
+    user study, ...) so benchmarks and tests need no URI spelunking.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        graph: Graph,
+        ns: Namespace,
+        items: list[Node],
+        extras: dict | None = None,
+    ):
+        self.name = name
+        self.graph = graph
+        self.ns = ns
+        self.items = items
+        self.schema = Schema(graph)
+        self.extras = extras if extras is not None else {}
+
+    def property(self, local_name: str) -> Resource:
+        """A dataset property by local name (under the corpus namespace)."""
+        return self.ns[local_name]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Corpus {self.name!r}: {len(self.items)} items, "
+            f"{len(self.graph)} triples>"
+        )

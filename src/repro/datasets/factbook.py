@@ -1,0 +1,135 @@
+"""A CIA-World-Factbook-style country dataset (§6.1).
+
+The paper used an RDF conversion of the Factbook and observed that
+"the navigation system did recommend navigating to countries that have
+the same independence day or currencies", with results improving once
+label and value-type annotations were added.  This synthetic equivalent
+encodes exactly those shareable attributes: currencies used by several
+countries (euro, CFA franc, US dollar), shared independence days, and
+numeric population/area for range controls.
+"""
+
+from __future__ import annotations
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.schema import Schema, ValueType
+from ..rdf.terms import Literal, Resource
+from ..rdf.vocab import RDF
+from .base import Corpus
+
+__all__ = ["COUNTRY_ROWS", "build_corpus"]
+
+NS = Namespace("http://repro.example/factbook/")
+
+# (country, continent, currency, independence day, population M, area k km2)
+COUNTRY_ROWS: list[tuple[str, str, str, str, float, int]] = [
+    ("France", "Europe", "euro", "July 14", 68.0, 644),
+    ("Germany", "Europe", "euro", "October 3", 84.0, 358),
+    ("Italy", "Europe", "euro", "June 2", 59.0, 301),
+    ("Spain", "Europe", "euro", "October 12", 48.0, 506),
+    ("Portugal", "Europe", "euro", "December 1", 10.3, 92),
+    ("Greece", "Europe", "euro", "March 25", 10.4, 132),
+    ("Austria", "Europe", "euro", "October 26", 9.1, 84),
+    ("Ireland", "Europe", "euro", "December 6", 5.1, 70),
+    ("Netherlands", "Europe", "euro", "July 26", 17.8, 42),
+    ("Belgium", "Europe", "euro", "July 21", 11.7, 31),
+    ("United States", "North America", "US dollar", "July 4", 335.0, 9834),
+    ("Ecuador", "South America", "US dollar", "May 24", 18.0, 284),
+    ("El Salvador", "North America", "US dollar", "September 15", 6.3, 21),
+    ("Panama", "North America", "US dollar", "November 3", 4.4, 75),
+    ("Guatemala", "North America", "quetzal", "September 15", 17.6, 109),
+    ("Honduras", "North America", "lempira", "September 15", 10.6, 112),
+    ("Nicaragua", "North America", "cordoba", "September 15", 7.0, 130),
+    ("Costa Rica", "North America", "colon", "September 15", 5.2, 51),
+    ("Senegal", "Africa", "CFA franc", "April 4", 17.3, 197),
+    ("Mali", "Africa", "CFA franc", "September 22", 21.9, 1240),
+    ("Niger", "Africa", "CFA franc", "August 3", 25.4, 1267),
+    ("Benin", "Africa", "CFA franc", "August 1", 13.4, 115),
+    ("Togo", "Africa", "CFA franc", "April 27", 8.7, 57),
+    ("Burkina Faso", "Africa", "CFA franc", "August 5", 22.7, 274),
+    ("Ivory Coast", "Africa", "CFA franc", "August 7", 28.2, 322),
+    ("Cameroon", "Africa", "CFA franc", "January 1", 28.6, 475),
+    ("Chad", "Africa", "CFA franc", "August 11", 17.7, 1284),
+    ("Gabon", "Africa", "CFA franc", "August 17", 2.4, 268),
+    ("United Kingdom", "Europe", "pound sterling", "none", 67.8, 244),
+    ("Japan", "Asia", "yen", "February 11", 124.5, 378),
+    ("China", "Asia", "renminbi", "October 1", 1412.0, 9597),
+    ("India", "Asia", "rupee", "August 15", 1417.0, 3287),
+    ("Pakistan", "Asia", "Pakistani rupee", "August 14", 240.5, 796),
+    ("Brazil", "South America", "real", "September 7", 216.4, 8516),
+    ("Argentina", "South America", "peso", "July 9", 46.2, 2780),
+    ("Chile", "South America", "Chilean peso", "September 18", 19.6, 757),
+    ("Mexico", "North America", "Mexican peso", "September 16", 128.5, 1964),
+    ("Canada", "North America", "Canadian dollar", "July 1", 38.9, 9985),
+    ("Australia", "Oceania", "Australian dollar", "January 26", 26.5, 7741),
+    ("New Zealand", "Oceania", "New Zealand dollar", "February 6", 5.2, 268),
+    ("Egypt", "Africa", "Egyptian pound", "July 23", 109.3, 1002),
+    ("Kenya", "Africa", "shilling", "December 12", 55.1, 580),
+    ("Nigeria", "Africa", "naira", "October 1", 223.8, 924),
+    ("South Africa", "Africa", "rand", "April 27", 60.4, 1219),
+    ("Turkey", "Asia", "lira", "October 29", 85.3, 784),
+    ("South Korea", "Asia", "won", "August 15", 51.7, 100),
+    ("Indonesia", "Asia", "rupiah", "August 17", 277.5, 1905),
+    ("Vietnam", "Asia", "dong", "September 2", 98.9, 331),
+    ("Thailand", "Asia", "baht", "none", 71.8, 513),
+    ("Russia", "Europe", "ruble", "June 12", 144.4, 17098),
+]
+
+
+def build_corpus(annotated: bool = True) -> Corpus:
+    """Build the country graph.
+
+    ``annotated`` adds labels and value-type annotations — the step §6.1
+    reports improved the Factbook results.
+    """
+    graph = Graph()
+    schema = Schema(graph)
+    country_type = NS["type/Country"]
+    p_continent = NS["property/continent"]
+    p_currency = NS["property/currency"]
+    p_independence = NS["property/independenceDay"]
+    p_population = NS["property/populationMillions"]
+    p_area = NS["property/areaThousandKm2"]
+    p_name = NS["property/name"]
+
+    if annotated:
+        schema.set_label(country_type, "Country")
+        for prop, label in [
+            (p_continent, "continent"), (p_currency, "currency"),
+            (p_independence, "independence day"),
+            (p_population, "population (millions)"),
+            (p_area, "area (thousand km²)"), (p_name, "name"),
+        ]:
+            schema.set_label(prop, label)
+        schema.set_value_type(p_population, ValueType.FLOAT)
+        schema.set_value_type(p_area, ValueType.INTEGER)
+
+    items: list[Resource] = []
+    for name, continent, currency, independence, population, area in COUNTRY_ROWS:
+        country = NS[f"country/{name.lower().replace(' ', '-')}"]
+        graph.add(country, RDF.type, country_type)
+        graph.add(country, p_name, Literal(name))
+        if annotated:
+            schema.set_label(country, name)
+        graph.add(country, p_continent, Literal(continent))
+        graph.add(country, p_currency, Literal(currency))
+        if independence != "none":
+            graph.add(country, p_independence, Literal(independence))
+        graph.add(country, p_population, Literal(population))
+        graph.add(country, p_area, Literal(area))
+        items.append(country)
+
+    extras = {
+        "properties": {
+            "continent": p_continent,
+            "currency": p_currency,
+            "independenceDay": p_independence,
+            "population": p_population,
+            "area": p_area,
+            "name": p_name,
+        },
+        "country_type": country_type,
+        "annotated": annotated,
+    }
+    return Corpus("factbook", graph, NS, items, extras)

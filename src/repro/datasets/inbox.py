@@ -1,0 +1,202 @@
+"""The system-generated Inbox dataset (§6.1, Figures 5 & 6).
+
+"We used the system on a collection of e-mails in the system's Inbox.
+Magnet suggested refining by the document type since the inbox contains
+messages as well as news items from subscription services.  The system
+also used the annotation that body is an important property to compose
+with a second level of attributes and suggested refining by the type,
+content, creator and date on the body.  Additionally, the system
+provided a range control to refine by the sent dates of items."
+
+The generator therefore produces:
+
+* items of two types — ``Message`` and ``NewsItem``;
+* a ``body`` property pointing at Body resources that carry their own
+  ``type`` / ``content`` / ``creator`` / ``date``, plus the
+  ``magnet:importantProperty`` annotation on ``body`` so the
+  important-property expansion derives exactly those compositions;
+* ``sentDate`` datetime literals spanning mid-2003 (the paper's
+  Thu July 31 / Fri August 1 example dates included) for the Figure 5
+  range control;
+* senders as Person resources with names and organizations.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.schema import Schema, ValueType
+from ..rdf.terms import Literal, Resource
+from ..rdf.vocab import RDF
+from .base import Corpus
+
+__all__ = ["build_corpus", "TOPICS"]
+
+NS = Namespace("http://repro.example/inbox/")
+
+TOPICS = [
+    "databases", "retrieval", "semantics", "scheduling", "budget",
+    "hiring", "conference", "deadlines", "seminar", "release",
+]
+
+_PEOPLE = [
+    ("Alice Chen", "MIT CSAIL"),
+    ("Bob Ortiz", "MIT CSAIL"),
+    ("Carol Singh", "W3C"),
+    ("Dan Novak", "Packard Foundation"),
+    ("Eve Tanaka", "MIT Libraries"),
+    ("Frank Moreau", "NTT"),
+]
+
+_FEEDS = [
+    ("ACM TechNews", "ACM"),
+    ("Daily Science Wire", "Science Wire"),
+    ("Campus Events Digest", "MIT Events"),
+]
+
+
+def build_corpus(
+    n_messages: int = 80, n_news: int = 40, seed: int = 11
+) -> Corpus:
+    """Generate the inbox graph.
+
+    ``extras['paper_dates']`` holds the two e-mails sent a day apart
+    (Thu July 31 / Fri Aug 1, 2003) used by §5.4's similarity example.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    schema = Schema(graph)
+
+    message_type = NS["type/Message"]
+    news_type = NS["type/NewsItem"]
+    body_type = NS["type/Body"]
+    person_type = NS["type/Person"]
+    p_subject = NS["property/subject"]
+    p_sent = NS["property/sentDate"]
+    p_from = NS["property/from"]
+    p_body = NS["property/body"]
+    p_topic = NS["property/topic"]
+    p_name = NS["property/name"]
+    p_org = NS["property/organization"]
+    # Body-level attributes (the second level Figure 6 surfaces).
+    p_b_type = NS["property/bodyType"]
+    p_b_content = NS["property/content"]
+    p_b_creator = NS["property/creator"]
+    p_b_date = NS["property/date"]
+
+    for node, label in [
+        (message_type, "Message"), (news_type, "News Item"),
+        (body_type, "Body"), (person_type, "Person"),
+        (p_subject, "subject"), (p_sent, "sent date"), (p_from, "from"),
+        (p_body, "body"), (p_topic, "topic"), (p_name, "name"),
+        (p_org, "organization"), (p_b_type, "type"),
+        (p_b_content, "content"), (p_b_creator, "creator"),
+        (p_b_date, "date"),
+    ]:
+        schema.set_label(node, label)
+    schema.set_value_type(p_subject, ValueType.TEXT)
+    schema.set_value_type(p_sent, ValueType.DATETIME)
+    schema.set_value_type(p_b_date, ValueType.DATE)
+    # The §6.1 annotation: compose one more level through `body`.
+    schema.mark_important(p_body)
+
+    people: list[Resource] = []
+    for name, org in _PEOPLE:
+        person = NS[f"person/{name.lower().replace(' ', '-')}"]
+        graph.add(person, RDF.type, person_type)
+        graph.add(person, p_name, Literal(name))
+        graph.add(person, p_org, Literal(org))
+        schema.set_label(person, name)
+        people.append(person)
+    feeds: list[Resource] = []
+    for name, org in _FEEDS:
+        feed = NS[f"feed/{name.lower().replace(' ', '-')}"]
+        graph.add(feed, RDF.type, person_type)
+        graph.add(feed, p_name, Literal(name))
+        graph.add(feed, p_org, Literal(org))
+        schema.set_label(feed, name)
+        feeds.append(feed)
+
+    start = dt.datetime(2003, 6, 1, 8, 0, 0)
+    items: list[Resource] = []
+    body_counter = [0]
+
+    def _add_body(item: Resource, kind: str, creator: Resource,
+                  topic: str, when: dt.datetime) -> None:
+        body_counter[0] += 1
+        body = NS[f"body/b{body_counter[0]:04d}"]
+        graph.add(body, RDF.type, body_type)
+        graph.add(item, p_body, body)
+        graph.add(body, p_b_type, Literal(kind))
+        graph.add(body, p_b_content, Literal(topic))
+        graph.add(body, p_b_creator, creator)
+        graph.add(body, p_b_date, Literal(when.date()))
+
+    def _mint(kind: str, index: int, when: dt.datetime,
+              sender: Resource, topic: str) -> Resource:
+        item = NS[f"item/{kind.lower()}-{index:04d}"]
+        graph.add(
+            item, RDF.type, message_type if kind == "msg" else news_type
+        )
+        graph.add(item, p_from, sender)
+        graph.add(item, p_sent, Literal(when))
+        graph.add(item, p_topic, Literal(topic))
+        subject = f"{topic} {'update' if kind == 'msg' else 'digest'}"
+        graph.add(item, p_subject, Literal(subject))
+        schema.set_label(item, subject)
+        body_kind = "plain text" if kind == "msg" else "html"
+        _add_body(item, body_kind, sender, topic, when)
+        return item
+
+    # The §5.4 pair: e-mails sent Thu July 31 and Fri August 1, 2003.
+    paper_dates = []
+    for index, when in enumerate(
+        [dt.datetime(2003, 7, 31, 14, 5), dt.datetime(2003, 8, 1, 9, 40)]
+    ):
+        item = _mint("msg", index + 1, when, people[0], "deadlines")
+        items.append(item)
+        paper_dates.append(item)
+
+    for index in range(3, n_messages + 1):
+        when = start + dt.timedelta(
+            days=rng.randint(0, 89),
+            hours=rng.randint(0, 12),
+            minutes=rng.randint(0, 59),
+        )
+        items.append(
+            _mint("msg", index, when, rng.choice(people), rng.choice(TOPICS))
+        )
+    for index in range(1, n_news + 1):
+        when = start + dt.timedelta(
+            days=rng.randint(0, 89), hours=rng.randint(0, 23)
+        )
+        items.append(
+            _mint("news", index, when, rng.choice(feeds), rng.choice(TOPICS))
+        )
+
+    extras = {
+        "properties": {
+            "subject": p_subject,
+            "sentDate": p_sent,
+            "from": p_from,
+            "body": p_body,
+            "topic": p_topic,
+            "bodyType": p_b_type,
+            "content": p_b_content,
+            "creator": p_b_creator,
+            "date": p_b_date,
+        },
+        "types": {
+            "Message": message_type,
+            "NewsItem": news_type,
+            "Body": body_type,
+            "Person": person_type,
+        },
+        "people": people,
+        "feeds": feeds,
+        "paper_dates": paper_dates,
+    }
+    return Corpus("inbox", graph, NS, items, extras)

@@ -1,0 +1,258 @@
+"""A synthetic INEX-style XML retrieval collection (§6.2).
+
+The INitiative for the Evaluation of XML retrieval supplies search
+topics of two kinds over an IEEE article corpus:
+
+* **CO** (content-only) topics — plain keyword needs such as
+  "software cost estimation";
+* **CAS** (content-and-structure) topics — needs that constrain the XML
+  structure, the paper's example being "Vitae of graduate students
+  researching Information Retrieval".
+
+The real corpus is licensed, so this module generates an XML collection
+with the same moving parts — front matter with authors (name, role,
+research interest), keywords, titles, and body sections — and, because
+the documents are generated, **exact relevance sets per topic**.  §6.2's
+evaluation question ("did the engine have the flexibility to retrieve
+the documents needed?") becomes directly measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.terms import Resource
+from ..rdf.xml2rdf import XmlImportResult, paths_as_compositions, xml_to_graph
+from .base import Corpus
+
+__all__ = ["InexTopic", "CO_TOPICS", "build_corpus"]
+
+BASE_URI = "http://repro.example/inex/"
+
+#: (topic id, title, distinctive keyword trio)
+CO_TOPICS: list[tuple[str, str, list[str]]] = [
+    ("co-1", "software cost estimation", ["software", "cost", "estimation"]),
+    ("co-2", "wavelet image compression", ["wavelet", "image", "compression"]),
+    ("co-3", "distributed consensus protocols", ["distributed", "consensus", "protocols"]),
+    ("co-4", "speech recognition acoustics", ["speech", "recognition", "acoustics"]),
+    ("co-5", "query optimization joins", ["query", "optimization", "joins"]),
+]
+
+_FILLER_TOPICS = [
+    ["compiler", "register", "allocation"],
+    ["network", "routing", "latency"],
+    ["graphics", "rendering", "shadows"],
+    ["security", "encryption", "keys"],
+    ["storage", "caching", "locality"],
+    ["learning", "classifiers", "features"],
+]
+
+_ROLES = ["graduate student", "professor", "postdoc", "research staff"]
+_INTERESTS = [
+    "information retrieval", "operating systems", "machine learning",
+    "computational biology", "computer architecture",
+]
+_NAMES = [
+    "J. Alvarez", "M. Kumar", "S. Park", "L. Fischer", "A. Osei",
+    "T. Nakamura", "R. Costa", "E. Johansson", "D. Petrov", "N. Haddad",
+]
+
+
+class InexTopic:
+    """One evaluation topic with its exact relevance set."""
+
+    KIND_CO = "CO"
+    KIND_CAS = "CAS"
+
+    def __init__(
+        self,
+        topic_id: str,
+        kind: str,
+        title: str,
+        keywords: list[str],
+        structure: list[tuple[tuple[str, ...], str]],
+        relevant: set[Resource],
+    ):
+        self.topic_id = topic_id
+        self.kind = kind
+        self.title = title
+        #: content terms (both kinds)
+        self.keywords = keywords
+        #: structural constraints: (property local-name path, value text)
+        self.structure = structure
+        #: ground truth: document roots that satisfy the need
+        self.relevant = relevant
+
+    def __repr__(self) -> str:
+        return (
+            f"<InexTopic {self.topic_id} [{self.kind}] {self.title!r} "
+            f"rel={len(self.relevant)}>"
+        )
+
+
+def _article_xml(
+    rng: random.Random,
+    title_words: Sequence[str],
+    body_words: Sequence[str],
+    authors: Sequence[tuple[str, str, str]],
+    keywords: Sequence[str],
+    doc_kind: str = "article",
+) -> str:
+    def _para(words: Sequence[str]) -> str:
+        chosen = [rng.choice(list(words)) for _ in range(rng.randint(12, 24))]
+        return " ".join(chosen)
+
+    author_xml = "".join(
+        f"<au><nm>{name}</nm><role>{role}</role>"
+        f"<interest>{interest}</interest></au>"
+        for name, role, interest in authors
+    )
+    keyword_xml = "".join(f"<kwd>{k}</kwd>" for k in keywords)
+    sections = "".join(
+        f"<sec><st>section {i}</st><p>{_para(body_words)}</p></sec>"
+        for i in range(1, rng.randint(2, 4))
+    )
+    return (
+        f"<article><fm><ty>{doc_kind}</ty>"
+        f"<ti>{' '.join(title_words)}</ti>"
+        f"{author_xml}{keyword_xml}</fm>"
+        f"<bdy>{sections}</bdy></article>"
+    )
+
+
+def build_corpus(
+    seed: int = 19,
+    relevant_per_co_topic: int = 6,
+    n_filler: int = 80,
+    with_path_compositions: bool = False,
+) -> Corpus:
+    """Generate the XML collection and its topics.
+
+    ``with_path_compositions`` applies the §6.2 fix — registering the
+    observed XML paths as composition annotations — so the ablation
+    bench can compare Magnet's default (graph-general, single-step)
+    behaviour against the tree-aware variant.
+
+    ``extras['topics']`` maps topic id → :class:`InexTopic`;
+    ``extras['doc_roots']`` lists every article root.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    ns = Namespace(BASE_URI)
+    doc_roots: list[Resource] = []
+    topics: dict[str, InexTopic] = {}
+    doc_counter = [0]
+    last_result: list[XmlImportResult] = []
+
+    def _import(xml: str) -> Resource:
+        doc_counter[0] += 1
+        result = xml_to_graph(
+            xml, BASE_URI, doc_id=f"a{doc_counter[0]:04d}", graph=graph
+        )
+        last_result.append(result)
+        doc_roots.append(result.root)
+        return result.root
+
+    def _random_authors(force: tuple[str, str] | None = None) -> list:
+        authors = []
+        for _ in range(rng.randint(1, 3)):
+            authors.append(
+                (rng.choice(_NAMES), rng.choice(_ROLES), rng.choice(_INTERESTS))
+            )
+        if force is not None:
+            role, interest = force
+            authors[0] = (rng.choice(_NAMES), role, interest)
+        return authors
+
+    # CO topics: seed relevant documents with the keyword trio.
+    for topic_id, title, trio in CO_TOPICS:
+        relevant: set[Resource] = set()
+        for _ in range(relevant_per_co_topic):
+            root = _import(
+                _article_xml(
+                    rng,
+                    title_words=trio + ["methods"],
+                    body_words=trio + ["evaluation", "approach", "results"],
+                    authors=_random_authors(),
+                    keywords=trio,
+                )
+            )
+            relevant.add(root)
+        topics[topic_id] = InexTopic(
+            topic_id, InexTopic.KIND_CO, title, trio, [], relevant
+        )
+
+    # The CAS topic of §6.2: vitae of graduate students researching IR.
+    cas_relevant: set[Resource] = set()
+    for _ in range(5):
+        root = _import(
+            _article_xml(
+                rng,
+                title_words=["curriculum", "vitae"],
+                body_words=["research", "teaching", "publications", "service"],
+                authors=_random_authors(
+                    force=("graduate student", "information retrieval")
+                ),
+                keywords=["vitae"],
+                doc_kind="vita",
+            )
+        )
+        cas_relevant.add(root)
+    # Distractor vitae: wrong role or wrong interest.
+    for role, interest in [
+        ("professor", "information retrieval"),
+        ("graduate student", "operating systems"),
+        ("postdoc", "machine learning"),
+        ("professor", "computer architecture"),
+    ]:
+        _import(
+            _article_xml(
+                rng,
+                title_words=["curriculum", "vitae"],
+                body_words=["research", "teaching", "publications"],
+                authors=[(rng.choice(_NAMES), role, interest)],
+                keywords=["vitae"],
+                doc_kind="vita",
+            )
+        )
+    topics["cas-1"] = InexTopic(
+        "cas-1",
+        InexTopic.KIND_CAS,
+        "Vitae of graduate students researching Information Retrieval",
+        ["vitae"],
+        [
+            (("fm", "au", "role"), "graduate student"),
+            (("fm", "au", "interest"), "information retrieval"),
+            (("fm", "ty"), "vita"),
+        ],
+        cas_relevant,
+    )
+
+    # Filler articles on unrelated themes.
+    for _ in range(n_filler):
+        theme = rng.choice(_FILLER_TOPICS)
+        _import(
+            _article_xml(
+                rng,
+                title_words=theme,
+                body_words=theme + ["study", "design", "analysis"],
+                authors=_random_authors(),
+                keywords=theme[:2],
+            )
+        )
+
+    if with_path_compositions:
+        merged = XmlImportResult(graph, doc_roots[0], sum(
+            (r.paths for r in last_result), start=type(last_result[0].paths)()
+        ))
+        paths_as_compositions(merged, min_count=2, max_length=3)
+
+    extras = {
+        "topics": topics,
+        "doc_roots": list(doc_roots),
+        "with_path_compositions": with_path_compositions,
+    }
+    return Corpus("inex", graph, ns, list(doc_roots), extras)

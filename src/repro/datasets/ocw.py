@@ -1,0 +1,138 @@
+"""An OpenCourseWare-style course dataset (§6.1).
+
+The paper used an independent RDF conversion of MIT OCW that "did have
+label and attribute-value annotations, allowing Magnet to present easy
+to understand navigation suggestions", but also surfaced attributes that
+"were not human-readable ... algorithmically significant for refining
+[but] not deemed important for end-user navigation", which custom
+annotations can hide.
+
+This generator reproduces both behaviours: readable facets (department,
+level, semester, instructor) and an opaque ``exportChecksum`` property
+that is statistically significant yet meaningless to users — hideable
+via ``magnet:hidden``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.schema import Schema, ValueType
+from ..rdf.terms import Literal, Resource
+from ..rdf.vocab import RDF
+from .base import Corpus
+from .text import sentences
+
+__all__ = ["build_corpus", "DEPARTMENTS"]
+
+NS = Namespace("http://repro.example/ocw/")
+
+DEPARTMENTS = [
+    ("Electrical Engineering and Computer Science", "6"),
+    ("Mathematics", "18"),
+    ("Physics", "8"),
+    ("Biology", "7"),
+    ("Economics", "14"),
+    ("Linguistics", "24"),
+]
+
+_LEVELS = ["Undergraduate", "Graduate"]
+_SEMESTERS = ["Fall 2002", "Spring 2003", "Fall 2003", "Spring 2004"]
+
+_SUBJECTS = [
+    "algorithms", "circuits", "databases", "networks", "mechanics",
+    "genetics", "optimization", "probability", "syntax", "markets",
+    "topology", "signals", "thermodynamics", "automata", "statistics",
+]
+
+_INSTRUCTORS = [
+    "Prof. Rivera", "Prof. Okafor", "Prof. Lindgren", "Prof. Watanabe",
+    "Prof. Haddad", "Prof. Kowalski", "Prof. Mbeki", "Prof. Duval",
+]
+
+
+def build_corpus(
+    n_courses: int = 120, seed: int = 13, hide_internal: bool = False
+) -> Corpus:
+    """Generate the course graph.
+
+    ``hide_internal=True`` applies the §6.1 custom annotation hiding the
+    non-human-readable ``exportChecksum`` attribute from suggestions.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    schema = Schema(graph)
+
+    course_type = NS["type/Course"]
+    p_department = NS["property/department"]
+    p_number = NS["property/courseNumber"]
+    p_level = NS["property/level"]
+    p_semester = NS["property/semester"]
+    p_instructor = NS["property/instructor"]
+    p_title = NS["property/title"]
+    p_description = NS["property/description"]
+    p_units = NS["property/units"]
+    p_checksum = NS["property/exportChecksum"]
+
+    schema.set_label(course_type, "Course")
+    for prop, label in [
+        (p_department, "department"), (p_number, "course number"),
+        (p_level, "level"), (p_semester, "semester"),
+        (p_instructor, "instructor"), (p_title, "title"),
+        (p_description, "description"), (p_units, "units"),
+    ]:
+        schema.set_label(prop, label)
+    # exportChecksum deliberately gets NO label: it renders as a raw
+    # identifier, the §6.1 "not human-readable" case.
+    schema.set_value_type(p_title, ValueType.TEXT)
+    schema.set_value_type(p_description, ValueType.TEXT)
+    schema.set_value_type(p_units, ValueType.INTEGER)
+    if hide_internal:
+        schema.hide_property(p_checksum)
+
+    items: list[Resource] = []
+    for index in range(1, n_courses + 1):
+        dept_name, dept_prefix = rng.choice(DEPARTMENTS)
+        course = NS[f"course/c{index:04d}"]
+        graph.add(course, RDF.type, course_type)
+        number = f"{dept_prefix}.{rng.randint(1, 899):03d}"
+        subject = rng.choice(_SUBJECTS)
+        title = f"Introduction to {subject.capitalize()}"
+        graph.add(course, p_department, Literal(dept_name))
+        graph.add(course, p_number, Literal(number))
+        graph.add(course, p_level, Literal(rng.choice(_LEVELS)))
+        graph.add(course, p_semester, Literal(rng.choice(_SEMESTERS)))
+        graph.add(course, p_instructor, Literal(rng.choice(_INSTRUCTORS)))
+        graph.add(course, p_title, Literal(title))
+        graph.add(
+            course,
+            p_description,
+            Literal(sentences(rng, [subject, "course", "problem", "set"])),
+        )
+        graph.add(course, p_units, Literal(rng.choice([6, 9, 12])))
+        # Opaque batch identifier shared by export runs: statistically a
+        # great refiner, humanly meaningless.
+        graph.add(
+            course, p_checksum, Literal(f"0x{rng.randrange(16**6):06x}"[:6])
+        )
+        schema.set_label(course, f"{number} {title}")
+        items.append(course)
+
+    extras = {
+        "properties": {
+            "department": p_department,
+            "courseNumber": p_number,
+            "level": p_level,
+            "semester": p_semester,
+            "instructor": p_instructor,
+            "title": p_title,
+            "description": p_description,
+            "units": p_units,
+            "exportChecksum": p_checksum,
+        },
+        "course_type": course_type,
+        "hide_internal": hide_internal,
+    }
+    return Corpus("ocw", graph, NS, items, extras)

@@ -1,0 +1,455 @@
+"""The Epicurious-style recipe corpus of the user study (§6.3).
+
+The study "used data from 6,444 recipes and metadata extracted from the
+site Epicurious.com.  244 ingredients were semi-automatically extracted
+from the recipes and grouped to supplement the data."  That corpus is
+proprietary, so this module generates a synthetic equivalent with the
+same shape:
+
+* 6,444 recipes by default (parameterizable for tests);
+* exactly 244 ingredient resources, grouped (dairy, vegetables, nuts,
+  ...) and tagged with an origin region (for §3.3's "ingredients found
+  only in North America" walkthrough);
+* the facet axes the figures show — cuisine, course, cooking method,
+  ingredient — plus text title/body and numeric serves/prep-time;
+* a Zipf-like ingredient popularity with cloves, garlic, olives, and
+  olive oil near the top (the Figure 1 observation), cuisine-specific
+  ingredient affinities, and guaranteed fixtures: Greek recipes with
+  parsley (Figure 1's result set) and the walnut recipe of directed
+  task 1.
+
+Everything is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.schema import Schema, ValueType
+from ..rdf.terms import Literal, Resource
+from ..rdf.vocab import RDF
+from .base import Corpus
+from .text import sentences, title_case
+
+__all__ = ["CUISINES", "COURSES", "METHODS", "ingredient_catalog", "build_corpus"]
+
+NS = Namespace("http://repro.example/recipes/")
+
+# ---------------------------------------------------------------------------
+# Vocabulary
+# ---------------------------------------------------------------------------
+
+_BASE_INGREDIENTS: dict[str, list[str]] = {
+    "dairy": [
+        "butter", "milk", "cream", "yogurt", "feta", "parmesan", "cheddar",
+        "mozzarella", "ricotta", "sour cream", "goat cheese", "mascarpone",
+        "buttermilk", "cream cheese", "gruyere", "halloumi",
+    ],
+    "vegetables": [
+        "onion", "garlic", "tomato", "carrot", "celery", "spinach", "potato",
+        "zucchini", "eggplant", "bell pepper", "mushroom", "broccoli",
+        "cauliflower", "cabbage", "leek", "cucumber", "pumpkin", "beet",
+        "corn", "asparagus", "artichoke", "kale", "fennel", "radish",
+        "shallot", "scallion", "avocado", "olives",
+    ],
+    "fruits": [
+        "lemon", "lime", "orange", "apple", "pear", "banana", "strawberry",
+        "raspberry", "blueberry", "peach", "apricot", "cherry", "mango",
+        "pineapple", "grape", "fig", "date", "pomegranate", "cranberry",
+        "coconut", "raisin", "plum",
+    ],
+    "nuts": [
+        "walnut", "almond", "pecan", "pistachio", "hazelnut", "cashew",
+        "peanut", "pine nut", "macadamia", "chestnut",
+    ],
+    "meats": [
+        "chicken", "beef", "pork", "lamb", "bacon", "sausage", "turkey",
+        "duck", "ham", "veal", "chorizo", "prosciutto",
+    ],
+    "seafood": [
+        "shrimp", "salmon", "tuna", "cod", "crab", "mussel", "clam",
+        "scallop", "anchovy", "squid", "lobster", "halibut",
+    ],
+    "herbs": [
+        "parsley", "basil", "cilantro", "mint", "oregano", "thyme",
+        "rosemary", "dill", "sage", "tarragon", "chive", "bay leaf",
+    ],
+    "spices": [
+        "cloves", "cumin", "paprika", "cinnamon", "nutmeg", "ginger",
+        "turmeric", "coriander", "cardamom", "chili powder", "saffron",
+        "black pepper", "cayenne", "allspice", "star anise", "vanilla",
+    ],
+    "grains": [
+        "rice", "pasta", "bread", "flour", "oats", "quinoa", "couscous",
+        "barley", "polenta", "bulgur", "tortilla", "noodles",
+    ],
+    "legumes": [
+        "chickpea", "lentil", "black bean", "kidney bean", "pinto bean",
+        "white bean", "green pea", "edamame", "fava bean",
+    ],
+    "oils and condiments": [
+        "olive oil", "soy sauce", "vinegar", "mustard", "sesame oil",
+        "fish sauce", "tahini", "mayonnaise", "hot sauce", "capers",
+        "miso", "worcestershire",
+    ],
+    "sweeteners": [
+        "sugar", "honey", "maple syrup", "brown sugar", "molasses",
+        "chocolate", "cocoa", "jam",
+    ],
+}
+
+_QUALIFIERS = [
+    "red", "green", "baby", "wild", "smoked", "dried", "roasted", "sweet",
+    "fresh", "heirloom", "golden", "purple",
+]
+
+#: Regions for the §3.3 "ingredients found only in North America" example.
+_REGIONS = [
+    "North America", "Mediterranean", "Asia", "South America", "Europe",
+    "Africa",
+]
+
+CUISINES = [
+    "Greek", "Mexican", "Italian", "French", "Chinese", "Indian", "Thai",
+    "Japanese", "Spanish", "Moroccan", "American", "Cajun", "Turkish",
+    "Lebanese", "Korean", "Vietnamese",
+]
+
+COURSES = [
+    "Appetizer", "Soup", "Salad", "Main Course", "Side Dish", "Dessert",
+    "Breakfast", "Beverage",
+]
+
+METHODS = [
+    "Bake", "Grill", "Roast", "Fry", "Saute", "Steam", "Boil", "Braise",
+    "Broil", "Simmer", "Marinate", "Slow Cook",
+]
+
+#: Cuisine → favored ingredient names (must exist in the final list).
+_CUISINE_PROFILES: dict[str, list[str]] = {
+    "Greek": ["olive oil", "feta", "olives", "parsley", "lemon", "oregano",
+              "yogurt", "lamb", "cucumber", "mint", "walnut", "honey"],
+    "Mexican": ["corn", "black bean", "chili powder", "avocado", "lime",
+                "cilantro", "tortilla", "tomato", "cumin", "hot sauce",
+                "chorizo", "cayenne"],
+    "Italian": ["pasta", "parmesan", "basil", "tomato", "olive oil",
+                "mozzarella", "garlic", "prosciutto", "ricotta", "pine nut",
+                "olives"],
+    "French": ["butter", "cream", "shallot", "thyme", "gruyere", "tarragon",
+               "leek", "mustard", "duck"],
+    "Chinese": ["soy sauce", "ginger", "scallion", "sesame oil", "rice",
+                "noodles", "star anise", "garlic"],
+    "Indian": ["cumin", "turmeric", "cardamom", "ginger", "lentil",
+               "yogurt", "coriander", "rice", "chickpea", "cloves"],
+    "Thai": ["fish sauce", "lime", "cilantro", "coconut", "chili powder",
+             "rice", "peanut", "mint"],
+    "Japanese": ["soy sauce", "miso", "rice", "ginger", "scallion",
+                 "sesame oil", "salmon", "edamame"],
+    "Spanish": ["olive oil", "paprika", "chorizo", "saffron", "rice",
+                "tomato", "garlic", "almond", "olives"],
+    "Moroccan": ["couscous", "cinnamon", "apricot", "chickpea", "cumin",
+                 "date", "lamb", "saffron", "cloves", "olives"],
+    "American": ["beef", "cheddar", "corn", "potato", "bacon", "maple syrup",
+                 "cranberry", "pecan"],
+    "Cajun": ["cayenne", "celery", "bell pepper", "shrimp", "rice",
+              "sausage", "paprika", "hot sauce"],
+    "Turkish": ["eggplant", "yogurt", "lamb", "mint", "bulgur", "walnut",
+                "pomegranate", "honey"],
+    "Lebanese": ["tahini", "chickpea", "parsley", "lemon", "bulgur",
+                 "mint", "olive oil", "pine nut"],
+    "Korean": ["soy sauce", "sesame oil", "scallion", "garlic", "rice",
+               "cabbage", "ginger", "hot sauce"],
+    "Vietnamese": ["fish sauce", "mint", "cilantro", "lime", "noodles",
+                   "rice", "peanut", "scallion"],
+}
+
+#: Courses constrain ingredient groups (desserts carry no shellfish).
+_COURSE_GROUPS: dict[str, list[str]] = {
+    "Dessert": ["fruits", "nuts", "dairy", "sweeteners", "spices", "grains"],
+    "Beverage": ["fruits", "sweeteners", "spices", "dairy"],
+    "Breakfast": ["fruits", "dairy", "grains", "sweeteners", "meats"],
+}
+
+_DISH_NOUNS = [
+    "soup", "stew", "salad", "tart", "cake", "pie", "roast", "curry",
+    "pilaf", "gratin", "skewers", "fritters", "bake", "bowl", "wrap",
+    "pasta", "risotto", "chowder", "dumplings", "casserole", "kebab",
+    "cobbler", "pudding", "compote",
+]
+
+
+def ingredient_catalog() -> list[tuple[str, str]]:
+    """The deterministic list of exactly 244 (name, group) pairs.
+
+    The base lists are extended with qualified variants ("red onion",
+    "baby spinach", ...) in a fixed order until the paper's 244 is hit.
+    """
+    catalog: list[tuple[str, str]] = []
+    for group, names in _BASE_INGREDIENTS.items():
+        catalog.extend((name, group) for name in names)
+    base_count = len(catalog)
+    if base_count > 244:
+        raise AssertionError("base ingredient list grew past 244")
+    qualifiable = [
+        (name, group)
+        for group, names in _BASE_INGREDIENTS.items()
+        for name in names
+        if group in ("vegetables", "fruits", "herbs", "grains", "legumes")
+    ]
+    index = 0
+    while len(catalog) < 244:
+        name, group = qualifiable[index % len(qualifiable)]
+        qualifier = _QUALIFIERS[(index // len(qualifiable)) % len(_QUALIFIERS)]
+        candidate = f"{qualifier} {name}"
+        if all(candidate != existing for existing, _g in catalog):
+            catalog.append((candidate, group))
+        index += 1
+    return catalog
+
+
+# ---------------------------------------------------------------------------
+# Corpus construction
+# ---------------------------------------------------------------------------
+
+
+def build_corpus(n_recipes: int = 6444, seed: int = 7) -> Corpus:
+    """Generate the recipe corpus.
+
+    Returns a :class:`Corpus` whose ``extras`` include:
+
+    * ``ingredients``: name → Resource (all 244);
+    * ``ingredient_groups``: group name → list of Resources;
+    * ``cuisines`` / ``courses`` / ``methods``: name → Resource;
+    * ``properties``: short name → property Resource;
+    * ``walnut_recipe``: the aunt's walnut recipe of directed task 1;
+    * ``greek_parsley_recipes``: the Figure 1 result set.
+    """
+    if n_recipes < 12:
+        raise ValueError("need at least 12 recipes for the fixtures")
+    rng = random.Random(seed)
+    graph = Graph()
+    schema = Schema(graph)
+
+    p_type = RDF.type
+    p_cuisine = NS["property/cuisine"]
+    p_course = NS["property/course"]
+    p_method = NS["property/cookingMethod"]
+    p_ingredient = NS["property/ingredient"]
+    p_title = NS["property/title"]
+    p_body = NS["property/directions"]
+    p_serves = NS["property/serves"]
+    p_prep = NS["property/prepMinutes"]
+    p_group = NS["property/foodGroup"]
+    p_origin = NS["property/origin"]
+    recipe_type = NS["type/Recipe"]
+    ingredient_type = NS["type/Ingredient"]
+
+    for prop, label in [
+        (p_cuisine, "cuisine"), (p_course, "course"),
+        (p_method, "cooking method"), (p_ingredient, "ingredient"),
+        (p_title, "title"), (p_body, "directions"), (p_serves, "serves"),
+        (p_prep, "preparation minutes"), (p_group, "food group"),
+        (p_origin, "origin"),
+    ]:
+        schema.set_label(prop, label)
+    schema.set_label(recipe_type, "Recipe")
+    schema.set_label(ingredient_type, "Ingredient")
+    schema.set_value_type(p_title, ValueType.TEXT)
+    schema.set_value_type(p_body, ValueType.TEXT)
+    schema.set_value_type(p_serves, ValueType.INTEGER)
+    schema.set_value_type(p_prep, ValueType.INTEGER)
+
+    # Facet-value resources -------------------------------------------------
+    def _facet_values(names: list[str], kind: str) -> dict[str, Resource]:
+        resources = {}
+        for name in names:
+            resource = NS[f"{kind}/{_slug(name)}"]
+            schema.set_label(resource, name)
+            resources[name] = resource
+        return resources
+
+    cuisines = _facet_values(CUISINES, "cuisine")
+    courses = _facet_values(COURSES, "course")
+    methods = _facet_values(METHODS, "method")
+
+    catalog = ingredient_catalog()
+    ingredients: dict[str, Resource] = {}
+    ingredient_groups: dict[str, list[Resource]] = {}
+    by_group_names: dict[str, list[str]] = {}
+    for name, group in catalog:
+        resource = NS[f"ingredient/{_slug(name)}"]
+        graph.add(resource, p_type, ingredient_type)
+        schema.set_label(resource, name)
+        graph.add(resource, p_group, Literal(group))
+        region = _REGIONS[_stable_hash(name) % len(_REGIONS)]
+        graph.add(resource, p_origin, Literal(region))
+        ingredients[name] = resource
+        ingredient_groups.setdefault(group, []).append(resource)
+        by_group_names.setdefault(group, []).append(name)
+
+    popularity = _popularity_ranks(catalog, rng)
+
+    # Recipes ----------------------------------------------------------------
+    items: list[Resource] = []
+    greek_parsley: list[Resource] = []
+
+    def _mint_recipe(index: int) -> Resource:
+        recipe = NS[f"recipe/r{index:05d}"]
+        graph.add(recipe, p_type, recipe_type)
+        return recipe
+
+    def _fill_recipe(
+        recipe: Resource,
+        cuisine: str,
+        course: str,
+        chosen: list[str],
+        method: str | None = None,
+        title_hint: str | None = None,
+    ) -> None:
+        graph.add(recipe, p_cuisine, cuisines[cuisine])
+        graph.add(recipe, p_course, courses[course])
+        graph.add(
+            recipe, p_method, methods[method or rng.choice(METHODS)]
+        )
+        for name in chosen:
+            graph.add(recipe, p_ingredient, ingredients[name])
+        headline = chosen[0] if chosen else "mystery"
+        title = title_hint or title_case(
+            [headline, rng.choice(_DISH_NOUNS)]
+        )
+        graph.add(recipe, p_title, Literal(title))
+        schema.set_label(recipe, title)
+        topical = [w for name in chosen for w in name.split()]
+        topical.append(cuisine.lower())
+        graph.add(
+            recipe,
+            p_body,
+            Literal(sentences(rng, topical, count=rng.randint(2, 4))),
+        )
+        graph.add(recipe, p_serves, Literal(rng.randint(1, 12)))
+        graph.add(recipe, p_prep, Literal(rng.choice(
+            [10, 15, 20, 25, 30, 40, 45, 60, 75, 90, 120]
+        )))
+        if cuisine == "Greek" and "parsley" in chosen:
+            greek_parsley.append(recipe)
+
+    # Fixture 1: the aunt's walnut recipe (directed task 1).
+    walnut_recipe = _mint_recipe(1)
+    _fill_recipe(
+        walnut_recipe,
+        "Greek",
+        "Dessert",
+        ["walnut", "honey", "cinnamon", "butter", "flour"],
+        method="Bake",
+        title_hint="Walnut Honey Baklava",
+    )
+    items.append(walnut_recipe)
+
+    # Fixture 2..7: guaranteed Greek-parsley recipes (Figure 1's view)
+    # and nut-free dessert neighbours for the task-1 target.
+    fixtures = [
+        ("Greek", "Main Course", ["parsley", "lemon", "olive oil", "lamb"]),
+        ("Greek", "Salad", ["parsley", "feta", "olives", "cucumber"]),
+        ("Greek", "Appetizer", ["parsley", "yogurt", "garlic", "olive oil"]),
+        ("Greek", "Dessert", ["honey", "yogurt", "fig", "cinnamon"]),
+        ("Greek", "Dessert", ["honey", "butter", "flour", "orange"]),
+        ("Mexican", "Soup", ["corn", "black bean", "lime", "cilantro"]),
+    ]
+    for offset, (cuisine, course, chosen) in enumerate(fixtures, start=2):
+        recipe = _mint_recipe(offset)
+        _fill_recipe(recipe, cuisine, course, chosen)
+        items.append(recipe)
+
+    next_index = len(items) + 1
+    for index in range(next_index, n_recipes + 1):
+        recipe = _mint_recipe(index)
+        cuisine = rng.choice(CUISINES)
+        course = rng.choice(COURSES)
+        chosen = _pick_ingredients(
+            rng, cuisine, course, popularity, by_group_names
+        )
+        _fill_recipe(recipe, cuisine, course, chosen)
+        items.append(recipe)
+
+    extras = {
+        "ingredients": ingredients,
+        "ingredient_groups": ingredient_groups,
+        "cuisines": cuisines,
+        "courses": courses,
+        "methods": methods,
+        "properties": {
+            "cuisine": p_cuisine,
+            "course": p_course,
+            "method": p_method,
+            "ingredient": p_ingredient,
+            "title": p_title,
+            "directions": p_body,
+            "serves": p_serves,
+            "prepMinutes": p_prep,
+            "foodGroup": p_group,
+            "origin": p_origin,
+        },
+        "types": {"Recipe": recipe_type, "Ingredient": ingredient_type},
+        "walnut_recipe": walnut_recipe,
+        "greek_parsley_recipes": list(greek_parsley),
+    }
+    return Corpus("recipes", graph, NS, items, extras)
+
+
+def _pick_ingredients(
+    rng: random.Random,
+    cuisine: str,
+    course: str,
+    popularity: list[str],
+    by_group_names: dict[str, list[str]],
+) -> list[str]:
+    count = rng.randint(3, 8)
+    chosen: list[str] = []
+    profile = _CUISINE_PROFILES.get(cuisine, [])
+    allowed_groups = _COURSE_GROUPS.get(course)
+    if allowed_groups is not None:
+        allowed = {
+            name for group in allowed_groups for name in by_group_names[group]
+        }
+    else:
+        allowed = None
+    while len(chosen) < count:
+        if profile and rng.random() < 0.55:
+            candidate = rng.choice(profile)
+        else:
+            # Zipf-ish: earlier ranks much more likely.
+            rank = int(len(popularity) * (rng.random() ** 2.5))
+            candidate = popularity[min(rank, len(popularity) - 1)]
+        if allowed is not None and candidate not in allowed:
+            continue
+        if candidate not in chosen:
+            chosen.append(candidate)
+    return chosen
+
+
+def _popularity_ranks(
+    catalog: list[tuple[str, str]], rng: random.Random
+) -> list[str]:
+    """Ingredient names ordered most-popular-first.
+
+    Cloves, garlic, olives, and olive oil are pinned to the head so the
+    Figure 1 observation ("a large number of the recipes have cloves,
+    garlic, olives and oil") holds; the rest is a seeded shuffle.
+    """
+    pinned = ["garlic", "olive oil", "cloves", "olives"]
+    rest = [name for name, _group in catalog if name not in pinned]
+    rng.shuffle(rest)
+    return pinned + rest
+
+
+def _slug(text: str) -> str:
+    return text.lower().replace(" ", "-")
+
+
+def _stable_hash(text: str) -> int:
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) % 1_000_003
+    return value

@@ -1,0 +1,130 @@
+"""The 50-states dataset of §6.1 (Figures 7 & 8).
+
+The paper's dataset came from 50states.com as a comma-separated file
+"with document properties encoded as human-readable strings rather than
+marked up semantically" and no labels — so Magnet initially displayed
+raw RDF identifiers, yet still "did point out interesting attributes ...
+for example, the fact that seven states have 'cardinal' in their bird
+names", and Alaska's area stood out once the integer annotation was
+added.
+
+The table below carries those exact properties: the seven
+cardinal-bird states (Illinois, Indiana, Kentucky, North Carolina, Ohio,
+Virginia, West Virginia), Alaska's outlier area, and repeated birds and
+flowers across states.
+"""
+
+from __future__ import annotations
+
+from ..rdf.csv2rdf import csv_to_graph
+from .base import Corpus
+
+__all__ = ["STATE_ROWS", "states_csv", "build_corpus", "CARDINAL_STATES"]
+
+BASE_URI = "http://repro.example/states/"
+
+# (state, bird, flower, area sq mi, region)
+STATE_ROWS: list[tuple[str, str, str, int, str]] = [
+    ("Alabama", "Yellowhammer", "Camellia", 52420, "South"),
+    ("Alaska", "Willow ptarmigan", "Forget-me-not", 665384, "West"),
+    ("Arizona", "Cactus wren", "Saguaro cactus blossom", 113990, "West"),
+    ("Arkansas", "Mockingbird", "Apple blossom", 53179, "South"),
+    ("California", "California valley quail", "Golden poppy", 163695, "West"),
+    ("Colorado", "Lark bunting", "Rocky Mountain columbine", 104094, "West"),
+    ("Connecticut", "American robin", "Mountain laurel", 5543, "Northeast"),
+    ("Delaware", "Blue hen chicken", "Peach blossom", 2489, "Northeast"),
+    ("Florida", "Mockingbird", "Orange blossom", 65758, "South"),
+    ("Georgia", "Brown thrasher", "Cherokee rose", 59425, "South"),
+    ("Hawaii", "Nene", "Hibiscus", 10932, "West"),
+    ("Idaho", "Mountain bluebird", "Syringa", 83569, "West"),
+    ("Illinois", "Cardinal", "Violet", 57914, "Midwest"),
+    ("Indiana", "Cardinal", "Peony", 36420, "Midwest"),
+    ("Iowa", "Eastern goldfinch", "Wild prairie rose", 56273, "Midwest"),
+    ("Kansas", "Western meadowlark", "Sunflower", 82278, "Midwest"),
+    ("Kentucky", "Cardinal", "Goldenrod", 40408, "South"),
+    ("Louisiana", "Eastern brown pelican", "Magnolia", 52378, "South"),
+    ("Maine", "Chickadee", "White pine cone", 35380, "Northeast"),
+    ("Maryland", "Baltimore oriole", "Black-eyed susan", 12406, "Northeast"),
+    ("Massachusetts", "Chickadee", "Mayflower", 10554, "Northeast"),
+    ("Michigan", "American robin", "Apple blossom", 96714, "Midwest"),
+    ("Minnesota", "Common loon", "Pink lady slipper", 86936, "Midwest"),
+    ("Mississippi", "Mockingbird", "Magnolia", 48432, "South"),
+    ("Missouri", "Eastern bluebird", "Hawthorn", 69707, "Midwest"),
+    ("Montana", "Western meadowlark", "Bitterroot", 147040, "West"),
+    ("Nebraska", "Western meadowlark", "Goldenrod", 77348, "Midwest"),
+    ("Nevada", "Mountain bluebird", "Sagebrush", 110572, "West"),
+    ("New Hampshire", "Purple finch", "Purple lilac", 9349, "Northeast"),
+    ("New Jersey", "Eastern goldfinch", "Purple violet", 8723, "Northeast"),
+    ("New Mexico", "Roadrunner", "Yucca flower", 121590, "West"),
+    ("New York", "Eastern bluebird", "Rose", 54555, "Northeast"),
+    ("North Carolina", "Cardinal", "Dogwood", 53819, "South"),
+    ("North Dakota", "Western meadowlark", "Wild prairie rose", 70698, "Midwest"),
+    ("Ohio", "Cardinal", "Scarlet carnation", 44826, "Midwest"),
+    ("Oklahoma", "Scissor-tailed flycatcher", "Mistletoe", 69899, "South"),
+    ("Oregon", "Western meadowlark", "Oregon grape", 98379, "West"),
+    ("Pennsylvania", "Ruffed grouse", "Mountain laurel", 46054, "Northeast"),
+    ("Rhode Island", "Rhode Island red", "Violet", 1545, "Northeast"),
+    ("South Carolina", "Carolina wren", "Yellow jessamine", 32020, "South"),
+    ("South Dakota", "Ring-necked pheasant", "Pasque flower", 77116, "Midwest"),
+    ("Tennessee", "Mockingbird", "Iris", 42144, "South"),
+    ("Texas", "Mockingbird", "Bluebonnet", 268596, "South"),
+    ("Utah", "California gull", "Sego lily", 84897, "West"),
+    ("Vermont", "Hermit thrush", "Red clover", 9616, "Northeast"),
+    ("Virginia", "Cardinal", "Dogwood", 42775, "South"),
+    ("Washington", "Willow goldfinch", "Coast rhododendron", 71298, "West"),
+    ("West Virginia", "Cardinal", "Rhododendron", 24230, "South"),
+    ("Wisconsin", "American robin", "Wood violet", 65496, "Midwest"),
+    ("Wyoming", "Western meadowlark", "Indian paintbrush", 97813, "West"),
+]
+
+#: The seven states whose bird names contain 'cardinal' (§6.1).
+CARDINAL_STATES = (
+    "Illinois", "Indiana", "Kentucky", "North Carolina", "Ohio",
+    "Virginia", "West Virginia",
+)
+
+
+def states_csv() -> str:
+    """The dataset in its as-delivered comma-separated form."""
+    lines = ["state,bird,flower,area,region"]
+    for state, bird, flower, area, region in STATE_ROWS:
+        cells = [state, bird, flower, str(area), region]
+        lines.append(",".join(
+            f'"{cell}"' if "," in cell else cell for cell in cells
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def build_corpus(annotated: bool = False) -> Corpus:
+    """Import the CSV into RDF.
+
+    ``annotated=False`` reproduces Figure 7's raw view (no labels, no
+    value types: identifiers everywhere, area faceted as opaque
+    strings); ``annotated=True`` reproduces Figure 8 (labels on
+    properties and rows plus an integer annotation on area, enabling the
+    range control that makes Alaska's outlier area visible).
+    """
+    graph = csv_to_graph(
+        states_csv(),
+        BASE_URI,
+        row_type="State",
+        key_column="state",
+        add_labels=annotated,
+        infer_types=annotated,
+    )
+    from ..rdf.namespace import Namespace
+
+    ns = Namespace(BASE_URI)
+    items = sorted(
+        graph.items_of_type(ns["State"]), key=lambda n: n.n3()
+    )
+    properties = {
+        name: ns[f"property/{name}"]
+        for name in ("state", "bird", "flower", "area", "region")
+    }
+    extras = {
+        "properties": properties,
+        "state_type": ns["State"],
+        "annotated": annotated,
+    }
+    return Corpus("states", graph, ns, list(items), extras)

@@ -1,0 +1,52 @@
+"""Deterministic filler-prose generation for dataset bodies.
+
+Bodies must look like real prose to the text pipeline — mixed common
+words (which tf.idf learns to ignore) plus topical words (which become
+discriminating coordinates) — while staying fully reproducible from a
+seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = ["COMMON_WORDS", "sentences", "title_case"]
+
+COMMON_WORDS = (
+    "place heat time serve combine large small bowl pan mixture cook stir "
+    "minutes add cover remove prepare gently slowly carefully fresh warm "
+    "cool set aside blend taste season layer pour drain rinse chop slice "
+    "whisk fold simmer boil reduce rest finish garnish plate"
+).split()
+
+
+def sentences(
+    rng: random.Random,
+    topical: Sequence[str],
+    count: int = 3,
+    words_per_sentence: tuple[int, int] = (7, 14),
+) -> str:
+    """Generate ``count`` sentences mixing common and topical words.
+
+    Roughly a third of the words are drawn from ``topical`` so that the
+    topical vocabulary dominates the idf-weighted vector while common
+    words supply realistic bulk.
+    """
+    if not topical:
+        topical = ["thing"]
+    out: list[str] = []
+    for _ in range(count):
+        length = rng.randint(*words_per_sentence)
+        words = []
+        for position in range(length):
+            pool = topical if rng.random() < 0.34 else COMMON_WORDS
+            words.append(rng.choice(pool))
+        sentence = " ".join(words)
+        out.append(sentence[0].upper() + sentence[1:] + ".")
+    return " ".join(out)
+
+
+def title_case(words: Sequence[str]) -> str:
+    """Join words into a Title Cased phrase."""
+    return " ".join(word.capitalize() for word in words)

@@ -1,0 +1,18 @@
+"""Index substrate: the Lucene substitute (inverted index, vector store,
+top-k retrieval, boolean full-text index)."""
+
+from .inverted import InvertedIndex
+from .ranking import LengthPrior, Ranker
+from .search import Hit, top_k
+from .store import VectorStore
+from .textindex import TextIndex
+
+__all__ = [
+    "InvertedIndex",
+    "LengthPrior",
+    "Ranker",
+    "Hit",
+    "top_k",
+    "VectorStore",
+    "TextIndex",
+]

@@ -1,0 +1,45 @@
+"""Top-k retrieval over an inverted index of weighted vectors."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Hashable, NamedTuple
+
+from ..vsm.vector import SparseVector
+from .inverted import InvertedIndex
+
+__all__ = ["Hit", "top_k"]
+
+
+class Hit(NamedTuple):
+    """One retrieval result: an item and its dot-product score."""
+
+    item: Hashable
+    score: float
+
+
+def top_k(
+    index: InvertedIndex,
+    query: SparseVector,
+    k: int,
+    exclude: Callable[[Hashable], bool] | None = None,
+) -> list[Hit]:
+    """The ``k`` items with the largest dot product against ``query``.
+
+    Accumulates partial scores document-at-a-time over the postings of
+    the query's non-zero coordinates, then heap-selects.  Ties break on
+    the items' repr for determinism.  ``exclude`` filters items out
+    before selection (e.g. the currently viewed item).
+    """
+    if k <= 0 or len(query) == 0:
+        return []
+    scores: dict[Hashable, float] = {}
+    for coord, q_weight in query.items():
+        for item, d_weight in index.postings(coord).items():
+            scores[item] = scores.get(item, 0.0) + q_weight * d_weight
+    if exclude is not None:
+        scores = {item: s for item, s in scores.items() if not exclude(item)}
+    best = heapq.nsmallest(
+        k, scores.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+    )
+    return [Hit(item, score) for item, score in best]

@@ -1,0 +1,94 @@
+"""VectorStore: the vector-space database of §5.2.
+
+Wraps a :class:`~repro.vsm.model.VectorSpaceModel` with an inverted
+index over its *weighted* vectors so similarity searches ("Similar by
+Content", collection-to-item retrieval) run in sublinear time.  Because
+weights depend on corpus statistics, the index records the stats version
+it was built against and transparently rebuilds when stale — mirroring
+how Magnet "indexes the data in advance (as it arrives)" yet always
+ranks with current idf values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..rdf.terms import Node
+from ..vsm.model import VectorSpaceModel
+from ..vsm.vector import SparseVector
+from .inverted import InvertedIndex
+from .search import Hit, top_k
+
+__all__ = ["VectorStore"]
+
+
+class VectorStore:
+    """Similarity search over a model's items."""
+
+    def __init__(self, model: VectorSpaceModel):
+        self.model = model
+        self._index = InvertedIndex()
+        self._built_version = -1
+
+    def refresh(self) -> bool:
+        """Rebuild the index if corpus statistics moved; True if rebuilt."""
+        if self._built_version == self.model.stats.version:
+            return False
+        self._index.clear()
+        for item in self.model.items:
+            self._index.add(item, self.model.vector(item).items())
+        self._built_version = self.model.stats.version
+        return True
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The (refreshed) underlying inverted index."""
+        self.refresh()
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Search entry points
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: SparseVector,
+        k: int = 10,
+        exclude: Callable[[Node], bool] | None = None,
+    ) -> list[Hit]:
+        """Top-k items by dot product against an arbitrary query vector."""
+        return top_k(self.index, query, k, exclude=exclude)
+
+    def similar_to_item(self, item: Node, k: int = 10) -> list[Hit]:
+        """Items most similar to one item, excluding the item itself.
+
+        This backs the "Similar by Content (Overall)" advisor for single
+        items (§4.1) — similarity is "fuzzy", covering both structural
+        (object) and textual (word) coordinates at once.
+        """
+        query = self.model.vector(item)
+        return self.search(query, k, exclude=lambda other: other == item)
+
+    def similar_to_collection(
+        self, items: Sequence[Node], k: int = 10, include_members: bool = False
+    ) -> list[Hit]:
+        """Items most similar to a collection's "average member" (§5.3).
+
+        This backs the collection-flavored "Similar by Content" analyst:
+        "more items similar to the items in the collection".  By default
+        current members are excluded so the advisor suggests *new* items.
+        """
+        query = self.model.centroid(items)
+        member_set = set(items)
+        exclude = None if include_members else (lambda item: item in member_set)
+        return self.search(query, k, exclude=exclude)
+
+    def search_text(self, text: str, k: int = 10) -> list[Hit]:
+        """Fuzzy ranked keyword search via the model's text vector."""
+        return self.search(self.model.text_vector(text), k)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __repr__(self) -> str:
+        return f"<VectorStore over {self.model!r}>"

@@ -1,0 +1,108 @@
+"""Boolean full-text index over a graph's string values.
+
+§4.2: "the query engine has been extended to uniformly query an external
+index to support text in documents."  This is that external index: it
+maps analyzed tokens to the items whose literal values contain them,
+both corpus-wide and per property (so "words in the body or in the
+title" can be offered as separate refinement axes, §3.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Literal, Node, Resource
+from ..rdf.vocab import MAGNET
+from ..vsm.tokenizer import Analyzer, default_analyzer
+
+__all__ = ["TextIndex"]
+
+_SKIP = frozenset(
+    {MAGNET.valueType, MAGNET.compose, MAGNET.hidden, MAGNET.importantProperty}
+)
+
+
+class TextIndex:
+    """Token → item postings, overall and per property."""
+
+    def __init__(self, graph: Graph, analyzer: Analyzer | None = None):
+        self.graph = graph
+        self.analyzer = analyzer if analyzer is not None else default_analyzer()
+        self._overall: dict[str, set[Node]] = defaultdict(set)
+        self._by_property: dict[Resource, dict[str, set[Node]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._indexed: set[Node] = set()
+
+    def index_item(self, item: Node) -> None:
+        """Index every string value of one item."""
+        self._indexed.add(item)
+        for prop, values in self.graph.properties_of(item).items():
+            if prop in _SKIP:
+                continue
+            for value in values:
+                if not isinstance(value, Literal):
+                    continue
+                if value.is_numeric or value.is_temporal:
+                    continue
+                for token in self.analyzer.tokens(value.lexical):
+                    self._overall[token].add(item)
+                    self._by_property[prop][token].add(item)
+
+    def index_items(self, items) -> int:
+        """Index many items; returns the count."""
+        count = 0
+        for item in items:
+            self.index_item(item)
+            count += 1
+        return count
+
+    @property
+    def indexed_items(self) -> set[Node]:
+        return set(self._indexed)
+
+    # ------------------------------------------------------------------
+    # Queries (boolean AND semantics, like the toolbar keyword box)
+    # ------------------------------------------------------------------
+
+    def search(self, text: str, within: Resource | None = None) -> set[Node]:
+        """Items containing *all* the query's tokens.
+
+        ``within`` restricts matching to one property's values ("words in
+        the title").  An all-stop-word or empty query matches nothing.
+        """
+        tokens = list(self.analyzer.tokens(text))
+        if not tokens:
+            return set()
+        source = self._by_property.get(within, {}) if within else self._overall
+        result: set[Node] | None = None
+        for token in tokens:
+            postings = source.get(token, set())
+            result = set(postings) if result is None else (result & postings)
+            if not result:
+                return set()
+        return result or set()
+
+    def items_with_token(self, token: str, within: Resource | None = None) -> set[Node]:
+        """Items containing one already-analyzed token."""
+        source = self._by_property.get(within, {}) if within else self._overall
+        return set(source.get(token, ()))
+
+    def token_frequencies(self, within: Resource | None = None) -> Counter:
+        """token → document frequency, overall or for one property."""
+        source = self._by_property.get(within, {}) if within else self._overall
+        return Counter({token: len(items) for token, items in source.items()})
+
+    def text_properties(self) -> list[Resource]:
+        """Properties that carried at least one indexed string value."""
+        return sorted(self._by_property, key=lambda p: p.uri)
+
+    def vocabulary_size(self) -> int:
+        return len(self._overall)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TextIndex items={len(self._indexed)} "
+            f"vocab={len(self._overall)}>"
+        )

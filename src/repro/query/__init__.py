@@ -1,0 +1,43 @@
+"""Query engine: predicate AST, evaluation, previews, and parsing (§4.2)."""
+
+from .ast import (
+    And,
+    Cardinality,
+    ValueIn,
+    HasProperty,
+    HasValue,
+    Not,
+    Or,
+    PathValue,
+    Predicate,
+    QueryContext,
+    Range,
+    TextMatch,
+    TypeIs,
+)
+from .engine import QueryEngine
+from .parser import QueryParseError, QueryParser
+from .preview import RangePreview, collect_values
+from .simplify import simplify
+
+__all__ = [
+    "And",
+    "Cardinality",
+    "HasProperty",
+    "HasValue",
+    "Not",
+    "Or",
+    "PathValue",
+    "Predicate",
+    "QueryContext",
+    "Range",
+    "TextMatch",
+    "TypeIs",
+    "ValueIn",
+    "QueryEngine",
+    "QueryParseError",
+    "QueryParser",
+    "RangePreview",
+    "collect_values",
+    "simplify",
+]

@@ -1,0 +1,477 @@
+"""Predicate AST: the set concepts the query engine resolves (§4.2).
+
+Navigation suggestions *are* predicates ("The query engine lets users
+take the various navigation suggestions (which are predicates) and
+combine them").  By default combination is conjunctive; the context menu
+adds disjunction and negation.  Typed extensions contribute new leaf
+predicates: full-text matching against the external index, and numeric
+range comparison for continuous attributes.
+
+Every predicate can
+
+* test one item (:meth:`Predicate.matches`),
+* optionally produce its full extent from an index
+  (:meth:`Predicate.candidates`, returning None when only per-item
+  testing is available), and
+* describe itself for the constraint chips at the top of the navigation
+  pane (:meth:`Predicate.describe`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..index.textindex import TextIndex
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rdf.terms import Literal, Node, Resource
+from ..rdf.vocab import RDF
+from ..vsm.composition import compose_values
+
+__all__ = [
+    "QueryContext",
+    "Predicate",
+    "HasValue",
+    "HasProperty",
+    "TypeIs",
+    "TextMatch",
+    "Range",
+    "PathValue",
+    "ValueIn",
+    "Cardinality",
+    "And",
+    "Or",
+    "Not",
+]
+
+
+class QueryContext:
+    """Everything a predicate may consult during evaluation."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        schema: Schema | None = None,
+        text_index: TextIndex | None = None,
+        universe: Optional[set[Node]] = None,
+    ):
+        self.graph = graph
+        self.schema = schema if schema is not None else Schema(graph)
+        self.text_index = text_index
+        self._universe = universe
+
+    @property
+    def universe(self) -> set[Node]:
+        """The item population queries range over.
+
+        Defaults to every subject carrying an ``rdf:type`` — the graph's
+        "information objects", as opposed to annotation nodes.
+        """
+        if self._universe is None:
+            self._universe = {
+                s
+                for s, _p, _o in self.graph.triples(None, RDF.type, None)
+            }
+        return self._universe
+
+
+class Predicate:
+    """Base class for all query predicates."""
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        """True when the item satisfies the predicate."""
+        raise NotImplementedError
+
+    def candidates(self, context: QueryContext) -> Optional[set[Node]]:
+        """The predicate's extent from an index, or None if unknown.
+
+        A non-None return must be exact (it is intersected, not
+        re-checked).
+        """
+        return None
+
+    def describe(self, context: QueryContext) -> str:
+        """Human-readable rendering for the constraint chips (§3.2)."""
+        raise NotImplementedError
+
+    # Compact combinator sugar so analysts can compose predicates.
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Predicate":
+        return self.negated()
+
+    def negated(self) -> "Predicate":
+        """The predicate's negation (double negation collapses)."""
+        return Not(self)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._key()!r})"
+
+
+class HasValue(Predicate):
+    """item has (property, value) — the basic metadata constraint."""
+
+    def __init__(self, prop: Resource, value: Node):
+        self.prop = prop
+        self.value = value
+
+    def _key(self):
+        return (self.prop, self.value)
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        return (item, self.prop, self.value) in context.graph
+
+    def candidates(self, context: QueryContext) -> set[Node]:
+        return set(context.graph.subjects(self.prop, self.value))
+
+    def describe(self, context: QueryContext) -> str:
+        prop = context.schema.label(self.prop)
+        value = context.schema.label(self.value)
+        return f"{prop}: {value}"
+
+
+class HasProperty(Predicate):
+    """item carries the property at all (any value)."""
+
+    def __init__(self, prop: Resource):
+        self.prop = prop
+
+    def _key(self):
+        return (self.prop,)
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        return any(True for _ in context.graph.objects(item, self.prop))
+
+    def candidates(self, context: QueryContext) -> set[Node]:
+        return set(context.graph.subjects(self.prop))
+
+    def describe(self, context: QueryContext) -> str:
+        return f"has {context.schema.label(self.prop)}"
+
+
+class TypeIs(HasValue):
+    """item is of an rdf:type — sugar over :class:`HasValue`."""
+
+    def __init__(self, rdf_type: Resource):
+        super().__init__(RDF.type, rdf_type)
+
+    def describe(self, context: QueryContext) -> str:
+        return f"type: {context.schema.label(self.value)}"
+
+
+class TextMatch(Predicate):
+    """Full-text constraint resolved by the external index (§4.2).
+
+    ``within`` restricts the match to one property's values ("words in
+    the title" vs "words in the body", §3.2/§4.1).
+    """
+
+    def __init__(self, text: str, within: Resource | None = None):
+        self.text = text
+        self.within = within
+
+    def _key(self):
+        return (self.text, self.within)
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        return item in self._extent(context)
+
+    def candidates(self, context: QueryContext) -> set[Node]:
+        return self._extent(context)
+
+    def _extent(self, context: QueryContext) -> set[Node]:
+        if context.text_index is None:
+            raise RuntimeError(
+                "TextMatch requires a text index on the query context"
+            )
+        return context.text_index.search(self.text, within=self.within)
+
+    def describe(self, context: QueryContext) -> str:
+        if self.within is not None:
+            return f"{context.schema.label(self.within)} contains: {self.text!r}"
+        return f"contains: {self.text!r}"
+
+
+class Range(Predicate):
+    """Numeric/temporal range comparison (§4.2, §5.4; Figure 5).
+
+    Bounds are inclusive; either may be None for a one-sided comparison
+    (the "greater than and less than predicates" extension).
+    """
+
+    def __init__(
+        self,
+        prop: Resource,
+        low: float | None = None,
+        high: float | None = None,
+    ):
+        if low is None and high is None:
+            raise ValueError("Range needs at least one bound")
+        if low is not None and high is not None and low > high:
+            raise ValueError(f"empty range: low {low} > high {high}")
+        self.prop = prop
+        self.low = low
+        self.high = high
+
+    def _key(self):
+        return (self.prop, self.low, self.high)
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        for value in context.graph.objects(item, self.prop):
+            if not isinstance(value, Literal):
+                continue
+            number = value.as_number()
+            if number is None:
+                continue
+            if self.low is not None and number < self.low:
+                continue
+            if self.high is not None and number > self.high:
+                continue
+            return True
+        return False
+
+    def candidates(self, context: QueryContext) -> set[Node]:
+        found: set[Node] = set()
+        for subject, _p, value in context.graph.triples(None, self.prop, None):
+            if not isinstance(value, Literal):
+                continue
+            number = value.as_number()
+            if number is None:
+                continue
+            if self.low is not None and number < self.low:
+                continue
+            if self.high is not None and number > self.high:
+                continue
+            found.add(subject)
+        return found
+
+    def describe(self, context: QueryContext) -> str:
+        prop = context.schema.label(self.prop)
+        if self.low is None:
+            return f"{prop} ≤ {self.high:g}"
+        if self.high is None:
+            return f"{prop} ≥ {self.low:g}"
+        return f"{prop} in [{self.low:g}, {self.high:g}]"
+
+
+class PathValue(Predicate):
+    """A value reached through a property chain (composed attribute).
+
+    Supports the CAS-style structural queries of §6.2 — e.g. INEX's
+    "vitae of graduate students researching Information Retrieval" needs
+    constraints several steps into the structure.
+    """
+
+    def __init__(self, chain: Sequence[Resource], value: Node):
+        if not chain:
+            raise ValueError("PathValue needs a non-empty chain")
+        self.chain = tuple(chain)
+        self.value = value
+
+    def _key(self):
+        return (self.chain, self.value)
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        return self.value in compose_values(context.graph, item, self.chain)
+
+    def describe(self, context: QueryContext) -> str:
+        path = " → ".join(context.schema.label(p) for p in self.chain)
+        return f"{path}: {context.schema.label(self.value)}"
+
+
+class ValueIn(Predicate):
+    """Quantified membership in a browsed value set (§3.3).
+
+    The browse-and-apply flow — refine the collection of ingredients,
+    then keep recipes whose ingredients fall in the refined set — needs
+    a predicate over a *set* of values with an any/all quantifier:
+
+    * ``any`` — the item has at least one value of ``prop`` in the set;
+    * ``all`` — the item has values for ``prop`` and every one is in
+      the set.
+    """
+
+    QUANTIFIERS = ("any", "all")
+
+    def __init__(self, prop: Resource, values, quantifier: str = "any"):
+        if quantifier not in self.QUANTIFIERS:
+            raise ValueError(f"quantifier must be one of {self.QUANTIFIERS}")
+        self.prop = prop
+        self.values = frozenset(values)
+        self.quantifier = quantifier
+
+    def _key(self):
+        return (self.prop, self.values, self.quantifier)
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        item_values = set(context.graph.objects(item, self.prop))
+        if not item_values:
+            return False
+        if self.quantifier == "any":
+            return bool(item_values & self.values)
+        return item_values <= self.values
+
+    def candidates(self, context: QueryContext) -> set[Node]:
+        if self.quantifier == "any":
+            found: set[Node] = set()
+            for value in self.values:
+                found.update(context.graph.subjects(self.prop, value))
+            return found
+        return {
+            item
+            for item in context.graph.subjects(self.prop)
+            if self.matches(item, context)
+        }
+
+    def describe(self, context: QueryContext) -> str:
+        prop = context.schema.label(self.prop)
+        word = "an" if self.quantifier == "any" else "every"
+        return f"{word} {prop} in a set of {len(self.values)}"
+
+
+class Cardinality(Predicate):
+    """Bound on how many values an item has for a property.
+
+    §6.2 names "all recipes having 5 or fewer ingredients" as a query
+    Magnet's default interface could not express; this extension
+    predicate supplies it.
+    """
+
+    def __init__(
+        self,
+        prop: Resource,
+        at_least: int | None = None,
+        at_most: int | None = None,
+    ):
+        if at_least is None and at_most is None:
+            raise ValueError("Cardinality needs at least one bound")
+        self.prop = prop
+        self.at_least = at_least
+        self.at_most = at_most
+
+    def _key(self):
+        return (self.prop, self.at_least, self.at_most)
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        count = sum(1 for _ in context.graph.objects(item, self.prop))
+        if self.at_least is not None and count < self.at_least:
+            return False
+        if self.at_most is not None and count > self.at_most:
+            return False
+        return True
+
+    def describe(self, context: QueryContext) -> str:
+        prop = context.schema.label(self.prop)
+        if self.at_least is None:
+            return f"≤ {self.at_most} {prop}"
+        if self.at_most is None:
+            return f"≥ {self.at_least} {prop}"
+        return f"{self.at_least}–{self.at_most} {prop}"
+
+
+class And(Predicate):
+    """Conjunction — the default combination of suggestions (§4.2)."""
+
+    def __init__(self, parts: Sequence[Predicate]):
+        self.parts = tuple(parts)
+
+    def _key(self):
+        return self.parts
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        return all(part.matches(item, context) for part in self.parts)
+
+    def candidates(self, context: QueryContext) -> Optional[set[Node]]:
+        known = [part.candidates(context) for part in self.parts]
+        exact = [c for c in known if c is not None]
+        if len(exact) != len(known):
+            # Some parts can't enumerate; the engine must filter.
+            return None
+        if not exact:
+            return set(context.universe)
+        result = set(min(exact, key=len))
+        for extent in exact:
+            result &= extent
+            if not result:
+                break
+        return result
+
+    def describe(self, context: QueryContext) -> str:
+        if not self.parts:
+            return "everything"
+        return " AND ".join(
+            _parenthesize(part, context) for part in self.parts
+        )
+
+
+class Or(Predicate):
+    """Disjunction, reachable via the context menu (§3.3)."""
+
+    def __init__(self, parts: Sequence[Predicate]):
+        self.parts = tuple(parts)
+
+    def _key(self):
+        return self.parts
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        return any(part.matches(item, context) for part in self.parts)
+
+    def candidates(self, context: QueryContext) -> Optional[set[Node]]:
+        result: set[Node] = set()
+        for part in self.parts:
+            extent = part.candidates(context)
+            if extent is None:
+                return None
+            result |= extent
+        return result
+
+    def describe(self, context: QueryContext) -> str:
+        if not self.parts:
+            return "nothing"
+        return " OR ".join(_parenthesize(part, context) for part in self.parts)
+
+
+class Not(Predicate):
+    """Negation of a constraint (§3.2's context-menu negation)."""
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def _key(self):
+        return (self.part,)
+
+    def negated(self) -> Predicate:
+        return self.part
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        return not self.part.matches(item, context)
+
+    def candidates(self, context: QueryContext) -> Optional[set[Node]]:
+        extent = self.part.candidates(context)
+        if extent is None:
+            return None
+        return context.universe - extent
+
+    def describe(self, context: QueryContext) -> str:
+        return f"NOT {_parenthesize(self.part, context)}"
+
+
+def _parenthesize(part: Predicate, context: QueryContext) -> str:
+    text = part.describe(context)
+    if isinstance(part, (And, Or)) and len(part.parts) > 1:
+        return f"({text})"
+    return text

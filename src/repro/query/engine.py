@@ -1,0 +1,89 @@
+"""Query evaluation with the typed-extension mechanism of §4.2.
+
+The engine resolves predicates to item sets.  Leaf predicates that can
+enumerate their extent from an index do so; everything else is filtered
+against the context's universe.  ``register_extension`` lets analysts
+plug in evaluators for new predicate types without touching the engine —
+the paper's mechanism for "a uniform interface to query both metadata
+... and other attribute value types".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..rdf.terms import Node
+from .ast import Predicate, QueryContext
+
+__all__ = ["QueryEngine"]
+
+#: An extension evaluator returns the predicate's exact extent, or None
+#: to fall back to per-item matching.
+ExtensionEvaluator = Callable[[Predicate, QueryContext], Optional[set[Node]]]
+
+
+class QueryEngine:
+    """Resolves predicates against a :class:`QueryContext`."""
+
+    def __init__(self, context: QueryContext):
+        self.context = context
+        self._extensions: dict[type, ExtensionEvaluator] = {}
+
+    def register_extension(
+        self, predicate_type: type, evaluator: ExtensionEvaluator
+    ) -> None:
+        """Install an extension evaluator for a predicate type.
+
+        The evaluator is consulted before the predicate's own
+        ``candidates``; returning None defers to the default strategy.
+        """
+        if not issubclass(predicate_type, Predicate):
+            raise TypeError("extensions must target Predicate subclasses")
+        self._extensions[predicate_type] = evaluator
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, predicate: Predicate, within: Iterable[Node] | None = None
+    ) -> set[Node]:
+        """The set of items satisfying ``predicate``.
+
+        ``within`` restricts evaluation to a base collection (used when
+        refining the current result set); None means the full universe.
+        """
+        base = set(within) if within is not None else None
+        extent = self._extent(predicate)
+        if extent is not None:
+            if base is not None:
+                return extent & base
+            return extent & self.context.universe
+        population = base if base is not None else self.context.universe
+        return {
+            item
+            for item in population
+            if predicate.matches(item, self.context)
+        }
+
+    def count(self, predicate: Predicate, within: Iterable[Node] | None = None) -> int:
+        """Size of the predicate's result set (used for query previews)."""
+        return len(self.evaluate(predicate, within))
+
+    def matches(self, predicate: Predicate, item: Node) -> bool:
+        """Test a single item."""
+        return predicate.matches(item, self.context)
+
+    def _extent(self, predicate: Predicate) -> Optional[set[Node]]:
+        evaluator = self._extensions.get(type(predicate))
+        if evaluator is not None:
+            extent = evaluator(predicate, self.context)
+            if extent is not None:
+                return extent
+        return predicate.candidates(self.context)
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryEngine universe={len(self.context.universe)} "
+            f"extensions={sorted(t.__name__ for t in self._extensions)}>"
+        )

@@ -1,0 +1,196 @@
+"""A small textual query language for the toolbar and examples.
+
+The paper's users start searches "by specifying keywords ... in the
+toolbar" (§3.1); power users combine constraints with and/or/not (§3.3).
+This parser provides a compact surface syntax covering both:
+
+    greek parsley                      → TextMatch AND TextMatch
+    cuisine:Greek AND ingredient:parsley
+    NOT ingredient:walnuts
+    (course:Dessert OR course:Salad) AND cuisine:Mexican
+    area >= 100000                     → Range
+    ingredients <= 5                   → Cardinality (with a resolver)
+
+Grammar (precedence low→high):  expr := or ; or := and (OR and)* ;
+and := unary ((AND)? unary)* ; unary := NOT unary | '(' expr ')' | leaf.
+Adjacent terms are implicitly conjoined, like search-engine syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from ..rdf.terms import Literal, Node, Resource
+from .ast import And, HasValue, Not, Or, Predicate, Range, TextMatch
+
+__all__ = ["QueryParseError", "QueryParser"]
+
+
+class QueryParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+_TOKEN = re.compile(
+    r"""
+    \s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<op><=|>=|=) |
+        (?P<colon>:) |
+        (?P<quoted>"(?:[^"\\]|\\.)*") |
+        (?P<word>[^\s():"<>=]+)
+    )
+    """,
+    re.VERBOSE,
+)
+
+#: Resolves a field name to a property Resource (or None to treat the
+#: token as plain text).
+PropertyResolver = Callable[[str], Resource | None]
+#: Resolves (property, value text) to the Node used in a HasValue.
+ValueResolver = Callable[[Resource, str], Node]
+
+
+def _default_value_resolver(prop: Resource, text: str) -> Node:
+    return Literal(text)
+
+
+class QueryParser:
+    """Parses query text into a :class:`Predicate` tree.
+
+    ``resolve_property`` maps field names (the part before ``:``) to
+    property resources; when it returns None the whole term is treated
+    as a keyword.  ``resolve_value`` maps the value text to a term —
+    datasets typically resolve facet values to their resources.
+    """
+
+    def __init__(
+        self,
+        resolve_property: PropertyResolver | None = None,
+        resolve_value: ValueResolver | None = None,
+    ):
+        self.resolve_property = resolve_property or (lambda name: None)
+        self.resolve_value = resolve_value or _default_value_resolver
+
+    def parse(self, text: str) -> Predicate:
+        """Parse query text; raises :class:`QueryParseError` on errors."""
+        tokens = self._lex(text)
+        if not tokens:
+            raise QueryParseError("empty query")
+        predicate, pos = self._parse_or(tokens, 0)
+        if pos != len(tokens):
+            raise QueryParseError(f"unexpected token {tokens[pos][1]!r}")
+        return predicate
+
+    # -- lexer ----------------------------------------------------------
+
+    @staticmethod
+    def _lex(text: str) -> list[tuple[str, str]]:
+        tokens: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None or match.end() == pos:
+                remainder = text[pos:].strip()
+                if not remainder:
+                    break
+                raise QueryParseError(f"cannot lex {remainder!r}")
+            pos = match.end()
+            for kind in ("lparen", "rparen", "op", "colon", "quoted", "word"):
+                value = match.group(kind)
+                if value is not None:
+                    tokens.append((kind, value))
+                    break
+        return tokens
+
+    # -- recursive descent ------------------------------------------------
+
+    def _parse_or(self, tokens, pos):
+        left, pos = self._parse_and(tokens, pos)
+        parts = [left]
+        while pos < len(tokens) and _is_keyword(tokens[pos], "OR"):
+            right, pos = self._parse_and(tokens, pos + 1)
+            parts.append(right)
+        return (parts[0] if len(parts) == 1 else Or(parts)), pos
+
+    def _parse_and(self, tokens, pos):
+        left, pos = self._parse_unary(tokens, pos)
+        parts = [left]
+        while pos < len(tokens):
+            kind, value = tokens[pos]
+            if _is_keyword(tokens[pos], "AND"):
+                right, pos = self._parse_unary(tokens, pos + 1)
+                parts.append(right)
+                continue
+            if _is_keyword(tokens[pos], "OR") or kind == "rparen":
+                break
+            # Implicit conjunction of adjacent terms.
+            right, pos = self._parse_unary(tokens, pos)
+            parts.append(right)
+        return (parts[0] if len(parts) == 1 else And(parts)), pos
+
+    def _parse_unary(self, tokens, pos):
+        if pos >= len(tokens):
+            raise QueryParseError("unexpected end of query")
+        kind, value = tokens[pos]
+        if _is_keyword(tokens[pos], "NOT"):
+            inner, pos = self._parse_unary(tokens, pos + 1)
+            return Not(inner), pos
+        if kind == "lparen":
+            inner, pos = self._parse_or(tokens, pos + 1)
+            if pos >= len(tokens) or tokens[pos][0] != "rparen":
+                raise QueryParseError("missing closing parenthesis")
+            return inner, pos + 1
+        return self._parse_leaf(tokens, pos)
+
+    def _parse_leaf(self, tokens, pos):
+        kind, value = tokens[pos]
+        if kind == "quoted":
+            return TextMatch(_unquote(value)), pos + 1
+        if kind != "word":
+            raise QueryParseError(f"unexpected token {value!r}")
+        # Lookahead for field:value / field>=n / field<=n forms.
+        if pos + 1 < len(tokens):
+            next_kind, next_value = tokens[pos + 1]
+            if next_kind == "colon":
+                return self._parse_field_value(tokens, pos, value)
+            if next_kind == "op":
+                return self._parse_comparison(tokens, pos, value, next_value)
+        return TextMatch(value), pos + 1
+
+    def _parse_field_value(self, tokens, pos, field):
+        if pos + 2 >= len(tokens) or tokens[pos + 2][0] not in ("word", "quoted"):
+            raise QueryParseError(f"missing value after {field!r}:")
+        raw = tokens[pos + 2][1]
+        text = _unquote(raw) if raw.startswith('"') else raw
+        prop = self.resolve_property(field)
+        if prop is None:
+            return TextMatch(f"{field} {text}"), pos + 3
+        return HasValue(prop, self.resolve_value(prop, text)), pos + 3
+
+    def _parse_comparison(self, tokens, pos, field, op):
+        if pos + 2 >= len(tokens) or tokens[pos + 2][0] != "word":
+            raise QueryParseError(f"missing number after {field!r} {op}")
+        raw = tokens[pos + 2][1]
+        try:
+            number = float(raw)
+        except ValueError:
+            raise QueryParseError(f"{raw!r} is not a number") from None
+        prop = self.resolve_property(field)
+        if prop is None:
+            raise QueryParseError(f"unknown field {field!r} in comparison")
+        if op == ">=":
+            return Range(prop, low=number), pos + 3
+        if op == "<=":
+            return Range(prop, high=number), pos + 3
+        return Range(prop, low=number, high=number), pos + 3
+
+
+def _is_keyword(token: tuple[str, str], keyword: str) -> bool:
+    return token[0] == "word" and token[1].upper() == keyword
+
+
+def _unquote(quoted: str) -> str:
+    body = quoted[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")

@@ -1,0 +1,118 @@
+"""Query preview for continuous attributes (§5.4, Figure 5).
+
+The range-selection control shows "hatch marks to represent documents,
+thus showing a form of query preview": a histogram of the attribute's
+values over the current collection, plus the count that would survive a
+candidate [low, high] selection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Literal, Node, Resource
+
+__all__ = ["RangePreview", "collect_values"]
+
+
+def collect_values(
+    graph: Graph, items: Iterable[Node], prop: Resource
+) -> list[float]:
+    """All numeric readings of a property across a collection (sorted).
+
+    Items may contribute several values (multi-valued attributes);
+    non-numeric values are skipped.
+    """
+    values: list[float] = []
+    for item in items:
+        for value in graph.objects(item, prop):
+            if not isinstance(value, Literal):
+                continue
+            number = value.as_number()
+            if number is not None:
+                values.append(number)
+    values.sort()
+    return values
+
+
+class RangePreview:
+    """Histogram + slider state for one continuous attribute.
+
+    Mirrors Figure 5's control: two sliders select the boundary, hatch
+    marks preview the document distribution.
+    """
+
+    def __init__(self, values: Sequence[float], buckets: int = 20):
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        self.values = sorted(values)
+        self.buckets = buckets
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.values
+
+    @property
+    def low(self) -> float:
+        return self.values[0] if self.values else 0.0
+
+    @property
+    def high(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def histogram(self) -> list[int]:
+        """Per-bucket document counts over [low, high]."""
+        counts = [0] * self.buckets
+        if not self.values:
+            return counts
+        width = self.high - self.low
+        for value in self.values:
+            if width == 0.0:
+                index = 0
+            else:
+                index = min(
+                    self.buckets - 1,
+                    int((value - self.low) / width * self.buckets),
+                )
+            counts[index] += 1
+        return counts
+
+    def count_between(self, low: float | None, high: float | None) -> int:
+        """How many readings a [low, high] slider selection keeps."""
+        kept = 0
+        for value in self.values:
+            if low is not None and value < low:
+                continue
+            if high is not None and value > high:
+                continue
+            kept += 1
+        return kept
+
+    def hatch_marks(self, width: int = 40) -> str:
+        """An ASCII rendering of the hatch-mark strip.
+
+        Each column shows density on a four-step scale — the textual
+        stand-in for Figure 5's graphical control.
+        """
+        counts = self.histogram() if self.buckets == width else self._rebucket(width)
+        peak = max(counts) if counts else 0
+        if peak == 0:
+            return " " * width
+        glyphs = " .:|"
+        out = []
+        for count in counts:
+            level = 0 if count == 0 else 1 + min(2, (count * 3 - 1) // peak)
+            out.append(glyphs[level])
+        return "".join(out)
+
+    def _rebucket(self, width: int) -> list[int]:
+        return RangePreview(self.values, buckets=width).histogram()
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "<RangePreview empty>"
+        return (
+            f"<RangePreview n={len(self.values)} "
+            f"[{self.low:g}, {self.high:g}] buckets={self.buckets}>"
+        )

@@ -1,0 +1,60 @@
+"""Boolean simplification of predicate trees.
+
+Interactive refinement builds queries incrementally — click, negate,
+compound, undo — which leaves trees with nested conjunctions, duplicate
+constraints, and double negations.  The simplifier normalizes them so
+the constraint chips stay readable and evaluation does no redundant
+work:
+
+* ``And``/``Or`` of the same kind are flattened;
+* duplicate branches are dropped (first occurrence kept);
+* ``Not(Not(p))`` collapses to ``p``;
+* one-element combinations unwrap;
+* a branch and its complement short-circuit: ``And([p, ¬p, ...])`` is
+  the empty ``Or([])`` (matches nothing), ``Or([p, ¬p, ...])`` the
+  empty ``And([])`` (matches everything).
+
+The transformation preserves extension: for every item and context,
+``simplify(p)`` matches exactly when ``p`` does (property-tested).
+"""
+
+from __future__ import annotations
+
+from .ast import And, Not, Or, Predicate
+
+__all__ = ["simplify"]
+
+
+def simplify(predicate: Predicate) -> Predicate:
+    """Return an extension-equivalent, normalized predicate."""
+    if isinstance(predicate, Not):
+        inner = simplify(predicate.part)
+        if isinstance(inner, Not):
+            return inner.part
+        return Not(inner)
+    if isinstance(predicate, (And, Or)):
+        return _simplify_combination(predicate)
+    return predicate
+
+
+def _simplify_combination(predicate: And | Or) -> Predicate:
+    kind = type(predicate)
+    flattened: list[Predicate] = []
+    seen: set[Predicate] = set()
+    for part in predicate.parts:
+        part = simplify(part)
+        branches = part.parts if isinstance(part, kind) else (part,)
+        for branch in branches:
+            if branch not in seen:
+                seen.add(branch)
+                flattened.append(branch)
+    # Complementary pair → constant.
+    for branch in flattened:
+        complement = branch.part if isinstance(branch, Not) else Not(branch)
+        if complement in seen:
+            # And with p∧¬p is unsatisfiable → empty Or (false);
+            # Or with p∨¬p is trivially true → empty And (true).
+            return Or([]) if kind is And else And([])
+    if len(flattened) == 1:
+        return flattened[0]
+    return kind(flattened)

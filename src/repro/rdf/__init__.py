@@ -1,0 +1,71 @@
+"""RDF substrate: terms, namespaces, triple store, IO, and schema hints.
+
+This package is the semistructured repository Magnet navigates.  It is a
+from-scratch stand-in for the Haystack RDF store the paper runs on (and
+for rdflib, which is unavailable offline): an indexed in-memory triple
+store, N-Triples serialization, CSV/XML importers, and the
+schema-annotation vocabulary that specializes the browsing interface.
+"""
+
+from .graph import Graph, Triple
+from .namespace import Namespace, split_uri
+from .ntriples import (
+    NTriplesError,
+    dump,
+    load,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from .schema import Schema, ValueType, infer_value_types
+from .terms import BlankNode, Literal, Node, Resource, Term, coerce_literal
+from .vocab import DC, HAYSTACK, MAGNET, RDF, RDFS, XSD
+from .csv2rdf import csv_to_graph, rows_to_graph
+from .learn_compositions import (
+    CompositionCandidate,
+    apply_learned,
+    learn_compositions,
+)
+from .summary import PropertySummary, StructuralSummary, TypeSummary
+from .turtle import TurtleError, parse_turtle, serialize_turtle
+from .xml2rdf import XmlImportResult, paths_as_compositions, xml_to_graph
+
+__all__ = [
+    "Graph",
+    "Triple",
+    "Namespace",
+    "split_uri",
+    "NTriplesError",
+    "dump",
+    "load",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "Schema",
+    "ValueType",
+    "infer_value_types",
+    "BlankNode",
+    "Literal",
+    "Node",
+    "Resource",
+    "Term",
+    "coerce_literal",
+    "DC",
+    "HAYSTACK",
+    "MAGNET",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "csv_to_graph",
+    "rows_to_graph",
+    "CompositionCandidate",
+    "apply_learned",
+    "learn_compositions",
+    "PropertySummary",
+    "StructuralSummary",
+    "TypeSummary",
+    "TurtleError",
+    "parse_turtle",
+    "serialize_turtle",
+    "XmlImportResult",
+    "paths_as_compositions",
+    "xml_to_graph",
+]

@@ -1,0 +1,318 @@
+"""An in-memory RDF triple store with three-way indexing.
+
+This is the semistructured repository Magnet browses (§2, §5).  The
+implementation keeps the classic SPO / POS / OSP index trio so that every
+triple pattern with at least one bound position resolves without a scan,
+which the navigation analysts rely on heavily (facet counting touches the
+POS index thousands of times per view).
+
+The store is deliberately simple — set semantics, no inference — because
+the paper treats the repository as a dumb graph and layers all smarts
+(vector model, analysts) above it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from .terms import BlankNode, Literal, Node, Resource, Term, coerce_literal
+from .vocab import RDF, RDFS
+
+__all__ = ["Triple", "Graph"]
+
+#: A triple is (subject, property, object).
+Triple = tuple[Resource | BlankNode, Resource, Node]
+
+
+def _check_subject(subject) -> Resource | BlankNode:
+    if not isinstance(subject, (Resource, BlankNode)):
+        raise TypeError(f"triple subject must be Resource/BlankNode, got {subject!r}")
+    return subject
+
+
+def _check_predicate(predicate) -> Resource:
+    if not isinstance(predicate, Resource):
+        raise TypeError(f"triple predicate must be Resource, got {predicate!r}")
+    return predicate
+
+
+def _check_object(obj) -> Node:
+    if isinstance(obj, (Resource, BlankNode, Literal)):
+        return obj
+    return coerce_literal(obj)
+
+
+class Graph:
+    """A set of triples with SPO, POS, and OSP indexes.
+
+    The three nested-dict indexes give O(1) access for any pattern with a
+    bound position.  All query methods return iterators; callers that
+    need stable order should sort (term types define total orders within
+    their kind).
+    """
+
+    def __init__(self, triples: Iterable[Triple] | None = None):
+        # index[s][p] -> set of o, and the two rotations.
+        self._spo: dict[Node, dict[Node, set[Node]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._pos: dict[Node, dict[Node, set[Node]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._osp: dict[Node, dict[Node, set[Node]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._size = 0
+        self._blank_counter = itertools.count(1)
+        if triples:
+            for s, p, o in triples:
+                self.add(s, p, o)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, subject, predicate, obj) -> bool:
+        """Add a triple; return True if it was not already present.
+
+        The object may be a plain Python value (str/int/float/date/...),
+        which is coerced to a :class:`Literal`.
+        """
+        s = _check_subject(subject)
+        p = _check_predicate(predicate)
+        o = _check_object(obj)
+        bucket = self._spo[s][p]
+        if o in bucket:
+            return False
+        bucket.add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return the number actually inserted."""
+        return sum(1 for s, p, o in triples if self.add(s, p, o))
+
+    def remove(self, subject, predicate, obj) -> bool:
+        """Remove one triple; return True if it was present."""
+        s = _check_subject(subject)
+        p = _check_predicate(predicate)
+        o = _check_object(obj)
+        try:
+            self._spo[s][p].remove(o)
+        except KeyError:
+            return False
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._prune(self._spo, s, p)
+        self._prune(self._pos, p, o)
+        self._prune(self._osp, o, s)
+        self._size -= 1
+        return True
+
+    def remove_matching(self, subject=None, predicate=None, obj=None) -> int:
+        """Remove every triple matching the pattern; return the count."""
+        doomed = list(self.triples(subject, predicate, obj))
+        for s, p, o in doomed:
+            self.remove(s, p, o)
+        return len(doomed)
+
+    @staticmethod
+    def _prune(index, outer, inner) -> None:
+        if not index[outer][inner]:
+            del index[outer][inner]
+            if not index[outer]:
+                del index[outer]
+
+    def new_blank_node(self) -> BlankNode:
+        """Mint a blank node unique within this graph."""
+        return BlankNode(f"b{next(self._blank_counter)}")
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+
+    def triples(self, subject=None, predicate=None, obj=None) -> Iterator[Triple]:
+        """Yield triples matching a pattern; None matches anything."""
+        if obj is not None and not isinstance(obj, Term):
+            obj = coerce_literal(obj)
+        if subject is not None:
+            by_pred = self._spo.get(subject)
+            if not by_pred:
+                return
+            if predicate is not None:
+                objs = by_pred.get(predicate)
+                if not objs:
+                    return
+                if obj is not None:
+                    if obj in objs:
+                        yield (subject, predicate, obj)
+                    return
+                for o in objs:
+                    yield (subject, predicate, o)
+                return
+            for p, objs in by_pred.items():
+                if obj is not None:
+                    if obj in objs:
+                        yield (subject, p, obj)
+                    continue
+                for o in objs:
+                    yield (subject, p, o)
+            return
+        if predicate is not None:
+            by_obj = self._pos.get(predicate)
+            if not by_obj:
+                return
+            if obj is not None:
+                for s in by_obj.get(obj, ()):
+                    yield (s, predicate, obj)
+                return
+            for o, subs in by_obj.items():
+                for s in subs:
+                    yield (s, predicate, o)
+            return
+        if obj is not None:
+            by_subj = self._osp.get(obj)
+            if not by_subj:
+                return
+            for s, preds in by_subj.items():
+                for p in preds:
+                    yield (s, p, obj)
+            return
+        for s, by_pred in self._spo.items():
+            for p, objs in by_pred.items():
+                for o in objs:
+                    yield (s, p, o)
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        if not isinstance(o, Term):
+            o = coerce_literal(o)
+        return o in self._spo.get(s, {}).get(p, set())
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def subjects(self, predicate=None, obj=None) -> Iterator[Node]:
+        """Yield distinct subjects matching (*, predicate, obj)."""
+        if predicate is not None and obj is not None:
+            if not isinstance(obj, Term):
+                obj = coerce_literal(obj)
+            yield from self._pos.get(predicate, {}).get(obj, ())
+            return
+        seen: set[Node] = set()
+        for s, _p, _o in self.triples(None, predicate, obj):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def objects(self, subject=None, predicate=None) -> Iterator[Node]:
+        """Yield distinct objects matching (subject, predicate, *)."""
+        if subject is not None and predicate is not None:
+            yield from self._spo.get(subject, {}).get(predicate, ())
+            return
+        seen: set[Node] = set()
+        for _s, _p, o in self.triples(subject, predicate, None):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def predicates(self, subject=None, obj=None) -> Iterator[Resource]:
+        """Yield distinct predicates matching (subject, *, obj)."""
+        if subject is not None and obj is not None:
+            if not isinstance(obj, Term):
+                obj = coerce_literal(obj)
+            yield from self._osp.get(obj, {}).get(subject, ())
+            return
+        seen: set[Resource] = set()
+        for _s, p, _o in self.triples(subject, None, obj):
+            if p not in seen:
+                seen.add(p)
+                yield p
+
+    def value(self, subject, predicate, default=None) -> Node | None:
+        """A single object for (subject, predicate), or ``default``.
+
+        When several values exist an arbitrary-but-deterministic one
+        (the minimum) is returned.
+        """
+        objs = self._spo.get(subject, {}).get(predicate)
+        if not objs:
+            return default
+        return min(objs, key=_term_sort_key)
+
+    def properties_of(self, subject) -> dict[Resource, set[Node]]:
+        """All property → value-set pairs of a subject (copied)."""
+        return {p: set(objs) for p, objs in self._spo.get(subject, {}).items()}
+
+    def items_of_type(self, rdf_type: Resource) -> Iterator[Node]:
+        """Subjects with ``rdf:type rdf_type``."""
+        return self.subjects(RDF.type, rdf_type)
+
+    def label(self, node: Node) -> str:
+        """A human-readable name for a node.
+
+        Uses ``rdfs:label`` when present; otherwise the resource's local
+        name or the literal's lexical form.  §6.1 observes that adding
+        labels makes the interface markedly friendlier — this helper is
+        where that annotation takes effect.
+        """
+        if isinstance(node, Literal):
+            return node.lexical
+        lab = self.value(node, RDFS.label)
+        if isinstance(lab, Literal):
+            return lab.lexical
+        if isinstance(node, Resource):
+            return node.local_name
+        return node.node_id
+
+    def subject_count(self) -> int:
+        """Number of distinct subjects in the graph."""
+        return len(self._spo)
+
+    # ------------------------------------------------------------------
+    # Whole-graph operations
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """A shallow structural copy (terms are immutable and shared)."""
+        clone = Graph()
+        for s, p, o in self.triples():
+            clone.add(s, p, o)
+        return clone
+
+    def update(self, other: "Graph") -> int:
+        """Merge another graph into this one; return inserted count."""
+        return self.add_all(other.triples())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(t in other for t in self.triples())
+
+    def __repr__(self) -> str:
+        return f"<Graph with {self._size} triples over {self.subject_count()} subjects>"
+
+
+def _term_sort_key(term: Node):
+    """Total order across term kinds for deterministic tie-breaking."""
+    if isinstance(term, Resource):
+        return (0, term.uri)
+    if isinstance(term, BlankNode):
+        return (1, term.node_id)
+    return (2, term.n3())

@@ -1,0 +1,150 @@
+"""Automatic discovery of attribute compositions (§5.1, §7).
+
+"Just as systems can be built to learn phrases for use in traditional
+vector space models, we expect that systems might ultimately learn to
+automatically detect and incorporate important compositional relations"
+— and §7 asks for "heuristic rules or learning approaches to determine
+such annotations".
+
+The detector scans the graph for two-step property chains
+``item --p--> node --q--> value`` and scores each (p, q) pair by
+
+* **support** — how many distinct items traverse the chain;
+* **informativeness** — the entropy of the end-value distribution
+  (a chain whose composite value is constant cannot refine anything);
+* **fan-in sanity** — chains through hub nodes shared by most items
+  (e.g. everything pointing at one "root") are penalized.
+
+Chains above the thresholds are proposed; :func:`apply_learned` writes
+them as ``magnet:compose`` annotations, exactly as a schema expert
+would.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import NamedTuple
+
+from .graph import Graph
+from .schema import Schema
+from .terms import Literal, Node, Resource
+from .vocab import MAGNET, RDF, RDFS
+
+__all__ = ["CompositionCandidate", "learn_compositions", "apply_learned"]
+
+_SKIP = frozenset(
+    {MAGNET.valueType, MAGNET.compose, MAGNET.hidden,
+     MAGNET.importantProperty, RDFS.label}
+)
+
+
+class CompositionCandidate(NamedTuple):
+    """A scored two-step chain proposal."""
+
+    chain: tuple[Resource, Resource]
+    support: int
+    distinct_values: int
+    entropy: float
+    score: float
+
+
+def learn_compositions(
+    graph: Graph,
+    items: list[Node] | None = None,
+    min_support: float = 0.3,
+    min_entropy: float = 0.5,
+    max_candidates: int = 20,
+) -> list[CompositionCandidate]:
+    """Propose two-step compositions for a corpus.
+
+    ``items`` defaults to every typed subject.  ``min_support`` is the
+    fraction of items that must traverse the chain; ``min_entropy`` the
+    minimum Shannon entropy (bits) of the composite-value distribution.
+    Candidates are returned best-first.
+    """
+    if items is None:
+        items = sorted(
+            {s for s, _p, _o in graph.triples(None, RDF.type, None)},
+            key=lambda n: n.n3(),
+        )
+    if not items:
+        return []
+    item_set = set(items)
+
+    # For every (p, q): which items traverse it and what values result.
+    traversers: dict[tuple[Resource, Resource], set[Node]] = defaultdict(set)
+    values: dict[tuple[Resource, Resource], Counter] = defaultdict(Counter)
+    for item in items:
+        for p, targets in graph.properties_of(item).items():
+            if p in _SKIP or p == RDF.type:
+                continue
+            for target in targets:
+                if isinstance(target, Literal) or target in item_set:
+                    # Literals have no outgoing arcs; chains into other
+                    # *items* are navigation, not attribute structure.
+                    continue
+                for q, ends in graph.properties_of(target).items():
+                    if q in _SKIP or q == RDF.type:
+                        continue
+                    key = (p, q)
+                    traversers[key].add(item)
+                    for end in ends:
+                        values[key][_value_token(end)] += 1
+
+    candidates: list[CompositionCandidate] = []
+    for key, traversing in traversers.items():
+        support = len(traversing)
+        support_fraction = support / len(items)
+        if support_fraction < min_support:
+            continue
+        distribution = values[key]
+        entropy = _entropy(distribution)
+        if entropy < min_entropy:
+            continue
+        distinct = len(distribution)
+        score = support_fraction * entropy
+        candidates.append(
+            CompositionCandidate(key, support, distinct, entropy, score)
+        )
+    candidates.sort(key=lambda c: (-c.score, [p.uri for p in c.chain]))
+    return candidates[:max_candidates]
+
+
+def apply_learned(
+    graph: Graph, candidates: list[CompositionCandidate]
+) -> int:
+    """Record candidates as ``magnet:compose`` annotations.
+
+    Returns how many new chains were written (already-declared chains
+    are skipped).
+    """
+    schema = Schema(graph)
+    existing = set(schema.compositions())
+    written = 0
+    for candidate in candidates:
+        if candidate.chain in existing:
+            continue
+        schema.add_composition(list(candidate.chain))
+        existing.add(candidate.chain)
+        written += 1
+    return written
+
+
+def _value_token(node: Node) -> str:
+    if isinstance(node, Literal):
+        return node.lexical
+    if isinstance(node, Resource):
+        return node.uri
+    return node.n3()
+
+
+def _entropy(distribution: Counter) -> float:
+    total = sum(distribution.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in distribution.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy

@@ -1,0 +1,79 @@
+"""Namespace helpers for building resources with a common URI prefix.
+
+Mirrors the convenience offered by RDF toolkits: ``NS = Namespace(base)``
+then ``NS.term`` or ``NS["term"]`` mint :class:`~repro.rdf.terms.Resource`
+objects under that base URI.
+"""
+
+from __future__ import annotations
+
+from .terms import Resource
+
+__all__ = ["Namespace", "split_uri"]
+
+
+class Namespace:
+    """A URI prefix that mints :class:`Resource` terms.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.recipe.uri
+    'http://example.org/recipe'
+    >>> EX["apple pie"].uri
+    'http://example.org/apple%20pie'
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: str):
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self.base = base
+
+    def __getattr__(self, name: str) -> Resource:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return Resource(self.base + name)
+
+    def __getitem__(self, name: str) -> Resource:
+        return Resource(self.base + _escape(name))
+
+    def term(self, name: str) -> Resource:
+        """Mint a resource for ``name`` under this namespace."""
+        return self[name]
+
+    def __contains__(self, resource: Resource) -> bool:
+        return isinstance(resource, Resource) and resource.uri.startswith(self.base)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and self.base == other.base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self.base))
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+
+def _escape(name: str) -> str:
+    """Percent-encode characters that cannot appear raw in a URI path."""
+    out = []
+    for ch in name:
+        if ch.isalnum() or ch in "-._~/#":
+            out.append(ch)
+        else:
+            out.extend(f"%{byte:02X}" for byte in ch.encode("utf-8"))
+    return "".join(out)
+
+
+def split_uri(uri: str) -> tuple[str, str]:
+    """Split a URI into (namespace base, local name).
+
+    The split point is after the last '#' if present, else after the last
+    '/'.  Falls back to ('', uri) when neither separator occurs.
+    """
+    for sep in ("#", "/"):
+        if sep in uri:
+            head, tail = uri.rsplit(sep, 1)
+            if tail:
+                return head + sep, tail
+    return ("", uri)

@@ -1,0 +1,151 @@
+"""N-Triples serialization — the line-oriented RDF exchange format.
+
+Magnet consumes RDF from external sources (§6.1 uses RDF conversions of
+the CIA World Factbook, OCW, and ArtSTOR); this module provides the
+parser and serializer used to move graphs in and out of the repository.
+
+The dialect implemented is classic N-Triples: one triple per line,
+``<uri>``, ``_:id``, and ``"literal"`` (optionally ``@lang`` or
+``^^<datatype>``), terminated by ``.``.  Comments start with ``#``.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator
+
+from .graph import Graph, Triple
+from .terms import BlankNode, Literal, Node, Resource
+
+__all__ = ["parse_ntriples", "serialize_ntriples", "dump", "load", "NTriplesError"]
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input, with line information."""
+
+    def __init__(self, message: str, line_no: int, line: str):
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+def parse_ntriples(text: str) -> Graph:
+    """Parse N-Triples text into a new :class:`Graph`."""
+    graph = Graph()
+    for triple in iter_triples(text):
+        graph.add(*triple)
+    return graph
+
+
+def iter_triples(text: str) -> Iterator[Triple]:
+    """Yield triples from N-Triples text without building a graph."""
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield _parse_line(line, line_no)
+
+
+def _parse_line(line: str, line_no: int) -> Triple:
+    pos = 0
+    subject, pos = _parse_term(line, pos, line_no)
+    if isinstance(subject, Literal):
+        raise NTriplesError("literal in subject position", line_no, line)
+    predicate, pos = _parse_term(line, pos, line_no)
+    if not isinstance(predicate, Resource):
+        raise NTriplesError("predicate must be a URI", line_no, line)
+    obj, pos = _parse_term(line, pos, line_no)
+    rest = line[pos:].strip()
+    if rest != ".":
+        raise NTriplesError("expected terminating '.'", line_no, line)
+    return (subject, predicate, obj)
+
+
+def _parse_term(line: str, pos: int, line_no: int) -> tuple[Node, int]:
+    while pos < len(line) and line[pos] in " \t":
+        pos += 1
+    if pos >= len(line):
+        raise NTriplesError("unexpected end of line", line_no, line)
+    ch = line[pos]
+    if ch == "<":
+        end = line.find(">", pos)
+        if end < 0:
+            raise NTriplesError("unterminated URI", line_no, line)
+        return Resource(line[pos + 1:end]), end + 1
+    if ch == "_" and line[pos:pos + 2] == "_:":
+        end = pos + 2
+        while end < len(line) and (line[end].isalnum() or line[end] in "-_"):
+            end += 1
+        if end == pos + 2:
+            raise NTriplesError("empty blank-node id", line_no, line)
+        return BlankNode(line[pos + 2:end]), end
+    if ch == '"':
+        lexical, end = _parse_quoted(line, pos, line_no)
+        datatype = None
+        language = None
+        if line[end:end + 2] == "^^":
+            if line[end + 2:end + 3] != "<":
+                raise NTriplesError("datatype must be a URI", line_no, line)
+            close = line.find(">", end + 3)
+            if close < 0:
+                raise NTriplesError("unterminated datatype URI", line_no, line)
+            datatype = line[end + 3:close]
+            end = close + 1
+        elif line[end:end + 1] == "@":
+            tag_end = end + 1
+            while tag_end < len(line) and (line[tag_end].isalnum() or line[tag_end] == "-"):
+                tag_end += 1
+            language = line[end + 1:tag_end]
+            if not language:
+                raise NTriplesError("empty language tag", line_no, line)
+            end = tag_end
+        return Literal(lexical, datatype=datatype, language=language), end
+    raise NTriplesError(f"unexpected character {ch!r}", line_no, line)
+
+
+_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+
+
+def _parse_quoted(line: str, pos: int, line_no: int) -> tuple[str, int]:
+    assert line[pos] == '"'
+    out: list[str] = []
+    i = pos + 1
+    while i < len(line):
+        ch = line[i]
+        if ch == "\\":
+            if i + 1 >= len(line):
+                raise NTriplesError("dangling escape", line_no, line)
+            esc = line[i + 1]
+            if esc == "u":
+                if i + 6 > len(line):
+                    raise NTriplesError("short \\u escape", line_no, line)
+                out.append(chr(int(line[i + 2:i + 6], 16)))
+                i += 6
+                continue
+            if esc not in _ESCAPES:
+                raise NTriplesError(f"unknown escape \\{esc}", line_no, line)
+            out.append(_ESCAPES[esc])
+            i += 2
+            continue
+        if ch == '"':
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise NTriplesError("unterminated literal", line_no, line)
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to canonical N-Triples text (sorted lines)."""
+    lines = sorted(
+        f"{s.n3()} {p.n3()} {o.n3()} ." for s, p, o in triples
+    )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump(graph: Graph, stream: IO[str]) -> None:
+    """Write a graph to a text stream as N-Triples."""
+    stream.write(serialize_ntriples(graph.triples()))
+
+
+def load(stream: IO[str]) -> Graph:
+    """Read a graph from a text stream of N-Triples."""
+    return parse_ntriples(stream.read())

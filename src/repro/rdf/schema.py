@@ -1,0 +1,310 @@
+"""Schema annotations: the small hints that specialize Magnet's interface.
+
+Magnet works without any schema, but §5.1 and §6.1 show that a handful of
+annotations markedly improve the experience:
+
+* **labels** (``rdfs:label``) give properties and values human-readable
+  names (Figure 8);
+* **value types** (``magnet:valueType``) mark numeric/temporal
+  properties, enabling range widgets and unit-circle similarity (§5.4);
+* **attribute compositions** (``magnet:compose``) name multi-step
+  property chains that should become coordinates of the vector space
+  model (§5.1) — e.g. "the author's field of expertise";
+* **important properties** (``magnet:importantProperty``) ask the system
+  to compose one more level of attributes through a property (the inbox
+  ``body`` annotation of §6.1 / Figure 6);
+* **hidden properties** (``magnet:hidden``) suppress algorithmically
+  significant but unreadable attributes from the interface (§6.1's
+  OCW/ArtSTOR observation).
+
+All annotations are ordinary triples in the same graph as the data, so
+schema experts and advanced users can add them incrementally — exactly
+the workflow the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from .graph import Graph
+from .terms import Literal, Node, Resource
+from .vocab import MAGNET, RDF, RDFS
+
+__all__ = ["ValueType", "Schema", "infer_value_types"]
+
+
+class ValueType:
+    """Symbolic names for property value types."""
+
+    OBJECT = "object"
+    TEXT = "text"
+    INTEGER = "integer"
+    FLOAT = "float"
+    DATE = "date"
+    DATETIME = "datetime"
+
+    #: Types for which numeric closeness (not just equality) matters.
+    CONTINUOUS = frozenset({INTEGER, FLOAT, DATE, DATETIME})
+
+    ALL = frozenset({OBJECT, TEXT, INTEGER, FLOAT, DATE, DATETIME})
+
+
+class Schema:
+    """Read/write view of the schema annotations stored in a graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+
+    def set_label(self, node: Node, label: str) -> None:
+        """Attach a human-readable label to a property or value."""
+        self.graph.add(node, RDFS.label, Literal(label))
+
+    def label(self, node: Node) -> str:
+        """The best available display name for a node."""
+        return self.graph.label(node)
+
+    # ------------------------------------------------------------------
+    # Value types
+    # ------------------------------------------------------------------
+
+    def set_value_type(self, prop: Resource, value_type: str) -> None:
+        """Declare the value type of a property.
+
+        ``value_type`` must be one of :class:`ValueType`'s names.
+        """
+        if value_type not in ValueType.ALL:
+            raise ValueError(f"unknown value type {value_type!r}")
+        self.graph.remove_matching(prop, MAGNET.valueType, None)
+        self.graph.add(prop, MAGNET.valueType, Literal(value_type))
+
+    def value_type(self, prop: Resource) -> str | None:
+        """The declared value type of a property, or None."""
+        value = self.graph.value(prop, MAGNET.valueType)
+        if isinstance(value, Literal):
+            return value.lexical
+        return None
+
+    def is_continuous(self, prop: Resource) -> bool:
+        """True when the property's declared type supports ranges."""
+        return self.value_type(prop) in ValueType.CONTINUOUS
+
+    def continuous_properties(self) -> list[Resource]:
+        """All properties declared with a continuous value type."""
+        found = []
+        for prop in self.graph.subjects(MAGNET.valueType):
+            if isinstance(prop, Resource) and self.is_continuous(prop):
+                found.append(prop)
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # Hidden properties
+    # ------------------------------------------------------------------
+
+    def hide_property(self, prop: Resource) -> None:
+        """Mark a property as hidden from end-user suggestions."""
+        self.graph.add(prop, MAGNET.hidden, Literal(True))
+
+    def unhide_property(self, prop: Resource) -> None:
+        """Remove a hidden mark."""
+        self.graph.remove_matching(prop, MAGNET.hidden, None)
+
+    def is_hidden(self, prop: Resource) -> bool:
+        """True when the property must not be surfaced in the interface."""
+        value = self.graph.value(prop, MAGNET.hidden)
+        return isinstance(value, Literal) and bool(value.value)
+
+    # ------------------------------------------------------------------
+    # Attribute compositions
+    # ------------------------------------------------------------------
+
+    def add_composition(self, chain: Sequence[Resource]) -> None:
+        """Declare a composite attribute built from a property chain.
+
+        ``chain`` lists the properties in traversal order; e.g.
+        ``[author, expertise]`` declares "the author's field of
+        expertise" as a model coordinate.
+        """
+        if len(chain) < 2:
+            raise ValueError("a composition needs at least two properties")
+        head, *tail = chain
+        encoded = Literal(" ".join(p.uri for p in tail))
+        self.graph.add(head, MAGNET.compose, encoded)
+
+    def compositions(self) -> list[tuple[Resource, ...]]:
+        """All declared property chains, longest-first then sorted."""
+        chains: list[tuple[Resource, ...]] = []
+        for head in self.graph.subjects(MAGNET.compose):
+            if not isinstance(head, Resource):
+                continue
+            for encoded in self.graph.objects(head, MAGNET.compose):
+                if not isinstance(encoded, Literal):
+                    continue
+                tail = tuple(Resource(u) for u in encoded.lexical.split())
+                chains.append((head, *tail))
+        return sorted(chains, key=lambda c: (-len(c), [p.uri for p in c]))
+
+    # ------------------------------------------------------------------
+    # Important properties (automatic one-level composition)
+    # ------------------------------------------------------------------
+
+    def mark_important(self, prop: Resource) -> None:
+        """Ask Magnet to compose one more attribute level through ``prop``."""
+        self.graph.add(prop, MAGNET.importantProperty, Literal(True))
+
+    def important_properties(self) -> list[Resource]:
+        """Properties annotated as important (sorted)."""
+        found = [
+            p
+            for p in self.graph.subjects(MAGNET.importantProperty)
+            if isinstance(p, Resource)
+        ]
+        return sorted(found)
+
+    def expand_important(self, max_second_level: int = 16) -> list[tuple[Resource, Resource]]:
+        """Derive (important, second-level) chains from the data itself.
+
+        For each important property, inspect the objects it points to and
+        collect the properties those objects carry; the most frequent
+        second-level properties (up to ``max_second_level``) become
+        two-step compositions.  This is how the inbox's ``body``
+        annotation yields "type / content / creator / date on the body"
+        suggestions in Figure 6.
+        """
+        chains: list[tuple[Resource, Resource]] = []
+        for prop in self.important_properties():
+            counts: Counter[Resource] = Counter()
+            for _s, _p, target in self.graph.triples(None, prop, None):
+                if isinstance(target, Literal):
+                    continue
+                for second in self.graph.predicates(subject=target):
+                    if second == MAGNET.valueType or self.is_hidden(second):
+                        continue
+                    counts[second] += 1
+            ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0].uri))
+            chains.extend((prop, second) for second, _n in ranked[:max_second_level])
+        return chains
+
+    def effective_compositions(self) -> list[tuple[Resource, ...]]:
+        """Declared compositions plus chains derived from important props."""
+        chains = list(self.compositions())
+        seen = set(chains)
+        for chain in self.expand_important():
+            if chain not in seen:
+                seen.add(chain)
+                chains.append(chain)
+        return chains
+
+
+#: Strings are "categorical" (facetable, typed ``object``) rather than
+#: prose when they are short and repeat across items.
+_CATEGORICAL_MAX_TOKENS = 6
+_CATEGORICAL_MAX_CHARS = 48
+_CATEGORICAL_MAX_DISTINCT_RATIO = 0.9
+
+
+def infer_value_types(graph: Graph, min_support: float = 0.9) -> dict[Resource, str]:
+    """Heuristically infer property value types from the data (§7).
+
+    The paper's future work calls for "heuristic rules or learning
+    approaches to determine such annotations".  This routine looks at the
+    literals each property carries: when at least ``min_support`` of a
+    property's values share a kind (integer / float / date / datetime /
+    string), that kind is proposed.  Properties whose objects are
+    resources are typed ``object``.
+
+    Plain strings are split by corpus statistics: short values that
+    repeat across items (state birds, regions) are *categorical* —
+    proposed as ``object`` so they behave as facets — while long or
+    mostly-unique values (titles, prose) are proposed as ``text``.
+
+    Returns a mapping; it does **not** write annotations — callers decide
+    whether to apply them via :meth:`Schema.set_value_type`.
+    """
+    tallies: dict[Resource, Counter[str]] = {}
+    string_stats: dict[Resource, list] = {}
+    for _s, prop, obj in graph.triples():
+        if prop in (MAGNET.valueType, MAGNET.compose, MAGNET.hidden,
+                    MAGNET.importantProperty, RDF.type, RDFS.label):
+            continue
+        bucket = tallies.setdefault(prop, Counter())
+        kind = _classify(obj)
+        bucket[kind] += 1
+        if kind == "string":
+            # [distinct values, total count, max tokens, max chars]
+            stats = string_stats.setdefault(prop, [set(), 0, 0, 0])
+            stats[0].add(obj.lexical)
+            stats[1] += 1
+            stats[2] = max(stats[2], len(obj.lexical.split()))
+            stats[3] = max(stats[3], len(obj.lexical))
+    proposed: dict[Resource, str] = {}
+    for prop, counts in tallies.items():
+        total = sum(counts.values())
+        kind, hits = counts.most_common(1)[0]
+        if hits / total < min_support:
+            continue
+        if kind == "string":
+            proposed[prop] = _classify_string_property(string_stats[prop])
+        else:
+            proposed[prop] = kind
+    return proposed
+
+
+def _classify_string_property(stats: list) -> str:
+    distinct, total, max_tokens, max_chars = stats
+    if (
+        max_tokens <= _CATEGORICAL_MAX_TOKENS
+        and max_chars <= _CATEGORICAL_MAX_CHARS
+        and total > 0
+        and len(distinct) / total <= _CATEGORICAL_MAX_DISTINCT_RATIO
+    ):
+        return ValueType.OBJECT
+    return ValueType.TEXT
+
+
+def _classify(obj: Node) -> str:
+    """Kind of one value: a ValueType name, or 'string' for raw strings."""
+    if not isinstance(obj, Literal):
+        return ValueType.OBJECT
+    if obj.datatype is None:
+        lexical = obj.lexical.strip()
+        if _looks_like_int(lexical):
+            return ValueType.INTEGER
+        if _looks_like_float(lexical):
+            return ValueType.FLOAT
+        return "string"
+    value = obj.value
+    if isinstance(value, bool):
+        return "string"
+    if isinstance(value, int):
+        return ValueType.INTEGER
+    if isinstance(value, float):
+        return ValueType.FLOAT
+    import datetime as _dt
+
+    if isinstance(value, _dt.datetime):
+        return ValueType.DATETIME
+    if isinstance(value, _dt.date):
+        return ValueType.DATE
+    return "string"
+
+
+def _looks_like_int(text: str) -> bool:
+    if not text:
+        return False
+    body = text[1:] if text[0] in "+-" else text
+    return body.isdigit()
+
+
+def _looks_like_float(text: str) -> bool:
+    if not text or "." not in text:
+        return False
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

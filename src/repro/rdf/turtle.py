@@ -1,0 +1,304 @@
+"""A Turtle (subset) parser — the other common RDF surface syntax.
+
+External RDF sources (the CIA Factbook conversion of §6.1 among them)
+commonly ship as Turtle rather than N-Triples.  This parser covers the
+subset real exports use:
+
+* ``@prefix`` / ``@base`` declarations and prefixed names (``ex:thing``);
+* predicate lists with ``;`` and object lists with ``,``;
+* the ``a`` keyword for ``rdf:type``;
+* plain/typed/language literals, integers, decimals, and booleans;
+* blank nodes (``_:id``) and comments.
+
+Not covered (rejected with a clear error): collections ``( ... )``,
+anonymous blank-node property lists ``[ ... ]``, and multi-line
+``\"\"\"...\"\"\"`` literals.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .graph import Graph
+from .terms import BlankNode, Literal, Node, Resource
+from .vocab import RDF
+
+__all__ = ["TurtleError", "parse_turtle", "serialize_turtle"]
+
+
+class TurtleError(ValueError):
+    """Raised on malformed or unsupported Turtle input."""
+
+    def __init__(self, message: str, position: int, text: str):
+        line = text.count("\n", 0, position) + 1
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*) |
+    (?P<prefix_decl>@prefix\b) |
+    (?P<base_decl>@base\b) |
+    (?P<uri><[^<>\s]*>) |
+    (?P<string>"(?:[^"\\\n]|\\.)*") |
+    (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*) |
+    (?P<carets>\^\^) |
+    (?P<blank>_:[A-Za-z0-9_-]+) |
+    (?P<boolean>\btrue\b|\bfalse\b) |
+    (?P<decimal>[+-]?[0-9]*\.[0-9]+) |
+    (?P<integer>[+-]?[0-9]+) |
+    (?P<a_kw>\ba\b) |
+    (?P<pname>[A-Za-z_][\w.-]*)?:(?P<local>[\w.%-]*) |
+    (?P<punct>[;,.\[\]()])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: list[tuple[str, str, int]] = []
+        self._lex()
+        self.index = 0
+
+    def _lex(self) -> None:
+        while self.pos < len(self.text):
+            match = _TOKEN.match(self.text, self.pos)
+            if match is None or match.end() == self.pos:
+                raise TurtleError(
+                    f"cannot lex {self.text[self.pos:self.pos + 10]!r}",
+                    self.pos,
+                    self.text,
+                )
+            kind = match.lastgroup
+            if kind == "local":
+                prefix = match.group("pname") or ""
+                self.tokens.append(
+                    ("pname", f"{prefix}:{match.group('local')}", match.start())
+                )
+            elif kind != "ws":
+                self.tokens.append((kind, match.group(0), match.start()))
+            self.pos = match.end()
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise TurtleError("unexpected end of input", len(self.text), self.text)
+        self.index += 1
+        return token
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.lexer = _Lexer(text)
+        self.prefixes: dict[str, str] = {}
+        self.base = ""
+        self.graph = Graph()
+
+    def parse(self) -> Graph:
+        while self.lexer.peek() is not None:
+            kind, _value, _pos = self.lexer.peek()
+            if kind == "prefix_decl":
+                self._parse_prefix()
+            elif kind == "base_decl":
+                self._parse_base()
+            else:
+                self._parse_statement()
+        return self.graph
+
+    def _expect(self, kind: str) -> tuple[str, str, int]:
+        token = self.lexer.next()
+        if token[0] != kind:
+            raise TurtleError(
+                f"expected {kind}, got {token[1]!r}", token[2], self.text
+            )
+        return token
+
+    def _parse_prefix(self) -> None:
+        self.lexer.next()  # @prefix
+        kind, value, pos = self.lexer.next()
+        if kind != "pname" or not value.endswith(":"):
+            if kind != "pname":
+                raise TurtleError("expected prefix name", pos, self.text)
+        prefix = value.rsplit(":", 1)[0]
+        uri = self._expect("uri")[1][1:-1]
+        self._dot()
+        self.prefixes[prefix] = uri
+
+    def _parse_base(self) -> None:
+        self.lexer.next()  # @base
+        self.base = self._expect("uri")[1][1:-1]
+        self._dot()
+
+    def _dot(self) -> None:
+        kind, value, pos = self.lexer.next()
+        if kind != "punct" or value != ".":
+            raise TurtleError(f"expected '.', got {value!r}", pos, self.text)
+
+    def _parse_statement(self) -> None:
+        subject = self._parse_subject()
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object()
+                self.graph.add(subject, predicate, obj)
+                kind, value, pos = self.lexer.next()
+                if kind == "punct" and value == ",":
+                    continue
+                break
+            if kind == "punct" and value == ";":
+                nxt = self.lexer.peek()
+                if nxt is not None and nxt[0] == "punct" and nxt[1] == ".":
+                    self.lexer.next()
+                    return
+                continue
+            if kind == "punct" and value == ".":
+                return
+            raise TurtleError(
+                f"expected ';', ',' or '.', got {value!r}", pos, self.text
+            )
+
+    def _parse_subject(self) -> Resource | BlankNode:
+        kind, value, pos = self.lexer.next()
+        if kind == "uri":
+            return Resource(self._resolve(value[1:-1]))
+        if kind == "pname":
+            return Resource(self._expand(value, pos))
+        if kind == "blank":
+            return BlankNode(value[2:])
+        raise TurtleError(f"bad subject {value!r}", pos, self.text)
+
+    def _parse_predicate(self) -> Resource:
+        kind, value, pos = self.lexer.next()
+        if kind == "a_kw":
+            return RDF.type
+        if kind == "uri":
+            return Resource(self._resolve(value[1:-1]))
+        if kind == "pname":
+            return Resource(self._expand(value, pos))
+        raise TurtleError(f"bad predicate {value!r}", pos, self.text)
+
+    def _parse_object(self) -> Node:
+        kind, value, pos = self.lexer.next()
+        if kind == "uri":
+            return Resource(self._resolve(value[1:-1]))
+        if kind == "pname":
+            return Resource(self._expand(value, pos))
+        if kind == "blank":
+            return BlankNode(value[2:])
+        if kind == "boolean":
+            return Literal(value == "true")
+        if kind == "integer":
+            return Literal(int(value))
+        if kind == "decimal":
+            return Literal(float(value))
+        if kind == "string":
+            lexical = _unescape(value[1:-1])
+            nxt = self.lexer.peek()
+            if nxt is not None and nxt[0] == "carets":
+                self.lexer.next()
+                dt_kind, dt_value, dt_pos = self.lexer.next()
+                if dt_kind == "uri":
+                    datatype = self._resolve(dt_value[1:-1])
+                elif dt_kind == "pname":
+                    datatype = self._expand(dt_value, dt_pos)
+                else:
+                    raise TurtleError("bad datatype", dt_pos, self.text)
+                return Literal(lexical, datatype=datatype)
+            if nxt is not None and nxt[0] == "langtag":
+                self.lexer.next()
+                return Literal(lexical, language=nxt[1][1:])
+            return Literal(lexical)
+        if kind == "punct" and value in "[(":
+            raise TurtleError(
+                "blank-node property lists / collections are not supported",
+                pos,
+                self.text,
+            )
+        raise TurtleError(f"bad object {value!r}", pos, self.text)
+
+    def _resolve(self, uri: str) -> str:
+        if self.base and not re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", uri):
+            return self.base + uri
+        return uri
+
+    def _expand(self, pname: str, pos: int) -> str:
+        prefix, _sep, local = pname.partition(":")
+        if prefix not in self.prefixes:
+            raise TurtleError(f"undeclared prefix {prefix!r}:", pos, self.text)
+        return self.prefixes[prefix] + local
+
+
+def _unescape(body: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            esc = body[i + 1]
+            mapping = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+            if esc == "u" and i + 6 <= len(body):
+                out.append(chr(int(body[i + 2:i + 6], 16)))
+                i += 6
+                continue
+            out.append(mapping.get(esc, esc))
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def parse_turtle(text: str) -> Graph:
+    """Parse Turtle text into a new :class:`Graph`."""
+    return _Parser(text).parse()
+
+
+def serialize_turtle(
+    graph: Graph, prefixes: dict[str, str] | None = None
+) -> str:
+    """Serialize a graph as Turtle, grouping by subject.
+
+    ``prefixes`` maps prefix → namespace URI; matching URIs are written
+    as prefixed names.  Output is deterministic (sorted).
+    """
+    prefixes = dict(prefixes or {})
+    lines = [f"@prefix {p}: <{uri}> ." for p, uri in sorted(prefixes.items())]
+    if lines:
+        lines.append("")
+
+    def term(node: Node) -> str:
+        if isinstance(node, Resource):
+            for prefix, uri in prefixes.items():
+                if node.uri.startswith(uri):
+                    local = node.uri[len(uri):]
+                    if re.fullmatch(r"[\w.-]*", local):
+                        return f"{prefix}:{local}"
+            return node.n3()
+        return node.n3()
+
+    subjects = sorted(
+        {s for s, _p, _o in graph.triples()}, key=lambda n: n.n3()
+    )
+    for subject in subjects:
+        properties = sorted(
+            graph.properties_of(subject).items(), key=lambda kv: kv[0].uri
+        )
+        clauses = []
+        for prop, values in properties:
+            pred = "a" if prop == RDF.type else term(prop)
+            rendered = ", ".join(
+                term(v) for v in sorted(values, key=lambda n: n.n3())
+            )
+            clauses.append(f"{pred} {rendered}")
+        lines.append(f"{term(subject)} " + " ;\n    ".join(clauses) + " .")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,25 @@
+"""The simulated user study of §6.3."""
+
+from .metrics import StudyReport, TaskStats, run_study, welch_t
+from .simulator import (
+    SYSTEM_BASELINE,
+    SYSTEM_COMPLETE,
+    StudyRunner,
+    TaskOutcome,
+)
+from .tasks import RecipeJudge
+from .users import SimulatedUser, sample_users
+
+__all__ = [
+    "StudyReport",
+    "TaskStats",
+    "run_study",
+    "welch_t",
+    "SYSTEM_BASELINE",
+    "SYSTEM_COMPLETE",
+    "StudyRunner",
+    "TaskOutcome",
+    "RecipeJudge",
+    "SimulatedUser",
+    "sample_users",
+]

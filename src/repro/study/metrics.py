@@ -1,0 +1,174 @@
+"""Aggregation of study outcomes into the paper's reported numbers.
+
+§6.3.1 reports, per directed task, the average number of recipes found
+with each system (task 1: 2.70 complete vs 1.71 baseline; task 2: 5.80
+vs 4.87), plus qualitative counts: capture errors around negation, the
+single overwhelmed baseline user, and the caveat that the study was too
+small for statistical significance — which the report surfaces via a
+plain Welch t statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .simulator import (
+    SYSTEM_BASELINE,
+    SYSTEM_COMPLETE,
+    StudyRunner,
+    TaskOutcome,
+)
+from .users import SimulatedUser, sample_users
+
+__all__ = ["TaskStats", "StudyReport", "run_study"]
+
+
+class TaskStats:
+    """Mean/std of found counts for one (task, system) cell."""
+
+    def __init__(self, task: str, system: str, outcomes: Sequence[TaskOutcome]):
+        self.task = task
+        self.system = system
+        self.outcomes = list(outcomes)
+        counts = [o.n_found for o in self.outcomes]
+        self.n = len(counts)
+        self.mean_found = sum(counts) / self.n if self.n else 0.0
+        if self.n > 1:
+            variance = sum((c - self.mean_found) ** 2 for c in counts) / (
+                self.n - 1
+            )
+        else:
+            variance = 0.0
+        self.std_found = math.sqrt(variance)
+        self.capture_errors = sum(o.capture_errors for o in self.outcomes)
+        self.empty_results = sum(o.empty_results for o in self.outcomes)
+        self.rescued = sum(o.rescued_by_advisor for o in self.outcomes)
+        self.overwhelmed_users = sum(1 for o in self.outcomes if o.overwhelmed)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TaskStats {self.task}/{self.system} "
+            f"mean={self.mean_found:.2f}±{self.std_found:.2f}>"
+        )
+
+
+def welch_t(a: TaskStats, b: TaskStats) -> float:
+    """Welch's t statistic between two cells (0 when degenerate)."""
+    if a.n < 2 or b.n < 2:
+        return 0.0
+    va = a.std_found**2 / a.n
+    vb = b.std_found**2 / b.n
+    denominator = math.sqrt(va + vb)
+    if denominator == 0.0:
+        return 0.0
+    return (a.mean_found - b.mean_found) / denominator
+
+
+class StudyReport:
+    """The full study result: a 2×2 grid of cells plus derived rows."""
+
+    def __init__(self, cells: dict[tuple[str, str], TaskStats]):
+        self.cells = cells
+
+    def cell(self, task: str, system: str) -> TaskStats:
+        return self.cells[(task, system)]
+
+    def rows(self) -> list[dict]:
+        """The paper's comparison rows (means per task per system)."""
+        rows = []
+        for task in ("task1", "task2"):
+            complete = self.cell(task, SYSTEM_COMPLETE)
+            baseline = self.cell(task, SYSTEM_BASELINE)
+            rows.append(
+                {
+                    "task": task,
+                    "complete_mean": complete.mean_found,
+                    "baseline_mean": baseline.mean_found,
+                    "complete_std": complete.std_found,
+                    "baseline_std": baseline.std_found,
+                    "welch_t": welch_t(complete, baseline),
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        """A text table mirroring §6.3.1's reported numbers."""
+        lines = [
+            "User study — recipes found per directed task "
+            "(mean over participants)",
+            f"{'task':<8} {'complete':>10} {'baseline':>10} {'t':>7}",
+        ]
+        for row in self.rows():
+            lines.append(
+                f"{row['task']:<8} {row['complete_mean']:>10.2f} "
+                f"{row['baseline_mean']:>10.2f} {row['welch_t']:>7.2f}"
+            )
+        complete1 = self.cell("task1", SYSTEM_COMPLETE)
+        baseline1 = self.cell("task1", SYSTEM_BASELINE)
+        lines.append("")
+        lines.append(
+            f"capture errors (task 1): complete={complete1.capture_errors} "
+            f"baseline={baseline1.capture_errors}"
+        )
+        lines.append(
+            f"empty-result events (task 1): "
+            f"complete={complete1.empty_results} "
+            f"baseline={baseline1.empty_results}"
+        )
+        lines.append(
+            f"advisor rescues (task 1, complete): {complete1.rescued}"
+        )
+        overwhelmed = {
+            system: sum(
+                self.cell(task, system).overwhelmed_users
+                for task in ("task1", "task2")
+            )
+            for system in (SYSTEM_COMPLETE, SYSTEM_BASELINE)
+        }
+        lines.append(
+            f"overwhelmed users: complete={overwhelmed[SYSTEM_COMPLETE]} "
+            f"baseline={overwhelmed[SYSTEM_BASELINE]}"
+        )
+        return "\n".join(lines)
+
+
+def run_study(
+    runner: StudyRunner,
+    users: Sequence[SimulatedUser] | None = None,
+    n_users: int = 18,
+    seed: int = 23,
+) -> StudyReport:
+    """Run both tasks on both systems for every user.
+
+    Each user gets an independent RNG stream per (task, system) cell so
+    the two systems see identical user traits but independent in-task
+    randomness — the within-subjects design of the paper.
+    """
+    cohort = list(users) if users is not None else sample_users(n_users, seed)
+    cells: dict[tuple[str, str], list[TaskOutcome]] = {
+        ("task1", SYSTEM_COMPLETE): [],
+        ("task1", SYSTEM_BASELINE): [],
+        ("task2", SYSTEM_COMPLETE): [],
+        ("task2", SYSTEM_BASELINE): [],
+    }
+    task_salt = {"task1": 1, "task2": 2}
+    for user in cohort:
+        import random as _random
+
+        base = user.rng.randrange(2**31)
+        for task_name, run in (("task1", runner.run_task1),
+                               ("task2", runner.run_task2)):
+            for offset, system in enumerate(
+                (SYSTEM_COMPLETE, SYSTEM_BASELINE)
+            ):
+                user.rng = _random.Random(
+                    base + 1000 * offset + 97 * task_salt[task_name]
+                )
+                cells[(task_name, system)].append(run(user, system))
+    return StudyReport(
+        {
+            key: TaskStats(key[0], key[1], outcomes)
+            for key, outcomes in cells.items()
+        }
+    )

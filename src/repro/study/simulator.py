@@ -1,0 +1,559 @@
+"""The simulated user study (§6.3): 18 users, two systems, two tasks.
+
+Users are simulated *against the real system*: every navigation step
+below goes through a live :class:`~repro.browser.session.Session`
+(searches, facet refinements, similarity suggestions, negations), so the
+complete-vs-baseline gap emerges from what the two systems actually
+offer:
+
+* the **complete** system runs all advisors; when a capture error lands
+  a user on an empty result, the Contrary Constraints advisor offers the
+  negation that "got them started in the process", and the
+  Similar-by-Content advisor supplies extra related candidates;
+* the **baseline** system (Flamenco-style refinements, text terms,
+  manual right-click negation) leaves recovery to the user's own
+  negation skill.
+
+Capture errors follow the paper's description: in task 1 "some users
+attempted to find recipes by adding 2 or 3 ingredients, *including
+nuts*, as constraints ... and then issuing a refinement to exclude items
+with nuts, producing the empty result set".
+"""
+
+from __future__ import annotations
+
+from ..browser.session import Session
+from ..core.advisors import MODIFY, RELATED_ITEMS
+from ..core.analysts import baseline_analysts, standard_analysts
+from ..core.engine import NavigationEngine
+from ..core.suggestions import GoToCollection, NewQuery
+from ..core.workspace import Workspace
+from ..datasets.base import Corpus
+from ..query.ast import And, HasValue, Not, TextMatch, TypeIs
+from ..rdf.terms import Node
+from .tasks import RecipeJudge
+from .users import SimulatedUser
+
+__all__ = ["SYSTEM_COMPLETE", "SYSTEM_BASELINE", "TaskOutcome", "StudyRunner"]
+
+SYSTEM_COMPLETE = "complete"
+SYSTEM_BASELINE = "baseline"
+
+
+class TaskOutcome:
+    """What one user achieved on one task with one system."""
+
+    def __init__(self, user_id: int, system: str, task: str):
+        self.user_id = user_id
+        self.system = system
+        self.task = task
+        self.found: list[Node] = []
+        self.steps_used = 0
+        self.capture_errors = 0
+        self.empty_results = 0
+        self.rescued_by_advisor = 0
+        self.overwhelmed = False
+        #: analyst names whose suggestions the user followed
+        self.features_used: set[str] = set()
+
+    @property
+    def n_found(self) -> int:
+        return len(self.found)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TaskOutcome u{self.user_id} {self.system}/{self.task} "
+            f"found={self.n_found} steps={self.steps_used} "
+            f"captures={self.capture_errors}>"
+        )
+
+
+class StudyRunner:
+    """Runs the study tasks for one corpus/workspace pair."""
+
+    def __init__(self, corpus: Corpus, workspace: Workspace | None = None):
+        self.corpus = corpus
+        self.workspace = (
+            workspace
+            if workspace is not None
+            else Workspace(corpus.graph, schema=corpus.schema, items=corpus.items)
+        )
+        self.judge = RecipeJudge(corpus)
+        self.props = corpus.extras["properties"]
+
+    # ------------------------------------------------------------------
+    # Session plumbing
+    # ------------------------------------------------------------------
+
+    def make_session(self, system: str) -> Session:
+        """A fresh session wired for one of the two study systems."""
+        if system == SYSTEM_COMPLETE:
+            engine = NavigationEngine(analysts=standard_analysts())
+        elif system == SYSTEM_BASELINE:
+            engine = NavigationEngine(analysts=baseline_analysts())
+        else:
+            raise ValueError(f"unknown system {system!r}")
+        return Session(self.workspace, engine=engine)
+
+    def _check_overwhelm(
+        self, session: Session, user: SimulatedUser, outcome: TaskOutcome
+    ) -> None:
+        """Does the amount of advice exceed the user's tolerance?
+
+        The complete system curates each group to a few entries plus a
+        '...' overflow marker; the Flamenco-style baseline lists facet
+        values uncurated (up to a screenful per group), which is why the
+        study's one overwhelmed complaint came from the baseline.
+        """
+        result = session.suggestions()
+        if outcome.system == SYSTEM_COMPLETE:
+            total = sum(len(batch) for batch in result.presented.values())
+        else:
+            per_group: dict = {}
+            ungrouped = 0
+            for suggestion in result.blackboard.entries:
+                if suggestion.group is None:
+                    ungrouped += 1
+                else:
+                    per_group[suggestion.group] = (
+                        per_group.get(suggestion.group, 0) + 1
+                    )
+            total = ungrouped + sum(
+                min(count, 15) for count in per_group.values()
+            )
+        if total > user.overwhelm_threshold:
+            outcome.overwhelmed = True
+
+    # ------------------------------------------------------------------
+    # Task 1: the aunt's walnut recipe
+    # ------------------------------------------------------------------
+
+    def run_task1(self, user: SimulatedUser, system: str) -> TaskOutcome:
+        outcome = TaskOutcome(user.user_id, system, "task1")
+        session = self.make_session(system)
+        target = self.judge.target
+        # "a few 2-3 other related recipes": users set their own bar.
+        goal = user.rng.randint(2, 4)
+
+        # Locate the remembered recipe via the toolbar.
+        session.search("walnut baklava")
+        outcome.steps_used += 1
+        if target not in session.current.items:
+            session.search("walnut honey")
+            outcome.steps_used += 1
+        if target not in session.current.items:
+            return outcome  # could not even find the recipe
+        session.go_item(target)
+        outcome.steps_used += 1
+
+        made_capture_error = user.rng.random() < user.capture_error_rate
+        if made_capture_error:
+            self._task1_capture_error_path(user, session, outcome)
+        else:
+            self._check_overwhelm(session, user, outcome)
+
+        if system == SYSTEM_COMPLETE:
+            self._task1_complete_strategy(user, session, outcome, goal)
+        else:
+            self._task1_baseline_strategy(user, session, outcome, goal)
+        return outcome
+
+    def _task1_capture_error_path(
+        self, user: SimulatedUser, session: Session, outcome: TaskOutcome
+    ) -> None:
+        """The wrong-but-available sequence: constrain on nuts, then exclude.
+
+        ingredient=walnut ∧ NOT nuts is empty by construction, so the
+        user hits a zero-result set and must recover.
+        """
+        outcome.capture_errors += 1
+        ingredient = self.props["ingredient"]
+        walnut = self.corpus.extras["ingredients"]["walnut"]
+        query = And(
+            [
+                TypeIs(self.corpus.extras["types"]["Recipe"]),
+                HasValue(ingredient, walnut),
+                Not(HasValue(ingredient, walnut)),
+            ]
+        )
+        session.run_query(query)
+        outcome.steps_used += 3
+        if not session.current.items:
+            outcome.empty_results += 1
+        # Recovery: the complete system's contrary advisor demonstrates
+        # negation; baseline users must already know the trick.
+        if session.engine.advisors.get(MODIFY) is not None:
+            contrary = [
+                s
+                for s in session.suggestions().blackboard.for_advisor(MODIFY)
+                if "NOT" in s.title and isinstance(s.action, NewQuery)
+            ]
+        else:  # pragma: no cover - advisors are always registered
+            contrary = []
+        if contrary:
+            rescued = user.rng.random() < user.rescue_willingness
+        else:
+            # No contrary advisor (baseline): the user must already know
+            # the right-click negation trick to recover cheaply.
+            rescued = user.rng.random() < user.negation_skill
+        if rescued:
+            outcome.rescued_by_advisor += 1
+        # Either way the user eventually returns to the target item; the
+        # detour costs steps (far more when nothing rescued them —
+        # "users seemed to be mapping negation to 'find similar but
+        # not'" and floundered).
+        outcome.steps_used += 2 if rescued else 6
+        session.go_item(self.judge.target)
+
+    def _examine_candidates(
+        self,
+        user: SimulatedUser,
+        outcome: TaskOutcome,
+        candidates: list[Node],
+        accept,
+        goal: int,
+        cost: int = 1,
+    ) -> None:
+        """Examine items one by one, keeping acceptable ones.
+
+        ``cost`` models how expensive one examination is: 1 for a
+        relevance-ranked list (the candidate is probably on screen), 2
+        for scrolling an arbitrary unranked collection.
+        """
+        for candidate in candidates:
+            if outcome.steps_used >= user.patience or outcome.n_found >= goal:
+                return
+            outcome.steps_used += cost
+            if candidate in outcome.found:
+                continue
+            if accept(candidate):
+                outcome.found.append(candidate)
+
+    def _task1_complete_strategy(
+        self,
+        user: SimulatedUser,
+        session: Session,
+        outcome: TaskOutcome,
+        goal: int,
+    ) -> None:
+        """Ask for similar items, then examine them for nut-free matches.
+
+        The user prefers the Similar-by-Content collection (one click to
+        a relevance-ranked pool), then falls back to sharing-a-property
+        hops — consciously skipping the nut-flavored ones, since the task
+        itself says "no nuts".
+        """
+        result = session.suggestions()
+        posted = [
+            s
+            for s in result.blackboard.for_advisor(RELATED_ITEMS)
+            if isinstance(s.action, GoToCollection)
+        ]
+        similar = [s for s in posted if s.analyst == "similar-by-content-item"]
+        sharing = sorted(
+            (
+                s
+                for s in posted
+                if s.analyst == "sharing-a-property"
+                and not any(
+                    nut in s.title.lower()
+                    for nut in ("walnut", "almond", "pecan", "nut")
+                )
+            ),
+            key=lambda s: -s.weight,
+        )
+        for suggestion in similar + sharing[:2]:
+            if outcome.steps_used >= user.patience or outcome.n_found >= goal:
+                break
+            session.select(suggestion)
+            outcome.steps_used += 1
+            self._examine_candidates(
+                user,
+                outcome,
+                session.current.items,
+                self.judge.satisfies_task1,
+                goal,
+            )
+            session.go_item(self.judge.target)
+
+    def _task1_baseline_strategy(
+        self,
+        user: SimulatedUser,
+        session: Session,
+        outcome: TaskOutcome,
+        goal: int,
+    ) -> None:
+        """Facet-only: refine by the target's cuisine/course and scan."""
+        cuisine = self.judge.cuisine_of(self.judge.target)
+        course = next(iter(self.judge.courses_of(self.judge.target)), None)
+        parts = [TypeIs(self.corpus.extras["types"]["Recipe"])]
+        if cuisine is not None:
+            parts.append(HasValue(self.props["cuisine"], cuisine))
+        if course is not None:
+            parts.append(HasValue(self.props["course"], course))
+        knows_negation = user.rng.random() < user.negation_skill
+        if knows_negation:
+            walnut = self.corpus.extras["ingredients"]["walnut"]
+            parts.append(Not(HasValue(self.props["ingredient"], walnut)))
+        session.run_query(And(parts))
+        # Reaching this view takes several interface actions: scanning
+        # the facet lists for cuisine and course, clicking each, and
+        # (when attempted) working out the negation context menu.
+        outcome.steps_used += 4 if knows_negation else 3
+        if not session.current.items:
+            outcome.empty_results += 1
+            return
+        self._check_overwhelm(session, user, outcome)
+        # Examination order is whatever the collection shows; without the
+        # similarity ranking the user wades through arbitrary matches.
+        shuffled = list(session.current.items)
+        user.rng.shuffle(shuffled)
+        self._examine_candidates(
+            user, outcome, shuffled, self.judge.satisfies_task1, goal, cost=2
+        )
+
+    # ------------------------------------------------------------------
+    # Undirected tasks: "search recipes of interest" (§6.3)
+    # ------------------------------------------------------------------
+
+    def run_undirected(self, user: SimulatedUser, system: str) -> TaskOutcome:
+        """Exploratory browsing with minimal constraints.
+
+        The user starts from a favorite-ingredient search and then
+        wanders: at each step they follow one of the presented
+        suggestions (weight-biased choice), bookmarking recipes that use
+        a favorite ingredient.  The paper's observation — users "seemed
+        to not have problems using the extra features ... when they were
+        doing an undirected part of the task" — shows up as the set of
+        analyst features exercised along the way.
+        """
+        from ..core.suggestions import (
+            GoToCollection as _GoToCollection,
+            GoToItem as _GoToItem,
+            NewQuery as _NewQuery,
+            OpenRangeWidget as _OpenRangeWidget,
+            Refine as _Refine,
+        )
+
+        outcome = TaskOutcome(user.user_id, system, "undirected")
+        session = self.make_session(system)
+        session.search(user.rng.choice(user.favorites))
+        outcome.steps_used += 1
+        while outcome.steps_used < user.patience:
+            presented = [
+                s
+                for s in session.suggestions().all_suggestions()
+                if isinstance(
+                    s.action,
+                    (_Refine, _GoToItem, _GoToCollection, _NewQuery,
+                     _OpenRangeWidget),
+                )
+            ]
+            view = session.current
+            if view.is_collection and view.items and user.rng.random() < 0.4:
+                # open something that looks interesting
+                candidate = user.rng.choice(view.items)
+                session.go_item(candidate)
+                outcome.steps_used += 1
+                if (
+                    self.judge.uses_favorite(candidate, user.favorites)
+                    and candidate not in outcome.found
+                ):
+                    outcome.found.append(candidate)
+                continue
+            if not presented:
+                session.undo_refinement()
+                outcome.steps_used += 1
+                continue
+            weights = [max(s.weight, 0.01) for s in presented]
+            chosen = user.rng.choices(presented, weights=weights, k=1)[0]
+            outcome.features_used.add(chosen.analyst or "unknown")
+            result = session.select(chosen)
+            outcome.steps_used += 1
+            if isinstance(result, _OpenRangeWidget):
+                preview = result.preview
+                if not preview.is_empty:
+                    middle = (preview.low + preview.high) / 2
+                    session.apply_range(result.prop, preview.low, middle)
+                    outcome.steps_used += 1
+            if session.current.is_collection and not session.current.items:
+                outcome.empty_results += 1
+                session.undo_refinement()
+                outcome.steps_used += 1
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Task 2: the Mexican party menu
+    # ------------------------------------------------------------------
+
+    def run_task2(self, user: SimulatedUser, system: str) -> TaskOutcome:
+        outcome = TaskOutcome(user.user_id, system, "task2")
+        session = self.make_session(system)
+        # Planning a whole menu is the study's long task: participants
+        # spent correspondingly more interface actions on it.
+        user = _with_patience(user, user.patience + 6)
+        recipe_type = TypeIs(self.corpus.extras["types"]["Recipe"])
+        mexican = HasValue(
+            self.props["cuisine"], self.corpus.extras["cuisines"]["Mexican"]
+        )
+        slots = ["starter", "salad", "dessert", "meal"]
+        filled: set[str] = set()
+
+        # Strategy split observed in the study: most refine to Mexican
+        # first; some search a favorite ingredient first and refine after.
+        favorite_first = user.rng.random() < 0.35
+        if favorite_first:
+            session.search(user.favorites[0])
+            outcome.steps_used += 1
+            session.run_query(And([recipe_type, mexican]))
+            outcome.steps_used += 1
+        else:
+            session.run_query(And([recipe_type, mexican]))
+            outcome.steps_used += 1
+        self._check_overwhelm(session, user, outcome)
+
+        course_values = {
+            "starter": [
+                self.corpus.extras["courses"]["Soup"],
+                self.corpus.extras["courses"]["Appetizer"],
+            ],
+            "salad": [self.corpus.extras["courses"]["Salad"]],
+            "dessert": [self.corpus.extras["courses"]["Dessert"]],
+            "meal": [self.corpus.extras["courses"]["Main Course"]],
+        }
+
+        def accept_for_slot(slot: str):
+            def _accept(recipe: Node) -> bool:
+                return (
+                    self.judge.satisfies_task2(recipe)
+                    and self.judge.menu_course_slot(recipe) == slot
+                )
+
+            return _accept
+
+        for slot in slots:
+            if outcome.steps_used >= user.patience:
+                break
+            course = user.rng.choice(course_values[slot])
+            query = And([recipe_type, mexican, HasValue(self.props["course"], course)])
+            session.run_query(query)
+            outcome.steps_used += 2
+            if not session.current.items:
+                outcome.empty_results += 1
+                continue
+            # Prefer recipes using a favorite ingredient when visible.
+            candidates = sorted(
+                session.current.items,
+                key=lambda r: (
+                    not self.judge.uses_favorite(r, user.favorites),
+                    r.n3(),
+                ),
+            )
+            per_slot_goal = outcome.n_found + 1
+            self._examine_candidates(
+                user, outcome, candidates, accept_for_slot(slot), per_slot_goal
+            )
+            if any(s in filled for s in (slot,)):
+                continue
+            filled.add(slot)
+
+        # Bonus round with remaining patience.
+        if system == SYSTEM_COMPLETE:
+            self._task2_complete_bonus(user, session, outcome)
+        else:
+            self._task2_baseline_bonus(user, session, outcome, course_values)
+        return outcome
+
+    def _task2_complete_bonus(
+        self, user: SimulatedUser, session: Session, outcome: TaskOutcome
+    ) -> None:
+        """Complete-system extras: favorite dish → similar → Mexican.
+
+        One study participant "searched for her favorite dish first,
+        asked the system to give similar recipes and then refined by
+        Mexican" — the similarity advisor turns leftover patience into
+        more menu entries.
+        """
+        for favorite in user.favorites:
+            if outcome.steps_used >= user.patience:
+                return
+            session.search(favorite)
+            outcome.steps_used += 1
+            if not session.current.items:
+                outcome.empty_results += 1
+                continue
+            result = session.suggestions()
+            similar = [
+                s
+                for s in result.blackboard.for_advisor(RELATED_ITEMS)
+                if isinstance(s.action, GoToCollection)
+                and s.analyst == "similar-by-content-collection"
+            ]
+            mexican = HasValue(
+                self.props["cuisine"], self.corpus.extras["cuisines"]["Mexican"]
+            )
+            session.refine(mexican)
+            outcome.steps_used += 1
+            pool = list(session.current.items)
+            if similar and user.rng.random() < user.rescue_willingness:
+                # The observed power move: favorite → similar → Mexican.
+                session.go_collection(
+                    max(similar, key=lambda s: s.weight).action.items,
+                    "similar to favorites",
+                )
+                session.refine(mexican)
+                outcome.steps_used += 2
+                pool.extend(session.current.items)
+            self._examine_candidates(
+                user,
+                outcome,
+                pool,
+                self.judge.satisfies_task2,
+                goal=outcome.n_found + 2,
+            )
+
+    def _task2_baseline_bonus(
+        self,
+        user: SimulatedUser,
+        session: Session,
+        outcome: TaskOutcome,
+        course_values: dict,
+    ) -> None:
+        """Baseline extras: keyword search for favorites, facet re-scan."""
+        recipe_type = TypeIs(self.corpus.extras["types"]["Recipe"])
+        mexican = HasValue(
+            self.props["cuisine"], self.corpus.extras["cuisines"]["Mexican"]
+        )
+        for favorite in user.favorites:
+            if outcome.steps_used >= user.patience:
+                return
+            session.run_query(
+                And([recipe_type, mexican, TextMatch(favorite)])
+            )
+            outcome.steps_used += 2
+            if not session.current.items:
+                outcome.empty_results += 1
+                continue
+            self._examine_candidates(
+                user,
+                outcome,
+                list(session.current.items),
+                self.judge.satisfies_task2,
+                goal=outcome.n_found + 1,
+                cost=2,
+            )
+
+
+def _with_patience(user: SimulatedUser, patience: int) -> SimulatedUser:
+    """A shallow copy of a user with a different step budget."""
+    clone = SimulatedUser(
+        user_id=user.user_id,
+        rng=user.rng,
+        favorites=user.favorites,
+        patience=patience,
+        capture_error_rate=user.capture_error_rate,
+        negation_skill=user.negation_skill,
+        rescue_willingness=user.rescue_willingness,
+        overwhelm_threshold=user.overwhelm_threshold,
+    )
+    return clone

@@ -1,0 +1,104 @@
+"""Task definitions and success criteria for the user study (§6.3).
+
+The two directed tasks, verbatim from the paper:
+
+1. *"When an aunt left your place, you found a recipe that she had been
+   excited about ... it has walnuts and your uncle is allergic to nuts.
+   Find the recipe on the system and a few 2-3 other related recipes
+   that your uncle and aunt may like."*  — success items are recipes
+   related to the target (same cuisine or same course) containing **no
+   nut-group ingredient**.
+
+2. *"You are planning a party ... a Mexican themed night ... Make sure
+   you have some soups or appetizers, as well as salads and desserts on
+   top of the meal.  Try to include some of your favorite ingredients."*
+   — success items are Mexican recipes; the menu wants course coverage
+   {soup|appetizer, salad, dessert, main}.
+"""
+
+from __future__ import annotations
+
+from ..datasets.base import Corpus
+from ..rdf.terms import Node
+
+__all__ = ["RecipeJudge"]
+
+
+class RecipeJudge:
+    """Evaluates task success criteria against the recipe corpus."""
+
+    def __init__(self, corpus: Corpus):
+        self.corpus = corpus
+        self.graph = corpus.graph
+        self.props = corpus.extras["properties"]
+        self.nut_ingredients = set(corpus.extras["ingredient_groups"]["nuts"])
+        self.target = corpus.extras["walnut_recipe"]
+        self.mexican = corpus.extras["cuisines"]["Mexican"]
+        self.courses = corpus.extras["courses"]
+
+    # -- shared -----------------------------------------------------------
+
+    def ingredients_of(self, recipe: Node) -> set[Node]:
+        return set(self.graph.objects(recipe, self.props["ingredient"]))
+
+    def has_nuts(self, recipe: Node) -> bool:
+        """True when any ingredient is in the nut food group."""
+        return bool(self.ingredients_of(recipe) & self.nut_ingredients)
+
+    def cuisine_of(self, recipe: Node) -> Node | None:
+        return self.graph.value(recipe, self.props["cuisine"])
+
+    def courses_of(self, recipe: Node) -> set[Node]:
+        return set(self.graph.objects(recipe, self.props["course"]))
+
+    # -- task 1 -------------------------------------------------------------
+
+    def is_related_to_target(self, recipe: Node) -> bool:
+        """Related = shares the target's cuisine or a course."""
+        if recipe == self.target:
+            return False
+        same_cuisine = self.cuisine_of(recipe) == self.cuisine_of(self.target)
+        same_course = bool(self.courses_of(recipe) & self.courses_of(self.target))
+        return same_cuisine or same_course
+
+    def satisfies_task1(self, recipe: Node) -> bool:
+        """A valid "recipe the uncle and aunt may like"."""
+        return self.is_related_to_target(recipe) and not self.has_nuts(recipe)
+
+    # -- task 2 -------------------------------------------------------------
+
+    def is_mexican(self, recipe: Node) -> bool:
+        return self.cuisine_of(recipe) == self.mexican
+
+    def satisfies_task2(self, recipe: Node) -> bool:
+        """A valid menu entry: Mexican, in one of the wanted courses."""
+        wanted = {
+            self.courses["Soup"], self.courses["Appetizer"],
+            self.courses["Salad"], self.courses["Dessert"],
+            self.courses["Main Course"],
+        }
+        return self.is_mexican(recipe) and bool(self.courses_of(recipe) & wanted)
+
+    def menu_course_slot(self, recipe: Node) -> str | None:
+        """Which menu slot a recipe fills (soups/appetizers count as one)."""
+        slots = {
+            self.courses["Soup"]: "starter",
+            self.courses["Appetizer"]: "starter",
+            self.courses["Salad"]: "salad",
+            self.courses["Dessert"]: "dessert",
+            self.courses["Main Course"]: "meal",
+        }
+        for course in self.courses_of(recipe):
+            slot = slots.get(course)
+            if slot is not None:
+                return slot
+        return None
+
+    def uses_favorite(self, recipe: Node, favorites: list[str]) -> bool:
+        """True when any favorite ingredient appears in the recipe."""
+        favored = {
+            self.corpus.extras["ingredients"][name]
+            for name in favorites
+            if name in self.corpus.extras["ingredients"]
+        }
+        return bool(self.ingredients_of(recipe) & favored)

@@ -1,0 +1,88 @@
+"""Simulated study participants (§6.3).
+
+The 18 participants were graduate students using the system for the
+first time.  A :class:`SimulatedUser` captures the behavioural traits
+the paper's qualitative findings hinge on:
+
+* ``capture_error_rate`` — Norman-style capture errors: "users performed
+  an incorrect but more easily available sequence", notably adding nuts
+  as a *constraint* and then excluding them, "producing the empty result
+  set";
+* ``negation_skill`` — how likely the user is to work out right-click
+  negation unaided ("most users on both systems had a hard time getting
+  negation right");
+* ``patience`` — the navigation/examination step budget before the user
+  declares the task done;
+* ``favorites`` — the favorite ingredients task 2 asks them to include;
+* ``overwhelm_threshold`` — how many simultaneous suggestions the user
+  tolerates before complaining (one baseline user did).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["SimulatedUser", "sample_users"]
+
+
+class SimulatedUser:
+    """One participant's behavioural parameters."""
+
+    def __init__(
+        self,
+        user_id: int,
+        rng: random.Random,
+        favorites: list[str],
+        patience: int,
+        capture_error_rate: float,
+        negation_skill: float,
+        rescue_willingness: float,
+        overwhelm_threshold: int,
+    ):
+        self.user_id = user_id
+        self.rng = rng
+        self.favorites = favorites
+        self.patience = patience
+        self.capture_error_rate = capture_error_rate
+        self.negation_skill = negation_skill
+        #: probability of following an advisor's rescue suggestion when
+        #: stuck (the contrary advisor "would suggest negation to get
+        #: them started in the process").
+        self.rescue_willingness = rescue_willingness
+        self.overwhelm_threshold = overwhelm_threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulatedUser #{self.user_id} patience={self.patience} "
+            f"capture={self.capture_error_rate:.2f}>"
+        )
+
+
+_FAVORITE_POOL = [
+    "avocado", "lime", "cilantro", "corn", "black bean", "chicken",
+    "shrimp", "chocolate", "mango", "garlic", "tomato", "cheddar",
+]
+
+
+def sample_users(
+    n_users: int = 18, seed: int = 23
+) -> list[SimulatedUser]:
+    """Draw a cohort of participants, deterministic in ``seed``."""
+    master = random.Random(seed)
+    users = []
+    for user_id in range(1, n_users + 1):
+        rng = random.Random(master.randrange(2**31))
+        favorites = master.sample(_FAVORITE_POOL, k=3)
+        users.append(
+            SimulatedUser(
+                user_id=user_id,
+                rng=rng,
+                favorites=favorites,
+                patience=master.randint(12, 22),
+                capture_error_rate=master.uniform(0.5, 0.9),
+                negation_skill=master.uniform(0.15, 0.45),
+                rescue_willingness=master.uniform(0.6, 0.95),
+                overwhelm_threshold=master.randint(52, 120),
+            )
+        )
+    return users

@@ -1,0 +1,54 @@
+"""The semistructured vector space model (§5) and its text pipeline."""
+
+from .cluster import Cluster, cluster_collection
+from .composition import compose_values, reachable_frontier
+from .feedback import FeedbackSession, rocchio
+from .model import ItemProfile, VectorSpaceModel
+from .phrases import KIND_PHRASE, PhraseSet, learn_phrases
+from .numeric import NumericRange, encode_unit_circle, unit_circle_similarity
+from .stemmer import PorterStemmer, stem
+from .stopwords import STOP_WORDS, is_stop_word
+from .tokenizer import Analyzer, analyze, default_analyzer, tokenize
+from .vector import (
+    Coord,
+    KIND_NUM_COS,
+    KIND_NUM_SIN,
+    KIND_OBJECT,
+    KIND_WORD,
+    SparseVector,
+)
+from .weighting import CorpusStats, idf, term_weight
+
+__all__ = [
+    "Cluster",
+    "cluster_collection",
+    "compose_values",
+    "reachable_frontier",
+    "FeedbackSession",
+    "rocchio",
+    "KIND_PHRASE",
+    "PhraseSet",
+    "learn_phrases",
+    "ItemProfile",
+    "VectorSpaceModel",
+    "NumericRange",
+    "encode_unit_circle",
+    "unit_circle_similarity",
+    "PorterStemmer",
+    "stem",
+    "STOP_WORDS",
+    "is_stop_word",
+    "Analyzer",
+    "analyze",
+    "default_analyzer",
+    "tokenize",
+    "Coord",
+    "KIND_NUM_COS",
+    "KIND_NUM_SIN",
+    "KIND_OBJECT",
+    "KIND_WORD",
+    "SparseVector",
+    "CorpusStats",
+    "idf",
+    "term_weight",
+]

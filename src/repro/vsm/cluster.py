@@ -1,0 +1,169 @@
+"""Scatter/Gather-style clustering over the semistructured VSM (§2).
+
+"Scatter/Gather offers a navigation system based on document clustering
+... creates topical clusters and lets the user pick ones that seem
+interesting to create a smaller collection.  Magnet tries to achieve
+similar synergies in structured models."  Because Magnet's items live in
+one vector space, the classic spherical k-means recipe ports directly —
+and cluster *labels* fall out of the centroids' top coordinates, mixing
+structural values ("ingredient=FETA") with words.
+
+Everything is deterministic: initialization is a greedy farthest-first
+sweep from a seeded starting point, so tests and benchmarks reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..rdf.terms import Node
+from .model import VectorSpaceModel
+from .vector import Coord, SparseVector
+
+__all__ = ["Cluster", "cluster_collection"]
+
+
+class Cluster:
+    """One topical group of a scattered collection."""
+
+    def __init__(
+        self,
+        index: int,
+        items: list[Node],
+        centroid: SparseVector,
+        distinctive: SparseVector | None = None,
+    ):
+        self.index = index
+        self.items = items
+        self.centroid = centroid
+        #: centroid minus the whole collection's centroid (clipped ≥ 0):
+        #: what makes this cluster different, not what everything shares.
+        self.distinctive = distinctive if distinctive is not None else centroid
+
+    def top_coordinates(self, n: int = 5) -> list[Coord]:
+        """The cluster's strongest *distinguishing* coordinates.
+
+        Numeric circle components are skipped (every item carries them
+        with positive weight), and the whole-collection signal has been
+        subtracted, so a cluster of Mexican soups reads "SOUP, ...",
+        never "MEXICAN, ..." inside a Mexican collection.
+        """
+        ranked = sorted(
+            self.distinctive.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )
+        out = []
+        for coord, _weight in ranked:
+            if isinstance(coord, Coord) and coord.kind.startswith("num-"):
+                continue
+            out.append(coord)
+            if len(out) >= n:
+                break
+        return out
+
+    def label(self, n: int = 3) -> str:
+        """A compact display label from the top coordinates."""
+        parts = []
+        for coord in self.top_coordinates(n):
+            parts.append(coord.describe().rsplit("=", 1)[-1])
+        return ", ".join(parts) if parts else "(empty)"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"<Cluster #{self.index} {self.label()!r} n={len(self.items)}>"
+
+
+def cluster_collection(
+    model: VectorSpaceModel,
+    items: Sequence[Node],
+    k: int = 4,
+    max_iterations: int = 12,
+    seed: int = 0,
+) -> list[Cluster]:
+    """Spherical k-means over a collection's vectors.
+
+    Items not in the model are ignored.  ``k`` is clamped to the number
+    of distinct items.  Clusters come back largest-first; empty clusters
+    are dropped (k-means may collapse when the data has fewer natural
+    groups).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pool = [item for item in items if item in model]
+    pool = sorted(set(pool), key=lambda n: n.n3())
+    if not pool:
+        return []
+    k = min(k, len(pool))
+    vectors = {item: model.vector(item) for item in pool}
+
+    centers = _farthest_first(pool, vectors, k, seed)
+    assignment: dict[Node, int] = {}
+    for _round in range(max_iterations):
+        changed = False
+        for item in pool:
+            best = max(
+                range(len(centers)),
+                key=lambda c: (vectors[item].dot(centers[c]), -c),
+            )
+            if assignment.get(item) != best:
+                assignment[item] = best
+                changed = True
+        if not changed:
+            break
+        new_centers = []
+        for c in range(len(centers)):
+            members = [vectors[i] for i in pool if assignment[i] == c]
+            if members:
+                new_centers.append(SparseVector.centroid(members))
+            else:
+                new_centers.append(centers[c])
+        centers = new_centers
+
+    overall = SparseVector.centroid(vectors.values())
+    clusters = []
+    for c, center in enumerate(centers):
+        members = [item for item in pool if assignment[item] == c]
+        if not members:
+            continue
+        difference = center - overall
+        distinctive = SparseVector(
+            {coord: w for coord, w in difference.items() if w > 0.0}
+        )
+        clusters.append(Cluster(c, members, center, distinctive))
+    clusters.sort(key=lambda cl: (-len(cl.items), cl.index))
+    for index, cluster in enumerate(clusters):
+        cluster.index = index
+    return clusters
+
+
+def _farthest_first(
+    pool: list[Node],
+    vectors: dict[Node, SparseVector],
+    k: int,
+    seed: int,
+) -> list[SparseVector]:
+    """Deterministic k-means++-flavored initialization.
+
+    Start from the seed-th item, then repeatedly pick the item least
+    similar to every chosen center (ties broken lexically).
+    """
+    first = pool[seed % len(pool)]
+    centers = [vectors[first]]
+    chosen = {first}
+    while len(centers) < k:
+        best_item = None
+        best_score = None
+        for item in pool:
+            if item in chosen:
+                continue
+            closest = max(vectors[item].dot(center) for center in centers)
+            score = (closest, item.n3())
+            if best_score is None or score < best_score:
+                best_score = score
+                best_item = item
+        if best_item is None:
+            break
+        chosen.add(best_item)
+        centers.append(vectors[best_item])
+    return centers

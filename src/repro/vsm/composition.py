@@ -1,0 +1,77 @@
+"""Attribute-composition traversal (§5.1).
+
+Compositions add "transitive" coordinates to the model: for a chain such
+as (author, expertise), an item's composite values are the expertise
+values of its authors.  Because semistructured graphs may contain cycles
+(§6.2 contrasts this with XML's trees), traversal tracks visited nodes
+and never revisits them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Literal, Node, Resource
+
+__all__ = ["compose_values", "reachable_frontier"]
+
+
+def compose_values(
+    graph: Graph, item: Node, chain: Sequence[Resource]
+) -> list[Node]:
+    """Values reached from ``item`` by following the property chain.
+
+    Intermediate steps only traverse resource/blank nodes (a literal has
+    no outgoing arcs); the final step's objects — literal or resource —
+    are the composite values.  Duplicates are collapsed; order is
+    deterministic (sorted by N-Triples form).
+    """
+    if not chain:
+        return []
+    frontier: set[Node] = {item}
+    visited: set[Node] = {item}
+    for prop in chain[:-1]:
+        next_frontier: set[Node] = set()
+        for node in frontier:
+            if isinstance(node, Literal):
+                continue
+            for target in graph.objects(node, prop):
+                if target not in visited:
+                    visited.add(target)
+                    next_frontier.add(target)
+        frontier = next_frontier
+        if not frontier:
+            return []
+    last = chain[-1]
+    values: set[Node] = set()
+    for node in frontier:
+        if isinstance(node, Literal):
+            continue
+        values.update(graph.objects(node, last))
+    return sorted(values, key=lambda n: n.n3())
+
+
+def reachable_frontier(
+    graph: Graph, item: Node, chain: Sequence[Resource]
+) -> list[Node]:
+    """The intermediate nodes reached after following every chain step.
+
+    Useful for analysts that need the objects themselves (e.g. "navigate
+    to the collection of ingredients" in §3.3) rather than their values.
+    """
+    frontier: set[Node] = {item}
+    visited: set[Node] = {item}
+    for prop in chain:
+        next_frontier: set[Node] = set()
+        for node in frontier:
+            if isinstance(node, Literal):
+                continue
+            for target in graph.objects(node, prop):
+                if target not in visited:
+                    visited.add(target)
+                    next_frontier.add(target)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return sorted(frontier, key=lambda n: n.n3())

@@ -1,0 +1,118 @@
+"""Relevance feedback: Rocchio query modification (§5.3's lineage).
+
+§5 argues that fitting semistructured data into the vector space model
+"lets us take advantage of the large body of work on query refinement in
+text repositories", citing Harman's survey of relevance feedback.  The
+classic member of that body is Rocchio's update:
+
+    q' = α·q + β·centroid(relevant) − γ·centroid(non-relevant)
+
+Because Magnet's items — not just its text — live in one vector space,
+the same update steers *structured* browsing: marking a few recipes as
+"more like this" pulls the query toward their ingredients and cuisines,
+not merely their words.  The ``MoreLikeTheseAnalyst`` exposes this as a
+navigation suggestion.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..rdf.terms import Node
+from .model import VectorSpaceModel
+from .vector import SparseVector
+
+__all__ = ["rocchio", "FeedbackSession"]
+
+
+def rocchio(
+    query: SparseVector,
+    relevant: Sequence[SparseVector],
+    non_relevant: Sequence[SparseVector] = (),
+    alpha: float = 1.0,
+    beta: float = 0.75,
+    gamma: float = 0.15,
+) -> SparseVector:
+    """The Rocchio update, returning a unit-length modified query.
+
+    Negative coordinates are clipped to zero after the update (standard
+    practice: a vector-space query cannot demand absence).
+    """
+    updated = query.scaled(alpha)
+    if relevant:
+        updated = updated + SparseVector.centroid(relevant).scaled(beta)
+    if non_relevant:
+        updated = updated - SparseVector.centroid(non_relevant).scaled(gamma)
+    clipped = SparseVector(
+        {coord: weight for coord, weight in updated.items() if weight > 0.0}
+    )
+    return clipped.normalized()
+
+
+class FeedbackSession:
+    """Accumulates relevance judgments and maintains the moving query."""
+
+    def __init__(
+        self,
+        model: VectorSpaceModel,
+        initial_query: SparseVector | None = None,
+        alpha: float = 1.0,
+        beta: float = 0.75,
+        gamma: float = 0.15,
+    ):
+        self.model = model
+        self.initial_query = (
+            initial_query if initial_query is not None else SparseVector()
+        )
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self._relevant: list[Node] = []
+        self._non_relevant: list[Node] = []
+
+    def mark_relevant(self, item: Node) -> None:
+        """'More like this.'"""
+        if item not in self.model:
+            raise KeyError(f"item not indexed: {item!r}")
+        if item not in self._relevant:
+            self._relevant.append(item)
+        if item in self._non_relevant:
+            self._non_relevant.remove(item)
+
+    def mark_non_relevant(self, item: Node) -> None:
+        """'Less like this.'"""
+        if item not in self.model:
+            raise KeyError(f"item not indexed: {item!r}")
+        if item not in self._non_relevant:
+            self._non_relevant.append(item)
+        if item in self._relevant:
+            self._relevant.remove(item)
+
+    @property
+    def relevant(self) -> list[Node]:
+        return list(self._relevant)
+
+    @property
+    def non_relevant(self) -> list[Node]:
+        return list(self._non_relevant)
+
+    def query_vector(self) -> SparseVector:
+        """The current Rocchio-updated query."""
+        return rocchio(
+            self.initial_query,
+            [self.model.vector(item) for item in self._relevant],
+            [self.model.vector(item) for item in self._non_relevant],
+            alpha=self.alpha,
+            beta=self.beta,
+            gamma=self.gamma,
+        )
+
+    def judged(self) -> set[Node]:
+        """Everything the user has already marked (excluded from hits)."""
+        return set(self._relevant) | set(self._non_relevant)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FeedbackSession +{len(self._relevant)} "
+            f"-{len(self._non_relevant)}>"
+        )

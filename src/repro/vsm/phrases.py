@@ -1,0 +1,84 @@
+"""Multi-word phrase coordinates (§5.1's "common extension").
+
+"With the vector space model, a common extension calls for having
+multiple word phrases as coordinates.  While this form of extension is
+also helpful in the semistructured version of the model..." — this
+module supplies it: :func:`learn_phrases` mines frequent adjacent token
+pairs from a corpus's text values, and a :class:`PhraseSet` passed to
+:class:`~repro.vsm.model.VectorSpaceModel` adds one ``phrase``
+coordinate per detected occurrence (on top of the word coordinates, the
+standard treatment).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Literal, Node
+from .tokenizer import Analyzer, default_analyzer
+
+__all__ = ["KIND_PHRASE", "PhraseSet", "learn_phrases"]
+
+KIND_PHRASE = "phrase"
+
+
+class PhraseSet:
+    """An immutable set of known (first-stem, second-stem) bigrams."""
+
+    def __init__(self, bigrams: Iterable[tuple[str, str]]):
+        self._bigrams = frozenset(tuple(b) for b in bigrams)
+
+    def __contains__(self, bigram: tuple[str, str]) -> bool:
+        return bigram in self._bigrams
+
+    def __len__(self) -> int:
+        return len(self._bigrams)
+
+    def __iter__(self):
+        return iter(sorted(self._bigrams))
+
+    def spot(self, tokens: list[str]) -> list[str]:
+        """Phrase tokens ('a b') for each known bigram occurrence."""
+        found = []
+        for first, second in zip(tokens, tokens[1:]):
+            if (first, second) in self._bigrams:
+                found.append(f"{first} {second}")
+        return found
+
+    def __repr__(self) -> str:
+        return f"<PhraseSet {len(self._bigrams)} bigrams>"
+
+
+def learn_phrases(
+    graph: Graph,
+    items: Iterable[Node],
+    analyzer: Analyzer | None = None,
+    min_count: int = 3,
+    max_phrases: int = 200,
+) -> PhraseSet:
+    """Mine frequent adjacent stem pairs from the items' text values.
+
+    A bigram qualifies when it occurs at least ``min_count`` times
+    corpus-wide; the ``max_phrases`` most frequent are kept.  Stop words
+    never participate (the analyzer has already removed them, so
+    phrases bridge content words — 'olive oil', 'black bean').
+    """
+    analyzer = analyzer if analyzer is not None else default_analyzer()
+    counts: Counter = Counter()
+    for item in items:
+        for _prop, values in graph.properties_of(item).items():
+            for value in values:
+                if not isinstance(value, Literal):
+                    continue
+                if value.is_numeric or value.is_temporal:
+                    continue
+                tokens = list(analyzer.tokens(value.lexical))
+                counts.update(zip(tokens, tokens[1:]))
+    frequent = [
+        bigram
+        for bigram, count in counts.most_common()
+        if count >= min_count
+    ]
+    return PhraseSet(frequent[:max_phrases])

@@ -1,0 +1,202 @@
+"""Porter stemmer — the suffix stripper behind "stemming" in §5.
+
+A faithful implementation of M.F. Porter's 1980 algorithm ("An algorithm
+for suffix stripping", *Program* 14(3)), the normalization step the paper
+lists alongside stop-word removal.  The five classic steps are kept as
+separate methods so each can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "stem"]
+
+_VOWELS = "aeiou"
+
+
+class PorterStemmer:
+    """Stateless Porter (1980) stemmer.
+
+    >>> PorterStemmer().stem("running")
+    'run'
+    >>> PorterStemmer().stem("relational")
+    'relat'
+    """
+
+    def stem(self, word: str) -> str:
+        """Return the stem of an already lower-cased word."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- consonant/vowel machinery ------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """The 'm' of the paper: count of VC sequences in the stem."""
+        forms = []
+        for i in range(len(stem)):
+            forms.append("c" if cls._is_consonant(stem, i) else "v")
+        collapsed = "".join(
+            ch for i, ch in enumerate(forms) if i == 0 or forms[i - 1] != ch
+        )
+        return collapsed.count("vc")
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and cls._is_consonant(word, len(word) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        if len(word) < 3:
+            return False
+        if not (
+            cls._is_consonant(word, len(word) - 3)
+            and not cls._is_consonant(word, len(word) - 2)
+            and cls._is_consonant(word, len(word) - 1)
+        ):
+            return False
+        return word[-1] not in "wxy"
+
+    # -- steps ---------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed"):
+            stem = word[:-2]
+            if self._contains_vowel(stem):
+                word, flag = stem, True
+        elif word.endswith("ing"):
+            stem = word[:-3]
+            if self._contains_vowel(stem):
+                word, flag = stem, True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"),
+        ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+        ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
+        ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
+        ("iviti", "ive"), ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"),
+        ("iciti", "ic"), ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+        "ement", "ment", "ent", "ou", "ism", "ate", "iti", "ous",
+        "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and self._measure(stem) > 1:
+                return stem
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem)):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            self._measure(word) > 1
+            and self._ends_double_consonant(word)
+            and word.endswith("l")
+        ):
+            return word[:-1]
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem a lower-cased word with the module-level stemmer."""
+    return _DEFAULT.stem(word)

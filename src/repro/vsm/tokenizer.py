@@ -1,0 +1,86 @@
+"""Tokenization: splitting text values into word coordinates (§5).
+
+"As in the traditional vector space model individual words in paragraphs
+of text are split up and represented as coordinates."  The analyzer here
+lower-cases, strips punctuation, drops stop words, and Porter-stems —
+the improvements §5 enumerates.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterator
+
+from .stemmer import PorterStemmer
+from .stopwords import STOP_WORDS
+
+__all__ = ["Analyzer", "default_analyzer", "tokenize", "analyze"]
+
+_WORD = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+
+def tokenize(text: str) -> Iterator[str]:
+    """Yield raw lower-cased word tokens from text."""
+    for match in _WORD.finditer(text.lower()):
+        yield match.group(0)
+
+
+#: Sentinel distinguishing "use the default stemmer" from "no stemming".
+_DEFAULT_STEMMER = PorterStemmer()
+
+
+class Analyzer:
+    """A configurable text-analysis chain: tokenize → stop → stem.
+
+    ``stop_words`` may be None to disable stop-word removal;
+    ``stemmer`` may be None to disable stemming.  The default instance
+    mirrors the paper's pipeline.
+    """
+
+    def __init__(
+        self,
+        stop_words: frozenset[str] | None = STOP_WORDS,
+        stemmer: PorterStemmer | None = _DEFAULT_STEMMER,
+        min_length: int = 1,
+    ):
+        self.stop_words = stop_words
+        self.stemmer = stemmer
+        self.min_length = min_length
+        self._cache: dict[str, str] = {}
+
+    def tokens(self, text: str) -> Iterator[str]:
+        """Yield normalized terms from text."""
+        for token in tokenize(text):
+            if len(token) < self.min_length:
+                continue
+            if self.stop_words is not None and token in self.stop_words:
+                continue
+            yield self.stem_token(token)
+
+    def stem_token(self, token: str) -> str:
+        """Stem one already lower-cased token (with caching)."""
+        if self.stemmer is None:
+            return token
+        cached = self._cache.get(token)
+        if cached is None:
+            cached = self.stemmer.stem(token)
+            self._cache[token] = cached
+        return cached
+
+    def counts(self, text: str) -> Counter:
+        """Term → frequency for a text value."""
+        return Counter(self.tokens(text))
+
+
+_DEFAULT = Analyzer()
+
+
+def default_analyzer() -> Analyzer:
+    """The shared default analysis chain (stop words + Porter stemming)."""
+    return _DEFAULT
+
+
+def analyze(text: str) -> list[str]:
+    """Normalize text with the default analyzer, returning a list."""
+    return list(_DEFAULT.tokens(text))

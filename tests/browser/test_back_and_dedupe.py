@@ -1,0 +1,86 @@
+"""Tests for the back stack and constraint-chip deduplication."""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.query import HasValue
+from repro.rdf import Graph, Namespace, RDF
+
+EX = Namespace("http://bk.example/")
+
+
+@pytest.fixture()
+def session():
+    g = Graph()
+    for i in range(6):
+        item = EX[f"d{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.color, EX.red if i < 3 else EX.blue)
+        g.add(item, EX.size, EX.big if i % 2 else EX.small)
+    return Session(Workspace(g))
+
+
+class TestBack:
+    def test_back_restores_previous_collection(self, session):
+        session.run_query(HasValue(EX.color, EX.red))
+        red_items = list(session.current.items)
+        session.refine(HasValue(EX.size, EX.big))
+        view = session.back()
+        assert view.items == red_items
+        assert session.describe_constraints() == ["color: red"]
+
+    def test_back_across_item_views(self, session):
+        session.run_query(HasValue(EX.color, EX.red))
+        session.go_item(EX.d0)
+        view = session.back()
+        assert view.is_collection
+        assert EX.d0 in view.items
+
+    def test_back_twice(self, session):
+        session.run_query(HasValue(EX.color, EX.red))
+        session.go_item(EX.d0)
+        session.go_item(EX.d1)
+        first = session.back()
+        assert first.is_item and first.item == EX.d0
+        second = session.back()
+        assert second.is_collection
+
+    def test_back_past_start_raises(self, session):
+        with pytest.raises(RuntimeError):
+            session.back()
+
+    def test_back_clears_suggestion_cache(self, session):
+        session.run_query(HasValue(EX.color, EX.red))
+        before = session.suggestions()
+        session.go_item(EX.d0)
+        session.back()
+        assert session.suggestions() is not before
+
+    def test_back_stack_bounded(self, session):
+        for _ in range(120):
+            session.go_item(EX.d0)
+        assert len(session._back_stack) <= 100
+
+
+class TestChipDedupe:
+    def test_same_facet_clicked_twice_is_one_chip(self, session):
+        session.run_query(HasValue(EX.color, EX.red))
+        session.refine(HasValue(EX.size, EX.big))
+        session.refine(HasValue(EX.size, EX.big))  # the double click
+        assert session.describe_constraints() == [
+            "color: red", "size: big",
+        ]
+
+    def test_items_unchanged_by_duplicate_click(self, session):
+        session.run_query(HasValue(EX.color, EX.red))
+        session.refine(HasValue(EX.size, EX.big))
+        before = list(session.current.items)
+        session.refine(HasValue(EX.size, EX.big))
+        assert list(session.current.items) == before
+
+    def test_negate_then_renegate_collapses(self, session):
+        session.run_query(HasValue(EX.color, EX.red))
+        session.negate_constraint(0)
+        session.negate_constraint(0)
+        assert session.describe_constraints() == ["color: red"]

@@ -1,0 +1,81 @@
+"""Tests for bookmarks and starting points (§3's side panes)."""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.rdf import Graph, Namespace, RDF
+
+EX = Namespace("http://bm.example/")
+
+
+@pytest.fixture()
+def session():
+    g = Graph()
+    for i in range(4):
+        g.add(EX[f"r{i}"], RDF.type, EX.Recipe)
+    for i in range(2):
+        g.add(EX[f"p{i}"], RDF.type, EX.Person)
+    return Session(Workspace(g))
+
+
+class TestBookmarks:
+    def test_bookmark_current_item(self, session):
+        session.go_item(EX.r0)
+        session.bookmark()
+        assert session.bookmarks == [EX.r0]
+
+    def test_bookmark_explicit_item(self, session):
+        session.bookmark(EX.r1)
+        assert session.bookmarks == [EX.r1]
+
+    def test_bookmark_needs_an_item_in_view(self, session):
+        with pytest.raises(RuntimeError):
+            session.bookmark()
+
+    def test_no_duplicates(self, session):
+        session.bookmark(EX.r1)
+        session.bookmark(EX.r1)
+        assert session.bookmarks == [EX.r1]
+
+    def test_unbookmark(self, session):
+        session.bookmark(EX.r1)
+        assert session.unbookmark(EX.r1) is True
+        assert session.unbookmark(EX.r1) is False
+        assert session.bookmarks == []
+
+    def test_go_bookmarks(self, session):
+        session.bookmark(EX.r0)
+        session.bookmark(EX.r2)
+        view = session.go_bookmarks()
+        assert view.items == [EX.r0, EX.r2]
+        assert view.description == "bookmarks"
+
+    def test_bookmarks_property_is_copy(self, session):
+        session.bookmark(EX.r0)
+        session.bookmarks.append(EX.r1)
+        assert session.bookmarks == [EX.r0]
+
+
+class TestStartingPoints:
+    def test_types_with_counts(self, session):
+        points = session.starting_points()
+        assert points[0] == (EX.Recipe, 4)
+        assert (EX.Person, 2) in points
+
+    def test_largest_first(self, session):
+        counts = [n for _t, n in session.starting_points()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_go_starting_point(self, session):
+        view = session.go_starting_point(EX.Person)
+        assert set(view.items) == {EX.p0, EX.p1}
+        assert session.describe_constraints() == ["type: Person"]
+
+    def test_restricted_universe_respected(self):
+        g = Graph()
+        g.add(EX.a, RDF.type, EX.Doc)
+        g.add(EX.b, RDF.type, EX.Doc)
+        workspace = Workspace(g, items=[EX.a])
+        session = Session(workspace)
+        assert session.starting_points() == [(EX.Doc, 1)]

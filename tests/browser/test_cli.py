@@ -1,0 +1,136 @@
+"""Tests for the interactive CLI browser."""
+
+import io
+
+import pytest
+
+from repro.browser import Session
+from repro.cli import Shell, build_parser, main
+from repro.core import Workspace
+from repro.datasets import states
+
+
+@pytest.fixture()
+def shell_io(states_annotated):
+    workspace = Workspace(
+        states_annotated.graph,
+        schema=states_annotated.schema,
+        items=states_annotated.items,
+    )
+    out = io.StringIO()
+    shell = Shell(Session(workspace), out=out)
+    return shell, out
+
+
+def run_script(shell, out, commands: str) -> str:
+    code = shell.run(io.StringIO(commands), interactive=False)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestShell:
+    def test_startup_shows_pane(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "quit\n")
+        assert "NAVIGATION" in output
+        assert "suggestions:" in output
+
+    def test_search(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "search cardinal\nquit\n")
+        assert "7 items" in output
+
+    def test_chips_and_drop(self, shell_io):
+        shell, out = shell_io
+        output = run_script(
+            shell, out, "search cardinal\nchips\ndrop 0\nquit\n"
+        )
+        assert "[0] contains: 'cardinal'" in output
+        assert "50 items" in output
+
+    def test_pick_suggestion(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "pick 1\nquit\n")
+        assert "items" in output
+
+    def test_item_view(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "search cardinal\nitem 1\nquit\n")
+        assert "bird: Cardinal" in output
+
+    def test_overview(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "overview\nquit\n")
+        assert "COLLECTION OVERVIEW" in output
+
+    def test_unknown_command(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "frobnicate\nquit\n")
+        assert "unknown command" in output
+
+    def test_bad_numbers_survive(self, shell_io):
+        shell, out = shell_io
+        output = run_script(
+            shell, out, "pick banana\npick 9999\nitem 0\nquit\n"
+        )
+        assert "expected a number" in output
+        assert "out of range" in output
+
+    def test_errors_keep_loop_alive(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "drop 99\nsearch cardinal\nquit\n")
+        assert "error:" in output
+        assert "7 items" in output
+
+    def test_describe(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "describe\nquit\n")
+        assert "REPOSITORY STRUCTURE" in output
+        assert "State (50 instances)" in output
+
+    def test_help(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "help\nquit\n")
+        assert "search <words>" in output
+
+    def test_eof_terminates(self, shell_io):
+        shell, out = shell_io
+        assert shell.run(io.StringIO(""), interactive=False) == 0
+
+    def test_ranked_search(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "ranked cardinal\nquit\n")
+        assert "(ranked)" in output
+
+    def test_feedback_cycle(self, shell_io):
+        shell, out = shell_io
+        output = run_script(
+            shell, out, "search cardinal\nlike 1\nmore\nquit\n"
+        )
+        assert "marked" in output
+
+
+class TestMainEntry:
+    def test_commands_file(self, tmp_path):
+        script = tmp_path / "script.txt"
+        script.write_text("search cardinal\nquit\n")
+        code = main(
+            ["states", "--annotated", "--commands", str(script)]
+        )
+        assert code == 0
+
+    def test_ntriples_input(self, tmp_path):
+        from repro.rdf import serialize_ntriples
+
+        corpus = states.build_corpus(annotated=True)
+        data = tmp_path / "states.nt"
+        data.write_text(serialize_ntriples(corpus.graph.triples()))
+        script = tmp_path / "script.txt"
+        script.write_text("search cardinal\nquit\n")
+        code = main(["--ntriples", str(data), "--commands", str(script)])
+        assert code == 0
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "recipes"
+        assert args.size == 800

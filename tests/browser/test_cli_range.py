@@ -1,0 +1,56 @@
+"""Tests for the CLI's range-widget interaction."""
+
+import io
+
+import pytest
+
+from repro.browser import Session
+from repro.cli import Shell
+from repro.core import Workspace
+from repro.core.suggestions import OpenRangeWidget
+
+
+@pytest.fixture()
+def shell(states_annotated):
+    workspace = Workspace(
+        states_annotated.graph,
+        schema=states_annotated.schema,
+        items=states_annotated.items,
+    )
+    out = io.StringIO()
+    return Shell(Session(workspace), out=out), out
+
+
+def range_suggestion_number(shell_obj) -> int:
+    shell_obj.show_pane()
+    for index, suggestion in enumerate(shell_obj._numbered, start=1):
+        if isinstance(suggestion.action, OpenRangeWidget):
+            return index
+    raise AssertionError("no range widget offered")
+
+
+class TestRangeFlow:
+    def test_pick_opens_widget(self, shell):
+        shell_obj, out = shell
+        number = range_suggestion_number(shell_obj)
+        shell_obj.do_pick(str(number))
+        assert "range <low> <high>" in out.getvalue()
+
+    def test_range_applies_selection(self, shell):
+        shell_obj, out = shell
+        number = range_suggestion_number(shell_obj)
+        shell_obj.do_pick(str(number))
+        shell_obj.do_range("400000 700000")
+        assert "1 items" in out.getvalue()  # Alaska
+
+    def test_range_without_widget(self, shell):
+        shell_obj, out = shell
+        shell_obj.do_range("1 2")
+        assert "no range widget open" in out.getvalue()
+
+    def test_range_bad_arguments(self, shell):
+        shell_obj, out = shell
+        number = range_suggestion_number(shell_obj)
+        shell_obj.do_pick(str(number))
+        shell_obj.do_range("nonsense")
+        assert "usage: range" in out.getvalue()

@@ -1,0 +1,61 @@
+"""Tests for the power-user compound builder (§3.3)."""
+
+import pytest
+
+from repro.browser import CompoundBuilder
+from repro.core.suggestions import GoToItem, Refine, Suggestion
+from repro.query import And, HasValue, Or
+from repro.rdf import Namespace
+
+EX = Namespace("http://cb.example/")
+
+
+def refinement(value):
+    return Suggestion(
+        "refine-collection", str(value),
+        Refine(HasValue(EX.ingredient, value)), 1.0,
+    )
+
+
+class TestCompoundBuilder:
+    def test_or_compound(self):
+        builder = CompoundBuilder("or")
+        builder.drag(refinement(EX.dairy)).drag(refinement(EX.vegetables))
+        built = builder.build()
+        assert isinstance(built, Or)
+        assert len(built.parts) == 2
+
+    def test_and_compound(self):
+        builder = CompoundBuilder("and")
+        builder.drag(refinement(EX.a)).drag(refinement(EX.b))
+        assert isinstance(builder.build(), And)
+
+    def test_single_part_unwrapped(self):
+        builder = CompoundBuilder("or")
+        builder.drag(refinement(EX.a))
+        assert builder.build() == HasValue(EX.ingredient, EX.a)
+
+    def test_bare_predicates_draggable(self):
+        builder = CompoundBuilder("or")
+        builder.drag(HasValue(EX.p, EX.v))
+        assert len(builder) == 1
+
+    def test_non_refinement_rejected(self):
+        builder = CompoundBuilder("or")
+        goto = Suggestion("history", "go", GoToItem(EX.a), 1.0)
+        with pytest.raises(TypeError):
+            builder.drag(goto)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundBuilder("or").build()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundBuilder("xor")
+
+    def test_parts_copy(self):
+        builder = CompoundBuilder("or")
+        builder.drag(refinement(EX.a))
+        builder.parts.clear()
+        assert len(builder) == 1

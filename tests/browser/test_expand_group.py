@@ -1,0 +1,58 @@
+"""Tests for the '...' overflow expansion (§3.2)."""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.core.advisors import REFINE_COLLECTION
+from repro.rdf import Graph, Namespace, RDF
+
+EX = Namespace("http://eg.example/")
+
+
+@pytest.fixture()
+def session():
+    g = Graph()
+    # Enough distinct tag values that the per-group cap truncates.
+    for i in range(12):
+        item = EX[f"d{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.tag, EX[f"t{i % 8}"])
+        g.add(item, EX.color, EX.red if i < 6 else EX.blue)
+    workspace = Workspace(g)
+    session = Session(workspace)
+    session.go_collection(workspace.items, "all")
+    return session
+
+
+class TestExpandGroup:
+    def test_overflow_is_reported(self, session):
+        result = session.suggestions()
+        assert "tag" in result.overflow.get(REFINE_COLLECTION, [])
+
+    def test_expansion_returns_everything(self, session):
+        presented = [
+            s
+            for s in session.suggestions().suggestions(REFINE_COLLECTION)
+            if s.group == "tag"
+        ]
+        expanded = session.expand_group(REFINE_COLLECTION, "tag")
+        assert len(expanded) == 8
+        assert len(presented) < len(expanded)
+
+    def test_expansion_weight_ordered(self, session):
+        expanded = session.expand_group(REFINE_COLLECTION, "tag")
+        weights = [s.weight for s in expanded]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_expanded_suggestion_selectable(self, session):
+        expanded = session.expand_group(REFINE_COLLECTION, "tag")
+        view = session.select(expanded[-1])
+        assert view.items  # clicking a deep option still works
+
+    def test_unknown_advisor_rejected(self, session):
+        with pytest.raises(KeyError):
+            session.expand_group("nope", "tag")
+
+    def test_unknown_group_is_empty(self, session):
+        assert session.expand_group(REFINE_COLLECTION, "no-such-group") == []

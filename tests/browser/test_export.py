@@ -1,0 +1,77 @@
+"""Tests for collection export."""
+
+import io
+
+import pytest
+
+from repro.browser import Session
+from repro.cli import Shell
+from repro.core import Workspace
+from repro.query import HasValue
+from repro.rdf import Graph, Literal, Namespace, RDF, Schema, parse_ntriples
+from repro.rdf.turtle import parse_turtle
+from repro.rdf.vocab import RDFS
+
+EX = Namespace("http://xp.example/")
+
+
+@pytest.fixture()
+def session():
+    g = Graph()
+    schema = Schema(g)
+    schema.set_label(EX.red, "Red")
+    for i in range(4):
+        item = EX[f"d{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.color, EX.red if i < 2 else EX.blue)
+        g.add(item, EX.note, Literal(f"note {i}"))
+    return Session(Workspace(g))
+
+
+class TestExport:
+    def test_ntriples_export_roundtrips(self, session, tmp_path):
+        session.run_query(HasValue(EX.color, EX.red))
+        path = tmp_path / "red.nt"
+        count = session.export_collection(path)
+        exported = parse_ntriples(path.read_text())
+        assert len(exported) == count
+        assert (EX.d0, EX.color, EX.red) in exported
+        assert (EX.d2, EX.color, EX.blue) not in exported
+
+    def test_labels_of_referenced_values_included(self, session, tmp_path):
+        session.run_query(HasValue(EX.color, EX.red))
+        path = tmp_path / "red.nt"
+        session.export_collection(path)
+        exported = parse_ntriples(path.read_text())
+        assert exported.value(EX.red, RDFS.label) == Literal("Red")
+
+    def test_turtle_format(self, session, tmp_path):
+        session.run_query(HasValue(EX.color, EX.red))
+        path = tmp_path / "red.ttl"
+        session.export_collection(path, format="ttl")
+        assert parse_turtle(path.read_text())
+
+    def test_unknown_format(self, session, tmp_path):
+        with pytest.raises(ValueError):
+            session.export_collection(tmp_path / "x", format="xml")
+
+    def test_item_view_rejected(self, session, tmp_path):
+        session.go_item(EX.d0)
+        with pytest.raises(RuntimeError):
+            session.export_collection(tmp_path / "x.nt")
+
+    def test_cli_export(self, session, tmp_path):
+        out = io.StringIO()
+        shell = Shell(session, out=out)
+        target = tmp_path / "all.nt"
+        shell.run(
+            io.StringIO(f"export {target}\nquit\n"), interactive=False
+        )
+        assert "wrote" in out.getvalue()
+        assert target.exists()
+
+    def test_cli_export_needs_path(self, session):
+        out = io.StringIO()
+        shell = Shell(session, out=out)
+        shell.run(io.StringIO("export\nquit\n"), interactive=False)
+        assert "usage: export" in out.getvalue()

@@ -1,0 +1,122 @@
+"""Tests for the session's ranked-search and relevance-feedback features."""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.query import HasValue
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://se.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    docs = [
+        ("r1", EX.sweet, [EX.apple, EX.honey], "apple honey tart dessert"),
+        ("r2", EX.sweet, [EX.apple, EX.flour], "apple bread loaf"),
+        ("r3", EX.savory, [EX.beef, EX.onion], "beef onion stew"),
+        ("r4", EX.savory, [EX.beef, EX.carrot], "beef carrot soup"),
+        ("r5", EX.sweet, [EX.apple, EX.beef], "apple beef odd mix"),
+        ("r6", EX.savory, [EX.onion, EX.carrot], "vegetable medley plain"),
+    ]
+    for name, kind, ings, title in docs:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Recipe)
+        g.add(item, EX.kind, kind)
+        for ing in ings:
+            g.add(item, EX.ingredient, ing)
+        g.add(item, EX.title, Literal(title))
+    return Workspace(g)
+
+
+class TestRankedSearch:
+    def test_results_ordered_by_score(self, workspace):
+        session = Session(workspace)
+        view = session.search_ranked("apple")
+        assert view.items  # apple recipes
+        # boolean search returns the same membership
+        boolean = set(session.search("apple").items)
+        assert set(view.items) <= boolean | set(view.items)
+
+    def test_k_bounds_results(self, workspace):
+        session = Session(workspace)
+        view = session.search_ranked("apple", k=2)
+        assert len(view.items) <= 2
+
+    def test_query_chip_preserved(self, workspace):
+        session = Session(workspace)
+        session.search_ranked("apple")
+        assert session.describe_constraints() == ["contains: 'apple'"]
+
+    def test_rank_current_by_text(self, workspace):
+        session = Session(workspace)
+        session.run_query(HasValue(EX.kind, EX.sweet))
+        membership = set(session.current.items)
+        view = session.rank_current("honey")
+        assert set(view.items) == membership
+        assert view.items[0] == EX.r1  # the honey recipe first
+
+    def test_rank_current_by_centroid(self, workspace):
+        session = Session(workspace)
+        session.run_query(HasValue(EX.kind, EX.sweet))
+        members = list(session.current.items)
+        view = session.rank_current()
+        assert set(view.items) == set(members)
+        centroid = workspace.model.centroid(members)
+        scores = [workspace.model.vector(item).dot(centroid) for item in view.items]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_preserves_query(self, workspace):
+        session = Session(workspace)
+        session.run_query(HasValue(EX.kind, EX.sweet))
+        session.rank_current()
+        assert len(session.constraints()) == 1
+
+
+class TestRelevanceFeedback:
+    def test_more_like_marked(self, workspace):
+        session = Session(workspace)
+        session.mark_relevant(EX.r1)
+        session.mark_relevant(EX.r2)
+        view = session.more_like_marked(k=2)
+        assert EX.r5 in view.items or EX.r6 not in view.items
+        # judged items never reappear
+        assert EX.r1 not in view.items and EX.r2 not in view.items
+
+    def test_negative_feedback_steers_away(self, workspace):
+        session = Session(workspace)
+        session.mark_relevant(EX.r5)       # apple + beef
+        session.mark_non_relevant(EX.r3)   # beef
+        session.mark_non_relevant(EX.r4)   # beef
+        view = session.more_like_marked(k=2)
+        assert view.items
+        assert view.items[0] in (EX.r1, EX.r2)  # apple side wins
+
+    def test_requires_judgments(self, workspace):
+        session = Session(workspace)
+        with pytest.raises(RuntimeError):
+            session.more_like_marked()
+
+    def test_clear_feedback(self, workspace):
+        session = Session(workspace)
+        session.mark_relevant(EX.r1)
+        session.clear_feedback()
+        with pytest.raises(RuntimeError):
+            session.more_like_marked()
+
+    def test_feedback_seeded_by_current_query(self, workspace):
+        session = Session(workspace)
+        session.search("apple")
+        session.mark_relevant(EX.r3)  # steer toward beef, from apple query
+        query = session._feedback().query_vector()
+        tokens = {c.token for c in query}
+        assert "appl" in tokens  # the initial query survives
+
+    def test_marks_update_view_via_go_collection(self, workspace):
+        session = Session(workspace)
+        session.mark_relevant(EX.r1)
+        view = session.more_like_marked()
+        assert view.description == "more like the marked items"
+        assert session.current is view

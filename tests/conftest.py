@@ -1,0 +1,66 @@
+"""Shared fixtures: small corpora and workspaces reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workspace import Workspace
+from repro.datasets import inbox, recipes, states
+from repro.rdf import Graph, Namespace, RDF
+
+EX = Namespace("http://test.example/")
+
+
+@pytest.fixture(scope="session")
+def recipe_corpus():
+    """A small deterministic slice of the recipe corpus."""
+    return recipes.build_corpus(n_recipes=150, seed=7)
+
+
+@pytest.fixture(scope="session")
+def recipe_workspace(recipe_corpus):
+    return Workspace(
+        recipe_corpus.graph,
+        schema=recipe_corpus.schema,
+        items=recipe_corpus.items,
+    )
+
+
+@pytest.fixture(scope="session")
+def inbox_corpus():
+    return inbox.build_corpus(n_messages=30, n_news=15, seed=11)
+
+
+@pytest.fixture(scope="session")
+def inbox_workspace(inbox_corpus):
+    return Workspace(
+        inbox_corpus.graph,
+        schema=inbox_corpus.schema,
+        items=inbox_corpus.items,
+    )
+
+
+@pytest.fixture(scope="session")
+def states_annotated():
+    return states.build_corpus(annotated=True)
+
+
+@pytest.fixture(scope="session")
+def states_raw():
+    return states.build_corpus(annotated=False)
+
+
+@pytest.fixture()
+def tiny_graph():
+    """Three typed items with shared and distinct facets."""
+    graph = Graph()
+    graph.add(EX.a, RDF.type, EX.Doc)
+    graph.add(EX.a, EX.color, EX.red)
+    graph.add(EX.a, EX.title, "red apple pie")
+    graph.add(EX.b, RDF.type, EX.Doc)
+    graph.add(EX.b, EX.color, EX.red)
+    graph.add(EX.b, EX.title, "red beet salad")
+    graph.add(EX.c, RDF.type, EX.Doc)
+    graph.add(EX.c, EX.color, EX.blue)
+    graph.add(EX.c, EX.title, "blue corn bread")
+    return graph

@@ -1,0 +1,93 @@
+"""Tests for advisor selection and presentation (§4.1)."""
+
+from repro.core import Advisor, Blackboard, Suggestion, standard_advisors
+from repro.core.advisors import (
+    HISTORY,
+    MODIFY,
+    REFINE_COLLECTION,
+    RELATED_ITEMS,
+)
+from repro.core.suggestions import Invoke
+
+
+def make(title, weight, group=None, advisor="adv"):
+    return Suggestion(advisor, title, Invoke(lambda: None, "noop"), weight, group)
+
+
+class TestSelection:
+    def test_selects_by_weight(self):
+        advisor = Advisor("adv", "Adv", max_suggestions=2, alphabetical=False)
+        board = Blackboard()
+        board.post_all([make("low", 0.1), make("high", 0.9), make("mid", 0.5)])
+        assert [s.title for s in advisor.select(board)] == ["high", "mid"]
+
+    def test_alphabetical_presentation(self):
+        """Survivors are re-sorted alphabetically (§4.1)."""
+        advisor = Advisor("adv", "Adv", max_suggestions=3)
+        board = Blackboard()
+        board.post_all([make("zeta", 0.9), make("alpha", 0.1)])
+        assert [s.title for s in advisor.select(board)] == ["alpha", "zeta"]
+
+    def test_groups_kept_together_in_presentation(self):
+        advisor = Advisor("adv", "Adv")
+        board = Blackboard()
+        board.post_all([
+            make("x", 0.9, group="b-group"),
+            make("y", 0.8, group="a-group"),
+            make("z", 0.7, group="b-group"),
+        ])
+        groups = [s.group for s in advisor.select(board)]
+        assert groups == ["a-group", "b-group", "b-group"]
+
+    def test_per_group_cap(self):
+        advisor = Advisor("adv", "Adv", max_per_group=2)
+        board = Blackboard()
+        board.post_all([make(f"v{i}", 0.9 - i * 0.01, group="g") for i in range(5)])
+        assert len(advisor.select(board)) == 2
+
+    def test_ungrouped_not_capped_by_group(self):
+        advisor = Advisor("adv", "Adv", max_per_group=1, max_suggestions=5)
+        board = Blackboard()
+        board.post_all([make(f"v{i}", 0.5) for i in range(4)])
+        assert len(advisor.select(board)) == 4
+
+    def test_other_advisors_ignored(self):
+        advisor = Advisor("adv", "Adv")
+        board = Blackboard()
+        board.post(make("foreign", 0.9, advisor="other"))
+        assert advisor.select(board) == []
+
+    def test_weight_ties_break_on_title(self):
+        advisor = Advisor("adv", "Adv", max_suggestions=1, alphabetical=False)
+        board = Blackboard()
+        board.post_all([make("bbb", 0.5), make("aaa", 0.5)])
+        assert advisor.select(board)[0].title == "aaa"
+
+
+class TestOverflow:
+    def test_overflow_groups_reported(self):
+        advisor = Advisor("adv", "Adv", max_per_group=2)
+        board = Blackboard()
+        board.post_all([make(f"v{i}", 0.5, group="full") for i in range(3)])
+        board.post(make("w", 0.5, group="small"))
+        assert advisor.overflow_groups(board) == ["full"]
+
+    def test_all_in_group_expands(self):
+        """The '...' click shows every option for the group (§3.2)."""
+        advisor = Advisor("adv", "Adv", max_per_group=2)
+        board = Blackboard()
+        board.post_all([make(f"v{i}", 0.5 + i * 0.1, group="g") for i in range(4)])
+        expanded = advisor.all_in_group(board, "g")
+        assert len(expanded) == 4
+        assert expanded[0].title == "v3"  # weight-ordered
+
+
+class TestStandardAdvisors:
+    def test_all_four_present(self):
+        advisors = standard_advisors()
+        assert set(advisors) == {
+            RELATED_ITEMS, REFINE_COLLECTION, MODIFY, HISTORY,
+        }
+
+    def test_history_not_alphabetical(self):
+        assert standard_advisors()[HISTORY].alphabetical is False

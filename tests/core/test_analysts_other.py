@@ -1,0 +1,198 @@
+"""Tests for contrary, range, history, keyword-search, and
+related-collections analysts."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import Blackboard, NavigationHistory, View, Workspace
+from repro.core.advisors import HISTORY, MODIFY, REFINE_COLLECTION, RELATED_ITEMS
+from repro.core.analysts import (
+    ContraryAnalyst,
+    KeywordSearchAnalyst,
+    PreviousItemsAnalyst,
+    RangeAnalyst,
+    RefinementTrailAnalyst,
+    RelatedCollectionsAnalyst,
+    SimilarByVisitAnalyst,
+)
+from repro.core.suggestions import NewQuery, OpenRangeWidget
+from repro.query import And, HasValue, Not
+from repro.rdf import Graph, Literal, Namespace, RDF, Schema, ValueType
+
+EX = Namespace("http://oa.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    schema = Schema(g)
+    schema.set_value_type(EX.when, ValueType.DATE)
+    for i in range(5):
+        item = EX[f"d{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.tag, EX.red if i < 3 else EX.blue)
+        g.add(item, EX.when, Literal(dt.date(2003, 7, i + 1)))
+        g.add(item, EX.size, Literal(i * 10))
+    return Workspace(g, schema=schema)
+
+
+def run(analyst, view):
+    board = Blackboard()
+    assert analyst.triggers_on(view)
+    analyst.analyze(view, board)
+    return board
+
+
+class TestContrary:
+    def test_one_inversion_per_constraint(self, workspace):
+        query = And([HasValue(EX.tag, EX.red), HasValue(EX.size, Literal(0))])
+        view = View.of_collection(workspace, [EX.d0], query=query)
+        board = run(ContraryAnalyst(), view)
+        assert len(board.for_advisor(MODIFY)) == 2
+
+    def test_inverted_query_flips_one_leaf(self, workspace):
+        query = And([HasValue(EX.tag, EX.red), HasValue(EX.size, Literal(0))])
+        view = View.of_collection(workspace, [EX.d0], query=query)
+        board = run(ContraryAnalyst(), view)
+        inverted = board.entries[0].action.predicate
+        assert isinstance(inverted, And)
+        assert isinstance(inverted.parts[0], Not)
+        assert inverted.parts[1] == query.parts[1]
+
+    def test_single_constraint_inverts_bare(self, workspace):
+        view = View.of_collection(
+            workspace, [EX.d0], query=HasValue(EX.tag, EX.red)
+        )
+        board = run(ContraryAnalyst(), view)
+        assert board.entries[0].action.predicate == Not(HasValue(EX.tag, EX.red))
+
+    def test_needs_constraints(self, workspace):
+        view = View.of_collection(workspace, [EX.d0])
+        assert not ContraryAnalyst().triggers_on(view)
+
+
+class TestRange:
+    def test_widget_for_annotated_date(self, workspace):
+        view = View.of_collection(workspace, workspace.items)
+        board = run(RangeAnalyst(), view)
+        widgets = [
+            s for s in board.entries if isinstance(s.action, OpenRangeWidget)
+        ]
+        assert any(s.action.prop == EX.when for s in widgets)
+
+    def test_widget_for_sniffed_integers(self, workspace):
+        view = View.of_collection(workspace, workspace.items)
+        board = run(RangeAnalyst(), view)
+        assert any(
+            s.action.prop == EX.size
+            for s in board.entries
+            if isinstance(s.action, OpenRangeWidget)
+        )
+
+    def test_preview_carries_collection_values(self, workspace):
+        view = View.of_collection(workspace, workspace.items)
+        board = run(RangeAnalyst(), view)
+        widget = next(
+            s.action for s in board.entries if s.action.prop == EX.size
+        )
+        assert widget.preview.low == 0.0 and widget.preview.high == 40.0
+
+    def test_single_distinct_value_skipped(self, workspace):
+        view = View.of_collection(workspace, [EX.d0, EX.d0])
+        board = Blackboard()
+        RangeAnalyst().analyze(view, board)
+        assert not board.entries
+
+    def test_composed_range_for_important_property(self):
+        g = Graph()
+        schema = Schema(g)
+        schema.set_value_type(EX.date, ValueType.DATE)
+        schema.mark_important(EX.body)
+        for i in range(3):
+            item, body = EX[f"m{i}"], EX[f"b{i}"]
+            g.add(item, RDF.type, EX.Mail)
+            g.add(item, EX.body, body)
+            g.add(body, EX.date, Literal(dt.date(2003, 7, i + 1)))
+        workspace = Workspace(g, schema=schema, items=[EX[f"m{i}"] for i in range(3)])
+        view = View.of_collection(workspace, workspace.items)
+        board = run(RangeAnalyst(), view)
+        assert any("body → date" in (s.group or "") for s in board.entries)
+
+
+class TestKeywordSearch:
+    def test_always_posted_for_collections(self, workspace):
+        view = View.of_collection(workspace, workspace.items)
+        board = run(KeywordSearchAnalyst(), view)
+        assert board.for_advisor(REFINE_COLLECTION)
+
+    def test_not_for_empty_collections(self, workspace):
+        view = View.of_collection(workspace, [])
+        assert not KeywordSearchAnalyst().triggers_on(view)
+
+
+class TestHistoryAnalysts:
+    def make_history(self):
+        history = NavigationHistory()
+        for item in [EX.d0, EX.d1, EX.d2, EX.d1]:
+            history.visit_log.visit(item)
+        history.refinement_trail.push(HasValue(EX.tag, EX.red), "red things")
+        return history
+
+    def test_previous_items(self, workspace):
+        history = self.make_history()
+        view = View.of_collection(
+            workspace, workspace.items, history=history
+        )
+        board = run(PreviousItemsAnalyst(), view)
+        titles = [s.title for s in board.for_advisor(HISTORY)]
+        assert titles[0] == "Previous: d1"
+
+    def test_previous_excludes_current_item(self, workspace):
+        history = self.make_history()
+        view = View.of_item(workspace, EX.d1, history=history)
+        board = run(PreviousItemsAnalyst(), view)
+        assert not any("d1" in s.title for s in board.entries)
+
+    def test_refinement_trail_offers_undo(self, workspace):
+        history = self.make_history()
+        view = View.of_collection(workspace, [], history=history)
+        board = run(RefinementTrailAnalyst(), view)
+        assert any(isinstance(s.action, NewQuery) for s in board.entries)
+
+    def test_similar_by_visit_follows_transitions(self, workspace):
+        history = self.make_history()
+        # We moved d0→d1 once and d2→d1 once; from d0 we went to d1.
+        view = View.of_item(workspace, EX.d0, history=history)
+        board = run(SimilarByVisitAnalyst(), view)
+        suggestions = board.for_advisor(RELATED_ITEMS)
+        assert suggestions[0].action.item == EX.d1
+
+    def test_similar_by_visit_silent_without_transitions(self, workspace):
+        history = NavigationHistory()
+        history.visit_log.visit(EX.d0)
+        view = View.of_item(workspace, EX.d0, history=history)
+        assert not SimilarByVisitAnalyst().triggers_on(view)
+
+    def test_no_history_no_trigger(self, workspace):
+        view = View.of_collection(workspace, workspace.items)
+        assert not PreviousItemsAnalyst().triggers_on(view)
+
+
+class TestRelatedCollections:
+    def test_posts_value_collections(self, workspace):
+        view = View.of_collection(workspace, workspace.items)
+        board = run(RelatedCollectionsAnalyst(), view)
+        browse = [s for s in board.for_advisor(MODIFY)]
+        assert any("tag" in s.title for s in browse)
+
+    def test_collection_holds_the_values(self, workspace):
+        view = View.of_collection(workspace, workspace.items)
+        board = run(RelatedCollectionsAnalyst(), view)
+        tag_browse = next(s for s in board.entries if "tag" in s.title)
+        assert set(tag_browse.action.items) == {EX.red, EX.blue}
+
+    def test_literal_values_not_browseable(self, workspace):
+        view = View.of_collection(workspace, workspace.items)
+        board = run(RelatedCollectionsAnalyst(), view)
+        assert not any("size" in s.title for s in board.entries)

@@ -1,0 +1,82 @@
+"""Tests for the blackboard (§4.3)."""
+
+import pytest
+
+from repro.core import Blackboard, Suggestion
+from repro.core.suggestions import Invoke
+
+
+def make(advisor="refine-collection", title="t", weight=0.5):
+    return Suggestion(advisor, title, Invoke(lambda: None, "noop"), weight)
+
+
+class TestPosting:
+    def test_entries_in_order(self):
+        board = Blackboard()
+        board.post(make(title="a"))
+        board.post(make(title="b"))
+        assert [s.title for s in board.entries] == ["a", "b"]
+
+    def test_post_all(self):
+        board = Blackboard()
+        board.post_all([make(), make()])
+        assert len(board) == 2
+
+    def test_for_advisor_filters(self):
+        board = Blackboard()
+        board.post(make(advisor="history"))
+        board.post(make(advisor="modify"))
+        assert len(board.for_advisor("history")) == 1
+
+    def test_advisors_listing_sorted(self):
+        board = Blackboard()
+        board.post(make(advisor="z"))
+        board.post(make(advisor="a"))
+        assert board.advisors() == ["a", "z"]
+
+    def test_entries_is_a_copy(self):
+        board = Blackboard()
+        board.post(make())
+        board.entries.clear()
+        assert len(board) == 1
+
+
+class TestListeners:
+    def test_listener_sees_every_post(self):
+        board = Blackboard()
+        seen = []
+        board.add_listener(lambda b, s: seen.append(s.title))
+        board.post(make(title="x"))
+        board.post(make(title="y"))
+        assert seen == ["x", "y"]
+
+    def test_listener_may_post_reactively(self):
+        """Analysts 'can be triggered by results from other analysts'."""
+        board = Blackboard()
+
+        def reactor(b, suggestion):
+            if suggestion.title == "seed":
+                b.post(make(title="reaction"))
+
+        board.add_listener(reactor)
+        board.post(make(title="seed"))
+        titles = [s.title for s in board.entries]
+        assert titles == ["seed", "reaction"]
+
+    def test_reactive_chain_depth(self):
+        board = Blackboard()
+
+        def chain(b, suggestion):
+            n = int(suggestion.title)
+            if n < 3:
+                b.post(make(title=str(n + 1)))
+
+        board.add_listener(chain)
+        board.post(make(title="0"))
+        assert [s.title for s in board.entries] == ["0", "1", "2", "3"]
+
+    def test_runaway_loop_detected(self):
+        board = Blackboard()
+        board.add_listener(lambda b, s: b.post(make(title="again")))
+        with pytest.raises(RuntimeError):
+            board.post(make(title="go"))

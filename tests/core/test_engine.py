@@ -1,0 +1,161 @@
+"""Tests for the navigation engine's suggestion cycle (§4)."""
+
+import pytest
+
+from repro.core import (
+    Advisor,
+    Blackboard,
+    NavigationEngine,
+    Suggestion,
+    View,
+    Workspace,
+    baseline_analysts,
+    standard_analysts,
+)
+from repro.core.advisors import MODIFY, REFINE_COLLECTION, RELATED_ITEMS
+from repro.core.analysts import Analyst
+from repro.core.suggestions import Invoke
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://ne.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    for i in range(8):
+        item = EX[f"d{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.tag, EX.red if i < 5 else EX.blue)
+        g.add(item, EX.body, Literal(f"text about topic{i % 2}"))
+    return Workspace(g)
+
+
+class TestSuggest:
+    def test_collection_view_gets_refinements(self, workspace):
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_collection(workspace, workspace.items))
+        assert result.suggestions(REFINE_COLLECTION)
+
+    def test_item_view_gets_related(self, workspace):
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_item(workspace, EX.d0))
+        assert result.suggestions(RELATED_ITEMS)
+
+    def test_item_view_gets_no_refinements(self, workspace):
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_item(workspace, EX.d0))
+        assert not result.suggestions(REFINE_COLLECTION)
+
+    def test_all_suggestions_flat(self, workspace):
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_collection(workspace, workspace.items))
+        total = sum(len(v) for v in result.presented.values())
+        assert len(result.all_suggestions()) == total
+
+    def test_find_by_fragment(self, workspace):
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_collection(workspace, workspace.items))
+        assert result.find("red")
+
+    def test_groups_listing(self, workspace):
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_collection(workspace, workspace.items))
+        assert "tag" in result.groups(REFINE_COLLECTION)
+
+    def test_blackboard_retained_for_inspection(self, workspace):
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_collection(workspace, workspace.items))
+        assert len(result.blackboard.entries) >= len(result.all_suggestions())
+
+
+class TestRosters:
+    def test_baseline_lacks_contrary_and_similarity(self, workspace):
+        engine = NavigationEngine(analysts=baseline_analysts())
+        names = {a.name for a in engine.analysts}
+        assert "contrary-constraints" not in names
+        assert "similar-by-content-item" not in names
+
+    def test_standard_has_all_twelve(self):
+        assert len(standard_analysts()) == 12
+
+    def test_baseline_modify_advisor_silent(self, workspace):
+        from repro.query import HasValue
+
+        engine = NavigationEngine(analysts=baseline_analysts())
+        view = View.of_collection(
+            workspace, workspace.items[:5], query=HasValue(EX.tag, EX.red)
+        )
+        result = engine.suggest(view)
+        assert not result.suggestions(MODIFY)
+
+
+class TestExtensibility:
+    def test_custom_analyst_added(self, workspace):
+        class PingAnalyst(Analyst):
+            name = "ping"
+
+            def triggers_on(self, view):
+                return True
+
+            def analyze(self, view, blackboard):
+                self.post(
+                    blackboard, REFINE_COLLECTION, "ping",
+                    Invoke(lambda: None, "noop"), weight=99.0,
+                )
+
+        engine = NavigationEngine(analysts=[PingAnalyst()])
+        result = engine.suggest(View.of_collection(workspace, workspace.items))
+        assert result.find("ping")
+
+    def test_custom_advisor_added(self, workspace):
+        class ShoutAnalyst(Analyst):
+            name = "shout"
+
+            def triggers_on(self, view):
+                return True
+
+            def analyze(self, view, blackboard):
+                self.post(
+                    blackboard, "shouts", "LOUD",
+                    Invoke(lambda: None, "noop"), weight=1.0,
+                )
+
+        engine = NavigationEngine(analysts=[ShoutAnalyst()])
+        engine.add_advisor(Advisor("shouts", "Shouts"))
+        result = engine.suggest(View.of_collection(workspace, workspace.items))
+        assert [s.title for s in result.suggestions("shouts")] == ["LOUD"]
+
+    def test_reactive_analyst_fires_on_posts(self, workspace):
+        class SeedAnalyst(Analyst):
+            name = "seed"
+
+            def triggers_on(self, view):
+                return True
+
+            def analyze(self, view, blackboard):
+                self.post(
+                    blackboard, REFINE_COLLECTION, "seed",
+                    Invoke(lambda: None, "noop"), weight=1.0,
+                )
+
+        class EchoAnalyst(Analyst):
+            name = "echo"
+
+            def triggers_on(self, view):
+                return False
+
+            def is_reactive(self):
+                return True
+
+            def on_posted(self, view, blackboard, suggestion):
+                if suggestion.title == "seed":
+                    self.post(
+                        blackboard, REFINE_COLLECTION, "echo",
+                        Invoke(lambda: None, "noop"), weight=1.0,
+                    )
+
+        engine = NavigationEngine(analysts=[SeedAnalyst(), EchoAnalyst()])
+        result = engine.suggest(View.of_collection(workspace, workspace.items))
+        titles = {s.title for s in result.suggestions(REFINE_COLLECTION)}
+        assert {"seed", "echo"} <= titles

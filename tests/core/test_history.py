@@ -1,0 +1,79 @@
+"""Tests for the visit log and refinement trail."""
+
+from repro.core import NavigationHistory, RefinementTrail, VisitLog
+from repro.query import HasValue
+from repro.rdf import Namespace
+
+EX = Namespace("http://h.example/")
+
+
+class TestVisitLog:
+    def test_records_order(self):
+        log = VisitLog()
+        log.visit(EX.a)
+        log.visit(EX.b)
+        assert log.visits == [EX.a, EX.b]
+
+    def test_recent_most_recent_first_distinct(self):
+        log = VisitLog()
+        for item in [EX.a, EX.b, EX.a, EX.c]:
+            log.visit(item)
+        assert log.recent(3) == [EX.c, EX.a, EX.b]
+
+    def test_recent_excluding(self):
+        log = VisitLog()
+        for item in [EX.a, EX.b]:
+            log.visit(item)
+        assert log.recent(5, excluding=EX.b) == [EX.a]
+
+    def test_recent_respects_n(self):
+        log = VisitLog()
+        for item in [EX.a, EX.b, EX.c]:
+            log.visit(item)
+        assert len(log.recent(2)) == 2
+
+    def test_transitions_counted(self):
+        log = VisitLog()
+        for item in [EX.a, EX.b, EX.a, EX.b, EX.a, EX.c]:
+            log.visit(item)
+        followed = log.followed_from(EX.a)
+        assert followed[0] == (EX.b, 2)
+        assert (EX.c, 1) in followed
+
+    def test_self_transition_ignored(self):
+        log = VisitLog()
+        log.visit(EX.a)
+        log.visit(EX.a)
+        assert log.followed_from(EX.a) == []
+
+    def test_no_transitions(self):
+        assert VisitLog().followed_from(EX.a) == []
+
+
+class TestRefinementTrail:
+    def test_push_pop(self):
+        trail = RefinementTrail()
+        q = HasValue(EX.p, EX.v)
+        trail.push(q, "first")
+        assert trail.pop() == (q, "first")
+        assert trail.pop() is None
+
+    def test_recent_reversed(self):
+        trail = RefinementTrail()
+        trail.push(None, "a")
+        trail.push(None, "b")
+        assert [d for _q, d in trail.recent(5)] == ["b", "a"]
+
+    def test_len(self):
+        trail = RefinementTrail()
+        trail.push(None, "a")
+        assert len(trail) == 1
+
+
+class TestNavigationHistory:
+    def test_bundles_both(self):
+        history = NavigationHistory()
+        history.visit_log.visit(EX.a)
+        history.refinement_trail.push(None, "x")
+        assert len(history.visit_log) == 1
+        assert len(history.refinement_trail) == 1

@@ -1,0 +1,69 @@
+"""Tests for workspace save/load round-trips."""
+
+import pytest
+
+from repro.core import Workspace
+from repro.datasets import inbox
+from repro.rdf import Graph, Literal, Namespace, RDF, Schema, ValueType
+
+EX = Namespace("http://ps.example/")
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_graph(self, tmp_path):
+        g = Graph()
+        g.add(EX.a, RDF.type, EX.Doc)
+        g.add(EX.a, EX.body, Literal("words to keep"))
+        workspace = Workspace(g)
+        path = tmp_path / "ws.nt"
+        workspace.save(path)
+        loaded = Workspace.load(path)
+        assert loaded.graph == g
+        assert set(loaded.items) == set(workspace.items)
+
+    def test_annotations_travel(self, tmp_path):
+        g = Graph()
+        schema = Schema(g)
+        g.add(EX.a, RDF.type, EX.Doc)
+        g.add(EX.a, EX.when, Literal(5))
+        schema.set_label(EX.when, "the when")
+        schema.set_value_type(EX.when, ValueType.INTEGER)
+        schema.hide_property(EX.secret)
+        schema.add_composition([EX.p, EX.q])
+        Workspace(g, schema=schema).save(tmp_path / "ws.nt")
+        loaded = Workspace.load(tmp_path / "ws.nt")
+        assert loaded.schema.label(EX.when) == "the when"
+        assert loaded.schema.value_type(EX.when) == ValueType.INTEGER
+        assert loaded.schema.is_hidden(EX.secret)
+        assert (EX.p, EX.q) in loaded.schema.compositions()
+
+    def test_loaded_workspace_is_searchable(self, tmp_path):
+        corpus = inbox.build_corpus(n_messages=10, n_news=5)
+        workspace = Workspace(
+            corpus.graph, schema=corpus.schema, items=corpus.items
+        )
+        path = tmp_path / "inbox.nt"
+        workspace.save(path)
+        loaded = Workspace.load(path, items=corpus.items)
+        before = workspace.text_index.search("digest")
+        after = loaded.text_index.search("digest")
+        assert before == after
+
+    def test_vectors_reproduce_after_load(self, tmp_path):
+        corpus = inbox.build_corpus(n_messages=10, n_news=5)
+        workspace = Workspace(
+            corpus.graph, schema=corpus.schema, items=corpus.items
+        )
+        path = tmp_path / "inbox.nt"
+        workspace.save(path)
+        loaded = Workspace.load(path, items=corpus.items)
+        item = corpus.items[0]
+        assert workspace.model.vector(item) == loaded.model.vector(item)
+
+    def test_explicit_items_honoured_on_load(self, tmp_path):
+        g = Graph()
+        g.add(EX.a, RDF.type, EX.Doc)
+        g.add(EX.b, RDF.type, EX.Doc)
+        Workspace(g).save(tmp_path / "ws.nt")
+        loaded = Workspace.load(tmp_path / "ws.nt", items=[EX.a])
+        assert loaded.items == [EX.a]

@@ -1,0 +1,95 @@
+"""Tests for type-scoped analyst triggering (§4.3)."""
+
+import pytest
+
+from repro.core import Blackboard, NavigationEngine, View, Workspace
+from repro.core.advisors import REFINE_COLLECTION
+from repro.core.analysts import Analyst, TypeScopedAnalyst
+from repro.core.suggestions import Invoke
+from repro.rdf import Graph, Namespace, RDF
+
+EX = Namespace("http://sc.example/")
+
+
+class PingAnalyst(Analyst):
+    """A trivially-triggering analyst that posts one marker."""
+
+    name = "ping"
+
+    def triggers_on(self, view):
+        return True
+
+    def analyze(self, view, blackboard):
+        self.post(
+            blackboard, REFINE_COLLECTION, "ping",
+            Invoke(lambda: None, "noop"), weight=1.0,
+        )
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    for i in range(3):
+        g.add(EX[f"m{i}"], RDF.type, EX.Mail)
+    for i in range(3):
+        g.add(EX[f"r{i}"], RDF.type, EX.Recipe)
+    return Workspace(g)
+
+
+class TestScoping:
+    def test_item_of_matching_type_triggers(self, workspace):
+        scoped = TypeScopedAnalyst(EX.Mail, PingAnalyst())
+        assert scoped.triggers_on(View.of_item(workspace, EX.m0))
+
+    def test_item_of_other_type_does_not(self, workspace):
+        scoped = TypeScopedAnalyst(EX.Mail, PingAnalyst())
+        assert not scoped.triggers_on(View.of_item(workspace, EX.r0))
+
+    def test_homogeneous_collection_triggers(self, workspace):
+        scoped = TypeScopedAnalyst(EX.Mail, PingAnalyst())
+        view = View.of_collection(workspace, [EX.m0, EX.m1, EX.m2])
+        assert scoped.triggers_on(view)
+
+    def test_mixed_collection_respects_fraction(self, workspace):
+        scoped = TypeScopedAnalyst(EX.Mail, PingAnalyst(), min_fraction=0.6)
+        mixed = View.of_collection(workspace, [EX.m0, EX.r0, EX.r1])
+        assert not scoped.triggers_on(mixed)
+        mostly = View.of_collection(workspace, [EX.m0, EX.m1, EX.r0])
+        assert scoped.triggers_on(mostly)
+
+    def test_empty_collection_never_triggers(self, workspace):
+        scoped = TypeScopedAnalyst(EX.Mail, PingAnalyst())
+        assert not scoped.triggers_on(View.of_collection(workspace, []))
+
+    def test_inner_veto_respected(self, workspace):
+        class NeverAnalyst(PingAnalyst):
+            def triggers_on(self, view):
+                return False
+
+        scoped = TypeScopedAnalyst(EX.Mail, NeverAnalyst())
+        assert not scoped.triggers_on(View.of_item(workspace, EX.m0))
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            TypeScopedAnalyst(EX.Mail, PingAnalyst(), min_fraction=0.0)
+
+    def test_name_carries_scope(self):
+        scoped = TypeScopedAnalyst(EX.Mail, PingAnalyst())
+        assert scoped.name == "ping@Mail"
+
+
+class TestEngineIntegration:
+    def test_schema_expert_workflow(self, workspace):
+        """A mail-only analyst joins the engine and fires selectively."""
+        engine = NavigationEngine(analysts=[])
+        engine.add_analyst(TypeScopedAnalyst(EX.Mail, PingAnalyst()))
+        mail_result = engine.suggest(View.of_item(workspace, EX.m0))
+        recipe_result = engine.suggest(View.of_item(workspace, EX.r0))
+        assert mail_result.find("ping")
+        assert not recipe_result.find("ping")
+
+    def test_analyze_delegates(self, workspace):
+        scoped = TypeScopedAnalyst(EX.Mail, PingAnalyst())
+        board = Blackboard()
+        scoped.analyze(View.of_item(workspace, EX.m0), board)
+        assert [s.title for s in board.entries] == ["ping"]

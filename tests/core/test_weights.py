@@ -1,0 +1,66 @@
+"""Tests for the shared analyst weighting conventions."""
+
+import pytest
+
+from repro.core.weights import (
+    follow_weight,
+    recency_weight,
+    refinement_weight,
+    share_weight,
+    similarity_weight,
+)
+
+
+class TestRefinementWeight:
+    def test_zero_for_all_items(self):
+        """A value in every item cannot refine (§5.3's 'not too common')."""
+        assert refinement_weight(10, 10, 1.0) == 0.0
+
+    def test_zero_for_no_items(self):
+        assert refinement_weight(0, 10, 1.0) == 0.0
+
+    def test_zero_for_empty_collection(self):
+        assert refinement_weight(1, 0, 1.0) == 0.0
+
+    def test_mid_coverage_beats_extremes(self):
+        mid = refinement_weight(5, 10, 1.0)
+        rare = refinement_weight(1, 10, 1.0)
+        common = refinement_weight(9, 10, 1.0)
+        assert mid > rare
+        assert mid > common
+
+    def test_idf_scales_up(self):
+        assert refinement_weight(5, 10, 2.0) > refinement_weight(5, 10, 0.0)
+
+    def test_positive_in_interior(self):
+        for count in range(1, 10):
+            assert refinement_weight(count, 10, 0.5) > 0.0
+
+
+class TestOtherWeights:
+    def test_similarity_passthrough(self):
+        assert similarity_weight(0.42) == 0.42
+
+    def test_similarity_clamps_negative(self):
+        assert similarity_weight(-0.1) == 0.0
+
+    def test_recency_decays(self):
+        assert recency_weight(0) > recency_weight(1) > recency_weight(5)
+
+    def test_recency_negative_position(self):
+        assert recency_weight(-1) == 0.0
+
+    def test_follow_grows_with_count(self):
+        assert follow_weight(5) > follow_weight(1) > follow_weight(0) == 0.0
+
+    def test_follow_bounded_below_one(self):
+        assert follow_weight(10**6) < 1.0
+
+    def test_share_prefers_rare(self):
+        assert share_weight(2, 3.0) > share_weight(2, 0.0)
+
+    def test_share_prefers_small_sets(self):
+        assert share_weight(2, 1.0) > share_weight(200, 1.0)
+
+    def test_share_zero_for_nobody(self):
+        assert share_weight(0, 5.0) == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the factbook dataset (§6.1)."""
+
+from collections import Counter
+
+from repro.core import View, Workspace
+from repro.core.engine import NavigationEngine
+from repro.datasets import factbook
+from repro.rdf import Literal
+
+
+class TestData:
+    def test_shared_currencies_exist(self):
+        """§6.1: navigate to 'countries that have the same currencies'."""
+        currencies = Counter(
+            row[2] for row in factbook.COUNTRY_ROWS
+        )
+        assert currencies["euro"] >= 5
+        assert currencies["CFA franc"] >= 5
+        assert currencies["US dollar"] >= 3
+
+    def test_shared_independence_days(self):
+        days = Counter(row[3] for row in factbook.COUNTRY_ROWS)
+        assert days["September 15"] >= 4  # the Central American five
+
+    def test_some_countries_lack_independence_day(self):
+        corpus = factbook.build_corpus()
+        prop = corpus.extras["properties"]["independenceDay"]
+        with_day = set(corpus.graph.subjects(prop))
+        assert len(with_day) < len(corpus.items)
+
+    def test_annotated_by_default(self):
+        corpus = factbook.build_corpus()
+        pop = corpus.extras["properties"]["population"]
+        assert corpus.schema.value_type(pop) == "float"
+
+    def test_unannotated_variant(self):
+        corpus = factbook.build_corpus(annotated=False)
+        pop = corpus.extras["properties"]["population"]
+        assert corpus.schema.value_type(pop) is None
+
+
+class TestNavigation:
+    def test_same_currency_hop_offered(self):
+        corpus = factbook.build_corpus()
+        workspace = Workspace(
+            corpus.graph, schema=corpus.schema, items=corpus.items
+        )
+        france = corpus.ns["country/france"]
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_item(workspace, france))
+        titles = [s.title for s in result.blackboard.entries]
+        assert any("euro" in t for t in titles)
+
+    def test_same_independence_day_hop(self):
+        corpus = factbook.build_corpus()
+        workspace = Workspace(
+            corpus.graph, schema=corpus.schema, items=corpus.items
+        )
+        guatemala = corpus.ns["country/guatemala"]
+        prop = corpus.extras["properties"]["independenceDay"]
+        fellows = set(corpus.graph.subjects(prop, Literal("September 15")))
+        assert len(fellows) == 5
+        engine = NavigationEngine()
+        result = engine.suggest(View.of_item(workspace, guatemala))
+        assert any(
+            "September 15" in s.title for s in result.blackboard.entries
+        )

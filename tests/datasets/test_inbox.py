@@ -1,0 +1,82 @@
+"""Tests for the inbox dataset (§6.1, Figures 5 & 6)."""
+
+import datetime as dt
+
+from repro.core import View, Workspace
+from repro.core.engine import NavigationEngine
+from repro.datasets import inbox
+
+
+class TestStructure:
+    def test_two_item_types(self, inbox_corpus):
+        g = inbox_corpus.graph
+        types = inbox_corpus.extras["types"]
+        messages = list(g.items_of_type(types["Message"]))
+        news = list(g.items_of_type(types["NewsItem"]))
+        assert messages and news
+        assert len(messages) + len(news) == len(inbox_corpus.items)
+
+    def test_body_is_important_property(self, inbox_corpus):
+        body = inbox_corpus.extras["properties"]["body"]
+        assert body in inbox_corpus.schema.important_properties()
+
+    def test_bodies_carry_second_level(self, inbox_corpus):
+        chains = inbox_corpus.schema.effective_compositions()
+        locals_ = {tuple(p.local_name for p in chain) for chain in chains}
+        assert ("body", "bodyType") in locals_
+        assert ("body", "creator") in locals_
+        assert ("body", "content") in locals_
+        assert ("body", "date") in locals_
+
+    def test_paper_dates_a_day_apart(self, inbox_corpus):
+        first, second = inbox_corpus.extras["paper_dates"]
+        sent = inbox_corpus.extras["properties"]["sentDate"]
+        g = inbox_corpus.graph
+        d1 = g.value(first, sent).value
+        d2 = g.value(second, sent).value
+        assert (d2.date() - d1.date()) == dt.timedelta(days=1)
+
+    def test_sent_dates_datetime_typed(self, inbox_corpus):
+        sent = inbox_corpus.extras["properties"]["sentDate"]
+        assert inbox_corpus.schema.value_type(sent) == "datetime"
+
+    def test_deterministic(self):
+        a = inbox.build_corpus(n_messages=10, n_news=5, seed=11)
+        b = inbox.build_corpus(n_messages=10, n_news=5, seed=11)
+        assert a.graph == b.graph
+
+
+class TestNavigationBehaviours:
+    def test_type_refinement_offered(self, inbox_workspace):
+        """Figure 6: 'refining by the document type'."""
+        engine = NavigationEngine()
+        view = View.of_collection(inbox_workspace, inbox_workspace.items)
+        result = engine.suggest(view)
+        titles = [s.title for s in result.all_suggestions()]
+        assert any("Message" in t for t in titles)
+        assert any("News Item" in t for t in titles)
+
+    def test_body_compositions_offered(self, inbox_workspace):
+        """Figure 6: 'type, content, creator and date on the body'."""
+        engine = NavigationEngine()
+        view = View.of_collection(inbox_workspace, inbox_workspace.items)
+        result = engine.suggest(view)
+        groups = {
+            s.group for s in result.blackboard.entries if s.group
+        }
+        assert "body → type" in groups
+        assert "body → creator" in groups
+
+    def test_sent_date_range_offered(self, inbox_workspace):
+        """Figure 5: the range control on sent dates."""
+        engine = NavigationEngine()
+        view = View.of_collection(inbox_workspace, inbox_workspace.items)
+        result = engine.suggest(view)
+        assert any(
+            "sent date range" in s.title for s in result.all_suggestions()
+        )
+
+    def test_day_apart_emails_similar(self, inbox_workspace, inbox_corpus):
+        first, second = inbox_corpus.extras["paper_dates"]
+        sim = inbox_workspace.model.similarity(first, second)
+        assert sim > 0.3

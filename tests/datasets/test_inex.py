@@ -1,0 +1,87 @@
+"""Tests for the INEX-style XML collection (§6.2)."""
+
+import pytest
+
+from repro.core import Workspace
+from repro.datasets import inex
+from repro.query import And, PathValue, QueryEngine, TextMatch
+from repro.rdf import Literal
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return inex.build_corpus(seed=19, n_filler=30)
+
+
+@pytest.fixture(scope="module")
+def engine(corpus):
+    workspace = Workspace(corpus.graph, schema=corpus.schema, items=corpus.items)
+    return workspace.query_engine
+
+
+class TestGeneration:
+    def test_both_topic_kinds_present(self, corpus):
+        kinds = {t.kind for t in corpus.extras["topics"].values()}
+        assert kinds == {"CO", "CAS"}
+
+    def test_relevance_sets_nonempty(self, corpus):
+        for topic in corpus.extras["topics"].values():
+            assert topic.relevant
+            assert topic.relevant <= set(corpus.items)
+
+    def test_deterministic(self):
+        a = inex.build_corpus(seed=19, n_filler=10)
+        b = inex.build_corpus(seed=19, n_filler=10)
+        assert a.graph == b.graph
+
+
+class TestCoTopics:
+    def test_keyword_search_reaches_relevant(self, corpus, engine):
+        """§6.2: text-only topics are 'direct application of
+        traditional IR techniques'."""
+        for topic in corpus.extras["topics"].values():
+            if topic.kind != "CO":
+                continue
+            found = engine.evaluate(TextMatch(" ".join(topic.keywords)))
+            assert topic.relevant <= found, topic.topic_id
+
+    def test_keyword_search_is_selective(self, corpus, engine):
+        topic = corpus.extras["topics"]["co-1"]
+        found = engine.evaluate(TextMatch(" ".join(topic.keywords)))
+        assert len(found) < len(corpus.items) / 2
+
+
+class TestCasTopic:
+    def test_structural_query_exact(self, corpus, engine):
+        """The 'vitae of graduate students researching IR' topic."""
+        topic = corpus.extras["topics"]["cas-1"]
+        parts = [
+            PathValue(
+                tuple(corpus.ns[f"prop/{name}"] for name in path),
+                Literal(value),
+            )
+            for path, value in topic.structure
+        ]
+        found = engine.evaluate(And(parts))
+        assert found == topic.relevant
+
+    def test_distractors_excluded(self, corpus, engine):
+        """Wrong role or wrong interest must not match."""
+        topic = corpus.extras["topics"]["cas-1"]
+        role_only = PathValue(
+            (corpus.ns["prop/fm"], corpus.ns["prop/au"], corpus.ns["prop/role"]),
+            Literal("graduate student"),
+        )
+        found = engine.evaluate(role_only)
+        assert topic.relevant < found  # strictly more without the AND
+
+
+class TestPathCompositions:
+    def test_flag_registers_chains(self):
+        corpus = inex.build_corpus(
+            seed=19, n_filler=5, with_path_compositions=True
+        )
+        assert corpus.schema.compositions()
+
+    def test_default_has_no_chains(self, corpus):
+        assert not corpus.schema.compositions()

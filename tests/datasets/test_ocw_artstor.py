@@ -1,0 +1,76 @@
+"""Tests for the OCW and ArtSTOR datasets (§6.1's annotation findings)."""
+
+from repro.core import View, Workspace
+from repro.core.engine import NavigationEngine
+from repro.datasets import artstor, ocw
+
+
+def suggestion_groups(corpus):
+    workspace = Workspace(corpus.graph, schema=corpus.schema, items=corpus.items)
+    engine = NavigationEngine()
+    result = engine.suggest(View.of_collection(workspace, workspace.items))
+    return {s.group for s in result.blackboard.entries if s.group}
+
+
+class TestOcw:
+    def test_readable_facets_present(self):
+        corpus = ocw.build_corpus(n_courses=60)
+        groups = suggestion_groups(corpus)
+        assert "department" in groups
+        assert "level" in groups
+
+    def test_opaque_attribute_surfaces_without_hiding(self):
+        """§6.1: unreadable but 'algorithmically significant' options."""
+        corpus = ocw.build_corpus(n_courses=60, hide_internal=False)
+        groups = suggestion_groups(corpus)
+        assert "exportChecksum" in groups  # raw local name: unreadable
+
+    def test_hidden_annotation_removes_it(self):
+        corpus = ocw.build_corpus(n_courses=60, hide_internal=True)
+        groups = suggestion_groups(corpus)
+        assert "exportChecksum" not in groups
+
+    def test_units_typed(self):
+        corpus = ocw.build_corpus(n_courses=20)
+        units = corpus.extras["properties"]["units"]
+        assert corpus.schema.value_type(units) == "integer"
+
+    def test_deterministic(self):
+        assert ocw.build_corpus(n_courses=20).graph == ocw.build_corpus(
+            n_courses=20
+        ).graph
+
+
+class TestArtstor:
+    def test_readable_facets_present(self):
+        corpus = artstor.build_corpus(n_works=60)
+        groups = suggestion_groups(corpus)
+        assert "artist" in groups
+        assert "medium" in groups
+
+    def test_image_id_hidden_when_asked(self):
+        shown = suggestion_groups(artstor.build_corpus(n_works=60))
+        hidden = suggestion_groups(
+            artstor.build_corpus(n_works=60, hide_internal=True)
+        )
+        assert "imageId" in shown
+        assert "imageId" not in hidden
+
+    def test_year_range_offered(self):
+        corpus = artstor.build_corpus(n_works=60)
+        workspace = Workspace(
+            corpus.graph, schema=corpus.schema, items=corpus.items
+        )
+        engine = NavigationEngine()
+        result = engine.suggest(
+            View.of_collection(workspace, workspace.items)
+        )
+        assert any(
+            "year created range" in s.title
+            for s in result.blackboard.entries
+        )
+
+    def test_labels_on_works(self):
+        corpus = artstor.build_corpus(n_works=10)
+        first = corpus.items[0]
+        assert corpus.schema.label(first) != first.local_name

@@ -1,0 +1,116 @@
+"""Tests for the recipe corpus generator."""
+
+import pytest
+
+from repro.datasets import recipes
+from repro.rdf import RDF
+
+
+class TestIngredientCatalog:
+    def test_exactly_244(self):
+        """The paper's 244 semi-automatically extracted ingredients."""
+        assert len(recipes.ingredient_catalog()) == 244
+
+    def test_names_unique(self):
+        names = [name for name, _g in recipes.ingredient_catalog()]
+        assert len(set(names)) == 244
+
+    def test_all_groups_nonempty(self):
+        groups = {group for _n, group in recipes.ingredient_catalog()}
+        assert "nuts" in groups and "dairy" in groups and "vegetables" in groups
+
+    def test_key_ingredients_present(self):
+        names = {name for name, _g in recipes.ingredient_catalog()}
+        assert {"garlic", "olive oil", "cloves", "olives",
+                "parsley", "walnut"} <= names
+
+    def test_walnut_is_a_nut(self):
+        catalog = dict(recipes.ingredient_catalog())
+        assert catalog["walnut"] == "nuts"
+
+
+class TestCorpus:
+    def test_default_scale_matches_paper(self):
+        corpus = recipes.build_corpus(n_recipes=200, seed=7)
+        # default is 6,444; here we just check the parameter is honored
+        assert len(corpus.items) == 200
+
+    def test_deterministic(self):
+        a = recipes.build_corpus(n_recipes=60, seed=7)
+        b = recipes.build_corpus(n_recipes=60, seed=7)
+        assert a.graph == b.graph
+
+    def test_seed_changes_content(self):
+        a = recipes.build_corpus(n_recipes=60, seed=7)
+        b = recipes.build_corpus(n_recipes=60, seed=8)
+        assert a.graph != b.graph
+
+    def test_every_recipe_fully_attributed(self, recipe_corpus):
+        props = recipe_corpus.extras["properties"]
+        g = recipe_corpus.graph
+        for recipe in recipe_corpus.items:
+            assert g.value(recipe, props["cuisine"]) is not None
+            assert g.value(recipe, props["title"]) is not None
+            ings = list(g.objects(recipe, props["ingredient"]))
+            assert 3 <= len(ings) <= 8
+
+    def test_popular_ingredients_pinned(self):
+        """Figure 1: many recipes have cloves, garlic, olives, oil."""
+        corpus = recipes.build_corpus(n_recipes=500, seed=7)
+        props = corpus.extras["properties"]
+        counts = {}
+        for name in ("garlic", "olive oil", "cloves", "olives"):
+            ingredient = corpus.extras["ingredients"][name]
+            counts[name] = sum(
+                1 for _ in corpus.graph.subjects(props["ingredient"], ingredient)
+            )
+        # each of the pinned four appears far above the uniform share
+        # (uniform would be 500 * 5.5/244 ≈ 11 recipes per ingredient)
+        assert all(count >= 20 for count in counts.values()), counts
+
+    def test_walnut_fixture(self, recipe_corpus):
+        target = recipe_corpus.extras["walnut_recipe"]
+        props = recipe_corpus.extras["properties"]
+        ings = set(recipe_corpus.graph.objects(target, props["ingredient"]))
+        assert recipe_corpus.extras["ingredients"]["walnut"] in ings
+
+    def test_greek_parsley_fixtures(self, recipe_corpus):
+        assert len(recipe_corpus.extras["greek_parsley_recipes"]) >= 3
+
+    def test_dessert_has_no_seafood(self, recipe_corpus):
+        props = recipe_corpus.extras["properties"]
+        dessert = recipe_corpus.extras["courses"]["Dessert"]
+        seafood = set(recipe_corpus.extras["ingredient_groups"]["seafood"])
+        g = recipe_corpus.graph
+        for recipe in g.subjects(props["course"], dessert):
+            assert not set(g.objects(recipe, props["ingredient"])) & seafood
+
+    def test_ingredients_have_origin_regions(self, recipe_corpus):
+        props = recipe_corpus.extras["properties"]
+        g = recipe_corpus.graph
+        origins = {
+            v.lexical
+            for ing in recipe_corpus.extras["ingredients"].values()
+            for v in g.objects(ing, props["origin"])
+        }
+        assert "North America" in origins
+
+    def test_labels_on_facet_values(self, recipe_corpus):
+        greek = recipe_corpus.extras["cuisines"]["Greek"]
+        assert recipe_corpus.schema.label(greek) == "Greek"
+
+    def test_text_properties_annotated(self, recipe_corpus):
+        props = recipe_corpus.extras["properties"]
+        assert recipe_corpus.schema.value_type(props["title"]) == "text"
+        assert recipe_corpus.schema.value_type(props["serves"]) == "integer"
+
+    def test_minimum_size_guard(self):
+        with pytest.raises(ValueError):
+            recipes.build_corpus(n_recipes=5)
+
+    def test_items_typed_as_recipe(self, recipe_corpus):
+        recipe_type = recipe_corpus.extras["types"]["Recipe"]
+        g = recipe_corpus.graph
+        assert all(
+            (item, RDF.type, recipe_type) in g for item in recipe_corpus.items
+        )

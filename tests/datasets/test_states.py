@@ -1,0 +1,71 @@
+"""Tests for the 50-states dataset (§6.1, Figures 7 & 8)."""
+
+from repro.core import Workspace
+from repro.datasets import states
+from repro.rdf import Literal
+from repro.rdf.vocab import RDFS
+
+
+class TestData:
+    def test_fifty_states(self):
+        assert len(states.STATE_ROWS) == 50
+
+    def test_seven_cardinal_states(self):
+        """§6.1: 'seven states have cardinal in their bird names'."""
+        cardinals = [
+            state for state, bird, _f, _a, _r in states.STATE_ROWS
+            if "cardinal" in bird.lower()
+        ]
+        assert len(cardinals) == 7
+        assert set(cardinals) == set(states.CARDINAL_STATES)
+
+    def test_alaska_is_the_outlier(self):
+        areas = {state: area for state, _b, _f, area, _r in states.STATE_ROWS}
+        biggest = max(areas, key=areas.get)
+        assert biggest == "Alaska"
+        second = sorted(areas.values())[-2]
+        assert areas["Alaska"] > 2 * second
+
+    def test_csv_well_formed(self):
+        text = states.states_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "state,bird,flower,area,region"
+        assert len(lines) == 51
+
+
+class TestRawCorpus:
+    def test_no_labels_as_given(self, states_raw):
+        assert not list(states_raw.graph.triples(None, RDFS.label, None))
+
+    def test_cardinal_word_findable(self, states_raw):
+        """Even raw, Magnet finds the 'cardinal' observation."""
+        workspace = Workspace(
+            states_raw.graph, schema=states_raw.schema, items=states_raw.items
+        )
+        hits = workspace.text_index.search("cardinal")
+        assert len(hits) == 7
+
+    def test_area_untyped_raw(self, states_raw):
+        area = states_raw.extras["properties"]["area"]
+        assert states_raw.schema.value_type(area) is None
+
+
+class TestAnnotatedCorpus:
+    def test_labels_added(self, states_annotated):
+        ohio = states_annotated.ns["item/ohio"]
+        assert states_annotated.schema.label(ohio) == "Ohio"
+
+    def test_area_typed_integer(self, states_annotated):
+        area = states_annotated.extras["properties"]["area"]
+        assert states_annotated.schema.value_type(area) == "integer"
+
+    def test_bird_categorical(self, states_annotated):
+        bird = states_annotated.extras["properties"]["bird"]
+        assert states_annotated.schema.value_type(bird) == "object"
+
+    def test_cardinal_facet_count(self, states_annotated):
+        bird = states_annotated.extras["properties"]["bird"]
+        subjects = list(
+            states_annotated.graph.subjects(bird, Literal("Cardinal"))
+        )
+        assert len(subjects) == 7

@@ -1,0 +1,44 @@
+"""Tests for the dataset prose generator."""
+
+import random
+
+from repro.datasets.text import COMMON_WORDS, sentences, title_case
+
+
+class TestSentences:
+    def test_deterministic(self):
+        a = sentences(random.Random(5), ["apple", "pie"], count=3)
+        b = sentences(random.Random(5), ["apple", "pie"], count=3)
+        assert a == b
+
+    def test_sentence_count(self):
+        text = sentences(random.Random(1), ["x"], count=4)
+        assert text.count(".") == 4
+
+    def test_capitalized_sentences(self):
+        text = sentences(random.Random(1), ["x"], count=2)
+        for sentence in text.split(". "):
+            assert sentence[0].isupper()
+
+    def test_topical_words_present(self):
+        text = sentences(random.Random(2), ["quixotic"], count=5)
+        assert "quixotic" in text
+
+    def test_common_words_present(self):
+        text = sentences(random.Random(2), ["quixotic"], count=5)
+        assert any(word in text for word in COMMON_WORDS)
+
+    def test_empty_topical_pool(self):
+        text = sentences(random.Random(3), [], count=1)
+        assert text  # falls back to a placeholder pool
+
+
+class TestTitleCase:
+    def test_basic(self):
+        assert title_case(["apple", "pie"]) == "Apple Pie"
+
+    def test_single_word(self):
+        assert title_case(["stew"]) == "Stew"
+
+    def test_empty(self):
+        assert title_case([]) == ""

@@ -1,0 +1,107 @@
+"""Tests for result ranking and the document-length prior (§6.2)."""
+
+import pytest
+
+from repro.index import LengthPrior, Ranker
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.vsm import VectorSpaceModel
+
+EX = Namespace("http://rk.example/")
+
+
+@pytest.fixture()
+def model():
+    g = Graph()
+    docs = [
+        ("long", "software cost estimation " * 10 + "with many more details "
+                 * 8),
+        ("short", "software cost estimation"),
+        ("offtopic", "gardening and birdwatching notes"),
+        ("partial", "software quality assurance practices"),
+    ]
+    for name, text in docs:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.body, Literal(text))
+    m = VectorSpaceModel(g)
+    m.index_items([EX.long, EX.short, EX.offtopic, EX.partial])
+    return m
+
+
+class TestRanker:
+    def test_topical_docs_rank_first(self, model):
+        ranker = Ranker(model)
+        hits = ranker.rank_for_text(model.items, "software cost estimation")
+        top_two = {hits[0].item, hits[1].item}
+        assert top_two == {EX.long, EX.short}
+        assert hits[-1].item == EX.offtopic
+
+    def test_scores_descend(self, model):
+        ranker = Ranker(model)
+        hits = ranker.rank_for_text(model.items, "software")
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_all_items_returned(self, model):
+        ranker = Ranker(model)
+        hits = ranker.rank_for_text(model.items, "software")
+        assert len(hits) == 4
+
+    def test_rank_for_pairs(self, model):
+        g = model.graph
+        g.add(EX.tagged, RDF.type, EX.Doc)
+        g.add(EX.tagged, EX.topic, EX.software)
+        model.add_item(EX.tagged)
+        ranker = Ranker(model)
+        hits = ranker.rank_for_pairs(model.items, [(EX.topic, EX.software)])
+        assert hits[0].item == EX.tagged
+
+    def test_unindexed_items_score_zero(self, model):
+        ranker = Ranker(model)
+        hits = ranker.rank([EX.ghost], model.text_vector("software"))
+        assert hits == [(EX.ghost, 0.0)]
+
+    def test_deterministic_tie_break(self, model):
+        ranker = Ranker(model)
+        first = ranker.rank_for_text(model.items, "software")
+        second = ranker.rank_for_text(model.items, "software")
+        assert first == second
+
+
+class TestLengthPrior:
+    def test_prior_favors_long_documents(self, model):
+        """Kamps et al.: bias toward large documents."""
+        prior = LengthPrior(model, strength=0.5)
+        prior.prepare([EX.long, EX.short])
+        assert prior.score(EX.long) > prior.score(EX.short)
+
+    def test_prior_bounded_by_strength(self, model):
+        prior = LengthPrior(model, strength=0.3)
+        prior.prepare(model.items)
+        assert all(0.0 <= prior.score(item) <= 0.3 for item in model.items)
+
+    def test_strength_validation(self, model):
+        with pytest.raises(ValueError):
+            LengthPrior(model, strength=1.5)
+
+    def test_prior_breaks_zero_score_ties(self, model):
+        """When topical scores tie (here: zero), the longer doc wins."""
+        with_prior = Ranker(model, LengthPrior(model, strength=0.3))
+        hits = with_prior.rank_for_text([EX.long, EX.short], "zzzunseen")
+        assert hits[0].item == EX.long
+        without = Ranker(model)
+        flat = without.rank_for_text([EX.long, EX.short], "zzzunseen")
+        assert flat[0].score == flat[1].score == 0.0
+
+    def test_prior_does_not_override_topic(self, model):
+        """An off-topic long doc must not beat an on-topic short one."""
+        ranker = Ranker(model, LengthPrior(model, strength=0.2))
+        hits = ranker.rank_for_text(
+            [EX.short, EX.offtopic], "software cost estimation"
+        )
+        assert hits[0].item == EX.short
+
+    def test_empty_pool(self, model):
+        prior = LengthPrior(model)
+        prior.prepare([])
+        assert prior.score(EX.long) == 0.0

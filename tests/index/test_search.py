@@ -1,0 +1,54 @@
+"""Tests for top-k retrieval."""
+
+import pytest
+
+from repro.index import InvertedIndex, top_k
+from repro.vsm import SparseVector
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    idx.add("d1", [("a", 1.0), ("b", 0.5)])
+    idx.add("d2", [("a", 0.2)])
+    idx.add("d3", [("b", 1.0), ("c", 1.0)])
+    return idx
+
+
+class TestTopK:
+    def test_scores_are_dot_products(self, index):
+        hits = top_k(index, SparseVector({"a": 1.0, "b": 1.0}), 3)
+        scores = {h.item: h.score for h in hits}
+        assert scores["d1"] == pytest.approx(1.5)
+        assert scores["d3"] == pytest.approx(1.0)
+        assert scores["d2"] == pytest.approx(0.2)
+
+    def test_ranked_descending(self, index):
+        hits = top_k(index, SparseVector({"a": 1.0, "b": 1.0}), 3)
+        assert [h.item for h in hits] == ["d1", "d3", "d2"]
+
+    def test_k_limits(self, index):
+        assert len(top_k(index, SparseVector({"a": 1.0}), 1)) == 1
+
+    def test_k_zero(self, index):
+        assert top_k(index, SparseVector({"a": 1.0}), 0) == []
+
+    def test_empty_query(self, index):
+        assert top_k(index, SparseVector(), 5) == []
+
+    def test_only_overlapping_docs_scored(self, index):
+        hits = top_k(index, SparseVector({"c": 1.0}), 10)
+        assert [h.item for h in hits] == ["d3"]
+
+    def test_exclude_filter(self, index):
+        hits = top_k(
+            index, SparseVector({"a": 1.0}), 10, exclude=lambda d: d == "d1"
+        )
+        assert [h.item for h in hits] == ["d2"]
+
+    def test_tie_break_deterministic(self):
+        idx = InvertedIndex()
+        idx.add("x", [("a", 1.0)])
+        idx.add("y", [("a", 1.0)])
+        hits = top_k(idx, SparseVector({"a": 1.0}), 2)
+        assert [h.item for h in hits] == ["x", "y"]

@@ -1,0 +1,77 @@
+"""Tests for the vector store (Lucene substitute)."""
+
+import pytest
+
+from repro.index import VectorStore
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.vsm import VectorSpaceModel
+
+EX = Namespace("http://vs.example/")
+
+
+@pytest.fixture()
+def store():
+    g = Graph()
+    for name, ings, title in [
+        ("r1", [EX.apple, EX.flour], "apple cake"),
+        ("r2", [EX.apple, EX.sugar], "apple pie"),
+        ("r3", [EX.beef, EX.onion], "beef stew"),
+        ("r4", [EX.apple, EX.beef], "odd casserole"),
+    ]:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Recipe)
+        for ing in ings:
+            g.add(item, EX.ingredient, ing)
+        g.add(item, EX.title, Literal(title))
+    model = VectorSpaceModel(g)
+    model.index_items([EX.r1, EX.r2, EX.r3, EX.r4])
+    return VectorStore(model)
+
+
+class TestRefresh:
+    def test_initial_refresh_builds(self, store):
+        assert store.refresh() is True
+        assert store.refresh() is False  # already current
+
+    def test_refresh_after_arrival(self, store):
+        g = store.model.graph
+        g.add(EX.r5, RDF.type, EX.Recipe)
+        g.add(EX.r5, EX.ingredient, EX.apple)
+        store.refresh()
+        store.model.add_item(EX.r5)
+        assert store.refresh() is True
+        assert len(store) == 5
+
+
+class TestSimilarity:
+    def test_similar_to_item_excludes_self(self, store):
+        hits = store.similar_to_item(EX.r1, 10)
+        assert EX.r1 not in [h.item for h in hits]
+
+    def test_similar_to_item_prefers_shared_structure(self, store):
+        hits = store.similar_to_item(EX.r1, 10)
+        scores = {h.item: h.score for h in hits}
+        assert scores[EX.r2] > scores.get(EX.r3, 0.0)
+
+    def test_similar_to_collection_excludes_members(self, store):
+        hits = store.similar_to_collection([EX.r1, EX.r2], 10)
+        found = [h.item for h in hits]
+        assert EX.r1 not in found and EX.r2 not in found
+
+    def test_similar_to_collection_can_include_members(self, store):
+        hits = store.similar_to_collection(
+            [EX.r1, EX.r2], 10, include_members=True
+        )
+        assert EX.r1 in [h.item for h in hits]
+
+    def test_search_text_ranked(self, store):
+        hits = store.search_text("apple", 10)
+        assert hits, "apple should match"
+        assert all(
+            hits[i].score >= hits[i + 1].score for i in range(len(hits) - 1)
+        )
+
+    def test_search_with_explicit_vector(self, store):
+        query = store.model.pair_vector([(EX.ingredient, EX.beef)])
+        found = {h.item for h in store.search(query, 10)}
+        assert EX.r3 in found and EX.r4 in found

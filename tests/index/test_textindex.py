@@ -1,0 +1,81 @@
+"""Tests for the boolean full-text index."""
+
+import datetime as dt
+
+import pytest
+
+from repro.index import TextIndex
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://ti.example/")
+
+
+@pytest.fixture()
+def index():
+    g = Graph()
+    g.add(EX.d1, RDF.type, EX.Doc)
+    g.add(EX.d1, EX.title, Literal("software cost estimation"))
+    g.add(EX.d1, EX.body, Literal("we estimate the costs of software"))
+    g.add(EX.d2, RDF.type, EX.Doc)
+    g.add(EX.d2, EX.title, Literal("image compression"))
+    g.add(EX.d2, EX.body, Literal("software for compressing images"))
+    g.add(EX.d2, EX.when, Literal(dt.date(2003, 7, 31)))
+    g.add(EX.d2, EX.count, Literal(42))
+    idx = TextIndex(g)
+    idx.index_items([EX.d1, EX.d2])
+    return idx
+
+
+class TestSearch:
+    def test_single_token(self, index):
+        assert index.search("software") == {EX.d1, EX.d2}
+
+    def test_and_semantics(self, index):
+        assert index.search("software cost") == {EX.d1}
+
+    def test_stemming_applies(self, index):
+        # 'estimation' vs 'estimate', 'costs' vs 'cost'
+        assert index.search("estimating costs") == {EX.d1}
+
+    def test_no_match(self, index):
+        assert index.search("wavelet") == set()
+
+    def test_empty_query(self, index):
+        assert index.search("") == set()
+
+    def test_stop_word_only_query(self, index):
+        assert index.search("the of and") == set()
+
+    def test_within_property(self, index):
+        assert index.search("software", within=EX.title) == {EX.d1}
+        assert index.search("software", within=EX.body) == {EX.d1, EX.d2}
+
+    def test_within_unknown_property(self, index):
+        assert index.search("software", within=EX.missing) == set()
+
+
+class TestIndexing:
+    def test_numeric_and_temporal_values_skipped(self, index):
+        assert index.search("42") == set()
+        assert index.search("2003") == set()
+
+    def test_items_with_token(self, index):
+        stem = index.analyzer.stem_token("software")
+        assert index.items_with_token(stem) == {EX.d1, EX.d2}
+
+    def test_token_frequencies(self, index):
+        freqs = index.token_frequencies()
+        assert freqs[index.analyzer.stem_token("software")] == 2
+
+    def test_text_properties_listing(self, index):
+        assert EX.title in index.text_properties()
+        assert EX.when not in index.text_properties()
+
+    def test_indexed_items(self, index):
+        assert index.indexed_items == {EX.d1, EX.d2}
+
+    def test_incremental_add(self, index):
+        g = index.graph
+        g.add(EX.d3, EX.title, Literal("software patterns"))
+        index.index_item(EX.d3)
+        assert EX.d3 in index.search("software")

@@ -1,0 +1,87 @@
+"""End-to-end browsing flows over the non-recipe corpora."""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.core.advisors import RELATED_ITEMS
+from repro.core.suggestions import GoToCollection
+from repro.datasets import factbook, inex
+from repro.query import TextMatch
+
+
+class TestFactbookFlow:
+    @pytest.fixture(scope="class")
+    def session(self):
+        corpus = factbook.build_corpus()
+        workspace = Workspace(
+            corpus.graph, schema=corpus.schema, items=corpus.items
+        )
+        return Session(workspace), corpus
+
+    def test_currency_hop_walkthrough(self, session):
+        """Open France, hop to the shared-currency collection."""
+        sess, corpus = session
+        sess.go_item(corpus.ns["country/france"])
+        result = sess.suggestions()
+        euro = [
+            s
+            for s in result.blackboard.for_advisor(RELATED_ITEMS)
+            if "euro" in s.title and isinstance(s.action, GoToCollection)
+        ]
+        assert euro
+        view = sess.select(euro[0])
+        assert len(view.items) >= 8  # the other euro countries
+        assert corpus.ns["country/france"] not in view.items
+
+    def test_population_range_refinement(self, session):
+        sess, corpus = session
+        sess.go_collection(corpus.items, "all countries")
+        from repro.core.suggestions import OpenRangeWidget
+
+        widgets = [
+            s
+            for s in sess.suggestions().all_suggestions()
+            if isinstance(s.action, OpenRangeWidget)
+            and "population" in s.title
+        ]
+        assert widgets
+        widget = sess.select(widgets[0])
+        view = sess.apply_range(widget.prop, 100.0, None)
+        labels = {sess.workspace.label(c) for c in view.items}
+        assert "China" in labels and "India" in labels
+        assert "Gabon" not in labels
+
+
+class TestInexSessionFlow:
+    @pytest.fixture(scope="class")
+    def session(self):
+        corpus = inex.build_corpus(seed=19, n_filler=30)
+        workspace = Workspace(
+            corpus.graph, schema=corpus.schema, items=corpus.items
+        )
+        return Session(workspace), corpus
+
+    def test_topic_search_then_similar(self, session):
+        sess, corpus = session
+        topic = corpus.extras["topics"]["co-1"]
+        view = sess.search(" ".join(topic.keywords))
+        assert topic.relevant <= set(view.items)
+        # from one relevant doc, similar-by-content finds the others
+        seed_doc = sorted(topic.relevant, key=lambda n: n.n3())[0]
+        sess.go_item(seed_doc)
+        similar = [
+            s
+            for s in sess.suggestions().blackboard.for_advisor(RELATED_ITEMS)
+            if s.analyst == "similar-by-content-item"
+        ]
+        assert similar
+        found = set(sess.select(similar[0]).items)
+        assert found & (topic.relevant - {seed_doc})
+
+    def test_ranked_search_puts_relevant_first(self, session):
+        sess, corpus = session
+        topic = corpus.extras["topics"]["co-2"]
+        view = sess.search_ranked(" ".join(topic.keywords), k=10)
+        top = set(view.items[: len(topic.relevant)])
+        assert len(top & topic.relevant) >= len(topic.relevant) - 1

@@ -1,0 +1,100 @@
+"""End-to-end reproduction of the Figure 1 browsing state.
+
+Builds the recipe corpus, navigates to type=Recipe ∧ cuisine=Greek ∧
+ingredient=parsley, and checks that the navigation pane carries every
+element the figure shows: the three constraint chips, facet refinements
+grouped by property, word refinements, similar-items, contrary
+constraints, and the refinement history.
+"""
+
+import pytest
+
+from repro.browser import Session, render_navigation_pane
+from repro.core.advisors import (
+    HISTORY,
+    MODIFY,
+    REFINE_COLLECTION,
+    RELATED_ITEMS,
+)
+from repro.query import And, HasValue, TypeIs
+
+
+@pytest.fixture(scope="module")
+def session(recipe_workspace, recipe_corpus):
+    session = Session(recipe_workspace)
+    props = recipe_corpus.extras["properties"]
+    session.run_query(
+        And(
+            [
+                TypeIs(recipe_corpus.extras["types"]["Recipe"]),
+                HasValue(props["cuisine"], recipe_corpus.extras["cuisines"]["Greek"]),
+                HasValue(
+                    props["ingredient"],
+                    recipe_corpus.extras["ingredients"]["parsley"],
+                ),
+            ]
+        )
+    )
+    return session
+
+
+class TestFigure1:
+    def test_result_set_nonempty(self, session, recipe_corpus):
+        fixtures = set(recipe_corpus.extras["greek_parsley_recipes"])
+        assert fixtures <= set(session.current.items)
+
+    def test_three_constraint_chips(self, session):
+        chips = session.describe_constraints()
+        assert len(chips) == 3
+        assert chips[0] == "type: Recipe"
+        assert chips[1] == "cuisine: Greek"
+        assert chips[2] == "ingredient: parsley"
+
+    def test_all_four_advisors_speak(self, session):
+        result = session.suggestions()
+        for advisor in (RELATED_ITEMS, REFINE_COLLECTION, MODIFY, HISTORY):
+            assert result.suggestions(advisor), advisor
+
+    def test_refinements_grouped_by_property(self, session):
+        result = session.suggestions()
+        groups = set(result.groups(REFINE_COLLECTION))
+        assert "ingredient" in groups
+        assert any(g.startswith("words in") for g in groups)
+
+    def test_contrary_constraints_offered(self, session):
+        result = session.suggestions()
+        contrary = [
+            s for s in result.suggestions(MODIFY) if "NOT" in s.title
+        ]
+        assert len(contrary) == 3  # one per constraint chip
+
+    def test_pane_renders_the_figure(self, session):
+        pane = render_navigation_pane(session)
+        assert "cuisine: Greek" in pane
+        assert "ingredient: parsley" in pane
+        assert "Similar Items" in pane
+        assert "Refine Collection" in pane
+        assert "Refinement History" in pane
+
+    def test_remove_parsley_chip_shows_all_greek(self, session, recipe_corpus):
+        """§3.2: 'view all the Greek recipes by removing the parsley
+        ingredient constraint'."""
+        before = list(session.current.items)
+        view = session.remove_constraint(2)
+        assert set(before) <= set(view.items)
+        assert len(view.items) > len(before)
+        # restore the figure state for other tests
+        session.refine(
+            HasValue(
+                recipe_corpus.extras["properties"]["ingredient"],
+                recipe_corpus.extras["ingredients"]["parsley"],
+            )
+        )
+
+    def test_parsley_but_not_greek(self, session, recipe_corpus):
+        """§3.2's other option: parsley recipes that are not Greek."""
+        view = session.negate_constraint(1)
+        greek = recipe_corpus.extras["cuisines"]["Greek"]
+        props = recipe_corpus.extras["properties"]
+        for item in view.items:
+            assert session.workspace.graph.value(item, props["cuisine"]) != greek

@@ -1,0 +1,72 @@
+"""Integration: the §6.3.1 fuzzy-on-empty future-work behaviour.
+
+"Since users find it difficult to work with zero results, it may be
+worth modifying the queries to perform more fuzzily in the case when
+zero results would have been returned otherwise."
+"""
+
+import pytest
+
+from repro.browser import Session
+from repro.query import And, HasValue, TypeIs
+
+
+@pytest.fixture()
+def fuzzy_session(recipe_workspace):
+    return Session(recipe_workspace, fuzzy_on_empty=True)
+
+
+class TestFuzzyFallback:
+    def impossible_query(self, recipe_corpus):
+        """walnut ∧ NOT walnut — the user study's capture error."""
+        props = recipe_corpus.extras["properties"]
+        walnut = recipe_corpus.extras["ingredients"]["walnut"]
+        return And(
+            [
+                TypeIs(recipe_corpus.extras["types"]["Recipe"]),
+                HasValue(props["ingredient"], walnut),
+                HasValue(props["ingredient"], walnut).negated(),
+            ]
+        )
+
+    def test_empty_becomes_ranked_results(self, fuzzy_session, recipe_corpus):
+        view = fuzzy_session.run_query(self.impossible_query(recipe_corpus))
+        assert fuzzy_session.last_was_fuzzy
+        assert view.items
+
+    def test_fuzzy_results_are_on_topic(self, fuzzy_session, recipe_corpus):
+        """The fallback should surface walnut-ish recipes, not noise."""
+        fuzzy_session.run_query(self.impossible_query(recipe_corpus))
+        props = recipe_corpus.extras["properties"]
+        walnut = recipe_corpus.extras["ingredients"]["walnut"]
+        g = fuzzy_session.workspace.graph
+        walnutish = [
+            item
+            for item in fuzzy_session.current.items
+            if (item, props["ingredient"], walnut) in g
+        ]
+        assert walnutish
+
+    def test_bounded_by_k(self, recipe_workspace, recipe_corpus):
+        session = Session(recipe_workspace, fuzzy_on_empty=True, fuzzy_k=3)
+        session.run_query(self.impossible_query(recipe_corpus))
+        assert len(session.current.items) <= 3
+
+    def test_pure_negation_cannot_fuzz(self, fuzzy_session, recipe_corpus):
+        """A query with no positive signal has no fuzzy rendering."""
+        props = recipe_corpus.extras["properties"]
+        walnut = recipe_corpus.extras["ingredients"]["walnut"]
+        positive = HasValue(props["ingredient"], walnut)
+        view = fuzzy_session.run_query(
+            And([positive.negated(), positive])
+        )
+        # the positive half still gives a vector, so fuzz applies;
+        # but negation alone must not:
+        vector = fuzzy_session._predicate_vector(positive.negated())
+        assert len(vector) == 0
+
+    def test_off_by_default(self, recipe_workspace, recipe_corpus):
+        session = Session(recipe_workspace)
+        session.run_query(self.impossible_query(recipe_corpus))
+        assert session.current.items == []
+        assert not session.last_was_fuzzy

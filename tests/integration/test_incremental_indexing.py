@@ -1,0 +1,76 @@
+"""Integration: data arriving over time stays searchable everywhere."""
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.query import HasValue, TextMatch
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://inc.example/")
+
+
+def make_item(graph, name, tag, text):
+    item = EX[name]
+    graph.add(item, RDF.type, EX.Doc)
+    graph.add(item, EX.tag, tag)
+    graph.add(item, EX.body, Literal(text))
+    return item
+
+
+class TestArrivals:
+    def test_stream_of_arrivals(self):
+        g = Graph()
+        first = make_item(g, "d1", EX.red, "alpha words here")
+        workspace = Workspace(g)
+        session = Session(workspace)
+        assert session.search("alpha").items == [first]
+
+        second = make_item(g, "d2", EX.red, "alpha and beta words")
+        workspace.add_item(second)
+        assert set(session.search("alpha").items) == {first, second}
+
+        third = make_item(g, "d3", EX.blue, "gamma text entirely")
+        workspace.add_item(third)
+        assert session.search("gamma").items == [third]
+
+    def test_arrivals_join_facets(self):
+        g = Graph()
+        make_item(g, "d1", EX.red, "one")
+        workspace = Workspace(g)
+        for i in range(2, 6):
+            workspace.add_item(
+                make_item(g, f"d{i}", EX.blue if i % 2 else EX.red, f"body {i}")
+            )
+        session = Session(workspace)
+        session.go_collection(workspace.items, "all")
+        result = session.suggestions()
+        titles = [s.title for s in result.all_suggestions()]
+        assert any("red" in t for t in titles)
+        assert any("blue" in t for t in titles)
+
+    def test_arrivals_reachable_by_similarity(self):
+        g = Graph()
+        a = make_item(g, "d1", EX.red, "apple tart sweet")
+        workspace = Workspace(g)
+        b = make_item(g, "d2", EX.red, "apple pie sweet")
+        c = make_item(g, "d3", EX.blue, "steel beam bridge")
+        workspace.add_item(b)
+        workspace.add_item(c)
+        hits = workspace.vector_store.similar_to_item(a, 2)
+        assert hits[0].item == b
+
+    def test_arrivals_counted_in_idf(self):
+        g = Graph()
+        a = make_item(g, "d1", EX.red, "unique snowflake")
+        workspace = Workspace(g)
+        before_df = workspace.model.stats.num_docs
+        workspace.add_item(make_item(g, "d2", EX.red, "common words"))
+        assert workspace.model.stats.num_docs == before_df + 1
+
+    def test_queries_see_new_universe(self):
+        g = Graph()
+        make_item(g, "d1", EX.red, "one")
+        workspace = Workspace(g)
+        new = make_item(g, "d2", EX.blue, "two")
+        workspace.add_item(new)
+        found = workspace.query_engine.evaluate(HasValue(EX.tag, EX.blue))
+        assert found == {new}

@@ -1,0 +1,114 @@
+"""End-to-end §3.3 power-user flows on the recipe corpus."""
+
+import pytest
+
+from repro.browser import Session
+from repro.query import HasValue, TypeIs
+
+
+@pytest.fixture()
+def session(recipe_workspace, recipe_corpus):
+    session = Session(recipe_workspace)
+    session.run_query(TypeIs(recipe_corpus.extras["types"]["Recipe"]))
+    return session
+
+
+class TestCompoundOr:
+    def test_dairy_or_vegetables(self, session, recipe_corpus):
+        """'only those items ... that either have a dairy product or a
+        vegetable in them'."""
+        props = recipe_corpus.extras["properties"]
+        dairy = recipe_corpus.extras["ingredient_groups"]["dairy"]
+        vegetables = recipe_corpus.extras["ingredient_groups"]["vegetables"]
+        builder = session.start_compound("or")
+        for ingredient in dairy + vegetables:
+            builder.drag(HasValue(props["ingredient"], ingredient))
+        before = set(session.current.items)
+        view = session.apply_compound(builder)
+        assert view.items
+        assert set(view.items) < before
+        allowed = set(dairy) | set(vegetables)
+        g = session.workspace.graph
+        for recipe in view.items:
+            assert set(g.objects(recipe, props["ingredient"])) & allowed
+
+    def test_compound_becomes_one_chip(self, session, recipe_corpus):
+        props = recipe_corpus.extras["properties"]
+        builder = session.start_compound("or")
+        builder.drag(
+            HasValue(props["cuisine"], recipe_corpus.extras["cuisines"]["Greek"])
+        )
+        builder.drag(
+            HasValue(props["cuisine"], recipe_corpus.extras["cuisines"]["Mexican"])
+        )
+        session.apply_compound(builder)
+        assert len(session.constraints()) == 2  # TypeIs + the Or
+
+
+class TestSubcollectionBrowse:
+    def test_north_america_any_and_all(self, session, recipe_corpus):
+        """The ingredients-found-in-North-America walkthrough."""
+        props = recipe_corpus.extras["properties"]
+        g = session.workspace.graph
+        from repro.rdf import Literal
+
+        north_american = [
+            ing
+            for ing in recipe_corpus.extras["ingredients"].values()
+            if (ing, props["origin"], Literal("North America")) in g
+        ]
+        assert north_american
+        any_view = session.apply_subcollection(
+            props["ingredient"], north_american, quantifier="any"
+        )
+        any_found = set(any_view.items)
+        session.undo_refinement()
+        all_view = session.apply_subcollection(
+            props["ingredient"], north_american, quantifier="all"
+        )
+        assert set(all_view.items) <= any_found
+
+    def test_browse_values_suggestion_navigates(self, session):
+        from repro.core.advisors import MODIFY
+        from repro.core.suggestions import GoToCollection
+
+        result = session.suggestions()
+        browse = [
+            s
+            for s in result.blackboard.for_advisor(MODIFY)
+            if isinstance(s.action, GoToCollection)
+            and "ingredient" in s.title
+        ]
+        assert browse
+        view = session.select(browse[0])
+        assert view.is_collection
+        assert view.items
+
+
+class TestItemToCollectionFluidity:
+    def test_item_then_similar_then_refine(self, session, recipe_corpus):
+        """'users can fluidly navigate from items to relevant
+        collections and back' (§3.2)."""
+        target = recipe_corpus.extras["walnut_recipe"]
+        session.go_item(target)
+        result = session.suggestions()
+        from repro.core.advisors import RELATED_ITEMS
+        from repro.core.suggestions import GoToCollection
+
+        similar = [
+            s
+            for s in result.blackboard.for_advisor(RELATED_ITEMS)
+            if isinstance(s.action, GoToCollection)
+            and s.analyst == "similar-by-content-item"
+        ]
+        assert similar
+        view = session.select(similar[0])
+        assert view.is_collection and view.items
+        assert target not in view.items
+        # now refine the similar collection by cuisine
+        props = recipe_corpus.extras["properties"]
+        greek = recipe_corpus.extras["cuisines"]["Greek"]
+        refined = session.refine(HasValue(props["cuisine"], greek))
+        g = session.workspace.graph
+        for item in refined.items:
+            assert g.value(item, props["cuisine"]) == greek

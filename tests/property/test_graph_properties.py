@@ -1,0 +1,81 @@
+"""Property-based tests for the triple store's index invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, Literal, Resource
+
+resources = st.integers(min_value=0, max_value=5).map(
+    lambda i: Resource(f"http://p.example/n{i}")
+)
+predicates = st.integers(min_value=0, max_value=3).map(
+    lambda i: Resource(f"http://p.example/p{i}")
+)
+objects = st.one_of(
+    resources,
+    st.integers(min_value=0, max_value=9).map(Literal),
+)
+triples = st.tuples(resources, predicates, objects)
+
+
+@given(st.lists(triples, max_size=30))
+def test_len_equals_distinct_triples(batch):
+    g = Graph()
+    g.add_all(batch)
+    assert len(g) == len(set(batch))
+
+
+@given(st.lists(triples, max_size=30))
+def test_every_added_triple_is_found_by_all_patterns(batch):
+    g = Graph()
+    g.add_all(batch)
+    for s, p, o in set(batch):
+        assert (s, p, o) in g
+        assert o in set(g.objects(s, p))
+        assert s in set(g.subjects(p, o))
+        assert p in set(g.predicates(s, o))
+
+
+@given(st.lists(triples, max_size=30), st.lists(triples, max_size=10))
+def test_remove_undoes_add(base, extra):
+    g = Graph()
+    g.add_all(base)
+    snapshot = Graph()
+    snapshot.add_all(base)
+    for t in extra:
+        g.add(*t)
+    for t in set(extra) - set(base):
+        g.remove(*t)
+    assert g == snapshot
+
+
+@given(st.lists(triples, max_size=30))
+def test_pattern_results_consistent_across_indexes(batch):
+    g = Graph()
+    g.add_all(batch)
+    all_triples = set(g.triples())
+    for s, p, o in all_triples:
+        assert set(g.triples(s, None, None)) >= {(s, p, o)}
+        assert set(g.triples(None, p, None)) >= {(s, p, o)}
+        assert set(g.triples(None, None, o)) >= {(s, p, o)}
+
+
+@given(st.lists(triples, max_size=30))
+def test_serialization_roundtrip(batch):
+    from repro.rdf import parse_ntriples, serialize_ntriples
+
+    g = Graph()
+    g.add_all(batch)
+    assert parse_ntriples(serialize_ntriples(g.triples())) == g
+
+
+@given(st.lists(triples, max_size=20), st.lists(triples, max_size=20))
+def test_update_is_union(a, b):
+    g1 = Graph()
+    g1.add_all(a)
+    g2 = Graph()
+    g2.add_all(b)
+    g1.update(g2)
+    expected = Graph()
+    expected.add_all(a + b)
+    assert g1 == expected

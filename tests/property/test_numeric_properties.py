@@ -1,0 +1,76 @@
+"""Property-based tests for the unit-circle encoding (§5.4)."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.vsm import NumericRange, encode_unit_circle, unit_circle_similarity
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def ranges(draw):
+    values = draw(st.lists(finite, min_size=1, max_size=10))
+    r = NumericRange()
+    for v in values:
+        r.observe(v)
+    return r
+
+
+@given(ranges(), finite)
+def test_encoding_always_unit_norm(value_range, v):
+    cos_part, sin_part = encode_unit_circle(v, value_range)
+    assert math.isclose(cos_part**2 + sin_part**2, 1.0, rel_tol=1e-9)
+
+
+@given(ranges(), finite)
+def test_encoding_in_first_quadrant(value_range, v):
+    cos_part, sin_part = encode_unit_circle(v, value_range)
+    assert cos_part >= -1e-12 and sin_part >= -1e-12
+
+
+@given(ranges(), finite)
+def test_self_similarity_is_one(value_range, v):
+    assert math.isclose(
+        unit_circle_similarity(v, v, value_range), 1.0, rel_tol=1e-9
+    )
+
+
+@given(ranges(), finite, finite)
+def test_similarity_symmetric(value_range, a, b):
+    assert math.isclose(
+        unit_circle_similarity(a, b, value_range),
+        unit_circle_similarity(b, a, value_range),
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
+
+
+@given(ranges(), finite, finite)
+def test_similarity_nonnegative_within_quadrant(value_range, a, b):
+    assert unit_circle_similarity(a, b, value_range) >= -1e-9
+
+
+@given(ranges())
+def test_fraction_monotone(value_range):
+    assume(value_range.width > 0)
+    lo, hi = value_range.low, value_range.high
+    mids = [lo + (hi - lo) * k / 4 for k in range(5)]
+    fractions = [value_range.fraction(v) for v in mids]
+    assert fractions == sorted(fractions)
+
+
+@given(ranges(), finite, finite, finite)
+def test_closer_values_at_least_as_similar(value_range, base, near, far):
+    assume(value_range.width > 0)
+    lo, hi = value_range.low, value_range.high
+    clamp = lambda v: min(max(v, lo), hi)
+    base, near, far = clamp(base), clamp(near), clamp(far)
+    assume(abs(near - base) <= abs(far - base))
+    s_near = unit_circle_similarity(base, near, value_range)
+    s_far = unit_circle_similarity(base, far, value_range)
+    assert s_near >= s_far - 1e-9

@@ -1,0 +1,116 @@
+"""Property-based tests: boolean query algebra over random graphs.
+
+For randomly generated corpora and predicate trees, evaluation must obey
+set-algebra laws — And is intersection, Or is union, Not is complement —
+and the candidate-set fast path must agree with per-item matching.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import And, HasValue, Not, Or, Predicate, QueryContext, QueryEngine
+from repro.rdf import Graph, Namespace, RDF, Resource
+
+EX = Namespace("http://qa.example/")
+
+values = st.integers(min_value=0, max_value=3).map(lambda i: EX[f"v{i}"])
+properties = st.integers(min_value=0, max_value=2).map(lambda i: EX[f"p{i}"])
+
+
+@st.composite
+def corpora(draw):
+    g = Graph()
+    n_items = draw(st.integers(min_value=1, max_value=8))
+    for i in range(n_items):
+        item = EX[f"item{i}"]
+        g.add(item, RDF.type, EX.Thing)
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            g.add(item, draw(properties), draw(values))
+    return g
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0:
+        return HasValue(draw(properties), draw(values))
+    kind = draw(st.sampled_from(["leaf", "and", "or", "not"]))
+    if kind == "leaf":
+        return HasValue(draw(properties), draw(values))
+    if kind == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    parts = draw(
+        st.lists(predicates(depth=depth - 1), min_size=1, max_size=3)
+    )
+    return And(parts) if kind == "and" else Or(parts)
+
+
+@given(corpora(), predicates())
+@settings(max_examples=60)
+def test_candidates_agree_with_matching(graph, predicate):
+    context = QueryContext(graph)
+    engine = QueryEngine(context)
+    fast = engine.evaluate(predicate)
+    slow = {
+        item for item in context.universe if predicate.matches(item, context)
+    }
+    assert fast == slow
+
+
+@given(corpora(), predicates(), predicates())
+@settings(max_examples=60)
+def test_and_is_intersection(graph, p, q):
+    engine = QueryEngine(QueryContext(graph))
+    assert engine.evaluate(And([p, q])) == (
+        engine.evaluate(p) & engine.evaluate(q)
+    )
+
+
+@given(corpora(), predicates(), predicates())
+@settings(max_examples=60)
+def test_or_is_union(graph, p, q):
+    engine = QueryEngine(QueryContext(graph))
+    assert engine.evaluate(Or([p, q])) == (
+        engine.evaluate(p) | engine.evaluate(q)
+    )
+
+
+@given(corpora(), predicates())
+@settings(max_examples=60)
+def test_not_is_complement(graph, p):
+    context = QueryContext(graph)
+    engine = QueryEngine(context)
+    assert engine.evaluate(Not(p)) == context.universe - engine.evaluate(p)
+
+
+@given(corpora(), predicates())
+@settings(max_examples=60)
+def test_excluded_middle(graph, p):
+    context = QueryContext(graph)
+    engine = QueryEngine(context)
+    assert engine.evaluate(Or([p, Not(p)])) == context.universe
+    assert engine.evaluate(And([p, Not(p)])) == set()
+
+
+@given(corpora(), predicates())
+@settings(max_examples=60)
+def test_double_negation(graph, p):
+    engine = QueryEngine(QueryContext(graph))
+    assert engine.evaluate(Not(Not(p))) == engine.evaluate(p)
+
+
+@given(corpora(), predicates(depth=3))
+@settings(max_examples=80)
+def test_simplify_preserves_extension(graph, p):
+    from repro.query import simplify
+
+    engine = QueryEngine(QueryContext(graph))
+    assert engine.evaluate(simplify(p)) == engine.evaluate(p)
+
+
+@given(predicates(depth=3))
+@settings(max_examples=80)
+def test_simplify_idempotent(p):
+    from repro.query import simplify
+
+    once = simplify(p)
+    assert simplify(once) == once

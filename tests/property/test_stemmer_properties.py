@@ -1,0 +1,54 @@
+"""Property-based tests for the Porter stemmer and analyzer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vsm import Analyzer, PorterStemmer, analyze
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15)
+
+
+@given(words)
+def test_stemmer_never_crashes_or_grows(word):
+    stem = PorterStemmer().stem(word)
+    assert isinstance(stem, str)
+    assert len(stem) <= len(word)
+
+
+@given(words)
+def test_stemmer_deterministic(word):
+    stemmer = PorterStemmer()
+    assert stemmer.stem(word) == stemmer.stem(word)
+
+
+@given(words)
+def test_stem_nonempty_for_nonempty(word):
+    assert PorterStemmer().stem(word)
+
+
+@given(st.text(max_size=80))
+def test_analyzer_never_crashes(text):
+    tokens = analyze(text)
+    assert all(isinstance(t, str) and t for t in tokens)
+
+
+@given(st.text(max_size=80))
+def test_analyzer_tokens_lowercase(text):
+    assert all(t == t.lower() for t in analyze(text))
+
+
+@given(st.text(max_size=80))
+def test_analysis_idempotent_on_output(text):
+    """Re-analyzing the analyzed output must not change token counts."""
+    analyzer = Analyzer()
+    once = analyzer.counts(" ".join(analyzer.tokens(text)))
+    twice = analyzer.counts(" ".join(once.elements()))
+    assert once == twice
+
+
+@given(st.text(max_size=40), st.text(max_size=40))
+def test_concatenation_merges_counts(a, b):
+    analyzer = Analyzer()
+    combined = analyzer.counts(a + " " + b)
+    separate = analyzer.counts(a) + analyzer.counts(b)
+    assert combined == separate

@@ -1,0 +1,65 @@
+"""Property-based round-trip tests for the two RDF serializations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    Graph,
+    Literal,
+    Resource,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+
+# URIs without characters that need escaping in either syntax.
+uris = st.integers(min_value=0, max_value=9).map(
+    lambda i: Resource(f"http://r.example/node{i}")
+)
+plain_text = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz ABC0123456789",
+    max_size=20,
+)
+literals = st.one_of(
+    plain_text.map(Literal),
+    st.integers(min_value=-10**6, max_value=10**6).map(Literal),
+    st.booleans().map(Literal),
+    plain_text.map(lambda s: Literal(s, language="en")),
+)
+objects = st.one_of(uris, literals)
+triples = st.tuples(uris, uris, objects)
+
+
+@st.composite
+def graphs(draw):
+    g = Graph()
+    g.add_all(draw(st.lists(triples, max_size=25)))
+    return g
+
+
+@given(graphs())
+@settings(max_examples=80)
+def test_ntriples_roundtrip(g):
+    assert parse_ntriples(serialize_ntriples(g.triples())) == g
+
+
+@given(graphs())
+@settings(max_examples=80)
+def test_turtle_roundtrip(g):
+    assert parse_turtle(serialize_turtle(g)) == g
+
+
+@given(graphs())
+@settings(max_examples=40)
+def test_turtle_roundtrip_with_prefix(g):
+    text = serialize_turtle(g, {"r": "http://r.example/"})
+    assert parse_turtle(text) == g
+
+
+@given(graphs())
+@settings(max_examples=40)
+def test_cross_format_agreement(g):
+    via_nt = parse_ntriples(serialize_ntriples(g.triples()))
+    via_ttl = parse_turtle(serialize_turtle(g))
+    assert via_nt == via_ttl

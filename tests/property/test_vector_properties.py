@@ -1,0 +1,85 @@
+"""Property-based tests for sparse-vector algebra."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vsm import SparseVector
+
+keys = st.text(min_size=1, max_size=4)
+# Subnormal doubles (≈5e-324) are excluded: at that scale the norm grid
+# itself quantizes and no algorithm can keep unit length to 1e-9.  Real
+# tf.idf weights live many hundred orders of magnitude above it.
+weights = st.floats(
+    min_value=-100.0,
+    max_value=100.0,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+)
+vectors = st.dictionaries(keys, weights, max_size=8).map(SparseVector)
+
+
+@given(vectors, vectors)
+def test_dot_commutative(u, v):
+    assert math.isclose(u.dot(v), v.dot(u), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(vectors)
+def test_dot_with_self_is_norm_squared(v):
+    assert math.isclose(v.dot(v), v.norm() ** 2, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(vectors, vectors, vectors)
+def test_dot_distributes_over_addition(u, v, w):
+    left = u.dot(v + w)
+    right = u.dot(v) + u.dot(w)
+    assert math.isclose(left, right, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(vectors)
+def test_normalized_has_unit_norm_or_zero(v):
+    n = v.normalized()
+    if len(v) == 0 or v.norm() == 0.0:
+        assert n.norm() == 0.0
+    else:
+        assert math.isclose(n.norm(), 1.0, rel_tol=1e-9)
+
+
+@given(vectors, st.floats(min_value=-10, max_value=10, allow_nan=False))
+def test_scaling_scales_norm(v, factor):
+    assert math.isclose(
+        v.scaled(factor).norm(), abs(factor) * v.norm(),
+        rel_tol=1e-9, abs_tol=1e-9,
+    )
+
+
+@given(vectors, vectors)
+def test_cauchy_schwarz(u, v):
+    assert abs(u.dot(v)) <= u.norm() * v.norm() + 1e-6
+
+
+@given(vectors, vectors)
+def test_cosine_bounded(u, v):
+    assert -1.0 - 1e-9 <= u.cosine(v) <= 1.0 + 1e-9
+
+
+@given(vectors)
+def test_addition_identity(v):
+    assert (v + SparseVector()) == v
+
+
+@given(vectors)
+def test_subtraction_self_is_zero(v):
+    assert len(v - v) == 0
+
+
+@given(st.lists(vectors, max_size=6))
+def test_centroid_norm_at_most_one(vs):
+    assert SparseVector.centroid(vs).norm() <= 1.0 + 1e-9
+
+
+@given(vectors)
+def test_no_zero_entries_stored(v):
+    assert all(w != 0.0 for _k, w in v.items())

@@ -1,0 +1,114 @@
+"""Tests for the toolbar query language."""
+
+import pytest
+
+from repro.query import (
+    And,
+    HasValue,
+    Not,
+    Or,
+    QueryParseError,
+    QueryParser,
+    Range,
+    TextMatch,
+)
+from repro.rdf import Literal, Namespace
+
+EX = Namespace("http://pp.example/")
+
+FIELDS = {"cuisine": EX.cuisine, "area": EX.area, "ingredient": EX.ingredient}
+
+
+@pytest.fixture()
+def parser():
+    return QueryParser(resolve_property=FIELDS.get)
+
+
+class TestLeaves:
+    def test_bare_word_is_text_match(self, parser):
+        assert parser.parse("parsley") == TextMatch("parsley")
+
+    def test_quoted_phrase(self, parser):
+        assert parser.parse('"olive oil"') == TextMatch("olive oil")
+
+    def test_field_value(self, parser):
+        assert parser.parse("cuisine:Greek") == HasValue(
+            EX.cuisine, Literal("Greek")
+        )
+
+    def test_field_quoted_value(self, parser):
+        assert parser.parse('ingredient:"olive oil"') == HasValue(
+            EX.ingredient, Literal("olive oil")
+        )
+
+    def test_unknown_field_becomes_text(self, parser):
+        assert parser.parse("nope:thing") == TextMatch("nope thing")
+
+    def test_custom_value_resolver(self):
+        parser = QueryParser(
+            resolve_property=FIELDS.get,
+            resolve_value=lambda prop, text: EX[text.lower()],
+        )
+        assert parser.parse("cuisine:Greek") == HasValue(EX.cuisine, EX.greek)
+
+    def test_ge_comparison(self, parser):
+        assert parser.parse("area >= 1000") == Range(EX.area, low=1000.0)
+
+    def test_le_comparison(self, parser):
+        assert parser.parse("area <= 5") == Range(EX.area, high=5.0)
+
+    def test_eq_comparison(self, parser):
+        assert parser.parse("area = 5") == Range(EX.area, low=5.0, high=5.0)
+
+
+class TestCombinators:
+    def test_implicit_and(self, parser):
+        assert parser.parse("greek parsley") == And(
+            [TextMatch("greek"), TextMatch("parsley")]
+        )
+
+    def test_explicit_and(self, parser):
+        parsed = parser.parse("cuisine:Greek AND parsley")
+        assert parsed == And(
+            [HasValue(EX.cuisine, Literal("Greek")), TextMatch("parsley")]
+        )
+
+    def test_or_lower_precedence_than_and(self, parser):
+        parsed = parser.parse("a b OR c")
+        assert isinstance(parsed, Or)
+        assert parsed.parts[0] == And([TextMatch("a"), TextMatch("b")])
+
+    def test_not(self, parser):
+        assert parser.parse("NOT parsley") == Not(TextMatch("parsley"))
+
+    def test_not_binds_tightly(self, parser):
+        parsed = parser.parse("NOT a b")
+        assert parsed == And([Not(TextMatch("a")), TextMatch("b")])
+
+    def test_parentheses(self, parser):
+        parsed = parser.parse("(a OR b) c")
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.parts[0], Or)
+
+    def test_case_insensitive_keywords(self, parser):
+        assert parser.parse("a and b") == And([TextMatch("a"), TextMatch("b")])
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "(a",
+            "a)",
+            "cuisine:",
+            "area >=",
+            "area >= soon",
+            "NOT",
+            "unknownfield >= 5",
+        ],
+    )
+    def test_malformed_queries(self, parser, bad):
+        with pytest.raises(QueryParseError):
+            parser.parse(bad)

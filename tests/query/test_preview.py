@@ -1,0 +1,81 @@
+"""Tests for the range-preview (Figure 5) machinery."""
+
+import pytest
+
+from repro.query import RangePreview, collect_values
+from repro.rdf import Graph, Literal, Namespace
+
+EX = Namespace("http://pv.example/")
+
+
+class TestCollectValues:
+    def test_collects_numeric_readings(self):
+        g = Graph()
+        g.add(EX.a, EX.size, Literal(3))
+        g.add(EX.b, EX.size, Literal(1))
+        g.add(EX.b, EX.size, Literal(2))  # multi-valued
+        g.add(EX.c, EX.size, Literal("not numeric text"))
+        g.add(EX.c, EX.other, Literal(9))
+        values = collect_values(g, [EX.a, EX.b, EX.c], EX.size)
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_resource_values_skipped(self):
+        g = Graph()
+        g.add(EX.a, EX.size, EX.big)
+        assert collect_values(g, [EX.a], EX.size) == []
+
+
+class TestRangePreview:
+    def test_bounds(self):
+        p = RangePreview([5.0, 1.0, 3.0])
+        assert p.low == 1.0 and p.high == 5.0
+
+    def test_empty(self):
+        p = RangePreview([])
+        assert p.is_empty
+        assert p.histogram() == [0] * p.buckets
+
+    def test_histogram_counts_everything(self):
+        p = RangePreview(list(range(100)), buckets=10)
+        assert sum(p.histogram()) == 100
+
+    def test_histogram_uniform(self):
+        p = RangePreview([float(v) for v in range(100)], buckets=10)
+        assert p.histogram() == [10] * 10
+
+    def test_max_value_in_last_bucket(self):
+        p = RangePreview([0.0, 10.0], buckets=5)
+        hist = p.histogram()
+        assert hist[0] == 1 and hist[-1] == 1
+
+    def test_degenerate_single_value(self):
+        p = RangePreview([7.0, 7.0], buckets=4)
+        assert p.histogram()[0] == 2
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            RangePreview([1.0], buckets=0)
+
+    def test_count_between_inclusive(self):
+        p = RangePreview([1.0, 2.0, 3.0, 4.0])
+        assert p.count_between(2.0, 3.0) == 2
+
+    def test_count_between_open_ends(self):
+        p = RangePreview([1.0, 2.0, 3.0])
+        assert p.count_between(None, 2.0) == 2
+        assert p.count_between(2.0, None) == 2
+        assert p.count_between(None, None) == 3
+
+    def test_hatch_marks_width(self):
+        p = RangePreview(list(range(50)))
+        assert len(p.hatch_marks(32)) == 32
+
+    def test_hatch_marks_empty(self):
+        assert RangePreview([]).hatch_marks(10) == " " * 10
+
+    def test_hatch_marks_show_density(self):
+        # all mass in one spot → one dense column, rest blank
+        p = RangePreview([5.0] * 9 + [0.0, 10.0])
+        marks = p.hatch_marks(11)
+        assert marks.count(" ") > 5
+        assert "|" in marks

@@ -1,0 +1,100 @@
+"""Tests for boolean predicate simplification."""
+
+import pytest
+
+from repro.query import And, HasValue, Not, Or, simplify
+from repro.rdf import Namespace
+
+EX = Namespace("http://sf.example/")
+
+P = HasValue(EX.prop, EX.p)
+Q = HasValue(EX.prop, EX.q)
+R = HasValue(EX.prop, EX.r)
+
+
+class TestStructural:
+    def test_leaf_untouched(self):
+        assert simplify(P) is P
+
+    def test_flatten_nested_and(self):
+        assert simplify(And([P, And([Q, R])])) == And([P, Q, R])
+
+    def test_flatten_nested_or(self):
+        assert simplify(Or([Or([P, Q]), R])) == Or([P, Q, R])
+
+    def test_mixed_nesting_preserved(self):
+        tree = And([P, Or([Q, R])])
+        assert simplify(tree) == tree
+
+    def test_duplicates_dropped(self):
+        assert simplify(And([P, Q, P])) == And([P, Q])
+
+    def test_duplicate_detection_after_flattening(self):
+        assert simplify(And([P, And([P, Q])])) == And([P, Q])
+
+    def test_single_element_unwrapped(self):
+        assert simplify(And([P])) == P
+        assert simplify(Or([P])) == P
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(P))) == P
+
+    def test_quadruple_negation(self):
+        assert simplify(Not(Not(Not(Not(P))))) == P
+
+    def test_negation_inside_and(self):
+        assert simplify(And([Not(Not(P)), Q])) == And([P, Q])
+
+
+class TestConstants:
+    def test_contradiction_is_false(self):
+        assert simplify(And([P, Not(P)])) == Or([])
+
+    def test_contradiction_with_extras(self):
+        assert simplify(And([Q, P, Not(P)])) == Or([])
+
+    def test_tautology_is_true(self):
+        assert simplify(Or([P, Not(P)])) == And([])
+
+    def test_empty_and_stable(self):
+        assert simplify(And([])) == And([])
+
+    def test_empty_or_stable(self):
+        assert simplify(Or([])) == Or([])
+
+
+class TestSemantics:
+    @pytest.fixture()
+    def engine(self):
+        from repro.query import QueryContext, QueryEngine
+        from repro.rdf import Graph, RDF
+
+        g = Graph()
+        for i, value in enumerate([EX.p, EX.p, EX.q, EX.r]):
+            item = EX[f"i{i}"]
+            g.add(item, RDF.type, EX.Doc)
+            g.add(item, EX.prop, value)
+        return QueryEngine(QueryContext(g))
+
+    @pytest.mark.parametrize(
+        "tree",
+        [
+            And([P, And([Q, P])]),
+            Or([P, Or([P, Q]), R]),
+            Not(Not(And([P, Q]))),
+            And([P, Not(P)]),
+            Or([P, Not(P)]),
+            And([Or([P, Q]), Not(R)]),
+        ],
+    )
+    def test_extension_preserved(self, engine, tree):
+        assert engine.evaluate(simplify(tree)) == engine.evaluate(tree)
+
+    def test_contradiction_evaluates_empty(self, engine):
+        assert engine.evaluate(simplify(And([P, Not(P)]))) == set()
+
+    def test_tautology_evaluates_to_universe(self, engine):
+        assert (
+            engine.evaluate(simplify(Or([P, Not(P)])))
+            == engine.context.universe
+        )

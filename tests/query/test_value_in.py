@@ -1,0 +1,81 @@
+"""Tests for the ValueIn quantified-membership predicate (§3.3)."""
+
+import pytest
+
+from repro.query import QueryContext, QueryEngine, ValueIn
+from repro.rdf import Graph, Namespace, RDF
+
+EX = Namespace("http://vi.example/")
+
+
+@pytest.fixture()
+def engine():
+    g = Graph()
+    data = {
+        "r1": [EX.corn, EX.bean],        # all in the set
+        "r2": [EX.corn, EX.saffron],     # one in the set
+        "r3": [EX.saffron, EX.caper],    # none in the set
+        "r4": [],                         # no values at all
+    }
+    for name, ings in data.items():
+        item = EX[name]
+        g.add(item, RDF.type, EX.Recipe)
+        for ing in ings:
+            g.add(item, EX.ingredient, ing)
+    return QueryEngine(QueryContext(g))
+
+
+SET = [EX.corn, EX.bean, EX.lime]
+
+
+class TestAnyQuantifier:
+    def test_any_matches_overlap(self, engine):
+        found = engine.evaluate(ValueIn(EX.ingredient, SET, "any"))
+        assert found == {EX.r1, EX.r2}
+
+    def test_any_candidates_exact(self, engine):
+        predicate = ValueIn(EX.ingredient, SET, "any")
+        assert predicate.candidates(engine.context) == {EX.r1, EX.r2}
+
+
+class TestAllQuantifier:
+    def test_all_requires_subset(self, engine):
+        found = engine.evaluate(ValueIn(EX.ingredient, SET, "all"))
+        assert found == {EX.r1}
+
+    def test_items_without_property_excluded(self, engine):
+        found = engine.evaluate(ValueIn(EX.ingredient, SET, "all"))
+        assert EX.r4 not in found
+
+
+class TestApi:
+    def test_bad_quantifier(self):
+        with pytest.raises(ValueError):
+            ValueIn(EX.ingredient, SET, "most")
+
+    def test_equality_ignores_value_order(self):
+        a = ValueIn(EX.ingredient, [EX.corn, EX.bean])
+        b = ValueIn(EX.ingredient, [EX.bean, EX.corn])
+        assert a == b and hash(a) == hash(b)
+
+    def test_describe(self, engine):
+        text = ValueIn(EX.ingredient, SET, "all").describe(engine.context)
+        assert "every ingredient" in text and "3" in text
+
+    def test_negation_is_complement(self, engine):
+        predicate = ValueIn(EX.ingredient, SET, "any")
+        complement = engine.evaluate(predicate.negated())
+        assert complement == engine.context.universe - engine.evaluate(
+            predicate
+        )
+
+    def test_session_apply_subcollection_creates_chip(self, engine):
+        from repro.browser import Session
+        from repro.core import Workspace
+
+        workspace = Workspace(engine.context.graph)
+        session = Session(workspace)
+        session.go_collection(workspace.items, "all")
+        view = session.apply_subcollection(EX.ingredient, SET, "any")
+        assert set(view.items) == {EX.r1, EX.r2}
+        assert any("ingredient" in c for c in session.describe_constraints())

@@ -1,0 +1,100 @@
+"""Tests for CSV import."""
+
+import pytest
+
+from repro.rdf import (
+    Literal,
+    Namespace,
+    RDF,
+    Schema,
+    ValueType,
+    csv_to_graph,
+    rows_to_graph,
+)
+
+CSV = """state,bird,area
+Ohio,Cardinal,44826
+Alaska,Willow ptarmigan,665384
+"""
+
+NS = Namespace("http://csv.example/")
+
+
+class TestCsvToGraph:
+    def test_rows_become_typed_resources(self):
+        g = csv_to_graph(CSV, "http://csv.example", row_type="State")
+        states = list(g.items_of_type(NS["State"]))
+        assert len(states) == 2
+
+    def test_columns_become_properties(self):
+        g = csv_to_graph(CSV, "http://csv.example")
+        ohio = NS["item/ohio"]
+        assert g.value(ohio, NS["property/bird"]) == Literal("Cardinal")
+
+    def test_integers_coerced(self):
+        g = csv_to_graph(CSV, "http://csv.example")
+        area = g.value(NS["item/ohio"], NS["property/area"])
+        assert area.value == 44826
+
+    def test_no_labels_by_default(self):
+        g = csv_to_graph(CSV, "http://csv.example")
+        schema = Schema(g)
+        assert schema.label(NS["property/bird"]) == "bird"  # local name only
+        from repro.rdf.vocab import RDFS
+
+        assert not list(g.triples(None, RDFS.label, None))
+
+    def test_add_labels(self):
+        g = csv_to_graph(CSV, "http://csv.example", add_labels=True)
+        schema = Schema(g)
+        assert schema.label(NS["item/ohio"]) == "Ohio"
+        assert schema.label(NS["property/bird"]) == "bird"
+
+    def test_infer_types_annotates_area(self):
+        g = csv_to_graph(CSV, "http://csv.example", infer_types=True)
+        schema = Schema(g)
+        assert schema.value_type(NS["property/area"]) == ValueType.INTEGER
+
+    def test_quoted_cells(self):
+        text = 'name,motto\nVirginia,"Thus always, tyrants"\n'
+        g = csv_to_graph(text, "http://csv.example")
+        motto = g.value(NS["item/virginia"], NS["property/motto"])
+        assert motto == Literal("Thus always, tyrants")
+
+    def test_empty_text_gives_empty_graph(self):
+        assert len(csv_to_graph("", "http://csv.example")) == 0
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            csv_to_graph("a,b\n1\n", "http://csv.example")
+
+    def test_blank_rows_skipped(self):
+        g = csv_to_graph("a,b\n1,2\n,\n", "http://csv.example")
+        assert len(list(g.items_of_type(NS["Row"]))) == 1
+
+    def test_empty_cells_omitted(self):
+        g = csv_to_graph("a,b\nx,\n", "http://csv.example")
+        item = NS["item/x"]
+        assert g.value(item, NS["property/b"]) is None
+
+
+class TestRowsToGraph:
+    def test_dict_rows(self):
+        g = rows_to_graph(
+            [{"name": "x", "n": 3}], "http://csv.example", key_column="name"
+        )
+        assert g.value(NS["item/x"], NS["property/n"]) == Literal(3)
+
+    def test_missing_key_column_falls_back_to_index(self):
+        g = rows_to_graph(
+            [{"n": 3}], "http://csv.example", row_type="Row", key_column="name"
+        )
+        assert list(g.items_of_type(NS["Row"]))
+
+    def test_slug_handles_punctuation(self):
+        g = rows_to_graph(
+            [{"name": "New York!"}], "http://csv.example", key_column="name"
+        )
+        assert list(g.subjects(RDF.type, NS["Row"]))[0].uri.endswith(
+            "item/new-york"
+        )

@@ -1,0 +1,180 @@
+"""Tests for the triple store."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, RDF, RDFS
+
+EX = Namespace("http://g.example/")
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    g.add(EX.a, RDF.type, EX.Doc)
+    g.add(EX.a, EX.tag, EX.red)
+    g.add(EX.a, EX.tag, EX.blue)
+    g.add(EX.b, RDF.type, EX.Doc)
+    g.add(EX.b, EX.tag, EX.red)
+    g.add(EX.b, EX.size, Literal(5))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add(EX.a, EX.p, EX.b) is True
+
+    def test_add_duplicate_returns_false(self, graph):
+        assert graph.add(EX.a, EX.tag, EX.red) is False
+        assert len(graph) == 6
+
+    def test_add_coerces_plain_values(self):
+        g = Graph()
+        g.add(EX.a, EX.size, 7)
+        assert (EX.a, EX.size, Literal(7)) in g
+
+    def test_subject_must_be_node(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add(Literal("x"), EX.p, EX.a)
+
+    def test_predicate_must_be_resource(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add(EX.a, Literal("p"), EX.b)
+
+    def test_remove_existing(self, graph):
+        assert graph.remove(EX.a, EX.tag, EX.red) is True
+        assert (EX.a, EX.tag, EX.red) not in graph
+        assert len(graph) == 5
+
+    def test_remove_missing_returns_false(self, graph):
+        assert graph.remove(EX.a, EX.tag, EX.green) is False
+
+    def test_remove_keeps_indexes_consistent(self, graph):
+        graph.remove(EX.a, EX.tag, EX.red)
+        assert set(graph.subjects(EX.tag, EX.red)) == {EX.b}
+        assert EX.red not in set(graph.objects(EX.a, EX.tag))
+
+    def test_remove_matching_pattern(self, graph):
+        removed = graph.remove_matching(None, EX.tag, None)
+        assert removed == 3
+        assert not list(graph.triples(None, EX.tag, None))
+
+    def test_add_all_counts_inserts(self):
+        g = Graph()
+        n = g.add_all([(EX.a, EX.p, EX.b), (EX.a, EX.p, EX.b)])
+        assert n == 1
+
+    def test_blank_nodes_unique(self):
+        g = Graph()
+        assert g.new_blank_node() != g.new_blank_node()
+
+
+class TestPatterns:
+    def test_fully_bound(self, graph):
+        assert list(graph.triples(EX.a, EX.tag, EX.red)) == [
+            (EX.a, EX.tag, EX.red)
+        ]
+
+    def test_subject_bound(self, graph):
+        assert len(list(graph.triples(EX.a, None, None))) == 3
+
+    def test_subject_predicate_bound(self, graph):
+        objs = {o for _s, _p, o in graph.triples(EX.a, EX.tag, None)}
+        assert objs == {EX.red, EX.blue}
+
+    def test_predicate_bound(self, graph):
+        assert len(list(graph.triples(None, EX.tag, None))) == 3
+
+    def test_predicate_object_bound(self, graph):
+        subs = {s for s, _p, _o in graph.triples(None, EX.tag, EX.red)}
+        assert subs == {EX.a, EX.b}
+
+    def test_object_bound(self, graph):
+        assert len(list(graph.triples(None, None, EX.red))) == 2
+
+    def test_unbound_scans_all(self, graph):
+        assert len(list(graph.triples())) == len(graph) == 6
+
+    def test_object_coercion_in_patterns(self, graph):
+        assert list(graph.triples(EX.b, EX.size, 5))
+
+    def test_no_match_is_empty(self, graph):
+        assert list(graph.triples(EX.z, None, None)) == []
+
+    def test_contains(self, graph):
+        assert (EX.a, EX.tag, EX.red) in graph
+        assert (EX.a, EX.tag, EX.green) not in graph
+
+
+class TestAccessors:
+    def test_subjects_distinct(self, graph):
+        assert set(graph.subjects(RDF.type, EX.Doc)) == {EX.a, EX.b}
+
+    def test_subjects_by_predicate_only(self, graph):
+        assert set(graph.subjects(EX.tag)) == {EX.a, EX.b}
+
+    def test_objects(self, graph):
+        assert set(graph.objects(EX.a, EX.tag)) == {EX.red, EX.blue}
+
+    def test_predicates_of_subject(self, graph):
+        assert set(graph.predicates(subject=EX.b)) == {
+            RDF.type, EX.tag, EX.size,
+        }
+
+    def test_value_single(self, graph):
+        assert graph.value(EX.b, EX.size) == Literal(5)
+
+    def test_value_default(self, graph):
+        assert graph.value(EX.b, EX.missing, default="d") == "d"
+
+    def test_value_deterministic_when_multivalued(self, graph):
+        assert graph.value(EX.a, EX.tag) == min(EX.red, EX.blue)
+
+    def test_properties_of_is_copy(self, graph):
+        props = graph.properties_of(EX.a)
+        props[EX.tag].add(EX.green)
+        assert EX.green not in set(graph.objects(EX.a, EX.tag))
+
+    def test_items_of_type(self, graph):
+        assert set(graph.items_of_type(EX.Doc)) == {EX.a, EX.b}
+
+    def test_label_prefers_rdfs_label(self, graph):
+        graph.add(EX.a, RDFS.label, Literal("Document A"))
+        assert graph.label(EX.a) == "Document A"
+
+    def test_label_falls_back_to_local_name(self, graph):
+        assert graph.label(EX.b) == "b"
+
+    def test_label_of_literal(self, graph):
+        assert graph.label(Literal("x")) == "x"
+
+    def test_subject_count(self, graph):
+        assert graph.subject_count() == 2
+
+
+class TestWholeGraph:
+    def test_copy_is_equal_but_independent(self, graph):
+        clone = graph.copy()
+        assert clone == graph
+        clone.add(EX.z, EX.p, EX.q)
+        assert clone != graph
+
+    def test_update_merges(self, graph):
+        other = Graph()
+        other.add(EX.z, EX.p, EX.q)
+        other.add(EX.a, EX.tag, EX.red)  # duplicate
+        assert graph.update(other) == 1
+        assert len(graph) == 7
+
+    def test_equality_ignores_insertion_order(self):
+        g1 = Graph([(EX.a, EX.p, EX.b), (EX.c, EX.p, EX.d)])
+        g2 = Graph([(EX.c, EX.p, EX.d), (EX.a, EX.p, EX.b)])
+        assert g1 == g2
+
+    def test_bool_and_len(self):
+        g = Graph()
+        assert not g
+        g.add(EX.a, EX.p, EX.b)
+        assert g and len(g) == 1

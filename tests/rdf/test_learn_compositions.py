@@ -1,0 +1,112 @@
+"""Tests for automatic composition discovery (§5.1/§7 future work)."""
+
+import pytest
+
+from repro.rdf import (
+    Graph,
+    Literal,
+    Namespace,
+    RDF,
+    Schema,
+    apply_learned,
+    learn_compositions,
+)
+
+EX = Namespace("http://lc.example/")
+
+
+def build_inbox_like(n: int = 12) -> Graph:
+    """Items → body → {creator, kind, const}; kind varies, const doesn't."""
+    g = Graph()
+    for i in range(n):
+        item, body = EX[f"m{i}"], EX[f"b{i}"]
+        g.add(item, RDF.type, EX.Mail)
+        g.add(item, EX.body, body)
+        g.add(body, EX.creator, EX[f"person{i % 3}"])
+        g.add(body, EX.kind, Literal("plain" if i % 2 else "html"))
+        g.add(body, EX.const, Literal("always the same"))
+    return g
+
+
+class TestLearnCompositions:
+    def test_discovers_varied_chains(self):
+        candidates = learn_compositions(build_inbox_like())
+        chains = {c.chain for c in candidates}
+        assert (EX.body, EX.creator) in chains
+        assert (EX.body, EX.kind) in chains
+
+    def test_constant_valued_chain_rejected(self):
+        """Zero-entropy composites can't refine anything."""
+        candidates = learn_compositions(build_inbox_like())
+        assert (EX.body, EX.const) not in {c.chain for c in candidates}
+
+    def test_low_support_rejected(self):
+        g = build_inbox_like()
+        # one rare hop
+        g.add(EX.m0, EX.attachment, EX.file0)
+        g.add(EX.file0, EX.mime, Literal("png"))
+        candidates = learn_compositions(g, min_support=0.3)
+        assert (EX.attachment, EX.mime) not in {c.chain for c in candidates}
+
+    def test_support_threshold_tunable(self):
+        g = build_inbox_like()
+        g.add(EX.m0, EX.attachment, EX.file0)
+        g.add(EX.file0, EX.mime, Literal("png"))
+        g.add(EX.file1, EX.mime, Literal("pdf"))
+        g.add(EX.m1, EX.attachment, EX.file1)
+        candidates = learn_compositions(g, min_support=0.05, min_entropy=0.5)
+        assert (EX.attachment, EX.mime) in {c.chain for c in candidates}
+
+    def test_chains_into_other_items_skipped(self):
+        """Item→item links are navigation, not attribute structure."""
+        g = build_inbox_like()
+        for i in range(11):
+            g.add(EX[f"m{i}"], EX.replyTo, EX[f"m{i + 1}"])
+        candidates = learn_compositions(g)
+        for candidate in candidates:
+            assert candidate.chain[0] != EX.replyTo
+
+    def test_scores_sorted_descending(self):
+        candidates = learn_compositions(build_inbox_like())
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_candidate_metadata(self):
+        candidates = learn_compositions(build_inbox_like())
+        creator = next(c for c in candidates if c.chain == (EX.body, EX.creator))
+        assert creator.support == 12
+        assert creator.distinct_values == 3
+        assert creator.entropy > 1.0
+
+    def test_empty_graph(self):
+        assert learn_compositions(Graph()) == []
+
+    def test_max_candidates_cap(self):
+        assert len(learn_compositions(build_inbox_like(), max_candidates=1)) == 1
+
+
+class TestApplyLearned:
+    def test_writes_annotations(self):
+        g = build_inbox_like()
+        written = apply_learned(g, learn_compositions(g))
+        assert written >= 2
+        chains = Schema(g).compositions()
+        assert (EX.body, EX.creator) in chains
+
+    def test_idempotent(self):
+        g = build_inbox_like()
+        candidates = learn_compositions(g)
+        apply_learned(g, candidates)
+        assert apply_learned(g, candidates) == 0
+
+    def test_learned_chains_reach_the_model(self):
+        """End to end: discovery → annotation → model coordinates."""
+        from repro.vsm import VectorSpaceModel
+
+        g = build_inbox_like()
+        apply_learned(g, learn_compositions(g))
+        model = VectorSpaceModel(g)
+        model.index_items(sorted(g.items_of_type(EX.Mail), key=lambda n: n.n3()))
+        profile = model.profile(EX.m0)
+        paths = {coord.path for coord in profile.tf}
+        assert (EX.body.uri, EX.creator.uri) in paths

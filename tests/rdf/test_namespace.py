@@ -1,0 +1,61 @@
+"""Tests for namespace helpers."""
+
+import pytest
+
+from repro.rdf import Namespace, Resource, split_uri
+
+
+class TestNamespace:
+    def test_attribute_minting(self):
+        ns = Namespace("http://x/")
+        assert ns.thing == Resource("http://x/thing")
+
+    def test_item_minting_escapes(self):
+        ns = Namespace("http://x/")
+        assert ns["apple pie"].uri == "http://x/apple%20pie"
+
+    def test_slash_preserved_in_item(self):
+        ns = Namespace("http://x/")
+        assert ns["a/b"].uri == "http://x/a/b"
+
+    def test_unicode_kept_iri_style(self):
+        ns = Namespace("http://x/")
+        assert ns["café"].uri == "http://x/café"
+
+    def test_punctuation_escaped(self):
+        ns = Namespace("http://x/")
+        assert ns["a&b"].uri == "http://x/a%26b"
+
+
+    def test_term_alias(self):
+        ns = Namespace("http://x/")
+        assert ns.term("y") == ns["y"]
+
+    def test_contains(self):
+        ns = Namespace("http://x/")
+        assert ns.thing in ns
+        assert Resource("http://y/z") not in ns
+
+    def test_equality_and_hash(self):
+        assert Namespace("http://x/") == Namespace("http://x/")
+        assert hash(Namespace("http://x/")) == hash(Namespace("http://x/"))
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_underscore_attribute_raises(self):
+        ns = Namespace("http://x/")
+        with pytest.raises(AttributeError):
+            ns._private
+
+
+class TestSplitUri:
+    def test_hash_split(self):
+        assert split_uri("http://x/ns#frag") == ("http://x/ns#", "frag")
+
+    def test_slash_split(self):
+        assert split_uri("http://x/a/b") == ("http://x/a/", "b")
+
+    def test_no_separator(self):
+        assert split_uri("urn-like") == ("", "urn-like")

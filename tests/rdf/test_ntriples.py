@@ -1,0 +1,121 @@
+"""Tests for N-Triples parsing and serialization."""
+
+import io
+
+import pytest
+
+from repro.rdf import (
+    BlankNode,
+    Graph,
+    Literal,
+    Namespace,
+    NTriplesError,
+    dump,
+    load,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.rdf.terms import XSD_INTEGER
+
+EX = Namespace("http://nt.example/")
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        g = parse_ntriples("<http://nt.example/a> <http://nt.example/p> <http://nt.example/b> .")
+        assert (EX.a, EX.p, EX.b) in g
+
+    def test_plain_literal(self):
+        g = parse_ntriples('<http://x/a> <http://x/p> "hello" .')
+        assert len(g) == 1
+        (_s, _p, o), = g.triples()
+        assert o == Literal("hello")
+
+    def test_typed_literal(self):
+        g = parse_ntriples(
+            f'<http://x/a> <http://x/p> "5"^^<{XSD_INTEGER}> .'
+        )
+        (_s, _p, o), = g.triples()
+        assert o.value == 5
+
+    def test_language_literal(self):
+        g = parse_ntriples('<http://x/a> <http://x/p> "chat"@fr .')
+        (_s, _p, o), = g.triples()
+        assert o.language == "fr"
+
+    def test_blank_node_subject(self):
+        g = parse_ntriples("_:b1 <http://x/p> <http://x/o> .")
+        (s, _p, _o), = g.triples()
+        assert s == BlankNode("b1")
+
+    def test_escapes(self):
+        g = parse_ntriples('<http://x/a> <http://x/p> "tab\\there \\"q\\"" .')
+        (_s, _p, o), = g.triples()
+        assert o.lexical == 'tab\there "q"'
+
+    def test_unicode_escape(self):
+        g = parse_ntriples('<http://x/a> <http://x/p> "\\u00e9" .')
+        (_s, _p, o), = g.triples()
+        assert o.lexical == "é"
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n\n<http://x/a> <http://x/p> <http://x/b> .\n"
+        assert len(parse_ntriples(text)) == 1
+
+    def test_multiple_lines(self):
+        text = (
+            "<http://x/a> <http://x/p> <http://x/b> .\n"
+            '<http://x/a> <http://x/q> "v" .\n'
+        )
+        assert len(parse_ntriples(text)) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            '"literal" <http://x/p> <http://x/o> .',  # literal subject
+            "<http://x/a> _:b <http://x/o> .",  # blank predicate
+            "<http://x/a> <http://x/p> <http://x/o>",  # missing dot
+            "<http://x/a> <http://x/p .",  # unterminated uri
+            '<http://x/a> <http://x/p> "open .',  # unterminated literal
+            '<http://x/a> <http://x/p> "x"^^bad .',  # bad datatype
+            "<http://x/a> <http://x/p> @en .",  # stray token
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_ntriples(bad)
+
+    def test_error_carries_line_number(self):
+        text = "<http://x/a> <http://x/p> <http://x/b> .\nbroken\n"
+        with pytest.raises(NTriplesError) as excinfo:
+            parse_ntriples(text)
+        assert excinfo.value.line_no == 2
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        g = Graph()
+        g.add(EX.a, EX.p, EX.b)
+        g.add(EX.a, EX.q, Literal("hi\nthere"))
+        g.add(EX.a, EX.r, Literal(7))
+        g.add(BlankNode("n"), EX.p, Literal("x", language="en"))
+        again = parse_ntriples(serialize_ntriples(g.triples()))
+        assert again == g
+
+    def test_output_is_sorted(self):
+        g = Graph()
+        g.add(EX.b, EX.p, EX.o)
+        g.add(EX.a, EX.p, EX.o)
+        lines = serialize_ntriples(g.triples()).splitlines()
+        assert lines == sorted(lines)
+
+    def test_empty_graph_serializes_to_empty(self):
+        assert serialize_ntriples([]) == ""
+
+    def test_dump_load_streams(self):
+        g = Graph()
+        g.add(EX.a, EX.p, Literal(1))
+        buffer = io.StringIO()
+        dump(g, buffer)
+        buffer.seek(0)
+        assert load(buffer) == g

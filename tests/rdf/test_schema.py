@@ -1,0 +1,191 @@
+"""Tests for schema annotations and value-type inference."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rdf import (
+    Graph,
+    Literal,
+    Namespace,
+    RDF,
+    Schema,
+    ValueType,
+    infer_value_types,
+)
+
+EX = Namespace("http://sch.example/")
+
+
+@pytest.fixture()
+def schema():
+    return Schema(Graph())
+
+
+class TestLabels:
+    def test_set_and_read(self, schema):
+        schema.set_label(EX.prop, "my property")
+        assert schema.label(EX.prop) == "my property"
+
+    def test_fallback_to_local_name(self, schema):
+        assert schema.label(EX.prop) == "prop"
+
+
+class TestValueTypes:
+    def test_set_and_read(self, schema):
+        schema.set_value_type(EX.area, ValueType.INTEGER)
+        assert schema.value_type(EX.area) == ValueType.INTEGER
+
+    def test_unknown_type_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.set_value_type(EX.area, "complex")
+
+    def test_overwrite_replaces(self, schema):
+        schema.set_value_type(EX.area, ValueType.INTEGER)
+        schema.set_value_type(EX.area, ValueType.FLOAT)
+        assert schema.value_type(EX.area) == ValueType.FLOAT
+        # No stale annotation remains behind.
+        assert len(list(schema.graph.triples(EX.area, None, None))) == 1
+
+    def test_is_continuous(self, schema):
+        schema.set_value_type(EX.when, ValueType.DATE)
+        schema.set_value_type(EX.name, ValueType.TEXT)
+        assert schema.is_continuous(EX.when)
+        assert not schema.is_continuous(EX.name)
+        assert not schema.is_continuous(EX.unannotated)
+
+    def test_continuous_properties_listing(self, schema):
+        schema.set_value_type(EX.when, ValueType.DATE)
+        schema.set_value_type(EX.area, ValueType.INTEGER)
+        schema.set_value_type(EX.name, ValueType.TEXT)
+        assert schema.continuous_properties() == sorted([EX.when, EX.area])
+
+
+class TestHidden:
+    def test_hide_and_check(self, schema):
+        assert not schema.is_hidden(EX.checksum)
+        schema.hide_property(EX.checksum)
+        assert schema.is_hidden(EX.checksum)
+
+    def test_unhide(self, schema):
+        schema.hide_property(EX.checksum)
+        schema.unhide_property(EX.checksum)
+        assert not schema.is_hidden(EX.checksum)
+
+
+class TestCompositions:
+    def test_add_and_list(self, schema):
+        schema.add_composition([EX.author, EX.expertise])
+        assert schema.compositions() == [(EX.author, EX.expertise)]
+
+    def test_three_step_chain(self, schema):
+        schema.add_composition([EX.a, EX.b, EX.c])
+        assert schema.compositions() == [(EX.a, EX.b, EX.c)]
+
+    def test_too_short_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.add_composition([EX.author])
+
+    def test_longest_first_ordering(self, schema):
+        schema.add_composition([EX.a, EX.b])
+        schema.add_composition([EX.a, EX.b, EX.c])
+        chains = schema.compositions()
+        assert chains[0] == (EX.a, EX.b, EX.c)
+
+
+class TestImportantProperties:
+    @pytest.fixture()
+    def graph(self):
+        g = Graph()
+        schema = Schema(g)
+        schema.mark_important(EX.body)
+        for i in range(3):
+            item = EX[f"item{i}"]
+            body = EX[f"body{i}"]
+            g.add(item, EX.body, body)
+            g.add(body, EX.creator, EX.alice)
+            g.add(body, EX.kind, Literal("plain"))
+        return g
+
+    def test_expand_important_derives_second_level(self, graph):
+        chains = Schema(graph).expand_important()
+        assert (EX.body, EX.creator) in chains
+        assert (EX.body, EX.kind) in chains
+
+    def test_expansion_skips_hidden_second_level(self, graph):
+        schema = Schema(graph)
+        schema.hide_property(EX.kind)
+        chains = schema.expand_important()
+        assert (EX.body, EX.kind) not in chains
+
+    def test_effective_combines_declared_and_derived(self, graph):
+        schema = Schema(graph)
+        schema.add_composition([EX.body, EX.creator])  # also derivable
+        chains = schema.effective_compositions()
+        assert chains.count((EX.body, EX.creator)) == 1
+
+    def test_literal_targets_do_not_expand(self):
+        g = Graph()
+        schema = Schema(g)
+        schema.mark_important(EX.title)
+        g.add(EX.item, EX.title, Literal("just text"))
+        assert schema.expand_important() == []
+
+
+class TestInference:
+    def test_integers(self):
+        g = Graph()
+        for i in range(5):
+            g.add(EX[f"i{i}"], EX.area, Literal(i * 100))
+        assert infer_value_types(g)[EX.area] == ValueType.INTEGER
+
+    def test_plain_integer_strings(self):
+        g = Graph()
+        for i in range(5):
+            g.add(EX[f"i{i}"], EX.area, Literal(str(i * 100)))
+        assert infer_value_types(g)[EX.area] == ValueType.INTEGER
+
+    def test_floats(self):
+        g = Graph()
+        for i in range(5):
+            g.add(EX[f"i{i}"], EX.ratio, Literal(f"{i}.5"))
+        assert infer_value_types(g)[EX.ratio] == ValueType.FLOAT
+
+    def test_dates(self):
+        g = Graph()
+        for i in range(1, 6):
+            g.add(EX[f"i{i}"], EX.when, Literal(dt.date(2003, 7, i)))
+        assert infer_value_types(g)[EX.when] == ValueType.DATE
+
+    def test_categorical_strings_become_object(self):
+        g = Graph()
+        birds = ["Cardinal", "Cardinal", "Robin", "Robin", "Cardinal"]
+        for i, bird in enumerate(birds):
+            g.add(EX[f"s{i}"], EX.bird, Literal(bird))
+        assert infer_value_types(g)[EX.bird] == ValueType.OBJECT
+
+    def test_unique_prose_becomes_text(self):
+        g = Graph()
+        for i in range(5):
+            g.add(
+                EX[f"s{i}"],
+                EX.title,
+                Literal(f"a wholly unique descriptive title number {i}"),
+            )
+        assert infer_value_types(g)[EX.title] == ValueType.TEXT
+
+    def test_resources_become_object(self):
+        g = Graph()
+        for i in range(5):
+            g.add(EX[f"s{i}"], EX.tag, EX[f"t{i % 2}"])
+        assert infer_value_types(g)[EX.tag] == ValueType.OBJECT
+
+    def test_mixed_kinds_below_support_skipped(self):
+        g = Graph()
+        g.add(EX.s1, EX.odd, Literal(5))
+        g.add(EX.s2, EX.odd, Literal("text value here"))
+        assert EX.odd not in infer_value_types(g)
+
+    def test_type_and_label_properties_ignored(self, tiny_graph):
+        proposed = infer_value_types(tiny_graph)
+        assert RDF.type not in proposed

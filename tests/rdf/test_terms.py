@@ -1,0 +1,154 @@
+"""Tests for RDF term types."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rdf.terms import (
+    BlankNode,
+    Literal,
+    Resource,
+    coerce_literal,
+)
+from repro.rdf import terms as terms_module
+
+
+class TestResource:
+    def test_equality_is_by_uri(self):
+        assert Resource("http://x/a") == Resource("http://x/a")
+        assert Resource("http://x/a") != Resource("http://x/b")
+
+    def test_hashable_as_dict_key(self):
+        d = {Resource("http://x/a"): 1}
+        assert d[Resource("http://x/a")] == 1
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("")
+
+    def test_immutable(self):
+        r = Resource("http://x/a")
+        with pytest.raises(AttributeError):
+            r.uri = "http://x/b"
+
+    def test_n3_form(self):
+        assert Resource("http://x/a").n3() == "<http://x/a>"
+
+    def test_local_name_after_hash(self):
+        assert Resource("http://x/ns#frag").local_name == "frag"
+
+    def test_local_name_after_slash(self):
+        assert Resource("http://x/path/leaf").local_name == "leaf"
+
+    def test_local_name_fallback(self):
+        assert Resource("urn:isbn").local_name == "urn:isbn"
+
+    def test_ordering(self):
+        assert Resource("http://x/a") < Resource("http://x/b")
+
+
+class TestBlankNode:
+    def test_equality(self):
+        assert BlankNode("b1") == BlankNode("b1")
+        assert BlankNode("b1") != BlankNode("b2")
+
+    def test_not_equal_to_resource(self):
+        assert BlankNode("b1") != Resource("b1")
+
+    def test_n3(self):
+        assert BlankNode("b1").n3() == "_:b1"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            BlankNode("")
+
+
+class TestLiteral:
+    def test_plain_string(self):
+        lit = Literal("hello")
+        assert lit.lexical == "hello"
+        assert lit.datatype is None
+        assert lit.value == "hello"
+
+    def test_int_inference(self):
+        lit = Literal(42)
+        assert lit.datatype == terms_module.XSD_INTEGER
+        assert lit.value == 42
+        assert lit.is_numeric
+
+    def test_float_inference(self):
+        lit = Literal(2.5)
+        assert lit.datatype == terms_module.XSD_DOUBLE
+        assert lit.value == 2.5
+
+    def test_bool_inference(self):
+        assert Literal(True).value is True
+        assert Literal(False).value is False
+
+    def test_bool_not_numeric(self):
+        assert not Literal(True).is_numeric
+
+    def test_date_inference(self):
+        lit = Literal(dt.date(2003, 7, 31))
+        assert lit.is_temporal
+        assert lit.value == dt.date(2003, 7, 31)
+
+    def test_datetime_inference(self):
+        stamp = dt.datetime(2003, 7, 31, 14, 5)
+        lit = Literal(stamp)
+        assert lit.value == stamp
+
+    def test_datatype_and_language_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype="http://t", language="en")
+
+    def test_language_tag(self):
+        lit = Literal("bonjour", language="fr")
+        assert lit.language == "fr"
+        assert lit.n3() == '"bonjour"@fr'
+
+    def test_n3_escapes_quotes_and_newlines(self):
+        lit = Literal('say "hi"\nplease')
+        assert lit.n3() == '"say \\"hi\\"\\nplease"'
+
+    def test_equality_includes_datatype(self):
+        assert Literal("5") != Literal(5)
+        assert Literal(5) == Literal(5)
+
+    def test_as_number_for_int(self):
+        assert Literal(5).as_number() == 5.0
+
+    def test_as_number_for_date_is_ordinal(self):
+        lit = Literal(dt.date(2003, 7, 31))
+        assert lit.as_number() == float(dt.date(2003, 7, 31).toordinal())
+
+    def test_as_number_dates_one_day_apart(self):
+        a = Literal(dt.date(2003, 7, 31)).as_number()
+        b = Literal(dt.date(2003, 8, 1)).as_number()
+        assert b - a == 1.0
+
+    def test_as_number_parses_plain_numeric_string(self):
+        assert Literal("3.5").as_number() == 3.5
+
+    def test_as_number_none_for_prose(self):
+        assert Literal("parsley").as_number() is None
+
+    def test_sort_numeric_before_lexical_order(self):
+        assert Literal(2) < Literal(10)  # numeric, not lexicographic
+        assert Literal("abc") < Literal("abd")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            Literal(object())
+
+
+class TestCoerceLiteral:
+    def test_passthrough(self):
+        lit = Literal("x")
+        assert coerce_literal(lit) is lit
+
+    def test_string(self):
+        assert coerce_literal("x") == Literal("x")
+
+    def test_int(self):
+        assert coerce_literal(3) == Literal(3)

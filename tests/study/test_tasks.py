@@ -1,0 +1,88 @@
+"""Tests for the task judges (§6.3 success criteria)."""
+
+import pytest
+
+from repro.study import RecipeJudge
+
+
+@pytest.fixture(scope="module")
+def judge(recipe_corpus):
+    return RecipeJudge(recipe_corpus)
+
+
+class TestTask1Criteria:
+    def test_target_has_nuts(self, judge):
+        assert judge.has_nuts(judge.target)
+
+    def test_target_never_satisfies_itself(self, judge):
+        assert not judge.satisfies_task1(judge.target)
+
+    def test_nut_free_related_recipe_satisfies(self, judge, recipe_corpus):
+        satisfying = [
+            r for r in recipe_corpus.items if judge.satisfies_task1(r)
+        ]
+        assert satisfying, "corpus must contain valid task-1 answers"
+        for recipe in satisfying[:5]:
+            assert not judge.has_nuts(recipe)
+            assert judge.is_related_to_target(recipe)
+
+    def test_nutty_related_recipe_fails(self, judge, recipe_corpus):
+        nutty_related = [
+            r
+            for r in recipe_corpus.items
+            if judge.is_related_to_target(r) and judge.has_nuts(r)
+        ]
+        for recipe in nutty_related[:5]:
+            assert not judge.satisfies_task1(recipe)
+
+    def test_related_means_shared_cuisine_or_course(self, judge, recipe_corpus):
+        unrelated = [
+            r
+            for r in recipe_corpus.items
+            if r != judge.target and not judge.is_related_to_target(r)
+        ]
+        for recipe in unrelated[:5]:
+            assert judge.cuisine_of(recipe) != judge.cuisine_of(judge.target)
+            assert not (
+                judge.courses_of(recipe) & judge.courses_of(judge.target)
+            )
+
+
+class TestTask2Criteria:
+    def test_mexican_required(self, judge, recipe_corpus):
+        for recipe in recipe_corpus.items[:20]:
+            if judge.satisfies_task2(recipe):
+                assert judge.is_mexican(recipe)
+
+    def test_menu_slots_cover_study_courses(self, judge, recipe_corpus):
+        slots = {
+            judge.menu_course_slot(r)
+            for r in recipe_corpus.items
+            if judge.is_mexican(r)
+        }
+        assert {"starter", "meal"} <= slots
+
+    def test_soup_and_appetizer_share_slot(self, judge, recipe_corpus):
+        props = judge.props
+        soup = judge.courses["Soup"]
+        appetizer = judge.courses["Appetizer"]
+        g = recipe_corpus.graph
+        soups = list(g.subjects(props["course"], soup))
+        apps = list(g.subjects(props["course"], appetizer))
+        if soups:
+            assert judge.menu_course_slot(soups[0]) == "starter"
+        if apps:
+            assert judge.menu_course_slot(apps[0]) == "starter"
+
+    def test_uses_favorite(self, judge, recipe_corpus):
+        props = judge.props
+        g = recipe_corpus.graph
+        recipe = recipe_corpus.items[0]
+        first_ing = next(iter(g.objects(recipe, props["ingredient"])))
+        name = next(
+            name
+            for name, res in recipe_corpus.extras["ingredients"].items()
+            if res == first_ing
+        )
+        assert judge.uses_favorite(recipe, [name])
+        assert not judge.uses_favorite(recipe, ["nonexistent thing"])

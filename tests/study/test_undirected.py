@@ -1,0 +1,72 @@
+"""Tests for the undirected browse tasks (§6.3's first and last tasks)."""
+
+import random
+
+import pytest
+
+from repro.datasets import recipes
+from repro.study import (
+    SYSTEM_BASELINE,
+    SYSTEM_COMPLETE,
+    StudyRunner,
+    sample_users,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return StudyRunner(recipes.build_corpus(n_recipes=200, seed=7))
+
+
+def run_cohort(runner, system, n=6, seed=31):
+    outcomes = []
+    for user in sample_users(n, seed=seed):
+        user.rng = random.Random(user.user_id * 7)
+        outcomes.append(runner.run_undirected(user, system))
+    return outcomes
+
+
+class TestUndirected:
+    def test_runs_within_patience(self, runner):
+        for outcome in run_cohort(runner, SYSTEM_COMPLETE):
+            # the last action may overshoot by a couple of bookkeeping steps
+            assert outcome.steps_used <= 35
+
+    def test_bookmarks_are_favorite_recipes(self, runner):
+        users = sample_users(6, seed=31)
+        for user in users:
+            user.rng = random.Random(user.user_id * 7)
+            outcome = runner.run_undirected(user, SYSTEM_COMPLETE)
+            for recipe in outcome.found:
+                assert runner.judge.uses_favorite(recipe, user.favorites)
+
+    def test_complete_system_features_exercised(self, runner):
+        """'Users seemed to not have problems using the extra features'
+        during undirected browsing — the extras actually get used."""
+        features = set()
+        for outcome in run_cohort(runner, SYSTEM_COMPLETE, n=8):
+            features |= outcome.features_used
+        extras = {
+            "similar-by-content-item",
+            "similar-by-content-collection",
+            "sharing-a-property",
+            "contrary-constraints",
+        }
+        assert features & extras
+
+    def test_baseline_never_uses_extras(self, runner):
+        features = set()
+        for outcome in run_cohort(runner, SYSTEM_BASELINE, n=8):
+            features |= outcome.features_used
+        assert "similar-by-content-item" not in features
+        assert "contrary-constraints" not in features
+
+    def test_deterministic_given_rng(self, runner):
+        user_a = sample_users(1, seed=31)[0]
+        user_a.rng = random.Random(99)
+        first = runner.run_undirected(user_a, SYSTEM_COMPLETE)
+        user_b = sample_users(1, seed=31)[0]
+        user_b.rng = random.Random(99)
+        second = runner.run_undirected(user_b, SYSTEM_COMPLETE)
+        assert first.found == second.found
+        assert first.features_used == second.features_used

@@ -1,0 +1,38 @@
+"""Tests for the simulated cohort."""
+
+from repro.study import sample_users
+
+
+class TestSampleUsers:
+    def test_cohort_size(self):
+        assert len(sample_users(18, seed=23)) == 18
+
+    def test_deterministic(self):
+        a = sample_users(5, seed=23)
+        b = sample_users(5, seed=23)
+        assert [u.patience for u in a] == [u.patience for u in b]
+        assert [u.favorites for u in a] == [u.favorites for u in b]
+
+    def test_seed_changes_cohort(self):
+        a = sample_users(10, seed=1)
+        b = sample_users(10, seed=2)
+        assert [u.patience for u in a] != [u.patience for u in b]
+
+    def test_trait_ranges(self):
+        for user in sample_users(50, seed=5):
+            assert 12 <= user.patience <= 22
+            assert 0.0 < user.capture_error_rate < 1.0
+            assert 0.0 < user.negation_skill < 1.0
+            assert 0.0 < user.rescue_willingness <= 1.0
+            assert len(user.favorites) == 3
+
+    def test_unique_ids(self):
+        ids = [u.user_id for u in sample_users(18, seed=23)]
+        assert ids == list(range(1, 19))
+
+    def test_favorites_are_real_ingredients(self):
+        from repro.datasets import recipes
+
+        names = {name for name, _g in recipes.ingredient_catalog()}
+        for user in sample_users(18, seed=23):
+            assert set(user.favorites) <= names

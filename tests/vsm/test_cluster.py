@@ -1,0 +1,125 @@
+"""Tests for Scatter/Gather-style clustering."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.vsm import VectorSpaceModel, cluster_collection
+
+EX = Namespace("http://cl.example/")
+
+
+@pytest.fixture()
+def model():
+    """Two clearly separated topical groups plus one hybrid."""
+    g = Graph()
+    specs = [
+        ("s1", [EX.apple, EX.honey], "sweet tart dessert"),
+        ("s2", [EX.apple, EX.sugar], "sweet pie dessert"),
+        ("s3", [EX.honey, EX.sugar], "sweet cake dessert"),
+        ("v1", [EX.beef, EX.onion], "savory stew dinner"),
+        ("v2", [EX.beef, EX.carrot], "savory soup dinner"),
+        ("v3", [EX.onion, EX.carrot], "savory roast dinner"),
+        ("h1", [EX.apple, EX.beef], "odd hybrid plate"),
+    ]
+    for name, ings, text in specs:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Dish)
+        for ing in ings:
+            g.add(item, EX.ingredient, ing)
+        g.add(item, EX.title, Literal(text))
+    m = VectorSpaceModel(g)
+    m.index_items([EX[name] for name, _i, _t in specs])
+    return m
+
+
+class TestClusterCollection:
+    def test_separates_topical_groups(self, model):
+        clusters = cluster_collection(model, model.items, k=2)
+        assert len(clusters) == 2
+        memberships = [set(c.items) for c in clusters]
+        sweet = {EX.s1, EX.s2, EX.s3}
+        savory = {EX.v1, EX.v2, EX.v3}
+        assert any(sweet <= m for m in memberships)
+        assert any(savory <= m for m in memberships)
+
+    def test_every_item_assigned_once(self, model):
+        clusters = cluster_collection(model, model.items, k=3)
+        seen = [item for c in clusters for item in c.items]
+        assert sorted(seen, key=lambda n: n.n3()) == sorted(
+            model.items, key=lambda n: n.n3()
+        )
+
+    def test_deterministic(self, model):
+        a = cluster_collection(model, model.items, k=3)
+        b = cluster_collection(model, model.items, k=3)
+        assert [c.items for c in a] == [c.items for c in b]
+
+    def test_k_clamped_to_items(self, model):
+        clusters = cluster_collection(model, [EX.s1, EX.s2], k=10)
+        assert len(clusters) <= 2
+
+    def test_k_validation(self, model):
+        with pytest.raises(ValueError):
+            cluster_collection(model, model.items, k=0)
+
+    def test_unindexed_items_ignored(self, model):
+        clusters = cluster_collection(model, [EX.s1, EX.ghost], k=1)
+        assert clusters[0].items == [EX.s1]
+
+    def test_empty_input(self, model):
+        assert cluster_collection(model, [], k=3) == []
+
+    def test_largest_first(self, model):
+        clusters = cluster_collection(model, model.items, k=3)
+        sizes = [len(c) for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_labels_are_thematic(self, model):
+        clusters = cluster_collection(model, model.items, k=2)
+        labels = " ".join(c.label(5) for c in clusters).lower()
+        themes = {"honey", "sugar", "dessert", "sweet",
+                  "beef", "onion", "carrot", "dinner"}
+        assert any(theme in labels for theme in themes)
+
+
+class TestScatterGatherAnalyst:
+    def test_posts_cluster_suggestions(self, model):
+        from repro.core import Blackboard, View, Workspace
+        from repro.core.analysts import ScatterGatherAnalyst
+
+        workspace = Workspace(model.graph)
+        view = View.of_collection(workspace, workspace.items)
+        analyst = ScatterGatherAnalyst(k=2, min_items=3)
+        assert analyst.triggers_on(view)
+        board = Blackboard()
+        analyst.analyze(view, board)
+        titles = [s.title for s in board.entries]
+        assert titles and all(t.startswith("Cluster:") for t in titles)
+
+    def test_selecting_a_cluster_gathers(self, model):
+        from repro.browser import Session
+        from repro.core import NavigationEngine, Workspace, standard_analysts
+        from repro.core.analysts import ScatterGatherAnalyst
+
+        workspace = Workspace(model.graph)
+        engine = NavigationEngine(
+            analysts=standard_analysts() + [ScatterGatherAnalyst(k=2, min_items=3)]
+        )
+        session = Session(workspace, engine=engine)
+        session.go_collection(workspace.items, "all dishes")
+        clusters = [
+            s
+            for s in session.suggestions().blackboard.entries
+            if s.analyst == "scatter-gather"
+        ]
+        assert clusters
+        view = session.select(clusters[0])
+        assert 0 < len(view.items) < len(workspace.items)
+
+    def test_small_collections_skipped(self, model):
+        from repro.core import View, Workspace
+        from repro.core.analysts import ScatterGatherAnalyst
+
+        workspace = Workspace(model.graph)
+        view = View.of_collection(workspace, workspace.items[:2])
+        assert not ScatterGatherAnalyst(min_items=8).triggers_on(view)

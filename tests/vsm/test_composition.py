@@ -1,0 +1,85 @@
+"""Tests for attribute-composition traversal."""
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.vsm import compose_values, reachable_frontier
+
+EX = Namespace("http://c.example/")
+
+
+def build():
+    g = Graph()
+    g.add(EX.paper, EX.author, EX.alice)
+    g.add(EX.paper, EX.author, EX.bob)
+    g.add(EX.alice, EX.expertise, EX.ir)
+    g.add(EX.alice, EX.advisor, EX.carol)
+    g.add(EX.bob, EX.expertise, EX.db)
+    g.add(EX.carol, EX.expertise, EX.hci)
+    return g
+
+
+class TestComposeValues:
+    def test_single_step(self):
+        g = build()
+        assert compose_values(g, EX.paper, [EX.author]) == sorted(
+            [EX.alice, EX.bob], key=lambda n: n.n3()
+        )
+
+    def test_two_step_union_over_authors(self):
+        g = build()
+        values = compose_values(g, EX.paper, [EX.author, EX.expertise])
+        assert set(values) == {EX.ir, EX.db}
+
+    def test_three_step(self):
+        g = build()
+        values = compose_values(
+            g, EX.paper, [EX.author, EX.advisor, EX.expertise]
+        )
+        assert values == [EX.hci]
+
+    def test_missing_link_is_empty(self):
+        g = build()
+        assert compose_values(g, EX.paper, [EX.missing, EX.expertise]) == []
+
+    def test_empty_chain(self):
+        assert compose_values(build(), EX.paper, []) == []
+
+    def test_literal_intermediates_not_traversed(self):
+        g = Graph()
+        g.add(EX.a, EX.p, Literal("leaf"))
+        assert compose_values(g, EX.a, [EX.p, EX.q]) == []
+
+    def test_cycle_terminates(self):
+        """Semistructured graphs may contain cycles (§6.2)."""
+        g = Graph()
+        g.add(EX.a, EX.next, EX.b)
+        g.add(EX.b, EX.next, EX.a)
+        g.add(EX.a, EX.name, Literal("A"))
+        g.add(EX.b, EX.name, Literal("B"))
+        values = compose_values(g, EX.a, [EX.next, EX.next, EX.name])
+        # b -> a, and a was already visited, so the frontier dies.
+        assert values == []
+
+    def test_diamond_deduplicates(self):
+        g = Graph()
+        g.add(EX.root, EX.p, EX.m1)
+        g.add(EX.root, EX.p, EX.m2)
+        g.add(EX.m1, EX.q, EX.leaf)
+        g.add(EX.m2, EX.q, EX.leaf)
+        assert compose_values(g, EX.root, [EX.p, EX.q]) == [EX.leaf]
+
+    def test_deterministic_order(self):
+        g = build()
+        first = compose_values(g, EX.paper, [EX.author, EX.expertise])
+        second = compose_values(g, EX.paper, [EX.author, EX.expertise])
+        assert first == second == sorted(first, key=lambda n: n.n3())
+
+
+class TestReachableFrontier:
+    def test_frontier_is_intermediate_nodes(self):
+        g = build()
+        frontier = reachable_frontier(g, EX.paper, [EX.author])
+        assert set(frontier) == {EX.alice, EX.bob}
+
+    def test_empty_when_chain_breaks(self):
+        g = build()
+        assert reachable_frontier(g, EX.paper, [EX.missing]) == []

@@ -1,0 +1,117 @@
+"""Tests for Rocchio relevance feedback."""
+
+import math
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.vsm import FeedbackSession, SparseVector, VectorSpaceModel, rocchio
+
+EX = Namespace("http://fb.example/")
+
+
+def vec(**entries):
+    return SparseVector(entries)
+
+
+class TestRocchio:
+    def test_pure_query_passthrough(self):
+        q = vec(a=1.0).normalized()
+        assert rocchio(q, [], []) == q
+
+    def test_relevant_pulls_query(self):
+        q = vec(a=1.0)
+        updated = rocchio(q, [vec(b=1.0)])
+        assert updated["b"] > 0.0
+        assert updated["a"] > 0.0
+
+    def test_non_relevant_pushes_away(self):
+        q = vec(a=1.0, b=0.2)
+        updated = rocchio(q, [], [vec(b=1.0)])
+        assert updated["b"] < 0.2
+
+    def test_negative_weights_clipped(self):
+        q = vec(a=1.0)
+        updated = rocchio(q, [], [vec(b=1.0)], gamma=2.0)
+        assert updated["b"] == 0.0
+
+    def test_result_unit_length(self):
+        updated = rocchio(vec(a=1.0), [vec(b=1.0)], [vec(c=1.0)])
+        assert math.isclose(updated.norm(), 1.0)
+
+    def test_zero_everything(self):
+        assert len(rocchio(SparseVector(), [], [])) == 0
+
+    def test_beta_strengthens_feedback(self):
+        q = vec(a=1.0)
+        weak = rocchio(q, [vec(b=1.0)], beta=0.1)
+        strong = rocchio(q, [vec(b=1.0)], beta=2.0)
+        assert strong["b"] > weak["b"]
+
+
+@pytest.fixture()
+def model():
+    g = Graph()
+    for name, ings, words in [
+        ("r1", [EX.apple, EX.honey], "sweet tart"),
+        ("r2", [EX.apple, EX.flour], "sweet bread"),
+        ("r3", [EX.beef, EX.onion], "savory stew"),
+        ("r4", [EX.beef, EX.carrot], "savory soup"),
+        ("r5", [EX.apple, EX.beef], "odd mix"),
+    ]:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Recipe)
+        for ing in ings:
+            g.add(item, EX.ingredient, ing)
+        g.add(item, EX.title, Literal(words))
+    m = VectorSpaceModel(g)
+    m.index_items([EX[f"r{i}"] for i in range(1, 6)])
+    return m
+
+
+class TestFeedbackSession:
+    def test_mark_relevant_shifts_query(self, model):
+        session = FeedbackSession(model)
+        session.mark_relevant(EX.r1)
+        query = session.query_vector()
+        assert query.dot(model.vector(EX.r2)) > query.dot(model.vector(EX.r3))
+
+    def test_mark_non_relevant_pushes_away(self, model):
+        session = FeedbackSession(model)
+        session.mark_relevant(EX.r5)          # apple + beef
+        session.mark_non_relevant(EX.r3)      # beef-savory
+        query = session.query_vector()
+        # beef got demoted; apple recipes should outrank beef recipes
+        assert query.dot(model.vector(EX.r1)) > query.dot(model.vector(EX.r4))
+
+    def test_remark_flips_judgment(self, model):
+        session = FeedbackSession(model)
+        session.mark_relevant(EX.r1)
+        session.mark_non_relevant(EX.r1)
+        assert session.relevant == []
+        assert session.non_relevant == [EX.r1]
+
+    def test_duplicate_marks_ignored(self, model):
+        session = FeedbackSession(model)
+        session.mark_relevant(EX.r1)
+        session.mark_relevant(EX.r1)
+        assert session.relevant == [EX.r1]
+
+    def test_unindexed_item_rejected(self, model):
+        session = FeedbackSession(model)
+        with pytest.raises(KeyError):
+            session.mark_relevant(EX.ghost)
+
+    def test_judged_set(self, model):
+        session = FeedbackSession(model)
+        session.mark_relevant(EX.r1)
+        session.mark_non_relevant(EX.r3)
+        assert session.judged() == {EX.r1, EX.r3}
+
+    def test_initial_query_retained(self, model):
+        initial = model.text_vector("sweet")
+        session = FeedbackSession(model, initial)
+        session.mark_relevant(EX.r3)
+        query = session.query_vector()
+        # the original 'sweet' signal is still present
+        assert any(coord.token == "sweet" for coord in query)

@@ -1,0 +1,84 @@
+"""Tests for the unit-circle numeric encoding (§5.4)."""
+
+import math
+
+import pytest
+
+from repro.vsm import NumericRange, encode_unit_circle, unit_circle_similarity
+
+
+@pytest.fixture()
+def value_range():
+    r = NumericRange()
+    for v in [0.0, 50.0, 100.0]:
+        r.observe(v)
+    return r
+
+
+class TestNumericRange:
+    def test_empty(self):
+        r = NumericRange()
+        assert r.is_empty
+        assert r.fraction(5.0) == 0.5
+
+    def test_observe_tracks_bounds(self, value_range):
+        assert value_range.low == 0.0
+        assert value_range.high == 100.0
+        assert value_range.count == 3
+
+    def test_fraction_interpolates(self, value_range):
+        assert value_range.fraction(25.0) == 0.25
+
+    def test_fraction_clamps(self, value_range):
+        assert value_range.fraction(-10.0) == 0.0
+        assert value_range.fraction(200.0) == 1.0
+
+    def test_degenerate_range(self):
+        r = NumericRange()
+        r.observe(7.0)
+        assert r.fraction(7.0) == 0.5
+
+
+class TestEncoding:
+    def test_all_encodings_have_unit_norm(self, value_range):
+        """'All values have the same norm' — the whole point of §5.4."""
+        for v in [0.0, 13.0, 50.0, 99.0, 100.0]:
+            cos_part, sin_part = encode_unit_circle(v, value_range)
+            assert math.isclose(cos_part**2 + sin_part**2, 1.0)
+
+    def test_low_maps_to_angle_zero(self, value_range):
+        assert encode_unit_circle(0.0, value_range) == pytest.approx((1.0, 0.0))
+
+    def test_high_maps_to_quarter_turn(self, value_range):
+        cos_part, sin_part = encode_unit_circle(100.0, value_range)
+        assert cos_part == pytest.approx(0.0, abs=1e-12)
+        assert sin_part == pytest.approx(1.0)
+
+    def test_first_quadrant_only(self, value_range):
+        for v in range(0, 101, 10):
+            cos_part, sin_part = encode_unit_circle(float(v), value_range)
+            assert cos_part >= -1e-12 and sin_part >= -1e-12
+
+
+class TestSimilarity:
+    def test_equal_values_similarity_one(self, value_range):
+        assert unit_circle_similarity(42.0, 42.0, value_range) == pytest.approx(1.0)
+
+    def test_extremes_orthogonal(self, value_range):
+        assert unit_circle_similarity(0.0, 100.0, value_range) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_nearby_values_similar(self, value_range):
+        """E-mails a day apart should be close, not just unequal (§5.4)."""
+        near = unit_circle_similarity(50.0, 51.0, value_range)
+        far = unit_circle_similarity(50.0, 95.0, value_range)
+        assert near > 0.99
+        assert near > far
+
+    def test_monotone_decay_with_distance(self, value_range):
+        sims = [
+            unit_circle_similarity(0.0, float(v), value_range)
+            for v in (0, 25, 50, 75, 100)
+        ]
+        assert sims == sorted(sims, reverse=True)

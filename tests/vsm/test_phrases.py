@@ -1,0 +1,116 @@
+"""Tests for multi-word phrase coordinates (§5.1 extension)."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.vsm import PhraseSet, VectorSpaceModel, learn_phrases
+from repro.vsm.phrases import KIND_PHRASE
+
+EX = Namespace("http://pz.example/")
+
+
+def build_graph():
+    g = Graph()
+    docs = [
+        ("d1", "olive oil with sea salt"),
+        ("d2", "olive oil and lemon"),
+        ("d3", "olive oil dressing base"),
+        ("d4", "plain butter only here"),
+        ("d5", "sea salt crust again"),
+        ("d6", "sea salt and vinegar"),
+    ]
+    for name, text in docs:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.body, Literal(text))
+    return g, [EX[name] for name, _t in docs]
+
+
+class TestLearnPhrases:
+    def test_frequent_bigrams_found(self):
+        g, items = build_graph()
+        phrases = learn_phrases(g, items, min_count=3)
+        stems = list(phrases)
+        assert ("oliv", "oil") in stems
+        assert ("sea", "salt") in stems
+
+    def test_rare_bigrams_excluded(self):
+        g, items = build_graph()
+        phrases = learn_phrases(g, items, min_count=3)
+        assert ("plain", "butter") not in phrases
+
+    def test_max_phrases_cap(self):
+        g, items = build_graph()
+        phrases = learn_phrases(g, items, min_count=1, max_phrases=2)
+        assert len(phrases) == 2
+
+    def test_empty_corpus(self):
+        assert len(learn_phrases(Graph(), [])) == 0
+
+
+class TestPhraseSet:
+    def test_spotting(self):
+        phrases = PhraseSet([("oliv", "oil")])
+        assert phrases.spot(["oliv", "oil", "lemon"]) == ["oliv oil"]
+
+    def test_spotting_multiple_occurrences(self):
+        phrases = PhraseSet([("a", "b")])
+        assert phrases.spot(["a", "b", "a", "b"]) == ["a b", "a b"]
+
+    def test_no_match(self):
+        assert PhraseSet([("x", "y")]).spot(["a", "b"]) == []
+
+
+class TestModelIntegration:
+    def test_phrase_coordinates_added(self):
+        g, items = build_graph()
+        phrases = learn_phrases(g, items, min_count=3)
+        model = VectorSpaceModel(g, phrases=phrases)
+        model.index_items(items)
+        kinds = {c.kind for c in model.profile(EX.d1).tf}
+        assert KIND_PHRASE in kinds
+
+    def test_words_still_present(self):
+        g, items = build_graph()
+        phrases = learn_phrases(g, items, min_count=3)
+        model = VectorSpaceModel(g, phrases=phrases)
+        model.index_items(items)
+        tokens = {
+            c.token for c in model.profile(EX.d1).tf if c.kind == "word"
+        }
+        assert "oliv" in tokens and "oil" in tokens
+
+    def test_phrases_sharpen_similarity(self):
+        """Docs sharing the phrase beat docs sharing only its words."""
+        g = Graph()
+        texts = {
+            "a": "olive oil dressing",
+            "b": "olive oil vinaigrette",
+            # shares both words with a, but never adjacent:
+            "c": "oil lamp and olive tree",
+            "filler": "totally unrelated words",
+        }
+        for name, text in texts.items():
+            item = EX[name]
+            g.add(item, RDF.type, EX.Doc)
+            g.add(item, EX.body, Literal(text))
+        items = [EX[n] for n in texts]
+        phrases = PhraseSet([("oliv", "oil")])
+        with_model = VectorSpaceModel(g, phrases=phrases)
+        with_model.index_items(items)
+        without_model = VectorSpaceModel(g)
+        without_model.index_items(items)
+        gain_with = with_model.similarity(EX.a, EX.b) - with_model.similarity(
+            EX.a, EX.c
+        )
+        gain_without = without_model.similarity(
+            EX.a, EX.b
+        ) - without_model.similarity(EX.a, EX.c)
+        assert gain_with > gain_without
+
+    def test_no_phrases_by_default(self):
+        g, items = build_graph()
+        model = VectorSpaceModel(g)
+        model.index_items(items)
+        kinds = {c.kind for c in model.profile(EX.d1).tf}
+        assert KIND_PHRASE not in kinds

@@ -1,0 +1,69 @@
+"""Tests for the text-analysis chain."""
+
+from repro.vsm import Analyzer, analyze, default_analyzer, tokenize
+from repro.vsm.stopwords import STOP_WORDS, is_stop_word
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert list(tokenize("Apple Pie")) == ["apple", "pie"]
+
+    def test_strips_punctuation(self):
+        assert list(tokenize("heat, stir; serve!")) == ["heat", "stir", "serve"]
+
+    def test_numbers_kept(self):
+        assert list(tokenize("350 degrees")) == ["350", "degrees"]
+
+    def test_apostrophes_kept_inside_words(self):
+        assert list(tokenize("chef's knife")) == ["chef's", "knife"]
+
+    def test_empty_text(self):
+        assert list(tokenize("")) == []
+
+
+class TestStopWords:
+    def test_common_words_flagged(self):
+        assert is_stop_word("the")
+        assert is_stop_word("and")
+
+    def test_content_words_pass(self):
+        assert not is_stop_word("butter")
+
+    def test_list_is_lowercase(self):
+        assert all(w == w.lower() for w in STOP_WORDS)
+
+
+class TestAnalyzer:
+    def test_default_chain_stems_and_stops(self):
+        tokens = analyze("The cats are running")
+        assert tokens == ["cat", "run"]
+
+    def test_stop_words_disabled(self):
+        analyzer = Analyzer(stop_words=None)
+        assert "the" in list(analyzer.tokens("the cat"))
+
+    def test_stemming_disabled(self):
+        analyzer = Analyzer(stemmer=None)
+        assert list(analyzer.tokens("running cats")) == ["running", "cats"]
+
+    def test_counts(self):
+        counts = default_analyzer().counts("butter butter bitter")
+        assert counts[default_analyzer().stem_token("butter")] == 2
+
+    def test_min_length_filter(self):
+        analyzer = Analyzer(min_length=3)
+        assert "ab" not in list(analyzer.tokens("ab abc"))
+
+    def test_stem_cache_consistent(self):
+        analyzer = Analyzer()
+        assert analyzer.stem_token("running") == analyzer.stem_token("running")
+
+    def test_betty_example_from_paper(self):
+        """§5's 'Betty bought some butter, but the butter was bitter'."""
+        counts = Analyzer(stemmer=None).counts(
+            "Betty bought some butter, but the butter was bitter"
+        )
+        # stop words removed; butter appears twice
+        assert counts["butter"] == 2
+        assert counts["betty"] == 1  # unstemmed surface form
+        assert "the" not in counts

@@ -1,0 +1,122 @@
+"""Tests for sparse vectors and coordinates."""
+
+import math
+
+import pytest
+
+from repro.vsm import (
+    Coord,
+    KIND_NUM_COS,
+    KIND_OBJECT,
+    KIND_WORD,
+    SparseVector,
+)
+
+
+def vec(**entries):
+    return SparseVector(entries)
+
+
+class TestCoord:
+    def test_is_hashable(self):
+        c = Coord(("p",), KIND_OBJECT, "v")
+        assert {c: 1}[Coord(("p",), KIND_OBJECT, "v")] == 1
+
+    def test_describe_object(self):
+        c = Coord(("http://x/ingredient",), KIND_OBJECT, "http://x/apple")
+        assert c.describe() == "ingredient=APPLE"
+
+    def test_describe_word(self):
+        c = Coord(("http://x/title",), KIND_WORD, "appl")
+        assert c.describe() == "title=appl"
+
+    def test_describe_numeric(self):
+        c = Coord(("http://x/serves",), KIND_NUM_COS, "")
+        assert "num-cos" in c.describe()
+
+    def test_describe_composed_path(self):
+        c = Coord(("http://x/body", "http://x/creator"), KIND_OBJECT, "http://x/al")
+        assert c.describe() == "body.creator=AL"
+
+
+class TestSparseVector:
+    def test_empty(self):
+        v = SparseVector()
+        assert len(v) == 0
+        assert v.norm() == 0.0
+
+    def test_zero_weights_dropped(self):
+        v = SparseVector({"a": 0.0, "b": 1.0})
+        assert "a" not in v
+        assert len(v) == 1
+
+    def test_duplicate_keys_in_pairs_accumulate(self):
+        v = SparseVector([("a", 1.0), ("a", 2.0)])
+        assert v["a"] == 3.0
+
+    def test_getitem_missing_is_zero(self):
+        assert vec(a=1.0)["zzz"] == 0.0
+
+    def test_set_and_increment(self):
+        v = SparseVector()
+        v.set("a", 2.0)
+        v.increment("a", -2.0)
+        assert "a" not in v
+
+    def test_dot_product(self):
+        assert vec(a=1.0, b=2.0).dot(vec(b=3.0, c=4.0)) == 6.0
+
+    def test_dot_symmetric(self):
+        u, w = vec(a=1.0, b=2.0), vec(b=3.0, c=4.0, d=1.0)
+        assert u.dot(w) == w.dot(u)
+
+    def test_norm(self):
+        assert vec(a=3.0, b=4.0).norm() == 5.0
+
+    def test_normalized_unit_length(self):
+        n = vec(a=3.0, b=4.0).normalized()
+        assert math.isclose(n.norm(), 1.0)
+        assert math.isclose(n["a"], 0.6)
+
+    def test_normalized_zero_vector(self):
+        assert SparseVector().normalized() == SparseVector()
+
+    def test_cosine_identical_is_one(self):
+        v = vec(a=1.0, b=2.0)
+        assert math.isclose(v.cosine(v), 1.0)
+
+    def test_cosine_orthogonal_is_zero(self):
+        assert vec(a=1.0).cosine(vec(b=1.0)) == 0.0
+
+    def test_cosine_with_zero_vector(self):
+        assert vec(a=1.0).cosine(SparseVector()) == 0.0
+
+    def test_scaling(self):
+        assert vec(a=2.0).scaled(0.5)["a"] == 1.0
+
+    def test_scale_by_zero_empties(self):
+        assert len(vec(a=2.0).scaled(0.0)) == 0
+
+    def test_addition(self):
+        total = vec(a=1.0) + vec(a=2.0, b=1.0)
+        assert total["a"] == 3.0 and total["b"] == 1.0
+
+    def test_subtraction_cancels(self):
+        diff = vec(a=1.0, b=1.0) - vec(b=1.0)
+        assert "b" not in diff
+
+    def test_centroid_is_normalized_sum(self):
+        c = SparseVector.centroid([vec(a=1.0), vec(b=1.0)])
+        assert math.isclose(c.norm(), 1.0)
+        assert math.isclose(c["a"], c["b"])
+
+    def test_centroid_of_nothing(self):
+        assert len(SparseVector.centroid([])) == 0
+
+    def test_top_n_deterministic(self):
+        v = vec(a=1.0, b=3.0, c=2.0)
+        assert [k for k, _w in v.top(2)] == ["b", "c"]
+
+    def test_equality(self):
+        assert vec(a=1.0) == vec(a=1.0)
+        assert vec(a=1.0) != vec(a=2.0)

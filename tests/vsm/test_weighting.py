@@ -1,0 +1,81 @@
+"""Tests for tf.idf weighting and corpus statistics (§5.2)."""
+
+import math
+
+import pytest
+
+from repro.vsm import CorpusStats, idf, term_weight
+
+
+class TestIdf:
+    def test_formula(self):
+        assert idf(100, 10) == pytest.approx(math.log(10))
+
+    def test_term_in_every_doc_is_zero(self):
+        """Ubiquitous attribute values are ignored (§5.2)."""
+        assert idf(100, 100) == 0.0
+
+    def test_unseen_term_is_zero(self):
+        assert idf(100, 0) == 0.0
+
+    def test_empty_corpus_is_zero(self):
+        assert idf(0, 0) == 0.0
+
+    def test_rarer_terms_weigh_more(self):
+        assert idf(100, 1) > idf(100, 50)
+
+
+class TestTermWeight:
+    def test_paper_formula(self):
+        expected = math.log(3.0 + 1.0) * math.log(100 / 10)
+        assert term_weight(3.0, 100, 10) == pytest.approx(expected)
+
+    def test_zero_frequency(self):
+        assert term_weight(0.0, 100, 10) == 0.0
+
+    def test_log_damping_of_frequency(self):
+        w1 = term_weight(1.0, 100, 10)
+        w10 = term_weight(10.0, 100, 10)
+        assert w10 < 10 * w1  # sub-linear in frequency
+
+
+class TestCorpusStats:
+    def test_add_document(self):
+        stats = CorpusStats()
+        stats.add_document(["a", "b"])
+        stats.add_document(["b"])
+        assert stats.num_docs == 2
+        assert stats.doc_frequency("a") == 1
+        assert stats.doc_frequency("b") == 2
+
+    def test_remove_document(self):
+        stats = CorpusStats()
+        stats.add_document(["a", "b"])
+        stats.add_document(["b"])
+        stats.remove_document(["a", "b"])
+        assert stats.num_docs == 1
+        assert stats.doc_frequency("a") == 0
+        assert stats.doc_frequency("b") == 1
+
+    def test_remove_drops_zero_entries(self):
+        stats = CorpusStats()
+        stats.add_document(["a"])
+        stats.remove_document(["a"])
+        assert stats.vocabulary_size() == 0
+
+    def test_version_bumps_on_change(self):
+        stats = CorpusStats()
+        v0 = stats.version
+        stats.add_document(["a"])
+        assert stats.version > v0
+
+    def test_idf_uses_current_stats(self):
+        stats = CorpusStats()
+        stats.add_document(["a"])
+        stats.add_document(["b"])
+        assert stats.idf("a") == pytest.approx(math.log(2))
+
+    def test_remove_never_goes_negative(self):
+        stats = CorpusStats()
+        stats.remove_document(["ghost"])
+        assert stats.num_docs == 0
