@@ -2,15 +2,48 @@
 
 Not a paper table; establishes that the substrate scales to the paper's
 corpus (§5.2's motivation for pre-indexing into the vector store).
+
+The repeated-refinement and facet-overview scenarios additionally pit
+the bitset/single-sweep paths against the original strategies and write
+a machine-readable summary to ``BENCH_perf_core.json`` at the repo root.
 """
+
+import json
+import pathlib
+import statistics
+import time
 
 import pytest
 
 from repro.browser import Session
 from repro.core import Workspace
 from repro.datasets import recipes
-from repro.query import And, HasValue, TypeIs
+from repro.query import And, HasValue, QueryEngine, Range, TypeIs
 from repro.vsm import VectorSpaceModel
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf_core.json"
+
+
+def _record_bench(corpus_size: int, op: str, payload: dict) -> None:
+    """Merge one operation's timings into BENCH_perf_core.json."""
+    data: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (OSError, ValueError):
+            data = {}
+    data["corpus_size"] = corpus_size
+    data.setdefault("ops", {})[op] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _median_rounds(fn, rounds: int) -> tuple[float, list[float]]:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), times
 
 
 def test_perf_triple_pattern_lookup(benchmark, full_recipe_corpus):
@@ -71,6 +104,168 @@ def test_perf_suggestion_cycle_small_collection(
     view = session.current
     result = benchmark(session.engine.suggest, view)
     assert result.all_suggestions()
+
+
+def test_perf_repeated_refinement(full_recipe_corpus, full_recipe_workspace):
+    """One round = the preview-and-click cycle over a dozen facets.
+
+    The bitset engine amortizes leaf extents across clicks (cached on
+    the context by graph version); the original set engine re-derives
+    every extent per click.  Both produce identical item sets — the
+    equivalence suite proves it — so only the time may differ.
+    """
+    corpus = full_recipe_corpus
+    props = corpus.extras["properties"]
+    base = TypeIs(corpus.extras["types"]["Recipe"])
+    refinements = [
+        HasValue(props["cuisine"], corpus.extras["cuisines"][name])
+        for name in ("Italian", "Greek", "French", "Mexican")
+    ] + [
+        HasValue(props["course"], value)
+        for value in list(corpus.extras["courses"].values())[:3]
+    ] + [
+        HasValue(props["ingredient"], corpus.extras["ingredients"][name])
+        for name in ("garlic", "onion", "butter")
+    ] + [
+        Range(props["serves"], low=2, high=6),
+        Range(props["prepMinutes"], low=None, high=45),
+    ]
+    queries = [And([base, predicate]) for predicate in refinements]
+    context = full_recipe_workspace.query_context
+    fast = QueryEngine(context, use_bitsets=True)
+    legacy = QueryEngine(context, use_bitsets=False)
+
+    def run_round(engine):
+        # Preview every candidate refinement (the per-suggestion counts
+        # the interface shows before any click) ...
+        total = 0
+        for query in queries:
+            total += engine.count(query)
+        # ... then click one, and preview the rest within the result.
+        collection = engine.evaluate(queries[0])
+        total += len(collection)
+        for predicate in refinements[1:]:
+            total += engine.count(predicate, within=collection)
+        return total
+
+    assert run_round(fast) == run_round(legacy)
+    fast_median, fast_times = _median_rounds(lambda: run_round(fast), rounds=5)
+    legacy_median, _ = _median_rounds(lambda: run_round(legacy), rounds=5)
+    speedup = legacy_median / fast_median
+    _record_bench(
+        len(corpus.items),
+        "repeated_refinement",
+        {
+            "median_seconds": fast_median,
+            "legacy_median_seconds": legacy_median,
+            "cold_seconds": fast_times[0],
+            "speedup": speedup,
+            "clicks_per_round": len(refinements),
+        },
+    )
+    assert speedup >= 5.0
+
+
+def _legacy_facet_overview(workspace, items, max_values=8):
+    """The pre-profile FacetSummary recipe, kept verbatim as baseline:
+    one counting sweep, one coverage scan *per property*, one continuous
+    sweep, one readings pass per continuous property."""
+    from collections import Counter
+
+    from repro.core.analysts.common import (
+        ANNOTATION_PROPERTIES,
+        is_facetable_value,
+    )
+    from repro.query.preview import RangePreview, collect_values
+    from repro.rdf.terms import Literal
+
+    graph, schema = workspace.graph, workspace.schema
+
+    def coverage(prop):
+        return sum(1 for item in items if prop in graph.properties_of(item))
+
+    counts = {}
+    for item in items:
+        for prop, values in graph.properties_of(item).items():
+            if prop in ANNOTATION_PROPERTIES or schema.is_hidden(prop):
+                continue
+            declared = schema.value_type(prop)
+            bucket = counts.setdefault(prop, Counter())
+            for value in values:
+                if is_facetable_value(value, declared):
+                    bucket[value] += 1
+    facets = []
+    for prop, values in counts.items():
+        if not values:
+            continue
+        top = sorted(
+            values.items(),
+            key=lambda kv: (-kv[1], workspace.label(kv[0]).lower()),
+        )[:max_values]
+        facets.append((prop, top, len(values), coverage(prop), None))
+    tallies = {}
+    for item in items:
+        for prop, values in graph.properties_of(item).items():
+            if schema.is_hidden(prop):
+                continue
+            stats = tallies.setdefault(prop, [0, 0])
+            for value in values:
+                stats[1] += 1
+                if isinstance(value, Literal) and (
+                    value.is_numeric or value.is_temporal
+                ):
+                    stats[0] += 1
+    continuous = sorted(
+        prop
+        for prop, (numeric, total) in tallies.items()
+        if schema.is_continuous(prop) or (total and numeric / total >= 0.9)
+    )
+    for prop in continuous:
+        readings = collect_values(graph, items, prop)
+        if len(set(readings)) < 2:
+            continue
+        facets.append(
+            (prop, [], len(set(readings)), coverage(prop), RangePreview(readings))
+        )
+    facets.sort(key=lambda f: (-f[3], workspace.label(f[0]).lower()))
+    return facets
+
+
+def test_perf_facet_overview(full_recipe_corpus, full_recipe_workspace):
+    """Full-corpus Figure-2 overview: single sweep + memo vs multi-pass."""
+    from repro.browser.facets import FacetSummary
+
+    workspace = full_recipe_workspace
+    items = list(workspace.items)
+
+    def run_new():
+        return FacetSummary.of_collection(workspace, items)
+
+    def run_legacy():
+        return _legacy_facet_overview(workspace, items)
+
+    start = time.perf_counter()
+    new_summary = run_new()  # nothing memoized yet: the true cold cost
+    cold_seconds = time.perf_counter() - start
+    legacy_facets = run_legacy()
+    assert [f.prop for f in new_summary.facets] == [f[0] for f in legacy_facets]
+    assert [f.values for f in new_summary.facets] == [f[1] for f in legacy_facets]
+    assert [f.coverage for f in new_summary.facets] == [f[3] for f in legacy_facets]
+    fast_median, _ = _median_rounds(run_new, rounds=5)
+    legacy_median, _ = _median_rounds(run_legacy, rounds=3)
+    speedup = legacy_median / fast_median
+    _record_bench(
+        len(full_recipe_corpus.items),
+        "facet_overview",
+        {
+            "median_seconds": fast_median,
+            "legacy_median_seconds": legacy_median,
+            "cold_seconds": cold_seconds,
+            "cold_speedup": legacy_median / cold_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 3.0
 
 
 @pytest.mark.parametrize("n_items", [250, 1000, 4000])

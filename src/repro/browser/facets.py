@@ -9,12 +9,9 @@ properties are summarized by their observed range instead of values.
 
 from __future__ import annotations
 
-from collections import Counter
-
 from ..core.workspace import Workspace
-from ..query.preview import RangePreview, collect_values
+from ..query.preview import RangePreview
 from ..rdf.terms import Node, Resource
-from ..core.analysts.common import facet_counts
 
 __all__ = ["PropertyFacet", "FacetSummary"]
 
@@ -68,11 +65,16 @@ class FacetSummary:
         items: list[Node],
         max_values: int = 8,
     ) -> "FacetSummary":
-        """Compute the overview for a collection."""
-        counts = facet_counts(workspace.graph, workspace.schema, items)
+        """Compute the overview for a collection.
+
+        Value counts, coverage, continuous detection, and numeric
+        readings all come from one shared sweep
+        (:meth:`~repro.core.workspace.Workspace.facet_profile`), instead
+        of the historical one-scan-per-property approach.
+        """
+        profile = workspace.facet_profile(items)
         facets: list[PropertyFacet] = []
-        for prop, values in counts.items():
-            coverage = cls._coverage(workspace, items, prop)
+        for prop, values in profile.facet_counts().items():
             top = [
                 (value, count)
                 for value, count in sorted(
@@ -86,11 +88,11 @@ class FacetSummary:
                     workspace.label(prop),
                     top,
                     total_values=len(values),
-                    coverage=coverage,
+                    coverage=profile.coverage(prop),
                 )
             )
-        for prop in cls._continuous_properties(workspace, items):
-            readings = collect_values(workspace.graph, items, prop)
+        for prop in profile.continuous_properties(workspace.schema):
+            readings = profile.sorted_readings(prop)
             if len(set(readings)) < 2:
                 continue
             facets.append(
@@ -99,7 +101,7 @@ class FacetSummary:
                     workspace.label(prop),
                     [],
                     total_values=len(set(readings)),
-                    coverage=cls._coverage(workspace, items, prop),
+                    coverage=profile.coverage(prop),
                     range_preview=RangePreview(readings),
                 )
             )
@@ -108,38 +110,14 @@ class FacetSummary:
 
     @staticmethod
     def _coverage(workspace: Workspace, items: list[Node], prop: Resource) -> int:
-        return sum(
-            1
-            for item in items
-            if any(True for _ in workspace.graph.objects(item, prop))
-        )
+        return workspace.facet_profile(items).coverage(prop)
 
     @staticmethod
     def _continuous_properties(
         workspace: Workspace, items: list[Node]
     ) -> list[Resource]:
-        tallies: dict[Resource, Counter] = {}
-        for item in items:
-            for prop, values in workspace.graph.properties_of(item).items():
-                if workspace.schema.is_hidden(prop):
-                    continue
-                bucket = tallies.setdefault(prop, Counter())
-                for value in values:
-                    from ..rdf.terms import Literal
-
-                    continuous = isinstance(value, Literal) and (
-                        value.is_numeric or value.is_temporal
-                    )
-                    bucket["continuous" if continuous else "other"] += 1
-        qualified = []
-        for prop, tally in tallies.items():
-            if workspace.schema.is_continuous(prop):
-                qualified.append(prop)
-                continue
-            total = tally["continuous"] + tally["other"]
-            if total and tally["continuous"] / total >= 0.9:
-                qualified.append(prop)
-        return sorted(qualified)
+        profile = workspace.facet_profile(items)
+        return profile.continuous_properties(workspace.schema)
 
     def facet_for(self, prop: Resource) -> PropertyFacet | None:
         """Look up one property's facet."""

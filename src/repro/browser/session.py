@@ -95,6 +95,31 @@ class Session:
         """
         return self._refine_with(predicate, mode)
 
+    def preview_count(
+        self, predicate: Predicate, mode: str = RefineMode.FILTER
+    ) -> int:
+        """How many items a refinement would keep, without applying it.
+
+        The §3.2-style query preview for hover/context-menu display:
+        on the bitset engine this is a popcount over cached extents, so
+        probing every visible suggestion costs no set materialization
+        and the current view is left untouched.
+        """
+        engine = self.workspace.query_engine
+        if mode == RefineMode.FILTER:
+            return engine.count(predicate, within=self.current.items)
+        if mode == RefineMode.EXCLUDE:
+            return engine.count(predicate.negated(), within=self.current.items)
+        if mode == RefineMode.EXPAND:
+            current_query = self.current.query
+            query = (
+                predicate
+                if current_query is None
+                else Or([current_query, predicate])
+            )
+            return engine.count(query)
+        raise ValueError(f"unknown refine mode {mode!r}")
+
     def search_ranked(self, text: str, k: int = 20) -> View:
         """Ranked keyword search — the §6.2 document-reordering extension.
 

@@ -11,7 +11,7 @@ widgets too, which yields Figure 6's "date on the body" control.
 
 from __future__ import annotations
 
-from ...query.preview import RangePreview, collect_values
+from ...query.preview import RangePreview
 from ...rdf.terms import Literal, Resource
 from ...vsm.composition import compose_values
 from ..advisors import REFINE_COLLECTION
@@ -19,7 +19,7 @@ from ..blackboard import Blackboard
 from ..suggestions import OpenRangeWidget
 from ..view import View
 from .base import Analyst
-from .common import ANNOTATION_PROPERTIES, path_label
+from .common import path_label
 
 __all__ = ["RangeAnalyst"]
 
@@ -40,8 +40,9 @@ class RangeAnalyst(Analyst):
 
     def analyze(self, view: View, blackboard: Blackboard) -> None:
         workspace = view.workspace
+        profile = workspace.facet_profile(view.items)
         for prop in self._continuous_properties(view):
-            values = collect_values(workspace.graph, view.items, prop)
+            values = profile.sorted_readings(prop)
             if len(set(values)) < self.min_distinct:
                 continue
             coverage = len(values) / len(view.items)
@@ -82,23 +83,9 @@ class RangeAnalyst(Analyst):
 
     def _continuous_properties(self, view: View) -> list[Resource]:
         workspace = view.workspace
-        candidates: dict[Resource, list[int]] = {}
-        for item in view.items:
-            for prop, values in workspace.graph.properties_of(item).items():
-                if prop in ANNOTATION_PROPERTIES or workspace.schema.is_hidden(prop):
-                    continue
-                stats = candidates.setdefault(prop, [0, 0])
-                for value in values:
-                    stats[1] += 1
-                    if isinstance(value, Literal) and (
-                        value.is_numeric or value.is_temporal
-                    ):
-                        stats[0] += 1
-        qualified: list[Resource] = []
-        for prop, (continuous, total) in candidates.items():
-            if workspace.schema.is_continuous(prop):
-                qualified.append(prop)
-            elif total > 0 and continuous / total >= self.detection_support:
-                if continuous > 0:
-                    qualified.append(prop)
-        return sorted(qualified)
+        return workspace.facet_profile(view.items).continuous_properties(
+            workspace.schema,
+            threshold=self.detection_support,
+            skip_annotation=True,
+            require_numeric=True,
+        )

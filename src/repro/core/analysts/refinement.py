@@ -20,7 +20,7 @@ from ..suggestions import Refine
 from ..view import View
 from ..weights import refinement_weight
 from .base import Analyst
-from .common import composed_facet_counts, facet_counts, path_label, value_idf
+from .common import composed_facet_counts, path_label, value_idf
 
 __all__ = ["RefinementAnalyst"]
 
@@ -41,7 +41,7 @@ class RefinementAnalyst(Analyst):
         size = len(view.items)
         universe = len(workspace.query_context.universe)
         for prop, values in sorted(
-            facet_counts(workspace.graph, workspace.schema, view.items).items(),
+            workspace.facet_profile(view.items).facet_counts().items(),
             key=lambda kv: kv[0].uri,
         ):
             group = workspace.schema.label(prop)

@@ -9,10 +9,11 @@ system.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..index.store import VectorStore
 from ..index.textindex import TextIndex
+from ..perf.stats import CacheStats
 from ..query.ast import QueryContext
 from ..query.engine import QueryEngine
 from ..rdf.graph import Graph
@@ -59,6 +60,9 @@ class Workspace:
             universe=set(self.items),
         )
         self.query_engine = QueryEngine(self.query_context)
+        #: (graph version, collection) -> CollectionProfile, small FIFO
+        self._facet_profiles: dict = {}
+        self.facet_profile_stats = CacheStats()
 
     def add_item(self, item: Node) -> None:
         """Index a newly arrived item across every substrate (§5.2)."""
@@ -71,6 +75,29 @@ class Workspace:
     def label(self, node: Node) -> str:
         """Display name via schema annotations."""
         return self.schema.label(node)
+
+    def facet_profile(self, items: Sequence[Node]):
+        """The collection's single-pass metadata profile, memoized.
+
+        Facet overviews, refinement analysts, and range analysts all
+        consult the same profile for a given (collection, graph version)
+        pair, so arriving at a view computes the sweep once however many
+        consumers render it.  Keyed on the graph's mutation version, the
+        memo self-invalidates on any repository change.
+        """
+        from .analysts.common import collection_profile
+
+        key = (self.graph.version, tuple(items))
+        profile = self._facet_profiles.get(key)
+        if profile is not None:
+            self.facet_profile_stats.hits += 1
+            return profile
+        self.facet_profile_stats.misses += 1
+        profile = collection_profile(self.graph, self.schema, items)
+        self._facet_profiles[key] = profile
+        while len(self._facet_profiles) > 8:
+            self._facet_profiles.pop(next(iter(self._facet_profiles)))
+        return profile
 
     # ------------------------------------------------------------------
     # Persistence

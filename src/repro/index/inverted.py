@@ -33,6 +33,34 @@ class InvertedIndex:
             coords.append(coord)
         self._doc_coords[item] = coords
 
+    def bulk_load(
+        self, documents: Iterable[tuple[Hashable, Iterable[tuple[Hashable, float]]]]
+    ) -> int:
+        """Insert many documents at once; returns the count loaded.
+
+        The fast path for full rebuilds: inlines :meth:`add` without the
+        per-item prior-state check (callers clear or start empty), which
+        matters when reloading thousands of documents.
+        """
+        postings = self._postings
+        doc_coords = self._doc_coords
+        count = 0
+        for item, entries in documents:
+            if item in doc_coords:
+                self.remove(item)
+            coords = []
+            for coord, weight in entries:
+                if not weight:
+                    continue
+                bucket = postings.get(coord)
+                if bucket is None:
+                    bucket = postings[coord] = {}
+                bucket[item] = weight
+                coords.append(coord)
+            doc_coords[item] = coords
+            count += 1
+        return count
+
     def remove(self, item: Hashable) -> bool:
         """Drop a document from every postings list it appears in."""
         coords = self._doc_coords.pop(item, None)

@@ -18,6 +18,25 @@ class Hit(NamedTuple):
     score: float
 
 
+class _MaxStr:
+    """A string that sorts in *reverse*.
+
+    Heap entries are ``(score, _MaxStr(repr(item)), seq, item)`` on a
+    min-heap keeping the k best, so ``heap[0]`` must be the *worst*
+    retained hit: the lowest score, and among equal scores the largest
+    repr.  Reversing the string's ordering makes the plain tuple
+    comparison do exactly that.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __lt__(self, other: "_MaxStr") -> bool:
+        return self.value > other.value
+
+
 def top_k(
     index: InvertedIndex,
     query: SparseVector,
@@ -29,7 +48,12 @@ def top_k(
     Accumulates partial scores document-at-a-time over the postings of
     the query's non-zero coordinates, then heap-selects.  Ties break on
     the items' repr for determinism.  ``exclude`` filters items out
-    before selection (e.g. the currently viewed item).
+    during selection (e.g. the currently viewed item).
+
+    Selection maintains a k-entry min-heap whose root is the worst hit
+    kept so far; candidates that cannot beat it are dismissed on the
+    score comparison alone, so their (surprisingly expensive) reprs are
+    never computed and no filtered copy of the score table is built.
     """
     if k <= 0 or len(query) == 0:
         return []
@@ -37,9 +61,19 @@ def top_k(
     for coord, q_weight in query.items():
         for item, d_weight in index.postings(coord).items():
             scores[item] = scores.get(item, 0.0) + q_weight * d_weight
-    if exclude is not None:
-        scores = {item: s for item, s in scores.items() if not exclude(item)}
-    best = heapq.nsmallest(
-        k, scores.items(), key=lambda kv: (-kv[1], repr(kv[0]))
-    )
-    return [Hit(item, score) for item, score in best]
+    heap: list[tuple[float, _MaxStr, int, Hashable]] = []
+    seq = 0
+    for item, score in scores.items():
+        if exclude is not None and exclude(item):
+            continue
+        if len(heap) < k:
+            heapq.heappush(heap, (score, _MaxStr(repr(item)), seq, item))
+        elif score > heap[0][0]:
+            heapq.heapreplace(heap, (score, _MaxStr(repr(item)), seq, item))
+        elif score == heap[0][0]:
+            marker = _MaxStr(repr(item))
+            if marker.value < heap[0][1].value:
+                heapq.heapreplace(heap, (score, marker, seq, item))
+        seq += 1
+    ordered = sorted(heap, key=lambda entry: (-entry[0], entry[1].value))
+    return [Hit(item, score) for score, _marker, _seq, item in ordered]

@@ -1,0 +1,47 @@
+"""Bitset primitives over arbitrary-precision Python ints.
+
+A collection of interned items is one int with bit ``i`` set for item id
+``i``.  Intersection, union, and complement of whole collections are
+then single C-level bitwise operations, and cardinality is one
+``bit_count`` — the machinery behind the query layer's near-O(result)
+refinement clicks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["bits_from_ids", "bits_from_nodes", "iter_ids", "popcount"]
+
+
+def bits_from_ids(ids: Iterable[int]) -> int:
+    """A bitmask with every id's bit set.
+
+    Builds through a byte buffer rather than repeated ``1 << id`` shifts
+    so constructing a corpus-wide mask is linear in the corpus size.
+    """
+    collected = list(ids)
+    if not collected:
+        return 0
+    buf = bytearray(max(collected) // 8 + 1)
+    for idx in collected:
+        buf[idx >> 3] |= 1 << (idx & 7)
+    return int.from_bytes(buf, "little")
+
+
+def bits_from_nodes(interner, nodes: Iterable) -> int:
+    """Convenience: intern each node and build the mask."""
+    return interner.bits_of(nodes)
+
+
+def iter_ids(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (collection cardinality)."""
+    return mask.bit_count()

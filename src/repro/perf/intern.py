@@ -1,0 +1,66 @@
+"""A monotonic intern table mapping hashable nodes to dense small ints.
+
+Interned ids are assigned in first-seen order and are never reused or
+reassigned, so any bitmask built against the table stays valid for the
+table's whole lifetime — growing the corpus only appends ids.  This is
+the property that lets the query layer cache extents as plain ints and
+invalidate purely on the graph's mutation version.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from .bitset import bits_from_ids, iter_ids
+
+__all__ = ["InternTable"]
+
+
+class InternTable:
+    """Bidirectional ``node ↔ int`` mapping with monotonic ids."""
+
+    __slots__ = ("_id_of", "_node_at")
+
+    def __init__(self):
+        self._id_of: dict[Hashable, int] = {}
+        self._node_at: list[Hashable] = []
+
+    def intern(self, node: Hashable) -> int:
+        """The node's id, minting a fresh one on first sight."""
+        idx = self._id_of.get(node)
+        if idx is None:
+            idx = len(self._node_at)
+            self._id_of[node] = idx
+            self._node_at.append(node)
+        return idx
+
+    def id_of(self, node: Hashable) -> int | None:
+        """The node's id without minting; None when never interned."""
+        return self._id_of.get(node)
+
+    def node_at(self, idx: int) -> Hashable:
+        """The node carrying an id (raises IndexError for unknown ids)."""
+        return self._node_at[idx]
+
+    def __len__(self) -> int:
+        return len(self._node_at)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._id_of
+
+    # ------------------------------------------------------------------
+    # Bitmask bridging
+    # ------------------------------------------------------------------
+
+    def bits_of(self, nodes: Iterable[Hashable]) -> int:
+        """A bitmask over the nodes' ids (minting ids as needed)."""
+        intern = self.intern
+        return bits_from_ids(intern(node) for node in nodes)
+
+    def nodes_of(self, mask: int) -> set:
+        """The set of nodes whose ids are set in ``mask``."""
+        node_at = self._node_at
+        return {node_at[idx] for idx in iter_ids(mask)}
+
+    def __repr__(self) -> str:
+        return f"<InternTable size={len(self._node_at)}>"

@@ -1,0 +1,78 @@
+"""Counters that make cache and index-maintenance behaviour observable.
+
+These are deliberately dumb mutable records: hot paths bump plain int
+attributes, and tests/benchmarks read them to prove a cache actually hit
+or an index update actually stayed incremental.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CacheStats", "IndexMaintenanceStats"]
+
+
+class CacheStats:
+    """Hit/miss/invalidation counters for a versioned cache."""
+
+    __slots__ = ("hits", "misses", "invalidations")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStats hits={self.hits} misses={self.misses} "
+            f"invalidations={self.invalidations}>"
+        )
+
+
+class IndexMaintenanceStats:
+    """How a refreshable index has been kept up to date."""
+
+    __slots__ = ("full_rebuilds", "incremental_updates", "items_reindexed")
+
+    def __init__(self):
+        self.full_rebuilds = 0
+        self.incremental_updates = 0
+        self.items_reindexed = 0
+
+    def reset(self) -> None:
+        self.full_rebuilds = 0
+        self.incremental_updates = 0
+        self.items_reindexed = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "full_rebuilds": self.full_rebuilds,
+            "incremental_updates": self.incremental_updates,
+            "items_reindexed": self.items_reindexed,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<IndexMaintenanceStats full={self.full_rebuilds} "
+            f"incremental={self.incremental_updates} "
+            f"reindexed={self.items_reindexed}>"
+        )

@@ -19,9 +19,10 @@ Every predicate can
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..index.textindex import TextIndex
+from ..perf.stats import CacheStats
 from ..rdf.graph import Graph
 from ..rdf.schema import Schema
 from ..rdf.terms import Literal, Node, Resource
@@ -45,8 +46,20 @@ __all__ = [
 ]
 
 
+#: Sentinel distinguishing "cache miss" from a cached None extent.
+_MISS = object()
+
+
 class QueryContext:
-    """Everything a predicate may consult during evaluation."""
+    """Everything a predicate may consult during evaluation.
+
+    The context also owns the **extent cache** of the performance layer:
+    predicate extents are stored as bitmasks over the graph's intern
+    table, keyed on the predicate (hashable by construction) and the
+    graph's mutation version.  Every mutation invalidates lazily — stale
+    entries are simply recomputed on the next lookup — so repeated query
+    previews over an unchanged corpus stop re-deriving the same extents.
+    """
 
     def __init__(
         self,
@@ -59,6 +72,10 @@ class QueryContext:
         self.schema = schema if schema is not None else Schema(graph)
         self.text_index = text_index
         self._universe = universe
+        #: predicate -> (graph version, bitmask | None)
+        self._extent_cache: dict[Predicate, tuple[int, int | None]] = {}
+        self._universe_bits: tuple[tuple[int, int], int] | None = None
+        self.cache_stats = CacheStats()
 
     @property
     def universe(self) -> set[Node]:
@@ -73,6 +90,60 @@ class QueryContext:
                 for s, _p, _o in self.graph.triples(None, RDF.type, None)
             }
         return self._universe
+
+    # ------------------------------------------------------------------
+    # Bitset extents (performance layer)
+    # ------------------------------------------------------------------
+
+    def bits_of(self, nodes: Iterable[Node]) -> int:
+        """A bitmask over item nodes (interning new ones as needed)."""
+        return self.graph.interner.bits_of(nodes)
+
+    def nodes_of(self, mask: int) -> set[Node]:
+        """The node set a bitmask denotes."""
+        return self.graph.interner.nodes_of(mask)
+
+    def universe_bits(self) -> int:
+        """The universe as a cached bitmask.
+
+        Keyed on (graph version, universe size) so both graph mutations
+        and in-place universe growth (``Workspace.add_item``) refresh it.
+        """
+        universe = self.universe
+        key = (self.graph.version, len(universe))
+        cached = self._universe_bits
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        bits = self.bits_of(universe)
+        self._universe_bits = (key, bits)
+        return bits
+
+    def cached_extent_bits(self, predicate: "Predicate"):
+        """A cached extent bitmask, ``None`` (cached no-extent), or _MISS."""
+        try:
+            entry = self._extent_cache.get(predicate)
+        except (TypeError, NotImplementedError):
+            # Unhashable custom predicate: evaluable, just not cacheable.
+            return _MISS
+        if entry is not None:
+            if entry[0] == self.graph.version:
+                self.cache_stats.hits += 1
+                return entry[1]
+            self.cache_stats.invalidations += 1
+        self.cache_stats.misses += 1
+        return _MISS
+
+    def store_extent_bits(self, predicate: "Predicate", bits: int | None) -> None:
+        """Record a predicate's extent bitmask for the current version."""
+        try:
+            self._extent_cache[predicate] = (self.graph.version, bits)
+        except (TypeError, NotImplementedError):
+            pass
+
+    def clear_extent_cache(self) -> None:
+        """Drop every cached extent (stats counters are kept)."""
+        self._extent_cache.clear()
+        self._universe_bits = None
 
 
 class Predicate:

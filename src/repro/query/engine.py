@@ -6,14 +6,26 @@ against the context's universe.  ``register_extension`` lets analysts
 plug in evaluators for new predicate types without touching the engine —
 the paper's mechanism for "a uniform interface to query both metadata
 ... and other attribute value types".
+
+Evaluation runs over **bitset extents** by default: leaf extents are
+interned into Python-int bitmasks and cached on the context keyed by
+(predicate, graph version), so And/Or/Not combine as single bitwise
+operations and repeated refinement clicks reuse prior work instead of
+re-deriving the same sets.  Predicates that cannot enumerate an extent
+(extension-only predicates such as ``PathValue``/``Cardinality``, or
+trees containing them) fall back transparently to the original
+per-item filtering path.  Results are identical either way — only the
+time to produce them changes; ``use_bitsets=False`` forces the original
+strategy (used by the equivalence tests and benchmarks).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from ..perf.bitset import popcount
 from ..rdf.terms import Node
-from .ast import Predicate, QueryContext
+from .ast import _MISS, And, Not, Or, Predicate, QueryContext
 
 __all__ = ["QueryEngine"]
 
@@ -25,8 +37,9 @@ ExtensionEvaluator = Callable[[Predicate, QueryContext], Optional[set[Node]]]
 class QueryEngine:
     """Resolves predicates against a :class:`QueryContext`."""
 
-    def __init__(self, context: QueryContext):
+    def __init__(self, context: QueryContext, use_bitsets: bool = True):
         self.context = context
+        self.use_bitsets = use_bitsets
         self._extensions: dict[type, ExtensionEvaluator] = {}
 
     def register_extension(
@@ -53,26 +66,49 @@ class QueryEngine:
         ``within`` restricts evaluation to a base collection (used when
         refining the current result set); None means the full universe.
         """
-        base = set(within) if within is not None else None
-        extent = self._extent(predicate)
-        if extent is not None:
-            if base is not None:
-                return extent & base
-            return extent & self.context.universe
-        population = base if base is not None else self.context.universe
+        context = self.context
+        if self.use_bitsets:
+            bits = self._root_bits(predicate)
+            if bits is not None:
+                if within is not None:
+                    return context.nodes_of(bits & context.bits_of(within))
+                return context.nodes_of(bits & context.universe_bits())
+        else:
+            extent = self._extent(predicate)
+            if extent is not None:
+                if within is not None:
+                    return extent & set(within)
+                return extent & context.universe
+        population = set(within) if within is not None else context.universe
         return {
             item
             for item in population
-            if predicate.matches(item, self.context)
+            if predicate.matches(item, context)
         }
 
     def count(self, predicate: Predicate, within: Iterable[Node] | None = None) -> int:
-        """Size of the predicate's result set (used for query previews)."""
+        """Size of the predicate's result set (used for query previews).
+
+        On the bitset path the count is a popcount — no item set is
+        materialized, which is what makes §3.2's per-click previews
+        near-free once extents are cached.
+        """
+        if self.use_bitsets:
+            bits = self._root_bits(predicate)
+            if bits is not None:
+                context = self.context
+                if within is not None:
+                    return popcount(bits & context.bits_of(within))
+                return popcount(bits & context.universe_bits())
         return len(self.evaluate(predicate, within))
 
     def matches(self, predicate: Predicate, item: Node) -> bool:
         """Test a single item."""
         return predicate.matches(item, self.context)
+
+    # ------------------------------------------------------------------
+    # Extent resolution
+    # ------------------------------------------------------------------
 
     def _extent(self, predicate: Predicate) -> Optional[set[Node]]:
         evaluator = self._extensions.get(type(predicate))
@@ -81,6 +117,62 @@ class QueryEngine:
             if extent is not None:
                 return extent
         return predicate.candidates(self.context)
+
+    def _root_bits(self, predicate: Predicate) -> int | None:
+        """Extent bitmask of the query root, or None when unknown.
+
+        Mirrors :meth:`_extent`: extension evaluators are consulted only
+        for the root predicate (exactly as the set path does), and their
+        results are never cached — extension closures may depend on
+        state the graph version cannot see.
+        """
+        evaluator = self._extensions.get(type(predicate))
+        if evaluator is not None:
+            extent = evaluator(predicate, self.context)
+            if extent is not None:
+                return self.context.bits_of(extent)
+        return self._tree_bits(predicate)
+
+    def _tree_bits(self, predicate: Predicate) -> int | None:
+        """Recursive bitset extent; None propagates from unknown leaves."""
+        context = self.context
+        cached = context.cached_extent_bits(predicate)
+        if cached is not _MISS:
+            return cached
+        if isinstance(predicate, And):
+            if not predicate.parts:
+                bits = context.universe_bits()
+            else:
+                # No early exit on an empty intersection: every part is
+                # still resolved so errors (e.g. TextMatch without a
+                # text index) surface exactly as on the set path.
+                parts = [self._tree_bits(part) for part in predicate.parts]
+                if any(part is None for part in parts):
+                    bits = None
+                else:
+                    bits = parts[0]
+                    for part in parts[1:]:
+                        bits &= part
+        elif isinstance(predicate, Or):
+            bits = 0
+            for part in predicate.parts:
+                part_bits = self._tree_bits(part)
+                if part_bits is None:
+                    bits = None
+                    break
+                bits |= part_bits
+        elif isinstance(predicate, Not):
+            part_bits = self._tree_bits(predicate.part)
+            bits = (
+                None
+                if part_bits is None
+                else context.universe_bits() & ~part_bits
+            )
+        else:
+            extent = predicate.candidates(context)
+            bits = None if extent is None else context.bits_of(extent)
+        context.store_extent_bits(predicate, bits)
+        return bits
 
     def __repr__(self) -> str:
         return (

@@ -8,6 +8,7 @@ candidate [low, high] selection.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
 from ..rdf.graph import Graph
@@ -79,15 +80,16 @@ class RangePreview:
         return counts
 
     def count_between(self, low: float | None, high: float | None) -> int:
-        """How many readings a [low, high] slider selection keeps."""
-        kept = 0
-        for value in self.values:
-            if low is not None and value < low:
-                continue
-            if high is not None and value > high:
-                continue
-            kept += 1
-        return kept
+        """How many readings a [low, high] slider selection keeps.
+
+        ``values`` is kept sorted, so the kept span is a contiguous
+        slice located by bisection — dragging a slider costs O(log n)
+        per preview instead of a full scan.
+        """
+        values = self.values
+        start = 0 if low is None else bisect_left(values, low)
+        end = len(values) if high is None else bisect_right(values, high)
+        return max(0, end - start)
 
     def hatch_marks(self, width: int = 40) -> str:
         """An ASCII rendering of the hatch-mark strip.

@@ -17,6 +17,7 @@ import itertools
 from collections import defaultdict
 from typing import Iterable, Iterator
 
+from ..perf.intern import InternTable
 from .terms import BlankNode, Literal, Node, Resource, Term, coerce_literal
 from .vocab import RDF, RDFS
 
@@ -65,10 +66,26 @@ class Graph:
             lambda: defaultdict(set)
         )
         self._size = 0
+        self._version = 0
+        self._interner = InternTable()
         self._blank_counter = itertools.count(1)
         if triples:
             for s, p, o in triples:
                 self.add(s, p, o)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every effective add/remove.
+
+        Caches over the graph (query extents, facet profiles) key on this
+        value to detect staleness without subscribing to mutations.
+        """
+        return self._version
+
+    @property
+    def interner(self) -> InternTable:
+        """The graph's node ↔ int intern table (ids are never reused)."""
+        return self._interner
 
     # ------------------------------------------------------------------
     # Mutation
@@ -90,6 +107,7 @@ class Graph:
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._size += 1
+        self._version += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -111,6 +129,7 @@ class Graph:
         self._prune(self._pos, p, o)
         self._prune(self._osp, o, s)
         self._size -= 1
+        self._version += 1
         return True
 
     def remove_matching(self, subject=None, predicate=None, obj=None) -> int:
@@ -257,6 +276,29 @@ class Graph:
     def properties_of(self, subject) -> dict[Resource, set[Node]]:
         """All property → value-set pairs of a subject (copied)."""
         return {p: set(objs) for p, objs in self._spo.get(subject, {}).items()}
+
+    def iter_properties(self, subject) -> Iterator[tuple[Resource, set[Node]]]:
+        """Iterate (property, value-set) pairs of a subject without copying.
+
+        The yielded sets are live index views: callers must treat them as
+        read-only and must not mutate the graph mid-iteration.  Hot
+        sweeps (facet counting) use this to skip :meth:`properties_of`'s
+        per-item copies.
+        """
+        by_pred = self._spo.get(subject)
+        if by_pred:
+            yield from by_pred.items()
+
+    def count_subjects(self, predicate, obj) -> int:
+        """Number of distinct subjects of (*, predicate, obj) in O(1).
+
+        Equivalent to ``sum(1 for _ in subjects(predicate, obj))`` but
+        reads the POS bucket's size directly — the document-frequency
+        lookup facet weighting performs once per suggestion.
+        """
+        if obj is not None and not isinstance(obj, Term):
+            obj = coerce_literal(obj)
+        return len(self._pos.get(predicate, {}).get(obj, ()))
 
     def items_of_type(self, rdf_type: Resource) -> Iterator[Node]:
         """Subjects with ``rdf:type rdf_type``."""

@@ -24,7 +24,7 @@ adds stay O(item size).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..rdf.graph import Graph
 from ..rdf.schema import Schema, ValueType
@@ -133,6 +133,24 @@ class VectorSpaceModel:
         self._ranges: dict[tuple[str, ...], NumericRange] = {}
         self._vector_cache: dict[Node, tuple[int, SparseVector]] = {}
         self._compositions: list[tuple[Resource, ...]] | None = None
+        self._listeners: list[Callable[[str, Node, tuple], None]] = []
+
+    def add_listener(
+        self, callback: Callable[[str, Node, tuple], None]
+    ) -> None:
+        """Register a membership-change observer.
+
+        ``callback(op, item, coords)`` fires after every effective
+        mutation, with ``op`` one of ``"add"``/``"remove"`` and
+        ``coords`` the item's discrete coordinates at that moment.
+        Derived structures (the vector store) use this to maintain
+        themselves incrementally instead of diffing the model.
+        """
+        self._listeners.append(callback)
+
+    def _notify(self, op: str, item: Node, coords: tuple) -> None:
+        for callback in self._listeners:
+            callback(op, item, coords)
 
     # ------------------------------------------------------------------
     # Indexing
@@ -152,11 +170,13 @@ class VectorSpaceModel:
             self.remove_item(item)
         profile = self._extract(item)
         self._profiles[item] = profile
-        self.stats.add_document(profile.coordinates())
+        coords = tuple(profile.coordinates())
+        self.stats.add_document(coords)
         for path, values in profile.numerics.items():
             bucket = self._ranges.setdefault(path, NumericRange())
             for value in values:
                 bucket.observe(value)
+        self._notify("add", item, coords)
         return profile
 
     def remove_item(self, item: Node) -> bool:
@@ -164,8 +184,10 @@ class VectorSpaceModel:
         profile = self._profiles.pop(item, None)
         if profile is None:
             return False
-        self.stats.remove_document(profile.coordinates())
+        coords = tuple(profile.coordinates())
+        self.stats.remove_document(coords)
         self._vector_cache.pop(item, None)
+        self._notify("remove", item, coords)
         return True
 
     @property

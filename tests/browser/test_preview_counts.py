@@ -1,0 +1,60 @@
+"""Query previews: counts match what applying the refinement yields,
+without disturbing the current view."""
+
+import pytest
+
+from repro.browser.session import Session
+from repro.core.suggestions import RefineMode
+from repro.query import HasValue, Not, TextMatch
+
+
+@pytest.fixture()
+def session(recipe_workspace):
+    return Session(recipe_workspace)
+
+
+def _facet(recipe_corpus, kind, name):
+    return (
+        recipe_corpus.extras["properties"][kind],
+        recipe_corpus.extras[f"{kind}s"][name],
+    )
+
+
+class TestPreviewCount:
+    def test_filter_matches_refine(self, session, recipe_corpus):
+        prop, value = _facet(recipe_corpus, "cuisine", "Greek")
+        predicate = HasValue(prop, value)
+        count = session.preview_count(predicate)
+        view = session.refine(predicate)
+        assert count == len(view.items)
+
+    def test_exclude_matches_refine(self, session, recipe_corpus):
+        prop, value = _facet(recipe_corpus, "course", "Dessert")
+        predicate = HasValue(prop, value)
+        count = session.preview_count(predicate, RefineMode.EXCLUDE)
+        view = session.refine(predicate, RefineMode.EXCLUDE)
+        assert count == len(view.items)
+
+    def test_expand_matches_refine(self, session, recipe_corpus):
+        cuisine_prop, greek = _facet(recipe_corpus, "cuisine", "Greek")
+        session.refine(HasValue(cuisine_prop, greek))
+        _prop, italian = _facet(recipe_corpus, "cuisine", "Italian")
+        predicate = HasValue(cuisine_prop, italian)
+        count = session.preview_count(predicate, RefineMode.EXPAND)
+        view = session.refine(predicate, RefineMode.EXPAND)
+        assert count == len(view.items)
+
+    def test_preview_leaves_view_untouched(self, session, recipe_corpus):
+        prop, value = _facet(recipe_corpus, "cuisine", "Greek")
+        before = session.current
+        trail_depth = len(session.history.refinement_trail)
+        session.preview_count(HasValue(prop, value))
+        session.preview_count(Not(HasValue(prop, value)), RefineMode.EXCLUDE)
+        session.preview_count(TextMatch("olive"), RefineMode.EXPAND)
+        assert session.current is before
+        assert len(session.history.refinement_trail) == trail_depth
+
+    def test_unknown_mode_raises(self, session, recipe_corpus):
+        prop, value = _facet(recipe_corpus, "cuisine", "Greek")
+        with pytest.raises(ValueError):
+            session.preview_count(HasValue(prop, value), "sideways")

@@ -1,0 +1,120 @@
+"""Tests for the performance substrate: interning, bitsets, stats."""
+
+import random
+
+import pytest
+
+from repro.perf import (
+    CacheStats,
+    InternTable,
+    bits_from_ids,
+    iter_ids,
+    popcount,
+)
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://perf.example/")
+
+
+class TestInternTable:
+    def test_ids_are_dense_and_first_seen_ordered(self):
+        table = InternTable()
+        nodes = [EX.a, EX.b, EX.c]
+        assert [table.intern(n) for n in nodes] == [0, 1, 2]
+        assert len(table) == 3
+
+    def test_intern_is_idempotent(self):
+        table = InternTable()
+        first = table.intern(EX.a)
+        table.intern(EX.b)
+        assert table.intern(EX.a) == first
+        assert len(table) == 2
+
+    def test_roundtrip(self):
+        table = InternTable()
+        nodes = [EX[f"n{i}"] for i in range(50)]
+        ids = [table.intern(n) for n in nodes]
+        assert [table.node_at(i) for i in ids] == nodes
+        assert all(table.id_of(n) == i for n, i in zip(nodes, ids))
+
+    def test_contains(self):
+        table = InternTable()
+        table.intern(EX.a)
+        assert EX.a in table
+        assert EX.b not in table
+
+    def test_bits_roundtrip(self):
+        table = InternTable()
+        for i in range(20):
+            table.intern(EX[f"n{i}"])
+        subset = {EX.n3, EX.n7, EX.n19}
+        mask = table.bits_of(subset)
+        assert table.nodes_of(mask) == subset
+        assert popcount(mask) == 3
+
+    def test_bits_of_interns_unseen_nodes(self):
+        table = InternTable()
+        mask = table.bits_of([EX.fresh])
+        assert table.nodes_of(mask) == {EX.fresh}
+
+
+class TestBitsetHelpers:
+    def test_empty(self):
+        assert bits_from_ids([]) == 0
+        assert list(iter_ids(0)) == []
+        assert popcount(0) == 0
+
+    def test_matches_set_semantics_randomized(self):
+        rng = random.Random(20260806)
+        for _ in range(50):
+            a = set(rng.sample(range(500), rng.randint(0, 60)))
+            b = set(rng.sample(range(500), rng.randint(0, 60)))
+            bits_a = bits_from_ids(a)
+            bits_b = bits_from_ids(b)
+            assert set(iter_ids(bits_a & bits_b)) == a & b
+            assert set(iter_ids(bits_a | bits_b)) == a | b
+            assert set(iter_ids(bits_a & ~bits_b)) == a - b
+            assert popcount(bits_a) == len(a)
+
+    def test_iter_ids_ascending(self):
+        mask = bits_from_ids([9, 2, 77, 4])
+        assert list(iter_ids(mask)) == [2, 4, 9, 77]
+
+
+class TestCacheStats:
+    def test_counters_and_rates(self):
+        stats = CacheStats()
+        stats.hits += 3
+        stats.misses += 1
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        payload = stats.as_dict()
+        assert payload["hits"] == 3
+        stats.reset()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+
+
+class TestGraphVersion:
+    def test_version_bumps_only_on_effective_change(self):
+        graph = Graph()
+        v0 = graph.version
+        assert graph.add(EX.a, EX.p, Literal("x"))
+        v1 = graph.version
+        assert v1 > v0
+        # re-adding the same triple is a no-op
+        assert not graph.add(EX.a, EX.p, Literal("x"))
+        assert graph.version == v1
+        # removing a missing triple is a no-op
+        assert not graph.remove(EX.a, EX.p, Literal("y"))
+        assert graph.version == v1
+        assert graph.remove(EX.a, EX.p, Literal("x"))
+        assert graph.version > v1
+
+    def test_interner_is_stable_across_mutations(self):
+        graph = Graph()
+        graph.add(EX.a, RDF.type, EX.Doc)
+        item_id = graph.interner.intern(EX.a)
+        graph.add(EX.b, RDF.type, EX.Doc)
+        graph.remove(EX.a, RDF.type, EX.Doc)
+        assert graph.interner.id_of(EX.a) == item_id

@@ -1,0 +1,210 @@
+"""Bitset engine ≡ naive evaluation, over randomized predicate trees.
+
+The bitset strategy is pure optimization: for any predicate tree the
+result set must be *identical* to (a) per-item ``matches`` filtering and
+(b) the original set-based engine (``use_bitsets=False``).  These tests
+generate seeded-random And/Or/Not trees over the recipe corpus — with
+``within=`` restrictions and extension predicates mixed in — and check
+all three strategies agree, then exercise cache invalidation.
+"""
+
+import random
+
+import pytest
+
+from repro.query import (
+    And,
+    Cardinality,
+    HasProperty,
+    HasValue,
+    Not,
+    Or,
+    QueryContext,
+    QueryEngine,
+    Range,
+    TextMatch,
+    TypeIs,
+    ValueIn,
+)
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://bitset.example/")
+
+
+@pytest.fixture(scope="module")
+def setting(recipe_workspace):
+    """(context, bitset engine, legacy engine, leaf pool) over recipes."""
+    context = recipe_workspace.query_context
+    fast = QueryEngine(context, use_bitsets=True)
+    slow = QueryEngine(context, use_bitsets=False)
+    return context, fast, slow
+
+
+def _leaf_pool(corpus):
+    props = corpus.extras["properties"]
+    cuisines = list(corpus.extras["cuisines"].values())
+    courses = list(corpus.extras["courses"].values())
+    ingredients = list(corpus.extras["ingredients"].values())
+    leaves = [
+        TypeIs(corpus.extras["types"]["Recipe"]),
+        HasProperty(props["method"]),
+        HasProperty(props["origin"]),
+        TextMatch("olive"),
+        TextMatch("bake"),
+        Range(props["serves"], low=2, high=6),
+        Range(props["prepMinutes"], low=None, high=45),
+        Range(props["serves"], low=5, high=None),
+        ValueIn(props["ingredient"], ingredients[:12], quantifier="any"),
+    ]
+    leaves += [HasValue(props["cuisine"], value) for value in cuisines]
+    leaves += [HasValue(props["course"], value) for value in courses]
+    leaves += [HasValue(props["ingredient"], value) for value in ingredients[:8]]
+    return leaves
+
+
+def _random_tree(rng, leaves, depth):
+    if depth <= 0 or rng.random() < 0.3:
+        return rng.choice(leaves)
+    shape = rng.random()
+    if shape < 0.4:
+        parts = [
+            _random_tree(rng, leaves, depth - 1)
+            for _ in range(rng.randint(2, 3))
+        ]
+        return And(parts)
+    if shape < 0.8:
+        parts = [
+            _random_tree(rng, leaves, depth - 1)
+            for _ in range(rng.randint(2, 3))
+        ]
+        return Or(parts)
+    return Not(_random_tree(rng, leaves, depth - 1))
+
+
+def _naive(predicate, context, population):
+    return {item for item in population if predicate.matches(item, context)}
+
+
+class TestRandomizedEquivalence:
+    def test_trees_match_naive_and_legacy(self, setting, recipe_corpus):
+        context, fast, slow = setting
+        leaves = _leaf_pool(recipe_corpus)
+        rng = random.Random(40526)
+        for _ in range(60):
+            predicate = _random_tree(rng, leaves, depth=3)
+            expected = _naive(predicate, context, context.universe)
+            assert fast.evaluate(predicate) == expected
+            assert slow.evaluate(predicate) == expected
+            assert fast.count(predicate) == len(expected)
+
+    def test_within_matches_naive_and_legacy(self, setting, recipe_corpus):
+        context, fast, slow = setting
+        leaves = _leaf_pool(recipe_corpus)
+        universe = sorted(context.universe, key=lambda n: n.n3())
+        rng = random.Random(90125)
+        for _ in range(40):
+            predicate = _random_tree(rng, leaves, depth=2)
+            within = rng.sample(universe, rng.randint(0, len(universe)))
+            expected = _naive(predicate, context, set(within))
+            assert fast.evaluate(predicate, within=within) == expected
+            assert slow.evaluate(predicate, within=within) == expected
+            assert fast.count(predicate, within=within) == len(expected)
+
+    def test_repeated_evaluation_hits_cache(self, setting, recipe_corpus):
+        context, fast, _slow = setting
+        leaves = _leaf_pool(recipe_corpus)
+        predicate = And([leaves[0], Or([leaves[3], leaves[5]])])
+        first = fast.evaluate(predicate)
+        hits_before = context.cache_stats.hits
+        assert fast.evaluate(predicate) == first
+        assert context.cache_stats.hits > hits_before
+
+
+class TestExtensionPredicates:
+    def test_cardinality_falls_back(self, setting, recipe_corpus):
+        context, fast, slow = setting
+        prop = recipe_corpus.extras["properties"]["ingredient"]
+        predicate = Cardinality(prop, at_least=6)
+        expected = _naive(predicate, context, context.universe)
+        assert fast.evaluate(predicate) == expected
+        assert slow.evaluate(predicate) == expected
+
+    def test_mixed_tree_with_cardinality_falls_back(self, setting, recipe_corpus):
+        context, fast, slow = setting
+        props = recipe_corpus.extras["properties"]
+        cuisines = list(recipe_corpus.extras["cuisines"].values())
+        predicate = And(
+            [HasValue(props["cuisine"], cuisines[0]), Cardinality(props["ingredient"], at_least=4)]
+        )
+        expected = _naive(predicate, context, context.universe)
+        assert fast.evaluate(predicate) == expected
+        assert slow.evaluate(predicate) == expected
+
+    def test_root_extension_answers_first(self, recipe_workspace, recipe_corpus):
+        context = recipe_workspace.query_context
+        frozen = set(list(context.universe)[:5])
+        fast = QueryEngine(context, use_bitsets=True)
+        slow = QueryEngine(context, use_bitsets=False)
+        for engine in (fast, slow):
+            engine.register_extension(HasValue, lambda p, c: set(frozen))
+        props = recipe_corpus.extras["properties"]
+        cuisines = list(recipe_corpus.extras["cuisines"].values())
+        predicate = HasValue(props["cuisine"], cuisines[0])
+        assert fast.evaluate(predicate) == slow.evaluate(predicate) == frozen
+
+    def test_nested_extension_not_consulted(self, recipe_workspace, recipe_corpus):
+        """Extensions apply at the query root only — on both strategies."""
+        context = recipe_workspace.query_context
+        fast = QueryEngine(context, use_bitsets=True)
+        slow = QueryEngine(context, use_bitsets=False)
+        for engine in (fast, slow):
+            engine.register_extension(HasValue, lambda p, c: set())
+        props = recipe_corpus.extras["properties"]
+        cuisines = list(recipe_corpus.extras["cuisines"].values())
+        inner = HasValue(props["cuisine"], cuisines[0])
+        tree = Or([inner, inner])
+        expected = _naive(tree, context, context.universe)
+        assert fast.evaluate(tree) == expected
+        assert slow.evaluate(tree) == expected
+
+
+class TestCacheInvalidation:
+    @pytest.fixture()
+    def small(self):
+        graph = Graph()
+        for i in range(8):
+            item = EX[f"d{i}"]
+            graph.add(item, RDF.type, EX.Doc)
+            graph.add(item, EX.tag, EX.even if i % 2 == 0 else EX.odd)
+            graph.add(item, EX.size, Literal(i))
+        context = QueryContext(graph)
+        return graph, context, QueryEngine(context)
+
+    def test_graph_mutation_refreshes_extents(self, small):
+        graph, context, engine = small
+        predicate = HasValue(EX.tag, EX.even)
+        assert len(engine.evaluate(predicate)) == 4
+        graph.add(EX.d9, RDF.type, EX.Doc)
+        graph.add(EX.d9, EX.tag, EX.even)
+        context.universe.add(EX.d9)
+        result = engine.evaluate(predicate)
+        assert EX.d9 in result and len(result) == 5
+        assert context.cache_stats.invalidations >= 1
+
+    def test_removal_refreshes_extents(self, small):
+        graph, context, engine = small
+        predicate = Not(HasValue(EX.tag, EX.odd))
+        before = engine.evaluate(predicate)
+        assert len(before) == 4
+        graph.remove(EX.d0, EX.tag, EX.even)
+        graph.add(EX.d0, EX.tag, EX.odd)
+        after = engine.evaluate(predicate)
+        assert after == before - {EX.d0}
+
+    def test_range_extent_tracks_updates(self, small):
+        graph, context, engine = small
+        predicate = Range(EX.size, low=3, high=None)
+        assert len(engine.evaluate(predicate)) == 5
+        graph.remove(EX.d7, EX.size, Literal(7))
+        graph.add(EX.d7, EX.size, Literal(0))
+        assert len(engine.evaluate(predicate)) == 4
