@@ -22,12 +22,20 @@ Subpackages
 ``repro.browser``   — session, facets, text renderers (§3)
 ``repro.datasets``  — synthetic stand-ins for every corpus of §6
 ``repro.study``     — the simulated user study (§6.3)
+``repro.obs``       — spans, metrics, cache telemetry (``--trace``)
 """
 
 from .browser.session import Session
 from .core.engine import NavigationEngine
 from .core.workspace import Workspace
+from .obs import Observability
 
 __version__ = "1.0.0"
 
-__all__ = ["Session", "NavigationEngine", "Workspace", "__version__"]
+__all__ = [
+    "Observability",
+    "Session",
+    "NavigationEngine",
+    "Workspace",
+    "__version__",
+]

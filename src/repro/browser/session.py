@@ -69,6 +69,16 @@ class Session:
         self._bookmarks: list[Node] = []
         self._back_stack: list[View] = []
 
+    @property
+    def metrics(self):
+        """The workspace's metrics registry (``.snapshot()`` to read).
+
+        Cache telemetry — extent-cache hit rates, facet-memo reuse,
+        store maintenance decisions — is always collected; this is the
+        operator's window onto it regardless of whether tracing is on.
+        """
+        return self.workspace.obs.metrics
+
     # ------------------------------------------------------------------
     # Starting searches (§3.1)
     # ------------------------------------------------------------------
@@ -84,8 +94,12 @@ class Session:
 
     def run_query(self, predicate: Predicate, description: str | None = None) -> View:
         """Execute a query against the whole universe."""
-        items = self.workspace.query_engine.evaluate(predicate)
-        return self._arrive_collection(predicate, items, description)
+        obs = self.workspace.obs
+        with obs.tracer.span("session.query") as span:
+            items = self.workspace.query_engine.evaluate(predicate)
+            view = self._arrive_collection(predicate, items, description)
+            span.set_tag("items", len(view.items))
+            return view
 
     def refine(self, predicate: Predicate, mode: str = RefineMode.FILTER) -> View:
         """Apply a predicate to the current collection directly.
@@ -93,7 +107,12 @@ class Session:
         This is the programmatic form of clicking a refinement
         suggestion; ``mode`` selects filter/exclude/expand (§4.1).
         """
-        return self._refine_with(predicate, mode)
+        obs = self.workspace.obs
+        obs.metrics.counter("session.refinements").inc()
+        with obs.tracer.span("session.refine", mode=mode) as span:
+            view = self._refine_with(predicate, mode)
+            span.set_tag("items", len(view.items))
+            return view
 
     def preview_count(
         self, predicate: Predicate, mode: str = RefineMode.FILTER
@@ -105,6 +124,14 @@ class Session:
         probing every visible suggestion costs no set materialization
         and the current view is left untouched.
         """
+        obs = self.workspace.obs
+        obs.metrics.counter("session.preview_counts").inc()
+        with obs.tracer.span("session.preview_count", mode=mode) as span:
+            count = self._preview_count(predicate, mode)
+            span.set_tag("results", count)
+            return count
+
+    def _preview_count(self, predicate: Predicate, mode: str) -> int:
         engine = self.workspace.query_engine
         if mode == RefineMode.FILTER:
             return engine.count(predicate, within=self.current.items)

@@ -28,9 +28,14 @@ Commands (also shown by ``help``):
     like <n> / unlike <n> relevance feedback on the n-th item
     more                  more like the marked items
     export <path>         save the collection as N-Triples/Turtle
+    metrics               print the cache/telemetry snapshot
     back                  return to the previous view
     undo                  undo the last query refinement
     quit
+
+With ``--trace``, every command is followed by its span tree (what the
+engine did and how long each stage took); ``--metrics`` prints the
+telemetry snapshot when the session ends.
 """
 
 from __future__ import annotations
@@ -50,23 +55,26 @@ from .browser.session import Session
 from .core.suggestions import OpenRangeWidget
 from .core.workspace import Workspace
 from .datasets import factbook, inbox, recipes, states
+from .obs import Observability, render_metrics, render_trace_forest
 
 __all__ = ["main", "Shell"]
 
 
-def _load_workspace(args: argparse.Namespace) -> Workspace:
+def _load_workspace(
+    args: argparse.Namespace, obs: Observability | None = None
+) -> Workspace:
     if args.ntriples:
         from .rdf.ntriples import parse_ntriples
 
         with open(args.ntriples, encoding="utf-8") as handle:
             graph = parse_ntriples(handle.read())
-        return Workspace(graph)
+        return Workspace(graph, obs=obs)
     if args.turtle:
         from .rdf.turtle import parse_turtle
 
         with open(args.turtle, encoding="utf-8") as handle:
             graph = parse_turtle(handle.read())
-        return Workspace(graph)
+        return Workspace(graph, obs=obs)
     if args.dataset == "recipes":
         corpus = recipes.build_corpus(n_recipes=args.size, seed=args.seed)
     elif args.dataset == "inbox":
@@ -77,7 +85,9 @@ def _load_workspace(args: argparse.Namespace) -> Workspace:
         corpus = factbook.build_corpus(annotated=args.annotated)
     else:
         raise SystemExit(f"unknown dataset {args.dataset!r}")
-    return Workspace(corpus.graph, schema=corpus.schema, items=corpus.items)
+    return Workspace(
+        corpus.graph, schema=corpus.schema, items=corpus.items, obs=obs
+    )
 
 
 class Shell:
@@ -231,6 +241,9 @@ class Shell:
         self.write(f"{len(view.items)} items")
         self.show_pane()
 
+    def do_metrics(self, argument: str) -> None:
+        self.write(render_metrics(self.session.metrics.snapshot()))
+
     def do_help(self, argument: str) -> None:
         self.write(__doc__.split("Commands", 1)[1])
 
@@ -273,10 +286,18 @@ class Shell:
             return None
         return self._numbered[index - 1]
 
+    def _flush_trace(self) -> None:
+        """Print and drop spans gathered since the last command."""
+        tracer = self.session.workspace.obs.tracer
+        if tracer.enabled and tracer.roots:
+            self.write(render_trace_forest(tracer.roots))
+            tracer.clear()
+
     def run(self, stdin: IO[str] = sys.stdin, interactive: bool = True) -> int:
         """Read commands until quit/EOF; returns an exit code."""
         self.write(f"{self.session.workspace!r}")
         self.show_pane()
+        self._flush_trace()
         while True:
             if interactive:
                 self.out.write("magnet> ")
@@ -299,6 +320,7 @@ class Shell:
                 handler(argument.strip())
             except Exception as error:  # surface, keep the loop alive
                 self.write(f"error: {error}")
+            self._flush_trace()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -323,16 +345,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--commands",
         help="read commands from a file instead of stdin (non-interactive)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a span tree after every command",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry snapshot when the session ends",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    workspace = _load_workspace(args)
+    obs = Observability(tracing=args.trace)
+    workspace = _load_workspace(args, obs)
     shell = Shell(Session(workspace))
     if args.commands:
         with open(args.commands, encoding="utf-8") as handle:
-            return shell.run(handle, interactive=False)
-    interactive = sys.stdin.isatty()
-    return shell.run(sys.stdin, interactive=interactive)
+            code = shell.run(handle, interactive=False)
+    else:
+        interactive = sys.stdin.isatty()
+        code = shell.run(sys.stdin, interactive=interactive)
+    if args.metrics:
+        shell.do_metrics("")
+    return code

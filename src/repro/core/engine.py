@@ -14,6 +14,7 @@ navigation pane renders.
 
 from __future__ import annotations
 
+from ..obs import NULL_OBS
 from .advisors import Advisor, standard_advisors
 from .analysts import Analyst, standard_analysts
 from .blackboard import Blackboard
@@ -21,6 +22,9 @@ from .suggestions import Suggestion
 from .view import View
 
 __all__ = ["NavigationEngine", "NavigationResult"]
+
+#: Fixed buckets for the per-analyst posted-suggestion histogram.
+_SUGGESTION_BUCKETS = (0, 1, 2, 5, 10, 20, 50)
 
 
 class NavigationResult:
@@ -86,7 +90,19 @@ class NavigationEngine:
         self.advisors[advisor.advisor_id] = advisor
 
     def suggest(self, view: View) -> NavigationResult:
-        """Run one full blackboard cycle for a view."""
+        """Run one full blackboard cycle for a view.
+
+        Each triggered analyst runs under its own ``nav.analyst`` span
+        tagged with how many suggestions its turn put on the blackboard
+        (including reactive postings it provoked), and the same count
+        feeds the ``nav.analyst_suggestions`` histogram — the per-stage
+        cost accounting of the blackboard dispatch.
+        """
+        obs = getattr(view.workspace, "obs", None) or NULL_OBS
+        tracer = obs.tracer
+        per_analyst = obs.metrics.histogram(
+            "nav.analyst_suggestions", _SUGGESTION_BUCKETS
+        )
         blackboard = Blackboard()
         for analyst in self.analysts:
             if analyst.is_reactive():
@@ -95,18 +111,28 @@ class NavigationEngine:
                         view, board, suggestion
                     )
                 )
-        for analyst in self.analysts:
-            if not analyst.is_reactive() and analyst.triggers_on(view):
-                analyst.analyze(view, blackboard)
-        presented: dict[str, list[Suggestion]] = {}
-        overflow: dict[str, list[str]] = {}
-        for advisor_id, advisor in self.advisors.items():
-            chosen = advisor.select(blackboard)
-            if chosen:
-                presented[advisor_id] = chosen
-            truncated = advisor.overflow_groups(blackboard)
-            if truncated:
-                overflow[advisor_id] = truncated
+        with tracer.span("nav.suggest", view=view.kind) as cycle:
+            for analyst in self.analysts:
+                if analyst.is_reactive() or not analyst.triggers_on(view):
+                    continue
+                before = len(blackboard)
+                with tracer.span("nav.analyst", name=analyst.name) as span:
+                    analyst.analyze(view, blackboard)
+                    posted = len(blackboard) - before
+                    span.set_tag("suggestions", posted)
+                per_analyst.observe(posted)
+            presented: dict[str, list[Suggestion]] = {}
+            overflow: dict[str, list[str]] = {}
+            for advisor_id, advisor in self.advisors.items():
+                with tracer.span("nav.advisor", name=advisor_id) as span:
+                    chosen = advisor.select(blackboard)
+                    truncated = advisor.overflow_groups(blackboard)
+                    span.set_tag("selected", len(chosen))
+                if chosen:
+                    presented[advisor_id] = chosen
+                if truncated:
+                    overflow[advisor_id] = truncated
+            cycle.set_tag("posted", len(blackboard))
         return NavigationResult(view, blackboard, presented, overflow)
 
     def __repr__(self) -> str:

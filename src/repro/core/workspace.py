@@ -13,6 +13,7 @@ from typing import Iterable, Sequence
 
 from ..index.store import VectorStore
 from ..index.textindex import TextIndex
+from ..obs import Observability
 from ..perf.stats import CacheStats
 from ..query.ast import QueryContext
 from ..query.engine import QueryEngine
@@ -33,9 +34,13 @@ class Workspace:
         schema: Schema | None = None,
         items: Iterable[Node] | None = None,
         use_compositions: bool = True,
+        obs: Observability | None = None,
     ):
         from ..vsm.model import VectorSpaceModel
 
+        #: Shared tracing + metrics context; tracing is off by default
+        #: (no-op tracer), telemetry gauges are wired regardless.
+        self.obs = obs if obs is not None else Observability(tracing=False)
         self.graph = graph
         self.schema = schema if schema is not None else Schema(graph)
         if items is None:
@@ -50,7 +55,7 @@ class Workspace:
             graph, schema=self.schema, use_compositions=use_compositions
         )
         self.model.index_items(self.items)
-        self.vector_store = VectorStore(self.model)
+        self.vector_store = VectorStore(self.model, obs=self.obs)
         self.text_index = TextIndex(graph)
         self.text_index.index_items(self.items)
         self.query_context = QueryContext(
@@ -59,10 +64,46 @@ class Workspace:
             text_index=self.text_index,
             universe=set(self.items),
         )
-        self.query_engine = QueryEngine(self.query_context)
+        self.query_engine = QueryEngine(self.query_context, obs=self.obs)
         #: (graph version, collection) -> CollectionProfile, small FIFO
         self._facet_profiles: dict = {}
         self.facet_profile_stats = CacheStats()
+        self._wire_metrics()
+
+    def _wire_metrics(self) -> None:
+        """Expose the substrate counters as lazy snapshot-time gauges.
+
+        The hot paths already maintain these numbers (PR-1's
+        ``CacheStats`` / ``IndexMaintenanceStats``); registering pull
+        callbacks means telemetry costs nothing until someone snapshots.
+        """
+        metrics = self.obs.metrics
+        cache = self.query_context.cache_stats
+        metrics.gauge_fn("query.extent_cache.hits", lambda: cache.hits)
+        metrics.gauge_fn("query.extent_cache.misses", lambda: cache.misses)
+        metrics.gauge_fn(
+            "query.extent_cache.invalidations", lambda: cache.invalidations
+        )
+        metrics.gauge_fn("query.extent_cache.hit_rate", lambda: cache.hit_rate)
+        memo = self.facet_profile_stats
+        metrics.gauge_fn("facets.profile_memo.hits", lambda: memo.hits)
+        metrics.gauge_fn("facets.profile_memo.misses", lambda: memo.misses)
+        maintenance = self.vector_store.maintenance
+        metrics.gauge_fn(
+            "store.full_rebuilds", lambda: maintenance.full_rebuilds
+        )
+        metrics.gauge_fn(
+            "store.incremental_updates",
+            lambda: maintenance.incremental_updates,
+        )
+        metrics.gauge_fn(
+            "store.items_reindexed", lambda: maintenance.items_reindexed
+        )
+        metrics.gauge_fn(
+            "index.postings_touched",
+            lambda: self.vector_store.postings_touched,
+        )
+        metrics.gauge_fn("graph.version", lambda: self.graph.version)
 
     def add_item(self, item: Node) -> None:
         """Index a newly arrived item across every substrate (§5.2)."""
@@ -93,7 +134,8 @@ class Workspace:
             self.facet_profile_stats.hits += 1
             return profile
         self.facet_profile_stats.misses += 1
-        profile = collection_profile(self.graph, self.schema, items)
+        with self.obs.tracer.span("facets.profile", items=len(items)):
+            profile = collection_profile(self.graph, self.schema, items)
         self._facet_profiles[key] = profile
         while len(self._facet_profiles) > 8:
             self._facet_profiles.pop(next(iter(self._facet_profiles)))

@@ -20,6 +20,9 @@ class InvertedIndex:
     def __init__(self):
         self._postings: dict[Hashable, dict[Hashable, float]] = {}
         self._doc_coords: dict[Hashable, list[Hashable]] = {}
+        #: postings entries examined by retrieval (bumped by ``top_k``);
+        #: survives :meth:`clear` so rebuilds don't erase the telemetry.
+        self.postings_touched = 0
 
     def add(self, item: Hashable, entries: Iterable[tuple[Hashable, float]]) -> None:
         """Insert a document's (coordinate, weight) pairs."""

@@ -58,9 +58,13 @@ def top_k(
     if k <= 0 or len(query) == 0:
         return []
     scores: dict[Hashable, float] = {}
+    touched = 0
     for coord, q_weight in query.items():
-        for item, d_weight in index.postings(coord).items():
+        postings = index.postings(coord)
+        touched += len(postings)
+        for item, d_weight in postings.items():
             scores[item] = scores.get(item, 0.0) + q_weight * d_weight
+    index.postings_touched += touched
     heap: list[tuple[float, _MaxStr, int, Hashable]] = []
     seq = 0
     for item, score in scores.items():

@@ -24,6 +24,7 @@ import math
 from collections import Counter
 from typing import Callable, Sequence
 
+from ..obs import NULL_OBS, Observability
 from ..perf.stats import IndexMaintenanceStats
 from ..rdf.terms import Node
 from ..vsm.model import VectorSpaceModel
@@ -33,6 +34,9 @@ from .inverted import InvertedIndex
 from .search import Hit, top_k
 
 __all__ = ["VectorStore"]
+
+#: Fixed buckets for postings examined per top-k search.
+_POSTINGS_BUCKETS = (10, 100, 1_000, 10_000, 100_000)
 
 #: Small enough that small corpora always rebuild exactly (one document
 #: among a few hundred shifts every idf by more than this), large enough
@@ -48,9 +52,11 @@ class VectorStore:
         self,
         model: VectorSpaceModel,
         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        obs: Observability | None = None,
     ):
         self.model = model
         self.drift_threshold = drift_threshold
+        self.obs = obs if obs is not None else NULL_OBS
         self._index = InvertedIndex()
         self._built_version = -1
         #: corpus size at the last *exact* build (drift baseline)
@@ -112,10 +118,18 @@ class VectorStore:
         """
         if self._built_version == self.model.stats.version:
             return False
-        if self._pending and self._idf_drift() < self.drift_threshold:
-            self._apply_pending()
-        else:
-            self._rebuild()
+        incremental = (
+            bool(self._pending) and self._idf_drift() < self.drift_threshold
+        )
+        with self.obs.tracer.span(
+            "store.refresh",
+            decision="incremental" if incremental else "rebuild",
+            pending=len(self._pending),
+        ):
+            if incremental:
+                self._apply_pending()
+            else:
+                self._rebuild()
         return True
 
     def rebuild(self) -> None:
@@ -160,6 +174,11 @@ class VectorStore:
     # Search entry points
     # ------------------------------------------------------------------
 
+    @property
+    def postings_touched(self) -> int:
+        """Total postings examined by searches so far (telemetry)."""
+        return self._index.postings_touched
+
     def search(
         self,
         query: SparseVector,
@@ -167,7 +186,16 @@ class VectorStore:
         exclude: Callable[[Node], bool] | None = None,
     ) -> list[Hit]:
         """Top-k items by dot product against an arbitrary query vector."""
-        return top_k(self.index, query, k, exclude=exclude)
+        index = self.index
+        before = index.postings_touched
+        with self.obs.tracer.span("store.search", k=k) as span:
+            hits = top_k(index, query, k, exclude=exclude)
+            touched = index.postings_touched - before
+            span.set_tag("postings", touched)
+        self.obs.metrics.histogram(
+            "index.postings_per_search", _POSTINGS_BUCKETS
+        ).observe(touched)
+        return hits
 
     def similar_to_item(self, item: Node, k: int = 10) -> list[Hit]:
         """Items most similar to one item, excluding the item itself.

@@ -1,0 +1,46 @@
+"""Observability: spans, metrics, and cache telemetry for the hot path.
+
+Magnet's interactive loop is a multi-stage pipeline — refine, evaluate
+predicates over cached bitset extents, run the blackboard of analysts,
+rank with the vector store — and the performance layer's value depends
+entirely on cache behaviour.  This package makes that behaviour visible
+without perturbing it:
+
+* :class:`Tracer` / :class:`Span` — nested spans with monotonic-clock
+  durations and an injectable :class:`ManualClock` for deterministic
+  golden-trace tests; :data:`NULL_TRACER` is the zero-overhead default.
+* :class:`MetricsRegistry` — counters, gauges (eager and lazy), and
+  fixed-bucket histograms with a deterministic, pure ``snapshot()``.
+* :func:`render_trace` / :func:`render_metrics` — plain-text renderers
+  in the style of the figure renderers in ``browser/render.py``.
+* :class:`Observability` — the bundle a
+  :class:`~repro.core.workspace.Workspace` threads through its
+  substrates; ``python -m repro --trace`` turns it on interactively.
+
+Everything here is dependency-free and imports nothing from the rest of
+``repro`` — it sits at the very bottom of the dependency stack.
+"""
+
+from .clock import ManualClock, monotonic_clock
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observability import NULL_OBS, Observability
+from .render import render_metrics, render_trace, render_trace_forest
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "monotonic_clock",
+    "render_metrics",
+    "render_trace",
+    "render_trace_forest",
+]

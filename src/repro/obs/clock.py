@@ -1,0 +1,48 @@
+"""Clocks for span timing: monotonic for production, manual for tests.
+
+A clock is just a zero-argument callable returning a monotonically
+non-decreasing float.  The tracer never assumes a unit — wall-clock
+spans carry seconds, :class:`ManualClock` spans carry "ticks" — so
+golden-trace tests can assert durations exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["ManualClock", "monotonic_clock"]
+
+#: The production clock: monotonic, high resolution, unit = seconds.
+monotonic_clock = time.perf_counter
+
+
+class ManualClock:
+    """A deterministic clock that advances by ``step`` on every read.
+
+    Each read returns the current time *then* advances, so a span whose
+    body performs no further clock reads lasts exactly one step, and a
+    span enclosing ``n`` reads lasts ``n + 1`` steps.  Durations are
+    therefore a pure function of the code path — the property the
+    golden-trace tests rely on.  :meth:`advance` injects extra elapsed
+    time between reads when a test wants a specific duration.
+    """
+
+    __slots__ = ("now", "step")
+
+    def __init__(self, start: float = 0.0, step: float = 1.0):
+        self.now = float(start)
+        self.step = float(step)
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, amount: float) -> None:
+        """Move time forward without counting as a read."""
+        if amount < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self.now += amount
+
+    def __repr__(self) -> str:
+        return f"<ManualClock now={self.now:g} step={self.step:g}>"

@@ -1,0 +1,203 @@
+"""Counters, gauges, and fixed-bucket histograms with pure snapshots.
+
+The registry is pull-oriented: hot paths either bump a pre-resolved
+:class:`Counter`/:class:`Histogram` (one attribute add), or — for the
+PR-1 cache statistics that are already counted elsewhere — register a
+*lazy gauge*, a callable read only when :meth:`MetricsRegistry.snapshot`
+runs, so telemetry of an existing counter costs nothing until someone
+asks for it.
+
+``snapshot()`` is deterministic and pure: keys are sorted, the returned
+structure is freshly built plain dicts/lists, and two snapshots with no
+intervening observations compare equal.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value, set explicitly."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Observations bucketed by fixed upper bounds.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing order;
+    an implicit overflow bucket catches everything above the last bound.
+    The bucket layout is fixed at registration so snapshots from
+    different runs line up column-for-column.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.buckets = bounds
+        #: one slot per bound, plus the trailing overflow slot
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total: float = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} count={self.count}>"
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create registration.
+
+    Registration is idempotent — asking for an existing name returns the
+    same instrument, so re-entrant or repeated wiring cannot shadow or
+    reset live metrics — and a name can only ever denote one kind of
+    instrument (a counter cannot become a gauge).
+    """
+
+    __slots__ = ("_counters", "_gauges", "_gauge_fns", "_histograms")
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._gauge_fns: dict[str, Callable[[], float]] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._claim(name, "counter")
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._claim(name, "gauge")
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a lazy gauge, read only at snapshot time.
+
+        Re-registering the same name replaces the callable — rebuilding
+        a workspace substrate may legitimately re-wire its collector.
+        """
+        if name not in self._gauge_fns:
+            self._claim(name, "gauge_fn")
+        self._gauge_fns[name] = fn
+
+    def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            if buckets is None:
+                raise ValueError(f"histogram {name!r} needs bucket bounds")
+            self._claim(name, "histogram")
+            histogram = self._histograms[name] = Histogram(name, buckets)
+        elif buckets is not None and tuple(buckets) != histogram.buckets:
+            raise ValueError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return histogram
+
+    def _claim(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("gauge_fn", self._gauge_fns),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already a {other_kind}, "
+                    f"cannot register as {kind}"
+                )
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A deterministic, freshly built view of every metric."""
+        gauges = {name: gauge.value for name, gauge in self._gauges.items()}
+        for name, fn in self._gauge_fns.items():
+            gauges[name] = fn()
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {name: gauges[name] for name in sorted(gauges)},
+            "histograms": {
+                name: self._histogram_snapshot(self._histograms[name])
+                for name in sorted(self._histograms)
+            },
+        }
+
+    @staticmethod
+    def _histogram_snapshot(histogram: Histogram) -> dict:
+        return {
+            "buckets": list(histogram.buckets),
+            "counts": list(histogram.counts),
+            "count": histogram.count,
+            "sum": histogram.total,
+        }
+
+    def reset(self) -> None:
+        """Zero counters and histograms; registrations are kept."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0
+        for histogram in self._histograms.values():
+            histogram.counts = [0] * (len(histogram.buckets) + 1)
+            histogram.count = 0
+            histogram.total = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges) + len(self._gauge_fns)} "
+            f"histograms={len(self._histograms)}>"
+        )

@@ -1,0 +1,85 @@
+"""Deterministic text renderers for trace trees and metric snapshots.
+
+Same contract as the pane renderers in ``browser/render.py``: plain
+text, stable ordering, no timestamps or addresses — so golden tests can
+assert the output byte-for-byte when spans were timed by a
+:class:`~repro.obs.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .tracer import Span
+
+__all__ = ["render_trace", "render_trace_forest", "render_metrics"]
+
+
+def _format_number(value) -> str:
+    """Integers render bare; floats keep six decimals for stability."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value):
+            return str(int(value))
+        return f"{value:.6f}"
+    return str(value)
+
+
+def _span_line(span: Span) -> str:
+    parts = [span.name]
+    for key in sorted(span.tags):
+        parts.append(f"{key}={_format_number(span.tags[key])}")
+    parts.append(f"[{_format_number(span.duration)}]")
+    return " ".join(parts)
+
+
+def render_trace(root: Span) -> str:
+    """One span tree, two-space indentation per nesting level."""
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        lines.append("  " * depth + _span_line(span))
+        for child in span.children:
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_trace_forest(roots: Iterable[Span]) -> str:
+    """Several root spans in recording order."""
+    return "\n".join(render_trace(root) for root in roots)
+
+
+def render_metrics(snapshot: dict, width: int = 72) -> str:
+    """A metrics snapshot as the CLI's ``metrics`` command prints it."""
+    rule = "=" * width
+    lines = [rule, "METRICS", rule]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {_format_number(counters[name])}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name} = {_format_number(gauges[name])}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            data = histograms[name]
+            lines.append(
+                f"  {name}  count={data['count']} "
+                f"sum={_format_number(data['sum'])}"
+            )
+            bounds = [f"<={_format_number(b)}" for b in data["buckets"]]
+            bounds.append("+inf")
+            for bound, count in zip(bounds, data["counts"]):
+                lines.append(f"    {bound:>12}  {count}")
+    lines.append(rule)
+    return "\n".join(lines)

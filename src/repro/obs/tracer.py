@@ -1,0 +1,181 @@
+"""Nested spans over an injectable clock.
+
+A :class:`Span` records one timed region of the pipeline — a
+``Session.refine``, one analyst's turn on the blackboard, one predicate
+node's extent resolution.  Spans nest: the tracer keeps a *current*
+span, and every span opened while another is active becomes its child.
+
+Re-entrancy is the one subtle requirement.  An analyst running inside a
+``nav.analyst`` span may call back into ``QueryEngine.evaluate``, which
+opens spans of its own; a blackboard listener may even post suggestions
+that trigger further analysts mid-span.  Each span scope therefore
+restores, on exit, exactly the current-span reference it saw on entry —
+never a blind stack pop — so mis-ordered or exception-unwound exits
+cannot corrupt the ancestry of spans that are still open.
+
+:class:`NullTracer` is the zero-overhead default: ``enabled`` is False
+(hot paths skip instrumentation entirely) and ``span()`` hands back a
+shared do-nothing scope for the call sites that do not bother checking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .clock import monotonic_clock
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed, tagged region; children are spans opened within it."""
+
+    __slots__ = ("name", "tags", "start", "end", "children")
+
+    def __init__(self, name: str, tags: dict | None = None):
+        self.name = name
+        self.tags: dict = tags if tags is not None else {}
+        self.start: float | None = None
+        self.end: float | None = None
+        self.children: list[Span] = []
+
+    def set_tag(self, key: str, value) -> None:
+        """Attach/overwrite one tag (usable while the span is open)."""
+        self.tags[key] = value
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed clock units; 0.0 while the span is still open."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        state = f"{self.duration:g}" if self.finished else "open"
+        return f"<Span {self.name!r} {state} children={len(self.children)}>"
+
+
+class _SpanScope:
+    """Context manager for one span; restores the saved parent on exit."""
+
+    __slots__ = ("_tracer", "_span", "_prev")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._prev: Span | None = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        parent = tracer._current
+        self._prev = parent
+        if parent is None:
+            tracer.roots.append(span)
+        else:
+            parent.children.append(span)
+        tracer._current = span
+        span.start = tracer._clock()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end = self._tracer._clock()
+        if exc_type is not None:
+            span.set_tag("error", exc_type.__name__)
+        # Restore what we saw, not whatever is on top now: a re-entrant
+        # caller that misnests cannot damage our ancestors.
+        self._tracer._current = self._prev
+        return False
+
+
+class Tracer:
+    """Collects span trees; one instance per observability context."""
+
+    #: Hot paths consult this before building any span machinery.
+    enabled = True
+
+    def __init__(self, clock=None):
+        self._clock = clock if clock is not None else monotonic_clock
+        #: finished (or still-open) top-level spans, in start order
+        self.roots: list[Span] = []
+        self._current: Span | None = None
+
+    def span(self, name: str, /, **tags) -> _SpanScope:
+        """Open a span as a context manager: ``with tracer.span(...)``.
+
+        ``name`` is positional-only so any keyword — including ``name``
+        itself — stays available as a tag.
+        """
+        return _SpanScope(self, Span(name, tags or None))
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._current
+
+    def clear(self) -> None:
+        """Drop recorded roots (open spans keep tracking their scope)."""
+        self.roots = []
+
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def __repr__(self) -> str:
+        return f"<Tracer roots={len(self.roots)} enabled={self.enabled}>"
+
+
+class _NullScope:
+    """Shared do-nothing span scope."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_tag(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    roots: tuple = ()
+    current = None
+
+    __slots__ = ()
+
+    def span(self, name: str, /, **tags) -> _NullScope:
+        return _NULL_SCOPE
+
+    def clear(self) -> None:
+        pass
+
+    def spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+#: Shared instance — stateless, so one is enough for the whole process.
+NULL_TRACER = NullTracer()

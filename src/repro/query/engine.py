@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from ..obs import NULL_OBS, Observability
 from ..perf.bitset import popcount
 from ..rdf.terms import Node
 from .ast import _MISS, And, Not, Or, Predicate, QueryContext
@@ -37,9 +38,15 @@ ExtensionEvaluator = Callable[[Predicate, QueryContext], Optional[set[Node]]]
 class QueryEngine:
     """Resolves predicates against a :class:`QueryContext`."""
 
-    def __init__(self, context: QueryContext, use_bitsets: bool = True):
+    def __init__(
+        self,
+        context: QueryContext,
+        use_bitsets: bool = True,
+        obs: Observability | None = None,
+    ):
         self.context = context
         self.use_bitsets = use_bitsets
+        self.obs = obs if obs is not None else NULL_OBS
         self._extensions: dict[type, ExtensionEvaluator] = {}
 
     def register_extension(
@@ -66,6 +73,21 @@ class QueryEngine:
         ``within`` restricts evaluation to a base collection (used when
         refining the current result set); None means the full universe.
         """
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._evaluate(predicate, within)
+        with tracer.span(
+            "query.evaluate",
+            root=type(predicate).__name__,
+            mode="bitset" if self.use_bitsets else "legacy",
+        ) as span:
+            result = self._evaluate(predicate, within)
+            span.set_tag("results", len(result))
+            return result
+
+    def _evaluate(
+        self, predicate: Predicate, within: Iterable[Node] | None
+    ) -> set[Node]:
         context = self.context
         if self.use_bitsets:
             bits = self._root_bits(predicate)
@@ -93,6 +115,21 @@ class QueryEngine:
         materialized, which is what makes §3.2's per-click previews
         near-free once extents are cached.
         """
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._count(predicate, within)
+        with tracer.span(
+            "query.count",
+            root=type(predicate).__name__,
+            mode="bitset" if self.use_bitsets else "legacy",
+        ) as span:
+            count = self._count(predicate, within)
+            span.set_tag("results", count)
+            return count
+
+    def _count(
+        self, predicate: Predicate, within: Iterable[Node] | None
+    ) -> int:
         if self.use_bitsets:
             bits = self._root_bits(predicate)
             if bits is not None:
@@ -100,7 +137,7 @@ class QueryEngine:
                 if within is not None:
                     return popcount(bits & context.bits_of(within))
                 return popcount(bits & context.universe_bits())
-        return len(self.evaluate(predicate, within))
+        return len(self._evaluate(predicate, within))
 
     def matches(self, predicate: Predicate, item: Node) -> bool:
         """Test a single item."""
@@ -116,7 +153,55 @@ class QueryEngine:
             extent = evaluator(predicate, self.context)
             if extent is not None:
                 return extent
+        if self.obs.tracer.enabled:
+            return self._extent_traced(predicate)
         return predicate.candidates(self.context)
+
+    def _extent_traced(self, predicate: Predicate) -> Optional[set[Node]]:
+        """Per-node spans for the legacy strategy.
+
+        Mirrors exactly what ``candidates`` does for the combinators —
+        And resolves every part then intersects, Or stops at the first
+        unknown part, Not complements against the universe — so the
+        result (and any error surfaced along the way) is identical to
+        the untraced path; only spans are added.  Extension evaluators
+        are *not* consulted here: as on the untraced path, they apply at
+        the query root only.
+        """
+        tracer = self.obs.tracer
+        context = self.context
+        with tracer.span("query.node", kind=type(predicate).__name__) as span:
+            if isinstance(predicate, And):
+                parts = [self._extent_traced(part) for part in predicate.parts]
+                if any(part is None for part in parts):
+                    extent = None
+                elif not parts:
+                    extent = set(context.universe)
+                else:
+                    extent = set(min(parts, key=len))
+                    for part in parts:
+                        extent &= part
+            elif isinstance(predicate, Or):
+                extent = set()
+                for part in predicate.parts:
+                    part_extent = self._extent_traced(part)
+                    if part_extent is None:
+                        extent = None
+                        break
+                    extent |= part_extent
+            elif isinstance(predicate, Not):
+                part_extent = self._extent_traced(predicate.part)
+                extent = (
+                    None
+                    if part_extent is None
+                    else context.universe - part_extent
+                )
+            else:
+                extent = predicate.candidates(context)
+            span.set_tag(
+                "extent", "unknown" if extent is None else len(extent)
+            )
+            return extent
 
     def _root_bits(self, predicate: Predicate) -> int | None:
         """Extent bitmask of the query root, or None when unknown.
@@ -134,11 +219,35 @@ class QueryEngine:
         return self._tree_bits(predicate)
 
     def _tree_bits(self, predicate: Predicate) -> int | None:
-        """Recursive bitset extent; None propagates from unknown leaves."""
+        """Recursive bitset extent; None propagates from unknown leaves.
+
+        With tracing on, every node resolution gets a ``query.node``
+        span tagged with the predicate kind and whether the extent cache
+        answered — the per-click cache behaviour the performance layer
+        lives on, made visible.
+        """
         context = self.context
-        cached = context.cached_extent_bits(predicate)
-        if cached is not _MISS:
-            return cached
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            cached = context.cached_extent_bits(predicate)
+            if cached is not _MISS:
+                return cached
+            bits = self._derive_bits(predicate)
+            context.store_extent_bits(predicate, bits)
+            return bits
+        with tracer.span("query.node", kind=type(predicate).__name__) as span:
+            cached = context.cached_extent_bits(predicate)
+            if cached is not _MISS:
+                span.set_tag("cache", "hit")
+                return cached
+            span.set_tag("cache", "miss")
+            bits = self._derive_bits(predicate)
+            context.store_extent_bits(predicate, bits)
+            return bits
+
+    def _derive_bits(self, predicate: Predicate) -> int | None:
+        """Compute a node's extent bitmask (the cache-miss work)."""
+        context = self.context
         if isinstance(predicate, And):
             if not predicate.parts:
                 bits = context.universe_bits()
@@ -171,7 +280,6 @@ class QueryEngine:
         else:
             extent = predicate.candidates(context)
             bits = None if extent is None else context.bits_of(extent)
-        context.store_extent_bits(predicate, bits)
         return bits
 
     def __repr__(self) -> str:

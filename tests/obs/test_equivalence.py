@@ -1,0 +1,131 @@
+"""Tracing is pure observation: enabled vs disabled changes no output.
+
+Over seeded-random predicate trees (reusing the bitset-equivalence
+generators) and over a full suggestion flow, a traced engine must return
+exactly what an untraced one does — on both the bitset and the legacy
+strategy, with and without ``within=`` restrictions.
+"""
+
+import random
+
+import pytest
+
+from repro.browser.session import Session
+from repro.core.workspace import Workspace
+from repro.obs import ManualClock, Observability
+from repro.query import HasValue, QueryEngine, TypeIs
+from tests.query.test_bitset_equivalence import _leaf_pool, _random_tree
+
+
+def _traced_obs():
+    return Observability(tracing=True, clock=ManualClock())
+
+
+class TestQueryEquivalence:
+    @pytest.fixture(scope="class")
+    def engines(self, recipe_workspace):
+        """Four engines over one shared context: {bitset, legacy} × {traced, plain}."""
+        context = recipe_workspace.query_context
+        return {
+            ("bitset", "traced"): QueryEngine(
+                context, use_bitsets=True, obs=_traced_obs()
+            ),
+            ("bitset", "plain"): QueryEngine(context, use_bitsets=True),
+            ("legacy", "traced"): QueryEngine(
+                context, use_bitsets=False, obs=_traced_obs()
+            ),
+            ("legacy", "plain"): QueryEngine(context, use_bitsets=False),
+        }
+
+    def test_random_trees_agree(self, engines, recipe_corpus):
+        leaves = _leaf_pool(recipe_corpus)
+        rng = random.Random(20260806)
+        for _ in range(40):
+            predicate = _random_tree(rng, leaves, depth=3)
+            expected = engines[("bitset", "plain")].evaluate(predicate)
+            for mode in ("bitset", "legacy"):
+                assert engines[(mode, "traced")].evaluate(predicate) == expected
+                assert engines[(mode, "plain")].evaluate(predicate) == expected
+                assert engines[(mode, "traced")].count(predicate) == len(expected)
+
+    def test_random_trees_agree_within(self, engines, recipe_corpus):
+        leaves = _leaf_pool(recipe_corpus)
+        universe = sorted(
+            engines[("bitset", "plain")].context.universe, key=lambda n: n.n3()
+        )
+        rng = random.Random(41)
+        for _ in range(25):
+            predicate = _random_tree(rng, leaves, depth=2)
+            within = rng.sample(universe, rng.randint(0, len(universe)))
+            expected = engines[("bitset", "plain")].evaluate(
+                predicate, within=within
+            )
+            for mode in ("bitset", "legacy"):
+                traced = engines[(mode, "traced")]
+                assert traced.evaluate(predicate, within=within) == expected
+                assert traced.count(predicate, within=within) == len(expected)
+
+    def test_traced_engines_recorded_spans(self, engines):
+        """Sanity: the traced engines above really were tracing."""
+        for variant in ("bitset", "legacy"):
+            tracer = engines[(variant, "traced")].obs.tracer
+            assert tracer.enabled
+            assert any(
+                span.name == "query.node" for span in tracer.spans()
+            ), variant
+
+
+class TestSuggestionEquivalence:
+    @pytest.fixture(scope="class")
+    def flows(self, recipe_corpus):
+        """The same navigation flow under a traced and an untraced workspace."""
+
+        def run(obs):
+            workspace = Workspace(
+                recipe_corpus.graph,
+                schema=recipe_corpus.schema,
+                items=recipe_corpus.items,
+                obs=obs,
+            )
+            session = Session(workspace)
+            props = recipe_corpus.extras["properties"]
+            session.run_query(TypeIs(recipe_corpus.extras["types"]["Recipe"]))
+            first = session.suggestions()
+            italian = HasValue(
+                props["cuisine"], recipe_corpus.extras["cuisines"]["Italian"]
+            )
+            preview = session.preview_count(italian)
+            session.refine(italian)
+            second = session.suggestions()
+            return {
+                "first": [
+                    (s.advisor, s.title, s.weight)
+                    for s in first.all_suggestions()
+                ],
+                "second": [
+                    (s.advisor, s.title, s.weight)
+                    for s in second.all_suggestions()
+                ],
+                "preview": preview,
+                "items": list(session.current.items),
+                "ranked": [
+                    hit.item
+                    for hit in workspace.vector_store.search_text("garlic", 10)
+                ],
+            }
+
+        return run(_traced_obs()), run(None)
+
+    def test_suggestions_identical(self, flows):
+        traced, plain = flows
+        assert traced["first"] == plain["first"]
+        assert traced["second"] == plain["second"]
+
+    def test_results_identical(self, flows):
+        traced, plain = flows
+        assert traced["preview"] == plain["preview"]
+        assert traced["items"] == plain["items"]
+
+    def test_ranking_identical(self, flows):
+        traced, plain = flows
+        assert traced["ranked"] == plain["ranked"]

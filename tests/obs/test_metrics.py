@@ -1,0 +1,170 @@
+"""Metrics registry unit tests: instruments, snapshots, rendering."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_metrics
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        assert registry.counter("c").value == 3
+
+
+class TestGauge:
+    def test_set(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_lazy_gauge_read_only_at_snapshot(self):
+        registry = MetricsRegistry()
+        reads = []
+        registry.gauge_fn("lazy", lambda: reads.append(1) or len(reads))
+        assert reads == []
+        assert registry.snapshot()["gauges"]["lazy"] == 1
+        assert registry.snapshot()["gauges"]["lazy"] == 2
+
+    def test_lazy_gauge_replacement_allowed(self):
+        registry = MetricsRegistry()
+        registry.gauge_fn("lazy", lambda: 1)
+        registry.gauge_fn("lazy", lambda: 2)
+        assert registry.snapshot()["gauges"]["lazy"] == 2
+
+
+class TestHistogram:
+    def test_bounds_are_inclusive_upper_limits(self):
+        histogram = MetricsRegistry().histogram("h", (1, 5, 10))
+        for value in (0, 1, 2, 5, 6, 10, 11, 99):
+            histogram.observe(value)
+        #                      <=1 <=5 <=10 +inf
+        assert histogram.counts == [2, 2, 2, 2]
+        assert histogram.count == 8
+        assert histogram.total == 134
+
+    def test_bucket_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("empty", ())
+        with pytest.raises(ValueError):
+            registry.histogram("unsorted", (5, 1))
+        with pytest.raises(ValueError):
+            registry.histogram("dupes", (1, 1, 2))
+
+    def test_first_registration_needs_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h")
+        registry.histogram("h", (1, 2))
+        assert registry.histogram("h").buckets == (1, 2)
+
+    def test_reregistration_with_different_buckets_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2))
+        registry.histogram("h", (1, 2))  # same layout is fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1, 3))
+
+
+class TestRegistry:
+    def test_cross_kind_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(ValueError):
+            registry.gauge("taken")
+        with pytest.raises(ValueError):
+            registry.gauge_fn("taken", lambda: 0)
+        with pytest.raises(ValueError):
+            registry.histogram("taken", (1,))
+
+    def test_snapshot_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(1)
+        registry.counter("a.count").inc(2)
+        registry.gauge("m.level").set(7)
+        registry.gauge_fn("b.lazy", lambda: 9)
+        registry.histogram("h", (1,)).observe(0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.count", "z.count"]
+        assert list(snapshot["gauges"]) == ["b.lazy", "m.level"]
+        assert snapshot["histograms"]["h"] == {
+            "buckets": [1],
+            "counts": [1, 0],
+            "count": 1,
+            "sum": 0,
+        }
+
+    def test_snapshot_purity(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h", (1, 2)).observe(1)
+        first = registry.snapshot()
+        second = registry.snapshot()
+        assert first == second
+        # Mutating a returned snapshot must not leak into the registry.
+        first["counters"]["c"] = 99
+        first["histograms"]["h"]["counts"][0] = 99
+        assert registry.snapshot() == second
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(3)
+        registry.histogram("h", (1, 2)).observe(2)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 0}
+        assert snapshot["gauges"] == {"g": 0}
+        assert snapshot["histograms"]["h"] == {
+            "buckets": [1, 2],
+            "counts": [0, 0, 0],
+            "count": 0,
+            "sum": 0,
+        }
+
+
+class TestRenderMetrics:
+    def test_golden_render(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(3)
+        registry.gauge("b.level").set(2.5)
+        registry.gauge_fn("c.lazy", lambda: 7)
+        histogram = registry.histogram("d.hist", (1, 5))
+        for value in (0, 5, 9):
+            histogram.observe(value)
+        text = render_metrics(registry.snapshot(), width=20)
+        assert text == "\n".join(
+            [
+                "=" * 20,
+                "METRICS",
+                "=" * 20,
+                "counters:",
+                "  a.count = 3",
+                "gauges:",
+                "  b.level = 2.500000",
+                "  c.lazy = 7",
+                "histograms:",
+                "  d.hist  count=3 sum=14",
+                "             <=1  1",
+                "             <=5  1",
+                "            +inf  1",
+                "=" * 20,
+            ]
+        )
+
+    def test_empty_sections_are_omitted(self):
+        text = render_metrics(MetricsRegistry().snapshot(), width=10)
+        assert text == "\n".join(["=" * 10, "METRICS", "=" * 10, "=" * 10])

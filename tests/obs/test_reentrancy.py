@@ -1,0 +1,142 @@
+"""Regression: re-entrant spans must not corrupt the tracer's ancestry.
+
+An analyst runs inside a ``nav.analyst`` span and calls back into
+``QueryEngine.evaluate``, which opens spans of its own.  Because every
+scope restores on exit exactly the current-span reference it saw on
+entry, the callback's spans nest under the analyst's and the tracer is
+back to a clean state afterwards — even when exits happen out of order
+or through an exception.
+"""
+
+import pytest
+
+from repro.browser.session import Session
+from repro.core.analysts import Analyst
+from repro.core.engine import NavigationEngine
+from repro.core.suggestions import GoToCollection
+from repro.core.workspace import Workspace
+from repro.obs import ManualClock, Observability, Tracer
+from repro.query import HasValue
+from repro.rdf import Graph, Namespace, RDF
+
+EX = Namespace("http://reentrant.example/")
+
+
+class CallbackAnalyst(Analyst):
+    """Posts a suggestion computed by re-entering the query engine."""
+
+    name = "callback"
+
+    def __init__(self, workspace, predicate):
+        self.workspace = workspace
+        self.predicate = predicate
+
+    def triggers_on(self, view):
+        return view.is_collection
+
+    def analyze(self, view, blackboard):
+        # Re-enters the traced engine from inside the nav.analyst span.
+        items = self.workspace.query_engine.evaluate(self.predicate)
+        self.post(
+            blackboard,
+            advisor="related-items",
+            title=f"callback ({len(items)})",
+            action=GoToCollection(
+                sorted(items, key=lambda n: n.n3()), "callback"
+            ),
+        )
+
+
+def _workspace():
+    graph = Graph()
+    for i in range(6):
+        item = EX[f"d{i}"]
+        graph.add(item, RDF.type, EX.Doc)
+        graph.add(item, EX.tag, EX.even if i % 2 == 0 else EX.odd)
+    return Workspace(
+        graph, obs=Observability(tracing=True, clock=ManualClock())
+    )
+
+
+class TestAnalystCallback:
+    def test_callback_spans_nest_under_the_analyst(self):
+        workspace = _workspace()
+        tracer = workspace.obs.tracer
+        engine = NavigationEngine()
+        engine.add_analyst(CallbackAnalyst(workspace, HasValue(EX.tag, EX.even)))
+        session = Session(workspace, engine=engine)
+        tracer.clear()
+        result = session.suggestions()
+        assert result.find("callback (3)")
+        # The tracer unwound completely.
+        assert tracer.current is None
+        # The callback's query spans are children of its nav.analyst span.
+        analyst_spans = [
+            span
+            for span in tracer.spans()
+            if span.name == "nav.analyst" and span.tags.get("name") == "callback"
+        ]
+        assert len(analyst_spans) == 1
+        nested = [s.name for s in analyst_spans[0].walk()]
+        assert "query.evaluate" in nested
+        assert "query.node" in nested
+        # Every span is recorded exactly once: no duplicated ancestry.
+        all_spans = list(tracer.spans())
+        assert len(all_spans) == len(set(map(id, all_spans)))
+
+    def test_spans_after_the_cycle_start_fresh_roots(self):
+        workspace = _workspace()
+        tracer = workspace.obs.tracer
+        engine = NavigationEngine()
+        engine.add_analyst(CallbackAnalyst(workspace, HasValue(EX.tag, EX.odd)))
+        session = Session(workspace, engine=engine)
+        session.suggestions()
+        before = len(tracer.roots)
+        with tracer.span("afterwards") as span:
+            pass
+        assert tracer.roots[-1] is span
+        assert len(tracer.roots) == before + 1
+
+
+class TestScopeRestoration:
+    def test_out_of_order_exit_does_not_adopt_later_spans(self):
+        tracer = Tracer(ManualClock())
+        outer_scope = tracer.span("outer")
+        inner_scope = tracer.span("inner")
+        outer_scope.__enter__()
+        inner_scope.__enter__()
+        # Mis-nested: the outer scope exits while the inner is open.  It
+        # restores what it saw on entry (no current span), so new work is
+        # not silently adopted by the still-open inner span.
+        outer_scope.__exit__(None, None, None)
+        assert tracer.current is None
+        with tracer.span("after") as after:
+            pass
+        assert after in tracer.roots
+        inner_scope.__exit__(None, None, None)
+        names = [span.name for span in tracer.spans()]
+        assert names.count("inner") == 1
+        assert names.count("outer") == 1
+
+    def test_exception_unwind_restores_each_level(self):
+        workspace = _workspace()
+        tracer = workspace.obs.tracer
+        engine = workspace.query_engine
+
+        class Boom(Exception):
+            pass
+
+        class ExplodingPredicate(HasValue):
+            def candidates(self, context):
+                raise Boom()
+
+        tracer.clear()
+        with pytest.raises(Boom):
+            engine.evaluate(ExplodingPredicate(EX.tag, EX.even))
+        assert tracer.current is None
+        (root,) = tracer.roots
+        assert root.tags["error"] == "Boom"
+        assert all(span.finished for span in root.walk())
+        # The tracer still works after the unwind.
+        assert len(engine.evaluate(HasValue(EX.tag, EX.even))) == 3
+        assert tracer.current is None

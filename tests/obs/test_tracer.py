@@ -1,0 +1,145 @@
+"""Tracer unit tests: nesting, durations, error tagging, the null path."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, ManualClock, NullTracer, Span, Tracer
+
+
+class TestSpan:
+    def test_duration_zero_while_open(self):
+        span = Span("open")
+        span.start = 3.0
+        assert not span.finished
+        assert span.duration == 0.0
+
+    def test_duration_when_finished(self):
+        span = Span("done")
+        span.start, span.end = 2.0, 7.5
+        assert span.finished
+        assert span.duration == 5.5
+
+    def test_set_tag_overwrites(self):
+        span = Span("s", {"a": 1})
+        span.set_tag("a", 2)
+        span.set_tag("b", 3)
+        assert span.tags == {"a": 2, "b": 3}
+
+    def test_walk_is_preorder(self):
+        root = Span("root")
+        left, right = Span("left"), Span("right")
+        leaf = Span("leaf")
+        root.children = [left, right]
+        left.children = [leaf]
+        assert [s.name for s in root.walk()] == ["root", "left", "leaf", "right"]
+
+
+class TestTracer:
+    def test_nested_spans_attach_to_current(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        assert [s.name for s in tracer.spans()] == [
+            "outer", "inner", "leaf", "sibling",
+        ]
+        (outer,) = tracer.roots
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+
+    def test_manual_clock_durations_are_deterministic(self):
+        # Each clock read returns-then-advances: a leaf span lasts one
+        # step, a parent lasts (reads inside it) + 1.
+        tracer = Tracer(ManualClock())
+        with tracer.span("outer"):
+            with tracer.span("leaf"):
+                pass
+        (outer,) = tracer.roots
+        (leaf,) = outer.children
+        assert leaf.start == 1.0 and leaf.end == 2.0 and leaf.duration == 1.0
+        assert outer.start == 0.0 and outer.end == 3.0 and outer.duration == 3.0
+
+    def test_manual_clock_advance_injects_elapsed_time(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("slow"):
+            clock.advance(10.0)
+        (slow,) = tracer.roots
+        assert slow.duration == 11.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_children_lie_within_parent_interval(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        for root in tracer.roots:
+            for span in root.walk():
+                for child in span.children:
+                    assert span.start <= child.start
+                    assert child.end <= span.end
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer(ManualClock())
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_exception_tags_error_and_restores_current(self):
+        tracer = Tracer(ManualClock())
+        with pytest.raises(KeyError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise KeyError("boom")
+        assert tracer.current is None
+        (outer,) = tracer.roots
+        (failing,) = outer.children
+        assert failing.tags["error"] == "KeyError"
+        assert outer.tags["error"] == "KeyError"
+        assert failing.finished and outer.finished
+
+    def test_name_stays_available_as_a_tag(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("nav.analyst", name="refinement") as span:
+            pass
+        assert span.name == "nav.analyst"
+        assert span.tags == {"name": "refinement"}
+
+    def test_clear_drops_recorded_roots(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("a"):
+            pass
+        assert tracer.roots
+        tracer.clear()
+        assert tracer.roots == []
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["b"]
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        assert tracer.current is None
+        assert list(tracer.spans()) == []
+        scope = tracer.span("anything", items=3)
+        with scope as span:
+            span.set_tag("ignored", True)
+        assert list(tracer.roots) == []
+        tracer.clear()
+
+    def test_scope_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", tag=1)
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("x"):
+                raise RuntimeError("not swallowed")

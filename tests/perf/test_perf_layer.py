@@ -11,6 +11,7 @@ from repro.perf import (
     iter_ids,
     popcount,
 )
+from repro.query import HasValue, QueryContext, QueryEngine
 from repro.rdf import Graph, Literal, Namespace, RDF
 
 EX = Namespace("http://perf.example/")
@@ -118,3 +119,108 @@ class TestGraphVersion:
         graph.add(EX.b, RDF.type, EX.Doc)
         graph.remove(EX.a, RDF.type, EX.Doc)
         assert graph.interner.id_of(EX.a) == item_id
+
+
+def _tagged_graph(n: int = 8) -> Graph:
+    graph = Graph()
+    for i in range(n):
+        item = EX[f"d{i}"]
+        graph.add(item, RDF.type, EX.Doc)
+        graph.add(item, EX.tag, EX.even if i % 2 == 0 else EX.odd)
+    return graph
+
+
+class TestCacheTelemetryOracle:
+    """Exact-count oracles: the telemetry must equal what the cache did.
+
+    A single-leaf predicate triggers exactly one extent-cache lookup per
+    evaluation, so the expected counter values are computable by hand —
+    no ``>=`` slack.  (``universe_bits`` and ``bits_of`` lookups do not
+    touch ``cache_stats``; only predicate-extent lookups count.)
+    """
+
+    def test_n_identical_evaluations_hit_n_minus_one(self):
+        context = QueryContext(_tagged_graph())
+        engine = QueryEngine(context)
+        predicate = HasValue(EX.tag, EX.even)
+        n = 7
+        for _ in range(n):
+            assert len(engine.evaluate(predicate)) == 4
+        stats = context.cache_stats
+        assert stats.misses == 1
+        assert stats.hits == n - 1
+        assert stats.invalidations == 0
+        assert stats.lookups == n
+        assert stats.hit_rate == pytest.approx((n - 1) / n)
+
+    def test_count_previews_share_the_same_cache(self):
+        context = QueryContext(_tagged_graph())
+        engine = QueryEngine(context)
+        predicate = HasValue(EX.tag, EX.odd)
+        assert len(engine.evaluate(predicate)) == 4
+        for _ in range(5):
+            assert engine.count(predicate) == 4
+        stats = context.cache_stats
+        assert stats.misses == 1
+        assert stats.hits == 5
+
+    def test_mutation_records_exactly_one_invalidation(self):
+        graph = _tagged_graph()
+        context = QueryContext(graph)
+        engine = QueryEngine(context)
+        predicate = HasValue(EX.tag, EX.even)
+        assert len(engine.evaluate(predicate)) == 4
+        graph.add(EX.d9, RDF.type, EX.Doc)
+        graph.add(EX.d9, EX.tag, EX.even)
+        context.universe.add(EX.d9)
+        assert len(engine.evaluate(predicate)) == 5
+        stats = context.cache_stats
+        assert stats.invalidations == 1
+        assert stats.misses == 2
+        assert stats.hits == 0
+        # The refreshed entry serves hits again at the new version.
+        assert len(engine.evaluate(predicate)) == 5
+        assert stats.invalidations == 1
+        assert stats.hits == 1
+
+    def test_noop_mutation_invalidates_nothing(self):
+        graph = _tagged_graph()
+        context = QueryContext(graph)
+        engine = QueryEngine(context)
+        predicate = HasValue(EX.tag, EX.even)
+        engine.evaluate(predicate)
+        # Re-adding an existing triple does not bump the version.
+        assert not graph.add(EX.d0, EX.tag, EX.even)
+        engine.evaluate(predicate)
+        assert context.cache_stats.invalidations == 0
+        assert context.cache_stats.hits == 1
+
+    def test_workspace_gauges_report_the_oracle_counts(self):
+        from repro.browser.session import Session
+        from repro.core.workspace import Workspace
+
+        workspace = Workspace(_tagged_graph())
+        session = Session(workspace)
+        predicate = HasValue(EX.tag, EX.even)
+        n = 5
+        assert {session.preview_count(predicate) for _ in range(n)} == {4}
+        snapshot = session.metrics.snapshot()
+        assert snapshot["gauges"]["query.extent_cache.hits"] == n - 1
+        assert snapshot["gauges"]["query.extent_cache.misses"] == 1
+        assert snapshot["gauges"]["query.extent_cache.invalidations"] == 0
+        assert snapshot["counters"]["session.preview_counts"] == n
+
+    def test_workspace_gauges_track_graph_mutation(self):
+        from repro.browser.session import Session
+        from repro.core.workspace import Workspace
+
+        graph = _tagged_graph()
+        workspace = Workspace(graph)
+        session = Session(workspace)
+        predicate = HasValue(EX.tag, EX.even)
+        session.preview_count(predicate)
+        graph.add(EX.d0, EX.note, Literal("updated"))
+        session.preview_count(predicate)
+        snapshot = session.metrics.snapshot()
+        assert snapshot["gauges"]["query.extent_cache.invalidations"] == 1
+        assert snapshot["gauges"]["graph.version"] == graph.version

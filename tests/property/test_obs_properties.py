@@ -1,0 +1,154 @@
+"""Property-based tests for the observability layer.
+
+Three invariants, over randomized inputs: span trees produced by any
+well-scoped program are well-formed (finished, ordered, children inside
+their parent's interval); histogram bucket counts always sum to the
+observation count, with each observation in the bucket its bounds
+dictate; and registry snapshots are pure — repeated snapshots compare
+equal, and mutating a returned snapshot never leaks back.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import ManualClock, MetricsRegistry, Tracer
+
+# A span program is a forest: each element is the list of its children.
+span_forests = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, max_size=3),
+    max_leaves=12,
+)
+
+bucket_bounds = (
+    st.lists(
+        st.integers(min_value=-100, max_value=100),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    )
+    .map(sorted)
+    .map(tuple)
+)
+
+observations = st.lists(
+    st.integers(min_value=-200, max_value=200), max_size=60
+)
+
+
+def _run_program(tracer, forest, depth=0):
+    for index, children in enumerate(forest):
+        with tracer.span(f"s{depth}.{index}"):
+            _run_program(tracer, children, depth + 1)
+
+
+@given(span_forests)
+@settings(max_examples=80)
+def test_span_nesting_is_well_formed(forest):
+    tracer = Tracer(ManualClock())
+    _run_program(tracer, forest)
+    assert tracer.current is None
+    assert len(tracer.roots) == len(forest)
+    for root in tracer.roots:
+        for span in root.walk():
+            assert span.finished
+            assert span.start <= span.end
+            for child in span.children:
+                assert span.start <= child.start
+                assert child.end <= span.end
+            starts = [child.start for child in span.children]
+            assert starts == sorted(starts)
+            # Sibling intervals never overlap.
+            for left, right in zip(span.children, span.children[1:]):
+                assert left.end <= right.start
+
+
+@given(span_forests)
+@settings(max_examples=40)
+def test_span_count_matches_program(forest):
+    def size(nodes):
+        return len(nodes) + sum(size(children) for children in nodes)
+
+    tracer = Tracer(ManualClock())
+    _run_program(tracer, forest)
+    assert len(list(tracer.spans())) == size(forest)
+
+
+@given(bucket_bounds, observations)
+@settings(max_examples=100)
+def test_histogram_counts_sum_to_observations(bounds, values):
+    histogram = MetricsRegistry().histogram("h", bounds)
+    for value in values:
+        histogram.observe(value)
+    assert sum(histogram.counts) == histogram.count == len(values)
+    assert histogram.total == sum(values)
+    # Independent recomputation of each bucket's membership: bucket i
+    # holds values v with bounds[i-1] < v <= bounds[i]; the final slot
+    # is the overflow above the last bound.
+    expected = [0] * (len(bounds) + 1)
+    for value in values:
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                expected[i] += 1
+                break
+        else:
+            expected[-1] += 1
+    assert histogram.counts == expected
+
+
+@st.composite
+def registry_programs(draw):
+    ops = st.one_of(
+        st.tuples(st.just("counter"), st.sampled_from("abc"),
+                  st.integers(min_value=0, max_value=5)),
+        st.tuples(st.just("gauge"), st.sampled_from("xyz"),
+                  st.integers(min_value=-10, max_value=10)),
+        st.tuples(st.just("histogram"), st.sampled_from("hk"),
+                  st.integers(min_value=-5, max_value=15)),
+    )
+    return draw(st.lists(ops, max_size=30))
+
+
+def _apply(registry, program):
+    for kind, name, value in program:
+        if kind == "counter":
+            registry.counter(f"c.{name}").inc(value)
+        elif kind == "gauge":
+            registry.gauge(f"g.{name}").set(value)
+        else:
+            registry.histogram(f"h.{name}", (0, 10)).observe(value)
+
+
+def _deep_mutate(snapshot):
+    for table in snapshot.values():
+        for key in list(table):
+            if isinstance(table[key], dict):
+                table[key]["counts"] = None
+            else:
+                table[key] = object()
+
+
+@given(registry_programs())
+@settings(max_examples=80)
+def test_snapshot_purity(program):
+    registry = MetricsRegistry()
+    _apply(registry, program)
+    first = registry.snapshot()
+    second = registry.snapshot()
+    assert first == second
+    _deep_mutate(first)
+    assert registry.snapshot() == second
+
+
+@given(registry_programs(), registry_programs())
+@settings(max_examples=40)
+def test_snapshot_reflects_every_operation(before, after):
+    """Snapshots are pure reads: interleaving one changes nothing."""
+    observed = MetricsRegistry()
+    _apply(observed, before)
+    observed.snapshot()  # a read in the middle must not disturb state
+    _apply(observed, after)
+    plain = MetricsRegistry()
+    _apply(plain, before)
+    _apply(plain, after)
+    assert observed.snapshot() == plain.snapshot()
