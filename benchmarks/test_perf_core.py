@@ -286,6 +286,86 @@ def test_perf_facet_overview(full_recipe_corpus, full_recipe_workspace):
     assert memo_hit_rate > 0.5
 
 
+def test_perf_multi_session_serving(full_recipe_corpus, full_recipe_workspace):
+    """Fifty interleaved sessions over one shared workspace (ISSUE-3).
+
+    One stateless ``NavigationService`` carries fifty independent
+    ``SessionState`` values through a scripted navigation, round-robin —
+    every session advances one transition before any advances two, the
+    worst case for per-session cache affinity.  Per-transition latency
+    lands in ``BENCH_perf_core.json`` under ``multi_session``.
+    """
+    from repro.service import NavigationService, commands as cmd
+
+    corpus = full_recipe_corpus
+    props = corpus.extras["properties"]
+    cuisines = list(corpus.extras["cuisines"].items())
+    ingredients = list(corpus.extras["ingredients"].items())
+    n_sessions = 50
+
+    def script(i: int) -> list:
+        _, cuisine = cuisines[i % len(cuisines)]
+        _, ingredient = ingredients[i % len(ingredients)]
+        return [
+            cmd.RunQuery(TypeIs(corpus.extras["types"]["Recipe"])),
+            cmd.Refine(HasValue(props["cuisine"], cuisine)),
+            cmd.Refine(HasValue(props["ingredient"], ingredient)),
+            cmd.NegateConstraint(2),
+            cmd.RemoveConstraint(2),
+            cmd.UndoRefinement(),
+            cmd.Refine(Range(props["serves"], low=2, high=6)),
+            cmd.Back(),
+        ]
+
+    service = NavigationService(full_recipe_workspace.query_engine)
+    scripts = [script(i) for i in range(n_sessions)]
+    steps_per_session = len(scripts[0])
+
+    # Warm once (cold extents would dominate the first round-robin row).
+    warm_state = service.initial_state(full_recipe_workspace)
+    for command in scripts[0]:
+        warm_state = service.apply(
+            full_recipe_workspace, warm_state, command
+        ).state
+
+    states = [
+        service.initial_state(full_recipe_workspace)
+        for _ in range(n_sessions)
+    ]
+    latencies: list[float] = []
+    wall_start = time.perf_counter()
+    for step in range(steps_per_session):
+        for i in range(n_sessions):
+            start = time.perf_counter()
+            states[i] = service.apply(
+                full_recipe_workspace, states[i], scripts[i][step]
+            ).state
+            latencies.append(time.perf_counter() - start)
+    wall_seconds = time.perf_counter() - wall_start
+
+    # Interleaving must not bleed state across sessions: each ends with
+    # exactly the constraints its own script left behind.
+    for i, state in enumerate(states):
+        assert state.view.query is not None
+        assert len(state.back_stack) > 0
+    transitions = len(latencies)
+    assert transitions == n_sessions * steps_per_session
+    ordered = sorted(latencies)
+    payload = {
+        "sessions": n_sessions,
+        "transitions": transitions,
+        "wall_seconds": wall_seconds,
+        "throughput_per_second": transitions / wall_seconds,
+        "mean_seconds": statistics.fmean(latencies),
+        "median_seconds": statistics.median(latencies),
+        "p95_seconds": ordered[int(0.95 * (transitions - 1))],
+        "max_seconds": ordered[-1],
+    }
+    _record_bench(len(corpus.items), "multi_session", payload)
+    assert payload["median_seconds"] < 0.5
+    assert payload["throughput_per_second"] > 10
+
+
 @pytest.mark.parametrize("n_items", [250, 1000, 4000])
 def test_perf_indexing_scales(benchmark, full_recipe_corpus, n_items):
     corpus = full_recipe_corpus

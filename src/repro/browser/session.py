@@ -1,10 +1,14 @@
 """A headless browsing session: the single-window interface of §3.
 
-:class:`Session` is the stand-in for Haystack's browser window.  It
-holds the current view, executes navigation suggestions, manages the
-constraint chips (remove via 'X', negate via context menu), keeps the
-visit log and refinement trail, and exposes the power-user operations of
-§3.3 (compound refinements, sub-collection browse-and-apply).
+:class:`Session` is the stand-in for Haystack's browser window.  Since
+the service refactor it is a thin facade: all browsing state lives in an
+immutable :class:`~repro.service.state.SessionState` and every mutator
+dispatches a typed command to the stateless
+:class:`~repro.service.navigation.NavigationService`.  The facade's job
+is ergonomics and continuity — it keeps a live :class:`View`, a live
+:class:`NavigationHistory` that advisors can watch, and the exact
+public surface (methods, exceptions, telemetry) of the pre-refactor
+monolithic class.
 
 It also implements the §6.3.1 future-work behaviour behind a flag:
 "since users find it difficult to work with zero results, it may be
@@ -16,6 +20,7 @@ top-ranked fuzzy matches.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from ..core.engine import NavigationEngine, NavigationResult
@@ -32,16 +37,18 @@ from ..core.suggestions import (
 )
 from ..core.view import View
 from ..core.workspace import Workspace
-from ..query.ast import And, Not, Or, Predicate, Range, TextMatch
+from ..query.ast import Predicate
 from ..rdf.terms import Node, Resource
-from ..vsm.vector import SparseVector
+from ..service import commands as cmd
+from ..service.navigation import NavigationService
+from ..service.state import DEFAULT_BACK_LIMIT, SessionState, ViewState
 from .compound import CompoundBuilder
 
 __all__ = ["Session"]
 
 
 class Session:
-    """One user's browsing state over a workspace."""
+    """One user's browsing state over a workspace (facade form)."""
 
     def __init__(
         self,
@@ -49,25 +56,108 @@ class Session:
         engine: NavigationEngine | None = None,
         fuzzy_on_empty: bool = False,
         fuzzy_k: int = 10,
+        back_limit: int = DEFAULT_BACK_LIMIT,
+        session_id: str | None = None,
     ):
         self.workspace = workspace
-        self.engine = engine if engine is not None else NavigationEngine()
+        self.service = NavigationService(engine)
         self.history = NavigationHistory()
-        self.fuzzy_on_empty = fuzzy_on_empty
-        self.fuzzy_k = fuzzy_k
-        #: True when the current collection came from the fuzzy fallback.
-        self.last_was_fuzzy = False
-        self.current: View = View.of_collection(
+        self._state = self.service.initial_state(
             workspace,
-            list(workspace.items),
-            query=None,
-            history=self.history,
-            description="everything",
+            fuzzy_on_empty=fuzzy_on_empty,
+            fuzzy_k=fuzzy_k,
+            back_limit=back_limit,
+            session_id=session_id,
+        )
+        self.current: View = self.service.materialize(
+            workspace, self._state, self.history
         )
         self._suggestion_cache: tuple[View, NavigationResult] | None = None
-        self._feedback_session = None
-        self._bookmarks: list[Node] = []
-        self._back_stack: list[View] = []
+
+    # ------------------------------------------------------------------
+    # State plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> NavigationEngine:
+        """The suggestion engine (shared with the service)."""
+        return self.service.engine
+
+    @property
+    def state(self) -> SessionState:
+        """The current immutable session state (safe to hold or ship)."""
+        return self._state
+
+    @classmethod
+    def from_state(
+        cls,
+        workspace: Workspace,
+        state: SessionState,
+        engine: NavigationEngine | None = None,
+    ) -> "Session":
+        """Resume a (possibly deserialized) state over a workspace."""
+        session = cls(
+            workspace,
+            engine=engine,
+            fuzzy_on_empty=state.fuzzy_on_empty,
+            fuzzy_k=state.fuzzy_k,
+            back_limit=state.back_limit,
+            session_id=state.session_id,
+        )
+        session.restore(state)
+        return session
+
+    def restore(self, state: SessionState) -> None:
+        """Adopt a state wholesale, rebuilding the live view and history."""
+        self._state = state
+        self.history.restore(state.visits, state.trail)
+        self.current = self.service.materialize(
+            self.workspace, state, self.history
+        )
+        self._suggestion_cache = None
+
+    def _apply(self, command: cmd.Command):
+        """Dispatch one command and sync the live objects to the result."""
+        transition = self.service.apply(self.workspace, self._state, command)
+        self._adopt(transition.state)
+        return transition
+
+    def _adopt(self, state: SessionState) -> None:
+        old = self._state
+        self._state = state
+        if state.visits is not old.visits or state.trail is not old.trail:
+            self.history.restore(state.visits, state.trail)
+        if state.view is not old.view:
+            self.current = self.service.materialize(
+                self.workspace, state, self.history
+            )
+            self._suggestion_cache = None
+
+    @property
+    def fuzzy_on_empty(self) -> bool:
+        return self._state.fuzzy_on_empty
+
+    @fuzzy_on_empty.setter
+    def fuzzy_on_empty(self, value: bool) -> None:
+        self._state = replace(self._state, fuzzy_on_empty=bool(value))
+
+    @property
+    def fuzzy_k(self) -> int:
+        return self._state.fuzzy_k
+
+    @fuzzy_k.setter
+    def fuzzy_k(self, value: int) -> None:
+        self._state = replace(self._state, fuzzy_k=int(value))
+
+    @property
+    def last_was_fuzzy(self) -> bool:
+        """True when the current collection came from the fuzzy fallback."""
+        return self._state.last_was_fuzzy
+
+    @property
+    def _back_stack(self) -> list[ViewState]:
+        """The back stack's view states (read-only; sized like the old list)."""
+        return list(self._state.back_stack)
 
     @property
     def metrics(self):
@@ -85,21 +175,18 @@ class Session:
 
     def search(self, text: str) -> View:
         """Toolbar keyword search: a brand-new query."""
-        return self.run_query(TextMatch(text), description=f"search {text!r}")
+        self._apply(cmd.Search(text))
+        return self.current
 
     def search_within(self, text: str) -> View:
         """Keyword search restricted to the current collection (§4.3)."""
-        predicate = TextMatch(text)
-        return self._refine_with(predicate, RefineMode.FILTER)
+        self._apply(cmd.SearchWithin(text))
+        return self.current
 
     def run_query(self, predicate: Predicate, description: str | None = None) -> View:
         """Execute a query against the whole universe."""
-        obs = self.workspace.obs
-        with obs.tracer.span("session.query") as span:
-            items = self.workspace.query_engine.evaluate(predicate)
-            view = self._arrive_collection(predicate, items, description)
-            span.set_tag("items", len(view.items))
-            return view
+        self._apply(cmd.RunQuery(predicate, description))
+        return self.current
 
     def refine(self, predicate: Predicate, mode: str = RefineMode.FILTER) -> View:
         """Apply a predicate to the current collection directly.
@@ -107,12 +194,8 @@ class Session:
         This is the programmatic form of clicking a refinement
         suggestion; ``mode`` selects filter/exclude/expand (§4.1).
         """
-        obs = self.workspace.obs
-        obs.metrics.counter("session.refinements").inc()
-        with obs.tracer.span("session.refine", mode=mode) as span:
-            view = self._refine_with(predicate, mode)
-            span.set_tag("items", len(view.items))
-            return view
+        self._apply(cmd.Refine(predicate, mode))
+        return self.current
 
     def preview_count(
         self, predicate: Predicate, mode: str = RefineMode.FILTER
@@ -124,28 +207,9 @@ class Session:
         probing every visible suggestion costs no set materialization
         and the current view is left untouched.
         """
-        obs = self.workspace.obs
-        obs.metrics.counter("session.preview_counts").inc()
-        with obs.tracer.span("session.preview_count", mode=mode) as span:
-            count = self._preview_count(predicate, mode)
-            span.set_tag("results", count)
-            return count
-
-    def _preview_count(self, predicate: Predicate, mode: str) -> int:
-        engine = self.workspace.query_engine
-        if mode == RefineMode.FILTER:
-            return engine.count(predicate, within=self.current.items)
-        if mode == RefineMode.EXCLUDE:
-            return engine.count(predicate.negated(), within=self.current.items)
-        if mode == RefineMode.EXPAND:
-            current_query = self.current.query
-            query = (
-                predicate
-                if current_query is None
-                else Or([current_query, predicate])
-            )
-            return engine.count(query)
-        raise ValueError(f"unknown refine mode {mode!r}")
+        return self.service.preview_count(
+            self.workspace, self._state, predicate, mode
+        )
 
     def search_ranked(self, text: str, k: int = 20) -> View:
         """Ranked keyword search — the §6.2 document-reordering extension.
@@ -153,21 +217,8 @@ class Session:
         Unlike :meth:`search` (boolean, unordered), results are ordered
         by vector-space similarity, and ``k`` bounds the view.
         """
-        hits = self.workspace.vector_store.search_text(text, k)
-        items = [hit.item for hit in hits if hit.score > 0.0]
-        view = View.of_collection(
-            self.workspace,
-            items,
-            query=TextMatch(text),
-            history=self.history,
-            description=f"ranked search {text!r}",
-        )
-        self._push_back()
-        self.current = view
-        self.history.refinement_trail.push(view.query, view.description)
-        self._suggestion_cache = None
-        self.last_was_fuzzy = False
-        return view
+        self._apply(cmd.SearchRanked(text, k))
+        return self.current
 
     def rank_current(self, text: str | None = None) -> View:
         """Reorder the current collection by similarity.
@@ -176,25 +227,8 @@ class Session:
         without, against the collection's own centroid (most typical
         first).  The query and constraint chips are preserved.
         """
-        from ..index.ranking import Ranker
-
-        ranker = Ranker(self.workspace.model)
-        if text is not None:
-            hits = ranker.rank_for_text(self.current.items, text)
-        else:
-            centroid = self.workspace.model.centroid(self.current.items)
-            hits = ranker.rank(self.current.items, centroid)
-        view = View.of_collection(
-            self.workspace,
-            [hit.item for hit in hits],
-            query=self.current.query,
-            history=self.history,
-            description=self.current.description,
-        )
-        self._push_back()
-        self.current = view
-        self._suggestion_cache = None
-        return view
+        self._apply(cmd.RankCurrent(text))
+        return self.current
 
     # ------------------------------------------------------------------
     # Bookmarks and starting points (§3's Haystack side panes)
@@ -202,29 +236,21 @@ class Session:
 
     def bookmark(self, item: Node | None = None) -> None:
         """Add an item (default: the currently viewed one) to bookmarks."""
-        if item is None:
-            if not self.current.is_item:
-                raise RuntimeError("no item in view to bookmark")
-            item = self.current.item
-        if item not in self._bookmarks:
-            self._bookmarks.append(item)
+        self._apply(cmd.AddBookmark(item))
 
     def unbookmark(self, item: Node) -> bool:
         """Drop a bookmark; returns whether it was present."""
-        try:
-            self._bookmarks.remove(item)
-        except ValueError:
-            return False
-        return True
+        return bool(self._apply(cmd.RemoveBookmark(item)).outcome)
 
     @property
     def bookmarks(self) -> list[Node]:
         """The bookmark pane's contents (copied, in marking order)."""
-        return list(self._bookmarks)
+        return list(self._state.bookmarks)
 
     def go_bookmarks(self) -> View:
         """Open the bookmarks as a browsable collection."""
-        return self.go_collection(list(self._bookmarks), "bookmarks")
+        self._apply(cmd.GoBookmarks())
+        return self.current
 
     def starting_points(self) -> list[tuple[Node, int]]:
         """Type-based entry points: (rdf:type, instance count), largest first.
@@ -256,11 +282,13 @@ class Session:
 
     def mark_relevant(self, item: Node) -> None:
         """'More like this' — add positive relevance feedback."""
-        self._feedback().mark_relevant(item)
+        self._activate_feedback()
+        self._apply(cmd.MarkRelevant(item))
 
     def mark_non_relevant(self, item: Node) -> None:
         """'Less like this' — add negative relevance feedback."""
-        self._feedback().mark_non_relevant(item)
+        self._activate_feedback()
+        self._apply(cmd.MarkNonRelevant(item))
 
     def more_like_marked(self, k: int = 10) -> View:
         """Navigate to items matching the accumulated judgments.
@@ -268,35 +296,23 @@ class Session:
         Runs the Rocchio-updated query against the vector store,
         excluding already-judged items.
         """
-        feedback = self._feedback()
-        if not feedback.relevant and not feedback.non_relevant:
-            raise RuntimeError("no relevance judgments yet")
-        judged = feedback.judged()
-        hits = self.workspace.vector_store.search(
-            feedback.query_vector(), k, exclude=lambda item: item in judged
-        )
-        return self.go_collection(
-            [hit.item for hit in hits if hit.score > 0.0],
-            "more like the marked items",
-        )
+        self._activate_feedback()
+        self._apply(cmd.MoreLikeMarked(k))
+        return self.current
 
     def clear_feedback(self) -> None:
         """Forget all relevance judgments."""
-        self._feedback_session = None
+        self._apply(cmd.ClearFeedback())
+
+    def _activate_feedback(self) -> None:
+        # Seeding is committed before the command runs so that — as in
+        # the pre-refactor lazy ``_feedback()`` — the captured query
+        # survives even when the command itself raises.
+        self._state = self.service._seed_feedback(self._state)
 
     def _feedback(self):
-        from ..vsm.feedback import FeedbackSession
-
-        session = self._feedback_session
-        if session is None:
-            initial = (
-                self._predicate_vector(self.current.query)
-                if self.current.query is not None
-                else None
-            )
-            session = FeedbackSession(self.workspace.model, initial)
-            self._feedback_session = session
-        return session
+        self._activate_feedback()
+        return self.service.feedback_session(self.workspace, self._state)
 
     # ------------------------------------------------------------------
     # Direct navigation
@@ -304,28 +320,14 @@ class Session:
 
     def go_item(self, item: Node) -> View:
         """View a single item."""
-        self.history.visit_log.visit(item)
-        self._push_back()
-        self.current = View.of_item(self.workspace, item, history=self.history)
-        self._suggestion_cache = None
-        self.last_was_fuzzy = False
+        self._apply(cmd.GoItem(item))
         return self.current
 
     def go_collection(
         self, items: Sequence[Node], description: str | None = None
     ) -> View:
         """View a fixed collection (no backing query)."""
-        self._push_back()
-        self.current = View.of_collection(
-            self.workspace,
-            list(items),
-            query=None,
-            history=self.history,
-            description=description,
-        )
-        self.history.refinement_trail.push(None, description or "collection")
-        self._suggestion_cache = None
-        self.last_was_fuzzy = False
+        self._apply(cmd.GoCollection(tuple(items), description))
         return self.current
 
     # ------------------------------------------------------------------
@@ -366,7 +368,8 @@ class Session:
         """
         action = suggestion.action
         if isinstance(action, Refine):
-            return self._refine_with(action.predicate, mode or action.mode)
+            self._apply(cmd.SelectRefine(action.predicate, mode or action.mode))
+            return self.current
         if isinstance(action, GoToItem):
             return self.go_item(action.item)
         if isinstance(action, GoToCollection):
@@ -383,7 +386,8 @@ class Session:
         self, prop: Resource, low: float | None, high: float | None
     ) -> View:
         """Commit a range-widget selection as a filter refinement."""
-        return self._refine_with(Range(prop, low=low, high=high), RefineMode.FILTER)
+        self._apply(cmd.ApplyRange(prop, low, high))
+        return self.current
 
     # ------------------------------------------------------------------
     # Constraint chips (§3.2)
@@ -400,25 +404,13 @@ class Session:
 
     def remove_constraint(self, index: int) -> View:
         """Click the 'X' by a constraint: drop it and re-run."""
-        parts = self.constraints()
-        if not (0 <= index < len(parts)):
-            raise IndexError(f"no constraint at {index}")
-        remaining = [c for i, c in enumerate(parts) if i != index]
-        if not remaining:
-            return self.go_collection(
-                list(self.workspace.items), "everything"
-            )
-        query = remaining[0] if len(remaining) == 1 else And(remaining)
-        return self.run_query(query)
+        self._apply(cmd.RemoveConstraint(index))
+        return self.current
 
     def negate_constraint(self, index: int) -> View:
         """Context-menu negation of one constraint."""
-        parts = self.constraints()
-        if not (0 <= index < len(parts)):
-            raise IndexError(f"no constraint at {index}")
-        parts[index] = parts[index].negated()
-        query = parts[0] if len(parts) == 1 else And(parts)
-        return self.run_query(query)
+        self._apply(cmd.NegateConstraint(index))
+        return self.current
 
     # ------------------------------------------------------------------
     # Power-user features (§3.3)
@@ -430,7 +422,8 @@ class Session:
 
     def apply_compound(self, builder: CompoundBuilder) -> View:
         """Apply a compound refinement to the current collection."""
-        return self._refine_with(builder.build(), RefineMode.FILTER)
+        self._apply(cmd.ApplyCompound(tuple(builder.parts), builder.mode))
+        return self.current
 
     def apply_subcollection(
         self,
@@ -445,10 +438,8 @@ class Session:
         ingredient in the set (``any``/or) or having *all* their
         ingredients in the set (``all``/and).
         """
-        from ..query.ast import ValueIn
-
-        predicate = ValueIn(prop, values, quantifier=quantifier)
-        return self._refine_with(predicate, RefineMode.FILTER)
+        self._apply(cmd.ApplySubcollection(prop, tuple(values), quantifier))
+        return self.current
 
     # ------------------------------------------------------------------
     # Export
@@ -504,130 +495,17 @@ class Session:
         ``back`` restores the exact previous view — item or collection —
         as a single-window browser would.
         """
-        if not self._back_stack:
-            raise RuntimeError("no earlier view to go back to")
-        view = self._back_stack.pop()
-        self.current = view
-        self._suggestion_cache = None
-        self.last_was_fuzzy = False
-        return view
-
-    def _push_back(self, limit: int = 100) -> None:
-        self._back_stack.append(self.current)
-        if len(self._back_stack) > limit:
-            self._back_stack.pop(0)
+        self._apply(cmd.Back())
+        return self.current
 
     def undo_refinement(self) -> View:
         """Step back along the refinement trail."""
-        trail = self.history.refinement_trail
-        trail.pop()  # discard the step that produced the current view
-        previous = trail.pop()
-        if previous is None:
-            return self.go_collection(list(self.workspace.items), "everything")
-        query, description = previous
-        if query is None:
-            return self.go_collection(list(self.workspace.items), description)
-        return self.run_query(query, description)
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _refine_with(self, predicate: Predicate, mode: str) -> View:
-        current_query = self.current.query
-        if mode == RefineMode.FILTER:
-            query = self._conjoin(current_query, predicate)
-            items = self.workspace.query_engine.evaluate(
-                predicate, within=self.current.items
-            )
-        elif mode == RefineMode.EXCLUDE:
-            negated = predicate.negated()
-            query = self._conjoin(current_query, negated)
-            items = self.workspace.query_engine.evaluate(
-                negated, within=self.current.items
-            )
-        elif mode == RefineMode.EXPAND:
-            query = (
-                predicate
-                if current_query is None
-                else Or([current_query, predicate])
-            )
-            items = self.workspace.query_engine.evaluate(query)
-        else:
-            raise ValueError(f"unknown refine mode {mode!r}")
-        return self._arrive_collection(query, items)
-
-    @staticmethod
-    def _conjoin(query: Predicate | None, predicate: Predicate) -> Predicate:
-        from ..query.simplify import simplify
-
-        if query is None:
-            return predicate
-        if isinstance(query, And):
-            combined = And(list(query.parts) + [predicate])
-        else:
-            combined = And([query, predicate])
-        # Keep the chips tidy: clicking the same facet twice must not
-        # grow the conjunction, and ¬¬p collapses.
-        return simplify(combined)
-
-    def _arrive_collection(
-        self,
-        query: Predicate | None,
-        items,
-        description: str | None = None,
-    ) -> View:
-        item_list = sorted(items, key=lambda n: n.n3())
-        self.last_was_fuzzy = False
-        if not item_list and self.fuzzy_on_empty and query is not None:
-            fuzzy = self._fuzzy_results(query)
-            if fuzzy:
-                item_list = fuzzy
-                self.last_was_fuzzy = True
-        context = self.workspace.query_context
-        description = description or (
-            query.describe(context) if query is not None else "collection"
-        )
-        self._push_back()
-        self.current = View.of_collection(
-            self.workspace,
-            item_list,
-            query=query,
-            history=self.history,
-            description=description,
-        )
-        self.history.refinement_trail.push(query, description)
-        self._suggestion_cache = None
+        self._apply(cmd.UndoRefinement())
         return self.current
 
-    def _fuzzy_results(self, query: Predicate) -> list[Node]:
-        vector = self._predicate_vector(query)
-        if len(vector) == 0:
-            return []
-        hits = self.workspace.vector_store.search(vector, self.fuzzy_k)
-        return [hit.item for hit in hits if hit.score > 0.0]
-
-    def _predicate_vector(self, predicate: Predicate) -> SparseVector:
-        """A best-effort fuzzy rendering of a boolean query (§6.3.1).
-
-        Positive constraints contribute their vectors; negations are
-        ignored (a fuzzy 'not' would need relevance feedback).
-        """
-        model = self.workspace.model
-        from ..query.ast import HasValue
-
-        if isinstance(predicate, HasValue):
-            return model.pair_vector([(predicate.prop, predicate.value)])
-        if isinstance(predicate, TextMatch):
-            return model.text_vector(predicate.text)
-        if isinstance(predicate, (And, Or)):
-            total = SparseVector()
-            for part in predicate.parts:
-                total = total + self._predicate_vector(part)
-            return total.normalized()
-        if isinstance(predicate, Not):
-            return SparseVector()
-        return SparseVector()
+    def _predicate_vector(self, predicate: Predicate):
+        """Fuzzy rendering of a boolean query (delegated to the service)."""
+        return self.service._predicate_vector(self.workspace, predicate)
 
     def __repr__(self) -> str:
         return f"<Session at {self.current!r}>"

@@ -31,6 +31,11 @@ Commands (also shown by ``help``):
     metrics               print the cache/telemetry snapshot
     back                  return to the previous view
     undo                  undo the last query refinement
+    session list          list the named sessions (* marks active)
+    session new <name>    start a fresh named session
+    session switch <name> make a named session active
+    session save <name> <path>   write a session's state as JSON
+    session load <name> <path>   resume a saved state under a name
     quit
 
 With ``--trace``, every command is followed by its span tree (what the
@@ -56,6 +61,7 @@ from .core.suggestions import OpenRangeWidget
 from .core.workspace import Workspace
 from .datasets import factbook, inbox, recipes, states
 from .obs import Observability, render_metrics, render_trace_forest
+from .service import SessionManager
 
 __all__ = ["main", "Shell"]
 
@@ -94,9 +100,16 @@ class Shell:
     """The command loop, separated from IO for testability."""
 
     def __init__(self, session: Session, out: IO[str] = sys.stdout):
-        self.session = session
+        #: All named sessions share the workspace; the seeded one is "main".
+        self.manager = SessionManager(session.workspace, engine=session.engine)
+        self.manager.adopt("main", session)
         self.out = out
         self._numbered = []
+
+    @property
+    def session(self) -> Session:
+        """The active session (the one every command operates on)."""
+        return self.manager.active
 
     def write(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -243,6 +256,58 @@ class Shell:
 
     def do_metrics(self, argument: str) -> None:
         self.write(render_metrics(self.session.metrics.snapshot()))
+
+    def do_session(self, argument: str) -> None:
+        words = argument.split()
+        action = words[0] if words else "list"
+        if action == "list":
+            if not len(self.manager):
+                self.write("(no sessions)")
+                return
+            for name in self.manager.names():
+                marker = "*" if name == self.manager.active_name else " "
+                state = self.manager.get(name).state
+                self.write(
+                    f"{marker} {name}: {state.view.description or 'an item'} "
+                    f"({len(state.trail)} refinement step(s))"
+                )
+            return
+        if action == "new" and len(words) == 2:
+            try:
+                self.manager.create(words[1])
+            except ValueError as error:
+                self.write(str(error))
+                return
+            self._numbered = []
+            self.show_pane()
+            return
+        if action == "switch" and len(words) == 2:
+            try:
+                self.manager.switch(words[1])
+            except KeyError as error:
+                self.write(str(error.args[0]))
+                return
+            self._numbered = []
+            self.show_pane()
+            return
+        if action == "save" and len(words) == 3:
+            try:
+                self.manager.save(words[1], words[2])
+            except KeyError as error:
+                self.write(str(error.args[0]))
+                return
+            self.write(f"saved session {words[1]!r} to {words[2]}")
+            return
+        if action == "load" and len(words) == 3:
+            self.manager.load(words[1], words[2])
+            self._numbered = []
+            self.write(f"loaded session {words[1]!r} from {words[2]}")
+            self.show_pane()
+            return
+        self.write(
+            "usage: session list | new <name> | switch <name> | "
+            "save <name> <path> | load <name> <path>"
+        )
 
     def do_help(self, argument: str) -> None:
         self.write(__doc__.split("Commands", 1)[1])

@@ -53,6 +53,19 @@ class VisitLog:
                 break
         return seen
 
+    def restore(self, visits: "list[Node] | tuple[Node, ...]") -> None:
+        """Rebuild the log from a raw visit sequence.
+
+        Transition statistics are a pure function of the sequence, so
+        replaying it reproduces them exactly — this is how a serialized
+        :class:`~repro.service.state.SessionState` rehydrates its
+        "intelligent history".
+        """
+        self._visits = []
+        self._transitions = {}
+        for item in visits:
+            self.visit(item)
+
     def followed_from(self, item: Node) -> list[tuple[Node, int]]:
         """Items the user moved to after ``item``, most-followed first.
 
@@ -88,6 +101,12 @@ class RefinementTrail:
     def steps(self) -> list[tuple[Predicate | None, str]]:
         return list(self._steps)
 
+    def restore(
+        self, steps: "list[tuple[Predicate | None, str]] | tuple"
+    ) -> None:
+        """Replace the trail with a saved step sequence."""
+        self._steps = [tuple(step) for step in steps]
+
     def recent(self, n: int = 5) -> list[tuple[Predicate | None, str]]:
         """The last ``n`` steps, most recent first."""
         return list(reversed(self._steps[-n:]))
@@ -102,6 +121,16 @@ class NavigationHistory:
     def __init__(self):
         self.visit_log = VisitLog()
         self.refinement_trail = RefinementTrail()
+
+    def restore(self, visits, trail_steps) -> None:
+        """Synchronize both memories from their raw sequences in place.
+
+        Mutating in place (rather than swapping objects) matters to the
+        Session facade: live Views hold a reference to this history, so
+        the advisors keep seeing the updated memories.
+        """
+        self.visit_log.restore(visits)
+        self.refinement_trail.restore(trail_steps)
 
     def __repr__(self) -> str:
         return (

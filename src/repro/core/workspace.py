@@ -5,10 +5,18 @@ semistructured vector space model, the vector store, the full-text
 index, and the query engine — everything analysts consult.  It is the
 integration point the Haystack environment provided in the original
 system.
+
+For concurrent serving the workspace is treated as a shared,
+read-mostly artifact: :meth:`Workspace.freeze` seals it (mutation
+raises :class:`FrozenWorkspaceError`), after which any number of
+sessions may read it from multiple threads — the extent cache, the
+facet-profile memo, and the intern table keep exact counters under
+that load.  Unfrozen mutation is serialized by an internal lock.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 from ..index.store import VectorStore
@@ -22,7 +30,11 @@ from ..rdf.schema import Schema
 from ..rdf.terms import Node
 from ..rdf.vocab import RDF
 
-__all__ = ["Workspace"]
+__all__ = ["Workspace", "FrozenWorkspaceError"]
+
+
+class FrozenWorkspaceError(RuntimeError):
+    """Raised when a sealed workspace (or its graph) is mutated."""
 
 
 class Workspace:
@@ -68,6 +80,12 @@ class Workspace:
         #: (graph version, collection) -> CollectionProfile, small FIFO
         self._facet_profiles: dict = {}
         self.facet_profile_stats = CacheStats()
+        self._frozen = False
+        #: Serializes the unfrozen mutation path (add_item).
+        self._mutation_lock = threading.RLock()
+        #: Held across the facet-memo check/compute/store so the memo's
+        #: hit/miss counters stay exact under concurrent readers.
+        self._profile_lock = threading.Lock()
         self._wire_metrics()
 
     def _wire_metrics(self) -> None:
@@ -105,13 +123,43 @@ class Workspace:
         )
         metrics.gauge_fn("graph.version", lambda: self.graph.version)
 
+    # ------------------------------------------------------------------
+    # Sealing (shared read-mostly serving)
+    # ------------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has sealed the workspace."""
+        return self._frozen
+
+    def freeze(self) -> "Workspace":
+        """Seal the workspace for concurrent read-only serving.
+
+        Idempotent.  Locks the graph and the workspace mutation path
+        (:class:`FrozenWorkspaceError` from then on) and pre-warms the
+        universe bitmask so the first concurrent queries do not race to
+        build it.  Returns ``self`` for chaining.
+        """
+        with self._mutation_lock:
+            if self._frozen:
+                return self
+            self.graph.freeze()
+            self.query_context.universe_bits()
+            self._frozen = True
+        return self
+
     def add_item(self, item: Node) -> None:
         """Index a newly arrived item across every substrate (§5.2)."""
-        if item not in self.model:
-            self.items.append(item)
-        self.model.add_item(item)
-        self.text_index.index_item(item)
-        self.query_context.universe.add(item)
+        with self._mutation_lock:
+            if self._frozen:
+                raise FrozenWorkspaceError(
+                    "workspace is frozen; cannot add items"
+                )
+            if item not in self.model:
+                self.items.append(item)
+            self.model.add_item(item)
+            self.text_index.index_item(item)
+            self.query_context.universe.add(item)
 
     def label(self, node: Node) -> str:
         """Display name via schema annotations."""
@@ -129,17 +177,18 @@ class Workspace:
         from .analysts.common import collection_profile
 
         key = (self.graph.version, tuple(items))
-        profile = self._facet_profiles.get(key)
-        if profile is not None:
-            self.facet_profile_stats.hits += 1
+        with self._profile_lock:
+            profile = self._facet_profiles.get(key)
+            if profile is not None:
+                self.facet_profile_stats.hits += 1
+                return profile
+            self.facet_profile_stats.misses += 1
+            with self.obs.tracer.span("facets.profile", items=len(items)):
+                profile = collection_profile(self.graph, self.schema, items)
+            self._facet_profiles[key] = profile
+            while len(self._facet_profiles) > 8:
+                self._facet_profiles.pop(next(iter(self._facet_profiles)))
             return profile
-        self.facet_profile_stats.misses += 1
-        with self.obs.tracer.span("facets.profile", items=len(items)):
-            profile = collection_profile(self.graph, self.schema, items)
-        self._facet_profiles[key] = profile
-        while len(self._facet_profiles) > 8:
-            self._facet_profiles.pop(next(iter(self._facet_profiles)))
-        return profile
 
     # ------------------------------------------------------------------
     # Persistence

@@ -14,6 +14,7 @@ intervening observations compare equal.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Callable, Sequence
 
@@ -21,18 +22,25 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Increments are lock-guarded: counters on a shared workspace are
+    bumped from every serving thread, and ``value += n`` alone would
+    drop updates under that contention.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value}>"
@@ -63,7 +71,7 @@ class Histogram:
     different runs line up column-for-column.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total")
+    __slots__ = ("name", "buckets", "counts", "count", "total", "_lock")
 
     def __init__(self, name: str, buckets: Sequence[float]):
         bounds = tuple(buckets)
@@ -77,11 +85,14 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.total: float = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.total += value
+        slot = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[slot] += 1
+            self.count += 1
+            self.total += value
 
     def __repr__(self) -> str:
         return f"<Histogram {self.name} count={self.count}>"
@@ -96,28 +107,37 @@ class MetricsRegistry:
     instrument (a counter cannot become a gauge).
     """
 
-    __slots__ = ("_counters", "_gauges", "_gauge_fns", "_histograms")
+    __slots__ = ("_counters", "_gauges", "_gauge_fns", "_histograms", "_lock")
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._gauge_fns: dict[str, Callable[[], float]] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: Guards get-or-create so two threads first naming a metric
+        #: cannot mint two instruments (one of which would lose counts).
+        self._lock = threading.Lock()
 
     # -- registration ------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            self._claim(name, "counter")
-            counter = self._counters[name] = Counter(name)
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    self._claim(name, "counter")
+                    counter = self._counters[name] = Counter(name)
         return counter
 
     def gauge(self, name: str) -> Gauge:
         gauge = self._gauges.get(name)
         if gauge is None:
-            self._claim(name, "gauge")
-            gauge = self._gauges[name] = Gauge(name)
+            with self._lock:
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    self._claim(name, "gauge")
+                    gauge = self._gauges[name] = Gauge(name)
         return gauge
 
     def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
@@ -126,18 +146,23 @@ class MetricsRegistry:
         Re-registering the same name replaces the callable — rebuilding
         a workspace substrate may legitimately re-wire its collector.
         """
-        if name not in self._gauge_fns:
-            self._claim(name, "gauge_fn")
-        self._gauge_fns[name] = fn
+        with self._lock:
+            if name not in self._gauge_fns:
+                self._claim(name, "gauge_fn")
+            self._gauge_fns[name] = fn
 
     def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            if buckets is None:
-                raise ValueError(f"histogram {name!r} needs bucket bounds")
-            self._claim(name, "histogram")
-            histogram = self._histograms[name] = Histogram(name, buckets)
-        elif buckets is not None and tuple(buckets) != histogram.buckets:
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    if buckets is None:
+                        raise ValueError(f"histogram {name!r} needs bucket bounds")
+                    self._claim(name, "histogram")
+                    histogram = self._histograms[name] = Histogram(name, buckets)
+                    return histogram
+        if buckets is not None and tuple(buckets) != histogram.buckets:
             raise ValueError(
                 f"histogram {name!r} already registered with different buckets"
             )

@@ -9,6 +9,7 @@ invalidate purely on the graph's mutation version.
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Iterable
 
 from .bitset import bits_from_ids, iter_ids
@@ -19,19 +20,31 @@ __all__ = ["InternTable"]
 class InternTable:
     """Bidirectional ``node ↔ int`` mapping with monotonic ids."""
 
-    __slots__ = ("_id_of", "_node_at")
+    __slots__ = ("_id_of", "_node_at", "_lock")
 
     def __init__(self):
         self._id_of: dict[Hashable, int] = {}
         self._node_at: list[Hashable] = []
+        self._lock = threading.Lock()
 
     def intern(self, node: Hashable) -> int:
-        """The node's id, minting a fresh one on first sight."""
+        """The node's id, minting a fresh one on first sight.
+
+        Double-checked: the lock-free fast path serves the read-mostly
+        steady state; minting takes the lock so two threads first seeing
+        the same node cannot assign it two ids (which would silently
+        split its extent bits).  The list append happens before the dict
+        publish so a concurrent ``node_at`` on a freshly read id cannot
+        observe a hole.
+        """
         idx = self._id_of.get(node)
         if idx is None:
-            idx = len(self._node_at)
-            self._id_of[node] = idx
-            self._node_at.append(node)
+            with self._lock:
+                idx = self._id_of.get(node)
+                if idx is None:
+                    idx = len(self._node_at)
+                    self._node_at.append(node)
+                    self._id_of[node] = idx
         return idx
 
     def id_of(self, node: Hashable) -> int | None:

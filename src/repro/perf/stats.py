@@ -3,9 +3,17 @@
 These are deliberately dumb mutable records: hot paths bump plain int
 attributes, and tests/benchmarks read them to prove a cache actually hit
 or an index update actually stayed incremental.
+
+:class:`CacheStats` additionally offers ``record_*`` increments guarded
+by a lock: a frozen workspace is read concurrently by many sessions, and
+`x += 1` on a shared counter is a read-modify-write that loses updates
+under races.  The concurrency stress tests assert exact counts, so the
+shared-cache call sites use the locked path.
 """
 
 from __future__ import annotations
+
+import threading
 
 __all__ = ["CacheStats", "IndexMaintenanceStats"]
 
@@ -13,17 +21,34 @@ __all__ = ["CacheStats", "IndexMaintenanceStats"]
 class CacheStats:
     """Hit/miss/invalidation counters for a versioned cache."""
 
-    __slots__ = ("hits", "misses", "invalidations")
+    __slots__ = ("hits", "misses", "invalidations", "_lock")
 
     def __init__(self):
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self._lock = threading.Lock()
+
+    def record_hit(self) -> None:
+        """Atomically count a hit (safe under concurrent readers)."""
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        """Atomically count a miss."""
+        with self._lock:
+            self.misses += 1
+
+    def record_invalidation(self) -> None:
+        """Atomically count an invalidation."""
+        with self._lock:
+            self.invalidations += 1
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
 
     @property
     def lookups(self) -> int:

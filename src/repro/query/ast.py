@@ -127,10 +127,10 @@ class QueryContext:
             return _MISS
         if entry is not None:
             if entry[0] == self.graph.version:
-                self.cache_stats.hits += 1
+                self.cache_stats.record_hit()
                 return entry[1]
-            self.cache_stats.invalidations += 1
-        self.cache_stats.misses += 1
+            self.cache_stats.record_invalidation()
+        self.cache_stats.record_miss()
         return _MISS
 
     def store_extent_bits(self, predicate: "Predicate", bits: int | None) -> None:

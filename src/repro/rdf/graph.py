@@ -67,6 +67,7 @@ class Graph:
         )
         self._size = 0
         self._version = 0
+        self._frozen = False
         self._interner = InternTable()
         self._blank_counter = itertools.count(1)
         if triples:
@@ -91,12 +92,34 @@ class Graph:
     # Mutation
     # ------------------------------------------------------------------
 
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has sealed the graph."""
+        return self._frozen
+
+    def freeze(self) -> "Graph":
+        """Seal the graph: any further add/remove raises.
+
+        Freezing is what makes lock-free concurrent reads sound — the
+        nested-dict indexes never change shape again, and version-keyed
+        caches can never be invalidated.  Idempotent; returns ``self``.
+        """
+        self._frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            from ..core.workspace import FrozenWorkspaceError
+
+            raise FrozenWorkspaceError("graph is frozen; cannot mutate")
+
     def add(self, subject, predicate, obj) -> bool:
         """Add a triple; return True if it was not already present.
 
         The object may be a plain Python value (str/int/float/date/...),
         which is coerced to a :class:`Literal`.
         """
+        self._check_mutable()
         s = _check_subject(subject)
         p = _check_predicate(predicate)
         o = _check_object(obj)
@@ -116,6 +139,7 @@ class Graph:
 
     def remove(self, subject, predicate, obj) -> bool:
         """Remove one triple; return True if it was present."""
+        self._check_mutable()
         s = _check_subject(subject)
         p = _check_predicate(predicate)
         o = _check_object(obj)

@@ -1,0 +1,44 @@
+"""The serving layer: immutable session state over a shared workspace.
+
+This package is the scaling seam the ROADMAP calls for.  The heavy
+artifact (the :class:`~repro.core.workspace.Workspace`) is shared and
+read-mostly; each user's browsing reduces to an immutable
+:class:`SessionState` value, advanced by the stateless
+:class:`NavigationService` through typed :mod:`commands
+<repro.service.commands>`.  ``browser.Session`` remains the ergonomic
+facade; :class:`SessionManager` multiplexes named sessions and handles
+JSON persistence.
+"""
+
+from . import commands
+from .manager import SessionManager
+from .navigation import NavigationService, Transition
+from .serialize import (
+    StateSerializationError,
+    node_from_dict,
+    node_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+)
+from .state import (
+    DEFAULT_BACK_LIMIT,
+    STATE_FORMAT_VERSION,
+    SessionState,
+    ViewState,
+)
+
+__all__ = [
+    "commands",
+    "SessionManager",
+    "NavigationService",
+    "Transition",
+    "SessionState",
+    "ViewState",
+    "STATE_FORMAT_VERSION",
+    "DEFAULT_BACK_LIMIT",
+    "StateSerializationError",
+    "node_to_dict",
+    "node_from_dict",
+    "predicate_to_dict",
+    "predicate_from_dict",
+]

@@ -1,0 +1,236 @@
+"""Typed commands: the closed vocabulary of session transitions.
+
+Every mutator of the old monolithic ``Session`` is now a small frozen
+dataclass.  A command is pure data — what the user did, not how to do
+it — so command streams can be logged, replayed against a fresh state
+(the equivalence suite does exactly this), or shipped to a server
+frontend.  :meth:`~repro.service.navigation.NavigationService.apply`
+is the single interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.suggestions import RefineMode
+from ..query.ast import Predicate
+from ..rdf.terms import Node, Resource
+
+__all__ = [
+    "Command",
+    "Search",
+    "SearchWithin",
+    "SearchRanked",
+    "RankCurrent",
+    "RunQuery",
+    "Refine",
+    "SelectRefine",
+    "ApplyRange",
+    "ApplyCompound",
+    "ApplySubcollection",
+    "RemoveConstraint",
+    "NegateConstraint",
+    "GoItem",
+    "GoCollection",
+    "GoBookmarks",
+    "AddBookmark",
+    "RemoveBookmark",
+    "MarkRelevant",
+    "MarkNonRelevant",
+    "ClearFeedback",
+    "MoreLikeMarked",
+    "Back",
+    "UndoRefinement",
+]
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class; exists so handlers can be looked up by type."""
+
+
+# -- starting searches (§3.1) ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Search(Command):
+    """Toolbar keyword search: a brand-new query."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class SearchWithin(Command):
+    """Keyword search restricted to the current collection (§4.3)."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class SearchRanked(Command):
+    """Ranked keyword search — the §6.2 document-reordering extension."""
+
+    text: str
+    k: int = 20
+
+
+@dataclass(frozen=True)
+class RankCurrent(Command):
+    """Reorder the current collection by similarity (centroid if no text)."""
+
+    text: str | None = None
+
+
+@dataclass(frozen=True)
+class RunQuery(Command):
+    """Execute a query against the whole universe."""
+
+    predicate: Predicate
+    description: str | None = None
+
+
+# -- refinements (§3.2, §4.1) ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Refine(Command):
+    """The programmatic refine click (traced, counted)."""
+
+    predicate: Predicate
+    mode: str = RefineMode.FILTER
+
+
+@dataclass(frozen=True)
+class SelectRefine(Command):
+    """A refinement executed by selecting a suggestion (untraced)."""
+
+    predicate: Predicate
+    mode: str = RefineMode.FILTER
+
+
+@dataclass(frozen=True)
+class ApplyRange(Command):
+    """Commit a range-widget selection as a filter refinement."""
+
+    prop: Resource
+    low: float | None
+    high: float | None
+
+
+@dataclass(frozen=True)
+class ApplyCompound(Command):
+    """Apply a compound ('and'/'or') refinement built from dragged parts."""
+
+    parts: tuple[Predicate, ...]
+    mode: str = "and"
+
+    def __post_init__(self):
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+
+@dataclass(frozen=True)
+class ApplySubcollection(Command):
+    """Browse-and-apply a sub-collection back onto the current items (§3.3)."""
+
+    prop: Resource
+    values: tuple[Node, ...]
+    quantifier: str = "any"
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+
+
+@dataclass(frozen=True)
+class RemoveConstraint(Command):
+    """Click the 'X' by a constraint chip: drop it and re-run."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class NegateConstraint(Command):
+    """Context-menu negation of one constraint chip."""
+
+    index: int
+
+
+# -- direct navigation -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GoItem(Command):
+    """View a single item (records the visit)."""
+
+    item: Node
+
+
+@dataclass(frozen=True)
+class GoCollection(Command):
+    """View a fixed collection (no backing query)."""
+
+    items: tuple[Node, ...]
+    description: str | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "items", tuple(self.items))
+
+
+@dataclass(frozen=True)
+class GoBookmarks(Command):
+    """Open the bookmark pane's contents as a browsable collection."""
+
+
+# -- bookmarks and feedback --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AddBookmark(Command):
+    """Bookmark an item (None: the currently viewed one)."""
+
+    item: Node | None = None
+
+
+@dataclass(frozen=True)
+class RemoveBookmark(Command):
+    """Drop a bookmark; the transition outcome reports presence."""
+
+    item: Node
+
+
+@dataclass(frozen=True)
+class MarkRelevant(Command):
+    """'More like this' — positive relevance feedback."""
+
+    item: Node
+
+
+@dataclass(frozen=True)
+class MarkNonRelevant(Command):
+    """'Less like this' — negative relevance feedback."""
+
+    item: Node
+
+
+@dataclass(frozen=True)
+class ClearFeedback(Command):
+    """Forget all relevance judgments."""
+
+
+@dataclass(frozen=True)
+class MoreLikeMarked(Command):
+    """Navigate to items matching the accumulated judgments."""
+
+    k: int = 10
+
+
+# -- history -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Back(Command):
+    """The browser-style back button: restore the previous view."""
+
+
+@dataclass(frozen=True)
+class UndoRefinement(Command):
+    """Step back along the refinement trail."""

@@ -1,0 +1,148 @@
+"""Multiplexing many named sessions over one shared workspace.
+
+The serving story the refactor enables: a process holds ONE workspace
+(the heavy, read-mostly artifact — graph, indexes, caches) and any
+number of light per-user sessions over it.  :class:`SessionManager`
+is that multiplexer in miniature, plus the JSON persistence used by the
+CLI's ``session save``/``session load``.
+
+Sessions created here carry their name as ``session_id``, so spans and
+counters emitted on their behalf are tagged per session (the `obs`
+layer's multi-tenant view).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+from ..core.engine import NavigationEngine
+from ..core.workspace import Workspace
+from .state import DEFAULT_BACK_LIMIT, SessionState
+
+__all__ = ["SessionManager"]
+
+
+class SessionManager:
+    """Named sessions over one workspace, with an active cursor."""
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        engine: NavigationEngine | None = None,
+        fuzzy_on_empty: bool = False,
+        fuzzy_k: int = 10,
+        back_limit: int = DEFAULT_BACK_LIMIT,
+    ):
+        self.workspace = workspace
+        self.engine = engine if engine is not None else NavigationEngine()
+        self._fuzzy_on_empty = fuzzy_on_empty
+        self._fuzzy_k = fuzzy_k
+        self._back_limit = back_limit
+        self._sessions: dict = {}
+        self._active_name: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def create(self, name: str):
+        """Start a fresh named session; it becomes the active one."""
+        if name in self._sessions:
+            raise ValueError(f"session {name!r} already exists")
+        from ..browser.session import Session
+
+        session = Session(
+            self.workspace,
+            engine=self.engine,
+            fuzzy_on_empty=self._fuzzy_on_empty,
+            fuzzy_k=self._fuzzy_k,
+            back_limit=self._back_limit,
+            session_id=name,
+        )
+        self._sessions[name] = session
+        self._active_name = name
+        return session
+
+    def adopt(self, name: str, session) -> None:
+        """Register an externally built session under a name."""
+        if name in self._sessions:
+            raise ValueError(f"session {name!r} already exists")
+        self._sessions[name] = session
+        if self._active_name is None:
+            self._active_name = name
+
+    def get(self, name: str):
+        """The named session (KeyError when unknown)."""
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise KeyError(f"no session named {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All session names, in creation order."""
+        return list(self._sessions)
+
+    def remove(self, name: str) -> bool:
+        """Drop a session; returns whether it existed."""
+        if name not in self._sessions:
+            return False
+        del self._sessions[name]
+        if self._active_name == name:
+            self._active_name = next(iter(self._sessions), None)
+        return True
+
+    def switch(self, name: str):
+        """Make the named session active and return it."""
+        session = self.get(name)
+        self._active_name = name
+        return session
+
+    @property
+    def active_name(self) -> str | None:
+        return self._active_name
+
+    @property
+    def active(self):
+        """The active session, or None when the manager is empty."""
+        if self._active_name is None:
+            return None
+        return self._sessions[self._active_name]
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, name: str, path) -> None:
+        """Write the named session's state as JSON."""
+        state = self.get(name).state
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(state.to_dict(), handle, indent=2, sort_keys=True)
+
+    def load(self, name: str, path):
+        """Resume a saved state under ``name`` (replacing any holder).
+
+        The stored ``session_id`` is overridden by the new name, so a
+        state saved from one session can seed several.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        state = replace(SessionState.from_dict(data), session_id=name)
+        from ..browser.session import Session
+
+        session = Session.from_state(self.workspace, state, engine=self.engine)
+        self._sessions[name] = session
+        self._active_name = name
+        return session
+
+    def __repr__(self) -> str:
+        return (
+            f"<SessionManager {len(self._sessions)} session(s), "
+            f"active={self._active_name!r}>"
+        )

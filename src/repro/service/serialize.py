@@ -1,0 +1,192 @@
+"""JSON codecs for RDF terms and predicate trees.
+
+:class:`~repro.service.state.SessionState` must travel between
+processes (session migration, save/load, a future server frontend), so
+everything it references — terms and predicate ASTs — needs a stable,
+dependency-free wire form.  The codecs below are total over the built-in
+term and predicate types and raise :class:`StateSerializationError` for
+anything else (custom predicate subclasses must register nothing here;
+sessions using them simply are not portable).
+
+The format is versioned dict-of-plain-values JSON: terms are tagged by
+kind (``uri``/``bnode``/``lit``), predicates by a short type tag.
+``ValueIn``'s value set is emitted sorted by N-Triples form so the same
+predicate always serializes to the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..query.ast import (
+    And,
+    Cardinality,
+    HasProperty,
+    HasValue,
+    Not,
+    Or,
+    PathValue,
+    Predicate,
+    Range,
+    TextMatch,
+    TypeIs,
+    ValueIn,
+)
+from ..rdf.terms import BlankNode, Literal, Node, Resource
+
+__all__ = [
+    "StateSerializationError",
+    "node_to_dict",
+    "node_from_dict",
+    "predicate_to_dict",
+    "predicate_from_dict",
+]
+
+
+class StateSerializationError(ValueError):
+    """A term or predicate has no JSON representation."""
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+
+def node_to_dict(node: Node) -> dict[str, Any]:
+    """Encode a term as a plain dict."""
+    if isinstance(node, Resource):
+        return {"t": "uri", "v": node.uri}
+    if isinstance(node, BlankNode):
+        return {"t": "bnode", "v": node.node_id}
+    if isinstance(node, Literal):
+        encoded: dict[str, Any] = {"t": "lit", "v": node.lexical}
+        if node.datatype is not None:
+            encoded["dt"] = node.datatype
+        if node.language is not None:
+            encoded["lang"] = node.language
+        return encoded
+    raise StateSerializationError(f"cannot serialize term {node!r}")
+
+
+def node_from_dict(data: dict[str, Any]) -> Node:
+    """Decode a term encoded by :func:`node_to_dict`."""
+    kind = data.get("t")
+    if kind == "uri":
+        return Resource(data["v"])
+    if kind == "bnode":
+        return BlankNode(data["v"])
+    if kind == "lit":
+        return Literal(
+            data["v"], datatype=data.get("dt"), language=data.get("lang")
+        )
+    raise StateSerializationError(f"unknown term tag {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+
+
+def predicate_to_dict(predicate: Predicate) -> dict[str, Any]:
+    """Encode a predicate tree as a plain dict.
+
+    ``TypeIs`` is checked before its base ``HasValue`` so the sugar
+    round-trips to the same type (and keeps its chip description).
+    """
+    if isinstance(predicate, TypeIs):
+        return {"t": "type_is", "type": node_to_dict(predicate.value)}
+    if isinstance(predicate, HasValue):
+        return {
+            "t": "has_value",
+            "prop": node_to_dict(predicate.prop),
+            "value": node_to_dict(predicate.value),
+        }
+    if isinstance(predicate, HasProperty):
+        return {"t": "has_property", "prop": node_to_dict(predicate.prop)}
+    if isinstance(predicate, TextMatch):
+        encoded: dict[str, Any] = {"t": "text", "text": predicate.text}
+        if predicate.within is not None:
+            encoded["within"] = node_to_dict(predicate.within)
+        return encoded
+    if isinstance(predicate, Range):
+        return {
+            "t": "range",
+            "prop": node_to_dict(predicate.prop),
+            "low": predicate.low,
+            "high": predicate.high,
+        }
+    if isinstance(predicate, PathValue):
+        return {
+            "t": "path_value",
+            "chain": [node_to_dict(p) for p in predicate.chain],
+            "value": node_to_dict(predicate.value),
+        }
+    if isinstance(predicate, ValueIn):
+        return {
+            "t": "value_in",
+            "prop": node_to_dict(predicate.prop),
+            "values": [
+                node_to_dict(v)
+                for v in sorted(predicate.values, key=lambda n: n.n3())
+            ],
+            "quantifier": predicate.quantifier,
+        }
+    if isinstance(predicate, Cardinality):
+        return {
+            "t": "cardinality",
+            "prop": node_to_dict(predicate.prop),
+            "at_least": predicate.at_least,
+            "at_most": predicate.at_most,
+        }
+    if isinstance(predicate, And):
+        return {"t": "and", "parts": [predicate_to_dict(p) for p in predicate.parts]}
+    if isinstance(predicate, Or):
+        return {"t": "or", "parts": [predicate_to_dict(p) for p in predicate.parts]}
+    if isinstance(predicate, Not):
+        return {"t": "not", "part": predicate_to_dict(predicate.part)}
+    raise StateSerializationError(
+        f"cannot serialize predicate type {type(predicate).__name__}"
+    )
+
+
+def predicate_from_dict(data: dict[str, Any]) -> Predicate:
+    """Decode a predicate encoded by :func:`predicate_to_dict`."""
+    kind = data.get("t")
+    if kind == "type_is":
+        return TypeIs(node_from_dict(data["type"]))
+    if kind == "has_value":
+        return HasValue(node_from_dict(data["prop"]), node_from_dict(data["value"]))
+    if kind == "has_property":
+        return HasProperty(node_from_dict(data["prop"]))
+    if kind == "text":
+        within = data.get("within")
+        return TextMatch(
+            data["text"],
+            within=node_from_dict(within) if within is not None else None,
+        )
+    if kind == "range":
+        return Range(node_from_dict(data["prop"]), low=data["low"], high=data["high"])
+    if kind == "path_value":
+        return PathValue(
+            [node_from_dict(p) for p in data["chain"]],
+            node_from_dict(data["value"]),
+        )
+    if kind == "value_in":
+        return ValueIn(
+            node_from_dict(data["prop"]),
+            [node_from_dict(v) for v in data["values"]],
+            quantifier=data["quantifier"],
+        )
+    if kind == "cardinality":
+        return Cardinality(
+            node_from_dict(data["prop"]),
+            at_least=data["at_least"],
+            at_most=data["at_most"],
+        )
+    if kind == "and":
+        return And([predicate_from_dict(p) for p in data["parts"]])
+    if kind == "or":
+        return Or([predicate_from_dict(p) for p in data["parts"]])
+    if kind == "not":
+        return Not(predicate_from_dict(data["part"]))
+    raise StateSerializationError(f"unknown predicate tag {kind!r}")

@@ -1,0 +1,241 @@
+"""Immutable, serializable per-user session state.
+
+Query-by-navigation browsing is a state machine: every interaction is a
+pure transition over (query, focus, trail).  :class:`SessionState`
+captures everything one user's browsing amounts to — the current view,
+the refinement trail, the visit log, the back stack, bookmarks, and
+relevance-feedback marks — as frozen tuples, so a transition produces a
+*new* state and the old one stays valid (undo, replay, migration, and
+concurrent serving all fall out of this shape).
+
+The state deliberately holds no workspace references: terms and
+predicates are value objects, so a state built against one workspace can
+be replayed against any workspace holding the same corpus.
+``to_dict``/``from_dict`` give the JSON wire form used by session
+save/load and the :class:`~repro.service.manager.SessionManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..query.ast import And, Predicate
+from ..rdf.terms import Node
+from .serialize import (
+    StateSerializationError,
+    node_from_dict,
+    node_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+)
+
+__all__ = ["ViewState", "SessionState", "STATE_FORMAT_VERSION"]
+
+#: Bumped whenever the serialized layout changes incompatibly.
+STATE_FORMAT_VERSION = 1
+
+#: Default back-stack depth, matching the pre-refactor hardcoded bound.
+DEFAULT_BACK_LIMIT = 100
+
+
+@dataclass(frozen=True)
+class ViewState:
+    """The value-object core of a :class:`~repro.core.view.View`.
+
+    ``kind`` is ``"item"`` or ``"collection"``; exactly the fields the
+    kind needs are populated, mirroring ``View``'s invariants.
+    """
+
+    kind: str
+    item: Node | None = None
+    items: tuple[Node, ...] = ()
+    query: Predicate | None = None
+    description: str | None = None
+
+    KIND_ITEM = "item"
+    KIND_COLLECTION = "collection"
+
+    @property
+    def is_item(self) -> bool:
+        return self.kind == self.KIND_ITEM
+
+    @property
+    def is_collection(self) -> bool:
+        return self.kind == self.KIND_COLLECTION
+
+    def constraints(self) -> list[Predicate]:
+        """The query's top-level conjuncts (the constraint chips)."""
+        if self.query is None:
+            return []
+        if isinstance(self.query, And):
+            return list(self.query.parts)
+        return [self.query]
+
+    @classmethod
+    def of_item(cls, item: Node) -> "ViewState":
+        return cls(kind=cls.KIND_ITEM, item=item)
+
+    @classmethod
+    def of_collection(
+        cls,
+        items: Iterable[Node],
+        query: Predicate | None = None,
+        description: str | None = None,
+    ) -> "ViewState":
+        return cls(
+            kind=cls.KIND_COLLECTION,
+            items=tuple(items),
+            query=query,
+            description=description,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "item": node_to_dict(self.item) if self.item is not None else None,
+            "items": [node_to_dict(n) for n in self.items],
+            "query": (
+                predicate_to_dict(self.query) if self.query is not None else None
+            ),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ViewState":
+        return cls(
+            kind=data["kind"],
+            item=node_from_dict(data["item"]) if data["item"] is not None else None,
+            items=tuple(node_from_dict(n) for n in data["items"]),
+            query=(
+                predicate_from_dict(data["query"])
+                if data["query"] is not None
+                else None
+            ),
+            description=data["description"],
+        )
+
+
+@dataclass(frozen=True)
+class SessionState:
+    """One user's complete browsing state, as an immutable value.
+
+    Transitions live in :class:`~repro.service.navigation.NavigationService`;
+    this class only holds data plus the JSON round-trip.  ``visits`` is
+    the raw visit sequence — transition statistics (the "intelligent
+    history") are a pure function of it and are rebuilt on demand.
+    """
+
+    view: ViewState
+    trail: tuple[tuple[Predicate | None, str], ...] = ()
+    visits: tuple[Node, ...] = ()
+    back_stack: tuple[ViewState, ...] = ()
+    bookmarks: tuple[Node, ...] = ()
+    feedback_relevant: tuple[Node, ...] = ()
+    feedback_non_relevant: tuple[Node, ...] = ()
+    feedback_seed: Predicate | None = None
+    feedback_active: bool = False
+    fuzzy_on_empty: bool = False
+    fuzzy_k: int = 10
+    last_was_fuzzy: bool = False
+    back_limit: int = DEFAULT_BACK_LIMIT
+    session_id: str | None = None
+
+    @classmethod
+    def initial(
+        cls,
+        items: Iterable[Node],
+        fuzzy_on_empty: bool = False,
+        fuzzy_k: int = 10,
+        back_limit: int = DEFAULT_BACK_LIMIT,
+        session_id: str | None = None,
+    ) -> "SessionState":
+        """The fresh-session state: viewing everything, empty memories."""
+        if back_limit < 1:
+            raise ValueError("back_limit must be at least 1")
+        return cls(
+            view=ViewState.of_collection(items, description="everything"),
+            fuzzy_on_empty=fuzzy_on_empty,
+            fuzzy_k=fuzzy_k,
+            back_limit=back_limit,
+            session_id=session_id,
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-safe wire form (lossless; see ``from_dict``)."""
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "session_id": self.session_id,
+            "view": self.view.to_dict(),
+            "trail": [
+                [
+                    predicate_to_dict(query) if query is not None else None,
+                    description,
+                ]
+                for query, description in self.trail
+            ],
+            "visits": [node_to_dict(n) for n in self.visits],
+            "back_stack": [view.to_dict() for view in self.back_stack],
+            "bookmarks": [node_to_dict(n) for n in self.bookmarks],
+            "feedback": {
+                "active": self.feedback_active,
+                "seed": (
+                    predicate_to_dict(self.feedback_seed)
+                    if self.feedback_seed is not None
+                    else None
+                ),
+                "relevant": [node_to_dict(n) for n in self.feedback_relevant],
+                "non_relevant": [
+                    node_to_dict(n) for n in self.feedback_non_relevant
+                ],
+            },
+            "fuzzy_on_empty": self.fuzzy_on_empty,
+            "fuzzy_k": self.fuzzy_k,
+            "last_was_fuzzy": self.last_was_fuzzy,
+            "back_limit": self.back_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SessionState":
+        """Rebuild a state from :meth:`to_dict` output."""
+        version = data.get("format")
+        if version != STATE_FORMAT_VERSION:
+            raise StateSerializationError(
+                f"unsupported session state format {version!r} "
+                f"(this build reads {STATE_FORMAT_VERSION})"
+            )
+        feedback = data["feedback"]
+        return cls(
+            view=ViewState.from_dict(data["view"]),
+            trail=tuple(
+                (
+                    predicate_from_dict(query) if query is not None else None,
+                    description,
+                )
+                for query, description in data["trail"]
+            ),
+            visits=tuple(node_from_dict(n) for n in data["visits"]),
+            back_stack=tuple(
+                ViewState.from_dict(view) for view in data["back_stack"]
+            ),
+            bookmarks=tuple(node_from_dict(n) for n in data["bookmarks"]),
+            feedback_relevant=tuple(
+                node_from_dict(n) for n in feedback["relevant"]
+            ),
+            feedback_non_relevant=tuple(
+                node_from_dict(n) for n in feedback["non_relevant"]
+            ),
+            feedback_seed=(
+                predicate_from_dict(feedback["seed"])
+                if feedback["seed"] is not None
+                else None
+            ),
+            feedback_active=feedback["active"],
+            fuzzy_on_empty=data["fuzzy_on_empty"],
+            fuzzy_k=data["fuzzy_k"],
+            last_was_fuzzy=data["last_was_fuzzy"],
+            back_limit=data["back_limit"],
+            session_id=data["session_id"],
+        )

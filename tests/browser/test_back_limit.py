@@ -1,0 +1,66 @@
+"""The back-stack depth is a constructor parameter (ISSUE-3 satellite).
+
+The old ``Session._push_back`` hardcoded ``limit=100``; now the bound is
+carried in ``SessionState.back_limit`` and the OLDEST entry is dropped
+when full (never the newest push).
+"""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.rdf import Graph, Namespace, RDF
+
+EX = Namespace("http://bl.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    for i in range(12):
+        item = EX[f"d{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.color, EX.red)
+    return Workspace(g)
+
+
+class TestBackLimit:
+    def test_default_limit_is_100(self, workspace):
+        session = Session(workspace)
+        for _ in range(120):
+            session.go_item(EX.d0)
+        assert len(session._back_stack) == 100
+
+    def test_custom_limit(self, workspace):
+        session = Session(workspace, back_limit=5)
+        for i in range(12):
+            session.go_item(EX[f"d{i}"])
+        assert len(session._back_stack) == 5
+
+    def test_drops_oldest_not_newest(self, workspace):
+        session = Session(workspace, back_limit=3)
+        for i in range(8):
+            session.go_item(EX[f"d{i}"])
+        # Stack holds the three views preceding the current one (d7).
+        assert [v.item for v in session._back_stack] == [EX.d4, EX.d5, EX.d6]
+
+    def test_back_still_walks_whats_kept(self, workspace):
+        session = Session(workspace, back_limit=2)
+        for i in range(6):
+            session.go_item(EX[f"d{i}"])
+        assert session.back().item == EX.d4
+        assert session.back().item == EX.d3
+        with pytest.raises(RuntimeError):
+            session.back()
+
+    def test_limit_carried_in_state(self, workspace):
+        session = Session(workspace, back_limit=7)
+        assert session.state.back_limit == 7
+        resumed = Session.from_state(workspace, session.state)
+        for i in range(12):
+            resumed.go_item(EX[f"d{i}"])
+        assert len(resumed._back_stack) == 7
+
+    def test_limit_must_be_positive(self, workspace):
+        with pytest.raises(ValueError):
+            Session(workspace, back_limit=0)

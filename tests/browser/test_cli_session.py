@@ -1,0 +1,87 @@
+"""Tests for the CLI's session save/load/list/switch commands."""
+
+import io
+
+import pytest
+
+from repro.browser import Session
+from repro.cli import Shell
+from repro.core import Workspace
+
+
+@pytest.fixture()
+def shell_io(states_annotated):
+    workspace = Workspace(
+        states_annotated.graph,
+        schema=states_annotated.schema,
+        items=states_annotated.items,
+    )
+    out = io.StringIO()
+    shell = Shell(Session(workspace), out=out)
+    return shell, out
+
+
+def run_script(shell, out, commands: str) -> str:
+    code = shell.run(io.StringIO(commands), interactive=False)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestSessionCommands:
+    def test_list_shows_main(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "session list\nquit\n")
+        assert "* main" in output
+
+    def test_new_and_switch(self, shell_io):
+        shell, out = shell_io
+        output = run_script(
+            shell,
+            out,
+            "session new scratch\nsession list\nsession switch main\n"
+            "session list\nquit\n",
+        )
+        assert "* scratch" in output
+        assert shell.manager.active_name == "main"
+
+    def test_sessions_are_independent(self, shell_io):
+        shell, out = shell_io
+        run_script(
+            shell,
+            out,
+            "search cardinal\nsession new scratch\nchips\n"
+            "session switch main\nchips\nquit\n",
+        )
+        assert shell.manager.get("main").describe_constraints()
+        assert not shell.manager.get("scratch").describe_constraints()
+
+    def test_save_and_load_round_trip(self, shell_io, tmp_path):
+        shell, out = shell_io
+        path = tmp_path / "main.json"
+        output = run_script(
+            shell,
+            out,
+            f"search cardinal\nsession save main {path}\n"
+            f"session load twin {path}\nchips\nquit\n",
+        )
+        assert f"saved session 'main' to {path}" in output
+        assert path.exists()
+        twin = shell.manager.get("twin")
+        main = shell.manager.get("main")
+        assert list(twin.current.items) == list(main.current.items)
+        assert twin.describe_constraints() == main.describe_constraints()
+
+    def test_duplicate_and_unknown_names_reported(self, shell_io):
+        shell, out = shell_io
+        output = run_script(
+            shell,
+            out,
+            "session new main\nsession switch nobody\nquit\n",
+        )
+        assert "already exists" in output
+        assert "no session named" in output
+
+    def test_usage_message(self, shell_io):
+        shell, out = shell_io
+        output = run_script(shell, out, "session frobnicate\nquit\n")
+        assert "usage: session" in output

@@ -1,0 +1,125 @@
+"""Chip-edit round-trips are extent-neutral (ISSUE-3 satellite).
+
+Over the states dataset: sequences of ``remove_constraint`` /
+``negate_constraint`` / ``undo_refinement`` that logically cancel out
+must reproduce exactly the extent a session that never refined would
+see.  A pristine session is the equivalence oracle.
+"""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.datasets import states
+from repro.query import HasValue
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return states.build_corpus(annotated=True)
+
+
+@pytest.fixture()
+def workspace(corpus):
+    return Workspace(corpus.graph, schema=corpus.schema, items=corpus.items)
+
+
+@pytest.fixture()
+def props(corpus):
+    return corpus.extras["properties"]
+
+
+def _a_value(workspace, prop):
+    """Some value the property actually takes (deterministic pick)."""
+    values = {o for _s, _p, o in workspace.graph.triples(None, prop, None)}
+    return sorted(values, key=lambda n: n.n3())[0]
+
+
+class TestRoundTrips:
+    def test_remove_restores_unrefined_extent(self, workspace, props):
+        oracle = Session(workspace)
+        oracle.run_query(HasValue(props["region"], _a_value(workspace, props["region"])))
+        baseline = list(oracle.current.items)
+
+        session = Session(workspace)
+        session.run_query(
+            HasValue(props["region"], _a_value(workspace, props["region"]))
+        )
+        session.refine(HasValue(props["bird"], _a_value(workspace, props["bird"])))
+        session.remove_constraint(1)
+        assert list(session.current.items) == baseline
+        assert session.describe_constraints() == oracle.describe_constraints()
+
+    def test_remove_last_chip_restores_everything(self, workspace, props):
+        session = Session(workspace)
+        session.run_query(
+            HasValue(props["region"], _a_value(workspace, props["region"]))
+        )
+        session.remove_constraint(0)
+        assert list(session.current.items) == sorted(
+            workspace.items, key=lambda n: n.n3()
+        ) or list(session.current.items) == list(workspace.items)
+        assert session.describe_constraints() == []
+
+    def test_double_negation_restores_extent(self, workspace, props):
+        region = HasValue(props["region"], _a_value(workspace, props["region"]))
+        oracle = Session(workspace)
+        oracle.run_query(region)
+        baseline = list(oracle.current.items)
+
+        session = Session(workspace)
+        session.run_query(region)
+        session.negate_constraint(0)
+        session.negate_constraint(0)
+        assert list(session.current.items) == baseline
+        assert session.describe_constraints() == oracle.describe_constraints()
+
+    def test_undo_restores_prior_extent(self, workspace, props):
+        region = HasValue(props["region"], _a_value(workspace, props["region"]))
+        oracle = Session(workspace)
+        oracle.run_query(region)
+        baseline = list(oracle.current.items)
+
+        session = Session(workspace)
+        session.run_query(region)
+        session.refine(HasValue(props["bird"], _a_value(workspace, props["bird"])))
+        session.undo_refinement()
+        assert list(session.current.items) == baseline
+
+    def test_full_remove_negate_undo_chain(self, workspace, props):
+        """The satellite's named sequence, against the never-refined oracle."""
+        region = HasValue(props["region"], _a_value(workspace, props["region"]))
+        bird = HasValue(props["bird"], _a_value(workspace, props["bird"]))
+        flower = HasValue(props["flower"], _a_value(workspace, props["flower"]))
+
+        oracle = Session(workspace)
+        oracle.run_query(region)
+        baseline = list(oracle.current.items)
+
+        session = Session(workspace)
+        session.run_query(region)
+        session.refine(bird)            # region ∧ bird
+        session.remove_constraint(1)    # region
+        session.refine(flower)          # region ∧ flower
+        session.negate_constraint(1)    # region ∧ ¬flower
+        session.negate_constraint(1)    # region ∧ flower
+        session.undo_refinement()       # region ∧ ¬flower (one step back)
+        session.undo_refinement()       # region ∧ flower? — keep walking
+        session.undo_refinement()       # region
+        assert list(session.current.items) == baseline
+        assert session.describe_constraints() == oracle.describe_constraints()
+
+    def test_roundtrip_state_survives_serialization(self, workspace, props):
+        from repro.service import SessionState
+
+        region = HasValue(props["region"], _a_value(workspace, props["region"]))
+        bird = HasValue(props["bird"], _a_value(workspace, props["bird"]))
+        session = Session(workspace)
+        session.run_query(region)
+        session.refine(bird)
+        resumed = Session.from_state(
+            workspace, SessionState.from_dict(session.state.to_dict())
+        )
+        session.remove_constraint(1)
+        resumed.remove_constraint(1)
+        assert list(session.current.items) == list(resumed.current.items)

@@ -1,0 +1,90 @@
+"""Workspace/Graph sealing: the read-mostly serving contract."""
+
+import pytest
+
+from repro.core import Workspace
+from repro.core.workspace import FrozenWorkspaceError
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://fz.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    for i in range(4):
+        item = EX[f"d{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.color, EX.red if i < 2 else EX.blue)
+        g.add(item, EX.title, Literal(f"doc number {i}"))
+    return Workspace(g)
+
+
+class TestFreeze:
+    def test_starts_unfrozen(self, workspace):
+        assert not workspace.frozen
+        assert not workspace.graph.frozen
+
+    def test_freeze_seals_workspace_and_graph(self, workspace):
+        workspace.freeze()
+        assert workspace.frozen
+        assert workspace.graph.frozen
+
+    def test_freeze_is_idempotent(self, workspace):
+        assert workspace.freeze() is workspace
+        assert workspace.freeze() is workspace
+
+    def test_add_item_raises_after_freeze(self, workspace):
+        workspace.freeze()
+        with pytest.raises(FrozenWorkspaceError):
+            workspace.add_item(EX.d9)
+
+    def test_graph_add_raises_after_freeze(self, workspace):
+        workspace.freeze()
+        with pytest.raises(FrozenWorkspaceError):
+            workspace.graph.add(EX.d0, EX.color, EX.green)
+
+    def test_graph_remove_raises_after_freeze(self, workspace):
+        workspace.freeze()
+        with pytest.raises(FrozenWorkspaceError):
+            workspace.graph.remove(EX.d0, EX.color, EX.red)
+        with pytest.raises(FrozenWorkspaceError):
+            workspace.graph.remove_matching(EX.d0, None, None)
+
+    def test_version_pinned_after_freeze(self, workspace):
+        workspace.freeze()
+        version = workspace.graph.version
+        with pytest.raises(FrozenWorkspaceError):
+            workspace.graph.add(EX.d0, EX.color, EX.green)
+        assert workspace.graph.version == version
+
+    def test_reads_still_work_after_freeze(self, workspace):
+        from repro.browser import Session
+        from repro.query import HasValue
+
+        workspace.freeze()
+        session = Session(workspace)
+        view = session.run_query(HasValue(EX.color, EX.red))
+        assert set(view.items) == {EX.d0, EX.d1}
+        assert session.suggestions() is not None
+
+    def test_freeze_warms_universe_bits(self, workspace):
+        workspace.freeze()
+        bits = workspace.query_context.universe_bits()
+        assert bin(bits).count("1") == len(workspace.items)
+
+    def test_mutation_works_until_frozen(self, workspace):
+        workspace.graph.add(EX.d9, RDF.type, EX.Doc)
+        workspace.add_item(EX.d9)
+        assert EX.d9 in workspace.query_context.universe
+        workspace.freeze()
+        with pytest.raises(FrozenWorkspaceError):
+            workspace.add_item(EX.d8)
+
+    def test_bare_graph_freeze(self):
+        g = Graph()
+        g.add(EX.a, EX.p, EX.b)
+        g.freeze()
+        with pytest.raises(FrozenWorkspaceError):
+            g.add(EX.a, EX.p, EX.c)
+        assert list(g.triples(EX.a, None, None))

@@ -1,0 +1,203 @@
+"""Concurrent serving over one frozen workspace.
+
+The ISSUE-3 contract: N threads running identical refinements against a
+single sealed workspace must (a) all see identical results, and (b)
+leave the shared telemetry — ``CacheStats``, metric counters, the
+intern table — with *exact* counts (no lost updates).  The cache is
+warmed first so every threaded lookup is a deterministic hit.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import Workspace
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.intern import InternTable
+from repro.perf.stats import CacheStats
+from repro.query import HasValue
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.service import NavigationService, commands as cmd
+
+EX = Namespace("http://cc.example/")
+
+THREADS = 8
+ROUNDS = 10  # × 10 commands per round = 100 transitions per thread
+
+
+def _run_threads(count, target):
+    """Run target(i) in `count` threads; re-raise the first failure."""
+    errors = []
+
+    def wrapped(i):
+        try:
+            target(i)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+@pytest.fixture()
+def frozen_workspace():
+    g = Graph()
+    for i in range(40):
+        item = EX[f"d{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.color, EX.red if i % 2 else EX.blue)
+        g.add(item, EX.size, EX.big if i % 3 else EX.small)
+        g.add(item, EX.title, Literal(f"doc number {i} corn salad"))
+    return Workspace(g).freeze()
+
+
+def _script():
+    """Ten commands whose queries exercise the extent cache."""
+    return [
+        cmd.Search("corn"),
+        cmd.Refine(HasValue(EX.color, EX.red)),
+        cmd.NegateConstraint(1),
+        cmd.RemoveConstraint(0),
+        cmd.UndoRefinement(),
+        cmd.Refine(HasValue(EX.size, EX.big)),
+        cmd.Back(),
+        cmd.GoItem(EX.d0),
+        cmd.Back(),
+        cmd.UndoRefinement(),
+    ]
+
+
+def _run_session(service, workspace):
+    """One full scripted session; returns the observed view trace."""
+    state = service.initial_state(workspace)
+    trace = []
+    for _ in range(ROUNDS):
+        for command in _script():
+            state = service.apply(workspace, state, command).state
+            view = state.view
+            trace.append(
+                tuple(view.items) if view.is_collection else view.item
+            )
+    return trace
+
+
+class TestConcurrentSessions:
+    def test_identical_results_and_exact_cache_counts(self, frozen_workspace):
+        service = NavigationService()
+        stats = frozen_workspace.query_context.cache_stats
+
+        # Warm every extent the script touches, then measure one
+        # reference run: all-hit, deterministic counts.
+        _run_session(service, frozen_workspace)
+        stats.reset()
+        reference_trace = _run_session(service, frozen_workspace)
+        reference_hits = stats.hits
+        assert stats.misses == 0
+        assert reference_hits > 0
+
+        stats.reset()
+        interned_before = len(frozen_workspace.graph.interner)
+        traces = [None] * THREADS
+
+        def drive(i):
+            traces[i] = _run_session(service, frozen_workspace)
+
+        _run_threads(THREADS, drive)
+
+        assert all(trace == reference_trace for trace in traces)
+        assert stats.misses == 0
+        assert stats.invalidations == 0
+        assert stats.hits == THREADS * reference_hits
+        # A frozen, warmed workspace mints no new ids.
+        assert len(frozen_workspace.graph.interner) == interned_before
+
+    def test_refinement_counters_are_exact(self, frozen_workspace):
+        service = NavigationService()
+        metrics = frozen_workspace.obs.metrics
+        refinements_per_run = sum(
+            isinstance(c, cmd.Refine) for c in _script()
+        ) * ROUNDS
+        _run_session(service, frozen_workspace)  # warm + register
+        metrics.reset()
+
+        _run_threads(
+            THREADS, lambda i: _run_session(service, frozen_workspace)
+        )
+        counters = metrics.snapshot()["counters"]
+        assert (
+            counters["session.refinements"] == THREADS * refinements_per_run
+        )
+
+    def test_facet_memo_counts_are_exact(self, frozen_workspace):
+        collections = [
+            tuple(frozen_workspace.items[:10]),
+            tuple(frozen_workspace.items[10:20]),
+            tuple(frozen_workspace.items[20:30]),
+        ]
+        for collection in collections:  # warm the memo
+            frozen_workspace.facet_profile(collection)
+        memo = frozen_workspace.facet_profile_stats
+        memo.reset()
+        per_thread = 50
+
+        def probe(i):
+            for n in range(per_thread):
+                frozen_workspace.facet_profile(collections[n % 3])
+
+        _run_threads(THREADS, probe)
+        assert memo.hits == THREADS * per_thread
+        assert memo.misses == 0
+
+
+class TestPrimitives:
+    def test_cache_stats_increments_are_atomic(self):
+        stats = CacheStats()
+        per_thread = 10_000
+
+        def bump(i):
+            for _ in range(per_thread):
+                stats.record_hit()
+                stats.record_miss()
+
+        _run_threads(THREADS, bump)
+        assert stats.hits == THREADS * per_thread
+        assert stats.misses == THREADS * per_thread
+
+    def test_counter_inc_is_atomic(self):
+        registry = MetricsRegistry()
+        per_thread = 10_000
+
+        def bump(i):
+            counter = registry.counter("shared")
+            for _ in range(per_thread):
+                counter.inc()
+
+        _run_threads(THREADS, bump)
+        assert registry.snapshot()["counters"]["shared"] == (
+            THREADS * per_thread
+        )
+
+    def test_intern_table_assigns_one_id_per_node(self):
+        table = InternTable()
+        nodes = [f"node-{n}" for n in range(500)]
+        ids = [dict() for _ in range(THREADS)]
+
+        def intern_all(i):
+            # Shuffled per thread so threads collide on first-sight order.
+            ordering = nodes[i:] + nodes[:i]
+            for node in ordering:
+                ids[i][node] = table.intern(node)
+
+        _run_threads(THREADS, intern_all)
+        assert len(table) == len(nodes)
+        for node in nodes:
+            expected = table.id_of(node)
+            assert all(ids[i][node] == expected for i in range(THREADS))
+            assert table.node_at(expected) == node

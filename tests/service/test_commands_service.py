@@ -1,0 +1,136 @@
+"""Raw NavigationService behaviour: pure transitions over immutable states."""
+
+import pytest
+
+from repro.core import Workspace
+from repro.core.suggestions import RefineMode
+from repro.query import HasValue, TextMatch
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.service import NavigationService, SessionState, commands as cmd
+
+EX = Namespace("http://svc.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    data = [
+        ("r1", EX.greek, "greek salad fresh"),
+        ("r2", EX.greek, "roast lamb dinner"),
+        ("r3", EX.mexican, "corn soup warm"),
+        ("r4", EX.mexican, "lime street corn plate"),
+    ]
+    for name, cuisine, title in data:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Recipe)
+        g.add(item, EX.cuisine, cuisine)
+        g.add(item, EX.title, Literal(title))
+    return Workspace(g)
+
+
+@pytest.fixture()
+def service():
+    return NavigationService()
+
+
+class TestPureTransitions:
+    def test_apply_returns_new_state(self, workspace, service):
+        state = service.initial_state(workspace)
+        after = service.apply(workspace, state, cmd.Search("corn")).state
+        assert after is not state
+        assert set(after.view.items) == {EX.r3, EX.r4}
+
+    def test_input_state_is_untouched(self, workspace, service):
+        state = service.initial_state(workspace)
+        snapshot = state.to_dict()
+        service.apply(workspace, state, cmd.Search("corn"))
+        service.apply(workspace, state, cmd.GoItem(EX.r1))
+        assert state.to_dict() == snapshot
+
+    def test_branching_histories(self, workspace, service):
+        """Two futures can be explored from one past — states are values."""
+        state = service.initial_state(workspace)
+        base = service.apply(workspace, state, cmd.Search("corn")).state
+        greek = service.apply(
+            workspace, base, cmd.Refine(HasValue(EX.cuisine, EX.greek))
+        ).state
+        mexican = service.apply(
+            workspace, base, cmd.Refine(HasValue(EX.cuisine, EX.mexican))
+        ).state
+        assert set(greek.view.items) == set()
+        assert set(mexican.view.items) == {EX.r3, EX.r4}
+        assert base.view.query == TextMatch("corn")
+
+    def test_unknown_command_rejected(self, workspace, service):
+        state = service.initial_state(workspace)
+        with pytest.raises(TypeError):
+            service.apply(workspace, state, object())
+
+    def test_errors_leave_state_usable(self, workspace, service):
+        state = service.initial_state(workspace)
+        with pytest.raises(RuntimeError):
+            service.apply(workspace, state, cmd.Back())
+        with pytest.raises(IndexError):
+            service.apply(workspace, state, cmd.RemoveConstraint(0))
+        after = service.apply(workspace, state, cmd.Search("corn")).state
+        assert after.view.items
+
+    def test_one_service_serves_many_states(self, workspace, service):
+        states = [
+            service.initial_state(workspace, session_id=f"u{i}")
+            for i in range(4)
+        ]
+        results = [
+            service.apply(workspace, s, cmd.Search("corn")).state
+            for s in states
+        ]
+        assert all(set(r.view.items) == {EX.r3, EX.r4} for r in results)
+        assert [r.session_id for r in results] == ["u0", "u1", "u2", "u3"]
+
+    def test_preview_count_leaves_state_alone(self, workspace, service):
+        state = service.initial_state(workspace)
+        count = service.preview_count(
+            workspace, state, HasValue(EX.cuisine, EX.greek), RefineMode.FILTER
+        )
+        assert count == 2
+
+
+class TestBackLimit:
+    def test_drop_oldest_when_full(self, workspace, service):
+        state = service.initial_state(workspace, back_limit=3)
+        everything = state.view
+        for item in (EX.r1, EX.r2, EX.r3, EX.r4):
+            state = service.apply(workspace, state, cmd.GoItem(item)).state
+        assert len(state.back_stack) == 3
+        # The initial "everything" view fell off; the newest three remain.
+        assert everything not in state.back_stack
+        assert [v.item for v in state.back_stack] == [EX.r1, EX.r2, EX.r3]
+
+    def test_back_limit_validated(self, workspace, service):
+        with pytest.raises(ValueError):
+            service.initial_state(workspace, back_limit=0)
+        with pytest.raises(ValueError):
+            SessionState.initial([], back_limit=-5)
+
+
+class TestSessionTelemetry:
+    def test_named_sessions_get_tagged_counters(self, workspace, service):
+        state = service.initial_state(workspace, session_id="alice")
+        state = service.apply(
+            workspace, state, cmd.Refine(HasValue(EX.cuisine, EX.greek))
+        ).state
+        counters = workspace.obs.metrics.snapshot()["counters"]
+        assert counters["session.refinements"] == 1
+        assert counters["session.refinements{session=alice}"] == 1
+        assert counters["session.transitions{session=alice}"] == 1
+
+    def test_anonymous_sessions_emit_legacy_metrics_only(
+        self, workspace, service
+    ):
+        state = service.initial_state(workspace)
+        service.apply(
+            workspace, state, cmd.Refine(HasValue(EX.cuisine, EX.greek))
+        )
+        counters = workspace.obs.metrics.snapshot()["counters"]
+        assert counters["session.refinements"] == 1
+        assert not any("session=" in name for name in counters)

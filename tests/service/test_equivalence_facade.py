@@ -1,0 +1,170 @@
+"""The facade-vs-service equivalence oracle.
+
+A scripted 30+-step navigation is replayed twice — once through the
+``Session`` facade's methods and once as raw typed commands against a
+``NavigationService`` — and after EVERY step the two must agree on the
+view (membership, order, query, description), the constraint chips, the
+visit log, the refinement trail, and the back-stack depth.  This is the
+acceptance test that the facade adds ergonomics and nothing else.
+"""
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.core.suggestions import Refine, RefineMode, Suggestion
+from repro.query import HasValue
+from repro.rdf import Graph, Literal, Namespace, RDF, Schema, ValueType
+from repro.service import NavigationService, commands as cmd
+
+EX = Namespace("http://eq.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    schema = Schema(g)
+    schema.set_value_type(EX.serves, ValueType.INTEGER)
+    data = [
+        ("r1", EX.greek, [EX.parsley, EX.feta], 2, "greek salad fresh"),
+        ("r2", EX.greek, [EX.lamb, EX.parsley], 6, "roast lamb dinner"),
+        ("r3", EX.mexican, [EX.corn, EX.bean], 4, "corn soup warm"),
+        ("r4", EX.mexican, [EX.corn, EX.lime], 8, "lime street corn plate"),
+        ("r5", EX.italian, [EX.pasta, EX.basil], 3, "basil pasta simple"),
+    ]
+    for name, cuisine, ings, serves, title in data:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Recipe)
+        g.add(item, EX.cuisine, cuisine)
+        for ing in ings:
+            g.add(item, EX.ingredient, ing)
+        g.add(item, EX.serves, Literal(serves))
+        g.add(item, EX.title, Literal(title))
+    return Workspace(g)
+
+
+def _suggest_refine(predicate):
+    return Suggestion("test", "chip", Refine(predicate, RefineMode.FILTER))
+
+
+def script():
+    """(facade step, equivalent command) pairs — 31 steps."""
+    cuisine_mex = HasValue(EX.cuisine, EX.mexican)
+    compound = (HasValue(EX.cuisine, EX.greek), HasValue(EX.cuisine, EX.italian))
+    return [
+        (lambda s: s.search("corn"), cmd.Search("corn")),
+        (lambda s: s.refine(cuisine_mex), cmd.Refine(cuisine_mex)),
+        (lambda s: s.search_within("lime"), cmd.SearchWithin("lime")),
+        (lambda s: s.back(), cmd.Back()),
+        (lambda s: s.negate_constraint(1), cmd.NegateConstraint(1)),
+        (lambda s: s.negate_constraint(1), cmd.NegateConstraint(1)),
+        (lambda s: s.remove_constraint(0), cmd.RemoveConstraint(0)),
+        (lambda s: s.undo_refinement(), cmd.UndoRefinement()),
+        (lambda s: s.go_item(EX.r3), cmd.GoItem(EX.r3)),
+        (lambda s: s.go_item(EX.r4), cmd.GoItem(EX.r4)),
+        (lambda s: s.back(), cmd.Back()),
+        (lambda s: s.go_item(EX.r4), cmd.GoItem(EX.r4)),
+        (lambda s: s.bookmark(), cmd.AddBookmark()),
+        (lambda s: s.bookmark(EX.r5), cmd.AddBookmark(EX.r5)),
+        (lambda s: s.go_bookmarks(), cmd.GoBookmarks()),
+        (
+            lambda s: s.go_collection([EX.r1, EX.r2], "pair"),
+            cmd.GoCollection((EX.r1, EX.r2), "pair"),
+        ),
+        (lambda s: s.search_ranked("corn", k=3), cmd.SearchRanked("corn", 3)),
+        (lambda s: s.rank_current(), cmd.RankCurrent()),
+        (lambda s: s.rank_current("lime"), cmd.RankCurrent("lime")),
+        (
+            lambda s: s.apply_range(EX.serves, 2.0, 6.0),
+            cmd.ApplyRange(EX.serves, 2.0, 6.0),
+        ),
+        (lambda s: s.undo_refinement(), cmd.UndoRefinement()),
+        (lambda s: s.search("salad"), cmd.Search("salad")),
+        (
+            lambda s: s.select(_suggest_refine(cuisine_mex), mode=RefineMode.EXPAND),
+            cmd.SelectRefine(cuisine_mex, RefineMode.EXPAND),
+        ),
+        (
+            lambda s: _apply_compound(s, compound),
+            cmd.ApplyCompound(compound, "or"),
+        ),
+        (
+            lambda s: s.apply_subcollection(
+                EX.ingredient, [EX.parsley, EX.basil], "any"
+            ),
+            cmd.ApplySubcollection(EX.ingredient, (EX.parsley, EX.basil), "any"),
+        ),
+        (lambda s: s.remove_constraint(1), cmd.RemoveConstraint(1)),
+        (lambda s: s.mark_relevant(EX.r1), cmd.MarkRelevant(EX.r1)),
+        (lambda s: s.mark_non_relevant(EX.r3), cmd.MarkNonRelevant(EX.r3)),
+        (lambda s: s.more_like_marked(k=3), cmd.MoreLikeMarked(3)),
+        (lambda s: s.clear_feedback(), cmd.ClearFeedback()),
+        (lambda s: s.unbookmark(EX.r5), cmd.RemoveBookmark(EX.r5)),
+        (lambda s: s.back(), cmd.Back()),
+        (lambda s: s.undo_refinement(), cmd.UndoRefinement()),
+    ]
+
+
+def _apply_compound(session, parts):
+    builder = session.start_compound("or")
+    for part in parts:
+        builder.drag(part)
+    return session.apply_compound(builder)
+
+
+def assert_equivalent(session, state, service, workspace):
+    view = state.view
+    current = session.current
+    assert current.is_item == view.is_item
+    if view.is_item:
+        assert current.item == view.item
+    else:
+        assert list(current.items) == list(view.items)
+        assert current.query == view.query
+        assert current.description == view.description
+    context = workspace.query_context
+    assert session.describe_constraints() == [
+        c.describe(context) for c in view.constraints()
+    ]
+    history = service.history_of(state)
+    assert session.history.visit_log.visits == history.visit_log.visits
+    assert (
+        session.history.refinement_trail.steps
+        == history.refinement_trail.steps
+    )
+    assert len(session._back_stack) == len(state.back_stack)
+    assert session.bookmarks == list(state.bookmarks)
+    assert session.last_was_fuzzy == state.last_was_fuzzy
+
+
+class TestFacadeEquivalence:
+    def test_thirty_step_replay(self, workspace):
+        steps = script()
+        assert len(steps) >= 30
+        session = Session(workspace)
+        service = NavigationService()
+        state = service.initial_state(workspace)
+        assert_equivalent(session, state, service, workspace)
+        for index, (facade_step, command) in enumerate(steps):
+            facade_step(session)
+            state = service.apply(workspace, state, command).state
+            assert_equivalent(session, state, service, workspace)
+
+    def test_facade_state_matches_raw_state(self, workspace):
+        """The facade's own .state equals the independently replayed one."""
+        session = Session(workspace)
+        service = NavigationService()
+        state = service.initial_state(workspace)
+        for facade_step, command in script():
+            facade_step(session)
+            state = service.apply(workspace, state, command).state
+        assert session.state == state
+
+    def test_replayed_state_serializes_identically(self, workspace):
+        session = Session(workspace)
+        service = NavigationService()
+        state = service.initial_state(workspace)
+        for facade_step, command in script():
+            facade_step(session)
+            state = service.apply(workspace, state, command).state
+        assert session.state.to_dict() == state.to_dict()

@@ -1,0 +1,128 @@
+"""SessionManager: many named sessions multiplexed over one workspace."""
+
+import json
+
+import pytest
+
+from repro.core import Workspace
+from repro.query import HasValue
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.service import SessionManager
+
+EX = Namespace("http://mgr.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    data = [
+        ("r1", EX.greek, "greek salad fresh"),
+        ("r2", EX.greek, "roast lamb dinner"),
+        ("r3", EX.mexican, "corn soup warm"),
+        ("r4", EX.mexican, "lime street corn plate"),
+    ]
+    for name, cuisine, title in data:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Recipe)
+        g.add(item, EX.cuisine, cuisine)
+        g.add(item, EX.title, Literal(title))
+    return Workspace(g)
+
+
+class TestLifecycle:
+    def test_create_and_switch(self, workspace):
+        manager = SessionManager(workspace)
+        alice = manager.create("alice")
+        bob = manager.create("bob")
+        assert manager.names() == ["alice", "bob"]
+        assert manager.active is bob
+        assert manager.switch("alice") is alice
+        assert manager.active_name == "alice"
+
+    def test_sessions_share_the_workspace(self, workspace):
+        manager = SessionManager(workspace)
+        alice = manager.create("alice")
+        bob = manager.create("bob")
+        assert alice.workspace is bob.workspace is workspace
+        assert alice.engine is bob.engine
+
+    def test_sessions_are_independent(self, workspace):
+        manager = SessionManager(workspace)
+        alice = manager.create("alice")
+        bob = manager.create("bob")
+        alice.search("corn")
+        assert set(alice.current.items) == {EX.r3, EX.r4}
+        assert len(bob.current.items) == 4
+        assert bob.describe_constraints() == []
+
+    def test_duplicate_name_rejected(self, workspace):
+        manager = SessionManager(workspace)
+        manager.create("alice")
+        with pytest.raises(ValueError):
+            manager.create("alice")
+
+    def test_unknown_name_rejected(self, workspace):
+        manager = SessionManager(workspace)
+        with pytest.raises(KeyError):
+            manager.get("nobody")
+        with pytest.raises(KeyError):
+            manager.switch("nobody")
+
+    def test_remove(self, workspace):
+        manager = SessionManager(workspace)
+        manager.create("alice")
+        manager.create("bob")
+        assert manager.remove("bob")
+        assert not manager.remove("bob")
+        assert manager.names() == ["alice"]
+        assert manager.active_name == "alice"
+
+    def test_created_sessions_carry_their_name(self, workspace):
+        manager = SessionManager(workspace)
+        session = manager.create("alice")
+        assert session.state.session_id == "alice"
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, workspace, tmp_path):
+        manager = SessionManager(workspace)
+        alice = manager.create("alice")
+        alice.search("corn")
+        alice.refine(HasValue(EX.cuisine, EX.mexican))
+        path = tmp_path / "alice.json"
+        manager.save("alice", path)
+
+        other = SessionManager(workspace)
+        restored = other.load("alice", path)
+        assert list(restored.current.items) == list(alice.current.items)
+        assert restored.describe_constraints() == alice.describe_constraints()
+        assert restored.state == alice.state
+
+    def test_saved_file_is_plain_json(self, workspace, tmp_path):
+        manager = SessionManager(workspace)
+        manager.create("alice").search("corn")
+        path = tmp_path / "alice.json"
+        manager.save("alice", path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["format"] == 1
+        assert data["session_id"] == "alice"
+
+    def test_load_renames_the_session(self, workspace, tmp_path):
+        manager = SessionManager(workspace)
+        manager.create("alice").search("corn")
+        path = tmp_path / "alice.json"
+        manager.save("alice", path)
+        clone = manager.load("alice-2", path)
+        assert clone.state.session_id == "alice-2"
+        assert manager.active_name == "alice-2"
+
+    def test_loaded_session_navigates_on(self, workspace, tmp_path):
+        manager = SessionManager(workspace)
+        alice = manager.create("alice")
+        alice.search("corn")
+        path = tmp_path / "alice.json"
+        manager.save("alice", path)
+        restored = manager.load("alice", path)
+        view = restored.refine(HasValue(EX.cuisine, EX.mexican))
+        assert set(view.items) == {EX.r3, EX.r4}
+        assert restored.undo_refinement().query is not None

@@ -1,0 +1,190 @@
+"""SessionState JSON round-trip: lossless, resumable mid-navigation."""
+
+import json
+
+import pytest
+
+from repro.browser import Session
+from repro.core import Workspace
+from repro.query import (
+    And,
+    Cardinality,
+    HasProperty,
+    HasValue,
+    Not,
+    Or,
+    PathValue,
+    Range,
+    TextMatch,
+    TypeIs,
+    ValueIn,
+)
+from repro.rdf import BlankNode, Graph, Literal, Namespace, RDF
+from repro.service import (
+    STATE_FORMAT_VERSION,
+    SessionState,
+    StateSerializationError,
+    node_from_dict,
+    node_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+)
+
+EX = Namespace("http://rt.example/")
+
+
+@pytest.fixture()
+def workspace():
+    g = Graph()
+    data = [
+        ("r1", EX.greek, [EX.parsley, EX.feta], "greek salad fresh"),
+        ("r2", EX.greek, [EX.lamb, EX.parsley], "roast lamb dinner"),
+        ("r3", EX.mexican, [EX.corn, EX.bean], "corn soup warm"),
+        ("r4", EX.mexican, [EX.corn, EX.lime], "lime street corn plate"),
+        ("r5", EX.italian, [EX.pasta, EX.basil], "basil pasta simple"),
+    ]
+    for name, cuisine, ings, title in data:
+        item = EX[name]
+        g.add(item, RDF.type, EX.Recipe)
+        g.add(item, EX.cuisine, cuisine)
+        for ing in ings:
+            g.add(item, EX.ingredient, ing)
+        g.add(item, EX.title, Literal(title))
+    return Workspace(g)
+
+
+class TestTermCodec:
+    @pytest.mark.parametrize(
+        "node",
+        [
+            EX.r1,
+            BlankNode("b7"),
+            Literal("plain"),
+            Literal("7", datatype="http://www.w3.org/2001/XMLSchema#integer"),
+            Literal("bonjour", language="fr"),
+        ],
+    )
+    def test_round_trip(self, node):
+        assert node_from_dict(node_to_dict(node)) == node
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(StateSerializationError):
+            node_from_dict({"t": "mystery", "v": "x"})
+
+
+class TestPredicateCodec:
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            HasValue(EX.cuisine, EX.greek),
+            TypeIs(EX.Recipe),
+            HasProperty(EX.cuisine),
+            TextMatch("corn"),
+            TextMatch("corn", within=EX.title),
+            Range(EX.serves, low=2.0, high=6.0),
+            Range(EX.serves, low=None, high=4.0),
+            PathValue([EX.a, EX.b], EX.c),
+            ValueIn(EX.ingredient, [EX.corn, EX.bean], quantifier="any"),
+            ValueIn(EX.ingredient, [EX.corn, EX.bean], quantifier="all"),
+            Cardinality(EX.ingredient, at_least=2, at_most=None),
+            And([HasValue(EX.cuisine, EX.greek), TextMatch("salad")]),
+            Or([TypeIs(EX.Recipe), HasProperty(EX.cuisine)]),
+            Not(HasValue(EX.cuisine, EX.greek)),
+            Not(And([TextMatch("a"), Or([TypeIs(EX.T), Not(TextMatch("b"))])])),
+        ],
+    )
+    def test_round_trip(self, predicate):
+        decoded = predicate_from_dict(predicate_to_dict(predicate))
+        assert decoded == predicate
+        assert type(decoded) is type(predicate)
+
+    def test_value_in_serializes_deterministically(self):
+        a = ValueIn(EX.p, [EX.x, EX.y, EX.z])
+        b = ValueIn(EX.p, [EX.z, EX.y, EX.x])
+        assert predicate_to_dict(a) == predicate_to_dict(b)
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(StateSerializationError):
+            predicate_from_dict({"t": "telepathy"})
+
+
+class TestStateRoundTrip:
+    def _navigate(self, session):
+        session.search("corn")
+        session.refine(HasValue(EX.cuisine, EX.mexican))
+        session.go_item(EX.r3)
+        session.back()
+        session.bookmark(EX.r5)
+        session.mark_relevant(EX.r3)
+
+    def test_round_trip_is_lossless(self, workspace):
+        session = Session(workspace)
+        self._navigate(session)
+        state = session.state
+        assert SessionState.from_dict(state.to_dict()) == state
+
+    def test_survives_json_text(self, workspace):
+        session = Session(workspace)
+        self._navigate(session)
+        state = session.state
+        text = json.dumps(state.to_dict(), sort_keys=True)
+        assert SessionState.from_dict(json.loads(text)) == state
+
+    def test_resumed_session_yields_identical_suggestions(self, workspace):
+        """The acceptance criterion: resume mid-navigation, same pane."""
+        uninterrupted = Session(workspace)
+        self._navigate(uninterrupted)
+
+        migrating = Session(workspace)
+        self._navigate(migrating)
+        wire = json.dumps(migrating.state.to_dict())
+        resumed = Session.from_state(
+            workspace, SessionState.from_dict(json.loads(wire))
+        )
+
+        before = uninterrupted.suggestions()
+        after = resumed.suggestions()
+        assert [s.title for s in before.all_suggestions()] == [
+            s.title for s in after.all_suggestions()
+        ]
+        assert [s.weight for s in before.all_suggestions()] == [
+            s.weight for s in after.all_suggestions()
+        ]
+
+    def test_resumed_session_continues_identically(self, workspace):
+        uninterrupted = Session(workspace)
+        self._navigate(uninterrupted)
+
+        resumed = Session.from_state(
+            workspace, SessionState.from_dict(Session(workspace).state.to_dict())
+        )
+        # Fresh resumed state: replay the same navigation on it.
+        self._navigate(resumed)
+        assert resumed.state == uninterrupted.state
+
+        # Undo works across the serialization boundary.
+        reloaded = Session.from_state(
+            workspace, SessionState.from_dict(uninterrupted.state.to_dict())
+        )
+        assert (
+            list(reloaded.undo_refinement().items)
+            == list(uninterrupted.undo_refinement().items)
+        )
+
+    def test_feedback_seed_survives(self, workspace):
+        session = Session(workspace)
+        session.search("corn")
+        session.mark_relevant(EX.r3)
+        resumed = Session.from_state(
+            workspace, SessionState.from_dict(session.state.to_dict())
+        )
+        original = session._feedback().query_vector()
+        restored = resumed._feedback().query_vector()
+        assert {c.token for c in original} == {c.token for c in restored}
+
+    def test_wrong_format_version_rejected(self, workspace):
+        state = Session(workspace).state
+        data = state.to_dict()
+        data["format"] = STATE_FORMAT_VERSION + 1
+        with pytest.raises(StateSerializationError):
+            SessionState.from_dict(data)
