@@ -1,0 +1,50 @@
+"""``repro.check`` — the correctness harness (differential fuzzing).
+
+Three layers:
+
+* :mod:`~repro.check.reference` — a naive set-algebra re-implementation
+  of the navigation semantics (the oracle),
+* :mod:`~repro.check.fuzzer` — seeded command generation, the lockstep
+  differential runner, and ddmin-style failure minimization,
+* :mod:`~repro.check.faults` — persistence fault injection (mid-write
+  crashes, corrupt/truncated/foreign state files).
+
+``python -m repro check`` drives all of it from the command line; the
+pytest suite under ``tests/check/`` runs fixed-seed slices in tier 1.
+"""
+
+from .corpus import FuzzCorpus, random_corpus
+from .faults import FaultReport, FaultViolation, InjectedCrash, fuzz_faults
+from .fuzzer import (
+    CommandGenerator,
+    DifferentialRunner,
+    Divergence,
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    fuzz,
+    minimize,
+    run_commands,
+)
+from .reference import ReferenceModel, ReferenceView, naive_extent
+
+__all__ = [
+    "FuzzCorpus",
+    "random_corpus",
+    "FaultReport",
+    "FaultViolation",
+    "InjectedCrash",
+    "fuzz_faults",
+    "CommandGenerator",
+    "DifferentialRunner",
+    "Divergence",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz",
+    "minimize",
+    "run_commands",
+    "ReferenceModel",
+    "ReferenceView",
+    "naive_extent",
+]

@@ -1,0 +1,142 @@
+"""``python -m repro check`` — the soak-mode entry point.
+
+Runs the differential fuzzer and the persistence fault rounds from the
+command line with a chosen (or random) seed, minimizes any failure to a
+short replayable sequence, and writes it as a repro file another
+machine can replay with ``--replay``.  Exit status is the contract: 0
+means the whole budget ran clean, 1 means a divergence or fault
+violation (CI fails the job and uploads the repro artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Differential fuzzing of the navigation service "
+        "against a naive reference model, plus persistence fault "
+        "injection.",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master seed (default: derived from the clock)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=2000,
+        help="total command steps across all corpora (default: 2000)",
+    )
+    parser.add_argument(
+        "--corpora",
+        type=int,
+        default=20,
+        help="number of random corpora to spread the steps over",
+    )
+    parser.add_argument(
+        "--fault-rounds",
+        type=int,
+        default=25,
+        help="persistence fault-injection rounds (0 disables)",
+    )
+    parser.add_argument(
+        "--repro",
+        default="repro-check-failure.json",
+        help="where to write the minimized failing sequence",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="replay a previously written repro file instead of fuzzing",
+    )
+    parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="keep the full failing sequence (skip ddmin)",
+    )
+    return parser
+
+
+def _replay(path: str) -> int:
+    from .codec import load_repro
+    from .corpus import random_corpus
+    from .fuzzer import Divergence, FuzzConfig, run_commands
+
+    corpus_seed, commands, failure = load_repro(path)
+    print(f"replaying {len(commands)} command(s) on corpus seed {corpus_seed}")
+    if failure:
+        print(f"recorded failure: {failure}")
+    corpus = random_corpus(corpus_seed)
+    try:
+        run_commands(corpus, commands, config=FuzzConfig.thorough())
+    except Divergence as divergence:
+        print(f"reproduced: {divergence}")
+        return 1
+    print("sequence no longer diverges (bug fixed, or environment drift)")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay is not None:
+        return _replay(args.replay)
+
+    from .faults import fuzz_faults
+    from .fuzzer import fuzz
+
+    seed = args.seed
+    if seed is None:
+        seed = int(time.time() * 1000) % (2**31)
+    print(f"repro check: seed={seed} steps={args.steps} corpora={args.corpora}")
+
+    status = 0
+    report = fuzz(
+        seed,
+        steps=args.steps,
+        corpora=args.corpora,
+        repro_path=args.repro,
+        minimize_failures=not args.no_minimize,
+        log=lambda line: print(f"  {line}"),
+    )
+    print(
+        f"differential: {report.steps_run} step(s) over "
+        f"{report.corpora_run} corpus/corpora"
+    )
+    if report.failure is not None:
+        failure = report.failure
+        print(
+            f"DIVERGENCE (corpus seed {failure.corpus_seed}, "
+            f"step {failure.step}): {failure.detail}"
+        )
+        print(f"minimized to {len(failure.commands)} command(s)")
+        if failure.repro_path:
+            print(f"repro written to {failure.repro_path}")
+            print(f"replay with: python -m repro check --replay {failure.repro_path}")
+        status = 1
+
+    if args.fault_rounds > 0:
+        with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+            fault_report = fuzz_faults(
+                seed, args.fault_rounds, tmp, log=lambda line: print(f"  {line}")
+            )
+        print(f"faults: {fault_report.rounds_run} round(s)")
+        for violation in fault_report.violations:
+            print(f"FAULT VIOLATION: {violation}")
+        if not fault_report.ok:
+            status = 1
+
+    print("repro check: " + ("OK" if status == 0 else "FAILED"))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.cli
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""JSON codecs for command sequences (the replayable repro format).
+
+A minimized failure must survive being written to disk, attached to a
+CI run, and replayed on another machine, so commands get the same
+tagged-dict treatment :mod:`repro.service.serialize` gives terms and
+predicates — those codecs are reused for every node/predicate field.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..service import commands as cmd
+from ..service.serialize import (
+    StateSerializationError,
+    node_from_dict,
+    node_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+)
+
+__all__ = [
+    "command_to_dict",
+    "command_from_dict",
+    "dump_repro",
+    "load_repro",
+]
+
+#: field name -> (encoder, decoder); everything else passes through as-is.
+_NODE = (node_to_dict, node_from_dict)
+_OPT_NODE = (
+    lambda v: None if v is None else node_to_dict(v),
+    lambda v: None if v is None else node_from_dict(v),
+)
+_PRED = (predicate_to_dict, predicate_from_dict)
+_PLAIN = (lambda v: v, lambda v: v)
+_NODES = (
+    lambda vs: [node_to_dict(v) for v in vs],
+    lambda vs: tuple(node_from_dict(v) for v in vs),
+)
+_PREDS = (
+    lambda vs: [predicate_to_dict(v) for v in vs],
+    lambda vs: tuple(predicate_from_dict(v) for v in vs),
+)
+
+#: command class -> {field: (encode, decode)}
+_SPECS: dict[type, dict[str, tuple]] = {
+    cmd.Search: {"text": _PLAIN},
+    cmd.SearchWithin: {"text": _PLAIN},
+    cmd.SearchRanked: {"text": _PLAIN, "k": _PLAIN},
+    cmd.RankCurrent: {"text": _PLAIN},
+    cmd.RunQuery: {"predicate": _PRED, "description": _PLAIN},
+    cmd.Refine: {"predicate": _PRED, "mode": _PLAIN},
+    cmd.SelectRefine: {"predicate": _PRED, "mode": _PLAIN},
+    cmd.ApplyRange: {"prop": _NODE, "low": _PLAIN, "high": _PLAIN},
+    cmd.ApplyCompound: {"parts": _PREDS, "mode": _PLAIN},
+    cmd.ApplySubcollection: {
+        "prop": _NODE, "values": _NODES, "quantifier": _PLAIN,
+    },
+    cmd.RemoveConstraint: {"index": _PLAIN},
+    cmd.NegateConstraint: {"index": _PLAIN},
+    cmd.GoItem: {"item": _NODE},
+    cmd.GoCollection: {"items": _NODES, "description": _PLAIN},
+    cmd.GoBookmarks: {},
+    cmd.AddBookmark: {"item": _OPT_NODE},
+    cmd.RemoveBookmark: {"item": _NODE},
+    cmd.MarkRelevant: {"item": _NODE},
+    cmd.MarkNonRelevant: {"item": _NODE},
+    cmd.ClearFeedback: {},
+    cmd.MoreLikeMarked: {"k": _PLAIN},
+    cmd.Back: {},
+    cmd.UndoRefinement: {},
+}
+
+_BY_TAG = {klass.__name__: klass for klass in _SPECS}
+
+
+def command_to_dict(command: cmd.Command) -> dict[str, Any]:
+    """Encode one command as a tagged plain dict."""
+    spec = _SPECS.get(type(command))
+    if spec is None:
+        raise StateSerializationError(
+            f"cannot serialize command type {type(command).__name__}"
+        )
+    encoded: dict[str, Any] = {"c": type(command).__name__}
+    for name, (encode, _decode) in spec.items():
+        encoded[name] = encode(getattr(command, name))
+    return encoded
+
+
+def command_from_dict(data: dict[str, Any]) -> cmd.Command:
+    """Decode a command encoded by :func:`command_to_dict`."""
+    tag = data.get("c")
+    klass = _BY_TAG.get(tag)
+    if klass is None:
+        raise StateSerializationError(f"unknown command tag {tag!r}")
+    spec = _SPECS[klass]
+    kwargs = {
+        name: decode(data[name]) for name, (_encode, decode) in spec.items()
+    }
+    return klass(**kwargs)
+
+
+def dump_repro(
+    path,
+    corpus_seed: int,
+    commands: list[cmd.Command],
+    failure: str,
+) -> None:
+    """Write a replayable repro file for a minimized failing sequence."""
+    payload = {
+        "kind": "repro.check/repro",
+        "version": 1,
+        "corpus_seed": corpus_seed,
+        "failure": failure,
+        "commands": [command_to_dict(c) for c in commands],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_repro(path) -> tuple[int, list[cmd.Command], str]:
+    """Read a repro file back: (corpus_seed, commands, failure text)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != "repro.check/repro":
+        raise StateSerializationError(f"{path} is not a repro.check file")
+    commands = [command_from_dict(c) for c in payload["commands"]]
+    return payload["corpus_seed"], commands, payload.get("failure", "")

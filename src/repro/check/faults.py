@@ -1,0 +1,235 @@
+"""Persistence fault injection: crash the save, corrupt the file.
+
+The contract under test (``SessionManager.save``/``load``) is binary:
+a persisted session state either round-trips losslessly or raises a
+typed :class:`~repro.service.serialize.StateLoadError` — never a
+half-resumed session, and never a destroyed previous save.  Each fault
+round builds a real session, walks it a few steps, saves it, injects
+one fault, and asserts that contract plus "the manager is untouched
+after a failed load".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field, replace
+
+from ..query.ast import HasValue, TextMatch
+from ..service.manager import SessionManager
+from ..service.serialize import StateLoadError
+from .corpus import FuzzCorpus, random_corpus
+
+__all__ = [
+    "InjectedCrash",
+    "FaultViolation",
+    "FaultReport",
+    "crash_after",
+    "CORRUPTORS",
+    "run_fault_round",
+    "fuzz_faults",
+]
+
+
+class InjectedCrash(OSError):
+    """The fault writer's simulated mid-write failure."""
+
+
+class FaultViolation(AssertionError):
+    """A persistence fault escaped the save/load contract."""
+
+
+def crash_after(limit: int):
+    """A :data:`~repro.service.manager.StateWriter` that dies mid-write."""
+
+    def writer(handle, text: str) -> None:
+        handle.write(text[:limit])
+        handle.flush()
+        raise InjectedCrash(f"injected crash after {limit} byte(s)")
+
+    return writer
+
+
+# ----------------------------------------------------------------------
+# File corruptors: each takes (path, rng) and mangles a valid state file.
+# ----------------------------------------------------------------------
+
+
+def _truncate(path: str, rng: random.Random) -> str:
+    size = os.path.getsize(path)
+    keep = rng.randrange(0, max(1, size - 1))
+    with open(path, "r+", encoding="utf-8") as handle:
+        handle.truncate(keep)
+    return f"truncated to {keep}/{size} bytes"
+
+
+def _garbage(path: str, rng: random.Random) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rng.choice(["", "{", "not json at all", '{"a": }']))
+    return "replaced with garbage"
+
+def _unknown_version(path: str, rng: random.Random) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    data["format"] = rng.choice([0, 2, 99, "1", None])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    return f"format version set to {data['format']!r}"
+
+
+def _drop_key(path: str, rng: random.Random) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    key = rng.choice(["view", "format", "back_limit", "trail"])
+    data.pop(key, None)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    return f"dropped key {key!r}"
+
+
+def _mangle_view(path: str, rng: random.Random) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    how = rng.choice(["kind", "itemless", "non-dict"])
+    if how == "kind":
+        data["view"]["kind"] = "hologram"
+    elif how == "itemless":
+        data["view"] = {"kind": "item", "item": None, "items": []}
+    else:
+        data["view"] = "not a view"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    return f"mangled view ({how})"
+
+
+def _non_dict(path: str, rng: random.Random) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(rng.choice([[1, 2, 3], "state", 7, None]), handle)
+    return "payload is not an object"
+
+
+CORRUPTORS = [
+    _truncate,
+    _garbage,
+    _unknown_version,
+    _drop_key,
+    _mangle_view,
+    _non_dict,
+]
+
+
+@dataclass
+class FaultReport:
+    """Outcome of a fault-injection run."""
+
+    seed: int
+    rounds_run: int = 0
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _walked_manager(corpus: FuzzCorpus, rng: random.Random) -> SessionManager:
+    """A manager whose session has real history to lose."""
+    manager = SessionManager(corpus.workspace)
+    session = manager.create("primary")
+    session.search(rng.choice(corpus.words))
+    session.refine(HasValue(rng.choice(corpus.props), rng.choice(corpus.values)))
+    if rng.random() < 0.5:
+        session.run_query(TextMatch(rng.choice(corpus.words)))
+    item = rng.choice(list(corpus.workspace.items))
+    session.go_item(item)
+    session.bookmark(item)
+    if rng.random() < 0.5:
+        session.back()
+    return manager
+
+
+def run_fault_round(seed: int, tmp_dir: str) -> None:
+    """One full fault round; raises :class:`FaultViolation` on escape."""
+    rng = random.Random(seed)
+    corpus = random_corpus(rng.randrange(2**31))
+    manager = _walked_manager(corpus, rng)
+    saved_state = manager.get("primary").state
+    path = os.path.join(tmp_dir, f"state-{seed}.json")
+
+    # 1. Clean save/load must round-trip losslessly (new name and all).
+    manager.save("primary", path)
+    restored = manager.load("copy", path)
+    expected = replace(saved_state, session_id="copy")
+    if restored.state != expected:
+        raise FaultViolation(f"seed {seed}: clean save/load is lossy")
+
+    # 2. A crash mid-overwrite must leave the previous file intact and
+    #    no temp droppings behind.
+    with open(path, "r", encoding="utf-8") as handle:
+        before = handle.read()
+    crash_point = rng.randrange(0, max(1, len(before)))
+    try:
+        manager.save("primary", path, writer=crash_after(crash_point))
+    except InjectedCrash:
+        pass
+    else:
+        raise FaultViolation(f"seed {seed}: injected crash was swallowed")
+    with open(path, "r", encoding="utf-8") as handle:
+        after = handle.read()
+    if after != before:
+        raise FaultViolation(
+            f"seed {seed}: crash at byte {crash_point} damaged the target"
+        )
+    leftovers = [
+        name
+        for name in os.listdir(tmp_dir)
+        if name.startswith(os.path.basename(path) + ".tmp.")
+    ]
+    if leftovers:
+        raise FaultViolation(f"seed {seed}: temp files left: {leftovers}")
+
+    # 3. Every corruptor must produce a typed StateLoadError and leave
+    #    the manager exactly as it was.
+    corruptor = rng.choice(CORRUPTORS)
+    detail = corruptor(path, rng)
+    held = manager.get("copy")
+    active = manager.active_name
+    try:
+        manager.load("copy", path)
+    except StateLoadError:
+        pass
+    except Exception as error:  # noqa: BLE001 - the contract is typed
+        raise FaultViolation(
+            f"seed {seed}: {detail}: load raised {type(error).__name__} "
+            f"instead of StateLoadError: {error}"
+        ) from error
+    else:
+        raise FaultViolation(
+            f"seed {seed}: {detail}: corrupt state loaded without error"
+        )
+    if manager.get("copy") is not held or manager.active_name != active:
+        raise FaultViolation(
+            f"seed {seed}: {detail}: failed load disturbed the manager"
+        )
+    if held.state != expected:
+        raise FaultViolation(
+            f"seed {seed}: {detail}: failed load mutated the held session"
+        )
+
+
+def fuzz_faults(
+    seed: int, rounds: int, tmp_dir: str, log=None
+) -> FaultReport:
+    """Run ``rounds`` independent fault rounds; collect any violations."""
+    rng = random.Random(seed)
+    report = FaultReport(seed=seed)
+    for index in range(rounds):
+        round_seed = rng.randrange(2**31)
+        report.rounds_run += 1
+        try:
+            run_fault_round(round_seed, tmp_dir)
+        except FaultViolation as violation:
+            report.violations.append(str(violation))
+            if log is not None:
+                log(f"fault round {index}: VIOLATION: {violation}")
+    return report

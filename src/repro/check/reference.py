@@ -1,0 +1,301 @@
+"""The reference model: naive set-algebra session semantics.
+
+This is the oracle half of the differential harness.  It re-implements
+the :class:`~repro.service.navigation.NavigationService` transition
+semantics in the most boring way possible — plain Python sets, no
+bitsets, no extent cache, no facet memo, no ``candidates()`` index
+shortcuts — so that any disagreement between it and the real service
+points at a bug in one of the clever layers (or, just as usefully, in
+this spec).
+
+Predicate extension is computed by structural recursion: ``And`` is set
+intersection over the universe, ``Or`` union, ``Not`` complement
+against the universe, and every leaf is evaluated by calling
+``predicate.matches`` per item — the one per-item code path the
+production engine only uses as a last-resort fallback.
+
+The model additionally carries a *shadow query*: the same accumulated
+constraint tree but never passed through ``simplify``.  After every
+query-building transition the harness asserts the simplified and
+unsimplified trees have identical naive extensions, which is a live
+property check of the simplifier against whatever shapes real command
+sequences produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.suggestions import RefineMode
+from ..core.workspace import Workspace
+from ..query.ast import And, Not, Or, Predicate, Range, TextMatch, ValueIn
+from ..query.simplify import simplify
+from ..rdf.terms import Node
+from ..service import commands as cmd
+
+__all__ = ["ReferenceModel", "ReferenceView", "naive_extent"]
+
+
+def naive_extent(
+    predicate: Predicate, universe: set[Node], context
+) -> set[Node]:
+    """A predicate's extension by naive set algebra over the universe."""
+    if isinstance(predicate, And):
+        result = set(universe)
+        for part in predicate.parts:
+            result &= naive_extent(part, universe, context)
+        return result
+    if isinstance(predicate, Or):
+        result = set()
+        for part in predicate.parts:
+            result |= naive_extent(part, universe, context)
+        return result
+    if isinstance(predicate, Not):
+        return universe - naive_extent(predicate.part, universe, context)
+    return {item for item in universe if predicate.matches(item, context)}
+
+
+@dataclass(frozen=True)
+class ReferenceView:
+    """The model's view value: mirrors ``ViewState`` field for field."""
+
+    kind: str
+    item: Node | None = None
+    items: tuple[Node, ...] = ()
+    query: Predicate | None = None
+    shadow_query: Predicate | None = None
+    description: str | None = None
+
+    @property
+    def is_item(self) -> bool:
+        return self.kind == "item"
+
+    def constraints(self) -> list[Predicate]:
+        if self.query is None:
+            return []
+        if isinstance(self.query, And):
+            return list(self.query.parts)
+        return [self.query]
+
+
+class ReferenceModel:
+    """Mutable naive session model driven by the same typed commands."""
+
+    def __init__(self, workspace: Workspace, back_limit: int = 100):
+        self.context = workspace.query_context
+        self.universe: set[Node] = set(workspace.query_context.universe)
+        self.all_items: tuple[Node, ...] = tuple(workspace.items)
+        self.back_limit = back_limit
+        self.view = ReferenceView(
+            kind="collection", items=self.all_items, description="everything"
+        )
+        self.trail: list[tuple[Predicate | None, str]] = []
+        self.visits: list[Node] = []
+        self.back_stack: list[ReferenceView] = []
+        self.bookmarks: list[Node] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def extent(self, predicate: Predicate) -> set[Node]:
+        return naive_extent(predicate, self.universe, self.context)
+
+    def _push_back(self) -> None:
+        self.back_stack.append(self.view)
+        if len(self.back_stack) > self.back_limit:
+            del self.back_stack[: len(self.back_stack) - self.back_limit]
+
+    def _arrive(
+        self,
+        query: Predicate | None,
+        shadow: Predicate | None,
+        items: set[Node],
+        description: str | None = None,
+    ) -> None:
+        ordered = tuple(sorted(items, key=lambda n: n.n3()))
+        description = description or (
+            query.describe(self.context) if query is not None else "collection"
+        )
+        self._push_back()
+        self.trail.append((query, description))
+        self.view = ReferenceView(
+            kind="collection",
+            items=ordered,
+            query=query,
+            shadow_query=shadow,
+            description=description,
+        )
+
+    def _go_collection(
+        self, items: Sequence[Node], description: str | None
+    ) -> None:
+        self._push_back()
+        self.trail.append((None, description or "collection"))
+        self.view = ReferenceView(
+            kind="collection", items=tuple(items), description=description
+        )
+
+    @staticmethod
+    def _conjoin(query: Predicate | None, predicate: Predicate) -> Predicate:
+        if query is None:
+            return predicate
+        if isinstance(query, And):
+            combined = And(list(query.parts) + [predicate])
+        else:
+            combined = And([query, predicate])
+        return simplify(combined)
+
+    @staticmethod
+    def _accrete(shadow: Predicate | None, predicate: Predicate) -> Predicate:
+        """The shadow-tree counterpart of ``_conjoin``: no simplify."""
+        if shadow is None:
+            return predicate
+        return And([shadow, predicate])
+
+    def _refine_with(self, predicate: Predicate, mode: str) -> None:
+        current = self.view
+        if mode == RefineMode.FILTER:
+            query = self._conjoin(current.query, predicate)
+            shadow = self._accrete(current.shadow_query, predicate)
+            items = self.extent(predicate) & set(current.items)
+        elif mode == RefineMode.EXCLUDE:
+            negated = predicate.negated()
+            query = self._conjoin(current.query, negated)
+            shadow = self._accrete(current.shadow_query, negated)
+            items = self.extent(negated) & set(current.items)
+        elif mode == RefineMode.EXPAND:
+            query = (
+                predicate
+                if current.query is None
+                else Or([current.query, predicate])
+            )
+            shadow = (
+                predicate
+                if current.shadow_query is None
+                else Or([current.shadow_query, predicate])
+            )
+            items = self.extent(query)
+        else:
+            raise ValueError(f"unknown refine mode {mode!r}")
+        self._arrive(query, shadow, items)
+
+    def _run_query(
+        self, predicate: Predicate, description: str | None = None
+    ) -> None:
+        self._arrive(
+            predicate, predicate, self.extent(predicate), description
+        )
+
+    # -- the command interpreter -------------------------------------------
+
+    def apply(self, command: cmd.Command) -> object:
+        """Advance the model by one command; returns the outcome (if any).
+
+        Raises exactly what the service raises for the same command and
+        state: ``IndexError`` for bad chip indexes, ``RuntimeError`` for
+        an empty back stack or a bookmark with nothing in view,
+        ``ValueError`` for malformed ranges/compounds/quantifiers.
+        """
+        if isinstance(command, cmd.Search):
+            self._run_query(
+                TextMatch(command.text), f"search {command.text!r}"
+            )
+        elif isinstance(command, cmd.SearchWithin):
+            self._refine_with(TextMatch(command.text), RefineMode.FILTER)
+        elif isinstance(command, cmd.RunQuery):
+            self._run_query(command.predicate, command.description)
+        elif isinstance(command, (cmd.Refine, cmd.SelectRefine)):
+            self._refine_with(command.predicate, command.mode)
+        elif isinstance(command, cmd.ApplyRange):
+            predicate = Range(command.prop, low=command.low, high=command.high)
+            self._refine_with(predicate, RefineMode.FILTER)
+        elif isinstance(command, cmd.ApplyCompound):
+            if command.mode not in ("and", "or"):
+                raise ValueError(
+                    f"compound mode must be one of {('and', 'or')}"
+                )
+            parts = list(command.parts)
+            if not parts:
+                raise ValueError("nothing was dragged into the compound")
+            if len(parts) == 1:
+                combined = parts[0]
+            else:
+                combined = And(parts) if command.mode == "and" else Or(parts)
+            self._refine_with(combined, RefineMode.FILTER)
+        elif isinstance(command, cmd.ApplySubcollection):
+            predicate = ValueIn(
+                command.prop, command.values, quantifier=command.quantifier
+            )
+            self._refine_with(predicate, RefineMode.FILTER)
+        elif isinstance(command, cmd.RemoveConstraint):
+            self._remove_constraint(command.index)
+        elif isinstance(command, cmd.NegateConstraint):
+            self._negate_constraint(command.index)
+        elif isinstance(command, cmd.GoItem):
+            self.visits.append(command.item)
+            self._push_back()
+            self.view = ReferenceView(kind="item", item=command.item)
+        elif isinstance(command, cmd.GoCollection):
+            self._go_collection(command.items, command.description)
+        elif isinstance(command, cmd.GoBookmarks):
+            self._go_collection(tuple(self.bookmarks), "bookmarks")
+        elif isinstance(command, cmd.AddBookmark):
+            item = command.item
+            if item is None:
+                if not self.view.is_item:
+                    raise RuntimeError("no item in view to bookmark")
+                item = self.view.item
+            if item not in self.bookmarks:
+                self.bookmarks.append(item)
+        elif isinstance(command, cmd.RemoveBookmark):
+            if command.item not in self.bookmarks:
+                return False
+            self.bookmarks.remove(command.item)
+            return True
+        elif isinstance(command, cmd.Back):
+            if not self.back_stack:
+                raise RuntimeError("no earlier view to go back to")
+            self.view = self.back_stack.pop()
+        elif isinstance(command, cmd.UndoRefinement):
+            self._undo()
+        else:
+            raise TypeError(f"unknown command {command!r}")
+        return None
+
+    def _remove_constraint(self, index: int) -> None:
+        parts = self.view.constraints()
+        if not (0 <= index < len(parts)):
+            raise IndexError(f"no constraint at {index}")
+        remaining = [c for i, c in enumerate(parts) if i != index]
+        if not remaining:
+            self._go_collection(self.all_items, "everything")
+            return
+        query = remaining[0] if len(remaining) == 1 else And(remaining)
+        self._run_query(query)
+
+    def _negate_constraint(self, index: int) -> None:
+        parts = self.view.constraints()
+        if not (0 <= index < len(parts)):
+            raise IndexError(f"no constraint at {index}")
+        parts[index] = parts[index].negated()
+        query = parts[0] if len(parts) == 1 else And(parts)
+        self._run_query(query)
+
+    def _undo(self) -> None:
+        if self.trail:
+            self.trail.pop()  # the step that produced the current view
+        previous = self.trail.pop() if self.trail else None
+        if previous is None:
+            self._go_collection(self.all_items, "everything")
+            return
+        query, description = previous
+        if query is None:
+            self._go_collection(self.all_items, description)
+            return
+        self._run_query(query, description)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReferenceModel view={self.view.kind} "
+            f"trail={len(self.trail)} back={len(self.back_stack)}>"
+        )

@@ -299,7 +299,13 @@ class Shell:
             self.write(f"saved session {words[1]!r} to {words[2]}")
             return
         if action == "load" and len(words) == 3:
-            self.manager.load(words[1], words[2])
+            from .service import StateLoadError
+
+            try:
+                self.manager.load(words[1], words[2])
+            except StateLoadError as error:
+                self.write(str(error))
+                return
             self._numbered = []
             self.write(f"loaded session {words[1]!r} from {words[2]}")
             self.show_pane()
@@ -425,6 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # `python -m repro check ...` — the correctness-harness soak
+        # mode; a separate parser so its flags don't collide with the
+        # browser's dataset arguments.
+        from .check.cli import main as check_main
+
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
     obs = Observability(tracing=args.trace)
     workspace = _load_workspace(args, obs)

@@ -19,6 +19,7 @@ Every predicate can
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Optional, Sequence
 
 from ..index.textindex import TextIndex
@@ -306,7 +307,9 @@ class Range(Predicate):
             if not isinstance(value, Literal):
                 continue
             number = value.as_number()
-            if number is None:
+            # NaN readings compare False against both bounds, so without
+            # this guard a NaN value would satisfy *every* range.
+            if number is None or math.isnan(number):
                 continue
             if self.low is not None and number < self.low:
                 continue
@@ -321,7 +324,7 @@ class Range(Predicate):
             if not isinstance(value, Literal):
                 continue
             number = value.as_number()
-            if number is None:
+            if number is None or math.isnan(number):
                 continue
             if self.low is not None and number < self.low:
                 continue

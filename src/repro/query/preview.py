@@ -8,6 +8,7 @@ candidate [low, high] selection.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
@@ -23,7 +24,9 @@ def collect_values(
     """All numeric readings of a property across a collection (sorted).
 
     Items may contribute several values (multi-valued attributes);
-    non-numeric values are skipped.
+    non-numeric values are skipped — as are non-finite readings, since a
+    single NaN in a "sorted" list silently breaks the bisection that
+    :meth:`RangePreview.count_between` relies on.
     """
     values: list[float] = []
     for item in items:
@@ -31,7 +34,7 @@ def collect_values(
             if not isinstance(value, Literal):
                 continue
             number = value.as_number()
-            if number is not None:
+            if number is not None and math.isfinite(number):
                 values.append(number)
     values.sort()
     return values

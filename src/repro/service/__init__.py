@@ -14,6 +14,7 @@ from . import commands
 from .manager import SessionManager
 from .navigation import NavigationService, Transition
 from .serialize import (
+    StateLoadError,
     StateSerializationError,
     node_from_dict,
     node_to_dict,
@@ -37,6 +38,7 @@ __all__ = [
     "STATE_FORMAT_VERSION",
     "DEFAULT_BACK_LIMIT",
     "StateSerializationError",
+    "StateLoadError",
     "node_to_dict",
     "node_from_dict",
     "predicate_to_dict",

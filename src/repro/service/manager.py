@@ -14,13 +14,22 @@ layer's multi-tenant view).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import replace
+from typing import Callable, IO
 
 from ..core.engine import NavigationEngine
 from ..core.workspace import Workspace
+from .serialize import StateLoadError, StateSerializationError
 from .state import DEFAULT_BACK_LIMIT, SessionState
 
 __all__ = ["SessionManager"]
+
+#: Fault-injection seam for :meth:`SessionManager.save`: receives the
+#: open temp-file handle and the full serialized text.  The default
+#: writes everything; the correctness harness substitutes writers that
+#: crash mid-write to prove the destination file survives.
+StateWriter = Callable[[IO[str], str], None]
 
 
 class SessionManager:
@@ -119,21 +128,59 @@ class SessionManager:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, name: str, path) -> None:
-        """Write the named session's state as JSON."""
+    def save(self, name: str, path, writer: StateWriter | None = None) -> None:
+        """Write the named session's state as JSON, atomically.
+
+        The state is serialized to a sibling temp file and renamed over
+        ``path``, so a crash mid-write never leaves a truncated state
+        where a valid one stood — the previous file (if any) survives
+        intact.  ``writer`` is the harness's fault-injection seam; the
+        default writes the whole payload in one call.
+        """
         state = self.get(name).state
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(state.to_dict(), handle, indent=2, sort_keys=True)
+        text = json.dumps(state.to_dict(), indent=2, sort_keys=True)
+        target = os.fspath(path)
+        temp = f"{target}.tmp.{os.getpid()}"
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                if writer is None:
+                    handle.write(text)
+                else:
+                    writer(handle, text)
+            os.replace(temp, target)
+        finally:
+            if os.path.exists(temp):
+                os.unlink(temp)
 
     def load(self, name: str, path):
         """Resume a saved state under ``name`` (replacing any holder).
 
         The stored ``session_id`` is overridden by the new name, so a
-        state saved from one session can seed several.
+        state saved from one session can seed several.  Every failure
+        mode — unreadable file, truncated/corrupt JSON, unknown format
+        version, malformed fields — raises :class:`StateLoadError`
+        *before* the manager is touched: the named slot (and the active
+        cursor) keep whatever session they held.
         """
-        with open(path, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
-        state = replace(SessionState.from_dict(data), session_id=name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise StateLoadError(
+                f"cannot read session state from {path}: {error}"
+            ) from error
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise StateLoadError(
+                f"corrupt session state in {path}: {error}"
+            ) from error
+        try:
+            state = replace(SessionState.from_dict(data), session_id=name)
+        except StateLoadError:
+            raise
+        except StateSerializationError as error:
+            raise StateLoadError(
+                f"invalid session state in {path}: {error}"
+            ) from error
         from ..browser.session import Session
 
         session = Session.from_state(self.workspace, state, engine=self.engine)

@@ -36,6 +36,7 @@ from ..rdf.terms import BlankNode, Literal, Node, Resource
 
 __all__ = [
     "StateSerializationError",
+    "StateLoadError",
     "node_to_dict",
     "node_from_dict",
     "predicate_to_dict",
@@ -45,6 +46,16 @@ __all__ = [
 
 class StateSerializationError(ValueError):
     """A term or predicate has no JSON representation."""
+
+
+class StateLoadError(StateSerializationError):
+    """A persisted session state cannot be resumed.
+
+    Raised for every way a saved state can fail to load — unreadable
+    file, truncated/corrupt JSON, unknown ``STATE_FORMAT_VERSION``,
+    missing or ill-typed fields — so callers handle one exception type
+    and are guaranteed the failure left no half-resumed session behind.
+    """
 
 
 # ----------------------------------------------------------------------

@@ -103,8 +103,13 @@ class ViewState:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ViewState":
+        kind = data["kind"]
+        if kind not in (cls.KIND_ITEM, cls.KIND_COLLECTION):
+            raise StateSerializationError(f"unknown view kind {kind!r}")
+        if kind == cls.KIND_ITEM and data["item"] is None:
+            raise StateSerializationError("item view without an item")
         return cls(
-            kind=data["kind"],
+            kind=kind,
             item=node_from_dict(data["item"]) if data["item"] is not None else None,
             items=tuple(node_from_dict(n) for n in data["items"]),
             query=(
@@ -199,14 +204,40 @@ class SessionState:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SessionState":
-        """Rebuild a state from :meth:`to_dict` output."""
+        """Rebuild a state from :meth:`to_dict` output.
+
+        Every malformed payload — wrong version, missing keys, ill-typed
+        fields — raises :class:`StateSerializationError` (never a raw
+        ``KeyError``/``TypeError``), so persistence callers can promise
+        "resumed losslessly or failed with a typed error".
+        """
+        if not isinstance(data, dict):
+            raise StateSerializationError(
+                f"session state must be a JSON object, got {type(data).__name__}"
+            )
         version = data.get("format")
         if version != STATE_FORMAT_VERSION:
             raise StateSerializationError(
                 f"unsupported session state format {version!r} "
                 f"(this build reads {STATE_FORMAT_VERSION})"
             )
+        try:
+            return cls._from_dict_checked(data)
+        except StateSerializationError:
+            raise
+        except (KeyError, IndexError, TypeError, AttributeError, ValueError) as error:
+            raise StateSerializationError(
+                f"malformed session state: {error!r}"
+            ) from error
+
+    @classmethod
+    def _from_dict_checked(cls, data: dict[str, Any]) -> "SessionState":
         feedback = data["feedback"]
+        back_limit = data["back_limit"]
+        if not isinstance(back_limit, int) or back_limit < 1:
+            raise StateSerializationError(
+                f"back_limit must be a positive integer, got {back_limit!r}"
+            )
         return cls(
             view=ViewState.from_dict(data["view"]),
             trail=tuple(
@@ -236,6 +267,6 @@ class SessionState:
             fuzzy_on_empty=data["fuzzy_on_empty"],
             fuzzy_k=data["fuzzy_k"],
             last_was_fuzzy=data["last_was_fuzzy"],
-            back_limit=data["back_limit"],
+            back_limit=back_limit,
             session_id=data["session_id"],
         )

@@ -35,7 +35,17 @@ class NumericRange:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        """Fold one value into the range."""
+        """Fold one value into the range.
+
+        Non-finite readings are skipped: a single NaN would otherwise
+        satisfy neither comparison, leaving ``low=inf``/``high=-inf``
+        with ``count > 0`` — a poisoned range whose ``width`` is -inf
+        and whose ``fraction`` is NaN for every later value.  Infinite
+        values are rejected for the same reason (an infinite bound makes
+        every fraction degenerate).
+        """
+        if not math.isfinite(value):
+            return
         if value < self.low:
             self.low = value
         if value > self.high:

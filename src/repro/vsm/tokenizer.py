@@ -9,6 +9,7 @@ the improvements §5 enumerates.
 from __future__ import annotations
 
 import re
+import threading
 from collections import Counter
 from typing import Iterator
 
@@ -38,16 +39,31 @@ class Analyzer:
     mirrors the paper's pipeline.
     """
 
+    #: Cap on memoized stems.  The default instance is shared by every
+    #: workspace in the process, so an unbounded cache would grow with
+    #: the union of all corpora ever tokenized.
+    CACHE_LIMIT = 50_000
+
     def __init__(
         self,
         stop_words: frozenset[str] | None = STOP_WORDS,
         stemmer: PorterStemmer | None = _DEFAULT_STEMMER,
         min_length: int = 1,
+        cache_limit: int = CACHE_LIMIT,
     ):
+        if cache_limit < 1:
+            raise ValueError("cache_limit must be at least 1")
         self.stop_words = stop_words
         self.stemmer = stemmer
         self.min_length = min_length
+        self.cache_limit = cache_limit
         self._cache: dict[str, str] = {}
+        #: Guards the stem cache: the default analyzer is shared across
+        #: threads by the concurrent service, and unguarded dict writes
+        #: during eviction could lose entries or resize mid-read.  Held
+        #: only around lookups/stores — stemming itself is stateless and
+        #: runs unlocked (a lost race recomputes the same stem).
+        self._cache_lock = threading.Lock()
 
     def tokens(self, text: str) -> Iterator[str]:
         """Yield normalized terms from text."""
@@ -59,14 +75,26 @@ class Analyzer:
             yield self.stem_token(token)
 
     def stem_token(self, token: str) -> str:
-        """Stem one already lower-cased token (with caching)."""
+        """Stem one already lower-cased token (with bounded caching)."""
         if self.stemmer is None:
             return token
-        cached = self._cache.get(token)
-        if cached is None:
-            cached = self.stemmer.stem(token)
-            self._cache[token] = cached
-        return cached
+        with self._cache_lock:
+            cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        stemmed = self.stemmer.stem(token)
+        with self._cache_lock:
+            while len(self._cache) >= self.cache_limit:
+                # FIFO eviction: drop the oldest memoized stem.
+                self._cache.pop(next(iter(self._cache)))
+            self._cache.setdefault(token, stemmed)
+        return stemmed
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized stems (bounded by ``cache_limit``)."""
+        with self._cache_lock:
+            return len(self._cache)
 
     def counts(self, text: str) -> Counter:
         """Term → frequency for a text value."""

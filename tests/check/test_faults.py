@@ -1,0 +1,114 @@
+"""Persistence fault injection: pinned regressions plus random rounds.
+
+The contract: a saved session either resumes losslessly or the load
+raises a typed ``StateLoadError`` — and a failed load (or a crashed
+save) never damages what was already there.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.check import fuzz_faults, random_corpus
+from repro.check.faults import InjectedCrash, crash_after, run_fault_round
+from repro.query.ast import HasValue
+from repro.service import SessionManager, StateLoadError
+
+
+@pytest.fixture
+def manager():
+    corpus = random_corpus(2026)
+    manager = SessionManager(corpus.workspace)
+    session = manager.create("main")
+    session.search("corn")
+    session.refine(HasValue(corpus.props[0], corpus.values[0]))
+    item = list(corpus.workspace.items)[0]
+    session.go_item(item)
+    session.bookmark(item)
+    return manager
+
+
+class TestPinnedFaults:
+    """Each named fault from the issue, as an explicit regression."""
+
+    def test_truncated_json_raises_typed_error(self, manager, tmp_path):
+        path = tmp_path / "state.json"
+        manager.save("main", path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(StateLoadError):
+            manager.load("main", path)
+
+    def test_empty_file_raises_typed_error(self, manager, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("")
+        with pytest.raises(StateLoadError):
+            manager.load("main", path)
+
+    def test_missing_file_raises_typed_error(self, manager, tmp_path):
+        with pytest.raises(StateLoadError):
+            manager.load("main", tmp_path / "never-written.json")
+
+    def test_unknown_format_version_raises_typed_error(
+        self, manager, tmp_path
+    ):
+        path = tmp_path / "state.json"
+        manager.save("main", path)
+        data = json.loads(path.read_text())
+        data["format"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(StateLoadError):
+            manager.load("main", path)
+
+    def test_mid_write_crash_preserves_previous_save(self, manager, tmp_path):
+        path = tmp_path / "state.json"
+        manager.save("main", path)
+        before = path.read_text()
+        with pytest.raises(InjectedCrash):
+            manager.save("main", path, writer=crash_after(25))
+        assert path.read_text() == before
+        assert os.listdir(tmp_path) == ["state.json"]
+
+    def test_mid_write_crash_on_first_save_leaves_nothing(
+        self, manager, tmp_path
+    ):
+        path = tmp_path / "state.json"
+        with pytest.raises(InjectedCrash):
+            manager.save("main", path, writer=crash_after(25))
+        assert os.listdir(tmp_path) == []
+
+    def test_failed_load_leaves_manager_untouched(self, manager, tmp_path):
+        path = tmp_path / "state.json"
+        manager.save("main", path)
+        held = manager.get("main")
+        state_before = held.state
+        path.write_text("{ not json")
+        with pytest.raises(StateLoadError):
+            manager.load("main", path)
+        assert manager.get("main") is held
+        assert manager.get("main").state == state_before
+        assert manager.active_name == "main"
+
+    def test_clean_round_trip_is_lossless(self, manager, tmp_path):
+        from dataclasses import replace
+
+        path = tmp_path / "state.json"
+        manager.save("main", path)
+        restored = manager.load("twin", path)
+        assert restored.state == replace(
+            manager.get("main").state, session_id="twin"
+        )
+        # The full memory travels: bookmarks, visits, trail, back stack.
+        assert restored.bookmarks == manager.get("main").bookmarks
+
+
+class TestRandomFaultRounds:
+    def test_thirty_seeded_rounds_hold_the_contract(self, tmp_path):
+        report = fuzz_faults(20260807, 30, str(tmp_path))
+        assert report.rounds_run == 30
+        assert report.ok, "\n".join(report.violations)
+
+    def test_single_round_is_deterministic(self, tmp_path):
+        run_fault_round(77, str(tmp_path))
+        run_fault_round(77, str(tmp_path))

@@ -1,0 +1,121 @@
+"""Tier-1 differential fuzzing: fixed seeds, fixed budgets.
+
+The acceptance bar for the harness: a ≥2,000-step budget spread over
+≥20 random corpora runs with zero divergences, deterministically.  The
+sensitivity tests then re-introduce known bug shapes via monkeypatching
+and assert the same harness *does* diverge — a fuzzer that can't fail
+proves nothing.
+"""
+
+import math
+import random
+
+from repro.check import (
+    CommandGenerator,
+    Divergence,
+    DifferentialRunner,
+    FuzzConfig,
+    fuzz,
+    random_corpus,
+)
+from repro.query.ast import Range
+from repro.rdf import Literal
+
+
+class TestFixedSeedBudget:
+    def test_two_thousand_steps_over_twenty_corpora_run_clean(self):
+        report = fuzz(20260807, steps=2000, corpora=20)
+        assert report.ok, report.failure.detail
+        assert report.steps_run >= 2000
+        assert report.corpora_run >= 20
+
+    def test_thorough_config_probes_every_step(self):
+        report = fuzz(99, steps=120, corpora=3, config=FuzzConfig.thorough())
+        assert report.ok, report.failure.detail
+
+    def test_runs_are_deterministic(self):
+        first = fuzz(4242, steps=200, corpora=4)
+        second = fuzz(4242, steps=200, corpora=4)
+        assert first.ok and second.ok
+        assert first.steps_run == second.steps_run
+
+    def test_generator_is_deterministic(self):
+        corpus = random_corpus(17)
+        runs = []
+        for _ in range(2):
+            generator = CommandGenerator(random.Random(5), corpus)
+            runner = DifferentialRunner(corpus)
+            generator.bind(runner)
+            commands = []
+            for _step in range(50):
+                command = generator.next_command()
+                commands.append(command)
+                runner.step(command)
+            runs.append(commands)
+        assert runs[0] == runs[1]
+
+
+class TestHarnessSensitivity:
+    """Break the engine on purpose; the fuzzer must notice."""
+
+    def test_catches_matches_vs_candidates_disagreement(self, monkeypatch):
+        # The historical NaN bug shape: Range.candidates keeping items
+        # whose reading is NaN while per-item matches excludes them —
+        # the bitset path and the naive oracle then disagree.
+        def buggy_candidates(self, context):
+            found = set()
+            for subject, _p, value in context.graph.triples(
+                None, self.prop, None
+            ):
+                if not isinstance(value, Literal):
+                    continue
+                number = value.as_number()
+                if number is None:  # the missing math.isnan guard
+                    continue
+                if self.low is not None and number < self.low:
+                    continue
+                if self.high is not None and number > self.high:
+                    continue
+                found.add(subject)
+            return found
+
+        monkeypatch.setattr(Range, "candidates", buggy_candidates)
+        report = fuzz(20260807, steps=2000, corpora=20, minimize_failures=False)
+        assert not report.ok, "fuzzer missed a matches/candidates divergence"
+        assert "extension differs" in report.failure.detail or (
+            "preview count" in report.failure.detail
+        )
+
+    def test_catches_nondeterministic_suggestions(self, monkeypatch):
+        from repro.service.navigation import NavigationService
+
+        flip = {"n": 0}
+        original = NavigationService.suggest
+
+        def flaky_suggest(self, workspace, state):
+            result = original(self, workspace, state)
+            flip["n"] += 1
+            if flip["n"] % 2 == 0 and result.all_suggestions():
+                result.all_suggestions()[0].title += " (flaky)"
+            return result
+
+        monkeypatch.setattr(NavigationService, "suggest", flaky_suggest)
+        report = fuzz(7, steps=400, corpora=4, minimize_failures=False)
+        assert not report.ok
+        assert "nondeterministic" in report.failure.detail
+
+
+def test_corpora_include_adversarial_literals():
+    # Guard the guard: corpora really do contain NaN readings,
+    # otherwise the sensitivity test above is vacuous.
+    found_nan = False
+    for seed in range(40):
+        corpus = random_corpus(seed)
+        for item in corpus.workspace.items:
+            for prop in corpus.numeric_props:
+                for value in corpus.workspace.graph.objects(item, prop):
+                    if isinstance(value, Literal):
+                        number = value.as_number()
+                        if number is not None and math.isnan(number):
+                            found_nan = True
+    assert found_nan, "no corpus produced a NaN reading in 40 seeds"

@@ -1,0 +1,184 @@
+"""Failure minimization and the replayable repro format.
+
+A deliberately buggy service subclass stands in for a real regression:
+the fuzzer must find it, ddmin must shrink the sequence, and the repro
+file must survive a disk round-trip and still reproduce.
+"""
+
+import random
+
+import pytest
+
+from repro.check import (
+    Divergence,
+    fuzz,
+    minimize,
+    random_corpus,
+    run_commands,
+)
+from repro.check.codec import (
+    command_from_dict,
+    command_to_dict,
+    dump_repro,
+    load_repro,
+)
+from repro.check.fuzzer import FuzzConfig
+from repro.query.ast import And, HasValue, Not, Or, Range, TextMatch, ValueIn
+from repro.rdf import Namespace
+from repro.service import commands as cmd
+from repro.service.navigation import NavigationService, Transition
+
+EX = Namespace("http://min.example/")
+
+
+class LyingBookmarkService(NavigationService):
+    """Claims every RemoveBookmark removed something.
+
+    (``_HANDLERS`` dispatches to the base-class functions directly, so
+    the lie has to be told in ``apply``, not in the handler.)
+    """
+
+    def apply(self, workspace, state, command):
+        transition = super().apply(workspace, state, command)
+        if isinstance(command, cmd.RemoveBookmark):
+            return Transition(transition.state, outcome=True)
+        return transition
+
+
+class UniverseLeakService(NavigationService):
+    """FILTER refinements ignore the current view (evaluate globally)."""
+
+    def _refine_with(self, workspace, state, predicate, mode):
+        from repro.core.suggestions import RefineMode
+
+        if mode == RefineMode.FILTER:
+            query = self._conjoin(state.view.query, predicate)
+            items = workspace.query_engine.evaluate(predicate)  # no within=
+            return self._arrive_collection(workspace, state, query, items)
+        return super()._refine_with(workspace, state, predicate, mode)
+
+
+class TestBuggyServicesAreCaught:
+    def test_lying_outcome_minimizes_to_one_command(self):
+        report = fuzz(
+            11, steps=600, corpora=4, service_factory=LyingBookmarkService
+        )
+        assert not report.ok
+        failure = report.failure
+        assert "outcome mismatch" in failure.detail
+        # Removing a never-bookmarked item is a self-contained repro.
+        assert len(failure.commands) == 1
+        assert isinstance(failure.commands[0], cmd.RemoveBookmark)
+
+    def test_universe_leak_is_caught_and_shrunk(self):
+        report = fuzz(
+            11, steps=600, corpora=4, service_factory=UniverseLeakService
+        )
+        assert not report.ok
+        failure = report.failure
+        # The minimized sequence still reproduces under thorough replay.
+        corpus = random_corpus(failure.corpus_seed)
+        with pytest.raises(Divergence):
+            run_commands(
+                corpus,
+                failure.commands,
+                config=FuzzConfig.thorough(),
+                service=UniverseLeakService(),
+            )
+        # And it is no longer the whole random walk.
+        assert len(failure.commands) <= 6
+
+    def test_minimize_keeps_nonreproducible_sequences_intact(self):
+        corpus_seed = 3
+        commands = [cmd.Search("corn"), cmd.Back()]
+        # A healthy service never diverges, so minimize must not "shrink"
+        # a sequence it cannot reproduce.
+        assert minimize(corpus_seed, commands) == commands
+
+
+class TestCommandCodec:
+    COMMANDS = [
+        cmd.Search("corn"),
+        cmd.SearchWithin("salad"),
+        cmd.SearchRanked("pepper", k=5),
+        cmd.RankCurrent("braise"),
+        cmd.RankCurrent(None),
+        cmd.RunQuery(And([HasValue(EX.color, EX.red), Not(TextMatch("x"))])),
+        cmd.Refine(Or([]), "filter"),
+        cmd.SelectRefine(HasValue(EX.size, EX.big), "exclude"),
+        cmd.ApplyRange(EX.weight, 1.5, None),
+        cmd.ApplyCompound((HasValue(EX.color, EX.red),), "or"),
+        cmd.ApplySubcollection(EX.color, (EX.red, EX.blue), "all"),
+        cmd.RemoveConstraint(2),
+        cmd.NegateConstraint(0),
+        cmd.GoItem(EX.item1),
+        cmd.GoCollection((EX.item1, EX.item2), "pair"),
+        cmd.GoBookmarks(),
+        cmd.AddBookmark(None),
+        cmd.AddBookmark(EX.item1),
+        cmd.RemoveBookmark(EX.item2),
+        cmd.MarkRelevant(EX.item1),
+        cmd.MarkNonRelevant(EX.item2),
+        cmd.ClearFeedback(),
+        cmd.MoreLikeMarked(k=7),
+        cmd.Back(),
+        cmd.UndoRefinement(),
+    ]
+
+    def test_every_command_round_trips(self):
+        for command in self.COMMANDS:
+            data = command_to_dict(command)
+            assert command_from_dict(data) == command, command
+
+    def test_range_and_value_in_predicates_survive(self):
+        command = cmd.RunQuery(
+            And([Range(EX.weight, 0.0, 2.5), ValueIn(EX.color, [EX.red])])
+        )
+        assert command_from_dict(command_to_dict(command)) == command
+
+    def test_repro_file_round_trips(self, tmp_path):
+        path = tmp_path / "failure.json"
+        commands = [cmd.Search("corn"), cmd.RemoveBookmark(EX.item1)]
+        dump_repro(path, 1234, commands, "outcome mismatch")
+        seed, loaded, failure = load_repro(path)
+        assert seed == 1234
+        assert loaded == commands
+        assert failure == "outcome mismatch"
+
+    def test_repro_failure_replays_from_disk(self, tmp_path):
+        path = tmp_path / "failure.json"
+        report = fuzz(
+            11,
+            steps=600,
+            corpora=4,
+            service_factory=LyingBookmarkService,
+            repro_path=path,
+        )
+        assert not report.ok
+        assert report.failure.repro_path == str(path)
+        seed, commands, _detail = load_repro(path)
+        corpus = random_corpus(seed)
+        with pytest.raises(Divergence):
+            run_commands(
+                corpus,
+                commands,
+                config=FuzzConfig.thorough(),
+                service=LyingBookmarkService(),
+            )
+
+
+def test_generated_sequences_always_encode(tmp_path):
+    """Whatever the generator emits must be expressible in the codec."""
+    from repro.check import CommandGenerator, DifferentialRunner
+
+    corpus = random_corpus(23)
+    generator = CommandGenerator(random.Random(8), corpus)
+    runner = DifferentialRunner(corpus)
+    generator.bind(runner)
+    for _ in range(200):
+        command = generator.next_command()
+        assert command_from_dict(command_to_dict(command)) == command
+        try:
+            runner.step(command)
+        except Divergence:
+            raise

@@ -156,6 +156,52 @@ class TestConcurrentSessions:
         assert memo.misses == 0
 
 
+class TestAnalyzerStemCache:
+    """The shared default Analyzer under the 8-thread harness.
+
+    The stem cache is process-global state (``default_analyzer()`` is
+    one instance shared by every workspace), so it must stay bounded and
+    must hand every thread the exact stemmer output regardless of
+    eviction races.
+    """
+
+    def test_threads_get_exact_stems_and_cache_stays_bounded(self):
+        from repro.vsm.stemmer import PorterStemmer
+        from repro.vsm.tokenizer import Analyzer
+
+        limit = 64
+        analyzer = Analyzer(cache_limit=limit)
+        vocabulary = [f"running{i}" for i in range(200)] + [
+            "connection", "relational", "navigational", "adjustable",
+        ]
+        reference = {word: PorterStemmer().stem(word) for word in vocabulary}
+        results = [dict() for _ in range(THREADS)]
+
+        def stem_all(i):
+            # Rotated per thread so threads collide on eviction order.
+            ordering = vocabulary[i:] + vocabulary[:i]
+            for _ in range(3):
+                for word in ordering:
+                    results[i][word] = analyzer.stem_token(word)
+
+        _run_threads(THREADS, stem_all)
+
+        for word, expected in reference.items():
+            assert all(results[i][word] == expected for i in range(THREADS))
+        assert analyzer.cache_size <= limit
+
+    def test_default_analyzer_is_bounded(self):
+        from repro.vsm.tokenizer import default_analyzer
+
+        analyzer = default_analyzer()
+        assert analyzer.cache_limit == type(analyzer).CACHE_LIMIT
+        before = analyzer.cache_size
+        for word in ("connection", "connection", "connected"):
+            analyzer.stem_token(word)
+        assert analyzer.cache_size <= analyzer.cache_limit
+        assert analyzer.cache_size >= min(before, analyzer.cache_limit)
+
+
 class TestPrimitives:
     def test_cache_stats_increments_are_atomic(self):
         stats = CacheStats()

@@ -91,6 +91,34 @@ class TestLeafPredicates:
     def test_range_matches_single_item(self, context):
         assert Range(EX.serves, low=4, high=4).matches(EX.r1, context)
 
+    def test_nan_reading_satisfies_no_range(self):
+        # Regression: NaN compares False against both bounds, so an
+        # unguarded NaN reading slipped through every Range — matches
+        # and candidates both said yes regardless of the bounds.
+        g = Graph()
+        g.add(EX.broken, RDF.type, EX.Recipe)
+        g.add(EX.broken, EX.serves, Literal("nan"))
+        g.add(EX.ok, RDF.type, EX.Recipe)
+        g.add(EX.ok, EX.serves, Literal(4))
+        context = QueryContext(g)
+        for predicate in (
+            Range(EX.serves, low=0, high=100),
+            Range(EX.serves, low=0),
+            Range(EX.serves, high=100),
+        ):
+            assert not predicate.matches(EX.broken, context)
+            assert predicate.candidates(context) == {EX.ok}
+
+    def test_infinite_reading_is_a_real_value(self):
+        # inf is an actual ordering point, unlike NaN: it satisfies
+        # one-sided lower bounds and fails upper bounds.
+        g = Graph()
+        g.add(EX.hot, RDF.type, EX.Recipe)
+        g.add(EX.hot, EX.serves, Literal("inf"))
+        context = QueryContext(g)
+        assert Range(EX.serves, low=1000).matches(EX.hot, context)
+        assert not Range(EX.serves, high=1000).matches(EX.hot, context)
+
     def test_path_value(self, context):
         p = PathValue([EX.origin, EX.cuisine], EX.mexican)
         assert p.matches(EX.r1, context)

@@ -24,6 +24,20 @@ class TestCollectValues:
         g.add(EX.a, EX.size, EX.big)
         assert collect_values(g, [EX.a], EX.size) == []
 
+    def test_non_finite_readings_skipped(self):
+        # Regression: a single NaN in the "sorted" value list silently
+        # breaks the bisection count_between relies on (NaN is
+        # unordered, so sort() leaves it wherever it happened to be).
+        g = Graph()
+        g.add(EX.a, EX.size, Literal("nan"))
+        g.add(EX.a, EX.size, Literal("inf"))
+        g.add(EX.b, EX.size, Literal(2))
+        g.add(EX.c, EX.size, Literal(1))
+        values = collect_values(g, [EX.a, EX.b, EX.c], EX.size)
+        assert values == [1.0, 2.0]
+        preview = RangePreview(values)
+        assert preview.count_between(0.0, 10.0) == 2
+
 
 class TestRangePreview:
     def test_bounds(self):
@@ -79,3 +93,54 @@ class TestRangePreview:
         marks = p.hatch_marks(11)
         assert marks.count(" ") > 5
         assert "|" in marks
+
+
+class TestRangePreviewEdgeCases:
+    """Zero-width ranges, inverted selections, degenerate histograms."""
+
+    def test_zero_width_selection_counts_exact_hits(self):
+        p = RangePreview([1.0, 2.0, 2.0, 3.0])
+        assert p.count_between(2.0, 2.0) == 2
+        assert p.count_between(1.5, 1.5) == 0
+
+    def test_inverted_selection_keeps_nothing(self):
+        # A slider crossing (low > high) previews as zero, not a
+        # negative count and not an exception.
+        p = RangePreview([1.0, 2.0, 3.0])
+        assert p.count_between(3.0, 1.0) == 0
+        assert p.count_between(10.0, -10.0) == 0
+
+    def test_selection_outside_span(self):
+        p = RangePreview([1.0, 2.0, 3.0])
+        assert p.count_between(4.0, 9.0) == 0
+        assert p.count_between(-9.0, 0.5) == 0
+
+    def test_single_value_histogram_lands_in_first_bucket(self):
+        # width == 0: every reading maps to bucket 0 instead of
+        # dividing by zero.
+        p = RangePreview([7.0] * 5, buckets=8)
+        assert p.histogram() == [5, 0, 0, 0, 0, 0, 0, 0]
+        assert p.low == p.high == 7.0
+        assert p.count_between(7.0, 7.0) == 5
+
+    def test_single_value_hatch_marks(self):
+        p = RangePreview([7.0] * 5, buckets=8)
+        marks = p.hatch_marks(8)
+        assert len(marks) == 8
+        assert marks[0] != " "
+        assert set(marks[1:]) == {" "}
+
+    def test_hatch_marks_rebucket_preserves_total(self):
+        p = RangePreview([float(v) for v in range(100)], buckets=20)
+        assert sum(p._rebucket(40)) == 100
+        assert sum(p._rebucket(7)) == 100
+
+    def test_hatch_marks_same_width_skips_rebucket(self):
+        p = RangePreview([float(v) for v in range(40)], buckets=40)
+        assert len(p.hatch_marks(40)) == 40
+
+    def test_count_between_one_open_end_on_degenerate_data(self):
+        p = RangePreview([5.0, 5.0])
+        assert p.count_between(None, 5.0) == 2
+        assert p.count_between(5.0, None) == 2
+        assert p.count_between(None, 4.9) == 0

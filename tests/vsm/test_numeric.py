@@ -38,6 +38,29 @@ class TestNumericRange:
         r.observe(7.0)
         assert r.fraction(7.0) == 0.5
 
+    def test_nan_observation_is_skipped(self):
+        """Regression: one NaN reading used to leave low=inf/high=-inf
+        with count>0, making width -inf and fraction() NaN forever."""
+        r = NumericRange()
+        r.observe(math.nan)
+        assert r.is_empty
+        assert r.fraction(5.0) == 0.5
+        r.observe(10.0)
+        r.observe(math.nan)
+        r.observe(20.0)
+        assert (r.low, r.high, r.count) == (10.0, 20.0, 2)
+        assert r.width == 10.0
+        assert r.fraction(15.0) == 0.5
+        assert not math.isnan(r.fraction(0.0))
+
+    def test_infinite_observation_is_skipped(self):
+        r = NumericRange()
+        r.observe(math.inf)
+        r.observe(-math.inf)
+        assert r.is_empty
+        r.observe(3.0)
+        assert (r.low, r.high, r.count) == (3.0, 3.0, 1)
+
 
 class TestEncoding:
     def test_all_encodings_have_unit_norm(self, value_range):
