@@ -1,0 +1,103 @@
+"""serve — latency and throughput of the JSON/HTTP session layer.
+
+Not a paper table; establishes that the network boundary adds
+millisecond-scale overhead to the multi-session serving posture the
+service refactor enables (``test_perf_multi_session_serving`` is the
+in-process baseline).  A live :class:`NavigationServer` over a
+recipe workspace takes a fixed command mix from 1, 8, and 32 concurrent
+closed-loop clients spread across 50 sessions; exact p50/p99 latency
+and throughput per concurrency level land in ``BENCH_serve.json`` at
+the repo root.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import Workspace
+from repro.datasets import recipes
+from repro.net import NavigationServer, ServerConfig
+from repro.net.loadgen import run_load
+from repro.service.manager import SessionManager
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+SESSIONS = 50
+REQUESTS_TOTAL = 384  # per concurrency level, split across its clients
+
+
+def _record_bench(payload: dict) -> None:
+    """Merge one serving run's numbers into BENCH_serve.json."""
+    data: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (OSError, ValueError):
+            data = {}
+    data.update(payload)
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def serve_workspace():
+    corpus = recipes.build_corpus(n_recipes=300, seed=7)
+    workspace = Workspace(
+        corpus.graph, schema=corpus.schema, items=corpus.items
+    )
+    workspace.freeze()
+    return workspace
+
+
+def test_bench_serve_concurrency_sweep(serve_workspace):
+    manager = SessionManager(serve_workspace)
+    config = ServerConfig(workers=8, queue_limit=64, request_deadline=30.0)
+    server = NavigationServer(manager, config).start()
+    host, port = server.address
+    levels = {}
+    try:
+        for clients in (1, 8, 32):
+            report = run_load(
+                host,
+                port,
+                clients=clients,
+                requests_per_client=REQUESTS_TOTAL // clients,
+                sessions=SESSIONS,
+                seed=clients,
+            )
+            levels[f"clients_{clients}"] = report.as_dict()
+            assert report.requests == (REQUESTS_TOTAL // clients) * clients
+            assert report.ok > 0
+            assert "BadEnvelope" not in report.errors
+            # The serving layer must stay interactive under fan-out.
+            assert report.p99_ms < 5000
+    finally:
+        drain = server.drain()
+    assert drain.ok
+    snapshot = manager.workspace.obs.metrics.snapshot()
+    _record_bench(
+        {
+            "corpus_size": 300,
+            "sessions": SESSIONS,
+            "workers": config.workers,
+            "levels": levels,
+            "server": {
+                "requests": snapshot["counters"]["net.requests"],
+                "rejections": snapshot["counters"].get(
+                    "net.rejections{reason=overloaded}", 0
+                ),
+                "p50_ms": round(
+                    manager.workspace.obs.metrics.histogram(
+                        "net.request_ms"
+                    ).quantile(0.50),
+                    3,
+                ),
+                "p99_ms": round(
+                    manager.workspace.obs.metrics.histogram(
+                        "net.request_ms"
+                    ).quantile(0.99),
+                    3,
+                ),
+            },
+        }
+    )

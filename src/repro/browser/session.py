@@ -122,6 +122,16 @@ class Session:
         self._adopt(transition.state)
         return transition
 
+    def apply(self, command: cmd.Command):
+        """Dispatch one typed command and return the full transition.
+
+        The generic entry point used by the network layer: any of the
+        23 commands, one :class:`~repro.service.navigation.Transition`
+        back.  The convenience methods below remain the ergonomic
+        surface for direct use.
+        """
+        return self._apply(command)
+
     def _adopt(self, state: SessionState) -> None:
         old = self._state
         self._state = state

@@ -63,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep the full failing sequence (skip ddmin)",
     )
+    parser.add_argument(
+        "--wire",
+        action="store_true",
+        help="also replay fuzz streams over a live HTTP server and "
+        "assert byte-level response parity",
+    )
+    parser.add_argument(
+        "--wire-steps",
+        type=int,
+        default=150,
+        help="total wire-parity steps across all wire corpora",
+    )
+    parser.add_argument(
+        "--wire-corpora",
+        type=int,
+        default=2,
+        help="number of corpora for the wire-parity pass",
+    )
     return parser
 
 
@@ -122,6 +140,29 @@ def main(argv=None) -> int:
             print(f"repro written to {failure.repro_path}")
             print(f"replay with: python -m repro check --replay {failure.repro_path}")
         status = 1
+
+    if args.wire:
+        from ..net.wirecheck import run_wire_check
+
+        wire_report = run_wire_check(
+            seed,
+            steps=args.wire_steps,
+            corpora=args.wire_corpora,
+            log=lambda line: print(f"  {line}"),
+        )
+        print(
+            f"wire: {wire_report.steps_run} step(s), "
+            f"{wire_report.suggest_probes} suggest probe(s), "
+            f"{wire_report.preview_probes} preview probe(s) over "
+            f"{wire_report.corpora_run} corpus/corpora"
+        )
+        if wire_report.failure is not None:
+            failure = wire_report.failure
+            print(
+                f"WIRE DIVERGENCE (corpus seed {failure.corpus_seed}, "
+                f"step {failure.step}, {failure.command}): {failure.detail}"
+            )
+            status = 1
 
     if args.fault_rounds > 0:
         with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:

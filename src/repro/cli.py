@@ -440,6 +440,16 @@ def main(argv: list[str] | None = None) -> int:
         from .check.cli import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # `python -m repro serve ...` — the JSON/HTTP session server.
+        from .net.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        # `python -m repro loadgen ...` — drive a running server.
+        from .net.cli import loadgen_main
+
+        return loadgen_main(argv[1:])
     args = build_parser().parse_args(argv)
     obs = Observability(tracing=args.trace)
     workspace = _load_workspace(args, obs)

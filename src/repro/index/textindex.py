@@ -33,11 +33,20 @@ class TextIndex:
         self._by_property: dict[Resource, dict[str, set[Node]]] = defaultdict(
             lambda: defaultdict(set)
         )
-        self._indexed: set[Node] = set()
+        #: item -> the (property, token) pairs it currently posts under;
+        #: consulted on reindex so stale postings are withdrawn first.
+        self._posted: dict[Node, set[tuple[Resource, str]]] = {}
 
     def index_item(self, item: Node) -> None:
-        """Index every string value of one item."""
-        self._indexed.add(item)
+        """Index every string value of one item.
+
+        Re-indexing an already-indexed item first withdraws its previous
+        postings, so the index reflects the item's *current* values: a
+        mutated item stops matching tokens it no longer contains.
+        """
+        if item in self._posted:
+            self.unindex_item(item)
+        posted: set[tuple[Resource, str]] = set()
         for prop, values in self.graph.properties_of(item).items():
             if prop in _SKIP:
                 continue
@@ -49,6 +58,35 @@ class TextIndex:
                 for token in self.analyzer.tokens(value.lexical):
                     self._overall[token].add(item)
                     self._by_property[prop][token].add(item)
+                    posted.add((prop, token))
+        self._posted[item] = posted
+
+    def unindex_item(self, item: Node) -> bool:
+        """Withdraw an item from every postings list it appears in.
+
+        Returns whether the item was indexed.  Emptied postings lists
+        (and per-property sub-indexes) are dropped entirely so the
+        vocabulary and ``text_properties`` shrink with the data.
+        """
+        posted = self._posted.pop(item, None)
+        if posted is None:
+            return False
+        for prop, token in posted:
+            overall = self._overall.get(token)
+            if overall is not None:
+                overall.discard(item)
+                if not overall:
+                    del self._overall[token]
+            by_prop = self._by_property.get(prop)
+            if by_prop is not None:
+                postings = by_prop.get(token)
+                if postings is not None:
+                    postings.discard(item)
+                    if not postings:
+                        del by_prop[token]
+                if not by_prop:
+                    del self._by_property[prop]
+        return True
 
     def index_items(self, items) -> int:
         """Index many items; returns the count."""
@@ -60,7 +98,7 @@ class TextIndex:
 
     @property
     def indexed_items(self) -> set[Node]:
-        return set(self._indexed)
+        return set(self._posted)
 
     # ------------------------------------------------------------------
     # Queries (boolean AND semantics, like the toolbar keyword box)
@@ -103,6 +141,6 @@ class TextIndex:
 
     def __repr__(self) -> str:
         return (
-            f"<TextIndex items={len(self._indexed)} "
+            f"<TextIndex items={len(self._posted)} "
             f"vocab={len(self._overall)}>"
         )

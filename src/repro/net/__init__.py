@@ -1,0 +1,60 @@
+"""The network layer: navigation sessions over JSON/HTTP.
+
+One process, one frozen workspace, many light sessions — served with a
+bounded worker pool, explicit backpressure, per-request deadlines, a
+typed error envelope, and graceful drain.  The wire format is canonical
+JSON over the existing :mod:`repro.check` command codec and
+:mod:`repro.service.serialize` state codec, which is what makes the
+byte-level differential wire check (:mod:`repro.net.wirecheck`)
+possible.
+"""
+
+from .client import NavigationClient, ServerError
+from .loadgen import LoadReport, run_load
+from .protocol import (
+    BadRequest,
+    ClientDisconnect,
+    DeadlineExceeded,
+    MethodNotAllowed,
+    NetError,
+    NotFound,
+    PayloadTooLarge,
+    ServerDraining,
+    ServerOverloaded,
+    canonical_json,
+    error_envelope,
+    ok_envelope,
+    status_for,
+    suggestions_payload,
+    transition_payload,
+)
+from .server import DrainReport, NavigationServer, ServerConfig
+from .wirecheck import WireDivergence, WireReport, run_wire_check
+
+__all__ = [
+    "NavigationClient",
+    "ServerError",
+    "LoadReport",
+    "run_load",
+    "NetError",
+    "BadRequest",
+    "NotFound",
+    "MethodNotAllowed",
+    "PayloadTooLarge",
+    "DeadlineExceeded",
+    "ServerOverloaded",
+    "ServerDraining",
+    "ClientDisconnect",
+    "canonical_json",
+    "ok_envelope",
+    "error_envelope",
+    "status_for",
+    "transition_payload",
+    "suggestions_payload",
+    "NavigationServer",
+    "ServerConfig",
+    "DrainReport",
+    "WireDivergence",
+    "WireReport",
+    "run_wire_check",
+]

@@ -1,0 +1,181 @@
+"""``python -m repro serve`` and ``python -m repro loadgen``.
+
+``serve`` loads a corpus exactly like the interactive browser (bundled
+datasets or --ntriples/--turtle), freezes the workspace for concurrent
+reads, and runs a :class:`~repro.net.server.NavigationServer` until
+interrupted, draining gracefully (and saving every session when
+``--save-dir`` is given).  ``--selftest`` is the CI smoke mode: start,
+drive a mixed command batch through a real client, drain, and exit
+nonzero if anything — including the drain's session saves — fails.
+
+``loadgen`` points the closed-loop load generator at a running server
+and prints the latency/throughput report as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    # Mirrors the browser CLI so `repro serve recipes --size 200` works
+    # the same as `repro recipes --size 200`.
+    parser.add_argument(
+        "dataset",
+        nargs="?",
+        default="recipes",
+        choices=["recipes", "inbox", "states", "factbook"],
+        help="bundled dataset to serve",
+    )
+    parser.add_argument("--size", type=int, default=800,
+                        help="recipe corpus size")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--annotated", action="store_true",
+                        help="apply schema annotations (states/factbook)")
+    parser.add_argument("--ntriples", help="serve an N-Triples file")
+    parser.add_argument("--turtle", help="serve a Turtle file")
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve navigation sessions over JSON/HTTP.",
+    )
+    _add_dataset_arguments(parser)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="listen port (0 picks an ephemeral one)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-limit", type=int, default=32,
+                        help="admitted-but-unserved connection cap")
+    parser.add_argument("--deadline", type=float, default=10.0,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--max-body", type=int, default=1 << 20,
+                        help="request body cap in bytes")
+    parser.add_argument("--save-dir", default=None,
+                        help="save every session here on drain")
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="start, run a smoke batch through a client, drain, exit",
+    )
+    return parser
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Drive a running navigation server and report latency.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=100,
+                        help="requests per client")
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument("--lg-seed", type=int, default=0)
+    return parser
+
+
+def _build_server(args: argparse.Namespace):
+    from ..cli import _load_workspace
+    from ..obs import Observability
+    from ..service.manager import SessionManager
+    from .server import NavigationServer, ServerConfig
+
+    obs = Observability(tracing=False)
+    workspace = _load_workspace(args, obs)
+    workspace.freeze()
+    manager = SessionManager(workspace)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        request_deadline=args.deadline,
+        max_body=args.max_body,
+    )
+    return NavigationServer(manager, config)
+
+
+def _selftest(server) -> int:
+    """The blocking CI smoke: 50 mixed commands, drain, zero drops."""
+    import random
+    import tempfile
+
+    from .loadgen import _next_command
+    from .client import NavigationClient, ServerError
+
+    host, port = server.address
+    client = NavigationClient(host, port)
+    rng = random.Random(20260807)
+    names = [f"smoke-{i}" for i in range(5)]
+    for name in names:
+        client.create_session(name)
+    ok = typed_errors = 0
+    for step in range(50):
+        try:
+            client.apply(names[step % len(names)], _next_command(rng))
+            ok += 1
+        except ServerError:
+            typed_errors += 1  # typed service errors are expected traffic
+    health = client.healthz()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        report = server.drain(save_dir=tmp)
+    print(
+        f"selftest: {ok} ok, {typed_errors} typed error(s), "
+        f"{health['sessions']} session(s), saved {len(report.saved)}, "
+        f"dropped {len(report.dropped)}"
+    )
+    if ok == 0 or sorted(report.saved) != sorted(names) or report.dropped:
+        print("selftest: FAILED")
+        return 1
+    print("selftest: OK")
+    return 0
+
+
+def serve_main(argv=None) -> int:
+    args = build_serve_parser().parse_args(argv)
+    server = _build_server(args)
+    server.start()
+    host, port = server.address
+    if args.selftest:
+        return _selftest(server)
+    print(f"serving on http://{host}:{port} "
+          f"({args.workers} workers, queue {args.queue_limit})")
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    report = server.drain(save_dir=args.save_dir)
+    print(
+        f"drained: {report.served} request(s) served, "
+        f"{len(report.saved)} session(s) saved, "
+        f"{len(report.dropped)} dropped"
+    )
+    return 0 if report.ok else 1
+
+
+def loadgen_main(argv=None) -> int:
+    args = build_loadgen_parser().parse_args(argv)
+    from .loadgen import run_load
+
+    report = run_load(
+        args.host,
+        args.port,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        sessions=args.sessions,
+        seed=args.lg_seed,
+    )
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.cli
+    sys.exit(serve_main())

@@ -1,0 +1,131 @@
+"""A small typed client for the navigation server.
+
+One ``http.client`` connection per request (the server closes after
+each response anyway); a non-``ok`` envelope raises
+:class:`ServerError` carrying the HTTP status and the typed error from
+the wire, so callers handle service failures the same way they would
+in process — by exception type name.
+
+:meth:`NavigationClient.request_raw` exposes the exact
+``(status, body bytes)`` pair, which is what the differential wire
+check compares against locally built canonical payloads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+from ..check.codec import command_to_dict
+from ..service.commands import Command
+
+__all__ = ["ServerError", "NavigationClient"]
+
+
+class ServerError(Exception):
+    """A non-ok envelope from the server, with its typed descriptor."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(f"[{status}] {error_type}: {message}")
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+
+
+class NavigationClient:
+    """Talks the canonical JSON wire schema to one server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def request_raw(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, bytes]:
+        """One round-trip; returns the raw (status, body bytes) pair."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def request(self, method: str, path: str, payload: Any | None = None) -> Any:
+        """One round-trip; unwraps the envelope or raises ServerError."""
+        status, body = self.request_raw(method, path, payload)
+        try:
+            envelope = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServerError(status, "BadEnvelope", str(error)) from None
+        if not isinstance(envelope, dict) or "ok" not in envelope:
+            raise ServerError(status, "BadEnvelope", f"not an envelope: {envelope!r}")
+        if envelope["ok"]:
+            return envelope["result"]
+        error = envelope.get("error") or {}
+        raise ServerError(
+            status,
+            str(error.get("type", "Unknown")),
+            str(error.get("message", "")),
+        )
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def sessions(self) -> dict[str, Any]:
+        return self.request("GET", "/sessions")
+
+    def create_session(self, name: str) -> dict[str, Any]:
+        return self.request("POST", "/sessions", {"name": name})
+
+    def delete_session(self, name: str) -> bool:
+        return bool(self.request("DELETE", f"/sessions/{name}")["removed"])
+
+    def apply(self, name: str, command: Command | dict[str, Any]) -> dict[str, Any]:
+        """Apply one typed command; returns {"state": ..., "outcome": ...}."""
+        if isinstance(command, dict):
+            command_dict = command
+        else:
+            command_dict = command_to_dict(command)
+        return self.request(
+            "POST", f"/sessions/{name}/apply", {"command": command_dict}
+        )
+
+    def suggest(self, name: str) -> list[dict[str, Any]]:
+        return self.request("POST", f"/sessions/{name}/suggest", {})[
+            "suggestions"
+        ]
+
+    def preview(
+        self, name: str, predicate: dict[str, Any], mode: str = "filter"
+    ) -> int:
+        return int(
+            self.request(
+                "POST",
+                f"/sessions/{name}/preview",
+                {"predicate": predicate, "mode": mode},
+            )["count"]
+        )
+
+    def __repr__(self) -> str:
+        return f"<NavigationClient {self.host}:{self.port}>"

@@ -1,0 +1,145 @@
+"""Minimal HTTP/1.1 framing over a socket (stdlib-only, one shot).
+
+The serving layer speaks plain HTTP so any client works, but it needs
+tighter control than ``http.server`` offers: per-request deadlines via
+socket timeouts, a hard body cap enforced *before* reading, and typed
+errors for every way a request can go wrong.  This module is that thin
+framing layer — one request per connection, ``Connection: close``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from .protocol import (
+    BadRequest,
+    ClientDisconnect,
+    DeadlineExceeded,
+    PayloadTooLarge,
+)
+
+__all__ = ["Request", "read_request", "write_response", "STATUS_REASONS"]
+
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class Request:
+    """One parsed request: method, path, headers, raw body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"<Request {self.method} {self.path} body={len(self.body)}B>"
+
+
+def _recv_line(conn: socket.socket, buffer: bytearray) -> bytes:
+    """Read one CRLF/LF-terminated line from the connection."""
+    while True:
+        newline = buffer.find(b"\n")
+        if newline >= 0:
+            line = bytes(buffer[: newline + 1])
+            del buffer[: newline + 1]
+            return line
+        if len(buffer) > _MAX_LINE:
+            raise BadRequest("header line too long")
+        chunk = _recv(conn, 4096)
+        if not chunk:
+            raise ClientDisconnect("connection closed mid-request")
+        buffer.extend(chunk)
+
+
+def _recv(conn: socket.socket, size: int) -> bytes:
+    try:
+        return conn.recv(size)
+    except socket.timeout:
+        raise DeadlineExceeded("deadline elapsed while reading the request")
+    except (ConnectionResetError, BrokenPipeError, OSError) as error:
+        raise ClientDisconnect(f"connection lost: {error}") from error
+
+
+def read_request(conn: socket.socket, max_body: int) -> Request:
+    """Parse one request; the socket's timeout enforces the deadline.
+
+    Raises :class:`BadRequest` for malformed framing,
+    :class:`PayloadTooLarge` when the declared body exceeds ``max_body``,
+    :class:`DeadlineExceeded` when the socket timeout fires, and
+    :class:`ClientDisconnect` when the peer goes away mid-request.
+    """
+    buffer = bytearray()
+    request_line = _recv_line(conn, buffer).decode("latin-1").strip()
+    if not request_line:
+        raise BadRequest("empty request line")
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise BadRequest(f"malformed request line {request_line!r}")
+    method, path, _version = parts
+
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADERS):
+        line = _recv_line(conn, buffer).decode("latin-1")
+        if line in ("\r\n", "\n"):
+            break
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line {line.strip()!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise BadRequest("too many header lines")
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise BadRequest(f"bad Content-Length {length_text!r}") from None
+    if length < 0:
+        raise BadRequest(f"bad Content-Length {length_text!r}")
+    if length > max_body:
+        raise PayloadTooLarge(
+            f"declared body of {length} bytes exceeds the {max_body} byte cap"
+        )
+
+    body = bytes(buffer[:length])
+    del buffer[: len(body)]
+    while len(body) < length:
+        chunk = _recv(conn, min(65536, length - len(body)))
+        if not chunk:
+            raise ClientDisconnect("connection closed mid-body")
+        body += chunk
+    return Request(method, path, headers, body)
+
+
+def write_response(
+    conn: socket.socket, status: int, body: bytes, reason: Optional[str] = None
+) -> None:
+    """Send one complete JSON response and nothing else."""
+    reason = reason or STATUS_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    conn.sendall(head + body)

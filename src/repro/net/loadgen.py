@@ -1,0 +1,166 @@
+"""A small closed-loop load generator for the navigation server.
+
+``clients`` worker threads issue a fixed mix of navigation commands
+(searches, text refinements, chip removals, undo/back, bookmark jumps)
+round-robin across ``sessions`` served sessions, timing every
+round-trip.  Latency percentiles are computed **exactly** from the raw
+sorted samples — no histogram approximation — because the report feeds
+``BENCH_serve.json`` and benchmark numbers should not inherit bucket
+resolution.
+
+Typed server errors (a 422 from an invalid chip index, say) are part of
+the mix on purpose: they exercise the error envelope path and are
+counted per type, not treated as load-generator failures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..service import commands as cmd
+from .client import NavigationClient, ServerError
+
+__all__ = ["LoadReport", "run_load"]
+
+#: Keyword vocabulary; datasets need not match these — empty results
+#: are legitimate navigation outcomes.
+WORDS = [
+    "salad", "pepper", "corn", "olive", "magnet", "query",
+    "navigation", "graph", "empty",
+]
+
+
+@dataclass
+class LoadReport:
+    """One load run's outcome; ``as_dict`` is the BENCH-file shape."""
+
+    clients: int
+    sessions: int
+    requests: int = 0
+    ok: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+    duration_s: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+    throughput_rps: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "sessions": self.sessions,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": dict(sorted(self.errors.items())),
+            "duration_s": round(self.duration_s, 4),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "throughput_rps": round(self.throughput_rps, 1),
+        }
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Exact nearest-rank percentile over pre-sorted samples."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+def _next_command(rng: random.Random) -> cmd.Command:
+    """A dataset-agnostic command mix weighted like browsing."""
+    from ..query.ast import TextMatch
+
+    roll = rng.random()
+    if roll < 0.30:
+        return cmd.Search(rng.choice(WORDS))
+    if roll < 0.45:
+        return cmd.SearchWithin(rng.choice(WORDS))
+    if roll < 0.65:
+        return cmd.Refine(TextMatch(rng.choice(WORDS)), "filter")
+    if roll < 0.75:
+        return cmd.RemoveConstraint(0)
+    if roll < 0.85:
+        return cmd.UndoRefinement()
+    if roll < 0.95:
+        return cmd.Back()
+    return cmd.GoBookmarks()
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = 4,
+    requests_per_client: int = 100,
+    sessions: int = 8,
+    seed: int = 0,
+    session_prefix: str = "load",
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive the server and return exact latency percentiles.
+
+    Sessions are created up front (idempotently: an existing name is
+    fine, so repeated runs against one server just reuse them), then
+    every worker thread issues its command budget, each against the
+    next session in round-robin order.
+    """
+    setup = NavigationClient(host, port, timeout=timeout)
+    names = [f"{session_prefix}-{i}" for i in range(sessions)]
+    for name in names:
+        try:
+            setup.create_session(name)
+        except ServerError as error:
+            if error.error_type != "ValueError":  # anything but "exists"
+                raise
+
+    report = LoadReport(clients=clients, sessions=sessions)
+    samples: list[float] = []
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        rng = random.Random(seed * 7919 + index)
+        client = NavigationClient(host, port, timeout=timeout)
+        local_samples: list[float] = []
+        local_ok = 0
+        local_errors: dict[str, int] = {}
+        for step in range(requests_per_client):
+            name = names[(index + step) % len(names)]
+            command = _next_command(rng)
+            started = time.perf_counter()
+            try:
+                client.apply(name, command)
+                local_ok += 1
+            except ServerError as error:
+                key = error.error_type
+                local_errors[key] = local_errors.get(key, 0) + 1
+            local_samples.append((time.perf_counter() - started) * 1000.0)
+        with lock:
+            samples.extend(local_samples)
+            report.ok += local_ok
+            report.requests += len(local_samples)
+            for key, count in local_errors.items():
+                report.errors[key] = report.errors.get(key, 0) + count
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - started
+
+    samples.sort()
+    report.p50_ms = _percentile(samples, 0.50)
+    report.p99_ms = _percentile(samples, 0.99)
+    report.max_ms = samples[-1] if samples else 0.0
+    if report.duration_s > 0:
+        report.throughput_rps = report.requests / report.duration_s
+    return report

@@ -1,0 +1,476 @@
+"""A bounded-concurrency JSON-over-HTTP front for the session manager.
+
+The ROADMAP's serving posture made concrete: one process holds ONE
+frozen :class:`~repro.core.workspace.Workspace` and a
+:class:`~repro.service.manager.SessionManager` of light per-user
+sessions; this server puts that stack behind a network boundary with
+explicit capacity semantics:
+
+* a **bounded worker pool** — ``workers`` threads apply commands; the
+  shared substrate's telemetry is lock-guarded (PR-3), per-session
+  mutation is serialized by a per-session lock;
+* **backpressure** — accepted connections enter a bounded queue; when
+  it is full the acceptor immediately answers a typed
+  ``ServerOverloaded`` envelope instead of letting the client hang;
+* **per-request deadlines** — the clock starts when the connection is
+  admitted; reading, queue wait, and dispatch all charge against it and
+  a typed ``DeadlineExceeded`` is returned the moment it elapses;
+* **graceful drain** — :meth:`NavigationServer.drain` stops admitting,
+  finishes every queued and in-flight transition, then saves every
+  session atomically through the PR-4
+  :data:`~repro.service.manager.StateWriter` seam.
+
+Every request is traced (``net.request`` spans) and counted
+(request/rejection/error counters, queue-depth gauge, latency
+histogram) through the workspace's :mod:`repro.obs` bundle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..check.codec import command_from_dict
+from ..service.manager import SessionManager
+from ..service.serialize import (
+    StateSerializationError,
+    predicate_from_dict,
+)
+from .httpio import Request, read_request, write_response
+from .protocol import (
+    BadRequest,
+    ClientDisconnect,
+    DeadlineExceeded,
+    MethodNotAllowed,
+    NetError,
+    NotFound,
+    PayloadTooLarge,
+    ServerOverloaded,
+    canonical_json,
+    error_envelope,
+    ok_envelope,
+    status_for,
+    suggestions_payload,
+    transition_payload,
+)
+
+__all__ = ["ServerConfig", "DrainReport", "NavigationServer"]
+
+#: Latency bucket bounds (milliseconds) for the request histogram.
+LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Capacity knobs; the defaults suit tests and small deployments."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick an ephemeral port
+    workers: int = 4
+    #: Connections admitted but not yet picked up by a worker; beyond
+    #: this the acceptor answers ServerOverloaded.
+    queue_limit: int = 32
+    #: Seconds from admission to the last response byte.
+    request_deadline: float = 10.0
+    max_body: int = 1 << 20
+
+
+@dataclass
+class DrainReport:
+    """What a graceful shutdown accomplished."""
+
+    served: int
+    saved: list[str]
+    dropped: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.dropped
+
+
+class _Task:
+    __slots__ = ("conn", "admitted")
+
+    def __init__(self, conn: socket.socket, admitted: float):
+        self.conn = conn
+        self.admitted = admitted
+
+
+class NavigationServer:
+    """Serves one SessionManager over HTTP with bounded concurrency."""
+
+    def __init__(self, manager: SessionManager, config: ServerConfig | None = None):
+        self.manager = manager
+        self.config = config if config is not None else ServerConfig()
+        self.obs = manager.workspace.obs
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_limit)
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._accepting = False
+        self._started = False
+        self._served = 0
+        self._served_lock = threading.Lock()
+        #: Serializes manager-level mutation (create/remove/save).
+        self._manager_lock = threading.Lock()
+        #: name -> per-session lock; commands on one session serialize,
+        #: different sessions proceed in parallel.
+        self._session_locks: dict[str, threading.RLock] = {}
+        self._locks_guard = threading.Lock()
+        metrics = self.obs.metrics
+        self._requests = metrics.counter("net.requests")
+        self._rejections = metrics.counter("net.rejections{reason=overloaded}")
+        self._disconnects = metrics.counter("net.disconnects")
+        self._queue_depth = metrics.gauge("net.queue_depth")
+        self._latency_ms = metrics.histogram(
+            "net.request_ms", buckets=LATENCY_BUCKETS_MS
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "NavigationServer":
+        """Bind, listen, and spin up the acceptor + worker pool."""
+        if self._started:
+            raise RuntimeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(max(16, self.config.queue_limit))
+        # Closing a socket does not reliably wake a thread blocked in
+        # accept(); a short timeout lets the acceptor notice drain.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._accepting = True
+        self._started = True
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="net-acceptor", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"net-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — read after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    def __enter__(self) -> "NavigationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()
+
+    def drain(
+        self,
+        save_dir: str | os.PathLike | None = None,
+        timeout: float = 30.0,
+    ) -> DrainReport:
+        """Graceful shutdown: stop admitting, finish, persist.
+
+        Already-admitted requests (queued or in flight) are completed —
+        their transitions land and their responses are delivered — then
+        the workers exit and, when ``save_dir`` is given, every named
+        session's state is written atomically (temp file + rename via
+        the StateWriter seam).  Idempotent; safe to call on a server
+        that never started.
+        """
+        self._accepting = False
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if self._started:
+            # Let every admitted task finish before stopping the pool.
+            deadline = time.monotonic() + timeout
+            while self._queue.unfinished_tasks and time.monotonic() < deadline:
+                time.sleep(0.005)
+            for _ in range(self.config.workers):
+                self._queue.put(_STOP)
+            for thread in self._threads:
+                if thread is threading.current_thread():
+                    continue
+                thread.join(timeout=max(0.1, deadline - time.monotonic()))
+            self._threads = []
+            self._started = False
+
+        saved: list[str] = []
+        dropped: list[str] = []
+        if save_dir is not None:
+            os.makedirs(save_dir, exist_ok=True)
+            with self._manager_lock:
+                for name in self.manager.names():
+                    target = os.path.join(os.fspath(save_dir), f"{name}.json")
+                    try:
+                        self.manager.save(name, target)
+                        saved.append(name)
+                    except Exception as error:  # noqa: BLE001 - reported, not raised
+                        dropped.append(name)
+                        self.obs.metrics.counter("net.save_failures").inc()
+        return DrainReport(served=self._served, saved=saved, dropped=dropped)
+
+    close = drain
+
+    # ------------------------------------------------------------------
+    # Accept loop (backpressure lives here)
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._accepting:
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue  # periodic wake-up to re-check _accepting
+            except OSError:
+                return  # listener closed: drain in progress
+            conn.settimeout(self.config.request_deadline)
+            task = _Task(conn, time.monotonic())
+            try:
+                self._queue.put_nowait(task)
+            except queue.Full:
+                self._rejections.inc()
+                self._reject(conn)
+                continue
+            self._queue_depth.set(self._queue.qsize())
+
+    def _reject(self, conn: socket.socket) -> None:
+        """Typed 503 for a connection the queue cannot admit."""
+        error = ServerOverloaded(
+            f"accept queue full ({self.config.queue_limit} waiting); retry"
+        )
+        try:
+            conn.settimeout(1.0)
+            write_response(
+                conn, error.status, canonical_json(error_envelope(error))
+            )
+        except OSError:
+            pass
+        finally:
+            self._close(conn)
+
+    @staticmethod
+    def _close(conn: socket.socket) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._queue.get()
+            try:
+                if task is _STOP:
+                    return
+                self._queue_depth.set(self._queue.qsize())
+                self._serve_one(task)
+            finally:
+                self._queue.task_done()
+
+    def _serve_one(self, task: _Task) -> None:
+        conn = task.conn
+        started = time.monotonic()
+        deadline = task.admitted + self.config.request_deadline
+        status = 500
+        try:
+            self._requests.inc()
+            try:
+                conn.settimeout(max(0.001, deadline - time.monotonic()))
+                request = read_request(conn, self.config.max_body)
+                if time.monotonic() > deadline:
+                    raise DeadlineExceeded(
+                        "deadline elapsed before dispatch"
+                    )
+                status, payload = self._dispatch(request)
+            except ClientDisconnect:
+                self._disconnects.inc()
+                return
+            except NetError as error:
+                status, payload = error.status, error_envelope(error)
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                self.obs.metrics.counter("net.internal_errors").inc()
+                status, payload = 500, error_envelope(error)
+            try:
+                write_response(conn, status, canonical_json(payload))
+            except OSError:
+                self._disconnects.inc()
+        finally:
+            with self._served_lock:
+                self._served += 1
+            self._latency_ms.observe((time.monotonic() - started) * 1000.0)
+            self.obs.metrics.counter(f"net.responses{{status={status}}}").inc()
+            self._close(conn)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, request: Request) -> tuple[int, dict[str, Any]]:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        with self.obs.tracer.span("net.request", method=method, path=path):
+            if path == "/healthz":
+                self._require(method, "GET")
+                return 200, ok_envelope(self._health())
+            if path == "/metrics":
+                self._require(method, "GET")
+                return 200, ok_envelope(self.obs.metrics.snapshot())
+            if path == "/sessions":
+                if method == "GET":
+                    return 200, ok_envelope(self._list_sessions())
+                self._require(method, "POST")
+                return self._create_session(self._json_body(request))
+            parts = [p for p in path.split("/") if p]
+            if len(parts) >= 2 and parts[0] == "sessions":
+                name = parts[1]
+                if len(parts) == 2:
+                    self._require(method, "DELETE")
+                    return self._delete_session(name)
+                if len(parts) == 3:
+                    action = parts[2]
+                    self._require(method, "POST")
+                    if action == "apply":
+                        return self._apply(name, self._json_body(request))
+                    if action == "suggest":
+                        return self._suggest(name)
+                    if action == "preview":
+                        return self._preview(name, self._json_body(request))
+            raise NotFound(f"no route for {method} {request.path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise MethodNotAllowed(f"use {expected}")
+
+    @staticmethod
+    def _json_body(request: Request) -> dict[str, Any]:
+        if not request.body:
+            raise BadRequest("a JSON body is required")
+        try:
+            body = json.loads(request.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise BadRequest(f"malformed JSON body: {error}") from None
+        if not isinstance(body, dict):
+            raise BadRequest("the JSON body must be an object")
+        return body
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "serving" if self._accepting else "draining",
+            "sessions": len(self.manager),
+            "workers": self.config.workers,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.config.queue_limit,
+        }
+
+    def _list_sessions(self) -> dict[str, Any]:
+        with self._manager_lock:
+            return {
+                "sessions": self.manager.names(),
+                "active": self.manager.active_name,
+            }
+
+    def _create_session(self, body: dict[str, Any]) -> tuple[int, dict]:
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise BadRequest("'name' must be a non-empty string")
+        try:
+            with self._manager_lock:
+                session = self.manager.create(name)
+        except ValueError as error:
+            return status_for(error), error_envelope(error)
+        self.obs.metrics.counter("net.sessions_created").inc()
+        return 200, ok_envelope({"name": name, "state": session.state.to_dict()})
+
+    def _delete_session(self, name: str) -> tuple[int, dict]:
+        with self._manager_lock:
+            removed = self.manager.remove(name)
+        return 200, ok_envelope({"removed": removed})
+
+    def _lock_for(self, name: str) -> threading.RLock:
+        with self._locks_guard:
+            lock = self._session_locks.get(name)
+            if lock is None:
+                lock = self._session_locks[name] = threading.RLock()
+            return lock
+
+    def _session(self, name: str):
+        try:
+            return self.manager.get(name)
+        except KeyError:
+            raise NotFound(f"no session named {name!r}") from None
+
+    def _apply(self, name: str, body: dict[str, Any]) -> tuple[int, dict]:
+        command_dict = body.get("command")
+        if not isinstance(command_dict, dict):
+            raise BadRequest("'command' must be a tagged command object")
+        with self._lock_for(name):
+            session = self._session(name)
+            try:
+                command = command_from_dict(command_dict)
+            except StateSerializationError as error:
+                return status_for(error), error_envelope(error)
+            kind = type(command).__name__
+            self.obs.metrics.counter(f"net.commands{{command={kind}}}").inc()
+            with self.obs.tracer.span("net.apply", command=kind, session=name):
+                try:
+                    transition = session.apply(command)
+                except Exception as error:  # noqa: BLE001 - typed envelope
+                    self.obs.metrics.counter(
+                        f"net.command_errors{{type={type(error).__name__}}}"
+                    ).inc()
+                    return status_for(error), error_envelope(error)
+            return 200, ok_envelope(transition_payload(transition))
+
+    def _suggest(self, name: str) -> tuple[int, dict]:
+        with self._lock_for(name):
+            session = self._session(name)
+            with self.obs.tracer.span("net.suggest", session=name):
+                result = session.suggestions()
+            return 200, ok_envelope(suggestions_payload(result))
+
+    def _preview(self, name: str, body: dict[str, Any]) -> tuple[int, dict]:
+        predicate_dict = body.get("predicate")
+        if not isinstance(predicate_dict, dict):
+            raise BadRequest("'predicate' must be a tagged predicate object")
+        mode = body.get("mode", "filter")
+        with self._lock_for(name):
+            session = self._session(name)
+            try:
+                predicate = predicate_from_dict(predicate_dict)
+                count = session.preview_count(predicate, mode)
+            except (StateSerializationError, ValueError) as error:
+                return status_for(error), error_envelope(error)
+            return 200, ok_envelope({"count": count})
+
+    def __repr__(self) -> str:
+        state = "serving" if self._accepting else "stopped"
+        return f"<NavigationServer {state} sessions={len(self.manager)}>"

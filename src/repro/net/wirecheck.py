@@ -1,0 +1,306 @@
+"""Differential checking across the network boundary.
+
+The ``repro check`` harness proves the service agrees with a naive
+reference model *in process*.  This module proves the network layer
+adds nothing and loses nothing: it replays the same seeded fuzz command
+streams against a live server and against an in-process
+:class:`~repro.browser.session.Session` built over an identical corpus,
+and asserts **byte-level parity** — every HTTP response body must equal,
+byte for byte, the canonical encoding of the envelope the in-process
+transition produces, including error envelopes for commands that raise.
+
+Because the server and the local side both build their payloads with
+:mod:`repro.net.protocol` over the same deterministic corpus, any
+difference — a float formatted differently, a key ordered differently,
+an exception translated differently, state drift from a lost update —
+shows up as the first unequal byte.
+
+At the end of each corpus the ``{session=wire}``-tagged telemetry of
+both workspaces is compared too: the served session must bump exactly
+the counters the local session bumps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..browser.session import Session
+from ..check.codec import command_to_dict
+from ..check.corpus import random_corpus
+from ..check.fuzzer import CommandGenerator
+from ..service.manager import SessionManager
+from ..service.serialize import predicate_to_dict
+from .client import NavigationClient
+from .protocol import (
+    canonical_json,
+    error_envelope,
+    ok_envelope,
+    status_for,
+    suggestions_payload,
+    transition_payload,
+)
+from .server import NavigationServer, ServerConfig
+
+__all__ = ["WireDivergence", "WireReport", "run_wire_check"]
+
+#: The session name used on both sides; it becomes the ``session_id``
+#: inside serialized states, so it must match for byte parity.
+WIRE_SESSION = "wire"
+
+
+@dataclass
+class WireDivergence:
+    """The first point where the wire and the in-process run disagreed."""
+
+    corpus_seed: int
+    step: int
+    command: str
+    detail: str
+
+
+@dataclass
+class WireReport:
+    """What a wire-parity run covered, and the first divergence if any."""
+
+    seed: int
+    steps_run: int = 0
+    corpora_run: int = 0
+    suggest_probes: int = 0
+    preview_probes: int = 0
+    failure: WireDivergence | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class _ChipSource:
+    """Quacks like a DifferentialRunner for :meth:`CommandGenerator.bind`.
+
+    The generator only needs ``runner.model.view.constraints()``; here
+    that is the in-process session's current view state.
+    """
+
+    def __init__(self, session: Session):
+        self._session = session
+
+    @property
+    def model(self) -> "_ChipSource":
+        return self
+
+    @property
+    def view(self):
+        return self._session.state.view
+
+
+def _diff_detail(expected: bytes, got: bytes) -> str:
+    """Locate the first differing byte and show context around it."""
+    limit = min(len(expected), len(got))
+    at = next(
+        (i for i in range(limit) if expected[i] != got[i]), limit
+    )
+    window = slice(max(0, at - 40), at + 40)
+    return (
+        f"bodies differ at byte {at}: "
+        f"expected ...{expected[window]!r}..., got ...{got[window]!r}..."
+    )
+
+
+def _session_counters(metrics) -> dict[str, int]:
+    """Every counter tagged with the wire session, by name."""
+    tag = f"{{session={WIRE_SESSION}}}"
+    return {
+        name: value
+        for name, value in metrics.snapshot()["counters"].items()
+        if tag in name
+    }
+
+
+def run_wire_check(
+    seed: int,
+    steps: int = 150,
+    corpora: int = 2,
+    suggest_every: int = 7,
+    preview_every: int = 11,
+    log=None,
+    server_config: ServerConfig | None = None,
+) -> WireReport:
+    """Replay seeded fuzz streams over HTTP and assert byte parity.
+
+    Deterministic in ``seed``.  For each corpus, an identical workspace
+    is built on both sides from the corpus seed; the same command
+    stream is applied to a served session and an in-process one, and
+    every response — success or typed error — is compared as raw bytes
+    against the locally built canonical envelope.  Every
+    ``suggest_every`` steps the suggestion payload is compared the same
+    way, and every ``preview_every`` steps a preview count round-trips.
+    Stops at the first divergence; ``report.ok`` means full parity.
+    """
+    rng = random.Random(seed)
+    report = WireReport(seed=seed)
+    steps_per_corpus = max(1, steps // max(1, corpora))
+
+    for _ in range(corpora):
+        corpus_seed = rng.randrange(2**31)
+        generator_seed = rng.randrange(2**31)
+        divergence = _check_corpus(
+            corpus_seed,
+            generator_seed,
+            steps_per_corpus,
+            suggest_every,
+            preview_every,
+            report,
+            server_config,
+        )
+        report.corpora_run += 1
+        if divergence is not None:
+            report.failure = divergence
+            if log is not None:
+                log(
+                    f"wire divergence on corpus seed {corpus_seed} at "
+                    f"step {divergence.step}: {divergence.detail}"
+                )
+            return report
+        if log is not None:
+            log(f"corpus seed {corpus_seed}: {steps_per_corpus} step(s) at parity")
+    return report
+
+
+def _check_corpus(
+    corpus_seed: int,
+    generator_seed: int,
+    steps: int,
+    suggest_every: int,
+    preview_every: int,
+    report: WireReport,
+    server_config: ServerConfig | None,
+) -> WireDivergence | None:
+    server_corpus = random_corpus(corpus_seed)
+    local_corpus = random_corpus(corpus_seed)
+    manager = SessionManager(server_corpus.workspace)
+    config = server_config if server_config is not None else ServerConfig()
+    server = NavigationServer(manager, config).start()
+    try:
+        host, port = server.address
+        client = NavigationClient(host, port)
+        client.create_session(WIRE_SESSION)
+        local = Session(local_corpus.workspace, session_id=WIRE_SESSION)
+        generator = CommandGenerator(random.Random(generator_seed), local_corpus)
+        generator.bind(_ChipSource(local))
+
+        for step in range(1, steps + 1):
+            command = generator.next_command()
+            report.steps_run += 1
+            divergence = _check_step(
+                corpus_seed, step, command, client, local
+            )
+            if divergence is not None:
+                return divergence
+            if suggest_every and step % suggest_every == 0:
+                report.suggest_probes += 1
+                divergence = _check_suggest(corpus_seed, step, client, local)
+                if divergence is not None:
+                    return divergence
+            if preview_every and step % preview_every == 0:
+                report.preview_probes += 1
+                divergence = _check_preview(
+                    corpus_seed, step, client, local, generator
+                )
+                if divergence is not None:
+                    return divergence
+
+        return _check_telemetry(corpus_seed, steps, manager, local)
+    finally:
+        server.drain()
+
+
+def _check_step(
+    corpus_seed: int, step: int, command, client: NavigationClient, local: Session
+) -> WireDivergence | None:
+    wire_status, wire_body = client.request_raw(
+        "POST",
+        f"/sessions/{WIRE_SESSION}/apply",
+        {"command": command_to_dict(command)},
+    )
+    try:
+        transition = local.apply(command)
+    except Exception as error:  # noqa: BLE001 - parity-checked below
+        expected_status = status_for(error)
+        expected_body = canonical_json(error_envelope(error))
+    else:
+        expected_status = 200
+        expected_body = canonical_json(ok_envelope(transition_payload(transition)))
+    if wire_status != expected_status:
+        return WireDivergence(
+            corpus_seed,
+            step,
+            repr(command),
+            f"status {wire_status} != expected {expected_status} "
+            f"(wire body: {wire_body[:200]!r})",
+        )
+    if wire_body != expected_body:
+        return WireDivergence(
+            corpus_seed, step, repr(command), _diff_detail(expected_body, wire_body)
+        )
+    return None
+
+
+def _check_suggest(
+    corpus_seed: int, step: int, client: NavigationClient, local: Session
+) -> WireDivergence | None:
+    wire_status, wire_body = client.request_raw(
+        "POST", f"/sessions/{WIRE_SESSION}/suggest", {}
+    )
+    expected_body = canonical_json(
+        ok_envelope(suggestions_payload(local.suggestions()))
+    )
+    if wire_status != 200 or wire_body != expected_body:
+        return WireDivergence(
+            corpus_seed,
+            step,
+            "<suggest>",
+            f"status {wire_status}; " + _diff_detail(expected_body, wire_body),
+        )
+    return None
+
+
+def _check_preview(
+    corpus_seed: int,
+    step: int,
+    client: NavigationClient,
+    local: Session,
+    generator: CommandGenerator,
+) -> WireDivergence | None:
+    if not local.state.view.is_collection:
+        return None
+    predicate = generator.predicate()
+    try:
+        expected = local.preview_count(predicate, "filter")
+    except Exception:  # noqa: BLE001 - unpreviewable predicate; skip probe
+        return None
+    got = client.preview(WIRE_SESSION, predicate_to_dict(predicate), "filter")
+    if got != expected:
+        return WireDivergence(
+            corpus_seed,
+            step,
+            f"<preview {predicate!r}>",
+            f"wire count {got} != in-process {expected}",
+        )
+    return None
+
+
+def _check_telemetry(
+    corpus_seed: int, step: int, manager: SessionManager, local: Session
+) -> WireDivergence | None:
+    served = _session_counters(manager.workspace.obs.metrics)
+    in_process = _session_counters(local.workspace.obs.metrics)
+    if served != in_process:
+        return WireDivergence(
+            corpus_seed,
+            step,
+            "<telemetry>",
+            f"session-tagged counters differ: served={served!r} "
+            f"in-process={in_process!r}",
+        )
+    return None

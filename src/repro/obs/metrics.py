@@ -94,6 +94,36 @@ class Histogram:
             self.count += 1
             self.total += value
 
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (0..1), from the buckets.
+
+        Linear interpolation within the bucket that holds the target
+        rank; the first bucket interpolates from 0 and the overflow
+        bucket (no upper bound) reports the last bound.  With an empty
+        histogram the answer is 0.  The estimate's resolution is the
+        bucket layout — serving dashboards want p50/p99 without keeping
+        raw samples around.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cumulative = 0
+        for slot, in_bucket in enumerate(counts):
+            cumulative += in_bucket
+            if cumulative >= rank and in_bucket:
+                if slot >= len(self.buckets):
+                    return self.buckets[-1]
+                lower = 0.0 if slot == 0 else self.buckets[slot - 1]
+                upper = self.buckets[slot]
+                fraction = (rank - (cumulative - in_bucket)) / in_bucket
+                return lower + (upper - lower) * fraction
+        return self.buckets[-1]
+
     def __repr__(self) -> str:
         return f"<Histogram {self.name} count={self.count}>"
 

@@ -39,7 +39,7 @@ _TOKEN = re.compile(
         (?P<op><=|>=|=) |
         (?P<colon>:) |
         (?P<quoted>"(?:[^"\\]|\\.)*") |
-        (?P<word>[^\s():"<>=]+)
+        (?P<word>[^\s():"<>=\\]+)
     )
     """,
     re.VERBOSE,
@@ -92,10 +92,20 @@ class QueryParser:
         while pos < len(text):
             match = _TOKEN.match(text, pos)
             if match is None or match.end() == pos:
-                remainder = text[pos:].strip()
-                if not remainder:
+                # No token group matched: either only trailing
+                # whitespace remains, or the next character is one the
+                # grammar has no use for (a bare '<'/'>', a stray '\',
+                # an unterminated quote, ...).  Report it precisely —
+                # silently skipping it would mis-parse the query, and
+                # not advancing would loop forever.
+                cursor = pos
+                while cursor < len(text) and text[cursor].isspace():
+                    cursor += 1
+                if cursor >= len(text):
                     break
-                raise QueryParseError(f"cannot lex {remainder!r}")
+                raise QueryParseError(
+                    f"cannot lex {text[cursor]!r} at position {cursor}"
+                )
             pos = match.end()
             for kind in ("lparen", "rparen", "op", "colon", "quoted", "word"):
                 value = match.group(kind)
@@ -170,13 +180,14 @@ class QueryParser:
         return HasValue(prop, self.resolve_value(prop, text)), pos + 3
 
     def _parse_comparison(self, tokens, pos, field, op):
-        if pos + 2 >= len(tokens) or tokens[pos + 2][0] != "word":
+        if pos + 2 >= len(tokens) or tokens[pos + 2][0] not in ("word", "quoted"):
             raise QueryParseError(f"missing number after {field!r} {op}")
-        raw = tokens[pos + 2][1]
+        kind, raw = tokens[pos + 2]
+        text = _unquote(raw) if kind == "quoted" else raw
         try:
-            number = float(raw)
+            number = float(text)
         except ValueError:
-            raise QueryParseError(f"{raw!r} is not a number") from None
+            raise QueryParseError(f"{text!r} is not a number") from None
         prop = self.resolve_property(field)
         if prop is None:
             raise QueryParseError(f"unknown field {field!r} in comparison")
@@ -191,6 +202,15 @@ def _is_keyword(token: tuple[str, str], keyword: str) -> bool:
     return token[0] == "word" and token[1].upper() == keyword
 
 
+_ESCAPE = re.compile(r'\\(["\\])')
+
+
+def _quote(text: str) -> str:
+    """The inverse of :func:`_unquote`: wrap text as a quoted token."""
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
 def _unquote(quoted: str) -> str:
-    body = quoted[1:-1]
-    return body.replace('\\"', '"').replace("\\\\", "\\")
+    # A single left-to-right pass: sequential str.replace calls can eat
+    # a backslash that belonged to the preceding escape sequence.
+    return _ESCAPE.sub(r"\1", quoted[1:-1])

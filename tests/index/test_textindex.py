@@ -79,3 +79,64 @@ class TestIndexing:
         g.add(EX.d3, EX.title, Literal("software patterns"))
         index.index_item(EX.d3)
         assert EX.d3 in index.search("software")
+
+
+class TestReindexAndUnindex:
+    """Regression: reindexing must withdraw stale postings first."""
+
+    def test_mutate_then_reindex_drops_stale_postings(self, index):
+        # d1's title changes: "software cost estimation" -> "garden news".
+        g = index.graph
+        g.remove(EX.d1, EX.title, Literal("software cost estimation"))
+        g.remove(EX.d1, EX.body, Literal("we estimate the costs of software"))
+        g.add(EX.d1, EX.title, Literal("garden news"))
+        index.index_item(EX.d1)
+        # The stale item must no longer match tokens it dropped...
+        assert index.search("cost") == set()
+        assert index.search("estimation") == set()
+        assert EX.d1 not in index.search("software")
+        assert index.search("software", within=EX.title) == set()
+        # ...and must match its new values.
+        assert index.search("garden") == {EX.d1}
+
+    def test_reindex_unchanged_item_is_idempotent(self, index):
+        before_vocab = index.vocabulary_size()
+        before = index.search("software")
+        index.index_item(EX.d1)
+        assert index.search("software") == before
+        assert index.vocabulary_size() == before_vocab
+        freqs = index.token_frequencies()
+        assert freqs[index.analyzer.stem_token("software")] == 2
+
+    def test_unindex_item(self, index):
+        assert index.unindex_item(EX.d1) is True
+        assert index.search("cost") == set()
+        assert index.search("software") == {EX.d2}
+        assert index.indexed_items == {EX.d2}
+        # Emptied structures are pruned.
+        assert index.analyzer.stem_token("estimation") not in dict(
+            index.token_frequencies()
+        )
+
+    def test_unindex_unknown_item_is_a_noop(self, index):
+        assert index.unindex_item(EX.d9) is False
+        assert index.indexed_items == {EX.d1, EX.d2}
+
+    def test_token_frequencies_shrink_on_reindex(self, index):
+        # Before the fix, frequencies only ever grew (stale postings).
+        g = index.graph
+        g.remove(EX.d2, EX.body, Literal("software for compressing images"))
+        index.index_item(EX.d2)
+        freqs = index.token_frequencies()
+        assert freqs[index.analyzer.stem_token("software")] == 1
+        assert index.search("compression", within=EX.body) == set()
+
+    def test_text_properties_pruned_when_property_empties(self):
+        g = Graph()
+        g.add(EX.d1, EX.note, Literal("only value"))
+        idx = TextIndex(g)
+        idx.index_item(EX.d1)
+        assert idx.text_properties() == [EX.note]
+        g.remove(EX.d1, EX.note, Literal("only value"))
+        idx.index_item(EX.d1)
+        assert idx.text_properties() == []

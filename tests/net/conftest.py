@@ -1,0 +1,31 @@
+"""Shared fixtures: one fuzz corpus, one live server per test."""
+
+import pytest
+
+from repro.check.corpus import random_corpus
+from repro.net import NavigationClient, NavigationServer, ServerConfig
+from repro.service.manager import SessionManager
+
+CORPUS_SEED = 20260807
+
+
+@pytest.fixture()
+def corpus():
+    return random_corpus(CORPUS_SEED)
+
+
+@pytest.fixture()
+def manager(corpus):
+    return SessionManager(corpus.workspace)
+
+
+@pytest.fixture()
+def server(manager):
+    with NavigationServer(manager, ServerConfig(workers=2)) as live:
+        yield live
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    return NavigationClient(host, port, timeout=10.0)

@@ -1,0 +1,176 @@
+"""Fault injection at the socket level: every failure is typed.
+
+Each test speaks raw HTTP through a bare socket so it can misbehave in
+ways a well-formed client cannot — vanish mid-request, lie about the
+body length, stall past the deadline — and asserts the server answers
+with the right typed envelope (or counts the disconnect) while the
+session state stays exactly where it was.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.net import NavigationClient, NavigationServer, ServerConfig
+from repro.service import commands as cmd
+from repro.service.manager import SessionManager
+
+
+def _connect(server) -> socket.socket:
+    host, port = server.address
+    sock = socket.create_connection((host, port), timeout=10.0)
+    return sock
+
+
+def _read_response(sock: socket.socket) -> tuple[int, dict]:
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body)
+
+
+def _post(path: str, body: bytes, content_length: int | None = None) -> bytes:
+    length = len(body) if content_length is None else content_length
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Content-Length: {length}\r\n"
+        f"\r\n"
+    ).encode("ascii") + body
+
+
+class TestMalformedRequests:
+    def test_malformed_json_body_is_400(self, server, client):
+        client.create_session("s")
+        sock = _connect(server)
+        sock.sendall(_post("/sessions/s/apply", b"{not json"))
+        status, envelope = _read_response(sock)
+        sock.close()
+        assert status == 400
+        assert envelope["error"]["type"] == "BadRequest"
+        assert "malformed JSON" in envelope["error"]["message"]
+
+    def test_non_object_body_is_400(self, server, client):
+        client.create_session("s")
+        sock = _connect(server)
+        sock.sendall(_post("/sessions/s/apply", b"[1,2]"))
+        status, envelope = _read_response(sock)
+        sock.close()
+        assert status == 400
+        assert envelope["error"]["type"] == "BadRequest"
+
+    def test_garbage_request_line_is_400(self, server):
+        sock = _connect(server)
+        sock.sendall(b"EHLO there\r\n\r\n")
+        status, envelope = _read_response(sock)
+        sock.close()
+        assert status == 400
+        assert envelope["error"]["type"] == "BadRequest"
+
+
+class TestOversizedBody:
+    @pytest.fixture()
+    def server(self, manager):
+        config = ServerConfig(workers=1, max_body=256)
+        with NavigationServer(manager, config) as live:
+            yield live
+
+    def test_declared_oversize_is_413_before_the_body_uploads(self, server):
+        sock = _connect(server)
+        # Declare a huge body but send none: the cap must trip on the
+        # declaration, not after buffering a gigabyte.
+        sock.sendall(_post("/sessions", b"", content_length=10_000_000))
+        status, envelope = _read_response(sock)
+        sock.close()
+        assert status == 413
+        assert envelope["error"]["type"] == "PayloadTooLarge"
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_body_is_counted_not_crashed(
+        self, server, client, manager
+    ):
+        client.create_session("s")
+        before = client.apply("s", cmd.Search("corn"))["state"]
+
+        sock = _connect(server)
+        # Promise 500 bytes, deliver 20, vanish.
+        sock.sendall(_post("/sessions/s/apply", b'{"command": {"c": ', 500))
+        time.sleep(0.1)
+        sock.close()
+        deadline = time.monotonic() + 5.0
+        metrics = manager.workspace.obs.metrics
+        while time.monotonic() < deadline:
+            if metrics.counter("net.disconnects").value >= 1:
+                break
+            time.sleep(0.02)
+        assert metrics.counter("net.disconnects").value >= 1
+
+        # The half-request touched nothing: the next command builds on
+        # the pre-disconnect state exactly.
+        after = client.apply("s", cmd.SearchWithin("corn"))["state"]
+        assert len(after["trail"]) == len(before["trail"]) + 1
+
+
+class TestDeadline:
+    @pytest.fixture()
+    def server(self, manager):
+        config = ServerConfig(workers=1, request_deadline=0.4)
+        with NavigationServer(manager, config) as live:
+            yield live
+
+    def test_stalled_body_is_504(self, server):
+        sock = _connect(server)
+        # Declare a body and never finish sending it; the per-request
+        # deadline must convert the stall into a typed 504, not a hang.
+        sock.sendall(_post("/sessions", b'{"na', 64))
+        status, envelope = _read_response(sock)
+        sock.close()
+        assert status == 504
+        assert envelope["error"]["type"] == "DeadlineExceeded"
+
+
+class TestOverload:
+    def test_queue_overflow_is_typed_503(self, corpus):
+        manager = SessionManager(corpus.workspace)
+        config = ServerConfig(workers=1, queue_limit=1, request_deadline=5.0)
+        server = NavigationServer(manager, config).start()
+        held = []
+        try:
+            # Occupy the lone worker and the lone queue slot with
+            # connections that send nothing, then knock again.
+            for _ in range(2):
+                held.append(_connect(server))
+            time.sleep(0.2)  # let the acceptor hand #1 to the worker
+            overflow = None
+            deadline = time.monotonic() + 5.0
+            while overflow is None and time.monotonic() < deadline:
+                sock = _connect(server)
+                sock.settimeout(2.0)
+                try:
+                    status, envelope = _read_response(sock)
+                except socket.timeout:
+                    held.append(sock)  # raced into the freed slot; retry
+                    continue
+                overflow = (status, envelope)
+                sock.close()
+            assert overflow is not None, "never saw the overload rejection"
+            status, envelope = overflow
+            assert status == 503
+            assert envelope["error"]["type"] == "ServerOverloaded"
+            assert (
+                manager.workspace.obs.metrics.counter(
+                    "net.rejections{reason=overloaded}"
+                ).value
+                >= 1
+            )
+        finally:
+            for sock in held:
+                sock.close()
+            server.drain(timeout=10.0)

@@ -1,0 +1,28 @@
+"""The differential wire check, pinned to a fixed seed.
+
+This is the PR's acceptance gate: replaying seeded fuzz command
+sequences over a live localhost server must produce byte-identical
+envelopes — view extensions, suggestions, typed errors — to the same
+sequence applied in process, and the ``{session=wire}`` telemetry must
+match counter for counter.
+"""
+
+from repro.net.wirecheck import run_wire_check
+
+
+class TestWireParity:
+    def test_fixed_seed_streams_hold_byte_parity(self):
+        report = run_wire_check(20260807, steps=80, corpora=2)
+        assert report.failure is None, (
+            f"step {report.failure.step} ({report.failure.command}): "
+            f"{report.failure.detail}"
+        )
+        assert report.ok
+        assert report.steps_run == 80
+        assert report.corpora_run == 2
+        assert report.suggest_probes > 0
+        assert report.preview_probes > 0
+
+    def test_second_seed_also_holds(self):
+        report = run_wire_check(1337, steps=40, corpora=1)
+        assert report.ok, report.failure

@@ -78,6 +78,34 @@ class TestHistogram:
         with pytest.raises(ValueError):
             registry.histogram("h", (1, 3))
 
+    def test_quantile_interpolates_within_a_bucket(self):
+        histogram = MetricsRegistry().histogram("q", (10.0, 20.0))
+        for value in (2, 4, 6, 8):  # all land in the first bucket
+            histogram.observe(value)
+        # Half the mass sits below the bucket midpoint estimate.
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_spans_buckets(self):
+        histogram = MetricsRegistry().histogram("q", (10.0, 20.0, 50.0))
+        for value in (5.0,) * 50 + (15.0,) * 40 + (30.0,) * 10:
+            histogram.observe(value)
+        assert histogram.quantile(0.25) == pytest.approx(5.0)
+        # 90th percentile sits exactly at the second bound.
+        assert histogram.quantile(0.9) == pytest.approx(20.0)
+        assert 20.0 < histogram.quantile(0.99) <= 50.0
+
+    def test_quantile_overflow_bucket_reports_last_bound(self):
+        histogram = MetricsRegistry().histogram("q", (1.0,))
+        histogram.observe(99.0)
+        assert histogram.quantile(0.5) == 1.0
+
+    def test_quantile_edge_cases(self):
+        histogram = MetricsRegistry().histogram("q", (1.0, 2.0))
+        assert histogram.quantile(0.5) == 0.0  # empty histogram
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
 
 class TestRegistry:
     def test_cross_kind_name_collision_rejected(self):

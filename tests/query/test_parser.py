@@ -1,7 +1,9 @@
 """Tests for the toolbar query language."""
 
 import pytest
+from hypothesis import given, strategies as st
 
+from repro.query.parser import _quote, _unquote
 from repro.query import (
     And,
     HasValue,
@@ -112,3 +114,79 @@ class TestErrors:
     def test_malformed_queries(self, parser, bad):
         with pytest.raises(QueryParseError):
             parser.parse(bad)
+
+
+class TestLexerRejects:
+    """Characters outside the grammar raise with position info.
+
+    Regression: bare '<' / '>' matched no token group and a stray '\\'
+    used to lex as a word; all three must raise QueryParseError naming
+    the character and its offset, never be skipped or loop.
+    """
+
+    @pytest.mark.parametrize(
+        "bad, char, at",
+        [
+            ("a < b", "<", 2),
+            ("a > b", ">", 2),
+            ("<", "<", 0),
+            (">5", ">", 0),
+            ("a \\ b", "\\", 2),
+            ("back\\slash", "\\", 4),
+            ('un"terminated', '"', 2),
+        ],
+    )
+    def test_unlexable_characters_raise_with_position(self, parser, bad, char, at):
+        with pytest.raises(QueryParseError) as excinfo:
+            parser.parse(bad)
+        message = str(excinfo.value)
+        assert repr(char) in message
+        assert f"position {at}" in message
+
+    def test_trailing_whitespace_is_fine(self, parser):
+        assert parser.parse("parsley   ") == TextMatch("parsley")
+
+
+class TestQuotedComparisons:
+    """Regression: quoted numbers in comparisons were rejected."""
+
+    def test_quoted_number_ge(self, parser):
+        assert parser.parse('area >= "100000"') == Range(EX.area, low=100000.0)
+
+    def test_quoted_number_le(self, parser):
+        assert parser.parse('area <= "5"') == Range(EX.area, high=5.0)
+
+    def test_quoted_number_eq(self, parser):
+        assert parser.parse('area = "5"') == Range(EX.area, low=5.0, high=5.0)
+
+    def test_quoted_non_number_still_raises(self, parser):
+        with pytest.raises(QueryParseError) as excinfo:
+            parser.parse('area >= "soon"')
+        assert "not a number" in str(excinfo.value)
+
+    def test_missing_operand_message(self, parser):
+        with pytest.raises(QueryParseError) as excinfo:
+            parser.parse("area >=")
+        assert "missing number" in str(excinfo.value)
+
+
+class TestUnquoteRoundTrip:
+    @given(st.text())
+    def test_quote_unquote_round_trip(self, text):
+        assert _unquote(_quote(text)) == text
+
+    @given(st.text(alphabet='\\"ab', max_size=12))
+    def test_round_trip_dense_escapes(self, text):
+        """Adversarial alphabet: long runs of backslashes and quotes."""
+        assert _unquote(_quote(text)) == text
+
+    @given(st.text(alphabet='\\"ab ', max_size=12))
+    def test_lexer_agrees_with_quote(self, text):
+        """A quoted token lexes as one 'quoted' token that unquotes back."""
+        tokens = QueryParser._lex(_quote(text))
+        assert tokens == [("quoted", _quote(text))]
+        assert _unquote(tokens[0][1]) == text
+
+    def test_unknown_escape_is_preserved(self):
+        # Only \" and \\ collapse; other \x sequences pass through.
+        assert _unquote('"a\\qb"') == "a\\qb"
