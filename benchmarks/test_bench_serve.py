@@ -1,102 +1,229 @@
-"""serve — latency and throughput of the JSON/HTTP session layer.
+"""serve — throughput of the serving tier across process counts.
 
-Not a paper table; establishes that the network boundary adds
-millisecond-scale overhead to the multi-session serving posture the
-service refactor enables (``test_perf_multi_session_serving`` is the
-in-process baseline).  A live :class:`NavigationServer` over a
-recipe workspace takes a fixed command mix from 1, 8, and 32 concurrent
-closed-loop clients spread across 50 sessions; exact p50/p99 latency
-and throughput per concurrency level land in ``BENCH_serve.json`` at
-the repo root.
+Sweeps the full matrix the multi-process refactor targets: 1/2/4
+worker processes × 1/8/32 concurrent closed-loop clients, 384 requests
+per level over 50 sessions, into ``BENCH_serve.json`` at the repo root.
+
+Methodology, deliberately different from the seed bench:
+
+* **the server under test runs as a subprocess** (``python -m repro
+  serve``), exactly as production runs it, so each proc level gets a
+  pristine process tree and forked workers never inherit the test
+  harness's accumulated heap;
+* **the load generator runs as a subprocess too** (``python -m repro
+  loadgen``), so its client-side JSON work never shares an interpreter
+  lock with anything being measured;
+* **every level gets fresh sessions** (a unique ``--session-prefix``),
+  so later levels don't pay for state accumulated by earlier ones.
+
+The tier keeps a constant total worker-thread budget (8) across proc
+counts — 1×8, 2×4, 4×2 — so the sweep varies *process* topology, not
+total concurrency.  On a multi-core host the sharded tier escapes the
+GIL and scales near-linearly; on a single-core host (this repo's
+reference box) it can only trade GIL convoy for scheduler overhead, so
+the cross-proc speedup assertion is gated on ``os.cpu_count()`` and the
+recorded JSON carries the host core count so readers can interpret the
+ratios.  The within-level regression the seed file showed — throughput
+*falling* monotonically as clients rise (802 → 661 → 456 rps), plus 20
+phantom loadgen errors at 1 client — must stay fixed at every proc
+count, on any host.
 """
 
 import json
+import os
 import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
 
 import pytest
 
-from repro.core import Workspace
-from repro.datasets import recipes
-from repro.net import NavigationServer, ServerConfig
-from repro.net.loadgen import run_load
-from repro.service.manager import SessionManager
-
-BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_serve.json"
 
 SESSIONS = 50
-REQUESTS_TOTAL = 384  # per concurrency level, split across its clients
+REQUESTS_TOTAL = 384  # per (procs, clients) level, split across clients
+CORPUS_SIZE = 300
+THREAD_BUDGET = 8  # total worker threads, split evenly across procs
+PROC_LEVELS = (1, 2, 4)
+CLIENT_LEVELS = (1, 8, 32)
+
+#: The committed pre-refactor numbers (single process, thread-per-client
+#: loadgen): the monotonic collapse and the phantom errors this PR fixes.
+SEED_BASELINE = {
+    "clients_1": {
+        "throughput_rps": 802.2,
+        "errors": {"IndexError": 16, "RuntimeError": 4},
+    },
+    "clients_8": {"throughput_rps": 661.5},
+    "clients_32": {"throughput_rps": 456.4},
+}
+
+_BANNER = re.compile(r"serving on http://[0-9.]+:(\d+)")
+
+
+def _repro_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [str(REPO_ROOT / "src"), env.get("PYTHONPATH")] if p
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+class _ServeProcess:
+    """``repro serve`` as a child process: start, report port, drain."""
+
+    def __init__(self, procs: int, workers: int):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "recipes",
+                "--size", str(CORPUS_SIZE), "--seed", "7",
+                "--port", "0",
+                "--procs", str(procs),
+                "--workers", str(workers),
+                "--queue-limit", "64",
+                "--deadline", "30.0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_repro_env(),
+            cwd=str(REPO_ROOT),
+        )
+        self.port = self._await_banner(timeout=120.0)
+
+    def _await_banner(self, timeout: float) -> int:
+        deadline = time.monotonic() + timeout
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise AssertionError(
+                    f"repro serve exited early "
+                    f"(rc={self.proc.poll()}) before its banner"
+                )
+            match = _BANNER.search(line)
+            if match:
+                return int(match.group(1))
+        raise AssertionError("repro serve never printed its banner")
+
+    def stop(self) -> str:
+        """SIGINT → graceful drain; returns the drain summary line."""
+        self.proc.send_signal(signal.SIGINT)
+        try:
+            output, _ = self.proc.communicate(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            raise AssertionError("repro serve did not drain after SIGINT")
+        assert self.proc.returncode == 0, (
+            f"repro serve exited {self.proc.returncode}:\n{output[-2000:]}"
+        )
+        return output
+
+
+def _run_loadgen(port: int, clients: int, prefix: str) -> dict:
+    """One load level, measured from a separate interpreter process."""
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "loadgen",
+            "--port", str(port),
+            "--clients", str(clients),
+            "--requests", str(REQUESTS_TOTAL // clients),
+            "--sessions", str(SESSIONS),
+            "--lg-seed", str(clients),
+            "--session-prefix", prefix,
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=_repro_env(),
+        cwd=str(REPO_ROOT),
+    )
+    assert result.returncode == 0, f"loadgen failed:\n{result.stderr[-2000:]}"
+    return json.loads(result.stdout)
 
 
 def _record_bench(payload: dict) -> None:
-    """Merge one serving run's numbers into BENCH_serve.json."""
-    data: dict = {}
-    if BENCH_PATH.exists():
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_serve_proc_sweep():
+    levels: dict[str, dict] = {}
+    for procs in PROC_LEVELS:
+        workers = max(1, THREAD_BUDGET // procs)
+        server = _ServeProcess(procs, workers)
+        per_clients: dict[str, dict] = {}
         try:
-            data = json.loads(BENCH_PATH.read_text())
-        except (OSError, ValueError):
-            data = {}
-    data.update(payload)
-    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+            for clients in CLIENT_LEVELS:
+                report = _run_loadgen(
+                    server.port, clients, f"bench-p{procs}c{clients}"
+                )
+                per_clients[f"clients_{clients}"] = report
+                assert report["requests"] == (REQUESTS_TOTAL // clients) * clients
+                # The seed's phantom IndexError/RuntimeError counts are
+                # gone: a healthy run is error-free at EVERY level.
+                assert report["errors"] == {}, (
+                    f"procs={procs} clients={clients}: {report['errors']}"
+                )
+                # Interactive latency at full fan-out.
+                assert report["p50_ms"] < 250
+        finally:
+            drain_output = server.stop()
+        assert "drained:" in drain_output
+        levels[f"procs_{procs}"] = per_clients
 
+        # The seed regression: within a proc level, throughput must not
+        # fall monotonically as clients rise.
+        rps = [
+            per_clients[f"clients_{c}"]["throughput_rps"]
+            for c in CLIENT_LEVELS
+        ]
+        assert not (rps[1] < rps[0] and rps[2] < rps[1]), (
+            f"procs={procs}: throughput still collapses with fan-out: {rps}"
+        )
 
-@pytest.fixture(scope="module")
-def serve_workspace():
-    corpus = recipes.build_corpus(n_recipes=300, seed=7)
-    workspace = Workspace(
-        corpus.graph, schema=corpus.schema, items=corpus.items
-    )
-    workspace.freeze()
-    return workspace
+    single_32 = levels["procs_1"]["clients_32"]["throughput_rps"]
+    quad_32 = levels["procs_4"]["clients_32"]["throughput_rps"]
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        # With cores to scale onto, 4 processes must at least double the
+        # single-process 32-client throughput.
+        assert quad_32 >= 2.0 * single_32, (
+            f"4-proc @32 clients {quad_32} rps < 2x single-process {single_32} rps"
+        )
+    else:
+        # One core: there is nothing to scale onto, so the tier can only
+        # be asked not to collapse — it must hold a meaningful fraction
+        # of the single-process line and beat the seed's collapsed rate.
+        assert quad_32 >= 0.4 * single_32
+        assert quad_32 > SEED_BASELINE["clients_32"]["throughput_rps"]
 
-
-def test_bench_serve_concurrency_sweep(serve_workspace):
-    manager = SessionManager(serve_workspace)
-    config = ServerConfig(workers=8, queue_limit=64, request_deadline=30.0)
-    server = NavigationServer(manager, config).start()
-    host, port = server.address
-    levels = {}
-    try:
-        for clients in (1, 8, 32):
-            report = run_load(
-                host,
-                port,
-                clients=clients,
-                requests_per_client=REQUESTS_TOTAL // clients,
-                sessions=SESSIONS,
-                seed=clients,
-            )
-            levels[f"clients_{clients}"] = report.as_dict()
-            assert report.requests == (REQUESTS_TOTAL // clients) * clients
-            assert report.ok > 0
-            assert "BadEnvelope" not in report.errors
-            # The serving layer must stay interactive under fan-out.
-            assert report.p99_ms < 5000
-    finally:
-        drain = server.drain()
-    assert drain.ok
-    snapshot = manager.workspace.obs.metrics.snapshot()
     _record_bench(
         {
-            "corpus_size": 300,
+            "host": {"cpu_count": cpus},
+            "corpus_size": CORPUS_SIZE,
             "sessions": SESSIONS,
-            "workers": config.workers,
+            "requests_per_level": REQUESTS_TOTAL,
+            "thread_budget": THREAD_BUDGET,
+            "methodology": (
+                "server and loadgen each in their own process; keep-alive "
+                "connections; fresh sessions per level; legal-command "
+                "mix; worker-thread budget split evenly across procs"
+            ),
+            "seed_baseline": SEED_BASELINE,
             "levels": levels,
-            "server": {
-                "requests": snapshot["counters"]["net.requests"],
-                "rejections": snapshot["counters"].get(
-                    "net.rejections{reason=overloaded}", 0
-                ),
-                "p50_ms": round(
-                    manager.workspace.obs.metrics.histogram(
-                        "net.request_ms"
-                    ).quantile(0.50),
-                    3,
-                ),
-                "p99_ms": round(
-                    manager.workspace.obs.metrics.histogram(
-                        "net.request_ms"
-                    ).quantile(0.99),
-                    3,
+            "scaling": {
+                "single_proc_32_clients_rps": single_32,
+                "quad_proc_32_clients_rps": quad_32,
+                "speedup_4p_over_1p_at_32c": round(quad_32 / single_32, 3)
+                if single_32
+                else None,
+                "note": (
+                    "cross-proc speedup requires multiple cores; "
+                    f"this run had {cpus}"
                 ),
             },
         }

@@ -81,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="number of corpora for the wire-parity pass",
     )
+    parser.add_argument(
+        "--wire-procs",
+        type=int,
+        default=1,
+        help="run the wire-parity pass against a sharded server with "
+        "this many worker processes (1 = single-process server)",
+    )
     return parser
 
 
@@ -148,6 +155,7 @@ def main(argv=None) -> int:
             seed,
             steps=args.wire_steps,
             corpora=args.wire_corpora,
+            procs=args.wire_procs,
             log=lambda line: print(f"  {line}"),
         )
         print(

@@ -1,12 +1,15 @@
 """The network layer: navigation sessions over JSON/HTTP.
 
-One process, one frozen workspace, many light sessions — served with a
-bounded worker pool, explicit backpressure, per-request deadlines, a
-typed error envelope, and graceful drain.  The wire format is canonical
-JSON over the existing :mod:`repro.check` command codec and
+One frozen workspace, many light sessions — served with a bounded
+worker pool, explicit backpressure, per-request deadlines, a typed
+error envelope, and graceful drain.  :class:`NavigationServer` is the
+single-process tier; :class:`ShardedServer` scales past the GIL by
+running one such server per worker process behind a session-affinity
+router (:mod:`repro.net.router`).  The wire format is canonical JSON
+over the existing :mod:`repro.check` command codec and
 :mod:`repro.service.serialize` state codec, which is what makes the
 byte-level differential wire check (:mod:`repro.net.wirecheck`)
-possible.
+possible — against either tier.
 """
 
 from .client import NavigationClient, ServerError
@@ -21,6 +24,7 @@ from .protocol import (
     PayloadTooLarge,
     ServerDraining,
     ServerOverloaded,
+    WorkerUnavailable,
     canonical_json,
     error_envelope,
     ok_envelope,
@@ -28,8 +32,10 @@ from .protocol import (
     suggestions_payload,
     transition_payload,
 )
+from .router import ShardedServer, shard_for
 from .server import DrainReport, NavigationServer, ServerConfig
 from .wirecheck import WireDivergence, WireReport, run_wire_check
+from .worker import DatasetSpec, WorkerHandle
 
 __all__ = [
     "NavigationClient",
@@ -44,6 +50,7 @@ __all__ = [
     "DeadlineExceeded",
     "ServerOverloaded",
     "ServerDraining",
+    "WorkerUnavailable",
     "ClientDisconnect",
     "canonical_json",
     "ok_envelope",
@@ -54,6 +61,10 @@ __all__ = [
     "NavigationServer",
     "ServerConfig",
     "DrainReport",
+    "ShardedServer",
+    "shard_for",
+    "DatasetSpec",
+    "WorkerHandle",
     "WireDivergence",
     "WireReport",
     "run_wire_check",

@@ -4,7 +4,10 @@
 datasets or --ntriples/--turtle), freezes the workspace for concurrent
 reads, and runs a :class:`~repro.net.server.NavigationServer` until
 interrupted, draining gracefully (and saving every session when
-``--save-dir`` is given).  ``--selftest`` is the CI smoke mode: start,
+``--save-dir`` is given).  With ``--procs N`` (N > 1) it instead runs
+the multi-process tier — N worker processes, each with its own GIL and
+workspace replica, behind a :class:`~repro.net.router.ShardedServer`
+session-affinity front.  ``--selftest`` is the CI smoke mode: start,
 drive a mixed command batch through a real client, drain, and exit
 nonzero if anything — including the drain's session saves — fails.
 
@@ -48,6 +51,20 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, default=8642,
                         help="listen port (0 picks an ephemeral one)")
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs the sharded multi-process tier "
+        "with session-affinity routing",
+    )
+    parser.add_argument(
+        "--start-method",
+        default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for --procs>1 "
+        "(default: fork where available)",
+    )
     parser.add_argument("--queue-limit", type=int, default=32,
                         help="admitted-but-unserved connection cap")
     parser.add_argument("--deadline", type=float, default=10.0,
@@ -76,19 +93,18 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
                         help="requests per client")
     parser.add_argument("--sessions", type=int, default=8)
     parser.add_argument("--lg-seed", type=int, default=0)
+    parser.add_argument("--session-prefix", default="load",
+                        help="session name prefix (fresh prefix = fresh "
+                        "sessions, e.g. one per benchmark level)")
+    parser.add_argument("--no-keep-alive", action="store_true",
+                        help="open a fresh TCP connection per request "
+                        "instead of reusing kept-alive ones")
     return parser
 
 
 def _build_server(args: argparse.Namespace):
-    from ..cli import _load_workspace
-    from ..obs import Observability
-    from ..service.manager import SessionManager
     from .server import NavigationServer, ServerConfig
 
-    obs = Observability(tracing=False)
-    workspace = _load_workspace(args, obs)
-    workspace.freeze()
-    manager = SessionManager(workspace)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -97,6 +113,25 @@ def _build_server(args: argparse.Namespace):
         request_deadline=args.deadline,
         max_body=args.max_body,
     )
+    procs = getattr(args, "procs", 1)
+    if procs > 1:
+        from .router import ShardedServer
+        from .worker import DatasetSpec
+
+        return ShardedServer(
+            DatasetSpec.from_args(args),
+            config,
+            procs=procs,
+            start_method=args.start_method,
+        )
+    from ..cli import _load_workspace
+    from ..obs import Observability
+    from ..service.manager import SessionManager
+
+    obs = Observability(tracing=False)
+    workspace = _load_workspace(args, obs)
+    workspace.freeze()
+    manager = SessionManager(workspace)
     return NavigationServer(manager, config)
 
 
@@ -144,7 +179,8 @@ def serve_main(argv=None) -> int:
     if args.selftest:
         return _selftest(server)
     print(f"serving on http://{host}:{port} "
-          f"({args.workers} workers, queue {args.queue_limit})")
+          f"({args.procs} proc(s) x {args.workers} workers, "
+          f"queue {args.queue_limit})")
     try:
         import time
 
@@ -172,6 +208,8 @@ def loadgen_main(argv=None) -> int:
         requests_per_client=args.requests,
         sessions=args.sessions,
         seed=args.lg_seed,
+        session_prefix=args.session_prefix,
+        keep_alive=not args.no_keep_alive,
     )
     print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     return 0

@@ -1,10 +1,13 @@
 """A small typed client for the navigation server.
 
-One ``http.client`` connection per request (the server closes after
-each response anyway); a non-``ok`` envelope raises
-:class:`ServerError` carrying the HTTP status and the typed error from
-the wire, so callers handle service failures the same way they would
-in process — by exception type name.
+By default one ``http.client`` connection per request; constructing
+the client with ``keep_alive=True`` sends an explicit
+``Connection: keep-alive`` and reuses one socket across requests,
+transparently reconnecting when the server closes it (drain, idle
+sweep).  A non-``ok`` envelope raises :class:`ServerError` carrying
+the HTTP status and the typed error from the wire, so callers handle
+service failures the same way they would in process — by exception
+type name.
 
 :meth:`NavigationClient.request_raw` exposes the exact
 ``(status, body bytes)`` pair, which is what the differential wire
@@ -36,10 +39,30 @@ class ServerError(Exception):
 class NavigationClient:
     """Talks the canonical JSON wire schema to one server."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        keep_alive: bool = False,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._conn: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        """Drop the persistent connection (no-op without keep-alive)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "NavigationClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Transport
@@ -50,19 +73,41 @@ class NavigationClient:
     ) -> tuple[int, bytes]:
         """One round-trip; returns the raw (status, body bytes) pair."""
         body = None
-        headers = {}
+        headers: dict[str, str] = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            return response.status, response.read()
-        finally:
-            conn.close()
+        if not self.keep_alive:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                return response.status, response.read()
+            finally:
+                conn.close()
+        headers["Connection"] = "keep-alive"
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, OSError):
+                # The server may have closed the idle socket between
+                # requests; retry exactly once on a fresh connection.
+                self.close()
+                if attempt:
+                    raise
+                continue
+            if response.will_close:
+                self.close()
+            return response.status, data
+        raise AssertionError("unreachable")
 
     def request(self, method: str, path: str, payload: Any | None = None) -> Any:
         """One round-trip; unwraps the envelope or raises ServerError."""

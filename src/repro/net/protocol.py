@@ -35,6 +35,7 @@ __all__ = [
     "DeadlineExceeded",
     "ServerOverloaded",
     "ServerDraining",
+    "WorkerUnavailable",
     "ClientDisconnect",
     "canonical_json",
     "ok_envelope",
@@ -100,6 +101,12 @@ class ServerOverloaded(NetError):
 
 class ServerDraining(NetError):
     """The server is shutting down and no longer admits requests."""
+
+    status = 503
+
+
+class WorkerUnavailable(NetError):
+    """The shard that owns this session has no live worker process."""
 
     status = 503
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import queue
+import selectors
 import socket
 import threading
 import time
@@ -81,6 +82,13 @@ class ServerConfig:
     #: Seconds from admission to the last response byte.
     request_deadline: float = 10.0
     max_body: int = 1 << 20
+    #: Honor an explicit ``Connection: keep-alive`` from the client.
+    #: Idle kept-alive sockets are parked off the worker pool and
+    #: re-admitted (through the same bounded queue) when bytes arrive,
+    #: so they never pin a worker thread.
+    keep_alive: bool = True
+    #: Seconds a kept-alive connection may sit idle before it is closed.
+    keepalive_idle: float = 10.0
 
 
 @dataclass
@@ -97,11 +105,124 @@ class DrainReport:
 
 
 class _Task:
-    __slots__ = ("conn", "admitted")
+    __slots__ = ("conn", "admitted", "buffer", "continuation")
 
-    def __init__(self, conn: socket.socket, admitted: float):
+    def __init__(
+        self,
+        conn: socket.socket,
+        admitted: float,
+        buffer: bytearray | None = None,
+        continuation: bool = False,
+    ):
         self.conn = conn
         self.admitted = admitted
+        #: Bytes already read past the previous request's end (keep-alive).
+        self.buffer = buffer if buffer is not None else bytearray()
+        #: True when this is the 2nd+ request on a kept-alive connection.
+        self.continuation = continuation
+
+
+class _Parker:
+    """Watches idle keep-alive connections without occupying workers.
+
+    A worker that finishes a response on a connection the client wants
+    to keep open hands the socket here instead of blocking on the next
+    request.  One selector thread waits for readability and re-admits
+    the connection through the server's bounded queue — the same
+    backpressure path fresh connections take — or closes it after the
+    idle timeout, on client EOF, or at drain.
+    """
+
+    def __init__(self, readmit: Callable[[socket.socket, bytearray], None],
+                 idle_timeout: float):
+        self._readmit = readmit
+        self._idle_timeout = idle_timeout
+        self._selector = selectors.DefaultSelector()
+        self._pending: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._running = False
+        self._thread: threading.Thread | None = None
+        #: Wakes the selector loop when a socket is parked or at stop.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+
+    def start(self) -> None:
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name="net-parker", daemon=True
+        )
+        self._thread.start()
+
+    def park(self, conn: socket.socket, buffer: bytearray) -> None:
+        self._pending.put((conn, buffer))
+        self._poke()
+
+    def stop(self) -> None:
+        self._running = False
+        self._poke()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _poke(self) -> None:
+        try:
+            self._wake_w.send(b"x")
+        except OSError:
+            pass
+
+    def _loop(self) -> None:
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        try:
+            while self._running:
+                for key, _events in self._selector.select(timeout=0.5):
+                    if key.fileobj is self._wake_r:
+                        try:
+                            while self._wake_r.recv(256):
+                                pass
+                        except (BlockingIOError, OSError):
+                            pass
+                        continue
+                    self._selector.unregister(key.fileobj)
+                    conn, buffer, _parked_at = key.data
+                    self._readmit(conn, buffer)
+                while True:
+                    try:
+                        conn, buffer = self._pending.get_nowait()
+                    except queue.Empty:
+                        break
+                    conn.setblocking(False)
+                    try:
+                        self._selector.register(
+                            conn,
+                            selectors.EVENT_READ,
+                            (conn, buffer, time.monotonic()),
+                        )
+                    except (ValueError, OSError):
+                        _close_socket(conn)
+                self._sweep_idle()
+        finally:
+            for key in list(self._selector.get_map().values()):
+                if key.fileobj is not self._wake_r:
+                    _close_socket(key.data[0])
+            self._selector.close()
+            _close_socket(self._wake_r)
+            _close_socket(self._wake_w)
+
+    def _sweep_idle(self) -> None:
+        horizon = time.monotonic() - self._idle_timeout
+        for key in list(self._selector.get_map().values()):
+            if key.fileobj is self._wake_r:
+                continue
+            conn, _buffer, parked_at = key.data
+            if parked_at < horizon:
+                self._selector.unregister(key.fileobj)
+                _close_socket(conn)
+
+
+def _close_socket(conn) -> None:
+    try:
+        conn.close()
+    except OSError:
+        pass
 
 
 class NavigationServer:
@@ -124,6 +245,10 @@ class NavigationServer:
         #: different sessions proceed in parallel.
         self._session_locks: dict[str, threading.RLock] = {}
         self._locks_guard = threading.Lock()
+        self._parker: _Parker | None = None
+        #: Guards the one-shot parts of drain (pool stop, session saves).
+        self._drain_lock = threading.Lock()
+        self._saves_done = False
         metrics = self.obs.metrics
         self._requests = metrics.counter("net.requests")
         self._rejections = metrics.counter("net.rejections{reason=overloaded}")
@@ -151,6 +276,9 @@ class NavigationServer:
         self._listener = listener
         self._accepting = True
         self._started = True
+        if self.config.keep_alive:
+            self._parker = _Parker(self._readmit, self.config.keepalive_idle)
+            self._parker.start()
         acceptor = threading.Thread(
             target=self._accept_loop, name="net-acceptor", daemon=True
         )
@@ -199,33 +327,48 @@ class NavigationServer:
                 listener.close()
             except OSError:
                 pass
-        if self._started:
-            # Let every admitted task finish before stopping the pool.
-            deadline = time.monotonic() + timeout
-            while self._queue.unfinished_tasks and time.monotonic() < deadline:
-                time.sleep(0.005)
-            for _ in range(self.config.workers):
-                self._queue.put(_STOP)
-            for thread in self._threads:
-                if thread is threading.current_thread():
-                    continue
-                thread.join(timeout=max(0.1, deadline - time.monotonic()))
-            self._threads = []
-            self._started = False
+        with self._drain_lock:
+            if self._started:
+                # Idle kept-alive sockets are closed first so only
+                # genuinely in-flight requests hold up the pool.
+                if self._parker is not None:
+                    self._parker.stop()
+                    self._parker = None
+                # Let every admitted task finish before stopping the pool.
+                deadline = time.monotonic() + timeout
+                while (
+                    self._queue.unfinished_tasks
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.005)
+                for _ in range(self.config.workers):
+                    self._queue.put(_STOP)
+                for thread in self._threads:
+                    if thread is threading.current_thread():
+                        continue
+                    thread.join(timeout=max(0.1, deadline - time.monotonic()))
+                self._threads = []
+                self._started = False
 
-        saved: list[str] = []
-        dropped: list[str] = []
-        if save_dir is not None:
-            os.makedirs(save_dir, exist_ok=True)
-            with self._manager_lock:
-                for name in self.manager.names():
-                    target = os.path.join(os.fspath(save_dir), f"{name}.json")
-                    try:
-                        self.manager.save(name, target)
-                        saved.append(name)
-                    except Exception as error:  # noqa: BLE001 - reported, not raised
-                        dropped.append(name)
-                        self.obs.metrics.counter("net.save_failures").inc()
+            saved: list[str] = []
+            dropped: list[str] = []
+            # Exactly-once: racing drains (a signal handler and an
+            # atexit hook, say) must not both write session files — the
+            # first caller holding a save_dir performs every save.
+            if save_dir is not None and not self._saves_done:
+                self._saves_done = True
+                os.makedirs(save_dir, exist_ok=True)
+                with self._manager_lock:
+                    for name in self.manager.names():
+                        target = os.path.join(
+                            os.fspath(save_dir), f"{name}.json"
+                        )
+                        try:
+                            self.manager.save(name, target)
+                            saved.append(name)
+                        except Exception:  # noqa: BLE001 - reported, not raised
+                            dropped.append(name)
+                            self.obs.metrics.counter("net.save_failures").inc()
         return DrainReport(served=self._served, saved=saved, dropped=dropped)
 
     close = drain
@@ -254,6 +397,15 @@ class NavigationServer:
                 self._reject(conn)
                 continue
             self._queue_depth.set(self._queue.qsize())
+
+    def _readmit(self, conn: socket.socket, buffer: bytearray) -> None:
+        """A parked keep-alive connection became readable: re-admit it."""
+        task = _Task(conn, time.monotonic(), buffer, continuation=True)
+        try:
+            self._queue.put_nowait(task)
+        except queue.Full:
+            self._rejections.inc()
+            self._reject(conn)
 
     def _reject(self, conn: socket.socket) -> None:
         """Typed 503 for a connection the queue cannot admit."""
@@ -294,37 +446,100 @@ class NavigationServer:
 
     def _serve_one(self, task: _Task) -> None:
         conn = task.conn
-        started = time.monotonic()
-        deadline = task.admitted + self.config.request_deadline
-        status = 500
-        try:
-            self._requests.inc()
+        buffer = task.buffer
+        admitted = task.admitted
+        # A re-admitted kept-alive socket with no buffered bytes may
+        # deliver EOF before any request byte: the client simply closed
+        # between requests.  That is a clean end of the connection, not
+        # a mid-request disconnect, and must not perturb telemetry.
+        quiet_eof = task.continuation and not buffer
+        while True:
+            started = time.monotonic()
+            deadline = admitted + self.config.request_deadline
+            status = 500
+            keep = False
+            counted = not quiet_eof
+            if counted:
+                self._requests.inc()
             try:
-                conn.settimeout(max(0.001, deadline - time.monotonic()))
-                request = read_request(conn, self.config.max_body)
-                if time.monotonic() > deadline:
-                    raise DeadlineExceeded(
-                        "deadline elapsed before dispatch"
+                try:
+                    conn.settimeout(max(0.001, deadline - time.monotonic()))
+                    request = read_request(conn, self.config.max_body, buffer)
+                    if not counted:
+                        self._requests.inc()
+                        counted = True
+                    quiet_eof = False
+                    if time.monotonic() > deadline:
+                        raise DeadlineExceeded(
+                            "deadline elapsed before dispatch"
+                        )
+                    status, payload = self._dispatch(request)
+                    keep = (
+                        self.config.keep_alive
+                        and request.wants_keep_alive
+                        and self._accepting
+                        and self._parker is not None
                     )
-                status, payload = self._dispatch(request)
-            except ClientDisconnect:
-                self._disconnects.inc()
+                except ClientDisconnect:
+                    if counted:
+                        self._disconnects.inc()
+                    self._close(conn)
+                    return
+                except NetError as error:
+                    if not counted:
+                        self._requests.inc()
+                        counted = True
+                    status, payload = error.status, error_envelope(error)
+                except Exception as error:  # noqa: BLE001 - last-resort 500
+                    self.obs.metrics.counter("net.internal_errors").inc()
+                    status, payload = 500, error_envelope(error)
+                try:
+                    write_response(
+                        conn, status, canonical_json(payload), keep_alive=keep
+                    )
+                except OSError:
+                    self._disconnects.inc()
+                    keep = False
+            finally:
+                if counted:
+                    with self._served_lock:
+                        self._served += 1
+                    self._latency_ms.observe(
+                        (time.monotonic() - started) * 1000.0
+                    )
+                    self.obs.metrics.counter(
+                        f"net.responses{{status={status}}}"
+                    ).inc()
+            if not keep:
+                self._close(conn)
                 return
-            except NetError as error:
-                status, payload = error.status, error_envelope(error)
-            except Exception as error:  # noqa: BLE001 - last-resort 500
-                self.obs.metrics.counter("net.internal_errors").inc()
-                status, payload = 500, error_envelope(error)
+            if buffer:
+                # Pipelined bytes already arrived; serve them now with a
+                # fresh deadline rather than a parking round-trip.
+                admitted = time.monotonic()
+                continue
+            # Peek for a back-to-back next request before parking.
+            conn.setblocking(False)
             try:
-                write_response(conn, status, canonical_json(payload))
+                chunk = conn.recv(4096)
+            except (BlockingIOError, InterruptedError):
+                chunk = None
             except OSError:
-                self._disconnects.inc()
-        finally:
-            with self._served_lock:
-                self._served += 1
-            self._latency_ms.observe((time.monotonic() - started) * 1000.0)
-            self.obs.metrics.counter(f"net.responses{{status={status}}}").inc()
-            self._close(conn)
+                self._close(conn)
+                return
+            if chunk == b"":
+                self._close(conn)
+                return
+            if chunk:
+                buffer.extend(chunk)
+                admitted = time.monotonic()
+                continue
+            parker = self._parker
+            if parker is None:
+                self._close(conn)
+                return
+            parker.park(conn, buffer)
+            return
 
     # ------------------------------------------------------------------
     # Routing

@@ -18,6 +18,12 @@ shows up as the first unequal byte.
 At the end of each corpus the ``{session=wire}``-tagged telemetry of
 both workspaces is compared too: the served session must bump exactly
 the counters the local session bumps.
+
+With ``procs > 1`` the same streams run against a
+:class:`~repro.net.router.ShardedServer` instead — the multi-process
+tier must be byte-for-byte indistinguishable from a single process,
+including its telemetry, which arrives through the router's merged
+``/metrics``.
 """
 
 from __future__ import annotations
@@ -107,12 +113,12 @@ def _diff_detail(expected: bytes, got: bytes) -> str:
     )
 
 
-def _session_counters(metrics) -> dict[str, int]:
+def _session_counters(snapshot: dict) -> dict[str, int]:
     """Every counter tagged with the wire session, by name."""
     tag = f"{{session={WIRE_SESSION}}}"
     return {
         name: value
-        for name, value in metrics.snapshot()["counters"].items()
+        for name, value in snapshot["counters"].items()
         if tag in name
     }
 
@@ -125,6 +131,7 @@ def run_wire_check(
     preview_every: int = 11,
     log=None,
     server_config: ServerConfig | None = None,
+    procs: int = 1,
 ) -> WireReport:
     """Replay seeded fuzz streams over HTTP and assert byte parity.
 
@@ -136,6 +143,10 @@ def run_wire_check(
     ``suggest_every`` steps the suggestion payload is compared the same
     way, and every ``preview_every`` steps a preview count round-trips.
     Stops at the first divergence; ``report.ok`` means full parity.
+
+    ``procs > 1`` serves each corpus from a multi-process
+    :class:`~repro.net.router.ShardedServer` (each worker rebuilds the
+    corpus from its seed), proving the sharded tier is byte-identical.
     """
     rng = random.Random(seed)
     report = WireReport(seed=seed)
@@ -152,6 +163,7 @@ def run_wire_check(
             preview_every,
             report,
             server_config,
+            procs,
         )
         report.corpora_run += 1
         if divergence is not None:
@@ -175,12 +187,23 @@ def _check_corpus(
     preview_every: int,
     report: WireReport,
     server_config: ServerConfig | None,
+    procs: int = 1,
 ) -> WireDivergence | None:
-    server_corpus = random_corpus(corpus_seed)
     local_corpus = random_corpus(corpus_seed)
-    manager = SessionManager(server_corpus.workspace)
     config = server_config if server_config is not None else ServerConfig()
-    server = NavigationServer(manager, config).start()
+    if procs > 1:
+        from .router import ShardedServer
+        from .worker import DatasetSpec
+
+        server = ShardedServer(
+            DatasetSpec(kind="check_corpus", seed=corpus_seed),
+            config,
+            procs=procs,
+        ).start()
+    else:
+        server_corpus = random_corpus(corpus_seed)
+        manager = SessionManager(server_corpus.workspace)
+        server = NavigationServer(manager, config).start()
     try:
         host, port = server.address
         client = NavigationClient(host, port)
@@ -210,7 +233,7 @@ def _check_corpus(
                 if divergence is not None:
                     return divergence
 
-        return _check_telemetry(corpus_seed, steps, manager, local)
+        return _check_telemetry(corpus_seed, steps, client, local)
     finally:
         server.drain()
 
@@ -291,10 +314,17 @@ def _check_preview(
 
 
 def _check_telemetry(
-    corpus_seed: int, step: int, manager: SessionManager, local: Session
+    corpus_seed: int, step: int, client: NavigationClient, local: Session
 ) -> WireDivergence | None:
-    served = _session_counters(manager.workspace.obs.metrics)
-    in_process = _session_counters(local.workspace.obs.metrics)
+    """Compare wire-session counters as reported over ``/metrics``.
+
+    Reading through the client (rather than reaching into the server's
+    registry) makes this work identically for the single-process server
+    and the sharded tier, whose counters arrive pre-merged across
+    worker processes.
+    """
+    served = _session_counters(client.metrics())
+    in_process = _session_counters(local.workspace.obs.metrics.snapshot())
     if served != in_process:
         return WireDivergence(
             corpus_seed,

@@ -22,7 +22,7 @@ Everything here is dependency-free and imports nothing from the rest of
 """
 
 from .clock import ManualClock, monotonic_clock
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, merge_snapshots
 from .observability import NULL_OBS, Observability
 from .render import render_metrics, render_trace, render_trace_forest
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
@@ -39,6 +39,7 @@ __all__ = [
     "Observability",
     "Span",
     "Tracer",
+    "merge_snapshots",
     "monotonic_clock",
     "render_metrics",
     "render_trace",

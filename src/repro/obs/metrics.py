@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
 
 
 class Counter:
@@ -256,3 +262,76 @@ class MetricsRegistry:
             f"gauges={len(self._gauges) + len(self._gauge_fns)} "
             f"histograms={len(self._histograms)}>"
         )
+
+
+# ----------------------------------------------------------------------
+# Snapshot merging (multi-process aggregation)
+# ----------------------------------------------------------------------
+
+
+def _merge_histogram(
+    name: str, merged: dict | None, addend: dict
+) -> dict:
+    """Bucket-wise exact sum of two histogram snapshots.
+
+    Both snapshots must share the bucket layout — the registries that
+    produced them registered the histogram with the same bounds — or
+    the merge would silently misfile observations; a mismatch raises
+    ``ValueError`` instead.
+    """
+    if merged is None:
+        return {
+            "buckets": list(addend["buckets"]),
+            "counts": list(addend["counts"]),
+            "count": addend["count"],
+            "sum": addend["sum"],
+        }
+    if list(merged["buckets"]) != list(addend["buckets"]):
+        raise ValueError(
+            f"histogram {name!r} has mismatched bucket layouts: "
+            f"{merged['buckets']!r} vs {addend['buckets']!r}"
+        )
+    merged["counts"] = [
+        a + b for a, b in zip(merged["counts"], addend["counts"])
+    ]
+    merged["count"] += addend["count"]
+    merged["sum"] += addend["sum"]
+    return merged
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Aggregate per-process :meth:`MetricsRegistry.snapshot` dicts.
+
+    The sharded serving tier runs one registry per worker process; its
+    front door answers ``/metrics`` with this merge:
+
+    * **counters** sum by full name, so tagged families
+      (``net.commands{command=Search}``) stay distinct per tag;
+    * **histograms** merge exactly, bucket by bucket (same resolution
+      as any single process — no re-bucketing error), and refuse
+      mismatched layouts;
+    * **gauges** sum, which is the right reading for the level-style
+      gauges the serving tier exposes (queue depths, session counts).
+      Ratio-style gauges do not survive a sum meaningfully; consumers
+      that need them must read per-process snapshots.
+
+    The result is deterministic (keys sorted) and freshly built, like
+    any single-registry snapshot.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, data in snapshot.get("histograms", {}).items():
+            histograms[name] = _merge_histogram(
+                name, histograms.get(name), data
+            )
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {name: histograms[name] for name in sorted(histograms)},
+    }

@@ -1,0 +1,106 @@
+"""The load generator's own correctness: legality tracking, zero errors."""
+
+import pytest
+
+from repro.net.loadgen import LoadReport, _legal_command, _track_state, run_load
+from repro.service import commands as cmd
+
+
+class TestStateTracking:
+    def test_no_query_means_no_chips(self):
+        assert _track_state({"view": {"query": None}, "back_stack": []}) == (0, 0)
+
+    def test_and_query_counts_parts(self):
+        state = {
+            "view": {"query": {"t": "and", "parts": [{}, {}, {}]}},
+            "back_stack": [{}, {}],
+        }
+        assert _track_state(state) == (3, 2)
+
+    def test_single_query_is_one_chip(self):
+        state = {"view": {"query": {"t": "text", "text": "x"}}, "back_stack": [{}]}
+        assert _track_state(state) == (1, 1)
+
+
+class TestLegalCommandMix:
+    def test_never_removes_from_an_empty_chip_row(self):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(500):
+            command = _legal_command(rng, chips=0, back=0, exclusive=True)
+            assert not isinstance(command, cmd.RemoveConstraint)
+            assert not isinstance(command, cmd.Back)
+
+    def test_remove_index_is_always_in_range(self):
+        import random
+
+        rng = random.Random(12)
+        for _ in range(500):
+            command = _legal_command(rng, chips=3, back=1, exclusive=True)
+            if isinstance(command, cmd.RemoveConstraint):
+                assert 0 <= command.index < 3
+
+    def test_shared_sessions_use_only_universally_legal_commands(self):
+        import random
+
+        rng = random.Random(13)
+        for _ in range(500):
+            command = _legal_command(rng, chips=5, back=5, exclusive=False)
+            # Tracked state is unreliable when another client can
+            # mutate the session; these two must never be emitted.
+            assert not isinstance(command, (cmd.RemoveConstraint, cmd.Back))
+
+
+class TestZeroErrors:
+    """Regression for the IndexError(16)/RuntimeError(4) counts the
+    blind generator used to book against a perfectly healthy server."""
+
+    def test_single_client_run_is_error_free(self, server):
+        host, port = server.address
+        report = run_load(
+            host, port, clients=1, requests_per_client=60,
+            sessions=4, seed=1, session_prefix="lg1",
+        )
+        assert report.errors == {}
+        assert report.ok == 60
+        assert report.requests == 60
+
+    def test_many_clients_stay_error_free(self, server):
+        host, port = server.address
+        report = run_load(
+            host, port, clients=8, requests_per_client=25,
+            sessions=8, seed=2, session_prefix="lg8",
+        )
+        assert report.errors == {}
+        assert report.ok == 200
+
+    def test_more_clients_than_sessions_stays_error_free(self, server):
+        # Shared-session mode: legality cannot be tracked, so the mix
+        # degrades to always-legal commands — still zero errors.
+        host, port = server.address
+        report = run_load(
+            host, port, clients=6, requests_per_client=10,
+            sessions=2, seed=3, session_prefix="lgshare",
+        )
+        assert report.errors == {}
+        assert report.ok == 60
+
+
+class TestReportShape:
+    def test_as_dict_is_the_bench_schema(self):
+        report = LoadReport(clients=2, sessions=4, requests=10, ok=10)
+        payload = report.as_dict()
+        assert set(payload) == {
+            "clients", "sessions", "requests", "ok", "errors",
+            "duration_s", "p50_ms", "p99_ms", "max_ms", "throughput_rps",
+        }
+
+    def test_percentiles_come_from_real_samples(self, server):
+        host, port = server.address
+        report = run_load(
+            host, port, clients=2, requests_per_client=20,
+            sessions=4, seed=4, session_prefix="lgp",
+        )
+        assert 0 < report.p50_ms <= report.p99_ms <= report.max_ms
+        assert report.throughput_rps > 0

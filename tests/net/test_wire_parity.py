@@ -26,3 +26,14 @@ class TestWireParity:
     def test_second_seed_also_holds(self):
         report = run_wire_check(1337, steps=40, corpora=1)
         assert report.ok, report.failure
+
+    def test_sharded_tier_is_byte_identical(self):
+        # The same streams against a 2-process ShardedServer: routing,
+        # forwarding, and merged telemetry must not perturb one byte.
+        report = run_wire_check(20260807, steps=40, corpora=1, procs=2)
+        assert report.failure is None, (
+            f"step {report.failure.step} ({report.failure.command}): "
+            f"{report.failure.detail}"
+        )
+        assert report.ok
+        assert report.steps_run == 40

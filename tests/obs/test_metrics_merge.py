@@ -1,0 +1,97 @@
+"""Merging per-process metrics snapshots (the sharded /metrics path)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots
+
+
+def _registry_with(counters=(), gauges=(), histogram=None):
+    registry = MetricsRegistry()
+    for name, value in counters:
+        registry.counter(name).inc(value)
+    for name, value in gauges:
+        registry.gauge(name).set(value)
+    if histogram is not None:
+        name, buckets, observations = histogram
+        instrument = registry.histogram(name, buckets=buckets)
+        for value in observations:
+            instrument.observe(value)
+    return registry
+
+
+def test_merge_sums_counters_by_full_tagged_name():
+    a = _registry_with(
+        counters=[("net.requests", 3), ("net.commands{command=Search}", 2)]
+    )
+    b = _registry_with(
+        counters=[("net.requests", 4), ("net.commands{command=Back}", 1)]
+    )
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counters"] == {
+        "net.commands{command=Back}": 1,
+        "net.commands{command=Search}": 2,
+        "net.requests": 7,
+    }
+
+
+def test_merge_histograms_is_exact_bucket_wise():
+    buckets = (1.0, 5.0, 25.0)
+    a = _registry_with(histogram=("net.request_ms", buckets, [0.5, 3.0, 100.0]))
+    b = _registry_with(histogram=("net.request_ms", buckets, [4.0, 30.0]))
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    data = merged["histograms"]["net.request_ms"]
+    assert data["buckets"] == [1.0, 5.0, 25.0]
+    assert data["counts"] == [1, 2, 0, 2]  # <=1, <=5, <=25, overflow
+    assert data["count"] == 5
+    assert data["sum"] == pytest.approx(137.5)
+
+
+def test_merge_equals_single_registry_observing_everything():
+    """Merging N snapshots == one registry that saw all observations."""
+    buckets = (1.0, 2.0, 10.0)
+    parts = [
+        _registry_with(
+            counters=[("c", i + 1)],
+            gauges=[("g", float(i))],
+            histogram=("h", buckets, [0.5 * i, 5.0]),
+        ).snapshot()
+        for i in range(3)
+    ]
+    combined = _registry_with(
+        counters=[("c", 6)],
+        gauges=[("g", 3.0)],
+        histogram=("h", buckets, [0.0, 5.0, 0.5, 5.0, 1.0, 5.0]),
+    )
+    assert merge_snapshots(parts) == combined.snapshot()
+
+
+def test_merge_refuses_mismatched_bucket_layouts():
+    a = _registry_with(histogram=("h", (1.0, 2.0), [1.5]))
+    b = _registry_with(histogram=("h", (1.0, 4.0), [1.5]))
+    with pytest.raises(ValueError, match="mismatched bucket layouts"):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_merge_of_disjoint_metric_sets_unions_them():
+    a = _registry_with(counters=[("only.a", 1)], gauges=[("depth", 2.0)])
+    b = _registry_with(counters=[("only.b", 2)], gauges=[("depth", 3.0)])
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counters"] == {"only.a": 1, "only.b": 2}
+    assert merged["gauges"] == {"depth": 5.0}
+
+
+def test_merge_of_no_snapshots_is_an_empty_snapshot():
+    assert merge_snapshots([]) == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def test_merge_does_not_mutate_inputs():
+    a = _registry_with(histogram=("h", (1.0,), [0.5]))
+    snap_a = a.snapshot()
+    snap_b = _registry_with(histogram=("h", (1.0,), [2.0])).snapshot()
+    before = {"counts": list(snap_a["histograms"]["h"]["counts"])}
+    merge_snapshots([snap_a, snap_b])
+    assert snap_a["histograms"]["h"]["counts"] == before["counts"]
