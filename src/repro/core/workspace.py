@@ -47,14 +47,20 @@ class Workspace:
         items: Iterable[Node] | None = None,
         use_compositions: bool = True,
         obs: Observability | None = None,
+        query_mode: str = "bitset",
+        facet_mode: str = "compiled",
     ):
         from ..vsm.model import VectorSpaceModel
 
+        if facet_mode not in ("compiled", "legacy"):
+            raise ValueError("facet_mode must be 'compiled' or 'legacy'")
         #: Shared tracing + metrics context; tracing is off by default
         #: (no-op tracer), telemetry gauges are wired regardless.
         self.obs = obs if obs is not None else Observability(tracing=False)
         self.graph = graph
         self.schema = schema if schema is not None else Schema(graph)
+        self.query_mode = query_mode
+        self.facet_mode = facet_mode
         if items is None:
             item_list = sorted(
                 {s for s, _p, _o in graph.triples(None, RDF.type, None)},
@@ -76,7 +82,9 @@ class Workspace:
             text_index=self.text_index,
             universe=set(self.items),
         )
-        self.query_engine = QueryEngine(self.query_context, obs=self.obs)
+        self.query_engine = QueryEngine(
+            self.query_context, obs=self.obs, mode=query_mode
+        )
         #: (graph version, collection) -> CollectionProfile, small FIFO
         self._facet_profiles: dict = {}
         self.facet_profile_stats = CacheStats()
@@ -122,6 +130,24 @@ class Workspace:
             lambda: self.vector_store.postings_touched,
         )
         metrics.gauge_fn("graph.version", lambda: self.graph.version)
+        if self.query_mode == "compiled":
+            # Compiled-plan counters appear only on compiled workspaces —
+            # the default snapshot stays exactly as the golden metrics
+            # test pins it.
+            plans = self.query_context.plan_stats
+            metrics.gauge_fn("query.plan_cache.hits", lambda: plans.hits)
+            metrics.gauge_fn("query.plan_cache.misses", lambda: plans.misses)
+            metrics.gauge_fn(
+                "query.plan_cache.invalidations",
+                lambda: plans.invalidations,
+            )
+            leaves = self.query_context.container_stats
+            metrics.gauge_fn(
+                "query.leaf_containers.hits", lambda: leaves.hits
+            )
+            metrics.gauge_fn(
+                "query.leaf_containers.misses", lambda: leaves.misses
+            )
 
     # ------------------------------------------------------------------
     # Sealing (shared read-mostly serving)
@@ -165,6 +191,27 @@ class Workspace:
         """Display name via schema annotations."""
         return self.schema.label(node)
 
+    def with_query_mode(
+        self, mode: str, obs: Observability | None = None
+    ) -> "Workspace":
+        """A shallow view of this workspace evaluating queries in ``mode``.
+
+        Shares the graph, indexes, and query context (so compiled and
+        bitset engines race over identical state), but carries its own
+        :class:`QueryEngine` and — crucially for the differential fuzzer
+        — its own :class:`Observability`, so the original workspace's
+        counters do not move when the view evaluates.
+        """
+        import copy
+
+        clone = copy.copy(self)
+        clone.obs = obs if obs is not None else Observability(tracing=False)
+        clone.query_mode = mode
+        clone.query_engine = QueryEngine(
+            self.query_context, obs=clone.obs, mode=mode
+        )
+        return clone
+
     def facet_profile(self, items: Sequence[Node]):
         """The collection's single-pass metadata profile, memoized.
 
@@ -184,7 +231,18 @@ class Workspace:
                 return profile
             self.facet_profile_stats.misses += 1
             with self.obs.tracer.span("facets.profile", items=len(items)):
-                profile = collection_profile(self.graph, self.schema, items)
+                profile = None
+                if self.facet_mode == "compiled":
+                    # Single pass over precomputed facet records; bails
+                    # to the legacy sweep (None) for any item outside
+                    # the postings' build population.
+                    profile = self.query_context.facet_postings().profile(
+                        items
+                    )
+                if profile is None:
+                    profile = collection_profile(
+                        self.graph, self.schema, items
+                    )
             self._facet_profiles[key] = profile
             while len(self._facet_profiles) > 8:
                 self._facet_profiles.pop(next(iter(self._facet_profiles)))

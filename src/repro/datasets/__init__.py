@@ -11,7 +11,7 @@
 | `inex`     | INEX XML topics (CO + CAS)                 |
 """
 
-from . import artstor, factbook, inbox, inex, ocw, recipes, states
+from . import artstor, factbook, inbox, inex, ocw, recipes, scaled, states
 from .base import Corpus
 
 __all__ = [
@@ -22,5 +22,6 @@ __all__ = [
     "inex",
     "ocw",
     "recipes",
+    "scaled",
     "states",
 ]

@@ -31,7 +31,7 @@ from ..vsm.model import VectorSpaceModel
 from ..vsm.vector import SparseVector
 from ..vsm.weighting import idf
 from .inverted import InvertedIndex
-from .search import Hit, top_k
+from .search import Hit, pruned_top_k, top_k
 
 __all__ = ["VectorStore"]
 
@@ -53,9 +53,16 @@ class VectorStore:
         model: VectorSpaceModel,
         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
         obs: Observability | None = None,
+        prune_top_k: bool = False,
     ):
         self.model = model
         self.drift_threshold = drift_threshold
+        #: When set, searches use WAND-style threshold pruning
+        #: (:func:`repro.index.search.pruned_top_k`).  Results are
+        #: identical to the exhaustive scan; only the postings-touched
+        #: telemetry shrinks — which is why the default stays off (the
+        #: existing telemetry tests pin exhaustive counts).
+        self.prune_top_k = prune_top_k
         self.obs = obs if obs is not None else NULL_OBS
         self._index = InvertedIndex()
         self._built_version = -1
@@ -189,7 +196,11 @@ class VectorStore:
         index = self.index
         before = index.postings_touched
         with self.obs.tracer.span("store.search", k=k) as span:
-            hits = top_k(index, query, k, exclude=exclude)
+            if self.prune_top_k:
+                hits = pruned_top_k(index, query, k, exclude=exclude)
+                span.set_tag("pruned", True)
+            else:
+                hits = top_k(index, query, k, exclude=exclude)
             touched = index.postings_touched - before
             span.set_tag("postings", touched)
         self.obs.metrics.histogram(

@@ -1,0 +1,425 @@
+"""Roaring-style compressed bitsets: array / bitmap / run chunks.
+
+The plain-int bitmasks of :mod:`repro.perf.bitset` treat every extent as
+one huge integer; dense corpora pay for every absent region of the id
+space on each operation.  A :class:`RoaringBitmap` splits the id space
+into 2^16-wide chunks keyed by the ids' high bits and stores each chunk
+in whichever of three formats fits it:
+
+* **array** — a sorted tuple of 16-bit offsets, for sparse chunks
+  (cardinality ≤ :data:`ARRAY_MAX_CARD`);
+* **bitmap** — a 65,536-bit Python int, for dense chunks;
+* **run** — a tuple of ``(start, length)`` intervals, chosen by
+  :meth:`RoaringBitmap.run_optimize` when a chunk is run-heavy
+  (``n_runs * RUN_COMPRESSION_FACTOR <= cardinality``).
+
+Set algebra dispatches per chunk pair; absent chunks cost nothing.
+Operation *results* normalize between array and bitmap at the
+:data:`ARRAY_MAX_CARD` threshold; run chunks are only produced by
+explicit ``run_optimize`` (posting-list build time), exactly like the
+roaring reference implementation's ``runOptimize``.
+
+Everything here is a value-semantics set of non-negative ints; the query
+compiler stores predicate extents in these and the equivalence suites
+pin them against the plain-bitmask and per-item paths.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator
+
+__all__ = [
+    "ARRAY_MAX_CARD",
+    "RUN_COMPRESSION_FACTOR",
+    "CHUNK_BITS",
+    "CHUNK_SIZE",
+    "RoaringBitmap",
+]
+
+#: Chunk width: ids share a chunk when they agree on all but 16 low bits.
+CHUNK_BITS = 16
+CHUNK_SIZE = 1 << CHUNK_BITS
+_LOW_MASK = CHUNK_SIZE - 1
+
+#: A chunk holding more than this many ids is stored as a bitmap.
+ARRAY_MAX_CARD = 4096
+
+#: ``run_optimize`` converts a chunk to runs when
+#: ``n_runs * RUN_COMPRESSION_FACTOR <= cardinality``.
+RUN_COMPRESSION_FACTOR = 8
+
+
+class _ArrayChunk:
+    """Sparse chunk: sorted tuple of 16-bit offsets."""
+
+    __slots__ = ("values",)
+    kind = "array"
+
+    def __init__(self, values: tuple[int, ...]):
+        self.values = values
+
+    def cardinality(self) -> int:
+        return len(self.values)
+
+
+class _BitmapChunk:
+    """Dense chunk: one 65,536-bit integer."""
+
+    __slots__ = ("mask", "card")
+    kind = "bitmap"
+
+    def __init__(self, mask: int, card: int):
+        self.mask = mask
+        self.card = card
+
+    def cardinality(self) -> int:
+        return self.card
+
+
+class _RunChunk:
+    """Run-length chunk: sorted disjoint ``(start, length)`` intervals."""
+
+    __slots__ = ("runs", "starts", "card")
+    kind = "run"
+
+    def __init__(self, runs: tuple[tuple[int, int], ...]):
+        self.runs = runs
+        self.starts = tuple(start for start, _length in runs)
+        self.card = sum(length for _start, length in runs)
+
+    def cardinality(self) -> int:
+        return self.card
+
+    def contains(self, value: int) -> bool:
+        idx = bisect_right(self.starts, value) - 1
+        if idx < 0:
+            return False
+        start, length = self.runs[idx]
+        return value < start + length
+
+
+_Chunk = _ArrayChunk | _BitmapChunk | _RunChunk
+
+
+# ----------------------------------------------------------------------
+# Chunk construction / conversion
+# ----------------------------------------------------------------------
+
+
+def _mask_from_sorted(values) -> int:
+    buf = bytearray(CHUNK_SIZE // 8)
+    for v in values:
+        buf[v >> 3] |= 1 << (v & 7)
+    return int.from_bytes(buf, "little")
+
+
+def _values_from_mask(mask: int) -> tuple[int, ...]:
+    out = []
+    append = out.append
+    while mask:
+        low = mask & -mask
+        append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(out)
+
+
+def _chunk_from_sorted(values: tuple[int, ...]) -> _Chunk:
+    """Array or bitmap, by the cardinality threshold."""
+    if len(values) <= ARRAY_MAX_CARD:
+        return _ArrayChunk(values)
+    return _BitmapChunk(_mask_from_sorted(values), len(values))
+
+
+def _chunk_from_mask(mask: int, card: int | None = None) -> _Chunk:
+    if card is None:
+        card = mask.bit_count()
+    if card <= ARRAY_MAX_CARD:
+        return _ArrayChunk(_values_from_mask(mask))
+    return _BitmapChunk(mask, card)
+
+
+def _chunk_mask(chunk: _Chunk) -> int:
+    if type(chunk) is _BitmapChunk:
+        return chunk.mask
+    if type(chunk) is _ArrayChunk:
+        return _mask_from_sorted(chunk.values)
+    mask = 0
+    for start, length in chunk.runs:
+        mask |= ((1 << length) - 1) << start
+    return mask
+
+
+def _chunk_values(chunk: _Chunk) -> tuple[int, ...]:
+    """The chunk's offsets, sorted ascending."""
+    if type(chunk) is _ArrayChunk:
+        return chunk.values
+    if type(chunk) is _BitmapChunk:
+        return _values_from_mask(chunk.mask)
+    out = []
+    for start, length in chunk.runs:
+        out.extend(range(start, start + length))
+    return tuple(out)
+
+
+def _runs_from_sorted(values) -> tuple[tuple[int, int], ...]:
+    """Maximal runs of consecutive offsets."""
+    runs = []
+    run_start = None
+    prev = None
+    for v in values:
+        if run_start is None:
+            run_start = prev = v
+        elif v == prev + 1:
+            prev = v
+        else:
+            runs.append((run_start, prev - run_start + 1))
+            run_start = prev = v
+    if run_start is not None:
+        runs.append((run_start, prev - run_start + 1))
+    return tuple(runs)
+
+
+def _optimize_chunk(chunk: _Chunk) -> _Chunk:
+    """Convert to a run chunk when run encoding compresses enough."""
+    if type(chunk) is _RunChunk:
+        return chunk
+    values = _chunk_values(chunk)
+    if not values:
+        return chunk
+    runs = _runs_from_sorted(values)
+    if len(runs) * RUN_COMPRESSION_FACTOR <= len(values):
+        return _RunChunk(runs)
+    return chunk
+
+
+# ----------------------------------------------------------------------
+# Chunk set algebra
+# ----------------------------------------------------------------------
+
+
+def _intersect_sorted(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    """Sorted intersection of two sorted offset tuples.
+
+    Module-level on purpose: the harness-sensitivity tests monkeypatch
+    this seam with an off-by-one to prove the three-way fuzzer notices.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    b_set = set(b)
+    return tuple(v for v in a if v in b_set)
+
+
+def _chunk_and(a: _Chunk, b: _Chunk) -> _Chunk | None:
+    """Intersection; None when empty (caller drops the chunk)."""
+    ta, tb = type(a), type(b)
+    if ta is _ArrayChunk and tb is _ArrayChunk:
+        values = _intersect_sorted(a.values, b.values)
+        return _ArrayChunk(values) if values else None
+    if ta is _BitmapChunk and tb is _BitmapChunk:
+        mask = a.mask & b.mask
+        return _chunk_from_mask(mask) if mask else None
+    if ta is _ArrayChunk and tb is _BitmapChunk:
+        mask = b.mask
+        values = tuple(v for v in a.values if (mask >> v) & 1)
+        return _ArrayChunk(values) if values else None
+    if ta is _BitmapChunk and tb is _ArrayChunk:
+        return _chunk_and(b, a)
+    if ta is _ArrayChunk and tb is _RunChunk:
+        values = tuple(v for v in a.values if b.contains(v))
+        return _ArrayChunk(values) if values else None
+    if tb is _ArrayChunk:  # run ∩ array
+        return _chunk_and(b, a)
+    # At least one run against a bitmap or another run: go through masks.
+    mask = _chunk_mask(a) & _chunk_mask(b)
+    return _chunk_from_mask(mask) if mask else None
+
+
+def _chunk_or(a: _Chunk, b: _Chunk) -> _Chunk:
+    ta, tb = type(a), type(b)
+    if ta is _ArrayChunk and tb is _ArrayChunk:
+        if len(a.values) + len(b.values) <= ARRAY_MAX_CARD:
+            return _ArrayChunk(tuple(sorted(set(a.values) | set(b.values))))
+        return _chunk_from_mask(_mask_from_sorted(a.values) | _mask_from_sorted(b.values))
+    mask = _chunk_mask(a) | _chunk_mask(b)
+    return _chunk_from_mask(mask)
+
+
+def _chunk_andnot(a: _Chunk, b: _Chunk) -> _Chunk | None:
+    """a minus b; None when empty."""
+    ta, tb = type(a), type(b)
+    if ta is _ArrayChunk and tb is _ArrayChunk:
+        b_set = set(b.values)
+        values = tuple(v for v in a.values if v not in b_set)
+        return _ArrayChunk(values) if values else None
+    if ta is _ArrayChunk and tb is _BitmapChunk:
+        mask = b.mask
+        values = tuple(v for v in a.values if not ((mask >> v) & 1))
+        return _ArrayChunk(values) if values else None
+    if ta is _ArrayChunk and tb is _RunChunk:
+        values = tuple(v for v in a.values if not b.contains(v))
+        return _ArrayChunk(values) if values else None
+    mask = _chunk_mask(a) & ~_chunk_mask(b)
+    return _chunk_from_mask(mask) if mask else None
+
+
+def _chunk_contains(chunk: _Chunk, value: int) -> bool:
+    t = type(chunk)
+    if t is _ArrayChunk:
+        idx = bisect_left(chunk.values, value)
+        return idx < len(chunk.values) and chunk.values[idx] == value
+    if t is _BitmapChunk:
+        return bool((chunk.mask >> value) & 1)
+    return chunk.contains(value)
+
+
+# ----------------------------------------------------------------------
+# The top-level bitmap
+# ----------------------------------------------------------------------
+
+
+class RoaringBitmap:
+    """A compressed set of non-negative ints, chunked by high bits."""
+
+    __slots__ = ("_chunks", "_card")
+
+    def __init__(self, chunks: dict[int, _Chunk] | None = None):
+        self._chunks: dict[int, _Chunk] = chunks if chunks is not None else {}
+        self._card: int | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_ids(cls, ids: Iterable[int]) -> "RoaringBitmap":
+        """Build from any iterable of non-negative ints.
+
+        One C-level sort then chunk slicing by bisect — measurably
+        faster than per-id set insertion at posting-list sizes.
+        """
+        ordered = sorted(set(ids))
+        chunks: dict[int, _Chunk] = {}
+        start = 0
+        n = len(ordered)
+        while start < n:
+            high = ordered[start] >> CHUNK_BITS
+            stop = bisect_right(ordered, ((high + 1) << CHUNK_BITS) - 1, start)
+            base = high << CHUNK_BITS
+            chunks[high] = _chunk_from_sorted(
+                tuple(v - base for v in ordered[start:stop])
+            )
+            start = stop
+        return cls(chunks)
+
+    @classmethod
+    def empty(cls) -> "RoaringBitmap":
+        return cls({})
+
+    # -- inspection --------------------------------------------------------
+
+    def cardinality(self) -> int:
+        if self._card is None:
+            self._card = sum(c.cardinality() for c in self._chunks.values())
+        return self._card
+
+    def __len__(self) -> int:
+        return self.cardinality()
+
+    def __bool__(self) -> bool:
+        return bool(self._chunks)
+
+    def __contains__(self, idx: int) -> bool:
+        chunk = self._chunks.get(idx >> CHUNK_BITS)
+        return chunk is not None and _chunk_contains(chunk, idx & _LOW_MASK)
+
+    def iter_ids(self) -> Iterator[int]:
+        """Yield member ids in ascending order."""
+        for high in sorted(self._chunks):
+            base = high << CHUNK_BITS
+            for v in _chunk_values(self._chunks[high]):
+                yield base + v
+
+    def to_set(self) -> set[int]:
+        return set(self.iter_ids())
+
+    def chunk_kinds(self) -> dict[int, str]:
+        """{chunk high bits: "array" | "bitmap" | "run"} (for tests)."""
+        return {high: chunk.kind for high, chunk in self._chunks.items()}
+
+    # -- set algebra -------------------------------------------------------
+
+    def __and__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        a, b = self._chunks, other._chunks
+        if len(a) > len(b):
+            a, b = b, a
+        out: dict[int, _Chunk] = {}
+        for high, chunk in a.items():
+            other_chunk = b.get(high)
+            if other_chunk is None:
+                continue
+            merged = _chunk_and(chunk, other_chunk)
+            if merged is not None:
+                out[high] = merged
+        return RoaringBitmap(out)
+
+    def __or__(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        out = dict(self._chunks)
+        for high, chunk in other._chunks.items():
+            mine = out.get(high)
+            out[high] = chunk if mine is None else _chunk_or(mine, chunk)
+        return RoaringBitmap(out)
+
+    def andnot(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        """Set difference ``self - other``."""
+        out: dict[int, _Chunk] = {}
+        other_chunks = other._chunks
+        for high, chunk in self._chunks.items():
+            theirs = other_chunks.get(high)
+            if theirs is None:
+                out[high] = chunk
+                continue
+            merged = _chunk_andnot(chunk, theirs)
+            if merged is not None:
+                out[high] = merged
+        return RoaringBitmap(out)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoaringBitmap):
+            return NotImplemented
+        a, b = self._chunks, other._chunks
+        if a.keys() != b.keys():
+            return False
+        for high, chunk in a.items():
+            theirs = b[high]
+            if chunk.cardinality() != theirs.cardinality():
+                return False
+            if type(chunk) is type(theirs):
+                if type(chunk) is _ArrayChunk and chunk.values != theirs.values:
+                    return False
+                if type(chunk) is _BitmapChunk and chunk.mask != theirs.mask:
+                    return False
+                if type(chunk) is _RunChunk and chunk.runs != theirs.runs:
+                    return False
+            elif _chunk_mask(chunk) != _chunk_mask(theirs):
+                return False
+        return True
+
+    def __hash__(self):  # pragma: no cover - mutability guard
+        raise TypeError("RoaringBitmap is unhashable")
+
+    # -- representation tuning --------------------------------------------
+
+    def run_optimize(self) -> "RoaringBitmap":
+        """Re-encode run-heavy chunks as run containers (in place)."""
+        chunks = self._chunks
+        for high, chunk in chunks.items():
+            optimized = _optimize_chunk(chunk)
+            if optimized is not chunk:
+                chunks[high] = optimized
+        return self
+
+    def __repr__(self) -> str:
+        kinds = sorted(self.chunk_kinds().values())
+        return (
+            f"<RoaringBitmap card={self.cardinality()} "
+            f"chunks={len(self._chunks)} kinds={kinds}>"
+        )

@@ -1,0 +1,188 @@
+"""Flat bytecode query plans over compressed bitset containers.
+
+A parsed predicate tree compiles to a postorder instruction tuple — a
+stack machine with five opcodes — whose leaf extents are resolved *at
+compile time* into :class:`~repro.perf.containers.RoaringBitmap`
+containers.  Two ordering rules make the plan safe:
+
+* **Leaves resolve in syntactic order.**  Whatever errors leaf
+  resolution can raise (``TextMatch`` without a text index) surface in
+  exactly the order the legacy bitset walk raises them, and unknown
+  leaves (``candidates() is None``) propagate with the same
+  And-resolves-everything / Or-stops-at-first-unknown shape, so the
+  fallback decision is bit-compatible with the legacy engine.
+
+* **Conjuncts combine in estimated-selectivity order.**  Intersection is
+  commutative, so after all leaves are resolved the compiler is free to
+  emit an ``And``'s operand fragments most-selective-first (estimates:
+  leaf = exact container cardinality, And = min of parts, Or = capped
+  sum, Not = universe minus part).  The running intersection shrinks as
+  fast as possible; results are identical by construction.
+
+``compile_predicate`` returns None when any reachable leaf has no
+enumerable extent — the engine then falls back to per-item filtering,
+exactly like the legacy paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .containers import RoaringBitmap
+
+__all__ = [
+    "OP_LEAF",
+    "OP_AND",
+    "OP_OR",
+    "OP_NOT",
+    "OP_UNIVERSE",
+    "CompiledPlan",
+    "compile_predicate",
+]
+
+#: Push the pre-resolved leaf container ``arg``.
+OP_LEAF = 0
+#: Pop ``arg`` containers, push their intersection.
+OP_AND = 1
+#: Pop ``arg`` containers, push their union (``arg`` may be 0 → empty).
+OP_OR = 2
+#: Pop one container, push its complement within the universe.
+OP_NOT = 3
+#: Push the universe container (empty ``And``).
+OP_UNIVERSE = 4
+
+
+class CompiledPlan:
+    """An executable flat plan: opcodes plus resolved leaf containers."""
+
+    __slots__ = ("ops", "leaves", "estimate")
+
+    def __init__(
+        self,
+        ops: tuple[tuple[int, int], ...],
+        leaves: tuple[RoaringBitmap, ...],
+        estimate: int,
+    ):
+        self.ops = ops
+        self.leaves = leaves
+        #: the root's selectivity estimate (exact for leaves)
+        self.estimate = estimate
+
+    def execute(self, universe: RoaringBitmap) -> RoaringBitmap:
+        """Run the stack machine; the caller scopes the result itself.
+
+        ``universe`` only feeds ``OP_NOT`` / ``OP_UNIVERSE`` — leaf
+        containers are deliberately *not* universe-clipped, matching the
+        legacy bitmask walk (callers intersect the root with the
+        universe or a ``within`` restriction afterwards).
+        """
+        leaves = self.leaves
+        stack: list[RoaringBitmap] = []
+        for op, arg in self.ops:
+            if op == OP_LEAF:
+                stack.append(leaves[arg])
+            elif op == OP_AND:
+                parts = stack[-arg:]
+                del stack[-arg:]
+                acc = parts[0]
+                for part in parts[1:]:
+                    if not acc:
+                        break
+                    acc = acc & part
+                stack.append(acc)
+            elif op == OP_OR:
+                if arg == 0:
+                    stack.append(RoaringBitmap.empty())
+                else:
+                    parts = stack[-arg:]
+                    del stack[-arg:]
+                    acc = parts[0]
+                    for part in parts[1:]:
+                        acc = acc | part
+                    stack.append(acc)
+            elif op == OP_NOT:
+                stack[-1] = universe.andnot(stack[-1])
+            else:  # OP_UNIVERSE
+                stack.append(universe)
+        return stack[-1]
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledPlan ops={len(self.ops)} leaves={len(self.leaves)} "
+            f"est={self.estimate}>"
+        )
+
+
+def _selectivity_order(estimates: Sequence[int]) -> list[int]:
+    """Operand order for an And: ascending estimate, stable on ties.
+
+    Module-level on purpose: the harness-sensitivity tests monkeypatch
+    this seam with a conjunct-dropping bug to prove the three-way
+    fuzzer notices.
+    """
+    return sorted(range(len(estimates)), key=lambda i: (estimates[i], i))
+
+
+def compile_predicate(
+    predicate,
+    resolve_leaf: Callable[[object], Optional[RoaringBitmap]],
+    universe_size: int,
+) -> Optional[CompiledPlan]:
+    """Compile a predicate tree into a flat plan, or None to fall back.
+
+    ``resolve_leaf`` maps a leaf predicate to its extent container (or
+    None when the leaf cannot enumerate one); it may raise, and is
+    called in syntactic order so errors surface exactly as on the
+    legacy paths.
+    """
+    from ..query.ast import And, Not, Or
+
+    leaves: list[RoaringBitmap] = []
+
+    def emit(pred) -> Optional[tuple[list[tuple[int, int]], int]]:
+        if isinstance(pred, And):
+            if not pred.parts:
+                return [(OP_UNIVERSE, 0)], universe_size
+            # Resolve *every* part even after an unknown one — errors in
+            # later parts must surface exactly as on the bitset path.
+            fragments = [emit(part) for part in pred.parts]
+            if any(fragment is None for fragment in fragments):
+                return None
+            order = _selectivity_order(
+                [estimate for _ops, estimate in fragments]
+            )
+            ops: list[tuple[int, int]] = []
+            for index in order:
+                ops.extend(fragments[index][0])
+            ops.append((OP_AND, len(fragments)))
+            return ops, min(estimate for _ops, estimate in fragments)
+        if isinstance(pred, Or):
+            ops = []
+            total = 0
+            for part in pred.parts:
+                # First unknown part aborts — later parts stay
+                # unresolved, exactly like the bitset walk.
+                fragment = emit(part)
+                if fragment is None:
+                    return None
+                ops.extend(fragment[0])
+                total += fragment[1]
+            ops.append((OP_OR, len(pred.parts)))
+            return ops, min(total, universe_size)
+        if isinstance(pred, Not):
+            fragment = emit(pred.part)
+            if fragment is None:
+                return None
+            ops, estimate = fragment
+            return ops + [(OP_NOT, 0)], max(0, universe_size - estimate)
+        container = resolve_leaf(pred)
+        if container is None:
+            return None
+        leaves.append(container)
+        return [(OP_LEAF, len(leaves) - 1)], container.cardinality()
+
+    compiled = emit(predicate)
+    if compiled is None:
+        return None
+    ops, estimate = compiled
+    return CompiledPlan(tuple(ops), tuple(leaves), estimate)

@@ -1,0 +1,282 @@
+"""Precomputed per-facet posting data feeding the compiled hot paths.
+
+Two structures, both keyed to one graph version:
+
+* **per-item facet records** — for every universe item, the outcome of
+  the classification work :func:`repro.core.analysts.common.
+  collection_profile` performs per value (facetable? continuous?
+  numeric reading?), captured once at build time.  Profiling a
+  collection then reduces to a single pass of C-level
+  ``Counter.update`` / ``list.extend`` calls per (item, property) —
+  no per-value Python loop, no ``properties_of`` copies.
+
+* **per-property numeric arrays** — every ``(reading, subject)`` pair of
+  a property, sorted by reading, built lazily on the first ``Range``
+  leaf over that property.  A range extent becomes two bisects instead
+  of a full triple scan.
+
+Bit-identity is load-bearing, not best-effort: facet Counters leak their
+*insertion order* into suggestion ranking via ``Counter.most_common``
+tie-breaking, so the records store facet values in exactly the order the
+legacy sweep would encounter them — the iteration order of the same
+``properties_of`` value-set copies, captured from the same frozen graph
+version.  ``profile`` replays items in caller order, so the rebuilt
+:class:`~repro.core.analysts.common.CollectionProfile` matches the
+legacy sweep byte for byte (the equivalence suite pins this, including
+Counter item order).  Range arrays cover *all* subjects of the property
+(annotation nodes included), mirroring ``Range.candidates`` exactly.
+"""
+
+from __future__ import annotations
+
+import itertools as _chain_mod
+import math
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Iterable
+
+_chain = _chain_mod.chain
+
+from ..rdf.terms import Literal, Node, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.analysts.common import CollectionProfile
+    from ..rdf.graph import Graph
+    from ..rdf.schema import Schema
+
+__all__ = ["FacetPostings"]
+
+
+#: One record entry per (item, property):
+#: (prop index into ``_props``, facet values in sweep order,
+#:  value count, continuous count, numeric readings in sweep order).
+#: Per-property constants (the resource itself, declared type,
+#: is_annotation) live once in ``_props`` — the int index keeps the
+#: profile hot loop free of Node hashing entirely.
+_Entry = tuple[int, tuple[Node, ...], int, int, tuple[float, ...]]
+
+
+class FacetPostings:
+    """Version-pinned posting data for compiled profiles and range leaves."""
+
+    __slots__ = (
+        "graph",
+        "schema",
+        "version",
+        "n_items",
+        "n_entries",
+        "_props",
+        "_records",
+        "_range_arrays",
+    )
+
+    def __init__(self, graph: "Graph", schema: "Schema", version: int):
+        self.graph = graph
+        self.schema = schema
+        self.version = version
+        self.n_items = 0
+        self.n_entries = 0
+        #: prop_idx -> (prop, declared type, is_annotation).
+        self._props: list[tuple[Resource, "str | None", bool]] = []
+        self._records: dict[Node, tuple[_Entry, ...]] = {}
+        #: prop -> (sorted readings, parallel subjects); built lazily.
+        self._range_arrays: dict[
+            Resource, tuple[list[float], list[Node]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, graph: "Graph", schema: "Schema", items: Iterable[Node]
+    ) -> "FacetPostings":
+        """Sweep ``items`` once, capturing per-item facet records.
+
+        The sweep iterates ``properties_of`` copies — the same objects
+        the legacy profile iterates — so the captured value order is the
+        order any later legacy sweep of the same graph version would
+        see.
+        """
+        from ..core.analysts.common import (
+            ANNOTATION_PROPERTIES,
+            is_facetable_value,
+        )
+
+        postings = cls(graph, schema, graph.version)
+        records = postings._records
+        props = postings._props
+        #: prop -> None (hidden) | (prop_idx, declared, value memo)
+        prop_meta: dict[Resource, tuple | None] = {}
+        n_entries = 0
+        for item in items:
+            entries: list[_Entry] = []
+            for prop, values in graph.properties_of(item).items():
+                meta = prop_meta.get(prop, _MISSING)
+                if meta is _MISSING:
+                    if schema.is_hidden(prop):
+                        meta = None
+                    else:
+                        declared = schema.value_type(prop)
+                        meta = (len(props), declared, {})
+                        props.append(
+                            (prop, declared, prop in ANNOTATION_PROPERTIES)
+                        )
+                    prop_meta[prop] = meta
+                if meta is None:
+                    continue
+                prop_idx, declared, value_info = meta
+                facet_values: list[Node] = []
+                readings: list[float] = []
+                continuous_seen = 0
+                for value in values:
+                    info = value_info.get(value)
+                    if info is None:
+                        facetable = is_facetable_value(value, declared)
+                        if isinstance(value, Literal):
+                            continuous = value.is_numeric or value.is_temporal
+                            number = value.as_number()
+                        else:
+                            continuous = False
+                            number = None
+                        info = (facetable, continuous, number)
+                        value_info[value] = info
+                    facetable, continuous, number = info
+                    if facetable:
+                        facet_values.append(value)
+                    if continuous:
+                        continuous_seen += 1
+                    if number is not None:
+                        readings.append(number)
+                entries.append(
+                    (
+                        prop_idx,
+                        tuple(facet_values),
+                        len(values),
+                        continuous_seen,
+                        tuple(readings),
+                    )
+                )
+            records[item] = tuple(entries)
+            n_entries += len(entries)
+        postings.n_items = len(records)
+        postings.n_entries = n_entries
+        return postings
+
+    def covers(self, items: Iterable[Node]) -> bool:
+        """True when every item has a record (profile won't fall back)."""
+        records = self._records
+        return all(item in records for item in items)
+
+    # ------------------------------------------------------------------
+    # Compiled facet profile
+    # ------------------------------------------------------------------
+
+    def profile(self, items) -> "CollectionProfile | None":
+        """A :class:`CollectionProfile` bit-identical to the legacy sweep.
+
+        Returns None when any item lacks a record (an item outside the
+        build population) — the caller falls back to the legacy sweep.
+
+        Two-phase for speed: a minimal item-order pass buckets entries
+        per property (this fixes both the property *first-encounter*
+        order and, within each bucket, the item-order value sequence),
+        then each property aggregates with C-level ``chain`` +
+        ``Counter.update`` calls.  Concatenated-then-counted values see
+        first occurrences in exactly the order per-entry updates would,
+        so Counter insertion order — which ``most_common`` tie-breaking
+        leaks into suggestions — is preserved.
+        """
+        from ..core.analysts.common import CollectionProfile, PropertyProfile
+
+        records = self._records
+        props = self._props
+        profile = CollectionProfile(len(items))
+        properties = profile.properties
+        buckets: list[list[_Entry] | None] = [None] * len(props)
+        order: list[int] = []
+        append_order = order.append
+        for item in items:
+            rec = records.get(item)
+            if rec is None:
+                return None
+            for entry in rec:
+                idx = entry[0]
+                bucket = buckets[idx]
+                if bucket is None:
+                    buckets[idx] = [entry]
+                    append_order(idx)
+                else:
+                    bucket.append(entry)
+        chain = _chain.from_iterable
+        for idx in order:
+            bucket = buckets[idx]
+            prop, declared, is_annotation = props[idx]
+            prop_profile = PropertyProfile(prop, declared, is_annotation)
+            properties[prop] = prop_profile
+            prop_profile.coverage = len(bucket)
+            prop_profile.value_tally = sum([entry[2] for entry in bucket])
+            prop_profile.continuous_tally = sum(
+                [entry[3] for entry in bucket]
+            )
+            prop_profile.counts.update(
+                chain([entry[1] for entry in bucket])
+            )
+            prop_profile._readings = list(
+                chain([entry[4] for entry in bucket])
+            )
+        return profile
+
+    # ------------------------------------------------------------------
+    # Range posting arrays
+    # ------------------------------------------------------------------
+
+    def _range_array(
+        self, prop: Resource
+    ) -> tuple[list[float], list[Node]]:
+        arrays = self._range_arrays
+        pair = arrays.get(prop)
+        if pair is None:
+            pairs: list[tuple[float, Node]] = []
+            for subject, _p, value in self.graph.triples(None, prop, None):
+                if not isinstance(value, Literal):
+                    continue
+                number = value.as_number()
+                if number is None or math.isnan(number):
+                    continue
+                pairs.append((number, subject))
+            pairs.sort(key=lambda entry: entry[0])
+            pair = (
+                [number for number, _s in pairs],
+                [subject for _n, subject in pairs],
+            )
+            arrays[prop] = pair
+        return pair
+
+    def range_extent(
+        self, prop: Resource, low: float | None, high: float | None
+    ) -> set[Node]:
+        """Exactly ``Range(prop, low, high).candidates(...)``, by bisect.
+
+        A NaN bound compares False against every reading on the scan
+        path, i.e. it never excludes anything — treated as unbounded
+        here so the two paths agree.
+        """
+        readings, subjects = self._range_array(prop)
+        lo_idx = 0
+        hi_idx = len(readings)
+        if low is not None and not math.isnan(low):
+            lo_idx = bisect_left(readings, low)
+        if high is not None and not math.isnan(high):
+            hi_idx = bisect_right(readings, high)
+        return set(subjects[lo_idx:hi_idx])
+
+    def __repr__(self) -> str:
+        return (
+            f"<FacetPostings v{self.version} items={self.n_items} "
+            f"entries={self.n_entries} "
+            f"range_props={len(self._range_arrays)}>"
+        )
+
+
+_MISSING = object()

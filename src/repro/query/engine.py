@@ -17,6 +17,15 @@ trees containing them) fall back transparently to the original
 per-item filtering path.  Results are identical either way — only the
 time to produce them changes; ``use_bitsets=False`` forces the original
 strategy (used by the equivalence tests and benchmarks).
+
+``mode="compiled"`` selects the third strategy: predicate trees compile
+once into flat bytecode plans (``repro.perf.plan``) evaluated over
+roaring-style compressed containers (``repro.perf.containers``), with
+conjuncts intersected in estimated-selectivity order and ``Range``
+leaves answered by bisection over precomputed posting arrays.  The
+compiled engine is bit-identical to both other modes — the three-way
+differential harness in ``tests/perf`` and ``repro check --engines``
+pins this.
 """
 
 from __future__ import annotations
@@ -25,14 +34,21 @@ from typing import Callable, Iterable, Optional
 
 from ..obs import NULL_OBS, Observability
 from ..perf.bitset import popcount
+from ..perf.containers import RoaringBitmap
+from ..perf.plan import CompiledPlan, compile_predicate
 from ..rdf.terms import Node
-from .ast import _MISS, And, Not, Or, Predicate, QueryContext
+from .ast import _MISS, And, Not, Or, Predicate, QueryContext, Range
 
 __all__ = ["QueryEngine"]
 
 #: An extension evaluator returns the predicate's exact extent, or None
 #: to fall back to per-item matching.
 ExtensionEvaluator = Callable[[Predicate, QueryContext], Optional[set[Node]]]
+
+
+#: Evaluation strategies: compiled plans over compressed containers,
+#: cached int-bitmask extents, or the original per-item set walk.
+MODES = ("compiled", "bitset", "legacy")
 
 
 class QueryEngine:
@@ -43,9 +59,15 @@ class QueryEngine:
         context: QueryContext,
         use_bitsets: bool = True,
         obs: Observability | None = None,
+        mode: str | None = None,
     ):
+        if mode is None:
+            mode = "bitset" if use_bitsets else "legacy"
+        elif mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
         self.context = context
-        self.use_bitsets = use_bitsets
+        self.mode = mode
+        self.use_bitsets = mode != "legacy"
         self.obs = obs if obs is not None else NULL_OBS
         self._extensions: dict[type, ExtensionEvaluator] = {}
 
@@ -79,7 +101,7 @@ class QueryEngine:
         with tracer.span(
             "query.evaluate",
             root=type(predicate).__name__,
-            mode="bitset" if self.use_bitsets else "legacy",
+            mode=self.mode,
         ) as span:
             result = self._evaluate(predicate, within)
             span.set_tag("results", len(result))
@@ -89,7 +111,15 @@ class QueryEngine:
         self, predicate: Predicate, within: Iterable[Node] | None
     ) -> set[Node]:
         context = self.context
-        if self.use_bitsets:
+        if self.mode == "compiled":
+            container = self._compiled_container(predicate)
+            if container is not None:
+                if within is not None:
+                    scoped = container & context.containers_of(within)
+                else:
+                    scoped = container & context.universe_container()
+                return context.nodes_of_container(scoped)
+        elif self.use_bitsets:
             bits = self._root_bits(predicate)
             if bits is not None:
                 if within is not None:
@@ -121,7 +151,7 @@ class QueryEngine:
         with tracer.span(
             "query.count",
             root=type(predicate).__name__,
-            mode="bitset" if self.use_bitsets else "legacy",
+            mode=self.mode,
         ) as span:
             count = self._count(predicate, within)
             span.set_tag("results", count)
@@ -130,10 +160,16 @@ class QueryEngine:
     def _count(
         self, predicate: Predicate, within: Iterable[Node] | None
     ) -> int:
-        if self.use_bitsets:
+        context = self.context
+        if self.mode == "compiled":
+            container = self._compiled_container(predicate)
+            if container is not None:
+                if within is not None:
+                    return len(container & context.containers_of(within))
+                return len(container & context.universe_container())
+        elif self.use_bitsets:
             bits = self._root_bits(predicate)
             if bits is not None:
-                context = self.context
                 if within is not None:
                     return popcount(bits & context.bits_of(within))
                 return popcount(bits & context.universe_bits())
@@ -281,6 +317,93 @@ class QueryEngine:
             extent = predicate.candidates(context)
             bits = None if extent is None else context.bits_of(extent)
         return bits
+
+    # ------------------------------------------------------------------
+    # Compiled plans (mode="compiled")
+    # ------------------------------------------------------------------
+
+    def _compiled_container(
+        self, predicate: Predicate
+    ) -> RoaringBitmap | None:
+        """The root's extent container, or None to fall back to filtering.
+
+        Mirrors :meth:`_root_bits`: extension evaluators apply at the
+        root only and are never cached.  The executed plan result, like
+        the legacy root bitmask, is *unscoped* — the caller intersects
+        with the universe or a ``within`` restriction.
+        """
+        evaluator = self._extensions.get(type(predicate))
+        if evaluator is not None:
+            extent = evaluator(predicate, self.context)
+            if extent is not None:
+                return self.context.containers_of(extent)
+        plan = self._plan_for(predicate)
+        if plan is None:
+            return None
+        return plan.execute(self.context.universe_container())
+
+    def _plan_for(self, predicate: Predicate) -> CompiledPlan | None:
+        """The predicate's compiled plan (cached per graph version).
+
+        A cached None records the fall-back decision — trees containing
+        extension-only leaves stay on the per-item path without being
+        re-compiled every click.
+        """
+        context = self.context
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            cached = context.cached_plan(predicate)
+            if cached is not _MISS:
+                return cached
+            plan = compile_predicate(
+                predicate, self._resolve_leaf, len(context.universe)
+            )
+            context.store_plan(predicate, plan)
+            return plan
+        with tracer.span(
+            "query.plan", root=type(predicate).__name__
+        ) as span:
+            cached = context.cached_plan(predicate)
+            if cached is not _MISS:
+                span.set_tag("cache", "hit")
+                plan = cached
+            else:
+                span.set_tag("cache", "miss")
+                plan = compile_predicate(
+                    predicate, self._resolve_leaf, len(context.universe)
+                )
+                context.store_plan(predicate, plan)
+            if plan is None:
+                span.set_tag("plan", "fallback")
+            else:
+                span.set_tag("ops", len(plan.ops))
+                span.set_tag("leaves", len(plan.leaves))
+            return plan
+
+    def _resolve_leaf(self, predicate: Predicate) -> RoaringBitmap | None:
+        """A leaf's extent container, from the per-version leaf cache.
+
+        ``Range`` leaves bisect the precomputed posting arrays instead
+        of scanning every triple of the property; everything else uses
+        the predicate's own ``candidates``.  Unknown extents (None) are
+        not cached — the whole-tree plan cache already records the
+        fall-back decision.
+        """
+        context = self.context
+        cached = context.cached_leaf_container(predicate)
+        if cached is not _MISS:
+            return cached
+        if isinstance(predicate, Range):
+            extent = context.facet_postings().range_extent(
+                predicate.prop, predicate.low, predicate.high
+            )
+        else:
+            extent = predicate.candidates(context)
+        if extent is None:
+            return None
+        container = context.containers_of(extent)
+        context.store_leaf_container(predicate, container)
+        return container
 
     def __repr__(self) -> str:
         return (

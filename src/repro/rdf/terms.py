@@ -47,12 +47,16 @@ class Resource(Term):
     a person — as well as the properties connecting them.
     """
 
-    __slots__ = ("uri",)
+    __slots__ = ("uri", "_hash")
 
     def __init__(self, uri: str):
         if not uri:
             raise ValueError("Resource URI must be a non-empty string")
         object.__setattr__(self, "uri", uri)
+        # Terms are dict keys on every hot path (triple indexes, facet
+        # tallies, vector coordinates); immutability makes the hash
+        # cacheable at construction.
+        object.__setattr__(self, "_hash", hash(("Resource", uri)))
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Resource is immutable")
@@ -61,7 +65,7 @@ class Resource(Term):
         return isinstance(other, Resource) and self.uri == other.uri
 
     def __hash__(self) -> int:
-        return hash(("Resource", self.uri))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Resource({self.uri!r})"
@@ -88,12 +92,13 @@ class Resource(Term):
 class BlankNode(Term):
     """An anonymous node, identified only within one graph."""
 
-    __slots__ = ("node_id",)
+    __slots__ = ("node_id", "_hash")
 
     def __init__(self, node_id: str):
         if not node_id:
             raise ValueError("BlankNode id must be a non-empty string")
         object.__setattr__(self, "node_id", node_id)
+        object.__setattr__(self, "_hash", hash(("BlankNode", node_id)))
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("BlankNode is immutable")
@@ -102,7 +107,7 @@ class BlankNode(Term):
         return isinstance(other, BlankNode) and self.node_id == other.node_id
 
     def __hash__(self) -> int:
-        return hash(("BlankNode", self.node_id))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"BlankNode({self.node_id!r})"
@@ -130,7 +135,7 @@ class Literal(Term):
     model's numeric encoding (§5.4) rely on.
     """
 
-    __slots__ = ("lexical", "datatype", "language")
+    __slots__ = ("lexical", "datatype", "language", "_hash")
 
     def __init__(self, lexical, datatype: str | None = None,
                  language: str | None = None):
@@ -138,9 +143,13 @@ class Literal(Term):
             raise ValueError("a literal cannot have both datatype and language")
         if datatype is None and language is None and not isinstance(lexical, str):
             lexical, datatype = _infer_lexical(lexical)
-        object.__setattr__(self, "lexical", str(lexical))
+        lexical = str(lexical)
+        object.__setattr__(self, "lexical", lexical)
         object.__setattr__(self, "datatype", datatype)
         object.__setattr__(self, "language", language)
+        object.__setattr__(
+            self, "_hash", hash(("Literal", lexical, datatype, language))
+        )
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Literal is immutable")
@@ -154,7 +163,7 @@ class Literal(Term):
         )
 
     def __hash__(self) -> int:
-        return hash(("Literal", self.lexical, self.datatype, self.language))
+        return self._hash
 
     def __repr__(self) -> str:
         extra = ""

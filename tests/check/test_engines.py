@@ -1,0 +1,127 @@
+"""Three-way engine racing: clean budgets and planted-bug sensitivity.
+
+``--engines compiled,bitset,naive`` races the compiled-plan engine as a
+third differential model.  The clean-budget test proves the triple
+agrees over a fixed seed; the sensitivity tests then plant the two bug
+shapes compilation specifically risks — a container intersection
+off-by-one and a selectivity-reordering bug that changes results — and
+demand the same harness catches both.  A racer that can't lose proves
+nothing.
+"""
+
+import pytest
+
+from repro.check import FuzzConfig, fuzz
+from repro.check.cli import build_parser, main
+from repro.perf import containers, plan
+
+
+class TestThreeWayBudget:
+    def test_fixed_seed_budget_runs_clean(self):
+        report = fuzz(
+            20260808,
+            steps=600,
+            corpora=6,
+            config=FuzzConfig(engines=("compiled", "bitset", "naive")),
+        )
+        assert report.ok, report.failure.detail
+        assert report.steps_run >= 600
+
+    def test_three_way_runs_are_deterministic(self):
+        config = FuzzConfig(engines=("compiled", "bitset", "naive"))
+        first = fuzz(910, steps=150, corpora=3, config=config)
+        second = fuzz(910, steps=150, corpora=3, config=config)
+        assert first.ok and second.ok
+        assert first.steps_run == second.steps_run
+
+
+class TestPlantedBugs:
+    """Break the compiled engine on purpose; the racer must notice."""
+
+    def test_catches_container_intersection_off_by_one(self, monkeypatch):
+        original = containers._intersect_sorted
+
+        def off_by_one(a, b):
+            values = original(a, b)
+            return values[:-1] if values else values
+
+        monkeypatch.setattr(containers, "_intersect_sorted", off_by_one)
+        report = fuzz(
+            20260808,
+            steps=600,
+            corpora=6,
+            config=FuzzConfig(engines=("compiled", "bitset", "naive")),
+            minimize_failures=False,
+        )
+        assert not report.ok, "racer missed a container off-by-one"
+        assert "compiled" in report.failure.detail
+
+    def test_catches_wrong_selectivity_order(self, monkeypatch):
+        # A reorder that drops the least-selective conjunct: results
+        # grow, or the And's stack arity breaks — either way the
+        # compiled side must diverge from bitset/naive.
+        def lossy_order(estimates):
+            order = sorted(
+                range(len(estimates)), key=lambda i: (estimates[i], i)
+            )
+            return order[:-1] if len(order) > 1 else order
+
+        monkeypatch.setattr(plan, "_selectivity_order", lossy_order)
+        report = fuzz(
+            20260808,
+            steps=600,
+            corpora=6,
+            config=FuzzConfig(engines=("compiled", "bitset", "naive")),
+            minimize_failures=False,
+        )
+        assert not report.ok, "racer missed a selectivity-order bug"
+        assert "compiled" in report.failure.detail
+
+    def test_bugs_are_invisible_without_the_compiled_engine(self, monkeypatch):
+        # Control: the default two-way race never runs compiled plans,
+        # so the planted container bug cannot surface there.  This pins
+        # that the catches above come from the third engine, not luck.
+        original = containers._intersect_sorted
+
+        def off_by_one(a, b):
+            values = original(a, b)
+            return values[:-1] if values else values
+
+        monkeypatch.setattr(containers, "_intersect_sorted", off_by_one)
+        report = fuzz(20260808, steps=300, corpora=3)
+        assert report.ok
+
+
+class TestEngineConfig:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FuzzConfig(engines=("compiled", "bitset", "naive", "quantum"))
+
+    def test_bitset_and_naive_are_mandatory(self):
+        with pytest.raises(ValueError, match="bitset"):
+            FuzzConfig(engines=("compiled", "naive"))
+        with pytest.raises(ValueError, match="bitset"):
+            FuzzConfig(engines=("compiled", "bitset"))
+
+    def test_race_compiled_flag(self):
+        assert FuzzConfig(engines=("compiled", "bitset", "naive")).race_compiled
+        assert not FuzzConfig().race_compiled
+
+
+class TestCli:
+    def test_engines_flag_parses(self):
+        args = build_parser().parse_args(
+            ["--engines", "compiled,bitset,naive"]
+        )
+        assert args.engines == "compiled,bitset,naive"
+
+    def test_default_is_two_way(self):
+        assert build_parser().parse_args([]).engines == "bitset,naive"
+
+    def test_invalid_engines_exit_code_2(self, capsys):
+        assert main(["--engines", "compiled,bitset"]) == 2
+        assert "bitset" in capsys.readouterr().err
+
+    def test_unknown_engine_exit_code_2(self, capsys):
+        assert main(["--engines", "bitset,naive,warp"]) == 2
+        assert "unknown" in capsys.readouterr().err

@@ -1,0 +1,230 @@
+"""WAND-style pruned top-k: exact equality with exhaustive retrieval.
+
+Threshold pruning is only admissible if it returns *exactly* the heap
+top-k — same items, same float scores to the last ulp, same tie-break
+order — on every distribution, including the adversarial ones: ties at
+the pruning threshold, all-equal scores, k larger than the corpus.
+These tests pin ``pruned_top_k`` against ``top_k`` and against the
+``VectorStore`` oracle.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import InvertedIndex, top_k
+from repro.index.search import pruned_top_k
+from repro.vsm import SparseVector
+
+
+def _assert_hits_identical(pruned, exhaustive):
+    assert len(pruned) == len(exhaustive)
+    for mine, theirs in zip(pruned, exhaustive):
+        assert mine.item == theirs.item
+        # bit-identical, not approx: accumulation order is pinned
+        assert mine.score == theirs.score
+
+
+def _uniform_index(n_docs, n_coords, rng, weight=None):
+    index = InvertedIndex()
+    for d in range(n_docs):
+        entries = [
+            (f"c{c}", weight if weight is not None else rng.uniform(0.01, 2.0))
+            for c in rng.sample(range(n_coords), rng.randint(1, n_coords))
+        ]
+        index.add(f"d{d:03d}", entries)
+    return index
+
+
+class TestAdversarialDistributions:
+    def test_ties_at_the_threshold(self):
+        # Every doc scores exactly 1.0: the pruning threshold equals
+        # every candidate's score, and the strict-inequality skip must
+        # not drop any of them before tie-breaking.
+        index = InvertedIndex()
+        for d in range(20):
+            index.add(f"d{d:02d}", [("shared", 1.0)])
+        query = SparseVector({"shared": 1.0})
+        for k in (1, 5, 19, 20):
+            _assert_hits_identical(
+                pruned_top_k(index, query, k), top_k(index, query, k)
+            )
+
+    def test_all_equal_scores_across_many_coords(self):
+        rng = random.Random(7)
+        index = _uniform_index(30, 6, rng, weight=0.25)
+        query = SparseVector({f"c{c}": 1.0 for c in range(6)})
+        for k in (1, 7, 30):
+            _assert_hits_identical(
+                pruned_top_k(index, query, k), top_k(index, query, k)
+            )
+
+    def test_k_at_least_corpus_size(self):
+        rng = random.Random(11)
+        index = _uniform_index(12, 5, rng)
+        query = SparseVector({f"c{c}": rng.uniform(0.1, 1.0) for c in range(5)})
+        for k in (12, 13, 500):
+            _assert_hits_identical(
+                pruned_top_k(index, query, k), top_k(index, query, k)
+            )
+
+    def test_one_dominant_coordinate_prunes_the_tail(self):
+        # A head coordinate with huge weights and a long tail of tiny
+        # ones: the classic WAND win.  Equality must survive the skip.
+        index = InvertedIndex()
+        for d in range(50):
+            index.add(f"head{d:02d}", [("hot", 10.0 + d)])
+        for d in range(200):
+            index.add(f"tail{d:03d}", [("cold", 0.001)])
+        query = SparseVector({"hot": 1.0, "cold": 1.0})
+        _assert_hits_identical(
+            pruned_top_k(index, query, 10), top_k(index, query, 10)
+        )
+
+    def test_exclude_filter_parity(self):
+        rng = random.Random(23)
+        index = _uniform_index(40, 6, rng)
+        query = SparseVector({f"c{c}": 1.0 for c in range(6)})
+        exclude = lambda item: item.endswith(("0", "5"))  # noqa: E731
+        _assert_hits_identical(
+            pruned_top_k(index, query, 8, exclude=exclude),
+            top_k(index, query, 8, exclude=exclude),
+        )
+
+    def test_negative_weights_fall_back_exactly(self):
+        # Negative weights break the monotone upper-bound argument; the
+        # pruned path must detect them and defer to the exhaustive scan.
+        index = InvertedIndex()
+        index.add("d1", [("a", -0.5), ("b", 1.0)])
+        index.add("d2", [("a", 1.0)])
+        query = SparseVector({"a": 1.0, "b": 1.0})
+        _assert_hits_identical(
+            pruned_top_k(index, query, 2), top_k(index, query, 2)
+        )
+        negative_query = SparseVector({"a": -1.0})
+        positive_index = InvertedIndex()
+        positive_index.add("d1", [("a", 1.0)])
+        _assert_hits_identical(
+            pruned_top_k(positive_index, negative_query, 1),
+            top_k(positive_index, negative_query, 1),
+        )
+
+    def test_empty_query_and_empty_index(self):
+        index = InvertedIndex()
+        assert pruned_top_k(index, SparseVector({"a": 1.0}), 5) == []
+        index.add("d1", [("a", 1.0)])
+        assert pruned_top_k(index, SparseVector(), 5) == []
+        assert pruned_top_k(index, SparseVector({"a": 1.0}), 0) == []
+
+
+class TestRandomizedEquality:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pruned_equals_exhaustive(self, seed, k):
+        rng = random.Random(seed)
+        index = _uniform_index(
+            rng.randint(1, 40), rng.randint(1, 8), rng
+        )
+        n_coords = rng.randint(1, 8)
+        query = SparseVector(
+            {f"c{c}": rng.uniform(0.0, 2.0) for c in range(n_coords)}
+        )
+        _assert_hits_identical(
+            pruned_top_k(index, query, k), top_k(index, query, k)
+        )
+
+    def test_scores_bit_identical_on_long_postings(self):
+        # Float addition does not commute; the pruned path must keep the
+        # per-doc accumulation order of top_k so scores match exactly.
+        rng = random.Random(99)
+        index = InvertedIndex()
+        for d in range(60):
+            index.add(
+                f"d{d:02d}",
+                [(f"c{c}", rng.uniform(0.01, 1.0)) for c in range(12)],
+            )
+        query = SparseVector({f"c{c}": rng.uniform(0.01, 1.0) for c in range(12)})
+        _assert_hits_identical(
+            pruned_top_k(index, query, 9), top_k(index, query, 9)
+        )
+
+
+class TestWeightBounds:
+    def test_bounds_track_inserts(self):
+        index = InvertedIndex()
+        index.add("d1", [("a", 0.5)])
+        assert index.weight_bounds("a") == (0.5, 0.5)
+        index.add("d2", [("a", 2.0)])
+        assert index.weight_bounds("a") == (0.5, 2.0)
+
+    def test_bounds_evict_on_removal(self):
+        index = InvertedIndex()
+        index.add("d1", [("a", 0.5)])
+        index.add("d2", [("a", 2.0)])
+        assert index.weight_bounds("a") == (0.5, 2.0)
+        index.remove("d2")
+        assert index.weight_bounds("a") == (0.5, 0.5)
+
+    def test_bounds_of_unknown_coordinate(self):
+        assert InvertedIndex().weight_bounds("ghost") == (0.0, 0.0)
+
+    def test_clear_resets_bounds(self):
+        index = InvertedIndex()
+        index.add("d1", [("a", 1.5)])
+        index.clear()
+        assert index.weight_bounds("a") == (0.0, 0.0)
+
+    def test_stale_bounds_would_break_pruning(self):
+        # End-to-end guard: mutate weights, then demand exact equality —
+        # a stale cached upper bound would prune the new heavy doc.
+        index = InvertedIndex()
+        for d in range(30):
+            index.add(f"d{d:02d}", [("a", 0.1), ("b", 0.1)])
+        index.add("heavy", [("a", 50.0)])
+        index.remove("heavy")
+        index.add("heavier", [("a", 100.0)])
+        query = SparseVector({"a": 1.0, "b": 1.0})
+        _assert_hits_identical(
+            pruned_top_k(index, query, 5), top_k(index, query, 5)
+        )
+        assert pruned_top_k(index, query, 1)[0].item == "heavier"
+
+
+class TestVectorStoreOracle:
+    @pytest.fixture()
+    def stores(self, recipe_corpus):
+        from repro.core.workspace import Workspace
+
+        heap_ws = Workspace(
+            recipe_corpus.graph,
+            schema=recipe_corpus.schema,
+            items=recipe_corpus.items,
+        )
+        heap_ws.vector_store.refresh()
+        pruned_store = type(heap_ws.vector_store)(
+            heap_ws.vector_store.model, prune_top_k=True
+        )
+        pruned_store.refresh()
+        return heap_ws.vector_store, pruned_store
+
+    def test_similar_to_item_matches_oracle(self, stores, recipe_corpus):
+        heap_store, pruned_store = stores
+        for target in recipe_corpus.items[:15]:
+            expected = heap_store.similar_to_item(target, 10)
+            actual = pruned_store.similar_to_item(target, 10)
+            assert [h.item for h in actual] == [h.item for h in expected]
+            assert [h.score for h in actual] == [h.score for h in expected]
+
+    def test_k_beyond_corpus_matches_oracle(self, stores, recipe_corpus):
+        heap_store, pruned_store = stores
+        target = recipe_corpus.items[0]
+        expected = heap_store.similar_to_item(target, 10_000)
+        actual = pruned_store.similar_to_item(target, 10_000)
+        assert [(h.item, h.score) for h in actual] == [
+            (h.item, h.score) for h in expected
+        ]

@@ -1,0 +1,302 @@
+"""The headline three-way harness: compiled ≡ legacy bitset ≡ naive.
+
+Every observable the compiled engine produces — extents, counts,
+``within``-scoped results, facet profiles, preview counts — must be
+*identical* (bit-identical where ordering is observable) to both the
+legacy strategies and the per-item naive evaluation.  Hypothesis drives
+random predicate trees, including the degenerate shapes (``And([])``,
+``Or([])``, deep negation towers) and adversarial range bounds (NaN,
+±inf), over corpora that exercise all three container kinds.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysts.common import collection_profile
+from repro.query import (
+    And,
+    HasProperty,
+    HasValue,
+    Not,
+    Or,
+    QueryContext,
+    QueryEngine,
+    Range,
+    TextMatch,
+    TypeIs,
+    ValueIn,
+)
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://ceq.example/")
+
+NAN = float("nan")
+INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Engines under test
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def engines(recipe_workspace):
+    """(context, {name: engine}) — all four strategies on one context."""
+    context = recipe_workspace.query_context
+    return context, {
+        "compiled": QueryEngine(context, mode="compiled"),
+        "bitset": QueryEngine(context, mode="bitset"),
+        "legacy": QueryEngine(context, mode="legacy"),
+    }
+
+
+def _naive(predicate, context, population):
+    return {item for item in population if predicate.matches(item, context)}
+
+
+def _leaves(corpus):
+    props = corpus.extras["properties"]
+    cuisines = list(corpus.extras["cuisines"].values())
+    ingredients = list(corpus.extras["ingredients"].values())
+    return [
+        TypeIs(corpus.extras["types"]["Recipe"]),
+        HasProperty(props["method"]),
+        HasValue(props["cuisine"], cuisines[0]),
+        HasValue(props["cuisine"], cuisines[-1]),
+        HasValue(props["ingredient"], ingredients[0]),
+        TextMatch("olive"),
+        ValueIn(props["ingredient"], ingredients[:10], quantifier="any"),
+        Range(props["serves"], low=2, high=6),
+        Range(props["prepMinutes"], low=None, high=45),
+        # adversarial bounds: NaN compares False everywhere, inf swallows
+        Range(props["serves"], low=NAN, high=None),
+        Range(props["serves"], low=None, high=NAN),
+        Range(props["prepMinutes"], low=-INF, high=INF),
+        Range(props["serves"], low=INF, high=None),
+    ]
+
+
+def _trees(leaves):
+    leaf = st.sampled_from(leaves)
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            # min_size=0 generates And([]) / Or([]) on purpose
+            st.lists(children, min_size=0, max_size=3).map(And),
+            st.lists(children, min_size=0, max_size=3).map(Or),
+            children.map(Not),
+            children.map(lambda p: Not(Not(Not(p)))),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestThreeWayTrees:
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_extents_and_counts_agree(self, engines, recipe_corpus, data):
+        context, strategies = engines
+        predicate = data.draw(_trees(_leaves(recipe_corpus)))
+        expected = _naive(predicate, context, context.universe)
+        for name, engine in strategies.items():
+            assert engine.evaluate(predicate) == expected, name
+            assert engine.count(predicate) == len(expected), name
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_within_scoping_agrees(self, engines, recipe_corpus, data):
+        context, strategies = engines
+        predicate = data.draw(_trees(_leaves(recipe_corpus)))
+        universe = sorted(context.universe, key=lambda n: n.n3())
+        within = data.draw(
+            st.lists(st.sampled_from(universe), unique=True, max_size=40)
+        )
+        expected = _naive(predicate, context, set(within))
+        for name, engine in strategies.items():
+            assert engine.evaluate(predicate, within=within) == expected, name
+            assert engine.count(predicate, within=within) == len(expected), name
+
+    def test_degenerate_roots(self, engines):
+        context, strategies = engines
+        cases = {
+            And([]): set(context.universe),
+            Or([]): set(),
+            Not(And([])): set(),
+            Not(Or([])): set(context.universe),
+        }
+        for predicate, expected in cases.items():
+            for name, engine in strategies.items():
+                assert engine.evaluate(predicate) == expected, name
+
+
+# ----------------------------------------------------------------------
+# Container kinds: the corpus really exercises array, bitmap AND run
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def kind_setting():
+    """A graph whose leaf containers span all three chunk kinds."""
+    graph = Graph()
+    for i in range(5_000):
+        item = EX[f"k{i}"]
+        graph.add(item, RDF.type, EX.Doc)
+        graph.add(item, EX.flag, EX.dense)  # card 5000 > ARRAY_MAX_CARD
+        if i % 7 == 0:
+            graph.add(item, EX.sparse, EX.rare)  # card ~714: array
+        graph.add(item, EX.size, Literal(i % 97))
+    context = QueryContext(graph)
+    return graph, context, QueryEngine(context, mode="compiled")
+
+
+class TestContainerKindTransitions:
+    def test_all_three_kinds_arise(self, kind_setting):
+        _graph, context, engine = kind_setting
+        dense = HasValue(EX.flag, EX.dense)
+        sparse = HasValue(EX.sparse, EX.rare)
+        engine.evaluate(And([dense, sparse]))
+        dense_container = context.cached_leaf_container(dense)
+        sparse_container = context.cached_leaf_container(sparse)
+        assert set(dense_container.chunk_kinds().values()) == {"bitmap"}
+        assert set(sparse_container.chunk_kinds().values()) == {"array"}
+        # item ids intern densely, so the universe run-optimizes to runs
+        assert "run" in set(context.universe_container().chunk_kinds().values())
+
+    def test_cross_kind_plans_match_naive(self, kind_setting):
+        _graph, context, engine = kind_setting
+        legacy = QueryEngine(context, mode="legacy")
+        trees = [
+            And([HasValue(EX.flag, EX.dense), HasValue(EX.sparse, EX.rare)]),
+            Or([HasValue(EX.sparse, EX.rare), Not(HasValue(EX.flag, EX.dense))]),
+            And([Not(HasValue(EX.sparse, EX.rare)), Range(EX.size, low=10, high=20)]),
+            Not(And([HasValue(EX.flag, EX.dense), Not(HasValue(EX.sparse, EX.rare))])),
+        ]
+        for predicate in trees:
+            expected = _naive(predicate, context, context.universe)
+            assert engine.evaluate(predicate) == expected
+            assert legacy.evaluate(predicate) == expected
+
+    def test_kinds_transition_as_results_narrow(self, kind_setting):
+        _graph, context, engine = kind_setting
+        # bitmap ∩ array → array-sized result
+        merged = context.cached_leaf_container(
+            HasValue(EX.flag, EX.dense)
+        ) & context.cached_leaf_container(HasValue(EX.sparse, EX.rare))
+        assert set(merged.chunk_kinds().values()) == {"array"}
+        assert len(merged) == len(
+            _naive(
+                And([HasValue(EX.flag, EX.dense), HasValue(EX.sparse, EX.rare)]),
+                context,
+                context.universe,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Facet profiles: bit-identical, including ordering and NaN readings
+# ----------------------------------------------------------------------
+
+
+def _nan_aware_equal(a, b):
+    if len(a) != len(b):
+        return False
+    return all(x == y or (x != x and y != y) for x, y in zip(a, b))
+
+
+def _assert_profiles_identical(legacy, compiled):
+    assert compiled is not None
+    assert legacy.item_count == compiled.item_count
+    # dict insertion order is part of the contract (suggestion ordering)
+    assert list(legacy.properties.keys()) == list(compiled.properties.keys())
+    for prop, expected in legacy.properties.items():
+        actual = compiled.properties[prop]
+        assert actual.declared == expected.declared
+        assert actual.is_annotation == expected.is_annotation
+        assert actual.coverage == expected.coverage
+        assert actual.value_tally == expected.value_tally
+        assert actual.continuous_tally == expected.continuous_tally
+        # Counter insertion order leaks through most_common tie-breaks
+        assert list(actual.counts.items()) == list(expected.counts.items())
+        assert _nan_aware_equal(actual._readings, expected._readings)
+
+
+@pytest.fixture(scope="module")
+def nan_context():
+    """Items whose numeric facets include NaN/inf/unparseable literals."""
+    graph = Graph()
+    oddities = ["nan", "inf", "-inf", "n/a", "3.5", "nan"]
+    for i in range(24):
+        item = EX[f"n{i}"]
+        graph.add(item, RDF.type, EX.Doc)
+        graph.add(item, EX.score, Literal(oddities[i % len(oddities)]))
+        graph.add(item, EX.rank, Literal(i))
+        if i % 3 == 0:
+            graph.add(item, EX.label, Literal(f"label {i % 5}"))
+    return QueryContext(graph)
+
+
+class TestFacetProfileBitIdentity:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_subsets_on_recipes(self, recipe_workspace, data):
+        context = recipe_workspace.query_context
+        items = sorted(context.universe, key=lambda n: n.n3())
+        subset = data.draw(
+            st.lists(st.sampled_from(items), unique=True, max_size=60)
+        )
+        legacy = collection_profile(context.graph, context.schema, subset)
+        compiled = context.facet_postings().profile(subset)
+        _assert_profiles_identical(legacy, compiled)
+
+    def test_nan_and_inf_readings_match(self, nan_context):
+        context = nan_context
+        items = sorted(context.universe, key=lambda n: n.n3())
+        legacy = collection_profile(context.graph, context.schema, items)
+        compiled = context.facet_postings().profile(items)
+        _assert_profiles_identical(legacy, compiled)
+        readings = compiled.properties[EX.score]._readings
+        assert any(math.isnan(r) for r in readings)
+        assert any(math.isinf(r) for r in readings)
+
+    def test_subset_order_controls_profile_order(self, nan_context):
+        context = nan_context
+        items = sorted(context.universe, key=lambda n: n.n3())
+        for subset in (list(reversed(items)), items[::3], items[5:6]):
+            legacy = collection_profile(context.graph, context.schema, subset)
+            compiled = context.facet_postings().profile(subset)
+            _assert_profiles_identical(legacy, compiled)
+
+    def test_unknown_item_falls_back_to_none(self, nan_context):
+        assert nan_context.facet_postings().profile([EX.stranger]) is None
+
+    def test_empty_collection(self, nan_context):
+        legacy = collection_profile(nan_context.graph, nan_context.schema, [])
+        compiled = nan_context.facet_postings().profile([])
+        _assert_profiles_identical(legacy, compiled)
+
+
+# ----------------------------------------------------------------------
+# Preview counts through the full workspace stack
+# ----------------------------------------------------------------------
+
+
+class TestWorkspacePreviewCounts:
+    def test_compiled_workspace_preview_counts_match(self, recipe_corpus):
+        from repro.browser.session import Session
+        from repro.core.workspace import Workspace
+
+        bitset_ws = Workspace(
+            recipe_corpus.graph,
+            schema=recipe_corpus.schema,
+            items=recipe_corpus.items,
+        )
+        compiled_ws = bitset_ws.with_query_mode("compiled")
+        bitset_session = Session(bitset_ws)
+        compiled_session = Session(compiled_ws)
+        for predicate in _leaves(recipe_corpus):
+            assert compiled_session.preview_count(
+                predicate
+            ) == bitset_session.preview_count(predicate)

@@ -1,0 +1,172 @@
+"""Roaring container semantics: every operation against a set oracle.
+
+The compiled engine's correctness reduces to these containers behaving
+exactly like Python sets of ints, across all three chunk kinds and
+— critically — across the representation *transitions*: the
+array→bitmap threshold at :data:`ARRAY_MAX_CARD`, the chunk split at
+:data:`CHUNK_SIZE`, and the explicit ``run_optimize`` re-encoding.
+Hypothesis drives random id sets straight at those boundaries.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.containers import (
+    ARRAY_MAX_CARD,
+    CHUNK_SIZE,
+    RUN_COMPRESSION_FACTOR,
+    RoaringBitmap,
+)
+
+#: Id sets biased to straddle the interesting boundaries: chunk 0,
+#: the chunk-0/chunk-1 split, and cardinalities near ARRAY_MAX_CARD.
+boundary_ids = st.sets(
+    st.one_of(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=CHUNK_SIZE - 150, max_value=CHUNK_SIZE + 150),
+        st.integers(min_value=3 * CHUNK_SIZE - 20, max_value=3 * CHUNK_SIZE + 20),
+    ),
+    max_size=250,
+)
+
+
+class TestSetOracle:
+    @given(boundary_ids, boundary_ids)
+    @settings(max_examples=120)
+    def test_algebra_matches_sets(self, a, b):
+        ra, rb = RoaringBitmap.from_ids(a), RoaringBitmap.from_ids(b)
+        assert (ra & rb).to_set() == a & b
+        assert (ra | rb).to_set() == a | b
+        assert ra.andnot(rb).to_set() == a - b
+        assert len(ra) == len(a)
+        assert bool(ra) == bool(a)
+
+    @given(boundary_ids)
+    @settings(max_examples=60)
+    def test_iteration_is_ascending_and_complete(self, a):
+        ids = list(RoaringBitmap.from_ids(a).iter_ids())
+        assert ids == sorted(a)
+
+    @given(boundary_ids, st.integers(min_value=0, max_value=4 * CHUNK_SIZE))
+    @settings(max_examples=60)
+    def test_contains_matches_membership(self, a, probe):
+        assert (probe in RoaringBitmap.from_ids(a)) == (probe in a)
+
+    @given(boundary_ids, boundary_ids)
+    @settings(max_examples=60)
+    def test_equality_is_value_equality(self, a, b):
+        ra, rb = RoaringBitmap.from_ids(a), RoaringBitmap.from_ids(b)
+        assert (ra == rb) == (a == b)
+        # equality must also hold across representation changes
+        assert ra == RoaringBitmap.from_ids(sorted(a)).run_optimize()
+
+
+class TestKindTransitions:
+    def test_array_to_bitmap_at_threshold(self):
+        at = RoaringBitmap.from_ids(range(ARRAY_MAX_CARD))
+        over = RoaringBitmap.from_ids(range(ARRAY_MAX_CARD + 1))
+        assert at.chunk_kinds() == {0: "array"}
+        assert over.chunk_kinds() == {0: "bitmap"}
+        assert len(at) == ARRAY_MAX_CARD
+        assert len(over) == ARRAY_MAX_CARD + 1
+
+    def test_sparse_threshold_is_exact(self):
+        # a spread-out set of exactly ARRAY_MAX_CARD ids stays an array
+        ids = set(range(0, 4 * ARRAY_MAX_CARD, 4))
+        assert RoaringBitmap.from_ids(ids).chunk_kinds() == {0: "array"}
+
+    def test_chunk_split_at_2_16(self):
+        bitmap = RoaringBitmap.from_ids([CHUNK_SIZE - 1, CHUNK_SIZE])
+        assert sorted(bitmap.chunk_kinds()) == [0, 1]
+        assert bitmap.to_set() == {CHUNK_SIZE - 1, CHUNK_SIZE}
+
+    def test_intersection_narrows_bitmap_back_to_array(self):
+        dense = RoaringBitmap.from_ids(range(10_000))
+        sparse = RoaringBitmap.from_ids([5, 9_999, 50_000])
+        merged = dense & sparse
+        assert merged.to_set() == {5, 9_999}
+        assert merged.chunk_kinds() == {0: "array"}
+
+    def test_union_promotes_array_to_bitmap(self):
+        a = RoaringBitmap.from_ids(range(0, 6_000, 2))
+        b = RoaringBitmap.from_ids(range(1, 6_001, 2))
+        assert a.chunk_kinds() == {0: "array"}
+        merged = a | b
+        assert merged.chunk_kinds() == {0: "bitmap"}
+        assert merged.to_set() == set(range(6_000))
+
+
+class TestRunOptimize:
+    def test_contiguous_chunk_becomes_run(self):
+        bitmap = RoaringBitmap.from_ids(range(100)).run_optimize()
+        assert bitmap.chunk_kinds() == {0: "run"}
+        assert bitmap.to_set() == set(range(100))
+
+    def test_run_rule_is_the_reference_rule(self):
+        # n_runs * RUN_COMPRESSION_FACTOR <= cardinality, exactly.
+        run_len = RUN_COMPRESSION_FACTOR
+        compressible = {
+            base * 100 + off for base in range(8) for off in range(run_len)
+        }
+        assert (
+            RoaringBitmap.from_ids(compressible).run_optimize().chunk_kinds()
+            == {0: "run"}
+        )
+        # One id fewer and the rule no longer holds: stays an array.
+        short = set(compressible)
+        short.discard(max(short))
+        assert (
+            RoaringBitmap.from_ids(short).run_optimize().chunk_kinds()
+            == {0: "array"}
+        )
+
+    def test_scattered_chunk_stays_put(self):
+        scattered = RoaringBitmap.from_ids(range(0, 1_000, 2)).run_optimize()
+        assert scattered.chunk_kinds() == {0: "array"}
+
+    @given(boundary_ids, boundary_ids)
+    @settings(max_examples=60)
+    def test_optimized_operands_are_semantics_preserving(self, a, b):
+        ra = RoaringBitmap.from_ids(a).run_optimize()
+        rb = RoaringBitmap.from_ids(b)
+        assert (ra & rb).to_set() == a & b
+        assert (ra | rb).to_set() == a | b
+        assert ra.andnot(rb).to_set() == a - b
+        assert rb.andnot(ra).to_set() == b - a
+        assert ra.to_set() == a
+
+
+class TestCrossKindAlgebra:
+    """Pin every chunk-kind pairing explicitly, not just by luck."""
+
+    def _kinds(self):
+        rng = random.Random(20260808)
+        sparse = set(rng.sample(range(CHUNK_SIZE), 300))
+        dense = set(rng.sample(range(CHUNK_SIZE), 9_000))
+        runs = set(range(2_000, 2_000 + 5_000))
+        array = RoaringBitmap.from_ids(sparse)
+        bitmap = RoaringBitmap.from_ids(dense)
+        run = RoaringBitmap.from_ids(runs).run_optimize()
+        assert array.chunk_kinds() == {0: "array"}
+        assert bitmap.chunk_kinds() == {0: "bitmap"}
+        assert run.chunk_kinds() == {0: "run"}
+        return [(array, sparse), (bitmap, dense), (run, runs)]
+
+    def test_all_nine_pairings_match_sets(self):
+        kinds = self._kinds()
+        for left, left_set in kinds:
+            for right, right_set in kinds:
+                assert (left & right).to_set() == left_set & right_set
+                assert (left | right).to_set() == left_set | right_set
+                assert left.andnot(right).to_set() == left_set - right_set
+
+    def test_empty_interacts_with_every_kind(self):
+        empty = RoaringBitmap.empty()
+        assert not empty
+        for bitmap, ids in self._kinds():
+            assert (bitmap & empty).to_set() == set()
+            assert (bitmap | empty).to_set() == ids
+            assert bitmap.andnot(empty).to_set() == ids
+            assert empty.andnot(bitmap).to_set() == set()

@@ -1,0 +1,247 @@
+"""Compiled query plans: bytecode shape, ordering rules, cache stats.
+
+The compiler is free to reorder conjuncts (intersection commutes) but
+nothing else: leaves must resolve in syntactic order (error parity with
+the legacy walk) and the emitted ``And`` fragments must appear in
+ascending-selectivity order.  These tests pin the bytecode itself, not
+just the results.
+"""
+
+import pytest
+
+from repro.perf.containers import RoaringBitmap
+from repro.perf.plan import (
+    OP_AND,
+    OP_LEAF,
+    OP_NOT,
+    OP_OR,
+    OP_UNIVERSE,
+    CompiledPlan,
+    compile_predicate,
+)
+from repro.query import (
+    And,
+    Cardinality,
+    HasProperty,
+    HasValue,
+    Not,
+    Or,
+    QueryContext,
+    QueryEngine,
+    TextMatch,
+)
+from repro.rdf import Graph, Literal, Namespace, RDF
+
+EX = Namespace("http://plan.example/")
+
+UNIVERSE_SIZE = 100
+
+
+def _resolver(extents):
+    """Leaf resolver over {predicate: ids}; records resolution order."""
+    calls = []
+
+    def resolve(predicate):
+        calls.append(predicate)
+        ids = extents[predicate]
+        if ids is None:
+            return None
+        return RoaringBitmap.from_ids(ids)
+
+    return resolve, calls
+
+
+class TestCompilerOrdering:
+    def test_and_emits_most_selective_first(self):
+        wide = HasProperty(EX.wide)
+        narrow = HasProperty(EX.narrow)
+        mid = HasProperty(EX.mid)
+        resolve, calls = _resolver(
+            {wide: range(60), narrow: range(3), mid: range(20)}
+        )
+        plan = compile_predicate(And([wide, narrow, mid]), resolve, UNIVERSE_SIZE)
+        # leaves resolved in syntactic order...
+        assert calls == [wide, narrow, mid]
+        # ...but emitted ascending by cardinality: narrow(3), mid(20), wide(60)
+        assert plan.ops == (
+            (OP_LEAF, 1),
+            (OP_LEAF, 2),
+            (OP_LEAF, 0),
+            (OP_AND, 3),
+        )
+        assert plan.estimate == 3
+
+    def test_tied_estimates_keep_syntactic_order(self):
+        a, b = HasProperty(EX.a), HasProperty(EX.b)
+        resolve, _ = _resolver({a: range(5), b: range(5)})
+        plan = compile_predicate(And([a, b]), resolve, UNIVERSE_SIZE)
+        assert plan.ops == ((OP_LEAF, 0), (OP_LEAF, 1), (OP_AND, 2))
+
+    def test_or_preserves_syntactic_order(self):
+        wide, narrow = HasProperty(EX.wide), HasProperty(EX.narrow)
+        resolve, _ = _resolver({wide: range(60), narrow: range(3)})
+        plan = compile_predicate(Or([wide, narrow]), resolve, UNIVERSE_SIZE)
+        assert plan.ops == ((OP_LEAF, 0), (OP_LEAF, 1), (OP_OR, 2))
+        # Or estimate: capped sum
+        assert plan.estimate == 63
+
+    def test_or_estimate_caps_at_universe(self):
+        wide, wider = HasProperty(EX.a), HasProperty(EX.b)
+        resolve, _ = _resolver({wide: range(80), wider: range(90)})
+        plan = compile_predicate(Or([wide, wider]), resolve, UNIVERSE_SIZE)
+        assert plan.estimate == UNIVERSE_SIZE
+
+    def test_not_estimate_complements(self):
+        leaf = HasProperty(EX.a)
+        resolve, _ = _resolver({leaf: range(30)})
+        plan = compile_predicate(Not(leaf), resolve, UNIVERSE_SIZE)
+        assert plan.ops == ((OP_LEAF, 0), (OP_NOT, 0))
+        assert plan.estimate == UNIVERSE_SIZE - 30
+
+    def test_empty_and_compiles_to_universe(self):
+        resolve, calls = _resolver({})
+        plan = compile_predicate(And([]), resolve, UNIVERSE_SIZE)
+        assert plan.ops == ((OP_UNIVERSE, 0),)
+        assert calls == []
+        universe = RoaringBitmap.from_ids(range(7))
+        assert plan.execute(universe).to_set() == set(range(7))
+
+    def test_empty_or_compiles_to_empty(self):
+        resolve, _ = _resolver({})
+        plan = compile_predicate(Or([]), resolve, UNIVERSE_SIZE)
+        assert plan.ops == ((OP_OR, 0),)
+        assert plan.execute(RoaringBitmap.from_ids(range(7))).to_set() == set()
+
+
+class TestFallbackShape:
+    def test_unknown_leaf_compiles_to_none(self):
+        leaf = HasProperty(EX.a)
+        resolve, _ = _resolver({leaf: None})
+        assert compile_predicate(leaf, resolve, UNIVERSE_SIZE) is None
+
+    def test_and_resolves_every_part_after_an_unknown(self):
+        # Error/None parity with the legacy walk: a later leaf is still
+        # resolved (its errors must surface) even though the plan is
+        # doomed to fall back.
+        unknown, later = HasProperty(EX.u), HasProperty(EX.v)
+        resolve, calls = _resolver({unknown: None, later: range(4)})
+        assert compile_predicate(And([unknown, later]), resolve, UNIVERSE_SIZE) is None
+        assert calls == [unknown, later]
+
+    def test_or_stops_at_first_unknown(self):
+        unknown, later = HasProperty(EX.u), HasProperty(EX.v)
+        resolve, calls = _resolver({unknown: None, later: range(4)})
+        assert compile_predicate(Or([unknown, later]), resolve, UNIVERSE_SIZE) is None
+        assert calls == [unknown]
+
+    def test_leaf_errors_surface_in_syntactic_order(self):
+        class Boom(Exception):
+            pass
+
+        first, second = HasProperty(EX.a), HasProperty(EX.b)
+
+        def resolve(predicate):
+            raise Boom(repr(predicate))
+
+        with pytest.raises(Boom, match="a"):
+            compile_predicate(And([first, second]), resolve, UNIVERSE_SIZE)
+
+
+class TestPlanExecution:
+    def test_deep_nesting_executes_correctly(self):
+        a, b, c = HasProperty(EX.a), HasProperty(EX.b), HasProperty(EX.c)
+        resolve, _ = _resolver(
+            {a: range(0, 50), b: range(25, 75), c: range(40, 45)}
+        )
+        plan = compile_predicate(
+            And([Or([a, c]), Not(b)]), resolve, UNIVERSE_SIZE
+        )
+        universe = RoaringBitmap.from_ids(range(UNIVERSE_SIZE))
+        expected = (set(range(0, 50)) | set(range(40, 45))) - set(range(25, 75))
+        assert plan.execute(universe).to_set() == expected
+
+    def test_leaves_are_not_universe_clipped(self):
+        # Parity with the legacy bitmask walk: the caller scopes the
+        # root, so a leaf extent outside the universe survives execute.
+        leaf = HasProperty(EX.a)
+        resolve, _ = _resolver({leaf: [1, 999]})
+        plan = compile_predicate(leaf, resolve, UNIVERSE_SIZE)
+        result = plan.execute(RoaringBitmap.from_ids(range(10)))
+        assert result.to_set() == {1, 999}
+
+
+def _tagged_graph(n: int = 10) -> Graph:
+    graph = Graph()
+    for i in range(n):
+        item = EX[f"d{i}"]
+        graph.add(item, RDF.type, EX.Doc)
+        graph.add(item, EX.tag, EX.even if i % 2 == 0 else EX.odd)
+        graph.add(item, EX.size, Literal(i))
+    return graph
+
+
+class TestEngineIntegration:
+    def test_compiled_mode_requires_known_name(self):
+        context = QueryContext(_tagged_graph())
+        with pytest.raises(ValueError):
+            QueryEngine(context, mode="vectorized")
+
+    def test_plan_cache_counts_exactly(self):
+        context = QueryContext(_tagged_graph())
+        engine = QueryEngine(context, mode="compiled")
+        predicate = And([HasValue(EX.tag, EX.even), HasProperty(EX.size)])
+        n = 4
+        for _ in range(n):
+            assert len(engine.evaluate(predicate)) == 5
+        assert context.plan_stats.misses == 1
+        assert context.plan_stats.hits == n - 1
+        # two distinct leaves, each resolved once then reused via plans
+        assert context.container_stats.misses == 2
+
+    def test_mutation_invalidates_plans(self):
+        graph = _tagged_graph()
+        context = QueryContext(graph)
+        engine = QueryEngine(context, mode="compiled")
+        predicate = HasValue(EX.tag, EX.even)
+        assert len(engine.evaluate(predicate)) == 5
+        graph.add(EX.d10, RDF.type, EX.Doc)
+        graph.add(EX.d10, EX.tag, EX.even)
+        context.universe.add(EX.d10)
+        assert len(engine.evaluate(predicate)) == 6
+        assert context.plan_stats.invalidations == 1
+
+    def test_extension_answers_at_root_only(self):
+        context = QueryContext(_tagged_graph())
+        engine = QueryEngine(context, mode="compiled")
+        frozen = set(list(context.universe)[:2])
+        engine.register_extension(HasValue, lambda p, c: set(frozen))
+        assert engine.evaluate(HasValue(EX.tag, EX.even)) == frozen
+        # nested: the extension is not consulted, plan answers normally
+        tree = Or([HasValue(EX.tag, EX.even), HasValue(EX.tag, EX.odd)])
+        assert len(engine.evaluate(tree)) == 10
+
+    def test_unplannable_leaf_falls_back_to_filtering(self):
+        context = QueryContext(_tagged_graph())
+        engine = QueryEngine(context, mode="compiled")
+        legacy = QueryEngine(context, use_bitsets=False)
+        predicate = And(
+            [HasValue(EX.tag, EX.even), Cardinality(EX.size, at_least=1)]
+        )
+        assert engine.evaluate(predicate) == legacy.evaluate(predicate)
+
+    def test_text_match_without_index_raises_on_both_paths(self):
+        context = QueryContext(_tagged_graph())
+        compiled = QueryEngine(context, mode="compiled")
+        bitset = QueryEngine(context, mode="bitset")
+        compiled_error = bitset_error = None
+        try:
+            compiled.evaluate(TextMatch("apple"))
+        except Exception as error:  # noqa: BLE001 - parity check
+            compiled_error = error
+        try:
+            bitset.evaluate(TextMatch("apple"))
+        except Exception as error:  # noqa: BLE001 - parity check
+            bitset_error = error
+        assert type(compiled_error) is type(bitset_error)
+        if compiled_error is not None:
+            assert str(compiled_error) == str(bitset_error)
