@@ -95,6 +95,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the wire-parity pass against a sharded server with "
         "this many worker processes (1 = single-process server)",
     )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="also run the standalone log-replay oracle: random corpora "
+        "with interleaved assert/retract histories, written through a "
+        "real on-disk store and replayed, must reproduce bit-identical "
+        "indexes and navigation at every recorded tx",
+    )
+    parser.add_argument(
+        "--store-corpora",
+        type=int,
+        default=5,
+        help="number of corpora for the --store oracle pass",
+    )
     return parser
 
 
@@ -190,6 +204,24 @@ def main(argv=None) -> int:
                 f"WIRE DIVERGENCE (corpus seed {failure.corpus_seed}, "
                 f"step {failure.step}, {failure.command}): {failure.detail}"
             )
+            status = 1
+
+    if args.store:
+        from .storecheck import run_store_check
+
+        store_report = run_store_check(
+            seed,
+            corpora=args.store_corpora,
+            log=lambda line: print(f"  {line}"),
+        )
+        print(
+            f"store: {store_report.corpora_run} corpus/corpora, "
+            f"{store_report.txs_checked} tx(s) checked, "
+            f"{store_report.suggest_txs_checked} suggestion point(s)"
+        )
+        for violation in store_report.violations:
+            print(f"STORE VIOLATION: {violation}")
+        if not store_report.ok:
             status = 1
 
     if args.fault_rounds > 0:

@@ -85,6 +85,10 @@ class FuzzConfig:
     #: Which engines race.  Must include "bitset" and "naive"; adding
     #: "compiled" runs the compiled-plan engine as a third model.
     engines: tuple = ("bitset", "naive")
+    #: After each clean corpus, run the log-replay oracle: the corpus
+    #: graph's datom log written to a real store and replayed must
+    #: reproduce bit-identical indexes and navigation (storecheck).
+    store_oracle: bool = True
 
     def __post_init__(self):
         unknown = [e for e in self.engines if e not in KNOWN_ENGINES]
@@ -723,6 +727,26 @@ def fuzz(
                 failure.repro_path = str(repro_path)
             report.failure = failure
             return report
+        oracle_on = config.store_oracle if config is not None else True
+        if oracle_on:
+            from .storecheck import StoreCheckReport, verify_log_replay
+
+            oracle = StoreCheckReport(seed=corpus_seed)
+            if not verify_log_replay(
+                corpus.workspace.graph, oracle, corpus_seed, suggest_txs=2
+            ):
+                report.failure = FuzzFailure(
+                    corpus_seed=corpus_seed,
+                    step=steps_per_corpus,
+                    detail="log-replay oracle: " + oracle.violations[0],
+                    commands=[],
+                )
+                if log is not None:
+                    log(
+                        f"log-replay oracle violation on corpus seed "
+                        f"{corpus_seed}: {oracle.violations[0]}"
+                    )
+                return report
         if log is not None:
             log(
                 f"corpus seed {corpus_seed}: {steps_per_corpus} step(s) clean"

@@ -69,6 +69,11 @@ __all__ = ["main", "Shell"]
 def _load_workspace(
     args: argparse.Namespace, obs: Observability | None = None
 ) -> Workspace:
+    if getattr(args, "store", None):
+        from .store.segments import LogStore
+
+        graph = LogStore.open(args.store).replay_graph(obs=obs)
+        return Workspace(graph, obs=obs)
     if args.ntriples:
         from .rdf.ntriples import parse_ntriples
 
@@ -413,6 +418,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ntriples", help="browse an N-Triples file")
     parser.add_argument("--turtle", help="browse a Turtle file")
     parser.add_argument(
+        "--store",
+        help="browse a durable datom-log store directory (log replay)",
+    )
+    parser.add_argument(
         "--commands",
         help="read commands from a file instead of stdin (non-interactive)",
     )
@@ -450,6 +459,11 @@ def main(argv: list[str] | None = None) -> int:
         from .net.cli import loadgen_main
 
         return loadgen_main(argv[1:])
+    if argv and argv[0] == "store":
+        # `python -m repro store ...` — manage durable datom-log stores.
+        from .store.cli import store_main
+
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
     obs = Observability(tracing=args.trace)
     workspace = _load_workspace(args, obs)

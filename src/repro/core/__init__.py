@@ -28,7 +28,7 @@ from .suggestions import (
     Suggestion,
 )
 from .view import View
-from .workspace import Workspace
+from .workspace import FrozenWorkspaceError, HistoricalWorkspaceError, Workspace
 
 __all__ = [
     "HISTORY",
@@ -57,4 +57,6 @@ __all__ = [
     "Suggestion",
     "View",
     "Workspace",
+    "FrozenWorkspaceError",
+    "HistoricalWorkspaceError",
 ]

@@ -30,11 +30,36 @@ from ..rdf.schema import Schema
 from ..rdf.terms import Node
 from ..rdf.vocab import RDF
 
-__all__ = ["Workspace", "FrozenWorkspaceError"]
+__all__ = ["Workspace", "FrozenWorkspaceError", "HistoricalWorkspaceError"]
 
 
 class FrozenWorkspaceError(RuntimeError):
-    """Raised when a sealed workspace (or its graph) is mutated."""
+    """Raised when a sealed workspace (or its graph) is mutated.
+
+    Carries the attempted ``operation`` name (``"add"``, ``"remove"``,
+    ``"add_item"``, ...) so the message — and programmatic handlers —
+    can say *what* was refused, not just that something was.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        operation: str | None = None,
+        tx: int | None = None,
+    ):
+        super().__init__(message)
+        self.operation = operation
+        self.tx = tx
+
+
+class HistoricalWorkspaceError(FrozenWorkspaceError):
+    """A write hit an ``as_of`` historical view.
+
+    Subclasses :class:`FrozenWorkspaceError` (a historical view is a
+    frozen workspace, so existing handlers keep working) and carries the
+    pinned transaction id ``tx`` alongside the attempted operation.
+    """
 
 
 class Workspace:
@@ -89,6 +114,11 @@ class Workspace:
         self._facet_profiles: dict = {}
         self.facet_profile_stats = CacheStats()
         self._frozen = False
+        #: Set on views produced by :meth:`as_of`: the pinned tx.
+        self._historical_tx: int | None = None
+        #: tx -> historical Workspace view, small FIFO (time-travel
+        #: sessions tend to cluster on a few interesting txs).
+        self._as_of_views: dict[int, "Workspace"] = {}
         #: Serializes the unfrozen mutation path (add_item).
         self._mutation_lock = threading.RLock()
         #: Held across the facet-memo check/compute/store so the memo's
@@ -174,12 +204,70 @@ class Workspace:
             self._frozen = True
         return self
 
+    @property
+    def as_of_tx(self) -> int | None:
+        """The pinned transaction id of an ``as_of`` view, else None."""
+        return self._historical_tx
+
+    def as_of(self, tx: int) -> "Workspace":
+        """An immutable workspace over the graph as of transaction ``tx``.
+
+        Replays the datom-log prefix ``tx' <= tx`` into a fresh frozen
+        graph and builds every substrate — schema view, vector model,
+        text index, query engine — over it, exactly as a cold build at
+        that point in history would have: suggestions over the view are
+        bit-identical to a fresh build at that tx.  The view is sealed
+        (writes raise :class:`HistoricalWorkspaceError` with the
+        operation and tx) and carries its own version-pinned caches
+        keyed by the historical graph's ``(version, tx)``.  Views are
+        memoized per tx, so many sessions can pin the same epoch
+        cheaply.  Composes with :meth:`freeze`: the base workspace may
+        be frozen or live.
+        """
+        if not isinstance(tx, int) or isinstance(tx, bool):
+            raise ValueError(f"as_of tx must be an integer, got {tx!r}")
+        if tx < 0 or tx > self.graph.last_tx:
+            raise ValueError(
+                f"as_of tx {tx} out of range 0..{self.graph.last_tx}"
+            )
+        with self._mutation_lock:
+            view = self._as_of_views.get(tx)
+            if view is not None:
+                return view
+        with self.obs.tracer.span("store.as_of", tx=tx):
+            graph_at = self.graph.as_of(tx)
+            # The view shares the parent's obs bundle so telemetry from
+            # historical sessions lands in the process registry (and the
+            # server's /metrics) alongside live-session telemetry.
+            view = Workspace(
+                graph_at,
+                use_compositions=self.model.use_compositions,
+                query_mode=self.query_mode,
+                facet_mode=self.facet_mode,
+                obs=self.obs,
+            )
+            view._historical_tx = tx
+            view.freeze()
+        with self._mutation_lock:
+            self._as_of_views.setdefault(tx, view)
+            while len(self._as_of_views) > 4:
+                self._as_of_views.pop(next(iter(self._as_of_views)))
+            return self._as_of_views[tx]
+
     def add_item(self, item: Node) -> None:
         """Index a newly arrived item across every substrate (§5.2)."""
         with self._mutation_lock:
+            if self._historical_tx is not None:
+                raise HistoricalWorkspaceError(
+                    f"workspace is a historical as-of view at tx "
+                    f"{self._historical_tx}; cannot add_item",
+                    operation="add_item",
+                    tx=self._historical_tx,
+                )
             if self._frozen:
                 raise FrozenWorkspaceError(
-                    "workspace is frozen; cannot add items"
+                    "workspace is frozen; cannot add_item",
+                    operation="add_item",
                 )
             if item not in self.model:
                 self.items.append(item)

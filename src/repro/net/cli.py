@@ -39,6 +39,11 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
                         help="apply schema annotations (states/factbook)")
     parser.add_argument("--ntriples", help="serve an N-Triples file")
     parser.add_argument("--turtle", help="serve a Turtle file")
+    parser.add_argument(
+        "--store",
+        help="serve a durable datom-log store directory "
+        "(cold start by log replay; see `repro store`)",
+    )
 
 
 def build_serve_parser() -> argparse.ArgumentParser:

@@ -140,8 +140,12 @@ class NavigationClient:
     def sessions(self) -> dict[str, Any]:
         return self.request("GET", "/sessions")
 
-    def create_session(self, name: str) -> dict[str, Any]:
-        return self.request("POST", "/sessions", {"name": name})
+    def create_session(self, name: str, as_of: int | None = None) -> dict[str, Any]:
+        """Create a session; ``as_of`` pins it to a historical tx id."""
+        body: dict[str, Any] = {"name": name}
+        if as_of is not None:
+            body["as_of"] = as_of
+        return self.request("POST", "/sessions", body)
 
     def delete_session(self, name: str) -> bool:
         return bool(self.request("DELETE", f"/sessions/{name}")["removed"])

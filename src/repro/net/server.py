@@ -617,12 +617,19 @@ class NavigationServer:
         name = body.get("name")
         if not isinstance(name, str) or not name:
             raise BadRequest("'name' must be a non-empty string")
+        as_of = body.get("as_of")
+        if as_of is not None and (
+            not isinstance(as_of, int) or isinstance(as_of, bool) or as_of < 0
+        ):
+            raise BadRequest("'as_of' must be a non-negative integer tx id")
         try:
             with self._manager_lock:
-                session = self.manager.create(name)
+                session = self.manager.create(name, as_of=as_of)
         except ValueError as error:
             return status_for(error), error_envelope(error)
         self.obs.metrics.counter("net.sessions_created").inc()
+        if as_of is not None:
+            self.obs.metrics.counter("net.sessions_as_of").inc()
         return 200, ok_envelope({"name": name, "state": session.state.to_dict()})
 
     def _delete_session(self, name: str) -> tuple[int, dict]:

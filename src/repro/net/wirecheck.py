@@ -54,6 +54,10 @@ __all__ = ["WireDivergence", "WireReport", "run_wire_check"]
 #: inside serialized states, so it must match for byte parity.
 WIRE_SESSION = "wire"
 
+#: The historical (``as_of``-pinned) session both sides drive in the
+#: time-travel parity pass.
+WIRE_ASOF_SESSION = "wire-asof"
+
 
 @dataclass
 class WireDivergence:
@@ -74,6 +78,7 @@ class WireReport:
     corpora_run: int = 0
     suggest_probes: int = 0
     preview_probes: int = 0
+    as_of_steps: int = 0
     failure: WireDivergence | None = None
 
     @property
@@ -113,9 +118,11 @@ def _diff_detail(expected: bytes, got: bytes) -> str:
     )
 
 
-def _session_counters(snapshot: dict) -> dict[str, int]:
-    """Every counter tagged with the wire session, by name."""
-    tag = f"{{session={WIRE_SESSION}}}"
+def _session_counters(
+    snapshot: dict, session: str = WIRE_SESSION
+) -> dict[str, int]:
+    """Every counter tagged with the given session, by name."""
+    tag = f"{{session={session}}}"
     return {
         name: value
         for name, value in snapshot["counters"].items()
@@ -233,17 +240,77 @@ def _check_corpus(
                 if divergence is not None:
                     return divergence
 
-        return _check_telemetry(corpus_seed, steps, client, local)
+        divergence = _check_telemetry(corpus_seed, steps, client, local)
+        if divergence is not None:
+            return divergence
+        return _check_as_of(
+            corpus_seed, generator_seed, steps, local_corpus, client, report
+        )
     finally:
         server.drain()
 
 
+def _check_as_of(
+    corpus_seed: int,
+    generator_seed: int,
+    steps: int,
+    local_corpus,
+    client: NavigationClient,
+    report: WireReport,
+) -> WireDivergence | None:
+    """The time-travel parity pass: drive an ``as_of``-pinned session.
+
+    Both sides pin the session to the mid-log transaction; every
+    response — including typed errors for commands that reference items
+    newer than the pin — must be byte-identical.  Exercises the full
+    path: wire ``as_of`` option → manager → workspace historical view.
+    """
+    tx = local_corpus.workspace.graph.last_tx // 2
+    created = client.create_session(WIRE_ASOF_SESSION, as_of=tx)
+    local_manager = SessionManager(local_corpus.workspace)
+    local = local_manager.create(WIRE_ASOF_SESSION, as_of=tx)
+    if created["state"] != local.state.to_dict():
+        return WireDivergence(
+            corpus_seed,
+            0,
+            "<as-of create>",
+            f"created state differs at tx {tx}",
+        )
+    generator = CommandGenerator(
+        random.Random(generator_seed ^ 0x5F5F), local_corpus
+    )
+    generator.bind(_ChipSource(local))
+    for step in range(1, max(5, steps // 3) + 1):
+        command = generator.next_command()
+        report.as_of_steps += 1
+        divergence = _check_step(
+            corpus_seed, step, command, client, local,
+            session=WIRE_ASOF_SESSION,
+        )
+        if divergence is not None:
+            return divergence
+        if step % 5 == 0:
+            divergence = _check_suggest(
+                corpus_seed, step, client, local, session=WIRE_ASOF_SESSION
+            )
+            if divergence is not None:
+                return divergence
+    return _check_telemetry(
+        corpus_seed, 0, client, local, session=WIRE_ASOF_SESSION
+    )
+
+
 def _check_step(
-    corpus_seed: int, step: int, command, client: NavigationClient, local: Session
+    corpus_seed: int,
+    step: int,
+    command,
+    client: NavigationClient,
+    local: Session,
+    session: str = WIRE_SESSION,
 ) -> WireDivergence | None:
     wire_status, wire_body = client.request_raw(
         "POST",
-        f"/sessions/{WIRE_SESSION}/apply",
+        f"/sessions/{session}/apply",
         {"command": command_to_dict(command)},
     )
     try:
@@ -270,10 +337,14 @@ def _check_step(
 
 
 def _check_suggest(
-    corpus_seed: int, step: int, client: NavigationClient, local: Session
+    corpus_seed: int,
+    step: int,
+    client: NavigationClient,
+    local: Session,
+    session: str = WIRE_SESSION,
 ) -> WireDivergence | None:
     wire_status, wire_body = client.request_raw(
-        "POST", f"/sessions/{WIRE_SESSION}/suggest", {}
+        "POST", f"/sessions/{session}/suggest", {}
     )
     expected_body = canonical_json(
         ok_envelope(suggestions_payload(local.suggestions()))
@@ -314,17 +385,23 @@ def _check_preview(
 
 
 def _check_telemetry(
-    corpus_seed: int, step: int, client: NavigationClient, local: Session
+    corpus_seed: int,
+    step: int,
+    client: NavigationClient,
+    local: Session,
+    session: str = WIRE_SESSION,
 ) -> WireDivergence | None:
-    """Compare wire-session counters as reported over ``/metrics``.
+    """Compare session-tagged counters as reported over ``/metrics``.
 
     Reading through the client (rather than reaching into the server's
     registry) makes this work identically for the single-process server
     and the sharded tier, whose counters arrive pre-merged across
     worker processes.
     """
-    served = _session_counters(client.metrics())
-    in_process = _session_counters(local.workspace.obs.metrics.snapshot())
+    served = _session_counters(client.metrics(), session)
+    in_process = _session_counters(
+        local.workspace.obs.metrics.snapshot(), session
+    )
     if served != in_process:
         return WireDivergence(
             corpus_seed,

@@ -49,9 +49,11 @@ class DatasetSpec:
 
     ``kind`` is one of the bundled dataset builders (``recipes``,
     ``inbox``, ``states``, ``factbook``), an RDF file (``ntriples``,
-    ``turtle`` with ``path``), or ``check_corpus`` — the fuzz-harness
-    corpus the differential wire check runs against.  Building twice
-    from the same spec yields workspaces that serve identical bytes.
+    ``turtle`` with ``path``), a durable datom-log store directory
+    (``store`` with ``path`` — the child cold-starts by log replay),
+    or ``check_corpus`` — the fuzz-harness corpus the differential
+    wire check runs against.  Building twice from the same spec yields
+    workspaces that serve identical bytes.
     """
 
     kind: str
@@ -82,6 +84,11 @@ class DatasetSpec:
             with open(str(self.path), encoding="utf-8") as handle:
                 graph = parse_turtle(handle.read())
             return Workspace(graph, obs=obs).freeze()
+        if self.kind == "store":
+            from ..store.segments import LogStore
+
+            graph = LogStore.open(str(self.path)).replay_graph(obs=obs)
+            return Workspace(graph, obs=obs).freeze()
         if self.kind == "recipes":
             from ..datasets import recipes
 
@@ -108,6 +115,8 @@ class DatasetSpec:
     @classmethod
     def from_args(cls, args: Any) -> "DatasetSpec":
         """The spec equivalent of ``repro.cli._load_workspace(args)``."""
+        if getattr(args, "store", None):
+            return cls(kind="store", path=args.store)
         if getattr(args, "ntriples", None):
             return cls(kind="ntriples", path=args.ntriples)
         if getattr(args, "turtle", None):

@@ -22,7 +22,14 @@ Everything here is dependency-free and imports nothing from the rest of
 """
 
 from .clock import ManualClock, monotonic_clock
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, merge_snapshots
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SnapshotMergeError,
+    merge_snapshots,
+)
 from .observability import NULL_OBS, Observability
 from .render import render_metrics, render_trace, render_trace_forest
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
@@ -37,6 +44,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Observability",
+    "SnapshotMergeError",
     "Span",
     "Tracer",
     "merge_snapshots",

@@ -23,6 +23,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SnapshotMergeError",
     "merge_snapshots",
 ]
 
@@ -269,6 +270,24 @@ class MetricsRegistry:
 # ----------------------------------------------------------------------
 
 
+class SnapshotMergeError(ValueError):
+    """Snapshots being merged are structurally incompatible.
+
+    Raised (instead of silently misfiling observations) when two
+    per-process snapshots registered the same histogram with different
+    bucket bounds.  Carries the metric name and both layouts.
+    """
+
+    def __init__(self, name: str, expected, got):
+        super().__init__(
+            f"histogram {name!r} has mismatched bucket layouts: "
+            f"{expected!r} vs {got!r}"
+        )
+        self.metric = name
+        self.expected = list(expected)
+        self.got = list(got)
+
+
 def _merge_histogram(
     name: str, merged: dict | None, addend: dict
 ) -> dict:
@@ -277,7 +296,7 @@ def _merge_histogram(
     Both snapshots must share the bucket layout — the registries that
     produced them registered the histogram with the same bounds — or
     the merge would silently misfile observations; a mismatch raises
-    ``ValueError`` instead.
+    :class:`SnapshotMergeError` instead.
     """
     if merged is None:
         return {
@@ -287,10 +306,7 @@ def _merge_histogram(
             "sum": addend["sum"],
         }
     if list(merged["buckets"]) != list(addend["buckets"]):
-        raise ValueError(
-            f"histogram {name!r} has mismatched bucket layouts: "
-            f"{merged['buckets']!r} vs {addend['buckets']!r}"
-        )
+        raise SnapshotMergeError(name, merged["buckets"], addend["buckets"])
     merged["counts"] = [
         a + b for a, b in zip(merged["counts"], addend["counts"])
     ]

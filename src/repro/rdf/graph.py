@@ -1,10 +1,20 @@
-"""An in-memory RDF triple store with three-way indexing.
+"""An RDF triple store: a datom log with three-way materialized views.
 
 This is the semistructured repository Magnet browses (§2, §5).  The
 implementation keeps the classic SPO / POS / OSP index trio so that every
 triple pattern with at least one bound position resolves without a scan,
 which the navigation analysts rely on heavily (facet counting touches the
 POS index thousands of times per view).
+
+Since the durable-store refactor the *source of truth* is the Datomic
+information model: an accumulate-only :class:`~repro.store.log.DatomLog`
+of ``(s, p, o, tx, op)`` 5-tuples.  Every effective mutation appends a
+datom and applies it to the indexes, so the indexes are materialized
+views of the log — :meth:`Graph.from_datoms` rebuilds them
+bit-identically from a replay, and :meth:`Graph.as_of` folds a prefix
+of the log into the graph *as it was* at any recorded transaction.
+The mutation API is a byte-identical facade over that model: ``add``
+and ``remove`` behave exactly as they always did.
 
 The store is deliberately simple — set semantics, no inference — because
 the paper treats the repository as a dumb graph and layers all smarts
@@ -18,6 +28,8 @@ from collections import defaultdict
 from typing import Iterable, Iterator
 
 from ..perf.intern import InternTable
+from ..store.datom import OP_ASSERT, OP_RETRACT, Datom
+from ..store.log import DatomLog
 from .terms import BlankNode, Literal, Node, Resource, Term, coerce_literal
 from .vocab import RDF, RDFS
 
@@ -68,8 +80,10 @@ class Graph:
         self._size = 0
         self._version = 0
         self._frozen = False
+        self._historical_tx: int | None = None
         self._interner = InternTable()
         self._blank_counter = itertools.count(1)
+        self._log = DatomLog()
         if triples:
             for s, p, o in triples:
                 self.add(s, p, o)
@@ -82,6 +96,16 @@ class Graph:
         value to detect staleness without subscribing to mutations.
         """
         return self._version
+
+    @property
+    def log(self) -> DatomLog:
+        """The accumulate-only datom log the indexes materialize."""
+        return self._log
+
+    @property
+    def last_tx(self) -> int:
+        """The highest transaction id recorded (0 for a fresh graph)."""
+        return self._log.last_tx
 
     @property
     def interner(self) -> InternTable:
@@ -107,46 +131,35 @@ class Graph:
         self._frozen = True
         return self
 
-    def _check_mutable(self) -> None:
+    def _check_mutable(self, operation: str) -> None:
         if self._frozen:
-            from ..core.workspace import FrozenWorkspaceError
+            from ..core.workspace import (
+                FrozenWorkspaceError,
+                HistoricalWorkspaceError,
+            )
 
-            raise FrozenWorkspaceError("graph is frozen; cannot mutate")
+            if self._historical_tx is not None:
+                raise HistoricalWorkspaceError(
+                    f"graph is a historical as-of view at tx "
+                    f"{self._historical_tx}; cannot {operation}",
+                    operation=operation,
+                    tx=self._historical_tx,
+                )
+            raise FrozenWorkspaceError(
+                f"graph is frozen; cannot {operation}", operation=operation
+            )
 
-    def add(self, subject, predicate, obj) -> bool:
-        """Add a triple; return True if it was not already present.
+    # -- index maintenance (the materialized-view side of the log) ------
 
-        The object may be a plain Python value (str/int/float/date/...),
-        which is coerced to a :class:`Literal`.
-        """
-        self._check_mutable()
-        s = _check_subject(subject)
-        p = _check_predicate(predicate)
-        o = _check_object(obj)
-        bucket = self._spo[s][p]
-        if o in bucket:
-            return False
-        bucket.add(o)
+    def _apply_assert(self, s, p, o) -> None:
+        self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._size += 1
         self._version += 1
-        return True
 
-    def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; return the number actually inserted."""
-        return sum(1 for s, p, o in triples if self.add(s, p, o))
-
-    def remove(self, subject, predicate, obj) -> bool:
-        """Remove one triple; return True if it was present."""
-        self._check_mutable()
-        s = _check_subject(subject)
-        p = _check_predicate(predicate)
-        o = _check_object(obj)
-        try:
-            self._spo[s][p].remove(o)
-        except KeyError:
-            return False
+    def _apply_retract(self, s, p, o) -> None:
+        self._spo[s][p].remove(o)
         self._pos[p][o].discard(s)
         self._osp[o][s].discard(p)
         self._prune(self._spo, s, p)
@@ -154,6 +167,45 @@ class Graph:
         self._prune(self._osp, o, s)
         self._size -= 1
         self._version += 1
+
+    def add(self, subject, predicate, obj) -> bool:
+        """Add a triple; return True if it was not already present.
+
+        The object may be a plain Python value (str/int/float/date/...),
+        which is coerced to a :class:`Literal`.  An effective add is an
+        auto-commit transaction: it appends one assert datom to the log.
+        """
+        self._check_mutable("add")
+        s = _check_subject(subject)
+        p = _check_predicate(predicate)
+        o = _check_object(obj)
+        if o in self._spo[s][p]:
+            return False
+        self._log.commit(
+            (Datom(s, p, o, self._log.begin(), OP_ASSERT),)
+        )
+        self._apply_assert(s, p, o)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return the number actually inserted."""
+        return sum(1 for s, p, o in triples if self.add(s, p, o))
+
+    def remove(self, subject, predicate, obj) -> bool:
+        """Remove one triple; return True if it was present.
+
+        An effective remove appends one retract datom to the log.
+        """
+        self._check_mutable("remove")
+        s = _check_subject(subject)
+        p = _check_predicate(predicate)
+        o = _check_object(obj)
+        if o not in self._spo.get(s, {}).get(p, ()):
+            return False
+        self._log.commit(
+            (Datom(s, p, o, self._log.begin(), OP_RETRACT),)
+        )
+        self._apply_retract(s, p, o)
         return True
 
     def remove_matching(self, subject=None, predicate=None, obj=None) -> int:
@@ -162,6 +214,52 @@ class Graph:
         for s, p, o in doomed:
             self.remove(s, p, o)
         return len(doomed)
+
+    def transact(self, ops: Iterable[tuple]) -> int | None:
+        """Apply many asserts/retracts atomically under ONE transaction.
+
+        ``ops`` is an iterable of ``(op, subject, predicate, object)``
+        tuples with ``op`` one of :data:`~repro.store.datom.OP_ASSERT` /
+        :data:`~repro.store.datom.OP_RETRACT`.  Operations are validated
+        up front (any bad term or unknown op raises before the graph is
+        touched), then applied in order; ineffective operations (assert
+        of a present triple, retract of an absent one — judged against
+        the state *within* the transaction) are skipped and not logged.
+        Returns the minted tx id, or ``None`` when nothing was
+        effective.
+        """
+        self._check_mutable("transact")
+        checked = []
+        for entry in ops:
+            try:
+                op, subject, predicate, obj = entry
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"transact op must be (op, s, p, o), got {entry!r}"
+                ) from None
+            if op not in (OP_ASSERT, OP_RETRACT):
+                raise ValueError(f"unknown transact op {op!r}")
+            checked.append(
+                (op, _check_subject(subject), _check_predicate(predicate),
+                 _check_object(obj))
+            )
+        tx = self._log.begin()
+        datoms: list[Datom] = []
+        for op, s, p, o in checked:
+            present = o in self._spo.get(s, {}).get(p, ())
+            if op == OP_ASSERT:
+                if present:
+                    continue
+                self._apply_assert(s, p, o)
+            else:
+                if not present:
+                    continue
+                self._apply_retract(s, p, o)
+            datoms.append(Datom(s, p, o, tx, op))
+        if not datoms:
+            return None
+        self._log.commit(datoms)
+        return tx
 
     @staticmethod
     def _prune(index, outer, inner) -> None:
@@ -354,11 +452,103 @@ class Graph:
     # ------------------------------------------------------------------
 
     def copy(self) -> "Graph":
-        """A shallow structural copy (terms are immutable and shared)."""
+        """A shallow structural copy (terms are immutable and shared).
+
+        The copy starts a fresh log (its history is "created whole", one
+        assert per triple); use :meth:`as_of`/:meth:`from_datoms` to
+        preserve history.
+        """
         clone = Graph()
         for s, p, o in self.triples():
             clone.add(s, p, o)
         return clone
+
+    # ------------------------------------------------------------------
+    # Log replay and time travel
+    # ------------------------------------------------------------------
+
+    def _replay(self, datoms: Iterable[Datom]) -> int:
+        """Apply already-transacted datoms, preserving their tx ids.
+
+        Every logged datom was effective when recorded, so one that is a
+        no-op here (asserting a present triple, retracting an absent
+        one) means the replayed log is corrupt or out of order — that
+        raises ``ValueError`` rather than silently skewing the size and
+        version bookkeeping.  Returns the number of datoms applied.
+        """
+        if self._frozen:
+            self._check_mutable("replay")
+        max_blank = 0
+
+        def note_blank(node) -> None:
+            # Keep new_blank_node() collision-free after a replay that
+            # carried graph-minted b<N> ids.
+            nonlocal max_blank
+            if isinstance(node, BlankNode):
+                tail = node.node_id[1:]
+                if node.node_id.startswith("b") and tail.isdigit():
+                    max_blank = max(max_blank, int(tail))
+
+        def apply_checked(datom: Datom) -> Datom:
+            s, p, o = datom.s, datom.p, datom.o
+            note_blank(s)
+            note_blank(o)
+            present = o in self._spo.get(s, {}).get(p, ())
+            if datom.asserts:
+                if present:
+                    raise ValueError(
+                        f"log replay: assert of already-present triple "
+                        f"at tx {datom.tx}: {datom!r}"
+                    )
+                self._apply_assert(s, p, o)
+            else:
+                if not present:
+                    raise ValueError(
+                        f"log replay: retract of absent triple "
+                        f"at tx {datom.tx}: {datom!r}"
+                    )
+                self._apply_retract(s, p, o)
+            return datom
+
+        count = self._log.replay_append(
+            apply_checked(datom) for datom in datoms
+        )
+        if max_blank:
+            self._blank_counter = itertools.count(max_blank + 1)
+        return count
+
+    @classmethod
+    def from_datoms(cls, datoms: Iterable[Datom]) -> "Graph":
+        """Rebuild a graph (indexes AND log) by replaying a datom log.
+
+        The result is bit-identical to the graph that produced the log:
+        same triples, same index structure, same version counter, same
+        transaction ids.  This is the cold-start path for the durable
+        store and the oracle the differential harness replays against.
+        """
+        graph = cls()
+        graph._replay(datoms)
+        return graph
+
+    def as_of(self, tx: int) -> "Graph":
+        """The graph as it was just after transaction ``tx``, frozen.
+
+        Folds the log prefix ``tx' <= tx`` into a fresh graph and seals
+        it: historical views are immutable (mutation raises
+        :class:`~repro.core.workspace.HistoricalWorkspaceError` naming
+        the operation and the pinned tx).  ``as_of(0)`` is the empty
+        graph; ``as_of(last_tx)`` equals the current graph.
+        """
+        if not isinstance(tx, int) or isinstance(tx, bool):
+            raise ValueError(f"as_of tx must be an integer, got {tx!r}")
+        if tx < 0 or tx > self._log.last_tx:
+            raise ValueError(
+                f"as_of tx {tx} out of range 0..{self._log.last_tx}"
+            )
+        past = Graph.from_datoms(self._log.datoms_through(tx))
+        past._historical_tx = tx
+        past.freeze()
+        return past
 
     def update(self, other: "Graph") -> int:
         """Merge another graph into this one; return inserted count."""

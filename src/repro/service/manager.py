@@ -55,20 +55,33 @@ class SessionManager:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def create(self, name: str):
-        """Start a fresh named session; it becomes the active one."""
+    def create(self, name: str, as_of: int | None = None):
+        """Start a fresh named session; it becomes the active one.
+
+        With ``as_of`` the session browses the workspace's historical
+        view at that transaction id (time travel): navigation behaves
+        identically but the corpus is pinned to what the datom log held
+        through ``as_of``, and the pin round-trips through save/load.
+        An out-of-range or ill-typed ``as_of`` raises ``ValueError``
+        before the manager is touched.
+        """
         if name in self._sessions:
             raise ValueError(f"session {name!r} already exists")
+        workspace = self.workspace
+        if as_of is not None:
+            workspace = self.workspace.as_of(as_of)
         from ..browser.session import Session
 
         session = Session(
-            self.workspace,
+            workspace,
             engine=self.engine,
             fuzzy_on_empty=self._fuzzy_on_empty,
             fuzzy_k=self._fuzzy_k,
             back_limit=self._back_limit,
             session_id=name,
         )
+        if as_of is not None:
+            session.restore(replace(session.state, as_of_tx=as_of))
         self._sessions[name] = session
         self._active_name = name
         return session
@@ -181,9 +194,20 @@ class SessionManager:
             raise StateLoadError(
                 f"invalid session state in {path}: {error}"
             ) from error
+        workspace = self.workspace
+        if state.as_of_tx is not None:
+            # A pinned state resumes against the same historical view it
+            # was saved from; a log that no longer reaches that tx is a
+            # load failure, not a silent unpin.
+            try:
+                workspace = self.workspace.as_of(state.as_of_tx)
+            except ValueError as error:
+                raise StateLoadError(
+                    f"cannot resume as-of session from {path}: {error}"
+                ) from error
         from ..browser.session import Session
 
-        session = Session.from_state(self.workspace, state, engine=self.engine)
+        session = Session.from_state(workspace, state, engine=self.engine)
         self._sessions[name] = session
         self._active_name = name
         return session

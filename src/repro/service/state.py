@@ -145,6 +145,9 @@ class SessionState:
     last_was_fuzzy: bool = False
     back_limit: int = DEFAULT_BACK_LIMIT
     session_id: str | None = None
+    #: When set, the session browses a historical ``as_of`` view of the
+    #: workspace pinned at this transaction id (time-travel navigation).
+    as_of_tx: int | None = None
 
     @classmethod
     def initial(
@@ -200,6 +203,7 @@ class SessionState:
             "fuzzy_k": self.fuzzy_k,
             "last_was_fuzzy": self.last_was_fuzzy,
             "back_limit": self.back_limit,
+            "as_of": self.as_of_tx,
         }
 
     @classmethod
@@ -238,6 +242,17 @@ class SessionState:
             raise StateSerializationError(
                 f"back_limit must be a positive integer, got {back_limit!r}"
             )
+        # States written before the store refactor lack the key: absent
+        # means "live head", same as an explicit null.
+        as_of_tx = data.get("as_of")
+        if as_of_tx is not None and (
+            not isinstance(as_of_tx, int)
+            or isinstance(as_of_tx, bool)
+            or as_of_tx < 0
+        ):
+            raise StateSerializationError(
+                f"as_of must be a non-negative integer or null, got {as_of_tx!r}"
+            )
         return cls(
             view=ViewState.from_dict(data["view"]),
             trail=tuple(
@@ -269,4 +284,5 @@ class SessionState:
             last_was_fuzzy=data["last_was_fuzzy"],
             back_limit=back_limit,
             session_id=data["session_id"],
+            as_of_tx=as_of_tx,
         )

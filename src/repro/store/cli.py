@@ -1,0 +1,187 @@
+"""``python -m repro store`` — manage durable datom-log stores.
+
+Subcommands::
+
+    init <dir>                create an empty store
+    ingest <dir> [dataset]    build a corpus and append its datom log
+    stats <dir>               print the store's shape as JSON
+    verify <dir>              full integrity check (checksums + replay)
+    compact <dir>             merge segments, sweep orphans
+
+``ingest`` accepts the same dataset arguments as the browser and the
+server (bundled datasets or ``--ntriples``/``--turtle``), so::
+
+    python -m repro store init /tmp/corpus
+    python -m repro store ingest /tmp/corpus recipes --size 200
+    python -m repro serve --store /tmp/corpus
+
+is the durable path to the same bytes ``repro serve recipes --size
+200`` serves from memory.  Ingesting into a non-empty store replays the
+existing log first and appends only *effective* new assertions, so
+re-ingesting the same corpus is a no-op rather than a corruption.
+
+The hidden ``--crash-after N`` flag kills the process (``os._exit``)
+partway through the N-th segment write; the CI crash-recovery smoke
+uses it to prove a killed ingest never leaves a store that fails
+``verify``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import IO
+
+from .segments import LogStore, StoreError
+
+__all__ = ["store_main", "build_store_parser"]
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Manage durable datom-log store directories.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    sub.add_parser("init", help="create an empty store").add_argument("dir")
+
+    ingest = sub.add_parser(
+        "ingest", help="build a corpus and append its datom log"
+    )
+    ingest.add_argument("dir")
+    ingest.add_argument(
+        "dataset",
+        nargs="?",
+        default="recipes",
+        choices=["recipes", "inbox", "states", "factbook"],
+        help="bundled dataset to ingest",
+    )
+    ingest.add_argument("--size", type=int, default=800,
+                        help="recipe corpus size")
+    ingest.add_argument("--seed", type=int, default=7)
+    ingest.add_argument("--annotated", action="store_true",
+                        help="apply schema annotations (states/factbook)")
+    ingest.add_argument("--ntriples", help="ingest an N-Triples file")
+    ingest.add_argument("--turtle", help="ingest a Turtle file")
+    ingest.add_argument("--batch", type=int, default=50_000,
+                        help="datoms per segment")
+    # Deterministic fault injection for the crash-recovery smoke: exit
+    # hard midway through writing the Nth segment.
+    ingest.add_argument("--crash-after", type=int, default=None,
+                        help=argparse.SUPPRESS)
+
+    for action, help_text in (
+        ("stats", "print the store's shape as JSON"),
+        ("verify", "full integrity check (checksums + replay)"),
+        ("compact", "merge segments into one and sweep orphans"),
+    ):
+        sub.add_parser(action, help=help_text).add_argument("dir")
+    return parser
+
+
+def _crashing_writer(after: int):
+    """A SegmentWriter that dies mid-write on the ``after``-th segment."""
+    calls = {"n": 0}
+
+    def writer(handle: IO[bytes], payload: bytes) -> None:
+        calls["n"] += 1
+        if calls["n"] >= after:
+            handle.write(payload[: max(1, len(payload) // 2)])
+            handle.flush()
+            os._exit(17)
+        handle.write(payload)
+
+    return writer
+
+
+def _ingest(args: argparse.Namespace) -> int:
+    store = LogStore.open(args.dir)
+    source = _build_source_graph(args)
+    if store.last_tx == 0:
+        fresh = source
+    else:
+        # Append-only ingest into existing history: replay, then apply
+        # the incoming triples as ordinary (deduplicating) mutations.
+        fresh = store.replay_graph()
+        for s, p, o in source.triples():
+            fresh.add(s, p, o)
+    base = store.last_tx
+    writer = (
+        _crashing_writer(args.crash_after)
+        if args.crash_after is not None
+        else None
+    )
+    written = store.append_log(
+        (d for d in fresh.log if d.tx > base),
+        batch=max(1, args.batch),
+        segment_writer=writer,
+    )
+    print(
+        f"ingested {written} datom(s); store at tx {store.last_tx} "
+        f"({len(store.segments)} segment(s))"
+    )
+    return 0
+
+
+def _build_source_graph(args: argparse.Namespace):
+    if args.ntriples:
+        from ..rdf.ntriples import parse_ntriples
+
+        with open(args.ntriples, encoding="utf-8") as handle:
+            return parse_ntriples(handle.read())
+    if args.turtle:
+        from ..rdf.turtle import parse_turtle
+
+        with open(args.turtle, encoding="utf-8") as handle:
+            return parse_turtle(handle.read())
+    if args.dataset == "recipes":
+        from ..datasets import recipes
+
+        return recipes.build_corpus(n_recipes=args.size, seed=args.seed).graph
+    if args.dataset == "inbox":
+        from ..datasets import inbox
+
+        return inbox.build_corpus(seed=args.seed).graph
+    if args.dataset == "states":
+        from ..datasets import states
+
+        return states.build_corpus(annotated=args.annotated).graph
+    if args.dataset == "factbook":
+        from ..datasets import factbook
+
+        return factbook.build_corpus(annotated=args.annotated).graph
+    raise SystemExit(f"unknown dataset {args.dataset!r}")
+
+
+def store_main(argv=None) -> int:
+    args = build_store_parser().parse_args(argv)
+    try:
+        if args.action == "init":
+            store = LogStore.init(args.dir)
+            print(f"initialized empty store at {store.root}")
+            return 0
+        if args.action == "ingest":
+            return _ingest(args)
+        if args.action == "stats":
+            print(json.dumps(LogStore.open(args.dir).stats(),
+                             indent=2, sort_keys=True))
+            return 0
+        if args.action == "verify":
+            result = LogStore.open(args.dir).verify()
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        if args.action == "compact":
+            result = LogStore.open(args.dir).compact()
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise SystemExit(f"unknown action {args.action!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.cli
+    sys.exit(store_main())

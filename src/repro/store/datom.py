@@ -1,0 +1,94 @@
+"""The datom: one immutable fact about the repository.
+
+A datom is a 5-tuple ``(s, p, o, tx, op)``: the triple, the transaction
+that recorded it, and whether the transaction asserted (``+``) or
+retracted (``-``) it.  Datoms are never updated or deleted — the log
+only accumulates — so the current graph is a pure fold over the datom
+sequence, and the graph *as of* any transaction is a fold over a
+prefix.
+
+The JSON wire form reuses the term codecs of
+:mod:`repro.service.serialize`, so a datom serializes to the same tagged
+dicts session states use and the segment files need no new vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..rdf.terms import BlankNode, Node, Resource
+
+# NOTE: the term codecs live in repro.service.serialize, a layer above
+# the rdf package this module feeds (Graph owns a DatomLog).  They are
+# imported lazily inside the codec functions so rdf -> store keeps a
+# downward-only import graph at module-load time.
+
+__all__ = ["OP_ASSERT", "OP_RETRACT", "Datom", "datom_to_dict", "datom_from_dict"]
+
+#: Operation tags.  Single characters: they appear once per line in
+#: segment files, and the log can hold millions of datoms.
+OP_ASSERT = "+"
+OP_RETRACT = "-"
+
+
+@dataclass(frozen=True)
+class Datom:
+    """One logged fact: triple + transaction id + assert/retract."""
+
+    s: Resource | BlankNode
+    p: Resource
+    o: Node
+    tx: int
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_ASSERT, OP_RETRACT):
+            raise ValueError(f"datom op must be '+' or '-', got {self.op!r}")
+        if self.tx < 1:
+            raise ValueError(f"datom tx must be >= 1, got {self.tx!r}")
+
+    @property
+    def asserts(self) -> bool:
+        return self.op == OP_ASSERT
+
+    @property
+    def triple(self) -> tuple:
+        return (self.s, self.p, self.o)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Datom {self.op}({self.s.n3()} {self.p.n3()} {self.o.n3()}) "
+            f"tx={self.tx}>"
+        )
+
+
+def datom_to_dict(datom: Datom) -> dict[str, Any]:
+    """The JSON-safe wire form of one datom."""
+    from ..service.serialize import node_to_dict
+
+    return {
+        "s": node_to_dict(datom.s),
+        "p": node_to_dict(datom.p),
+        "o": node_to_dict(datom.o),
+        "tx": datom.tx,
+        "op": datom.op,
+    }
+
+
+def datom_from_dict(data: dict[str, Any]) -> Datom:
+    """Decode a datom; malformed input raises StateSerializationError."""
+    from ..service.serialize import StateSerializationError, node_from_dict
+
+    try:
+        return Datom(
+            s=node_from_dict(data["s"]),  # type: ignore[arg-type]
+            p=node_from_dict(data["p"]),  # type: ignore[arg-type]
+            o=node_from_dict(data["o"]),
+            tx=data["tx"],
+            op=data["op"],
+        )
+    except StateSerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise StateSerializationError(f"malformed datom: {error!r}") from error

@@ -1,0 +1,90 @@
+"""Serving from a durable store: cold start, restart, byte parity.
+
+The acceptance path for ``repro serve --store DIR``: a sharded server
+cold-starts its workers by replaying the store's datom log, serves the
+same bytes as an in-memory workspace over the same data, and — because
+the store is the durable source of truth — a full restart reproduces
+those bytes exactly.  An ``as_of``-pinned session rides the same wire.
+"""
+
+import pytest
+
+from repro.browser.session import Session
+from repro.core.workspace import Workspace
+from repro.datasets import recipes
+from repro.net import DatasetSpec, NavigationClient, ServerConfig, ShardedServer
+from repro.net.protocol import canonical_json, ok_envelope, suggestions_payload
+from repro.service.manager import SessionManager
+from repro.store import LogStore
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    graph = recipes.build_corpus(n_recipes=40, seed=9).graph
+    root = tmp_path_factory.mktemp("served") / "store"
+    LogStore.init(root).append_log(graph.log, batch=500)
+    return str(root)
+
+
+def _suggest_bytes(client: NavigationClient, name: str) -> tuple[int, bytes]:
+    return client.request_raw("POST", f"/sessions/{name}/suggest", {})
+
+
+def _serve(store_root: str, procs: int = 2) -> ShardedServer:
+    spec = DatasetSpec(kind="store", path=store_root)
+    return ShardedServer(spec, ServerConfig(workers=2), procs=procs)
+
+
+def test_store_serving_matches_local_replay(store_root):
+    replayed = LogStore.open(store_root).replay_graph()
+    local = Session(
+        Workspace(replayed).freeze(), session_id="nav"
+    )
+    expected = canonical_json(
+        ok_envelope(suggestions_payload(local.suggestions()))
+    )
+    with _serve(store_root) as server:
+        host, port = server.address
+        with NavigationClient(host, port, timeout=10.0) as client:
+            client.create_session("nav")
+            status, body = _suggest_bytes(client, "nav")
+    assert status == 200
+    assert body == expected
+
+
+def test_restart_reproduces_identical_bytes(store_root):
+    def run_once() -> dict[str, bytes]:
+        with _serve(store_root) as server:
+            host, port = server.address
+            with NavigationClient(host, port, timeout=10.0) as client:
+                client.create_session("nav")
+                tx = LogStore.open(store_root).last_tx
+                client.create_session("past", as_of=tx // 2)
+                return {
+                    "live": _suggest_bytes(client, "nav")[1],
+                    "past": _suggest_bytes(client, "past")[1],
+                }
+
+    first = run_once()
+    second = run_once()  # full restart: new processes, fresh replay
+    assert first == second
+
+
+def test_as_of_session_serves_the_historical_corpus(store_root):
+    store = LogStore.open(store_root)
+    tx = store.last_tx // 2
+    replayed = store.replay_graph()
+    manager = SessionManager(Workspace(replayed).freeze())
+    expected = canonical_json(
+        ok_envelope(
+            suggestions_payload(manager.create("past", as_of=tx).suggestions())
+        )
+    )
+    with _serve(store_root) as server:
+        host, port = server.address
+        with NavigationClient(host, port, timeout=10.0) as client:
+            created = client.create_session("past", as_of=tx)
+            assert created["state"]["as_of"] == tx
+            status, body = _suggest_bytes(client, "past")
+    assert status == 200
+    assert body == expected

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import MetricsRegistry, merge_snapshots
+from repro.obs import MetricsRegistry, SnapshotMergeError, merge_snapshots
 
 
 def _registry_with(counters=(), gauges=(), histogram=None):
@@ -68,8 +68,37 @@ def test_merge_equals_single_registry_observing_everything():
 def test_merge_refuses_mismatched_bucket_layouts():
     a = _registry_with(histogram=("h", (1.0, 2.0), [1.5]))
     b = _registry_with(histogram=("h", (1.0, 4.0), [1.5]))
-    with pytest.raises(ValueError, match="mismatched bucket layouts"):
+    with pytest.raises(SnapshotMergeError, match="mismatched bucket layouts"):
         merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_mismatched_layout_error_is_typed_and_structured():
+    """The merge error is a distinct type carrying both layouts.
+
+    A plain ValueError would force callers (the sharded /metrics
+    endpoint) to string-match; the typed error names the metric and
+    exposes the two incompatible layouts.
+    """
+    a = _registry_with(histogram=("net.request_ms", (1.0, 2.0), [1.5]))
+    b = _registry_with(histogram=("net.request_ms", (1.0, 4.0), [1.5]))
+    with pytest.raises(SnapshotMergeError) as info:
+        merge_snapshots([a.snapshot(), b.snapshot()])
+    error = info.value
+    assert isinstance(error, ValueError)  # backward compatible
+    assert error.metric == "net.request_ms"
+    assert error.expected == [1.0, 2.0]
+    assert error.got == [1.0, 4.0]
+    assert "net.request_ms" in str(error)
+
+
+def test_merge_succeeds_when_layouts_match_across_many_processes():
+    buckets = (1.0, 2.0, 4.0)
+    parts = [
+        _registry_with(histogram=("h", buckets, [0.5, 3.0])).snapshot()
+        for _ in range(4)
+    ]
+    merged = merge_snapshots(parts)
+    assert merged["histograms"]["h"]["count"] == 8
 
 
 def test_merge_of_disjoint_metric_sets_unions_them():

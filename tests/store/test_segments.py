@@ -1,0 +1,182 @@
+"""The durable layer: segments, manifest, checksums, compaction."""
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, Resource
+from repro.store import (
+    OP_ASSERT,
+    OP_RETRACT,
+    Datom,
+    LogStore,
+    MANIFEST_NAME,
+    StoreCorruptError,
+    StoreError,
+)
+
+S = Resource("urn:s")
+P = Resource("urn:p")
+
+
+def _sample_graph() -> Graph:
+    g = Graph()
+    g.add(S, P, Literal("a"))
+    g.add(S, P, Literal("b"))
+    g.transact([(OP_RETRACT, S, P, Literal("a")), (OP_ASSERT, S, P, Literal("c"))])
+    return g
+
+
+def test_init_refuses_an_existing_store(tmp_path):
+    root = tmp_path / "store"
+    LogStore.init(root)
+    with pytest.raises(StoreError, match="already initialized"):
+        LogStore.init(root)
+
+
+def test_open_requires_a_manifest(tmp_path):
+    with pytest.raises(StoreError, match="cannot open"):
+        LogStore.open(tmp_path / "nowhere")
+
+
+def test_append_and_replay_round_trip(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log)
+    replayed = LogStore.open(tmp_path / "store").replay_graph()
+    assert sorted(map(repr, replayed.triples())) == sorted(map(repr, g.triples()))
+    assert replayed.last_tx == g.last_tx
+    assert replayed.version == g.version
+
+
+def test_segment_bytes_are_deterministic(tmp_path):
+    g = _sample_graph()
+    for name in ("a", "b"):
+        store = LogStore.init(tmp_path / name)
+        store.append_log(g.log)
+    seg_a = (tmp_path / "a" / store.segments[0].name).read_bytes()
+    seg_b = (tmp_path / "b" / store.segments[0].name).read_bytes()
+    assert seg_a == seg_b
+
+
+def test_append_rejects_stale_or_backwards_tx(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log)
+    with pytest.raises(StoreError, match="not newer"):
+        store.append([Datom(S, P, Literal("z"), 1, OP_ASSERT)])
+    with pytest.raises(StoreError, match="backwards"):
+        store.append(
+            [
+                Datom(S, P, Literal("z"), g.last_tx + 2, OP_ASSERT),
+                Datom(S, P, Literal("y"), g.last_tx + 1, OP_ASSERT),
+            ]
+        )
+
+
+def test_batching_never_splits_a_transaction(tmp_path):
+    g = Graph()
+    g.add(S, P, Literal("one"))
+    g.transact(
+        [(OP_ASSERT, S, P, Literal(f"v{i}")) for i in range(5)]
+    )
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log, batch=1)
+    # tx 2's five datoms exceed the batch but stay in one segment
+    assert [(info.first_tx, info.last_tx) for info in store.segments] == [
+        (1, 1),
+        (2, 2),
+    ]
+    assert store.segments[1].count == 5
+
+
+def test_checksum_mismatch_is_detected(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log)
+    seg = tmp_path / "store" / store.segments[0].name
+    with gzip.open(seg, "wb") as handle:
+        handle.write(b'{"tampered": true}\n')
+    with pytest.raises(StoreCorruptError, match="checksum"):
+        list(LogStore.open(tmp_path / "store").datoms())
+
+
+def test_manifest_tampering_is_detected(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log)
+    manifest = tmp_path / "store" / MANIFEST_NAME
+    data = json.loads(manifest.read_text())
+    data["last_tx"] = 999
+    manifest.write_text(json.dumps(data))
+    with pytest.raises(StoreCorruptError, match="disagrees"):
+        LogStore.open(tmp_path / "store")
+
+
+def test_unsupported_format_is_refused(tmp_path):
+    LogStore.init(tmp_path / "store")
+    manifest = tmp_path / "store" / MANIFEST_NAME
+    data = json.loads(manifest.read_text())
+    data["format"] = 99
+    manifest.write_text(json.dumps(data))
+    with pytest.raises(StoreCorruptError, match="format"):
+        LogStore.open(tmp_path / "store")
+
+
+def test_verify_runs_the_strict_replay(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log)
+    result = LogStore.open(tmp_path / "store").verify()
+    assert result["ok"] is True
+    assert result["replayed_datoms"] == len(g.log)
+    assert result["triples"] == len(g)
+
+
+def test_compact_preserves_history_and_sweeps(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log, batch=1)
+    assert len(store.segments) > 1
+    before = list(store.datoms())
+    report = store.compact()
+    assert len(store.segments) == 1
+    assert list(store.datoms()) == before
+    assert report["after"]["segments"] == 1
+    # swept files are gone from disk
+    for name in report["swept"]:
+        assert not os.path.exists(tmp_path / "store" / name)
+    # as_of history survives compaction
+    replayed = LogStore.open(tmp_path / "store").replay_graph()
+    assert len(replayed.as_of(2)) == 2
+
+
+def test_orphan_segments_are_ignored_and_reported(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log)
+    orphan = tmp_path / "store" / "seg-99999999.jsonl.gz"
+    orphan.write_bytes(b"garbage")
+    reopened = LogStore.open(tmp_path / "store")
+    assert reopened.orphans() == ["seg-99999999.jsonl.gz"]
+    assert reopened.verify()["ok"] is True  # orphan never read
+    reopened.compact()
+    assert not orphan.exists()
+
+
+def test_failed_segment_write_leaves_store_untouched(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+
+    def exploding_writer(handle, payload):
+        handle.write(payload[: len(payload) // 2])
+        raise OSError("disk full")
+
+    with pytest.raises(OSError):
+        store.append_log(g.log, segment_writer=exploding_writer)
+    reopened = LogStore.open(tmp_path / "store")
+    assert reopened.last_tx == 0
+    assert reopened.verify()["ok"] is True
