@@ -66,7 +66,20 @@ class Graph:
     their kind).
     """
 
-    def __init__(self, triples: Iterable[Triple] | None = None):
+    def __init__(
+        self,
+        triples: Iterable[Triple] | None = None,
+        track_history: bool = True,
+    ):
+        """``track_history=False`` drops datom bodies from the log.
+
+        The graph then costs no extra memory per mutation — the log
+        still mints monotonic tx ids and counts datoms — but it cannot
+        be persisted to a :class:`~repro.store.segments.LogStore` or
+        time-travelled: :meth:`as_of` and log reads raise
+        :class:`~repro.store.log.HistoryDisabledError`.  For build or
+        ingest pipelines that only need the final indexes.
+        """
         # index[s][p] -> set of o, and the two rotations.
         self._spo: dict[Node, dict[Node, set[Node]]] = defaultdict(
             lambda: defaultdict(set)
@@ -83,7 +96,7 @@ class Graph:
         self._historical_tx: int | None = None
         self._interner = InternTable()
         self._blank_counter = itertools.count(1)
-        self._log = DatomLog()
+        self._log = DatomLog(keep_datoms=track_history)
         if triples:
             for s, p, o in triples:
                 self.add(s, p, o)
@@ -458,7 +471,7 @@ class Graph:
         assert per triple); use :meth:`as_of`/:meth:`from_datoms` to
         preserve history.
         """
-        clone = Graph()
+        clone = Graph(track_history=self._log.keeps_history)
         for s, p, o in self.triples():
             clone.add(s, p, o)
         return clone
@@ -539,6 +552,13 @@ class Graph:
         the operation and the pinned tx).  ``as_of(0)`` is the empty
         graph; ``as_of(last_tx)`` equals the current graph.
         """
+        if not self._log.keeps_history:
+            from ..store.log import HistoryDisabledError
+
+            raise HistoryDisabledError(
+                "as_of requires history: this graph was built with "
+                "track_history=False and its log retains no datom bodies"
+            )
         if not isinstance(tx, int) or isinstance(tx, bool):
             raise ValueError(f"as_of tx must be an integer, got {tx!r}")
         if tx < 0 or tx > self._log.last_tx:

@@ -9,6 +9,14 @@ Only *effective* operations are logged — an ``add`` of a triple already
 present, or a ``remove`` of an absent one, records nothing — so a replay
 applies every datom unconditionally and a datom that turns out to be a
 no-op on replay is evidence of corruption, not a normal case.
+
+Retaining every datom costs memory proportional to the mutation count
+for the graph's lifetime.  Builds and long-lived mutating processes
+that need neither durability nor time travel can opt out with
+``DatomLog(keep_datoms=False)`` (see ``Graph(track_history=False)``):
+the log still mints monotonic tx ids and counts datoms, but drops their
+bodies — reading history back then raises :class:`HistoryDisabledError`
+instead of silently returning an empty stream.
 """
 
 from __future__ import annotations
@@ -17,17 +25,23 @@ from typing import Iterable, Iterator, Sequence
 
 from .datom import Datom
 
-__all__ = ["DatomLog"]
+__all__ = ["DatomLog", "HistoryDisabledError"]
+
+
+class HistoryDisabledError(RuntimeError):
+    """History was read from a log created with ``keep_datoms=False``."""
 
 
 class DatomLog:
     """Monotonic transactions over an append-only datom sequence."""
 
-    __slots__ = ("_datoms", "_last_tx")
+    __slots__ = ("_datoms", "_last_tx", "_count", "_keep")
 
-    def __init__(self) -> None:
+    def __init__(self, keep_datoms: bool = True) -> None:
         self._datoms: list[Datom] = []
         self._last_tx = 0
+        self._count = 0
+        self._keep = keep_datoms
 
     # -- writing -----------------------------------------------------------
 
@@ -50,7 +64,9 @@ class DatomLog:
                 raise ValueError(
                     f"datom tx {datom.tx} does not match transaction {tx}"
                 )
-        self._datoms.extend(datoms)
+        if self._keep:
+            self._datoms.extend(datoms)
+        self._count += len(datoms)
         self._last_tx = tx
         return tx
 
@@ -67,12 +83,26 @@ class DatomLog:
                     f"replayed datom tx {datom.tx} goes backwards "
                     f"(log is at tx {self._last_tx})"
                 )
-            self._datoms.append(datom)
+            if self._keep:
+                self._datoms.append(datom)
             self._last_tx = datom.tx
             count += 1
+        self._count += count
         return count
 
     # -- reading -----------------------------------------------------------
+
+    @property
+    def keeps_history(self) -> bool:
+        """False when datom bodies are dropped (``keep_datoms=False``)."""
+        return self._keep
+
+    def _check_history(self, operation: str) -> None:
+        if not self._keep:
+            raise HistoryDisabledError(
+                f"cannot {operation}: this log was created with "
+                f"keep_datoms=False and retains no datom bodies"
+            )
 
     @property
     def last_tx(self) -> int:
@@ -82,20 +112,28 @@ class DatomLog:
     @property
     def datoms(self) -> tuple[Datom, ...]:
         """Every datom, in log order (a fresh immutable snapshot)."""
+        self._check_history("snapshot datoms")
         return tuple(self._datoms)
 
     def datoms_through(self, tx: int) -> Iterator[Datom]:
         """Datoms of every transaction with id <= ``tx``, in order."""
-        for datom in self._datoms:
-            if datom.tx > tx:
-                break
-            yield datom
+        self._check_history("read datoms_through")
+
+        def generate() -> Iterator[Datom]:
+            for datom in self._datoms:
+                if datom.tx > tx:
+                    break
+                yield datom
+
+        return generate()
 
     def __len__(self) -> int:
-        return len(self._datoms)
+        return self._count
 
     def __iter__(self) -> Iterator[Datom]:
+        self._check_history("iterate the log")
         return iter(self._datoms)
 
     def __repr__(self) -> str:
-        return f"<DatomLog {len(self)} datom(s) through tx {self._last_tx}>"
+        mode = "" if self._keep else ", bodies dropped"
+        return f"<DatomLog {len(self)} datom(s) through tx {self._last_tx}{mode}>"

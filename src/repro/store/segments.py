@@ -13,7 +13,11 @@ manifest — itself temp-written and replaced — updated to reference
 them.  The manifest is the source of truth: a crash in any window
 leaves either the old manifest (a fully consistent store, possibly with
 an orphaned segment file that compaction sweeps) or the new one (the
-append fully visible).  Nothing is ever overwritten in place.
+append fully visible).  Nothing is ever overwritten in place.  Every
+``os.replace`` is followed by an fsync of the store directory, so the
+segment-before-manifest ordering survives power loss too, not just
+process kills (on platforms whose directories cannot be fsynced the
+guarantee degrades to process crashes).
 
 Each manifest entry records the segment's datom count, tx span, and the
 SHA-256 of its *uncompressed* payload; gzip streams are written with
@@ -30,6 +34,7 @@ import hashlib
 import io
 import json
 import os
+import re
 from dataclasses import dataclass
 from typing import IO, Callable, Iterable, Iterator, Sequence
 
@@ -47,6 +52,8 @@ __all__ = [
 
 MANIFEST_NAME = "manifest.json"
 STORE_FORMAT_VERSION = 1
+
+_SEGMENT_NAME_RE = re.compile(r"^seg-(\d+)\.jsonl\.gz$")
 
 #: Fault-injection seam, mirroring the session manager's ``StateWriter``:
 #: receives the open temp-file handle and the full payload bytes.  The
@@ -98,6 +105,27 @@ class SegmentInfo:
             ) from error
 
 
+def _fsync_dir(path: str) -> None:
+    """Persist a directory's entries (its renames) to stable storage.
+
+    Without this, a power loss can forget an ``os.replace`` whose file
+    bytes were fsynced — e.g. keep the new manifest but drop the segment
+    rename it references.  Platforms that cannot fsync a directory
+    (Windows) silently skip; there the guarantee covers process crashes
+    only.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: str, payload: bytes, writer: SegmentWriter | None) -> None:
     """Write ``payload`` to ``path`` via temp file + ``os.replace``."""
     temp = f"{path}.tmp.{os.getpid()}"
@@ -110,6 +138,7 @@ def _atomic_write(path: str, payload: bytes, writer: SegmentWriter | None) -> No
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp, path)
+        _fsync_dir(os.path.dirname(path) or ".")
     finally:
         if os.path.exists(temp):
             os.unlink(temp)
@@ -211,6 +240,24 @@ class LogStore:
 
     # -- writing -----------------------------------------------------------
 
+    def _next_segment_name(self) -> str:
+        """The next free segment filename.
+
+        Indices only ever grow: the successor of the *highest* index any
+        live segment carries, never ``len(segments) + 1`` — after
+        compaction the list shrinks but the merged segment keeps a high
+        index, and reusing a lower name would ``os.replace`` over live
+        bytes.  Colliding with an *orphan* (a crashed append the
+        manifest never published) is fine — orphans are never read, and
+        overwriting one simply recycles its slot.
+        """
+        highest = 0
+        for info in self._segments:
+            match = _SEGMENT_NAME_RE.match(info.name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return f"seg-{highest + 1:08d}.jsonl.gz"
+
     def append(
         self,
         datoms: Sequence[Datom],
@@ -241,7 +288,7 @@ class LogStore:
                     f"within the batch (previous {previous})"
                 )
             previous = datom.tx
-        name = f"seg-{len(self._segments) + 1:08d}.jsonl.gz"
+        name = self._next_segment_name()
         blob, digest = _encode_segment(datoms)
         info = SegmentInfo(
             name=name,
@@ -428,10 +475,9 @@ class LogStore:
         old_names = [info.name for info in self._segments]
         orphans = self.orphans()
         if datoms:
-            # A compacted store restarts its segment numbering; the name
-            # must not collide with a surviving old file, so pick the
-            # next free index.
-            name = f"seg-{len(self._segments) + 1:08d}.jsonl.gz"
+            # The merged segment takes the next index past every live
+            # one, so it can never collide with a file it is replacing.
+            name = self._next_segment_name()
             blob, digest = _encode_segment(datoms)
             info = SegmentInfo(
                 name=name,

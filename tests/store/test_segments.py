@@ -154,6 +154,43 @@ def test_compact_preserves_history_and_sweeps(tmp_path):
     assert len(replayed.as_of(2)) == 2
 
 
+def test_append_after_compact_never_reuses_a_live_segment_name(tmp_path):
+    # Regression: append() once named segments seg-{len(segments)+1}, so
+    # after compacting N segments (merged file at index N+1, list length
+    # 1) the (N-1)th subsequent append replaced the live compacted
+    # segment's bytes and corrupted the store.
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log, batch=1)  # three segments, tx 1..3
+    assert len(store.segments) == 3
+    store.compact()
+    tx = store.last_tx
+    for i in range(4):
+        tx += 1
+        store.append([Datom(S, P, Literal(f"post-{i}"), tx, OP_ASSERT)])
+    names = [info.name for info in store.segments]
+    assert len(names) == len(set(names))
+    reopened = LogStore.open(tmp_path / "store")
+    assert reopened.verify()["ok"] is True
+    replayed = reopened.replay_graph()
+    assert replayed.last_tx == tx
+    # pre-compaction history is still navigable
+    assert len(replayed.as_of(2)) == 2
+
+
+def test_append_after_compact_survives_a_reopen(tmp_path):
+    g = _sample_graph()
+    store = LogStore.init(tmp_path / "store")
+    store.append_log(g.log, batch=1)
+    store.compact()
+    reopened = LogStore.open(tmp_path / "store")
+    tx = reopened.last_tx
+    for i in range(4):
+        tx += 1
+        reopened.append([Datom(S, P, Literal(f"re-{i}"), tx, OP_ASSERT)])
+    assert LogStore.open(tmp_path / "store").verify()["ok"] is True
+
+
 def test_orphan_segments_are_ignored_and_reported(tmp_path):
     g = _sample_graph()
     store = LogStore.init(tmp_path / "store")
