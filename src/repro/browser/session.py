@@ -107,6 +107,18 @@ class Session:
         session.restore(state)
         return session
 
+    def rebind(self, workspace: Workspace, epoch: int | None = None) -> None:
+        """Migrate this session forward onto a newer epoch's workspace.
+
+        The state is a pure value (terms, not workspace references), so
+        re-materializing it over the new snapshot is the whole
+        migration; collection views re-run their query against the new
+        corpus on next access.  ``epoch`` stamps the state so the pin
+        survives serialization.
+        """
+        self.workspace = workspace
+        self.restore(replace(self._state, epoch=epoch))
+
     def restore(self, state: SessionState) -> None:
         """Adopt a state wholesale, rebuilding the live view and history."""
         self._state = state

@@ -109,6 +109,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="number of corpora for the --store oracle pass",
     )
+    parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="also run the live-ingestion epoch oracle: stream random "
+        "mutations through an epoch manager and prove every published "
+        "epoch's suggestions are bit-identical to a cold build at its "
+        "watermark tx, racing navigation against a reference rebuilt "
+        "at each watermark",
+    )
+    parser.add_argument(
+        "--ingest-corpora",
+        type=int,
+        default=4,
+        help="number of corpora for the --ingest oracle pass",
+    )
+    parser.add_argument(
+        "--ingest-epochs",
+        type=int,
+        default=4,
+        help="epochs published (and checked) per --ingest corpus",
+    )
     return parser
 
 
@@ -222,6 +243,27 @@ def main(argv=None) -> int:
         for violation in store_report.violations:
             print(f"STORE VIOLATION: {violation}")
         if not store_report.ok:
+            status = 1
+
+    if args.ingest:
+        from .ingestcheck import run_ingest_check
+
+        ingest_report = run_ingest_check(
+            seed,
+            corpora=args.ingest_corpora,
+            epochs=args.ingest_epochs,
+            log=lambda line: print(f"  {line}"),
+        )
+        print(
+            f"ingest: {ingest_report.epochs_checked} epoch(s) checked over "
+            f"{ingest_report.corpora_run} corpus/corpora, "
+            f"{ingest_report.txs_ingested} tx(s) / "
+            f"{ingest_report.datoms_ingested} datom(s) ingested, "
+            f"{ingest_report.nav_steps_run} nav step(s)"
+        )
+        for violation in ingest_report.violations:
+            print(f"INGEST VIOLATION: {violation}")
+        if not ingest_report.ok:
             status = 1
 
     if args.fault_rounds > 0:

@@ -67,22 +67,30 @@ def _index_snapshot(graph: Graph):
     )
 
 
-def _suggestions_fingerprint(graph: Graph):
-    """The canonical suggestions payload for a workspace over ``graph``.
+def workspace_fingerprint(workspace):
+    """The canonical suggestions payload for one (frozen) workspace.
 
     Built through a real session so the whole stack — workspace
-    substrates, engine, advisors — is between the log and the
-    comparison.
+    substrates, engine, advisors — is between the input and the
+    comparison.  The epoch oracle (``repro check --ingest``) compares
+    this fingerprint between a published epoch and a cold build at the
+    epoch's watermark transaction.
     """
     from ..browser.session import Session
-    from ..core.workspace import Workspace
     from ..net.protocol import canonical_json, suggestions_payload
+
+    session = Session(workspace, session_id="storecheck")
+    return canonical_json(suggestions_payload(session.suggestions()))
+
+
+def _suggestions_fingerprint(graph: Graph):
+    """Fingerprint of a fresh cold build over ``graph``'s full log."""
+    from ..core.workspace import Workspace
 
     frozen = Graph.from_datoms(graph.log)
     frozen.freeze()
     workspace = Workspace(frozen).freeze()
-    session = Session(workspace, session_id="storecheck")
-    return canonical_json(suggestions_payload(session.suggestions()))
+    return workspace_fingerprint(workspace)
 
 
 def _tx_boundaries(graph: Graph) -> list[int]:

@@ -126,6 +126,61 @@ class Workspace:
         self._profile_lock = threading.Lock()
         self._wire_metrics()
 
+    @classmethod
+    def from_substrates(
+        cls,
+        graph: Graph,
+        schema: Schema,
+        items: Sequence[Node],
+        model,
+        vector_store: VectorStore,
+        text_index: TextIndex,
+        *,
+        obs: Observability | None = None,
+        query_mode: str = "bitset",
+        facet_mode: str = "compiled",
+        facet_postings=None,
+        carried_profiles: dict | None = None,
+    ) -> "Workspace":
+        """Assemble a workspace around pre-built substrates.
+
+        The epoch reindexer advances the previous epoch's model, vector
+        store, text index, and facet postings incrementally, then wires
+        them into a fresh workspace here — skipping the cold
+        ``index_items`` pass entirely.  ``carried_profiles`` seeds the
+        facet-profile memo (already re-keyed to the new graph version).
+        """
+        ws = cls.__new__(cls)
+        ws.obs = obs if obs is not None else Observability(tracing=False)
+        ws.graph = graph
+        ws.schema = schema
+        ws.query_mode = query_mode
+        ws.facet_mode = facet_mode
+        ws.items = list(items)
+        ws.model = model
+        ws.vector_store = vector_store
+        ws.text_index = text_index
+        ws.query_context = QueryContext(
+            graph,
+            schema=schema,
+            text_index=text_index,
+            universe=set(ws.items),
+        )
+        ws.query_engine = QueryEngine(
+            ws.query_context, obs=ws.obs, mode=query_mode
+        )
+        ws._facet_profiles = dict(carried_profiles or {})
+        ws.facet_profile_stats = CacheStats()
+        ws._frozen = False
+        ws._historical_tx = None
+        ws._as_of_views = {}
+        ws._mutation_lock = threading.RLock()
+        ws._profile_lock = threading.Lock()
+        if facet_postings is not None:
+            ws.query_context.adopt_facet_postings(facet_postings)
+        ws._wire_metrics()
+        return ws
+
     def _wire_metrics(self) -> None:
         """Expose the substrate counters as lazy snapshot-time gauges.
 

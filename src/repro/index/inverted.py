@@ -28,6 +28,24 @@ class InvertedIndex:
         #: survives :meth:`clear` so rebuilds don't erase the telemetry.
         self.postings_touched = 0
 
+    def copy(self) -> "InvertedIndex":
+        """An independent copy (postings and coord lists are duplicated).
+
+        Seeds the next epoch's index so incremental maintenance can
+        proceed without touching the published one.  The telemetry
+        counter starts at zero — it belongs to the instance, not the
+        data.
+        """
+        clone = InvertedIndex()
+        clone._postings = {
+            coord: dict(postings) for coord, postings in self._postings.items()
+        }
+        clone._doc_coords = {
+            item: list(coords) for item, coords in self._doc_coords.items()
+        }
+        clone._weight_bounds = dict(self._weight_bounds)
+        return clone
+
     def add(self, item: Hashable, entries: Iterable[tuple[Hashable, float]]) -> None:
         """Insert a document's (coordinate, weight) pairs."""
         if item in self._doc_coords:

@@ -54,9 +54,16 @@ class VectorStore:
         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
         obs: Observability | None = None,
         prune_top_k: bool = False,
+        exact: bool = False,
     ):
         self.model = model
         self.drift_threshold = drift_threshold
+        #: When set, incremental updates are taken only at *zero* idf
+        #: drift — where stored weights provably equal a fresh build's —
+        #: so the index is bit-identical to a cold rebuild after every
+        #: refresh.  Epoch snapshots run in this mode: the byte-parity
+        #: oracle (`as_of` at the watermark) demands it.
+        self.exact = exact
         #: When set, searches use WAND-style threshold pruning
         #: (:func:`repro.index.search.pruned_top_k`).  Results are
         #: identical to the exhaustive scan; only the postings-touched
@@ -72,8 +79,48 @@ class VectorStore:
         self._df_delta: Counter = Counter()
         #: item -> last membership op ("add"/"remove") since last refresh
         self._pending: dict[Node, str] = {}
+        #: accumulated drift already *baked into* postings by previous
+        #: incremental updates.  After an incremental refresh the index
+        #: mixes build-time weights with just-reindexed current weights;
+        #: measuring later drift only against the build baseline would
+        #: understate how stale the reindexed items have become.  The
+        #: refresh gate therefore bounds the total: measured + baked.
+        self._stale_drift = 0.0
         self.maintenance = IndexMaintenanceStats()
         model.add_listener(self._on_model_change)
+
+    @classmethod
+    def advance_from(
+        cls,
+        prior: "VectorStore",
+        model: VectorSpaceModel,
+        obs: Observability | None = None,
+    ) -> "VectorStore":
+        """Seed a store for ``model`` from a refreshed prior store.
+
+        ``model`` must be a clone of ``prior.model`` *before* any delta
+        is applied: the new store registers its listener here, so every
+        subsequent membership change lands in its pending set.  The
+        prior is refreshed first; seeding assumes its postings are exact
+        at its current statistics, which ``exact=True`` guarantees after
+        every refresh (epoch folds only advance exact stores).
+        """
+        prior.refresh()
+        store = cls.__new__(cls)
+        store.model = model
+        store.drift_threshold = prior.drift_threshold
+        store.exact = prior.exact
+        store.prune_top_k = prior.prune_top_k
+        store.obs = obs if obs is not None else prior.obs
+        store._index = prior._index.copy()
+        store._built_version = model.stats.version
+        store._built_num_docs = model.stats.num_docs
+        store._df_delta = Counter()
+        store._pending = {}
+        store._stale_drift = 0.0
+        store.maintenance = IndexMaintenanceStats()
+        model.add_listener(store._on_model_change)
+        return store
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -84,7 +131,13 @@ class VectorStore:
         delta = 1 if op == "add" else -1
         df_delta = self._df_delta
         for coord in coords:
-            df_delta[coord] += delta
+            net = df_delta[coord] + delta
+            if net:
+                df_delta[coord] = net
+            else:
+                # A retract/assert churn loop would otherwise grow the
+                # counter without bound with dead zero entries.
+                del df_delta[coord]
 
     def _idf_drift(self) -> float:
         """Worst-case |Δidf| between build-time and current statistics.
@@ -123,18 +176,27 @@ class VectorStore:
         changed are touched) and an exact full rebuild, based on how far
         idf values have drifted since the last exact build.
         """
-        if self._built_version == self.model.stats.version:
+        if self._built_version == self.model.stats.version and not self._pending:
             return False
-        incremental = (
-            bool(self._pending) and self._idf_drift() < self.drift_threshold
-        )
+        drift = self._idf_drift() if self._pending else math.inf
+        if self.exact:
+            # Zero measured drift means every stored weight provably
+            # equals what a fresh build would compute (N unchanged, all
+            # surviving coordinates at unchanged document frequency), so
+            # the delta update is bit-identical to a rebuild.
+            incremental = bool(self._pending) and drift == 0.0
+        else:
+            incremental = (
+                bool(self._pending)
+                and drift + self._stale_drift < self.drift_threshold
+            )
         with self.obs.tracer.span(
             "store.refresh",
             decision="incremental" if incremental else "rebuild",
             pending=len(self._pending),
         ):
             if incremental:
-                self._apply_pending()
+                self._apply_pending(drift)
             else:
                 self._rebuild()
         return True
@@ -143,7 +205,7 @@ class VectorStore:
         """Force an exact rebuild at current corpus statistics."""
         self._rebuild()
 
-    def _apply_pending(self) -> None:
+    def _apply_pending(self, drift: float = 0.0) -> None:
         model = self.model
         index = self._index
         reindexed = 0
@@ -155,6 +217,13 @@ class VectorStore:
                 index.remove(item)
         self._pending.clear()
         self._built_version = model.stats.version
+        if self.exact:
+            # drift == 0.0 here, so the index is exact at *current*
+            # statistics — move the baseline forward accordingly.
+            self._built_num_docs = model.stats.num_docs
+            self._df_delta.clear()
+        else:
+            self._stale_drift += drift
         self.maintenance.incremental_updates += 1
         self.maintenance.items_reindexed += reindexed
 
@@ -168,6 +237,7 @@ class VectorStore:
         self._built_num_docs = model.stats.num_docs
         self._df_delta.clear()
         self._pending.clear()
+        self._stale_drift = 0.0
         self.maintenance.full_rebuilds += 1
         self.maintenance.items_reindexed += count
 

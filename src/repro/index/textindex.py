@@ -36,6 +36,54 @@ class TextIndex:
         #: item -> the (property, token) pairs it currently posts under;
         #: consulted on reindex so stale postings are withdrawn first.
         self._posted: dict[Node, set[tuple[Resource, str]]] = {}
+        # Copy-on-write bookkeeping for clones (see clone_for).
+        self._cow = False
+        self._owned_overall: set[str] | None = None
+        self._owned_props: set[Resource] | None = None
+        self._owned_prop_tokens: set[tuple[Resource, str]] | None = None
+
+    def clone_for(self, graph: Graph) -> "TextIndex":
+        """A mutable copy-on-write successor over ``graph``.
+
+        Postings sets and per-property sub-indexes are shared with this
+        index until first mutated, so unindexing an item mid-epoch never
+        mutates the postings a pinned older epoch still resolves — the
+        aliasing bug the two-epoch regression test pins.
+        """
+        clone = TextIndex.__new__(TextIndex)
+        clone.graph = graph
+        clone.analyzer = self.analyzer
+        clone._overall = defaultdict(set, self._overall)
+        clone._by_property = defaultdict(lambda: defaultdict(set), self._by_property)
+        # _posted value sets are replaced wholesale on reindex, never
+        # mutated in place, so sharing them is safe.
+        clone._posted = dict(self._posted)
+        clone._cow = True
+        clone._owned_overall = set()
+        clone._owned_props = set()
+        clone._owned_prop_tokens = set()
+        return clone
+
+    def _own_postings(self, prop: Resource, token: str) -> None:
+        """Unshare every structure one (prop, token) posting lives in."""
+        if token not in self._owned_overall:
+            self._owned_overall.add(token)
+            leaf = self._overall.get(token)
+            if leaf is not None:
+                self._overall[token] = set(leaf)
+        if prop not in self._owned_props:
+            self._owned_props.add(prop)
+            sub = self._by_property.get(prop)
+            if sub is not None:
+                self._by_property[prop] = defaultdict(set, sub)
+        key = (prop, token)
+        if key not in self._owned_prop_tokens:
+            self._owned_prop_tokens.add(key)
+            sub = self._by_property.get(prop)
+            if sub is not None:
+                leaf = sub.get(token)
+                if leaf is not None:
+                    sub[token] = set(leaf)
 
     def index_item(self, item: Node) -> None:
         """Index every string value of one item.
@@ -56,6 +104,8 @@ class TextIndex:
                 if value.is_numeric or value.is_temporal:
                     continue
                 for token in self.analyzer.tokens(value.lexical):
+                    if self._cow:
+                        self._own_postings(prop, token)
                     self._overall[token].add(item)
                     self._by_property[prop][token].add(item)
                     posted.add((prop, token))
@@ -72,6 +122,8 @@ class TextIndex:
         if posted is None:
             return False
         for prop, token in posted:
+            if self._cow:
+                self._own_postings(prop, token)
             overall = self._overall.get(token)
             if overall is not None:
                 overall.discard(item)

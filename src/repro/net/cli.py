@@ -79,6 +79,25 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--save-dir", default=None,
                         help="save every session here on drain")
     parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="accept live N-Triples ingestion on POST /ingest; readers "
+        "pin immutable epoch snapshots and migrate forward as the "
+        "background reindexer publishes",
+    )
+    parser.add_argument(
+        "--publish-interval",
+        type=float,
+        default=0.2,
+        help="seconds between background epoch publishes (with --ingest)",
+    )
+    parser.add_argument(
+        "--publish-sync",
+        action="store_true",
+        help="publish a new epoch inside each POST /ingest instead of in "
+        "the background (deterministic; higher ingest latency)",
+    )
+    parser.add_argument(
         "--selftest",
         action="store_true",
         help="start, run a smoke batch through a client, drain, exit",
@@ -117,6 +136,9 @@ def _build_server(args: argparse.Namespace):
         queue_limit=args.queue_limit,
         request_deadline=args.deadline,
         max_body=args.max_body,
+        ingest=getattr(args, "ingest", False),
+        publish_interval=getattr(args, "publish_interval", 0.2),
+        publish_sync=getattr(args, "publish_sync", False),
     )
     procs = getattr(args, "procs", 1)
     if procs > 1:
@@ -137,6 +159,18 @@ def _build_server(args: argparse.Namespace):
     workspace = _load_workspace(args, obs)
     workspace.freeze()
     manager = SessionManager(workspace)
+    if config.ingest:
+        from ..core.epochs import EpochManager
+
+        store = None
+        if getattr(args, "store", None):
+            # Serving straight from a durable store: ingested datoms are
+            # sealed into segments as they arrive, so a crash restarts
+            # on the last durable transaction.
+            from ..store.segments import LogStore
+
+            store = LogStore.open(args.store)
+        manager.attach_epochs(EpochManager(workspace, obs=obs, store=store))
     return NavigationServer(manager, config)
 
 

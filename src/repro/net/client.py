@@ -69,12 +69,27 @@ class NavigationClient:
     # ------------------------------------------------------------------
 
     def request_raw(
-        self, method: str, path: str, payload: Any | None = None
+        self,
+        method: str,
+        path: str,
+        payload: Any | None = None,
+        raw: bytes | None = None,
+        content_type: str = "application/json",
     ) -> tuple[int, bytes]:
-        """One round-trip; returns the raw (status, body bytes) pair."""
+        """One round-trip; returns the raw (status, body bytes) pair.
+
+        ``payload`` is JSON-encoded; ``raw`` ships verbatim with
+        ``content_type`` (the N-Triples ingest path).  At most one of
+        the two may be given.
+        """
         body = None
         headers: dict[str, str] = {}
-        if payload is not None:
+        if payload is not None and raw is not None:
+            raise ValueError("pass payload or raw, not both")
+        if raw is not None:
+            body = raw
+            headers["Content-Type"] = content_type
+        elif payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         if not self.keep_alive:
@@ -112,6 +127,10 @@ class NavigationClient:
     def request(self, method: str, path: str, payload: Any | None = None) -> Any:
         """One round-trip; unwraps the envelope or raises ServerError."""
         status, body = self.request_raw(method, path, payload)
+        return self._unwrap(status, body)
+
+    @staticmethod
+    def _unwrap(status: int, body: bytes) -> Any:
         try:
             envelope = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as error:
@@ -146,6 +165,16 @@ class NavigationClient:
         if as_of is not None:
             body["as_of"] = as_of
         return self.request("POST", "/sessions", body)
+
+    def ingest(self, ntriples: str) -> dict[str, Any]:
+        """Stream an N-Triples payload into a live-ingestion server."""
+        status, body = self.request_raw(
+            "POST",
+            "/ingest",
+            raw=ntriples.encode("utf-8"),
+            content_type="application/n-triples",
+        )
+        return self._unwrap(status, body)
 
     def delete_session(self, name: str) -> bool:
         return bool(self.request("DELETE", f"/sessions/{name}")["removed"])

@@ -265,6 +265,9 @@ class ShardedServer:
             max_body=self.config.max_body,
             keep_alive=True,
             keepalive_idle=max(30.0, self.config.keepalive_idle),
+            ingest=self.config.ingest,
+            publish_interval=self.config.publish_interval,
+            publish_sync=self.config.publish_sync,
         )
 
     @property
@@ -581,6 +584,11 @@ class ShardedServer:
             return self._respond_local(
                 client, 200, ok_envelope(self._merged_metrics())
             )
+        if normalized == "/ingest":
+            if method != "POST":
+                return self._fail_route(client, MethodNotAllowed("use POST"))
+            status, payload = self._ingest_fanout(body)
+            return self._respond_local(client, status, payload)
         if normalized == "/sessions" and method == "GET":
             return self._respond_local(
                 client, 200, ok_envelope(self._merged_sessions())
@@ -862,6 +870,74 @@ class ShardedServer:
             self.metrics.counter("router.control_errors").inc()
             del error
             return None
+
+    def _ingest_fanout(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        """Replicate one N-Triples batch to every worker, in order.
+
+        Each worker holds a full replica, so ingestion is a write-all
+        fan-out, not a shard pick.  The router serializes batches (the
+        event loop is single-threaded and this runs inline), and every
+        worker applies them in the same order from the same starting
+        log, so all replicas mint the same tx — checked here: a tx
+        mismatch means a diverged replica and is reported as a 503
+        rather than papered over.
+        """
+        from .client import NavigationClient, ServerError
+
+        if not self.config.ingest:
+            error = NotFound("this server was not started with --ingest")
+            return error.status, error_envelope(error)
+        if not body:
+            error = BadRequest("an N-Triples body is required")
+            return error.status, error_envelope(error)
+        summaries: list[dict[str, Any]] = []
+        for shard in self._shards:
+            if not shard.handle.alive:
+                self._worker_errors.inc()
+                error = WorkerUnavailable(
+                    f"worker {shard.index} is down; ingest not replicated"
+                )
+                return error.status, error_envelope(error)
+            try:
+                client = NavigationClient("127.0.0.1", shard.port, timeout=30.0)
+                status, raw = client.request_raw(
+                    "POST",
+                    "/ingest",
+                    raw=body,
+                    content_type="application/n-triples",
+                )
+                summary = client._unwrap(status, raw)
+            except ServerError as error:
+                if error.status == 400 and not summaries:
+                    # A malformed body fails on the first worker before
+                    # any replica applied it: relay the client error.
+                    bad = BadRequest(error.message)
+                    return bad.status, error_envelope(bad)
+                self._worker_errors.inc()
+                failed = WorkerUnavailable(
+                    f"worker {shard.index} rejected ingest: {error}"
+                )
+                return failed.status, error_envelope(failed)
+            except OSError as error:
+                self._worker_errors.inc()
+                failed = WorkerUnavailable(
+                    f"worker {shard.index} unreachable during ingest: {error}"
+                )
+                return failed.status, error_envelope(failed)
+            summaries.append(summary)
+        txs = {s.get("tx") for s in summaries}
+        if len(txs) > 1:
+            self.metrics.counter("router.ingest_divergence").inc()
+            error = WorkerUnavailable(
+                f"replicas diverged on ingest tx: {sorted(txs)}"
+            )
+            return error.status, error_envelope(error)
+        merged = dict(summaries[0])
+        merged["replicas"] = len(summaries)
+        merged["epoch"] = min(s.get("epoch", 0) for s in summaries)
+        merged["lag_tx"] = max(s.get("lag_tx", 0) for s in summaries)
+        self.metrics.counter("router.ingests").inc()
+        return 200, ok_envelope(merged)
 
     def _health(self) -> dict[str, Any]:
         workers = []

@@ -89,6 +89,18 @@ class ServerConfig:
     keep_alive: bool = True
     #: Seconds a kept-alive connection may sit idle before it is closed.
     keepalive_idle: float = 10.0
+    #: Accept live ingestion: attach an EpochManager to the manager so
+    #: ``POST /ingest`` works.  Workers in the sharded tier read this to
+    #: build their epoch manager post-fork.
+    ingest: bool = False
+    #: How often (seconds) the background reindexer folds ingested
+    #: datoms into a new epoch.  Only meaningful when the manager has an
+    #: EpochManager attached.
+    publish_interval: float = 0.2
+    #: Publish synchronously inside each ``POST /ingest`` instead of in
+    #: the background thread — deterministic for tests, higher ingest
+    #: latency in production.
+    publish_sync: bool = False
 
 
 @dataclass
@@ -279,6 +291,12 @@ class NavigationServer:
         if self.config.keep_alive:
             self._parker = _Parker(self._readmit, self.config.keepalive_idle)
             self._parker.start()
+        epochs = self.manager.epochs
+        if epochs is not None and not self.config.publish_sync:
+            # Started here, not at construction: reindexer threads must
+            # be born in the serving process (threads don't survive a
+            # fork into a worker).
+            epochs.start_reindexer(self.config.publish_interval)
         acceptor = threading.Thread(
             target=self._accept_loop, name="net-acceptor", daemon=True
         )
@@ -329,6 +347,11 @@ class NavigationServer:
                 pass
         with self._drain_lock:
             if self._started:
+                epochs = self.manager.epochs
+                if epochs is not None:
+                    # Stop folding; already-durable datoms replay on the
+                    # next start, so nothing is lost by not publishing.
+                    epochs.stop_reindexer(drain=False)
                 # Idle kept-alive sockets are closed first so only
                 # genuinely in-flight requests hold up the pool.
                 if self._parker is not None:
@@ -554,6 +577,9 @@ class NavigationServer:
             if path == "/metrics":
                 self._require(method, "GET")
                 return 200, ok_envelope(self.obs.metrics.snapshot())
+            if path == "/ingest":
+                self._require(method, "POST")
+                return self._ingest(request)
             if path == "/sessions":
                 if method == "GET":
                     return 200, ok_envelope(self._list_sessions())
@@ -598,13 +624,18 @@ class NavigationServer:
     # ------------------------------------------------------------------
 
     def _health(self) -> dict[str, Any]:
-        return {
+        health = {
             "status": "serving" if self._accepting else "draining",
             "sessions": len(self.manager),
             "workers": self.config.workers,
             "queue_depth": self._queue.qsize(),
             "queue_limit": self.config.queue_limit,
         }
+        epochs = self.manager.epochs
+        if epochs is not None:
+            health["epoch"] = epochs.current.number
+            health["epoch_lag_tx"] = epochs.lag
+        return health
 
     def _list_sessions(self) -> dict[str, Any]:
         with self._manager_lock:
@@ -637,6 +668,36 @@ class NavigationServer:
             removed = self.manager.remove(name)
         return 200, ok_envelope({"removed": removed})
 
+    def _ingest(self, request: Request) -> tuple[int, dict]:
+        """Stream N-Triples into the head graph as one transaction.
+
+        The body is raw N-Triples, not JSON.  Writers return as soon as
+        the transaction is committed (and durable, when a store is
+        attached); readers keep their pinned epochs until the reindexer
+        publishes — zero reader disruption by construction.
+        """
+        epochs = self.manager.epochs
+        if epochs is None:
+            raise NotFound("this server was not started with --ingest")
+        if not request.body:
+            raise BadRequest("an N-Triples body is required")
+        try:
+            text = request.body.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise BadRequest(f"body is not valid UTF-8: {error}") from None
+        with self.obs.tracer.span("net.ingest", bytes=len(request.body)):
+            try:
+                summary = epochs.ingest_ntriples(text)
+            except ValueError as error:
+                raise BadRequest(f"malformed N-Triples: {error}") from None
+        if self.config.publish_sync:
+            epoch = epochs.publish()
+            if epoch is not None:
+                summary["epoch"] = epoch.number
+                summary["lag_tx"] = epochs.lag
+        self.obs.metrics.counter("net.ingests").inc()
+        return 200, ok_envelope(summary)
+
     def _lock_for(self, name: str) -> threading.RLock:
         with self._locks_guard:
             lock = self._session_locks.get(name)
@@ -645,10 +706,20 @@ class NavigationServer:
             return lock
 
     def _session(self, name: str):
+        """The named session, migrated to the current epoch first.
+
+        Callers hold the per-session lock, so the migration (a pure
+        state re-materialization over the new snapshot) never races a
+        command on the same session; different sessions migrate
+        independently.
+        """
         try:
-            return self.manager.get(name)
+            session = self.manager.get(name)
         except KeyError:
             raise NotFound(f"no session named {name!r}") from None
+        if self.manager.epochs is not None:
+            session = self.manager.sync_session(name)
+        return session
 
     def _apply(self, name: str, body: dict[str, Any]) -> tuple[int, dict]:
         command_dict = body.get("command")

@@ -146,6 +146,14 @@ def worker_main(
             if spec is None:
                 raise ValueError("worker needs a manager or a spec")
             manager = SessionManager(spec.build_workspace())
+        if config.ingest and manager.epochs is None:
+            # Built post-fork: the epoch manager owns locks and (once
+            # the server starts) a reindexer thread, neither of which
+            # survives a fork.  Every worker folds the same delta stream
+            # in the same tx order, so replicas stay aligned.
+            from ..core.epochs import EpochManager
+
+            manager.attach_epochs(EpochManager(manager.workspace))
         server = NavigationServer(manager, config)
         server.start()
         _host, port = server.address

@@ -64,6 +64,8 @@ class FacetPostings:
         "version",
         "n_items",
         "n_entries",
+        "reused_records",
+        "rebuilt_records",
         "_props",
         "_records",
         "_range_arrays",
@@ -75,6 +77,10 @@ class FacetPostings:
         self.version = version
         self.n_items = 0
         self.n_entries = 0
+        #: records carried over unchanged from a prior build (advance).
+        self.reused_records = 0
+        #: records swept from the graph this build.
+        self.rebuilt_records = 0
         #: prop_idx -> (prop, declared type, is_annotation).
         self._props: list[tuple[Resource, "str | None", bool]] = []
         self._records: dict[Node, tuple[_Entry, ...]] = {}
@@ -105,63 +111,127 @@ class FacetPostings:
 
         postings = cls(graph, schema, graph.version)
         records = postings._records
-        props = postings._props
         #: prop -> None (hidden) | (prop_idx, declared, value memo)
         prop_meta: dict[Resource, tuple | None] = {}
         n_entries = 0
         for item in items:
-            entries: list[_Entry] = []
-            for prop, values in graph.properties_of(item).items():
-                meta = prop_meta.get(prop, _MISSING)
-                if meta is _MISSING:
-                    if schema.is_hidden(prop):
-                        meta = None
-                    else:
-                        declared = schema.value_type(prop)
-                        meta = (len(props), declared, {})
-                        props.append(
-                            (prop, declared, prop in ANNOTATION_PROPERTIES)
-                        )
-                    prop_meta[prop] = meta
-                if meta is None:
-                    continue
-                prop_idx, declared, value_info = meta
-                facet_values: list[Node] = []
-                readings: list[float] = []
-                continuous_seen = 0
-                for value in values:
-                    info = value_info.get(value)
-                    if info is None:
-                        facetable = is_facetable_value(value, declared)
-                        if isinstance(value, Literal):
-                            continuous = value.is_numeric or value.is_temporal
-                            number = value.as_number()
-                        else:
-                            continuous = False
-                            number = None
-                        info = (facetable, continuous, number)
-                        value_info[value] = info
-                    facetable, continuous, number = info
-                    if facetable:
-                        facet_values.append(value)
-                    if continuous:
-                        continuous_seen += 1
-                    if number is not None:
-                        readings.append(number)
-                entries.append(
-                    (
-                        prop_idx,
-                        tuple(facet_values),
-                        len(values),
-                        continuous_seen,
-                        tuple(readings),
-                    )
-                )
-            records[item] = tuple(entries)
-            n_entries += len(entries)
+            rec = postings._sweep_item(item, prop_meta)
+            records[item] = rec
+            n_entries += len(rec)
         postings.n_items = len(records)
         postings.n_entries = n_entries
+        postings.rebuilt_records = len(records)
         return postings
+
+    @classmethod
+    def advance(
+        cls,
+        prior: "FacetPostings",
+        graph: "Graph",
+        schema: "Schema",
+        items: Iterable[Node],
+        dirty: "set[Node]",
+        dirty_props: "set[Resource]",
+    ) -> "FacetPostings":
+        """Build postings for the next epoch, re-sweeping only ``dirty``.
+
+        Records of items outside ``dirty`` are carried over verbatim —
+        valid because an untouched item's ``properties_of`` view (and
+        hence its sweep outcome) is shared, unchanged, between the prior
+        graph and the fork.  Range posting arrays carry over for every
+        property no delta datom mentions; touched properties rebuild
+        lazily.  ``items`` must be the new build population in sweep
+        order; the property table extends the prior one so carried
+        records' indices stay valid.
+        """
+        postings = cls(graph, schema, graph.version)
+        postings._props = list(prior._props)
+        prop_meta: dict[Resource, tuple | None] = {
+            prop: (idx, declared, {})
+            for idx, (prop, declared, _ann) in enumerate(prior._props)
+        }
+        prior_records = prior._records
+        records = postings._records
+        n_entries = 0
+        reused = rebuilt = 0
+        for item in items:
+            rec = prior_records.get(item) if item not in dirty else None
+            if rec is None:
+                rec = postings._sweep_item(item, prop_meta)
+                rebuilt += 1
+            else:
+                reused += 1
+            records[item] = rec
+            n_entries += len(rec)
+        postings.n_items = len(records)
+        postings.n_entries = n_entries
+        postings.reused_records = reused
+        postings.rebuilt_records = rebuilt
+        for prop, pair in prior._range_arrays.items():
+            if prop not in dirty_props:
+                postings._range_arrays[prop] = pair
+        return postings
+
+    def _sweep_item(
+        self, item: Node, prop_meta: "dict[Resource, tuple | None]"
+    ) -> tuple[_Entry, ...]:
+        """Classify one item's values exactly as the legacy sweep would."""
+        from ..core.analysts.common import (
+            ANNOTATION_PROPERTIES,
+            is_facetable_value,
+        )
+
+        graph = self.graph
+        schema = self.schema
+        props = self._props
+        entries: list[_Entry] = []
+        for prop, values in graph.properties_of(item).items():
+            meta = prop_meta.get(prop, _MISSING)
+            if meta is _MISSING:
+                if schema.is_hidden(prop):
+                    meta = None
+                else:
+                    declared = schema.value_type(prop)
+                    meta = (len(props), declared, {})
+                    props.append(
+                        (prop, declared, prop in ANNOTATION_PROPERTIES)
+                    )
+                prop_meta[prop] = meta
+            if meta is None:
+                continue
+            prop_idx, declared, value_info = meta
+            facet_values: list[Node] = []
+            readings: list[float] = []
+            continuous_seen = 0
+            for value in values:
+                info = value_info.get(value)
+                if info is None:
+                    facetable = is_facetable_value(value, declared)
+                    if isinstance(value, Literal):
+                        continuous = value.is_numeric or value.is_temporal
+                        number = value.as_number()
+                    else:
+                        continuous = False
+                        number = None
+                    info = (facetable, continuous, number)
+                    value_info[value] = info
+                facetable, continuous, number = info
+                if facetable:
+                    facet_values.append(value)
+                if continuous:
+                    continuous_seen += 1
+                if number is not None:
+                    readings.append(number)
+            entries.append(
+                (
+                    prop_idx,
+                    tuple(facet_values),
+                    len(values),
+                    continuous_seen,
+                    tuple(readings),
+                )
+            )
+        return tuple(entries)
 
     def covers(self, items: Iterable[Node]) -> bool:
         """True when every item has a record (profile won't fall back)."""

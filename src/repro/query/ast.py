@@ -290,6 +290,28 @@ class QueryContext:
             self._facet_postings = postings
         return postings
 
+    def ordered_universe(self) -> list[Node]:
+        """The universe in facet-sweep order (graph insertion + strays)."""
+        universe = self.universe
+        ordered = [s for s in self.graph.subjects() if s in universe]
+        if len(ordered) != len(universe):
+            ordered.extend(universe.difference(ordered))
+        return ordered
+
+    def facet_postings_if_built(self) -> "FacetPostings | None":
+        """The current facet postings if already built, else None.
+
+        Epoch folds consult this to advance the prior epoch's postings
+        instead of rebuilding; a never-warmed context stays lazy.
+        """
+        with self._postings_lock:
+            return self._facet_postings
+
+    def adopt_facet_postings(self, postings: "FacetPostings") -> None:
+        """Install pre-built postings (an epoch fold carries them over)."""
+        with self._postings_lock:
+            self._facet_postings = postings
+
 
 class Predicate:
     """Base class for all query predicates."""

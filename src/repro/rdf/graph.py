@@ -94,6 +94,12 @@ class Graph:
         self._version = 0
         self._frozen = False
         self._historical_tx: int | None = None
+        # Copy-on-write bookkeeping for forked graphs (see fork()).
+        # A plain graph owns all of its structure outright.
+        self._cow = False
+        self._owned_spo: tuple[set, set] | None = None
+        self._owned_pos: tuple[set, set] | None = None
+        self._owned_osp: tuple[set, set] | None = None
         self._interner = InternTable()
         self._blank_counter = itertools.count(1)
         self._log = DatomLog(keep_datoms=track_history)
@@ -165,6 +171,8 @@ class Graph:
     # -- index maintenance (the materialized-view side of the log) ------
 
     def _apply_assert(self, s, p, o) -> None:
+        if self._cow:
+            self._cow_own(s, p, o)
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
@@ -172,6 +180,8 @@ class Graph:
         self._version += 1
 
     def _apply_retract(self, s, p, o) -> None:
+        if self._cow:
+            self._cow_own(s, p, o)
         self._spo[s][p].remove(o)
         self._pos[p][o].discard(s)
         self._osp[o][s].discard(p)
@@ -475,6 +485,120 @@ class Graph:
         for s, p, o in self.triples():
             clone.add(s, p, o)
         return clone
+
+    # ------------------------------------------------------------------
+    # Copy-on-write forks (epoch snapshots)
+    # ------------------------------------------------------------------
+
+    def fork(self) -> "Graph":
+        """A mutable copy-on-write successor of this (typically frozen) graph.
+
+        The fork shares the middle dicts and leaf sets of all three
+        indexes with its parent; the first mutation that would touch a
+        shared structure copies it first, so the parent — usually a
+        published epoch snapshot with pinned readers — is never aliased.
+        The datom log is copied, so the fork continues the parent's tx
+        sequence and keeps ``as_of`` working over the combined history.
+        The version counter carries over: a fork that replays ``n``
+        delta datoms ends at exactly the version a cold full-log replay
+        would reach.
+        """
+        clone = Graph.__new__(Graph)
+        clone._spo = defaultdict(lambda: defaultdict(set), self._spo)
+        clone._pos = defaultdict(lambda: defaultdict(set), self._pos)
+        clone._osp = defaultdict(lambda: defaultdict(set), self._osp)
+        clone._size = self._size
+        clone._version = self._version
+        clone._frozen = False
+        clone._historical_tx = None
+        clone._interner = InternTable()
+        clone._blank_counter = self._blank_counter
+        clone._log = self._log.fork()
+        clone._cow = True
+        clone._owned_spo = (set(), set())
+        clone._owned_osp = (set(), set())
+        clone._owned_pos = (set(), set())
+        return clone
+
+    @staticmethod
+    def _own_leaf(index, owned, outer, inner) -> None:
+        """Ensure ``index[outer]`` and ``index[outer][inner]`` are unshared."""
+        mids, leaves = owned
+        if outer not in mids:
+            mids.add(outer)
+            mid = index.get(outer)
+            if mid is not None:
+                index[outer] = defaultdict(set, mid)
+        key = (outer, inner)
+        if key not in leaves:
+            leaves.add(key)
+            mid = index.get(outer)
+            if mid is not None:
+                leaf = mid.get(inner)
+                if leaf is not None:
+                    mid[inner] = set(leaf)
+
+    def _cow_own(self, s, p, o) -> None:
+        self._own_leaf(self._spo, self._owned_spo, s, p)
+        self._own_leaf(self._pos, self._owned_pos, p, o)
+        self._own_leaf(self._osp, self._owned_osp, o, s)
+
+    def _preown_for_replay(self, datoms) -> None:
+        """Faithfully rebuild the index leaves a delta replay will touch.
+
+        ``set(leaf)`` preserves membership but not CPython's internal
+        hash-table layout, and leaf-set iteration order leaks into
+        downstream float summation (item profiles → sparse vectors →
+        scores).  To keep a forked epoch *bit-identical* to a cold
+        replay of the full log, every leaf the delta touches is rebuilt
+        here by replaying that leaf's full op history from this fork's
+        own log — including the prune-and-remint on emptying that
+        ``_apply_retract``/``defaultdict`` perform — which reproduces
+        the cold layout exactly.  Untouched leaves stay shared with the
+        parent.  ``datoms`` must be a sequence (it is iterated thrice).
+        """
+        if not self._cow:
+            return
+        self._preown_index(
+            self._spo, self._owned_spo,
+            {(d.s, d.p) for d in datoms}, lambda d: (d.s, d.p, d.o),
+        )
+        self._preown_index(
+            self._pos, self._owned_pos,
+            {(d.p, d.o) for d in datoms}, lambda d: (d.p, d.o, d.s),
+        )
+        self._preown_index(
+            self._osp, self._owned_osp,
+            {(d.o, d.s) for d in datoms}, lambda d: (d.o, d.s, d.p),
+        )
+
+    def _preown_index(self, index, owned, touched, project) -> None:
+        mids, leaves = owned
+        rebuilt: dict[tuple, set] = {}
+        for datom in self._log:
+            outer, inner, member = project(datom)
+            key = (outer, inner)
+            if key not in touched:
+                continue
+            leaf = rebuilt.get(key)
+            if datom.asserts:
+                if leaf is None:
+                    leaf = rebuilt[key] = set()
+                leaf.add(member)
+            elif leaf is not None:
+                leaf.discard(member)
+                if not leaf:
+                    # Mirror _prune: the next assert mints a fresh set.
+                    del rebuilt[key]
+        for outer, inner in touched:
+            if outer not in mids:
+                mids.add(outer)
+                mid = index.get(outer)
+                if mid is not None:
+                    index[outer] = defaultdict(set, mid)
+            leaves.add((outer, inner))
+        for (outer, inner), leaf in rebuilt.items():
+            index[outer][inner] = leaf
 
     # ------------------------------------------------------------------
     # Log replay and time travel

@@ -50,6 +50,67 @@ class SessionManager:
         self._back_limit = back_limit
         self._sessions: dict = {}
         self._active_name: str | None = None
+        #: Set by attach_epochs when serving a live-ingestion corpus.
+        self._epochs = None
+
+    # ------------------------------------------------------------------
+    # Epochs (live ingestion)
+    # ------------------------------------------------------------------
+
+    def attach_epochs(self, epochs) -> None:
+        """Serve from an :class:`~repro.core.epochs.EpochManager`.
+
+        From here on every new session pins the current epoch (its
+        refcount keeps the snapshot alive) and :meth:`sync_session`
+        migrates sessions forward whenever a newer epoch has published.
+        """
+        self._epochs = epochs
+        self.workspace = epochs.current.workspace
+
+    @property
+    def epochs(self):
+        return self._epochs
+
+    def sync_session(self, name: str):
+        """Migrate the named session to the current epoch; returns it.
+
+        No-op without an attached epoch manager or when the session is
+        already current.  An ``as_of`` session re-resolves its pinned
+        historical view from the new epoch's workspace (same tx, same
+        log prefix — the view is identical), so even time-travel
+        sessions release retired epochs promptly.
+        """
+        session = self.get(name)
+        if self._epochs is None:
+            return session
+        pinned = session.state.epoch
+        if pinned == self._epochs.current.number:
+            return session
+        epoch = self._epochs.acquire()
+        try:
+            workspace = epoch.workspace
+            if session.state.as_of_tx is not None:
+                workspace = workspace.as_of(session.state.as_of_tx)
+            session.rebind(workspace, epoch.number)
+        except BaseException:
+            self._epochs.release(epoch.number)
+            raise
+        if pinned is not None:
+            self._epochs.release(pinned)
+        self.workspace = epoch.workspace
+        return session
+
+    def sync_all(self) -> int:
+        """Migrate every session to the current epoch; returns count moved."""
+        if self._epochs is None:
+            return 0
+        moved = 0
+        current = self._epochs.current.number
+        for name in list(self._sessions):
+            if self._sessions[name].state.epoch != current:
+                self.sync_session(name)
+                moved += 1
+        return moved
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -67,9 +128,18 @@ class SessionManager:
         """
         if name in self._sessions:
             raise ValueError(f"session {name!r} already exists")
-        workspace = self.workspace
-        if as_of is not None:
-            workspace = self.workspace.as_of(as_of)
+        epoch_no = None
+        base = self.workspace
+        if self._epochs is not None:
+            epoch = self._epochs.acquire()
+            epoch_no = epoch.number
+            base = epoch.workspace
+        try:
+            workspace = base.as_of(as_of) if as_of is not None else base
+        except BaseException:
+            if epoch_no is not None:
+                self._epochs.release(epoch_no)
+            raise
         from ..browser.session import Session
 
         session = Session(
@@ -80,8 +150,10 @@ class SessionManager:
             back_limit=self._back_limit,
             session_id=name,
         )
-        if as_of is not None:
-            session.restore(replace(session.state, as_of_tx=as_of))
+        if as_of is not None or epoch_no is not None:
+            session.restore(
+                replace(session.state, as_of_tx=as_of, epoch=epoch_no)
+            )
         self._sessions[name] = session
         self._active_name = name
         return session
@@ -109,9 +181,11 @@ class SessionManager:
         """Drop a session; returns whether it existed."""
         if name not in self._sessions:
             return False
-        del self._sessions[name]
+        session = self._sessions.pop(name)
         if self._active_name == name:
             self._active_name = next(iter(self._sessions), None)
+        if self._epochs is not None and session.state.epoch is not None:
+            self._epochs.release(session.state.epoch)
         return True
 
     def switch(self, name: str):
@@ -194,20 +268,38 @@ class SessionManager:
             raise StateLoadError(
                 f"invalid session state in {path}: {error}"
             ) from error
-        workspace = self.workspace
+        epoch_no = None
+        base = self.workspace
+        if self._epochs is not None:
+            # A resumed session re-pins the *current* epoch: its saved
+            # epoch number belongs to a previous run's chain.
+            epoch = self._epochs.acquire()
+            epoch_no = epoch.number
+            base = epoch.workspace
+            state = replace(state, epoch=epoch_no)
+        workspace = base
         if state.as_of_tx is not None:
             # A pinned state resumes against the same historical view it
             # was saved from; a log that no longer reaches that tx is a
             # load failure, not a silent unpin.
             try:
-                workspace = self.workspace.as_of(state.as_of_tx)
+                workspace = base.as_of(state.as_of_tx)
             except ValueError as error:
+                if epoch_no is not None:
+                    self._epochs.release(epoch_no)
                 raise StateLoadError(
                     f"cannot resume as-of session from {path}: {error}"
                 ) from error
         from ..browser.session import Session
 
         session = Session.from_state(workspace, state, engine=self.engine)
+        previous = self._sessions.get(name)
+        if (
+            previous is not None
+            and self._epochs is not None
+            and previous.state.epoch is not None
+        ):
+            self._epochs.release(previous.state.epoch)
         self._sessions[name] = session
         self._active_name = name
         return session

@@ -148,6 +148,11 @@ class SessionState:
     #: When set, the session browses a historical ``as_of`` view of the
     #: workspace pinned at this transaction id (time-travel navigation).
     as_of_tx: int | None = None
+    #: The epoch this session is pinned to when the server runs live
+    #: ingestion.  None means "not epoch-managed" (static corpus); the
+    #: key is omitted from the wire form in that case so pre-epoch
+    #: payloads stay byte-identical.
+    epoch: int | None = None
 
     @classmethod
     def initial(
@@ -173,7 +178,7 @@ class SessionState:
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON-safe wire form (lossless; see ``from_dict``)."""
-        return {
+        data = {
             "format": STATE_FORMAT_VERSION,
             "session_id": self.session_id,
             "view": self.view.to_dict(),
@@ -205,6 +210,9 @@ class SessionState:
             "back_limit": self.back_limit,
             "as_of": self.as_of_tx,
         }
+        if self.epoch is not None:
+            data["epoch"] = self.epoch
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SessionState":
@@ -253,6 +261,17 @@ class SessionState:
             raise StateSerializationError(
                 f"as_of must be a non-negative integer or null, got {as_of_tx!r}"
             )
+        # Absent for static-corpus sessions and payloads written before
+        # live ingestion existed.
+        epoch = data.get("epoch")
+        if epoch is not None and (
+            not isinstance(epoch, int)
+            or isinstance(epoch, bool)
+            or epoch < 0
+        ):
+            raise StateSerializationError(
+                f"epoch must be a non-negative integer or null, got {epoch!r}"
+            )
         return cls(
             view=ViewState.from_dict(data["view"]),
             trail=tuple(
@@ -285,4 +304,5 @@ class SessionState:
             back_limit=back_limit,
             session_id=data["session_id"],
             as_of_tx=as_of_tx,
+            epoch=epoch,
         )

@@ -67,7 +67,15 @@ def build_store_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--ntriples", help="ingest an N-Triples file")
     ingest.add_argument("--turtle", help="ingest a Turtle file")
     ingest.add_argument("--batch", type=int, default=50_000,
-                        help="datoms per segment")
+                        help="datoms per segment (with --follow: triples "
+                        "per appended transaction)")
+    ingest.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream N-Triples from stdin; every --batch lines are "
+        "committed as one durable transaction, so a live `repro serve "
+        "--ingest --store` restart resumes from the last sealed batch",
+    )
     # Deterministic fault injection for the crash-recovery smoke: exit
     # hard midway through writing the Nth segment.
     ingest.add_argument("--crash-after", type=int, default=None,
@@ -99,6 +107,8 @@ def _crashing_writer(after: int):
 
 def _ingest(args: argparse.Namespace) -> int:
     store = LogStore.open(args.dir)
+    if args.follow:
+        return _ingest_follow(args, store)
     source = _build_source_graph(args)
     if store.last_tx == 0:
         fresh = source
@@ -122,6 +132,60 @@ def _ingest(args: argparse.Namespace) -> int:
     print(
         f"ingested {written} datom(s); store at tx {store.last_tx} "
         f"({len(store.segments)} segment(s))"
+    )
+    return 0
+
+
+def _ingest_follow(args: argparse.Namespace, store: LogStore) -> int:
+    """Stream N-Triples from stdin into the store, batch by batch.
+
+    Each batch is one transaction sealed into its own segment before the
+    next batch is read, so at any kill point the store verifies clean
+    and replays through the last completed batch — the crash-recovery
+    smoke drives this with ``--crash-after`` to prove a mid-publish kill
+    restarts on the last durable transaction.
+    """
+    from ..rdf.ntriples import iter_triples
+    from .datom import OP_ASSERT
+
+    graph = store.replay_graph()
+    writer = (
+        _crashing_writer(args.crash_after)
+        if args.crash_after is not None
+        else None
+    )
+    batch_size = max(1, args.batch)
+    pending: list[str] = []
+    written = batches = 0
+
+    def flush() -> None:
+        nonlocal written, batches
+        if not pending:
+            return
+        text = "\n".join(pending)
+        pending.clear()
+        ops = [(OP_ASSERT, s, p, o) for s, p, o in iter_triples(text)]
+        if not ops:
+            return
+        tx = graph.transact(ops)
+        if tx is None:
+            return  # every triple already present: nothing to seal
+        datoms = list(graph.log.datoms_since(tx - 1))
+        store.append(datoms, segment_writer=writer)
+        written += len(datoms)
+        batches += 1
+
+    for line in sys.stdin:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        pending.append(line)
+        if len(pending) >= batch_size:
+            flush()
+    flush()
+    print(
+        f"followed {batches} batch(es), {written} datom(s); "
+        f"store at tx {store.last_tx} ({len(store.segments)} segment(s))"
     )
     return 0
 

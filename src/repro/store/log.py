@@ -90,6 +90,20 @@ class DatomLog:
         self._count += count
         return count
 
+    def fork(self) -> "DatomLog":
+        """An independent copy that continues this log's tx sequence.
+
+        The datom bodies are shared (immutable), the list is copied, so
+        appends to either log never show up in the other.  Epoch
+        snapshots fork the log so each epoch's graph carries the full
+        history through its watermark and keeps ``as_of`` working.
+        """
+        clone = DatomLog(keep_datoms=self._keep)
+        clone._datoms = list(self._datoms)
+        clone._last_tx = self._last_tx
+        clone._count = self._count
+        return clone
+
     # -- reading -----------------------------------------------------------
 
     @property
@@ -126,6 +140,24 @@ class DatomLog:
                 yield datom
 
         return generate()
+
+    def datoms_since(self, tx: int) -> Iterator[Datom]:
+        """Datoms of every transaction with id > ``tx``, in order.
+
+        This is the delta stream an epoch reindexer folds: everything
+        the writer committed after a published watermark.  Bisects on
+        the (monotonic) tx ids so reading a small tail of a long log
+        does not scan the whole list.
+        """
+        self._check_history("read datoms_since")
+        lo, hi = 0, len(self._datoms)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._datoms[mid].tx <= tx:
+                lo = mid + 1
+            else:
+                hi = mid
+        return iter(self._datoms[lo:])
 
     def __len__(self) -> int:
         return self._count

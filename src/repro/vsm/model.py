@@ -195,6 +195,69 @@ class VectorSpaceModel:
         """Indexed items, in insertion order."""
         return list(self._profiles)
 
+    # ------------------------------------------------------------------
+    # Epoch advancement
+    # ------------------------------------------------------------------
+
+    def clone_for(self, graph: Graph, schema: Schema | None = None) -> "VectorSpaceModel":
+        """A model over ``graph`` seeded with this model's state.
+
+        Profiles are shared (they are write-once after extraction),
+        corpus stats and numeric ranges are copied, caches start empty
+        and no listeners carry over.  The epoch reindexer clones the
+        previous epoch's model, then removes/re-adds only the items a
+        delta touched.
+        """
+        clone = VectorSpaceModel.__new__(VectorSpaceModel)
+        clone.graph = graph
+        clone.schema = schema if schema is not None else Schema(graph)
+        clone.analyzer = self.analyzer
+        clone.use_compositions = self.use_compositions
+        clone.per_attribute_normalization = self.per_attribute_normalization
+        clone.unit_circle_numerics = self.unit_circle_numerics
+        clone.phrases = self.phrases
+        clone.stats = self.stats.copy()
+        clone._profiles = dict(self._profiles)
+        clone._ranges = {path: r.copy() for path, r in self._ranges.items()}
+        clone._vector_cache = {}
+        clone._compositions = None
+        clone._listeners = []
+        return clone
+
+    def reorder_items(self, order: Sequence[Node]) -> None:
+        """Rebuild the profile table in ``order`` (a permutation of items).
+
+        Profile-table iteration order feeds :meth:`text_vector`'s
+        coordinate collection, so after an incremental fold the table is
+        put back into the order a cold ``index_items(sorted(...))``
+        build would have produced.
+        """
+        profiles = self._profiles
+        if len(order) != len(profiles):
+            raise ValueError(
+                f"reorder_items: {len(order)} item(s) given, "
+                f"{len(profiles)} indexed"
+            )
+        self._profiles = {item: profiles[item] for item in order}
+
+    def recompute_ranges(self) -> None:
+        """Rebuild numeric ranges from the current profiles.
+
+        ``remove_item`` keeps ranges conservative (they only ever
+        widen), but a cold build over the surviving items computes tight
+        ranges — and range bounds feed the unit-circle encoding, so an
+        epoch fold must recompute them to stay bit-identical to a cold
+        build.  Min/max folds commute, so profile order does not matter.
+        """
+        ranges: dict[tuple[str, ...], NumericRange] = {}
+        for profile in self._profiles.values():
+            for path, values in profile.numerics.items():
+                bucket = ranges.setdefault(path, NumericRange())
+                for value in values:
+                    bucket.observe(value)
+        self._ranges = ranges
+        self._vector_cache.clear()
+
     def __contains__(self, item: Node) -> bool:
         return item in self._profiles
 

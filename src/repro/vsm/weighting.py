@@ -78,6 +78,14 @@ class CorpusStats:
         self.num_docs = max(0, self.num_docs - 1)
         self.version += 1
 
+    def copy(self) -> "CorpusStats":
+        """An independent snapshot (epoch folds advance the copy)."""
+        clone = CorpusStats()
+        clone._df = dict(self._df)
+        clone.num_docs = self.num_docs
+        clone.version = self.version
+        return clone
+
     def vocabulary_size(self) -> int:
         """Number of distinct coordinates seen so far."""
         return len(self._df)

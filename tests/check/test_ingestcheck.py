@@ -1,0 +1,58 @@
+"""The live-ingestion oracle: clean folds pass, planted staleness fails.
+
+The second half is the harness-sensitivity contract: an oracle that
+cannot detect a deliberately planted stale-memo bug is decoration, not
+a check.  We corrupt each published epoch's facet-profile memo after
+the fold (exactly the bug the fold's carry logic could introduce if it
+carried a profile across a dirty delta) and require the run to report
+a violation.
+"""
+
+from repro.check.ingestcheck import run_ingest_check
+from repro.check.storecheck import workspace_fingerprint
+
+
+def test_clean_run_detects_nothing():
+    report = run_ingest_check(1234, corpora=2, epochs=3, nav_steps=6)
+    assert report.ok
+    assert report.corpora_run == 2
+    assert report.epochs_checked >= 4
+    assert report.txs_ingested > 0
+    assert report.datoms_ingested > 0
+    assert report.nav_steps_run > 0
+
+
+def _plant_stale_memo(epoch):
+    """Populate the suggestion path's memo entry, then corrupt it."""
+    workspace = epoch.workspace
+    workspace_fingerprint(workspace)
+    assert workspace._facet_profiles
+    for profile in workspace._facet_profiles.values():
+        for prop_profile in profile.properties.values():
+            if prop_profile.counts:
+                value = next(iter(prop_profile.counts))
+                prop_profile.counts[value] += 5
+                return
+
+
+def test_planted_stale_memo_demands_divergence():
+    report = run_ingest_check(
+        1234, corpora=1, epochs=2, nav_steps=2,
+        mutate_epoch=_plant_stale_memo,
+    )
+    assert not report.ok
+    assert any("diverge" in violation for violation in report.violations)
+
+
+def test_cli_flag_runs_the_oracle(capsys):
+    from repro.check.cli import main
+
+    status = main([
+        "--seed", "5", "--steps", "4", "--corpora", "1",
+        "--fault-rounds", "0", "--ingest",
+        "--ingest-corpora", "1", "--ingest-epochs", "2",
+    ])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "ingest:" in out
+    assert "OK" in out

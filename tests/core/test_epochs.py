@@ -1,0 +1,189 @@
+"""Epoch lifecycle + the fold-vs-cold-build bit-identity contract."""
+
+import time
+
+import pytest
+
+from repro.check.corpus import random_corpus
+from repro.check.storecheck import workspace_fingerprint
+from repro.core.epochs import EpochManager
+from repro.core.workspace import Workspace
+from repro.rdf import RDF, Graph, Literal, Namespace
+from repro.rdf.vocab import MAGNET
+from repro.store.datom import OP_ASSERT, OP_RETRACT
+from repro.store.segments import LogStore
+
+EX = Namespace("http://epoch.example/")
+
+
+def _corpus_graph(n: int = 8) -> Graph:
+    g = Graph()
+    for i in range(n):
+        item = EX[f"it{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.color, EX.red if i % 2 else EX.blue)
+        g.add(item, EX.weight, Literal(float(i * 10)))
+        g.add(item, EX.title, Literal(f"title word{i % 3}"))
+    return g
+
+
+def _manager(n: int = 8) -> EpochManager:
+    return EpochManager(Workspace(_corpus_graph(n)))
+
+
+def _assert_parity(manager: EpochManager, epoch) -> None:
+    cold = manager.cold_workspace(epoch.watermark)
+    assert workspace_fingerprint(epoch.workspace) == \
+        workspace_fingerprint(cold)
+
+
+def test_requires_history():
+    bare = Graph(track_history=False)
+    for s, p, o in _corpus_graph().triples():
+        bare.add(s, p, o)
+    with pytest.raises(ValueError, match="history"):
+        EpochManager(Workspace(bare))
+
+
+def test_idle_publish_and_noop_ingest():
+    manager = _manager()
+    assert manager.publish() is None
+    # Asserting an already-present triple mints no transaction.
+    assert manager.ingest(
+        [(OP_ASSERT, EX.it0, RDF.type, EX.Doc)]
+    ) is None
+    assert manager.lag == 0
+    assert manager.publish() is None
+
+
+def test_publish_swaps_pointer_and_matches_cold_build():
+    manager = _manager()
+    tx = manager.ingest([
+        (OP_ASSERT, EX.new, RDF.type, EX.Doc),
+        (OP_ASSERT, EX.new, EX.color, EX.red),
+        (OP_ASSERT, EX.new, EX.title, Literal("fresh title word0")),
+    ])
+    assert tx is not None and manager.lag > 0
+    epoch = manager.publish()
+    assert epoch is not None
+    assert epoch.number == 1
+    assert manager.current is epoch
+    assert epoch.watermark == manager.head_tx
+    assert EX.new in epoch.workspace.items
+    _assert_parity(manager, epoch)
+
+
+def test_refcounts_retire_old_epochs():
+    manager = _manager()
+    pinned = manager.acquire()
+    assert pinned.number == 0 and pinned.refs == 1
+    manager.ingest([(OP_ASSERT, EX.it0, EX.color, EX.green)])
+    manager.publish()
+    # Still referenced: the old epoch survives the swap.
+    assert manager.get(0) is pinned and not pinned.retired
+    manager.release(0)
+    assert manager.get(0) is None and pinned.retired
+    # Unknown epoch numbers are ignored.
+    manager.release(99)
+    # The current epoch never retires, even at zero refs.
+    assert manager.get(1) is manager.current
+
+
+def test_pinned_epoch_is_immutable_under_churn():
+    manager = _manager()
+    epoch0 = manager.acquire()
+    before = workspace_fingerprint(epoch0.workspace)
+    for round_ in range(3):
+        manager.ingest([
+            (OP_RETRACT, EX.it1, EX.color, EX.red),
+            (OP_ASSERT, EX.it1, EX.color, EX[f"shade{round_}"]),
+            (OP_ASSERT, EX[f"live{round_}"], RDF.type, EX.Doc),
+        ])
+        manager.publish()
+    assert workspace_fingerprint(epoch0.workspace) == before
+    _assert_parity(manager, manager.current)
+
+
+def test_numeric_range_move_matches_cold_build():
+    manager = _manager()
+    # 250.0 is far outside the seed span [0, 70]: the fold must re-weigh
+    # every carried posting against the new range bounds.
+    manager.ingest([(OP_ASSERT, EX.it2, EX.weight, Literal(250.0))])
+    _assert_parity(manager, manager.publish())
+
+
+def test_item_removal_matches_cold_build():
+    manager = _manager()
+    manager.ingest([(OP_RETRACT, EX.it3, RDF.type, EX.Doc)])
+    epoch = manager.publish()
+    assert EX.it3 not in epoch.workspace.items
+    _assert_parity(manager, epoch)
+
+
+def test_annotation_delta_falls_back_to_cold_build():
+    manager = _manager()
+    manager.ingest([(OP_ASSERT, EX.color, MAGNET.hidden, Literal(True))])
+    epoch = manager.publish()
+    assert epoch.workspace.schema.is_hidden(EX.color)
+    _assert_parity(manager, epoch)
+
+
+def test_multi_round_parity_on_random_corpus():
+    corpus = random_corpus(401)
+    manager = EpochManager(corpus.workspace)
+    fuzz = Namespace("http://fuzz.example/")
+    rounds = [
+        [(OP_ASSERT, fuzz.liveA, RDF.type, fuzz.Type0),
+         (OP_ASSERT, fuzz.liveA, fuzz.color, fuzz.mauve),
+         (OP_ASSERT, fuzz.liveA, fuzz.title, Literal("corn magnet"))],
+        [(OP_ASSERT, fuzz.item0, fuzz.weight, Literal(-40.5)),
+         (OP_RETRACT, fuzz.item1, RDF.type, fuzz.Type0)],
+        [(OP_ASSERT, fuzz.item2, fuzz.size, fuzz.big),
+         (OP_ASSERT, fuzz.item2, fuzz.title, Literal("braise thursday"))],
+    ]
+    for ops in rounds:
+        if manager.ingest(ops) is None:
+            continue
+        _assert_parity(manager, manager.publish())
+
+
+def test_background_reindexer_drains_lag():
+    manager = _manager()
+    manager.start_reindexer(interval=0.02)
+    try:
+        manager.ingest([(OP_ASSERT, EX.bg, RDF.type, EX.Doc)])
+        deadline = time.monotonic() + 5.0
+        while manager.lag > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert manager.lag == 0
+        assert manager.current.number >= 1
+    finally:
+        manager.stop_reindexer()
+    _assert_parity(manager, manager.current)
+
+
+def test_ingest_seals_into_store_before_publish(tmp_path):
+    store_dir = tmp_path / "store"
+    store = LogStore.init(store_dir)
+    graph = _corpus_graph()
+    store.append_log(graph.log)
+    manager = EpochManager(Workspace(graph), store=store)
+    manager.ingest([(OP_ASSERT, EX.durable, RDF.type, EX.Doc)])
+    # Durable before any publish: a crash right now loses nothing.
+    assert store.last_tx == manager.head_tx
+    reopened = LogStore.open(store_dir)
+    assert reopened.verify()["ok"]
+    assert reopened.replay_graph().last_tx == manager.head_tx
+    _assert_parity(manager, manager.publish())
+
+
+def test_epoch_gauges_exported():
+    manager = _manager()
+    manager.ingest([(OP_ASSERT, EX.g, RDF.type, EX.Doc)])
+    manager.publish()
+    snapshot = manager.obs.metrics.snapshot()
+    gauges = snapshot["gauges"]
+    assert gauges["epochs.current"] == 1
+    assert gauges["epochs.publishes"] == 1
+    assert gauges["epochs.lag_tx"] == 0
+    assert gauges["epochs.datoms_ingested"] >= 1

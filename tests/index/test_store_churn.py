@@ -1,0 +1,118 @@
+"""Remove-then-re-add churn must leave exact stores bit-identical.
+
+The epoch fold advances ``exact=True`` vector stores: incremental
+application is allowed only at provably-zero idf drift, anything else
+re-weighs in full.  Churn is the adversarial case — a retract followed
+by a re-assert nets the document frequencies back to zero drift, and
+the store must recognize that *without* letting the ``_built_version``
+gate or the stale-drift accounting skip a rebuild that is actually
+needed.  "Bit-identical" here is literal: posting weights compare with
+``==``, not approx.
+"""
+
+import math
+
+from repro.check.storecheck import workspace_fingerprint
+from repro.core.epochs import EpochManager
+from repro.core.workspace import Workspace
+from repro.index import VectorStore
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.store.datom import OP_ASSERT, OP_RETRACT
+from repro.vsm import VectorSpaceModel
+
+EX = Namespace("http://churn.example/")
+
+
+def _build_model(n_items: int = 10) -> VectorSpaceModel:
+    graph = Graph()
+    pool = [EX.apple, EX.flour, EX.sugar, EX.beef, EX.onion]
+    items = []
+    for i in range(n_items):
+        item = EX[f"r{i}"]
+        graph.add(item, RDF.type, EX.Recipe)
+        graph.add(item, EX.ingredient, pool[i % len(pool)])
+        graph.add(item, EX.ingredient, pool[(i + 2) % len(pool)])
+        graph.add(item, EX.title, Literal(f"dish number {i}"))
+        items.append(item)
+    model = VectorSpaceModel(graph)
+    model.index_items(items)
+    return model
+
+
+def _postings_map(store: VectorStore) -> dict:
+    return {
+        coord: dict(store.index.postings(coord))
+        for coord in store.index.coordinates()
+    }
+
+
+def _fresh(model: VectorSpaceModel) -> VectorStore:
+    store = VectorStore(model, drift_threshold=0.0)
+    store.refresh()
+    return store
+
+
+def test_exact_store_survives_retract_assert_loop():
+    model = _build_model()
+    store = VectorStore(model, exact=True)
+    store.refresh()
+    for _ in range(3):
+        model.remove_item(EX.r0)
+        store.refresh()  # drift != 0: must re-weigh in full
+        model.add_item(EX.r0)
+        store.refresh()
+    assert _postings_map(store) == _postings_map(_fresh(model))
+
+
+def test_zero_net_churn_may_go_incremental_but_stays_exact():
+    model = _build_model()
+    store = VectorStore(model, exact=True)
+    store.refresh()
+    # Remove and re-add before refreshing: document frequencies net
+    # back to zero drift, so the incremental path is legal — and must
+    # still produce exact weights for the reindexed item.
+    model.remove_item(EX.r1)
+    model.add_item(EX.r1)
+    store.refresh()
+    assert not store._pending and not store._df_delta
+    assert store._stale_drift == 0.0
+    assert _postings_map(store) == _postings_map(_fresh(model))
+
+
+def test_inexact_store_accumulates_stale_drift_across_refreshes():
+    """Small per-refresh drifts must add up, not reset — otherwise a
+    long run of under-threshold updates walks the index arbitrarily far
+    from exact without ever tripping a rebuild."""
+    model = _build_model(n_items=40)
+    store = VectorStore(model, drift_threshold=math.inf)
+    store.refresh()
+    drifts = []
+    for i in range(4):
+        item = EX[f"extra{i}"]
+        graph = model.graph
+        graph.add(item, RDF.type, EX.Recipe)
+        graph.add(item, EX.ingredient, EX.apple)
+        graph.add(item, EX.title, Literal(f"extra dish {i}"))
+        model.add_item(item)
+        store.refresh()
+        drifts.append(store._stale_drift)
+    assert store.maintenance.incremental_updates == 4
+    assert all(b >= a for a, b in zip(drifts, drifts[1:]))
+    assert drifts[-1] > drifts[0] > 0.0
+
+
+def test_epoch_churn_scores_bit_identical_to_cold_build():
+    model_graph = _build_model().graph
+    manager = EpochManager(Workspace(model_graph))
+    churn = [
+        (OP_RETRACT, EX.r2, EX.ingredient, EX.sugar),
+        (OP_ASSERT, EX.r2, EX.ingredient, EX.sugar),
+    ]
+    for round_ in range(3):
+        assert manager.ingest([churn[round_ % 2]]) is not None
+        epoch = manager.publish()
+        cold = manager.cold_workspace(epoch.watermark)
+        assert workspace_fingerprint(epoch.workspace) == \
+            workspace_fingerprint(cold)
+        assert _postings_map(epoch.workspace.vector_store) == \
+            _postings_map(cold.vector_store)

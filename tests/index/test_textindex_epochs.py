@@ -1,0 +1,84 @@
+"""Two pinned epochs must never share mutated text postings.
+
+``TextIndex.clone_for`` hands the next epoch a copy-on-write successor:
+postings stay shared until the clone first touches them, at which point
+the touched lists (and only those) are unshared.  The regression pinned
+here is aliasing — ``unindex_item`` on the new epoch's index mutating a
+postings set an older pinned epoch still resolves, making a session on
+the old epoch "lose" an item it can plainly see in its own graph.
+"""
+
+from repro.check.storecheck import workspace_fingerprint
+from repro.core.epochs import EpochManager
+from repro.core.workspace import Workspace
+from repro.index.textindex import TextIndex
+from repro.rdf import RDF, Graph, Literal, Namespace
+from repro.store.datom import OP_RETRACT
+
+EX = Namespace("http://alias.example/")
+
+
+def _graph() -> Graph:
+    g = Graph()
+    g.add(EX.a, RDF.type, EX.Doc)
+    g.add(EX.a, EX.title, Literal("corn salad special"))
+    g.add(EX.b, RDF.type, EX.Doc)
+    g.add(EX.b, EX.title, Literal("corn bread"))
+    return g
+
+
+def test_clone_unindex_leaves_parent_postings_intact():
+    graph = _graph()
+    index = TextIndex(graph)
+    index.index_items([EX.a, EX.b])
+    clone = index.clone_for(graph.fork())
+    assert clone.unindex_item(EX.a)
+
+    # The clone no longer resolves a, the parent still does.
+    assert clone.search("corn") == {EX.b}
+    assert index.search("corn") == {EX.a, EX.b}
+    # "special" was unique to a: pruned from the clone's vocabulary,
+    # alive in the parent's.
+    assert clone.search("special") == set()
+    assert index.search("special") == {EX.a}
+    assert index.vocabulary_size() > clone.vocabulary_size()
+
+
+def test_clone_reindex_does_not_leak_new_tokens_backward():
+    graph = _graph()
+    index = TextIndex(graph)
+    index.index_items([EX.a, EX.b])
+    fork = graph.fork()
+    fork.remove_matching(EX.a, EX.title, None)
+    fork.add(EX.a, EX.title, Literal("quinoa bowl"))
+    clone = index.clone_for(fork)
+    clone.index_item(EX.a)
+
+    assert clone.search("quinoa") == {EX.a}
+    assert clone.search("corn") == {EX.b}
+    assert index.search("quinoa") == set()
+    assert index.search("corn") == {EX.a, EX.b}
+
+
+def test_pinned_epoch_search_survives_unindex_in_next_epoch():
+    manager = EpochManager(Workspace(_graph()))
+    epoch0 = manager.acquire()
+    assert epoch0.workspace.text_index.search("corn") == {EX.a, EX.b}
+
+    # Epoch 1 drops item a entirely (untyped and title retracted).
+    manager.ingest([
+        (OP_RETRACT, EX.a, RDF.type, EX.Doc),
+        (OP_RETRACT, EX.a, EX.title, Literal("corn salad special")),
+    ])
+    epoch1 = manager.publish()
+
+    assert epoch1.workspace.text_index.search("corn") == {EX.b}
+    assert epoch1.workspace.text_index.search("special") == set()
+    # The pinned epoch still resolves the full postings — the aliasing
+    # regression this file exists for.
+    assert epoch0.workspace.text_index.search("corn") == {EX.a, EX.b}
+    assert epoch0.workspace.text_index.search("special") == {EX.a}
+    assert workspace_fingerprint(epoch0.workspace) == \
+        workspace_fingerprint(manager.cold_workspace(epoch0.watermark))
+    assert workspace_fingerprint(epoch1.workspace) == \
+        workspace_fingerprint(manager.cold_workspace(epoch1.watermark))

@@ -1,0 +1,128 @@
+"""POST /ingest on a live server: epochs advance, readers never break."""
+
+import threading
+
+import pytest
+
+from repro.core.epochs import EpochManager
+from repro.net import NavigationClient, NavigationServer, ServerConfig
+from repro.net.client import ServerError
+from repro.service import commands as cmd
+from repro.service.manager import SessionManager
+
+NT = (
+    '<http://fuzz.example/wire{i}> '
+    '<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> '
+    '<http://fuzz.example/Type0> .\n'
+    '<http://fuzz.example/wire{i}> <http://fuzz.example/color> '
+    '<http://fuzz.example/red> .\n'
+    '<http://fuzz.example/wire{i}> <http://fuzz.example/title> '
+    '"wire corn magnet {i}" .\n'
+)
+
+
+@pytest.fixture()
+def live_manager(corpus):
+    manager = SessionManager(corpus.workspace)
+    manager.attach_epochs(EpochManager(corpus.workspace))
+    return manager
+
+
+@pytest.fixture()
+def ingest_server(live_manager):
+    # publish_sync: each POST folds inline — deterministic for tests.
+    config = ServerConfig(workers=2, ingest=True, publish_sync=True)
+    with NavigationServer(live_manager, config) as live:
+        yield live
+
+
+@pytest.fixture()
+def ingest_client(ingest_server):
+    host, port = ingest_server.address
+    return NavigationClient(host, port, timeout=10.0)
+
+
+def test_ingest_publishes_and_sessions_migrate(ingest_client):
+    ingest_client.create_session("reader")
+    before = ingest_client.healthz()
+    assert before["epoch"] == 0
+
+    summary = ingest_client.ingest(NT.format(i=0))
+    assert summary["parsed"] == 3
+    assert summary["applied"] == 3
+    assert summary["effective"] is True
+    assert summary["epoch"] == 1
+    assert summary["lag_tx"] == 0
+
+    health = ingest_client.healthz()
+    assert health["epoch"] == 1 and health["epoch_lag_tx"] == 0
+    # The reader's next request migrates it onto the new epoch and the
+    # ingested item is navigable.
+    result = ingest_client.apply("reader", cmd.Search("wire"))
+    assert result["state"]["epoch"] == 1
+    assert len(result["state"]["view"]["items"]) == 1
+
+
+def test_duplicate_ingest_is_ineffective(ingest_client):
+    first = ingest_client.ingest(NT.format(i=1))
+    again = ingest_client.ingest(NT.format(i=1))
+    assert first["effective"] is True
+    assert again["effective"] is False
+    assert again["epoch"] == first["epoch"]
+
+
+def test_ingest_rejects_malformed_payload(ingest_client):
+    with pytest.raises(ServerError) as excinfo:
+        ingest_client.ingest("<unterminated subject")
+    assert excinfo.value.status == 400
+
+
+def test_ingest_404_without_flag(client):
+    with pytest.raises(ServerError) as excinfo:
+        client.ingest(NT.format(i=2))
+    assert excinfo.value.status == 404
+
+
+def test_live_ingest_with_concurrent_readers(ingest_server):
+    """The acceptance smoke: streamed writes + reading sessions, zero
+    reader errors, every response from a coherent pinned epoch."""
+    host, port = ingest_server.address
+    setup = NavigationClient(host, port, timeout=10.0)
+    names = [f"r{i}" for i in range(3)]
+    for name in names:
+        setup.create_session(name)
+    errors: list = []
+    epochs_seen: set[int] = set()
+    stop = threading.Event()
+
+    def reader(name: str) -> None:
+        client = NavigationClient(host, port, timeout=10.0)
+        try:
+            while not stop.is_set():
+                result = client.apply(name, cmd.Search("corn"))
+                epochs_seen.add(result["state"]["epoch"])
+                client.suggest(name)
+                client.apply(name, cmd.Back())
+        except Exception as error:  # noqa: BLE001 - the assertion target
+            errors.append(error)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=reader, args=(name,)) for name in names
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        writer = NavigationClient(host, port, timeout=10.0)
+        for i in range(10, 16):
+            writer.ingest(NT.format(i=i))
+        writer.close()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+    assert errors == []
+    assert len(epochs_seen) >= 2  # readers rode through epoch swaps
+    final = setup.healthz()
+    assert final["epoch"] >= 6 and final["epoch_lag_tx"] == 0

@@ -1,0 +1,79 @@
+"""Router ingest: write-all replication, every worker folds the delta."""
+
+import pytest
+
+from repro.net import (
+    DatasetSpec,
+    NavigationClient,
+    ServerConfig,
+    ServerError,
+    ShardedServer,
+)
+from repro.service import commands as cmd
+
+CORPUS_SEED = 20260807
+
+NT = (
+    '<http://fuzz.example/shard{i}> '
+    '<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> '
+    '<http://fuzz.example/Type0> .\n'
+    '<http://fuzz.example/shard{i}> <http://fuzz.example/title> '
+    '"sharded corn {i}" .\n'
+)
+
+
+@pytest.fixture(scope="module")
+def ingest_sharded():
+    spec = DatasetSpec(kind="check_corpus", seed=CORPUS_SEED)
+    config = ServerConfig(workers=2, ingest=True, publish_sync=True)
+    with ShardedServer(spec, config, procs=2) as server:
+        yield server
+
+
+@pytest.fixture()
+def router_client(ingest_sharded):
+    host, port = ingest_sharded.address
+    with NavigationClient(host, port, timeout=30.0) as client:
+        yield client
+
+
+def test_fanout_replicates_to_every_worker(ingest_sharded, router_client):
+    summary = router_client.ingest(NT.format(i=0))
+    assert summary["replicas"] == ingest_sharded.procs
+    assert summary["effective"] is True
+    assert summary["lag_tx"] == 0
+    # Every worker sees the ingested item, whichever shard a session
+    # lands on.
+    for port in ingest_sharded.worker_ports:
+        worker = NavigationClient("127.0.0.1", port, timeout=10.0)
+        health = worker.healthz()
+        assert health["epoch"] >= 1 and health["epoch_lag_tx"] == 0
+        worker.close()
+    # And a routed session (whichever worker owns it) can navigate it.
+    router_client.create_session("shard-reader")
+    result = router_client.apply("shard-reader", cmd.Search("sharded"))
+    assert len(result["state"]["view"]["items"]) == 1
+    assert result["state"]["epoch"] >= 1
+
+
+def test_fanout_rejects_malformed_payload(router_client):
+    with pytest.raises(ServerError) as excinfo:
+        router_client.ingest("<nope nope")
+    assert excinfo.value.status == 400
+
+
+def test_router_counts_ingests(ingest_sharded, router_client):
+    before = router_client.metrics()["counters"].get("router.ingests", 0)
+    router_client.ingest(NT.format(i=1))
+    after = router_client.metrics()["counters"].get("router.ingests", 0)
+    assert after == before + 1
+
+
+def test_ingest_404_when_router_not_ingesting():
+    spec = DatasetSpec(kind="check_corpus", seed=CORPUS_SEED)
+    with ShardedServer(spec, ServerConfig(workers=2), procs=2) as server:
+        host, port = server.address
+        with NavigationClient(host, port, timeout=30.0) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.ingest(NT.format(i=2))
+            assert excinfo.value.status == 404

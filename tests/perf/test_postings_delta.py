@@ -1,0 +1,104 @@
+"""A one-item delta must advance the facet postings, not rebuild them.
+
+The epoch fold calls :meth:`FacetPostings.advance`, which carries every
+record whose item the delta did not touch and every range-posting array
+whose property no delta datom mentions.  These tests pin that: touching
+one item out of hundreds re-sweeps that one item (plus any items the
+fold conservatively marks dirty), reuses the rest verbatim, and leaves
+the untouched numeric arrays aliased to the prior epoch's.  The facet
+profile memo rides the same delta: collections disjoint from the dirty
+set carry across the publish, collections containing a touched item are
+dropped.
+"""
+
+from repro.check.storecheck import workspace_fingerprint
+from repro.core.epochs import EpochManager
+from repro.core.workspace import Workspace
+from repro.rdf import RDF, Graph, Literal, Namespace
+
+from repro.store.datom import OP_ASSERT
+
+EX = Namespace("http://postings.example/")
+
+N_ITEMS = 400
+
+
+def _big_workspace() -> Workspace:
+    g = Graph()
+    for i in range(N_ITEMS):
+        item = EX[f"it{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.color, EX[f"c{i % 8}"])
+        g.add(item, EX.size, EX[f"s{i % 3}"])
+        g.add(item, EX.weight, Literal(float(i)))
+    return Workspace(g)
+
+
+def test_one_item_delta_reuses_records():
+    ws = _big_workspace()
+    prior = ws.query_context.facet_postings()  # force the epoch-0 build
+    assert prior.rebuilt_records == N_ITEMS
+    prior._range_array(EX.weight)  # and one lazy range array
+
+    manager = EpochManager(ws)
+    manager.ingest([(OP_ASSERT, EX.it7, EX.color, EX.c99)])
+    epoch = manager.publish()
+
+    postings = epoch.workspace.query_context.facet_postings_if_built()
+    assert postings is not None
+    assert postings.n_items == N_ITEMS
+    # One touched item re-swept; the other ~399 records carried.
+    assert postings.rebuilt_records <= 2
+    assert postings.reused_records >= N_ITEMS - 2
+    # it7's record was rebuilt, everything else is the same object.
+    assert postings._records[EX.it7] is not prior._records[EX.it7]
+    assert postings._records[EX.it0] is prior._records[EX.it0]
+    # The delta never mentioned weight: the sorted array is aliased.
+    assert postings._range_arrays[EX.weight] is \
+        prior._range_arrays[EX.weight]
+
+    cold = manager.cold_workspace(epoch.watermark)
+    assert workspace_fingerprint(epoch.workspace) == \
+        workspace_fingerprint(cold)
+
+
+def test_touched_prop_range_array_rebuilds():
+    ws = _big_workspace()
+    prior = ws.query_context.facet_postings()
+    prior._range_array(EX.weight)
+
+    manager = EpochManager(ws)
+    manager.ingest([(OP_ASSERT, EX.it5, EX.weight, Literal(12.5))])
+    epoch = manager.publish()
+
+    postings = epoch.workspace.query_context.facet_postings_if_built()
+    assert EX.weight not in postings._range_arrays  # rebuilt lazily
+    readings, subjects = postings._range_array(EX.weight)
+    assert len(readings) == N_ITEMS + 1  # it5 now posts twice
+    assert subjects.count(EX.it5) == 2
+
+
+def test_facet_memo_carries_only_clean_collections():
+    ws = _big_workspace()
+    items = ws.items
+    clean = tuple(items[:10])
+    dirty = tuple(items[10:20])
+    touched = dirty[0]
+    profile_clean = ws.facet_profile(clean)
+    ws.facet_profile(dirty)
+    assert len(ws._facet_profiles) == 2
+
+    manager = EpochManager(ws)
+    manager.ingest([(OP_ASSERT, touched, EX.color, EX.c77)])
+    epoch = manager.publish()
+
+    carried = epoch.workspace._facet_profiles
+    version = epoch.workspace.graph.version
+    assert carried == {(version, clean): profile_clean}
+    assert carried[(version, clean)] is profile_clean
+    # A memo miss on the dirtied collection recomputes, not resurrects.
+    stats = epoch.workspace.facet_profile_stats
+    epoch.workspace.facet_profile(dirty)
+    assert stats.misses == 1 and stats.hits == 0
+    epoch.workspace.facet_profile(clean)
+    assert stats.hits == 1

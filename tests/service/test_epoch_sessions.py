@@ -1,0 +1,151 @@
+"""Sessions pin epochs; the manager migrates them forward lazily."""
+
+import json
+
+import pytest
+
+from repro.core.epochs import EpochManager
+from repro.core.workspace import Workspace
+from repro.rdf import RDF, Graph, Literal, Namespace
+from repro.service.manager import SessionManager
+from repro.service.serialize import StateLoadError
+from repro.service.state import SessionState
+from repro.store.datom import OP_ASSERT
+
+EX = Namespace("http://esess.example/")
+
+
+def _graph() -> Graph:
+    g = Graph()
+    for i in range(4):
+        item = EX[f"it{i}"]
+        g.add(item, RDF.type, EX.Doc)
+        g.add(item, EX.color, EX.red if i % 2 else EX.blue)
+        g.add(item, EX.title, Literal(f"doc {i}"))
+    return g
+
+
+@pytest.fixture()
+def managed():
+    epochs = EpochManager(Workspace(_graph()))
+    manager = SessionManager(epochs.current.workspace)
+    manager.attach_epochs(epochs)
+    return manager, epochs
+
+
+# -- wire format --------------------------------------------------------
+
+
+def _state() -> SessionState:
+    from repro.browser.session import Session
+
+    return Session(Workspace(_graph()), session_id="s").state
+
+
+def test_state_epoch_round_trips():
+    from dataclasses import replace
+
+    state = replace(_state(), epoch=3)
+    data = json.loads(json.dumps(state.to_dict()))
+    assert data["epoch"] == 3
+    assert SessionState.from_dict(data).epoch == 3
+
+
+def test_state_without_epoch_serializes_as_before():
+    state = _state()
+    assert "epoch" not in state.to_dict()  # old payloads byte-identical
+    restored = SessionState.from_dict(state.to_dict())
+    assert restored.epoch is None
+
+
+def test_state_rejects_malformed_epoch():
+    data = _state().to_dict()
+    for bad in (-1, True, "7", 1.5):
+        with pytest.raises(Exception):
+            SessionState.from_dict({**data, "epoch": bad})
+
+
+# -- manager lifecycle --------------------------------------------------
+
+
+def test_create_pins_current_epoch(managed):
+    manager, epochs = managed
+    session = manager.create("a")
+    assert session.state.epoch == 0
+    assert epochs.get(0).refs == 1
+    manager.remove("a")
+    assert epochs.get(0).refs == 0
+
+
+def test_sync_session_migrates_and_retires(managed):
+    manager, epochs = managed
+    session = manager.create("a")
+    epochs.ingest([(OP_ASSERT, EX.new, RDF.type, EX.Doc)])
+    epochs.publish()
+    assert session.state.epoch == 0  # migration is lazy
+    synced = manager.sync_session("a")
+    assert synced is session
+    assert session.state.epoch == 1
+    assert EX.new in session.workspace.items
+    assert epochs.get(0) is None  # last pin released: epoch 0 retired
+    # Already current: a second sync is a no-op.
+    assert manager.sync_session("a").state.epoch == 1
+
+
+def test_sync_all_moves_every_stale_session(managed):
+    manager, epochs = managed
+    manager.create("a")
+    manager.create("b")
+    epochs.ingest([(OP_ASSERT, EX.more, RDF.type, EX.Doc)])
+    epochs.publish()
+    assert manager.sync_all() == 2
+    assert all(
+        manager.get(name).state.epoch == 1 for name in ("a", "b")
+    )
+    assert manager.sync_all() == 0
+
+
+def test_as_of_session_survives_migration(managed):
+    manager, epochs = managed
+    tx = epochs.current.watermark
+    session = manager.create("pinned", as_of=tx)
+    items_before = list(session.state.view.items)
+    epochs.ingest([(OP_ASSERT, EX.later, RDF.type, EX.Doc)])
+    epochs.publish()
+    manager.sync_session("pinned")
+    # Migrated to epoch 1 but still browsing the tx-pinned view.
+    assert session.state.epoch == 1
+    assert session.state.as_of_tx == tx
+    assert list(session.state.view.items) == items_before
+    assert EX.later not in session.state.view.items
+
+
+def test_load_repins_current_epoch(managed, tmp_path):
+    manager, epochs = managed
+    manager.create("a")
+    path = tmp_path / "a.json"
+    manager.save("a", path)
+    epochs.ingest([(OP_ASSERT, EX.fresh, RDF.type, EX.Doc)])
+    epochs.publish()
+    manager.remove("a")
+    assert epochs.get(0) is None
+    session = manager.load("a2", path)
+    # The saved epoch number belonged to the old chain; the resumed
+    # session pins whatever is current now.
+    assert session.state.epoch == 1
+    assert epochs.get(1).refs == 1
+
+
+def test_load_failure_releases_the_pin(managed, tmp_path):
+    manager, epochs = managed
+    manager.create("a", as_of=epochs.current.watermark)
+    path = tmp_path / "a.json"
+    manager.save("a", path)
+    # Corrupt the pinned tx far beyond any log the epoch can reach.
+    data = json.loads(path.read_text())
+    data["as_of"] = 10_000
+    path.write_text(json.dumps(data))
+    refs_before = epochs.current.refs
+    with pytest.raises(StateLoadError):
+        manager.load("b", path)
+    assert epochs.current.refs == refs_before
