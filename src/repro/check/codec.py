@@ -16,6 +16,8 @@ from ..service.serialize import (
     StateSerializationError,
     node_from_dict,
     node_to_dict,
+    path_step_from_dict,
+    path_step_to_dict,
     predicate_from_dict,
     predicate_to_dict,
 )
@@ -43,6 +45,10 @@ _PREDS = (
     lambda vs: [predicate_to_dict(v) for v in vs],
     lambda vs: tuple(predicate_from_dict(v) for v in vs),
 )
+_STEPS = (
+    lambda vs: [path_step_to_dict(v) for v in vs],
+    lambda vs: tuple(path_step_from_dict(v) for v in vs),
+)
 
 #: command class -> {field: (encode, decode)}
 _SPECS: dict[type, dict[str, tuple]] = {
@@ -54,6 +60,7 @@ _SPECS: dict[type, dict[str, tuple]] = {
     cmd.Refine: {"predicate": _PRED, "mode": _PLAIN},
     cmd.SelectRefine: {"predicate": _PRED, "mode": _PLAIN},
     cmd.ApplyRange: {"prop": _NODE, "low": _PLAIN, "high": _PLAIN},
+    cmd.ApplyPath: {"steps": _STEPS, "value": _OPT_NODE},
     cmd.ApplyCompound: {"parts": _PREDS, "mode": _PLAIN},
     cmd.ApplySubcollection: {
         "prop": _NODE, "values": _NODES, "quantifier": _PLAIN,

@@ -13,7 +13,7 @@ reproducible from its seed alone.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.workspace import Workspace
 from ..rdf import RDF, BlankNode, Graph, Literal, Namespace, Resource
@@ -44,6 +44,7 @@ class FuzzCorpus:
     numeric_props: list[Resource]    # properties with numeric literals
     numeric_span: tuple[float, float]
     words: list[str]                 # text vocabulary for searches
+    link_props: list[Resource] = field(default_factory=list)  # item→item edges
 
 
 def random_corpus(seed: int, freeze: bool = True) -> FuzzCorpus:
@@ -87,6 +88,22 @@ def random_corpus(seed: int, freeze: bool = True) -> FuzzCorpus:
         )
         g.add(item, FUZZ.title, Literal(f"{title} number {i}"))
 
+    # Item-to-item link edges: a sparse, cyclic relation for property
+    # paths (forward, inverse, bounded and transitive closures).  A
+    # separately-seeded rng keeps every draw above bit-identical to
+    # pre-path corpora for the same seed.
+    link = FUZZ.link
+    link_rng = random.Random(f"links:{seed}")
+    item_nodes = [FUZZ[f"item{i}"] for i in range(n_items)]
+    for item in item_nodes:
+        for _ in range(link_rng.choice([0, 1, 1, 2])):
+            # Self-loops happen, and that is the point.
+            g.add(item, link, link_rng.choice(item_nodes))
+    if len(item_nodes) >= 2:
+        # Guarantee at least one 2-cycle regardless of the draws above.
+        g.add(item_nodes[0], link, item_nodes[1])
+        g.add(item_nodes[1], link, item_nodes[0])
+
     # Untyped annotation nodes: subjects that must stay outside the
     # universe even though they carry properties items also use.
     for a in range(rng.randint(0, 4)):
@@ -108,4 +125,5 @@ def random_corpus(seed: int, freeze: bool = True) -> FuzzCorpus:
         numeric_props=numeric_props,
         numeric_span=(low, high),
         words=WORDS + ["zebra"],  # one word that never matches
+        link_props=[link],
     )

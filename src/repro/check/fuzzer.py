@@ -30,6 +30,8 @@ from ..query.ast import (
     HasValue,
     Not,
     Or,
+    Path,
+    PathStep,
     Predicate,
     Range,
     TextMatch,
@@ -459,8 +461,10 @@ class CommandGenerator:
             return TextMatch(rng.choice(corpus.words))
         if leaf < 0.80:
             return self.range_predicate()
-        if leaf < 0.90:
+        if leaf < 0.88:
             return HasProperty(rng.choice(corpus.props + corpus.numeric_props))
+        if leaf < 0.96 and corpus.link_props:
+            return self.path_predicate()
         values = rng.sample(
             corpus.values, k=rng.randint(1, min(3, len(corpus.values)))
         )
@@ -469,6 +473,30 @@ class CommandGenerator:
             values,
             quantifier=rng.choice(ValueIn.QUANTIFIERS),
         )
+
+    def path_predicate(self) -> Predicate:
+        """A random property path over the corpus's cyclic link relation.
+
+        Mixes link hops (item→item, so closures actually walk cycles and
+        self-loops) with facet hops (whose objects are values, so paths
+        dead-end — the empty-frontier case), inverse steps, and both
+        bounded (``+``) and reflexive (``*``) closures.
+        """
+        rng = self.rng
+        corpus = self.corpus
+        pool = corpus.link_props * 3 + corpus.props
+        steps = tuple(
+            PathStep(
+                rng.choice(pool),
+                inverse=rng.random() < 0.3,
+                closure=rng.choice(["", "", "", "+", "*"]),
+            )
+            for _ in range(rng.choice([1, 1, 2, 2, 3]))
+        )
+        value = None
+        if rng.random() < 0.5:
+            value = rng.choice(self.items + corpus.values)
+        return Path(steps, value)
 
     def range_predicate(self) -> Predicate:
         rng = self.rng
@@ -498,6 +526,7 @@ class CommandGenerator:
             (6, lambda: cmd.SelectRefine(self.predicate(), self._mode())),
             (6, lambda: cmd.RunQuery(self.predicate())),
             (5, self._apply_range),
+            (4, self._apply_path),
             (4, self._apply_compound),
             (3, self._apply_subcollection),
             (6, lambda: cmd.RemoveConstraint(self._chip_index(chips))),
@@ -553,6 +582,10 @@ class CommandGenerator:
             return cmd.ApplyRange(rng.choice(self.corpus.numeric_props), lo, hi)
         lo, hi = min(a, b), max(a, b)
         return cmd.ApplyRange(rng.choice(self.corpus.numeric_props), lo, hi)
+
+    def _apply_path(self) -> cmd.Command:
+        predicate = self.path_predicate()
+        return cmd.ApplyPath(predicate.steps, predicate.value)
 
     def _apply_compound(self) -> cmd.Command:
         rng = self.rng

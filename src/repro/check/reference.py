@@ -29,7 +29,16 @@ from typing import Sequence
 
 from ..core.suggestions import RefineMode
 from ..core.workspace import Workspace
-from ..query.ast import And, Not, Or, Predicate, Range, TextMatch, ValueIn
+from ..query.ast import (
+    And,
+    Not,
+    Or,
+    Path,
+    Predicate,
+    Range,
+    TextMatch,
+    ValueIn,
+)
 from ..query.simplify import simplify
 from ..rdf.terms import Node
 from ..service import commands as cmd
@@ -208,6 +217,15 @@ class ReferenceModel:
             self._refine_with(command.predicate, command.mode)
         elif isinstance(command, cmd.ApplyRange):
             predicate = Range(command.prop, low=command.low, high=command.high)
+            self._refine_with(predicate, RefineMode.FILTER)
+        elif isinstance(command, cmd.ApplyPath):
+            # Path leaves reach naive_extent's per-item fallback, which
+            # calls Path.matches — the forward BFS — item by item; the
+            # service resolves the same predicate through the backward
+            # pre-image walk and the extent caches.  Any divergence
+            # between the two evaluation orders is exactly what the
+            # differential race exists to catch.
+            predicate = Path(command.steps, command.value)
             self._refine_with(predicate, RefineMode.FILTER)
         elif isinstance(command, cmd.ApplyCompound):
             if command.mode not in ("and", "or"):

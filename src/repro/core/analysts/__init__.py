@@ -9,6 +9,7 @@ from .history import (
     SimilarByVisitAnalyst,
 )
 from .keyword import KeywordSearchAnalyst, TextRefinementAnalyst
+from .paths import PathAnalyst
 from .property_share import SharingPropertyAnalyst
 from .range_ import RangeAnalyst
 from .refinement import RefinementAnalyst
@@ -25,6 +26,7 @@ __all__ = [
     "SimilarByVisitAnalyst",
     "KeywordSearchAnalyst",
     "TextRefinementAnalyst",
+    "PathAnalyst",
     "SharingPropertyAnalyst",
     "RangeAnalyst",
     "RefinementAnalyst",
@@ -41,6 +43,7 @@ def standard_analysts() -> list[Analyst]:
     """The complete system's analyst roster (§6.3's "complete system")."""
     return [
         RefinementAnalyst(),
+        PathAnalyst(),
         TextRefinementAnalyst(),
         KeywordSearchAnalyst(),
         RangeAnalyst(),

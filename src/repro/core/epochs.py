@@ -56,7 +56,17 @@ from ..rdf.vocab import MAGNET, RDF
 from ..store.datom import OP_ASSERT, OP_RETRACT
 from .workspace import Workspace
 
-__all__ = ["Epoch", "EpochManager"]
+__all__ = ["Epoch", "EpochManager", "EpochPinError"]
+
+
+class EpochPinError(RuntimeError):
+    """A release that would drop a live epoch's refcount below its pins.
+
+    Raised when an anonymous ``release()`` arrives for a live epoch
+    that has no outstanding pins — the double-release shape that used
+    to silently decrement a *live* refcount and let a reader's epoch
+    retire out from under it.
+    """
 
 #: Predicates whose datoms change classification rules for *every* item
 #: (value types, compositions, hidden marks).  A delta carrying one
@@ -128,6 +138,11 @@ class EpochManager:
         self._publish_lock = threading.Lock()
         #: Guards the epoch table, the current pointer, and refcounts.
         self._state_lock = threading.Lock()
+        #: session name -> {epoch number: pin count}.  Sessions that
+        #: acquire anonymously are not tracked here; named pins make
+        #: release() idempotent per session (double releases no-op
+        #: instead of decrementing someone else's pin).
+        self._pins: dict[str, dict[int, int]] = {}
         self._publishes = 0
         self._datoms_ingested = 0
         self._retired_total = 0
@@ -158,24 +173,58 @@ class EpochManager:
         """The published epoch (atomic pointer read)."""
         return self._current
 
-    def acquire(self) -> Epoch:
-        """Pin the current epoch for a session; pairs with release()."""
+    def acquire(self, session: str | None = None) -> Epoch:
+        """Pin the current epoch; pairs with release().
+
+        With a ``session`` name the pin is tracked per session, which
+        makes the matching release idempotent: releasing an epoch the
+        session does not hold is a no-op rather than a decrement of
+        some other reader's pin.
+        """
         with self._state_lock:
             epoch = self._current
             epoch.refs += 1
+            if session is not None:
+                held = self._pins.setdefault(session, {})
+                held[epoch.number] = held.get(epoch.number, 0) + 1
             return epoch
 
-    def release(self, number: int) -> None:
+    def release(self, number: int, session: str | None = None) -> None:
         """Drop one session's pin on epoch ``number``.
 
-        Unknown numbers are ignored (the epoch may already be retired
-        after e.g. a session-state load from an older run).
+        Numbers of already-retired epochs are ignored (e.g. a
+        session-state load from an older run).  A named release only
+        decrements if that session actually holds a pin on the epoch —
+        a double release (session delete racing lazy migration) is a
+        no-op.  An anonymous release of a live epoch with no
+        outstanding pins raises :class:`EpochPinError` instead of
+        silently pushing a live refcount below its pin count.
         """
         with self._state_lock:
             epoch = self._epochs.get(number)
             if epoch is None:
+                if session is not None:
+                    held = self._pins.get(session)
+                    if held is not None:
+                        held.pop(number, None)
+                        if not held:
+                            del self._pins[session]
                 return
-            epoch.refs = max(0, epoch.refs - 1)
+            if session is not None:
+                held = self._pins.get(session)
+                if held is None or number not in held:
+                    return  # double release: this session holds no pin
+                held[number] -= 1
+                if held[number] <= 0:
+                    del held[number]
+                if not held:
+                    del self._pins[session]
+            elif epoch.refs <= 0:
+                raise EpochPinError(
+                    f"release of epoch {number} which has no outstanding "
+                    f"pins (refs={epoch.refs})"
+                )
+            epoch.refs -= 1
             self._retire_idle_locked()
 
     def get(self, number: int) -> Epoch | None:

@@ -11,7 +11,7 @@
 | `inex`     | INEX XML topics (CO + CAS)                 |
 """
 
-from . import artstor, factbook, inbox, inex, ocw, recipes, scaled, states
+from . import artstor, factbook, inbox, inex, linked, ocw, recipes, scaled, states
 from .base import Corpus
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "factbook",
     "inbox",
     "inex",
+    "linked",
     "ocw",
     "recipes",
     "scaled",

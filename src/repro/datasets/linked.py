@@ -1,0 +1,149 @@
+"""Deterministic linked corpus: a citation/affiliation graph for paths.
+
+The path-predicate benchmark needs a corpus whose *structure* matters:
+items connected to each other (so closures walk real cycles) and to a
+small entity layer (so multi-hop chains like ``author/affiliation``
+discriminate).  This module generates one:
+
+* ``n_items`` papers, each ``rdf:type Paper``, with a title and a year;
+* a ``cites`` relation between papers — mostly backward (citation-DAG
+  shaped) but with a deterministic sprinkle of forward edges, mutual
+  citations, and self-citations, so ``cites+``/``cites*`` closures must
+  terminate on genuinely cyclic input;
+* an entity layer: papers → ``author`` → authors → ``affiliation`` →
+  institutions → ``locatedIn`` → countries, giving 2- and 3-hop
+  composition chains whose extents are small fractions of the corpus.
+
+Authors, institutions, and countries carry no ``rdf:type`` statement
+and are not in ``Corpus.items``, so the navigation universe stays
+papers-only.  Everything is deterministic given ``(n_items, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.schema import Schema, ValueType
+from ..rdf.terms import Literal
+from ..rdf.vocab import RDF
+from .base import Corpus
+
+__all__ = [
+    "NS",
+    "N_AUTHORS",
+    "N_INSTITUTIONS",
+    "N_COUNTRIES",
+    "build_corpus",
+]
+
+NS = Namespace("http://repro.example/linked/")
+
+N_AUTHORS = 4_096
+N_INSTITUTIONS = 64
+N_COUNTRIES = 16
+
+#: One paper in this many self-cites; one in this many pairs cites
+#: mutually with its predecessor (a guaranteed 2-cycle).
+_SELF_CITE_EVERY = 211
+_MUTUAL_CITE_EVERY = 173
+#: One citation in this many points *forward* (breaks the DAG shape).
+_FORWARD_EVERY = 29
+
+
+def build_corpus(
+    n_items: int = 65_536, seed: int = 20260808, freeze: bool = True
+) -> Corpus:
+    """A linked corpus of ``n_items`` papers, deterministic in ``seed``.
+
+    ``extras`` carries the handles the benchmark and tests refine on:
+    the ``cites``/``author``/``affiliation``/``locatedIn`` properties,
+    the entity pools, and the seed.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    schema = Schema(graph)
+
+    p_cites = NS["cites"]
+    p_author = NS["author"]
+    p_affiliation = NS["affiliation"]
+    p_located_in = NS["locatedIn"]
+    p_year = NS["year"]
+    p_title = NS["title"]
+    paper_type = NS["Paper"]
+
+    for label, prop in (
+        ("cites", p_cites),
+        ("author", p_author),
+        ("affiliation", p_affiliation),
+        ("located in", p_located_in),
+        ("year", p_year),
+        ("title", p_title),
+    ):
+        schema.set_label(prop, label)
+    schema.set_value_type(p_year, ValueType.INTEGER)
+    schema.set_value_type(p_title, ValueType.TEXT)
+    schema.set_label(paper_type, "Paper")
+
+    n_authors = min(N_AUTHORS, max(8, n_items // 16))
+    authors = [NS[f"author/{i:04d}"] for i in range(n_authors)]
+    institutions = [NS[f"institution/{i:02d}"] for i in range(N_INSTITUTIONS)]
+    countries = [NS[f"country/{i:02d}"] for i in range(N_COUNTRIES)]
+
+    # The entity layer first: author → institution → country.  Zipf-ish
+    # skew keeps a few institutions dense (big path extents) and the
+    # tail sparse (selective ones).
+    for i, author in enumerate(authors):
+        slot = min(int(rng.expovariate(0.12)), N_INSTITUTIONS - 1)
+        graph.add(author, p_affiliation, institutions[slot])
+    for i, institution in enumerate(institutions):
+        graph.add(institution, p_located_in, countries[i % N_COUNTRIES])
+
+    items = []
+    for i in range(n_items):
+        item = NS[f"paper/{i:06d}"]
+        items.append(item)
+        graph.add(item, RDF.type, paper_type)
+        for _ in range(rng.randint(1, 2)):
+            graph.add(item, p_author, authors[rng.randrange(n_authors)])
+        # Citations: mostly backward, deterministically sprinkled with
+        # forward edges, self-citations, and mutual pairs, so the cites
+        # relation is cyclic by construction at every corpus size.
+        if i > 0:
+            for _ in range(rng.randint(1, 3)):
+                if rng.randrange(_FORWARD_EVERY) == 0:
+                    target = rng.randrange(n_items)
+                else:
+                    target = rng.randrange(i)
+                graph.add(item, p_cites, NS[f"paper/{target:06d}"])
+        if i % _SELF_CITE_EVERY == 7:
+            graph.add(item, p_cites, item)
+        if i % _MUTUAL_CITE_EVERY == 11 and i > 0:
+            prev = NS[f"paper/{i - 1:06d}"]
+            graph.add(item, p_cites, prev)
+            graph.add(prev, p_cites, item)
+        graph.add(item, p_year, Literal(1970 + rng.randrange(56)))
+        graph.add(item, p_title, Literal(f"Paper {i} on topic {i % 23}"))
+
+    if freeze:
+        graph.freeze()
+    return Corpus(
+        "linked",
+        graph,
+        NS,
+        items,
+        extras={
+            "p_cites": p_cites,
+            "p_author": p_author,
+            "p_affiliation": p_affiliation,
+            "p_located_in": p_located_in,
+            "p_year": p_year,
+            "p_title": p_title,
+            "paper_type": paper_type,
+            "authors": authors,
+            "institutions": institutions,
+            "countries": countries,
+            "seed": seed,
+        },
+    )

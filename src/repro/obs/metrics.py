@@ -78,7 +78,9 @@ class Histogram:
     different runs line up column-for-column.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total", "_lock")
+    __slots__ = (
+        "name", "buckets", "counts", "count", "total", "max_value", "_lock"
+    )
 
     def __init__(self, name: str, buckets: Sequence[float]):
         bounds = tuple(buckets)
@@ -92,6 +94,10 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.total: float = 0
+        #: largest value observed, or None before the first observation.
+        #: The overflow bucket has no upper bound, so quantile estimates
+        #: that land there need this to avoid understating the tail.
+        self.max_value: float | None = None
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -100,22 +106,27 @@ class Histogram:
             self.counts[slot] += 1
             self.count += 1
             self.total += value
+            if self.max_value is None or value > self.max_value:
+                self.max_value = value
 
     def quantile(self, q: float) -> float:
         """Estimated value at quantile ``q`` (0..1), from the buckets.
 
         Linear interpolation within the bucket that holds the target
         rank; the first bucket interpolates from 0 and the overflow
-        bucket (no upper bound) reports the last bound.  With an empty
-        histogram the answer is 0.  The estimate's resolution is the
-        bucket layout — serving dashboards want p50/p99 without keeping
-        raw samples around.
+        bucket (no upper bound) interpolates from the last bound up to
+        the observed maximum, so ``quantile(1.0)`` reports the actual
+        max rather than silently understating tails that outran the
+        layout.  With an empty histogram the answer is 0.  The
+        estimate's resolution is the bucket layout — serving dashboards
+        want p50/p99 without keeping raw samples around.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             counts = list(self.counts)
             count = self.count
+            observed_max = self.max_value
         if count == 0:
             return 0.0
         rank = q * count
@@ -124,7 +135,12 @@ class Histogram:
             cumulative += in_bucket
             if cumulative >= rank and in_bucket:
                 if slot >= len(self.buckets):
-                    return self.buckets[-1]
+                    # Overflow slot is non-empty, so something above the
+                    # last bound was observed and observed_max is set.
+                    lower = self.buckets[-1]
+                    upper = max(observed_max, lower)
+                    fraction = (rank - (cumulative - in_bucket)) / in_bucket
+                    return lower + (upper - lower) * fraction
                 lower = 0.0 if slot == 0 else self.buckets[slot - 1]
                 upper = self.buckets[slot]
                 fraction = (rank - (cumulative - in_bucket)) / in_bucket
@@ -244,6 +260,7 @@ class MetricsRegistry:
             "counts": list(histogram.counts),
             "count": histogram.count,
             "sum": histogram.total,
+            "max": histogram.max_value,
         }
 
     def reset(self) -> None:
@@ -256,6 +273,7 @@ class MetricsRegistry:
             histogram.counts = [0] * (len(histogram.buckets) + 1)
             histogram.count = 0
             histogram.total = 0
+            histogram.max_value = None
 
     def __repr__(self) -> str:
         return (
@@ -304,6 +322,7 @@ def _merge_histogram(
             "counts": list(addend["counts"]),
             "count": addend["count"],
             "sum": addend["sum"],
+            "max": addend.get("max"),
         }
     if list(merged["buckets"]) != list(addend["buckets"]):
         raise SnapshotMergeError(name, merged["buckets"], addend["buckets"])
@@ -312,6 +331,12 @@ def _merge_histogram(
     ]
     merged["count"] += addend["count"]
     merged["sum"] += addend["sum"]
+    addend_max = addend.get("max")
+    if addend_max is not None:
+        merged_max = merged.get("max")
+        merged["max"] = (
+            addend_max if merged_max is None else max(merged_max, addend_max)
+        )
     return merged
 
 

@@ -8,6 +8,8 @@ from .ast import (
     HasValue,
     Not,
     Or,
+    Path,
+    PathStep,
     PathValue,
     Predicate,
     QueryContext,
@@ -16,7 +18,7 @@ from .ast import (
     TypeIs,
 )
 from .engine import QueryEngine
-from .parser import QueryParseError, QueryParser
+from .parser import QueryParseError, QueryParser, split_path_spec
 from .preview import RangePreview, collect_values
 from .simplify import simplify
 
@@ -27,6 +29,8 @@ __all__ = [
     "HasValue",
     "Not",
     "Or",
+    "Path",
+    "PathStep",
     "PathValue",
     "Predicate",
     "QueryContext",
@@ -40,4 +44,5 @@ __all__ = [
     "RangePreview",
     "collect_values",
     "simplify",
+    "split_path_spec",
 ]

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import math
 import threading
+from collections import deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..index.textindex import TextIndex
@@ -44,6 +46,8 @@ __all__ = [
     "TypeIs",
     "TextMatch",
     "Range",
+    "PathStep",
+    "Path",
     "PathValue",
     "ValueIn",
     "Cardinality",
@@ -99,6 +103,11 @@ class QueryContext:
         self._postings_lock = threading.Lock()
         self.plan_stats = CacheStats()
         self.container_stats = CacheStats()
+        #: Path predicate -> (graph version, frozen extent).  Path
+        #: extents are the product of a whole reachability walk, so they
+        #: get their own memo (all three engine modes funnel through it).
+        self._path_cache: dict[Predicate, tuple[int, frozenset[Node]]] = {}
+        self.path_stats = CacheStats()
 
     @property
     def universe(self) -> set[Node]:
@@ -171,6 +180,27 @@ class QueryContext:
         self._leaf_container_cache.clear()
         self._universe_container = None
         self._facet_postings = None
+        self._path_cache.clear()
+
+    def path_extent(self, path: "Path") -> set[Node]:
+        """The exact extent of a :class:`Path`, memoized per graph version.
+
+        Keyed on (predicate, graph version) like every other extent
+        cache here, so both epoch publishes (each epoch carries a fresh
+        context) and in-place mutation (version bump) invalidate stale
+        walks naturally.  Returns a fresh set; the memo itself is
+        immutable.
+        """
+        entry = self._path_cache.get(path)
+        if entry is not None:
+            if entry[0] == self.graph.version:
+                self.path_stats.record_hit()
+                return set(entry[1])
+            self.path_stats.record_invalidation()
+        self.path_stats.record_miss()
+        extent = path._compute_extent(self)
+        self._path_cache[path] = (self.graph.version, frozenset(extent))
+        return extent
 
     # ------------------------------------------------------------------
     # Compressed containers and compiled plans (performance layer)
@@ -506,6 +536,153 @@ class Range(Predicate):
         if self.high is None:
             return f"{prop} ≥ {self.low:g}"
         return f"{prop} in [{self.low:g}, {self.high:g}]"
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of a property path.
+
+    ``inverse`` walks the property backwards (object → subject);
+    ``closure`` is ``""`` for exactly one application, ``"+"`` for one
+    or more, ``"*"`` for zero or more.
+    """
+
+    prop: Resource
+    inverse: bool = False
+    closure: str = ""
+
+    CLOSURES = ("", "+", "*")
+
+    def __post_init__(self):
+        if self.closure not in self.CLOSURES:
+            raise ValueError(
+                f"closure must be one of {self.CLOSURES}, got {self.closure!r}"
+            )
+
+
+def _path_step_once(graph: Graph, nodes: Iterable[Node], step: PathStep):
+    """Image of ``nodes`` under a single application of ``step.prop``."""
+    out: set[Node] = set()
+    if step.inverse:
+        for node in nodes:
+            out.update(graph.subjects(step.prop, node))
+    else:
+        for node in nodes:
+            out.update(graph.objects(node, step.prop))
+    return out
+
+
+def _path_advance(graph: Graph, frontier: set[Node], step: PathStep):
+    """Image of ``frontier`` under a full step, closure included.
+
+    Closures run a breadth-first walk with a visited set, so cyclic
+    graphs (including self-loops) terminate: a node is expanded at most
+    once no matter how many cycles reach it.
+    """
+    if step.closure == "":
+        return _path_step_once(graph, frontier, step)
+    if step.closure == "*":
+        reached = set(frontier)
+    else:  # "+": at least one application before the closure
+        reached = _path_step_once(graph, frontier, step)
+    queue = deque(reached)
+    while queue:
+        node = queue.popleft()
+        for nxt in _path_step_once(graph, (node,), step):
+            if nxt not in reached:
+                reached.add(nxt)
+                queue.append(nxt)
+    return reached
+
+
+class Path(Predicate):
+    """Multi-hop reachability over the graph — a property path (§4.2).
+
+    A sequence of :class:`PathStep` hops applied left to right:
+    ``author/affiliation`` reaches the item's authors' affiliations,
+    ``^cites`` walks citations backwards (who cites me), ``cites+`` is
+    transitive closure.  With ``value`` set the path must reach that
+    node; with ``value=None`` it must merely be non-empty.
+
+    ``matches`` walks forward from the item; ``candidates`` evaluates
+    the *pre-image* backward from the value over the POS/SPO indexes —
+    one walk for the whole extent instead of one per item — and is
+    memoized per graph version via :meth:`QueryContext.path_extent`, so
+    all three engine modes (per-item, bitset, compiled) answer from the
+    same cached container once warmed.
+    """
+
+    def __init__(
+        self, steps: Sequence[PathStep | Resource], value: Node | None = None
+    ):
+        converted = tuple(
+            step if isinstance(step, PathStep) else PathStep(step)
+            for step in steps
+        )
+        if not converted:
+            raise ValueError("Path needs at least one step")
+        self.steps = converted
+        self.value = value
+
+    def _key(self):
+        return (self.steps, self.value)
+
+    def matches(self, item: Node, context: QueryContext) -> bool:
+        graph = context.graph
+        frontier = {item}
+        for step in self.steps:
+            frontier = _path_advance(graph, frontier, step)
+            if not frontier:
+                return False
+        if self.value is None:
+            return True
+        return self.value in frontier
+
+    def candidates(self, context: QueryContext) -> set[Node]:
+        return context.path_extent(self)
+
+    def _compute_extent(self, context: QueryContext) -> set[Node]:
+        """Backward pre-image evaluation (the cache-miss work).
+
+        Walks the steps right to left: each hop's pre-image is its
+        forward image with ``inverse`` flipped (closures commute with
+        reversal), cycle-safe by the same BFS.  ``targets=None`` is the
+        symbolic "any node" an unconstrained tail denotes — a ``*`` hop
+        keeps it (zero applications reach anything from anywhere), a
+        concrete hop collapses it to the nodes with at least one edge.
+        """
+        graph = context.graph
+        targets: set[Node] | None = (
+            None if self.value is None else {self.value}
+        )
+        for step in reversed(self.steps):
+            if targets is None:
+                if step.closure == "*":
+                    continue
+                if step.inverse:
+                    targets = set(graph.objects(None, step.prop))
+                else:
+                    targets = set(graph.subjects(step.prop))
+            else:
+                back = PathStep(step.prop, not step.inverse, step.closure)
+                targets = _path_advance(graph, targets, back)
+            if not targets:
+                return set()
+        if targets is None:
+            return set(context.universe)
+        return targets & context.universe
+
+    def describe(self, context: QueryContext) -> str:
+        rendered = []
+        for step in self.steps:
+            text = context.schema.label(step.prop)
+            if step.inverse:
+                text = "^" + text
+            rendered.append(text + step.closure)
+        path = "/".join(rendered)
+        if self.value is None:
+            return f"has {path}"
+        return f"{path}: {context.schema.label(self.value)}"
 
 
 class PathValue(Predicate):

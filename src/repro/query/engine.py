@@ -11,10 +11,14 @@ Evaluation runs over **bitset extents** by default: leaf extents are
 interned into Python-int bitmasks and cached on the context keyed by
 (predicate, graph version), so And/Or/Not combine as single bitwise
 operations and repeated refinement clicks reuse prior work instead of
-re-deriving the same sets.  Predicates that cannot enumerate an extent
-(extension-only predicates such as ``PathValue``/``Cardinality``, or
-trees containing them) fall back transparently to the original
-per-item filtering path.  Results are identical either way — only the
+re-deriving the same sets.  ``Path`` leaves enumerate exactly — their
+backward reachability walk is memoized per graph version on the context
+(:meth:`QueryContext.path_extent`) and lands in the same bitmask and
+container caches as any other leaf, with the container's cardinality
+doubling as the compiled planner's selectivity estimate.  Predicates
+that cannot enumerate an extent (extension-only predicates such as
+``PathValue``/``Cardinality``, or trees containing them) fall back
+transparently to the original per-item filtering path.  Results are identical either way — only the
 time to produce them changes; ``use_bitsets=False`` forces the original
 strategy (used by the equivalence tests and benchmarks).
 

@@ -10,6 +10,15 @@ This parser provides a compact surface syntax covering both:
     (course:Dessert OR course:Salad) AND cuisine:Mexican
     area >= 100000                     → Range
     ingredients <= 5                   → Cardinality (with a resolver)
+    author/affiliation:MIT             → Path (two forward hops)
+    ^cites:paper42                     → Path (inverse hop: cited by)
+    cites+:paper42  /  knows*          → Path (transitive closure)
+
+Path specs split on ``/`` *outside* quotes, so a property whose name
+contains a slash can be quoted per segment ("a/b"/c is two hops).
+A field or bare word that looks like a path but whose segments do not
+all resolve to properties falls back to plain text matching, exactly
+like an unresolved ``field:`` does.
 
 Grammar (precedence low→high):  expr := or ; or := and (OR and)* ;
 and := unary ((AND)? unary)* ; unary := NOT unary | '(' expr ')' | leaf.
@@ -22,9 +31,19 @@ import re
 from typing import Callable
 
 from ..rdf.terms import Literal, Node, Resource
-from .ast import And, HasValue, Not, Or, Predicate, Range, TextMatch
+from .ast import (
+    And,
+    HasValue,
+    Not,
+    Or,
+    Path,
+    PathStep,
+    Predicate,
+    Range,
+    TextMatch,
+)
 
-__all__ = ["QueryParseError", "QueryParser"]
+__all__ = ["QueryParseError", "QueryParser", "split_path_spec"]
 
 
 class QueryParseError(ValueError):
@@ -167,6 +186,10 @@ class QueryParser:
                 return self._parse_field_value(tokens, pos, value)
             if next_kind == "op":
                 return self._parse_comparison(tokens, pos, value, next_value)
+        if _looks_like_path(value):
+            steps = self._resolve_path(value)
+            if steps is not None:
+                return Path(steps), pos + 1
         return TextMatch(value), pos + 1
 
     def _parse_field_value(self, tokens, pos, field):
@@ -174,10 +197,47 @@ class QueryParser:
             raise QueryParseError(f"missing value after {field!r}:")
         raw = tokens[pos + 2][1]
         text = _unquote(raw) if raw.startswith('"') else raw
+        if _looks_like_path(field):
+            steps = self._resolve_path(field)
+            if steps is None:
+                return TextMatch(f"{field} {text}"), pos + 3
+            value = self.resolve_value(steps[-1].prop, text)
+            return Path(steps, value), pos + 3
         prop = self.resolve_property(field)
         if prop is None:
             return TextMatch(f"{field} {text}"), pos + 3
         return HasValue(prop, self.resolve_value(prop, text)), pos + 3
+
+    def _resolve_path(self, spec: str) -> tuple[PathStep, ...] | None:
+        """Resolve a path spec to steps, or None when any step is unknown."""
+        steps: list[PathStep] = []
+        for segment in split_path_spec(spec):
+            inverse = segment.startswith("^")
+            if inverse:
+                segment = segment[1:]
+            closure = ""
+            if segment and not segment.startswith('"') and segment[-1] in "+*":
+                closure = segment[-1]
+                segment = segment[:-1]
+            if segment.startswith('"'):
+                if len(segment) >= 2 and segment.endswith('"'):
+                    name = _unquote(segment)
+                elif segment[-1] in "+*" and segment[-2:-1] == '"':
+                    closure = segment[-1]
+                    name = _unquote(segment[:-1])
+                else:
+                    raise QueryParseError(
+                        f"unterminated quote in path step {segment!r}"
+                    )
+            else:
+                name = segment
+            if not name:
+                raise QueryParseError(f"empty step in path {spec!r}")
+            prop = self.resolve_property(name)
+            if prop is None:
+                return None
+            steps.append(PathStep(prop, inverse=inverse, closure=closure))
+        return tuple(steps)
 
     def _parse_comparison(self, tokens, pos, field, op):
         if pos + 2 >= len(tokens) or tokens[pos + 2][0] not in ("word", "quoted"):
@@ -196,6 +256,45 @@ class QueryParser:
         if op == "<=":
             return Range(prop, high=number), pos + 3
         return Range(prop, low=number, high=number), pos + 3
+
+
+def _looks_like_path(field: str) -> bool:
+    """Whether a field/word token should attempt path-spec resolution."""
+    return "/" in field or field.startswith("^") or field.endswith(("+", "*"))
+
+
+def split_path_spec(text: str) -> list[str]:
+    """Split a path spec on ``/`` outside quotes.
+
+    Quoted runs (``"a/b"``) protect their slashes, so property names
+    containing ``/`` remain addressable one segment at a time.  Raises
+    :class:`QueryParseError` on an unterminated quote or empty step.
+    """
+    segments: list[str] = []
+    buf: list[str] = []
+    pos = 0
+    while pos < len(text):
+        ch = text[pos]
+        if ch == '"':
+            end = pos + 1
+            while end < len(text) and text[end] != '"':
+                end += 2 if text[end] == "\\" else 1
+            if end >= len(text):
+                raise QueryParseError(f"unterminated quote in path {text!r}")
+            buf.append(text[pos : end + 1])
+            pos = end + 1
+            continue
+        if ch == "/":
+            segments.append("".join(buf))
+            buf = []
+            pos += 1
+            continue
+        buf.append(ch)
+        pos += 1
+    segments.append("".join(buf))
+    if any(not segment for segment in segments):
+        raise QueryParseError(f"empty step in path {text!r}")
+    return segments
 
 
 def _is_keyword(token: tuple[str, str], keyword: str) -> bool:

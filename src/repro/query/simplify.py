@@ -12,7 +12,11 @@ work:
 * one-element combinations unwrap;
 * a branch and its complement short-circuit: ``And([p, ¬p, ...])`` is
   the empty ``Or([])`` (matches nothing), ``Or([p, ¬p, ...])`` the
-  empty ``And([])`` (matches everything).
+  empty ``And([])`` (matches everything);
+* a single-hop forward :class:`~repro.query.ast.Path` without closure
+  is the predicate it abbreviates: ``Path([p], v)`` ≡ ``HasValue(p, v)``
+  and ``Path([p])`` ≡ ``HasProperty(p)`` — normalizing keeps the chip
+  text and the extent caches from splitting over two spellings.
 
 The transformation preserves extension: for every item and context,
 ``simplify(p)`` matches exactly when ``p`` does (property-tested).
@@ -20,7 +24,7 @@ The transformation preserves extension: for every item and context,
 
 from __future__ import annotations
 
-from .ast import And, Not, Or, Predicate
+from .ast import And, HasProperty, HasValue, Not, Or, Path, Predicate
 
 __all__ = ["simplify"]
 
@@ -34,7 +38,21 @@ def simplify(predicate: Predicate) -> Predicate:
         return Not(inner)
     if isinstance(predicate, (And, Or)):
         return _simplify_combination(predicate)
+    if isinstance(predicate, Path):
+        return _simplify_path(predicate)
     return predicate
+
+
+def _simplify_path(predicate: Path) -> Predicate:
+    """Collapse a trivial one-hop path to its single-predicate form."""
+    if len(predicate.steps) != 1:
+        return predicate
+    step = predicate.steps[0]
+    if step.inverse or step.closure:
+        return predicate
+    if predicate.value is None:
+        return HasProperty(step.prop)
+    return HasValue(step.prop, predicate.value)
 
 
 def _simplify_combination(predicate: And | Or) -> Predicate:

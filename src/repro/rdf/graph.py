@@ -300,7 +300,16 @@ class Graph:
     # ------------------------------------------------------------------
 
     def triples(self, subject=None, predicate=None, obj=None) -> Iterator[Triple]:
-        """Yield triples matching a pattern; None matches anything."""
+        """Yield triples matching a pattern; None matches anything.
+
+        Iteration is snapshot-stable at the index-bucket level: every
+        dict or set is materialized the moment the walk reaches it, so
+        mutating the graph mid-iteration (live ingestion folding a
+        delta while a path BFS walks) never raises ``RuntimeError:
+        dictionary changed size``.  Buckets are atomic — a concurrent
+        writer is either fully visible in a bucket or not at all —
+        but a multi-bucket walk does not freeze the whole graph.
+        """
         if obj is not None and not isinstance(obj, Term):
             obj = coerce_literal(obj)
         if subject is not None:
@@ -315,15 +324,15 @@ class Graph:
                     if obj in objs:
                         yield (subject, predicate, obj)
                     return
-                for o in objs:
+                for o in tuple(objs):
                     yield (subject, predicate, o)
                 return
-            for p, objs in by_pred.items():
+            for p, objs in list(by_pred.items()):
                 if obj is not None:
                     if obj in objs:
                         yield (subject, p, obj)
                     continue
-                for o in objs:
+                for o in tuple(objs):
                     yield (subject, p, o)
             return
         if predicate is not None:
@@ -331,24 +340,24 @@ class Graph:
             if not by_obj:
                 return
             if obj is not None:
-                for s in by_obj.get(obj, ()):
+                for s in tuple(by_obj.get(obj, ())):
                     yield (s, predicate, obj)
                 return
-            for o, subs in by_obj.items():
-                for s in subs:
+            for o, subs in list(by_obj.items()):
+                for s in tuple(subs):
                     yield (s, predicate, o)
             return
         if obj is not None:
             by_subj = self._osp.get(obj)
             if not by_subj:
                 return
-            for s, preds in by_subj.items():
-                for p in preds:
+            for s, preds in list(by_subj.items()):
+                for p in tuple(preds):
                     yield (s, p, obj)
             return
-        for s, by_pred in self._spo.items():
-            for p, objs in by_pred.items():
-                for o in objs:
+        for s, by_pred in list(self._spo.items()):
+            for p, objs in list(by_pred.items()):
+                for o in tuple(objs):
                     yield (s, p, o)
 
     def __contains__(self, triple: Triple) -> bool:
@@ -371,11 +380,15 @@ class Graph:
     # ------------------------------------------------------------------
 
     def subjects(self, predicate=None, obj=None) -> Iterator[Node]:
-        """Yield distinct subjects matching (*, predicate, obj)."""
+        """Yield distinct subjects matching (*, predicate, obj).
+
+        Snapshot-stable: the matched bucket is materialized before any
+        subject is yielded (see :meth:`triples`).
+        """
         if predicate is not None and obj is not None:
             if not isinstance(obj, Term):
                 obj = coerce_literal(obj)
-            yield from self._pos.get(predicate, {}).get(obj, ())
+            yield from tuple(self._pos.get(predicate, {}).get(obj, ()))
             return
         seen: set[Node] = set()
         for s, _p, _o in self.triples(None, predicate, obj):
@@ -384,9 +397,13 @@ class Graph:
                 yield s
 
     def objects(self, subject=None, predicate=None) -> Iterator[Node]:
-        """Yield distinct objects matching (subject, predicate, *)."""
+        """Yield distinct objects matching (subject, predicate, *).
+
+        Snapshot-stable: the matched bucket is materialized before any
+        object is yielded (see :meth:`triples`).
+        """
         if subject is not None and predicate is not None:
-            yield from self._spo.get(subject, {}).get(predicate, ())
+            yield from tuple(self._spo.get(subject, {}).get(predicate, ()))
             return
         seen: set[Node] = set()
         for _s, _p, o in self.triples(subject, predicate, None):
@@ -395,11 +412,15 @@ class Graph:
                 yield o
 
     def predicates(self, subject=None, obj=None) -> Iterator[Resource]:
-        """Yield distinct predicates matching (subject, *, obj)."""
+        """Yield distinct predicates matching (subject, *, obj).
+
+        Snapshot-stable: the matched bucket is materialized before any
+        predicate is yielded (see :meth:`triples`).
+        """
         if subject is not None and obj is not None:
             if not isinstance(obj, Term):
                 obj = coerce_literal(obj)
-            yield from self._osp.get(obj, {}).get(subject, ())
+            yield from tuple(self._osp.get(obj, {}).get(subject, ()))
             return
         seen: set[Resource] = set()
         for _s, p, _o in self.triples(subject, None, obj):

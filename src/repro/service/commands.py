@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.suggestions import RefineMode
-from ..query.ast import Predicate
+from ..query.ast import PathStep, Predicate
 from ..rdf.terms import Node, Resource
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "Refine",
     "SelectRefine",
     "ApplyRange",
+    "ApplyPath",
     "ApplyCompound",
     "ApplySubcollection",
     "RemoveConstraint",
@@ -115,6 +116,21 @@ class ApplyRange(Command):
     prop: Resource
     low: float | None
     high: float | None
+
+
+@dataclass(frozen=True)
+class ApplyPath(Command):
+    """Commit a property-path constraint as a filter refinement.
+
+    ``steps`` is the hop sequence of a :class:`~repro.query.ast.Path`;
+    ``value`` of None keeps every item whose path is non-empty.
+    """
+
+    steps: tuple[PathStep, ...]
+    value: Node | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "steps", tuple(self.steps))
 
 
 @dataclass(frozen=True)

@@ -86,17 +86,17 @@ class SessionManager:
         pinned = session.state.epoch
         if pinned == self._epochs.current.number:
             return session
-        epoch = self._epochs.acquire()
+        epoch = self._epochs.acquire(session=name)
         try:
             workspace = epoch.workspace
             if session.state.as_of_tx is not None:
                 workspace = workspace.as_of(session.state.as_of_tx)
             session.rebind(workspace, epoch.number)
         except BaseException:
-            self._epochs.release(epoch.number)
+            self._epochs.release(epoch.number, session=name)
             raise
         if pinned is not None:
-            self._epochs.release(pinned)
+            self._epochs.release(pinned, session=name)
         self.workspace = epoch.workspace
         return session
 
@@ -131,14 +131,14 @@ class SessionManager:
         epoch_no = None
         base = self.workspace
         if self._epochs is not None:
-            epoch = self._epochs.acquire()
+            epoch = self._epochs.acquire(session=name)
             epoch_no = epoch.number
             base = epoch.workspace
         try:
             workspace = base.as_of(as_of) if as_of is not None else base
         except BaseException:
             if epoch_no is not None:
-                self._epochs.release(epoch_no)
+                self._epochs.release(epoch_no, session=name)
             raise
         from ..browser.session import Session
 
@@ -185,7 +185,10 @@ class SessionManager:
         if self._active_name == name:
             self._active_name = next(iter(self._sessions), None)
         if self._epochs is not None and session.state.epoch is not None:
-            self._epochs.release(session.state.epoch)
+            # Named release: a session that never pinned through this
+            # manager (adopt()) or was already released no-ops instead
+            # of decrementing another reader's pin.
+            self._epochs.release(session.state.epoch, session=name)
         return True
 
     def switch(self, name: str):
@@ -273,7 +276,7 @@ class SessionManager:
         if self._epochs is not None:
             # A resumed session re-pins the *current* epoch: its saved
             # epoch number belongs to a previous run's chain.
-            epoch = self._epochs.acquire()
+            epoch = self._epochs.acquire(session=name)
             epoch_no = epoch.number
             base = epoch.workspace
             state = replace(state, epoch=epoch_no)
@@ -286,7 +289,7 @@ class SessionManager:
                 workspace = base.as_of(state.as_of_tx)
             except ValueError as error:
                 if epoch_no is not None:
-                    self._epochs.release(epoch_no)
+                    self._epochs.release(epoch_no, session=name)
                 raise StateLoadError(
                     f"cannot resume as-of session from {path}: {error}"
                 ) from error
@@ -299,7 +302,7 @@ class SessionManager:
             and self._epochs is not None
             and previous.state.epoch is not None
         ):
-            self._epochs.release(previous.state.epoch)
+            self._epochs.release(previous.state.epoch, session=name)
         self._sessions[name] = session
         self._active_name = name
         return session

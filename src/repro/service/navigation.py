@@ -24,7 +24,7 @@ from ..core.history import NavigationHistory
 from ..core.suggestions import RefineMode
 from ..core.view import View
 from ..core.workspace import Workspace
-from ..query.ast import And, Not, Or, Predicate, Range, TextMatch
+from ..query.ast import And, Not, Or, Path, Predicate, Range, TextMatch
 from ..rdf.terms import Node
 from ..vsm.vector import SparseVector
 from . import commands as cmd
@@ -221,6 +221,10 @@ class NavigationService:
 
     def _do_apply_range(self, workspace, state, command: cmd.ApplyRange) -> Transition:
         predicate = Range(command.prop, low=command.low, high=command.high)
+        return self._refine_with(workspace, state, predicate, RefineMode.FILTER)
+
+    def _do_apply_path(self, workspace, state, command: cmd.ApplyPath) -> Transition:
+        predicate = Path(command.steps, command.value)
         return self._refine_with(workspace, state, predicate, RefineMode.FILTER)
 
     def _do_apply_compound(
@@ -682,6 +686,7 @@ class NavigationService:
         cmd.Refine: _do_refine,
         cmd.SelectRefine: _do_select_refine,
         cmd.ApplyRange: _do_apply_range,
+        cmd.ApplyPath: _do_apply_path,
         cmd.ApplyCompound: _do_apply_compound,
         cmd.ApplySubcollection: _do_apply_subcollection,
         cmd.RemoveConstraint: _do_remove_constraint,

@@ -25,6 +25,8 @@ from ..query.ast import (
     HasValue,
     Not,
     Or,
+    Path,
+    PathStep,
     PathValue,
     Predicate,
     Range,
@@ -39,6 +41,8 @@ __all__ = [
     "StateLoadError",
     "node_to_dict",
     "node_from_dict",
+    "path_step_to_dict",
+    "path_step_from_dict",
     "predicate_to_dict",
     "predicate_from_dict",
 ]
@@ -94,6 +98,38 @@ def node_from_dict(data: dict[str, Any]) -> Node:
 
 
 # ----------------------------------------------------------------------
+# Path steps
+# ----------------------------------------------------------------------
+
+
+def path_step_to_dict(step: PathStep) -> dict[str, Any]:
+    """Encode one hop of a property path (shared with the wire codec)."""
+    encoded: dict[str, Any] = {"prop": node_to_dict(step.prop)}
+    if step.inverse:
+        encoded["inverse"] = True
+    if step.closure:
+        encoded["closure"] = step.closure
+    return encoded
+
+
+def path_step_from_dict(data: dict[str, Any]) -> PathStep:
+    """Decode a hop encoded by :func:`path_step_to_dict`."""
+    prop = node_from_dict(data["prop"])
+    if not isinstance(prop, Resource):
+        raise StateSerializationError(
+            f"path step property must be a resource, got {prop!r}"
+        )
+    try:
+        return PathStep(
+            prop,
+            inverse=bool(data.get("inverse", False)),
+            closure=data.get("closure", ""),
+        )
+    except ValueError as error:
+        raise StateSerializationError(str(error)) from error
+
+
+# ----------------------------------------------------------------------
 # Predicates
 # ----------------------------------------------------------------------
 
@@ -126,6 +162,14 @@ def predicate_to_dict(predicate: Predicate) -> dict[str, Any]:
             "low": predicate.low,
             "high": predicate.high,
         }
+    if isinstance(predicate, Path):
+        encoded = {
+            "t": "path",
+            "steps": [path_step_to_dict(s) for s in predicate.steps],
+        }
+        if predicate.value is not None:
+            encoded["value"] = node_to_dict(predicate.value)
+        return encoded
     if isinstance(predicate, PathValue):
         return {
             "t": "path_value",
@@ -177,6 +221,12 @@ def predicate_from_dict(data: dict[str, Any]) -> Predicate:
         )
     if kind == "range":
         return Range(node_from_dict(data["prop"]), low=data["low"], high=data["high"])
+    if kind == "path":
+        value = data.get("value")
+        return Path(
+            [path_step_from_dict(s) for s in data["steps"]],
+            node_from_dict(value) if value is not None else None,
+        )
     if kind == "path_value":
         return PathValue(
             [node_from_dict(p) for p in data["chain"]],

@@ -76,8 +76,9 @@ class TestRosters:
         assert "contrary-constraints" not in names
         assert "similar-by-content-item" not in names
 
-    def test_standard_has_all_twelve(self):
-        assert len(standard_analysts()) == 12
+    def test_standard_roster_size(self):
+        # The paper's twelve plus the path analyst (typed path chips).
+        assert len(standard_analysts()) == 13
 
     def test_baseline_modify_advisor_silent(self, workspace):
         from repro.query import HasValue

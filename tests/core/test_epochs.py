@@ -187,3 +187,56 @@ def test_epoch_gauges_exported():
     assert gauges["epochs.publishes"] == 1
     assert gauges["epochs.lag_tx"] == 0
     assert gauges["epochs.datoms_ingested"] >= 1
+
+
+class TestReleasePinTracking:
+    """Double releases must never decrement another reader's pin.
+
+    Before the fix, ``release()`` blindly did ``refs = max(0, refs-1)``
+    for any live epoch, so a double release (session delete racing
+    lazy migration) could push a live epoch's refcount below its pin
+    count and retire a snapshot a reader still held.
+    """
+
+    def test_named_double_release_is_noop(self):
+        manager = _manager()
+        a = manager.acquire(session="a")
+        b = manager.acquire(session="b")
+        assert a is b and a.refs == 2
+        manager.ingest([(OP_ASSERT, EX.it0, EX.color, EX.green)])
+        manager.publish()
+        manager.release(0, session="a")
+        manager.release(0, session="a")  # double release
+        assert manager.get(0) is a and not a.retired and a.refs == 1
+        manager.release(0, session="b")
+        assert manager.get(0) is None and a.retired
+
+    def test_release_without_pin_never_retires_a_held_epoch(self):
+        manager = _manager()
+        manager.acquire(session="reader")
+        manager.ingest([(OP_ASSERT, EX.it0, EX.color, EX.green)])
+        manager.publish()
+        # A session that holds no pin (delete racing migration) no-ops.
+        manager.release(0, session="some-deleted-session")
+        assert manager.get(0) is not None
+        manager.release(0, session="reader")
+        assert manager.get(0) is None
+
+    def test_anonymous_release_underflow_raises(self):
+        from repro.core.epochs import EpochPinError
+
+        manager = _manager()
+        epoch = manager.acquire()
+        manager.release(epoch.number)
+        with pytest.raises(EpochPinError):
+            manager.release(epoch.number)
+
+    def test_release_of_retired_epoch_clears_stale_pins(self):
+        manager = _manager()
+        manager.acquire(session="s")
+        manager.ingest([(OP_ASSERT, EX.it0, EX.color, EX.green)])
+        manager.publish()
+        manager.release(0, session="s")
+        assert manager.get(0) is None
+        manager.release(0, session="s")  # stale: ignored, pins pruned
+        assert manager._pins == {}

@@ -95,10 +95,31 @@ class TestHistogram:
         assert histogram.quantile(0.9) == pytest.approx(20.0)
         assert 20.0 < histogram.quantile(0.99) <= 50.0
 
-    def test_quantile_overflow_bucket_reports_last_bound(self):
+    def test_quantile_overflow_bucket_reports_observed_max(self):
+        # Regression: quantile() used to report the last finite bound
+        # for any rank landing in the overflow bucket, silently
+        # understating p99/p100 whenever the tail outran the layout.
         histogram = MetricsRegistry().histogram("q", (1.0,))
         histogram.observe(99.0)
-        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == pytest.approx(99.0)
+        # Ranks inside the overflow bucket interpolate between the last
+        # bound and the observed max instead of flatlining at the bound.
+        assert histogram.quantile(0.5) == pytest.approx(50.0)
+
+    def test_quantile_tracks_max_across_observations(self):
+        histogram = MetricsRegistry().histogram("q", (1.0, 2.0))
+        for value in (0.5, 7.0, 340.0, 12.0):
+            histogram.observe(value)
+        assert histogram.max_value == 340.0
+        assert histogram.quantile(1.0) == pytest.approx(340.0)
+
+    def test_quantile_within_bounds_unaffected_by_max(self):
+        histogram = MetricsRegistry().histogram("q", (10.0, 20.0))
+        for value in (2, 4, 6, 8):
+            histogram.observe(value)
+        histogram.observe(999.0)  # one outlier in the overflow bucket
+        # Ranks that resolve inside finite buckets keep the old answers.
+        assert histogram.quantile(0.4) == pytest.approx(5.0)
 
     def test_quantile_edge_cases(self):
         histogram = MetricsRegistry().histogram("q", (1.0, 2.0))
@@ -133,6 +154,7 @@ class TestRegistry:
             "counts": [1, 0],
             "count": 1,
             "sum": 0,
+            "max": 0,
         }
 
     def test_snapshot_purity(self):
@@ -161,6 +183,7 @@ class TestRegistry:
             "counts": [0, 0, 0],
             "count": 0,
             "sum": 0,
+            "max": None,
         }
 
 

@@ -178,3 +178,65 @@ class TestWholeGraph:
         assert not g
         g.add(EX.a, EX.p, EX.b)
         assert g and len(g) == 1
+
+
+class TestMutateDuringIteration:
+    """Traversal reads are snapshot-stable at the index-bucket level.
+
+    Before the fix, `triples`/`subjects`/`objects`/`predicates` were
+    lazy generators over the live index dicts, so a graph mutation
+    mid-iteration (live ingestion folding a delta while a path BFS
+    walks) raised ``RuntimeError: dictionary changed size``.
+    """
+
+    def test_add_while_iterating_all_triples(self, graph):
+        seen = []
+        for i, triple in enumerate(graph.triples()):
+            seen.append(triple)
+            graph.add(EX[f"new{i}"], EX.tag, EX.green)
+        assert len(seen) == 6
+
+    def test_add_while_iterating_subject_pattern(self, graph):
+        for s, p, o in graph.triples(EX.a):
+            graph.add(EX.a, EX.extra, Literal("mid-walk"))
+        assert (EX.a, EX.extra, Literal("mid-walk")) in graph
+
+    def test_add_while_iterating_predicate_pattern(self, graph):
+        for s, p, o in graph.triples(None, EX.tag):
+            graph.add(EX.c, EX.tag, EX.mauve)
+        assert (EX.c, EX.tag, EX.mauve) in graph
+
+    def test_add_while_iterating_object_pattern(self, graph):
+        for s, p, o in graph.triples(None, None, EX.red):
+            graph.add(EX.d, EX.hue, EX.red)
+        assert (EX.d, EX.hue, EX.red) in graph
+
+    def test_add_while_iterating_subjects_bucket(self, graph):
+        for s in graph.subjects(EX.tag, EX.red):
+            graph.add(EX.e, EX.tag, EX.red)
+        assert (EX.e, EX.tag, EX.red) in graph
+
+    def test_add_while_iterating_objects_bucket(self, graph):
+        for o in graph.objects(EX.a, EX.tag):
+            graph.add(EX.a, EX.tag, EX[f"shade-{len(str(o))}"])
+        assert len(set(graph.objects(EX.a, EX.tag))) >= 3
+
+    def test_remove_while_iterating(self, graph):
+        # Removal tears down empty buckets; the walk must not notice.
+        for s, p, o in graph.triples():
+            graph.remove(EX.b, EX.size, Literal(5))
+        assert (EX.b, EX.size, Literal(5)) not in graph
+
+    def test_bfs_style_walk_survives_concurrent_ingestion(self):
+        g = Graph()
+        for i in range(8):
+            g.add(EX[f"n{i}"], EX.link, EX[f"n{(i + 1) % 8}"])
+        frontier = {EX.n0}
+        for _ in range(4):
+            nxt = set()
+            for node in frontier:
+                for target in g.objects(node, EX.link):
+                    nxt.add(target)
+                    g.add(node, EX.link, EX[f"fresh{len(nxt)}"])
+            frontier = nxt
+        assert frontier
